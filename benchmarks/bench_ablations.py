@@ -1,0 +1,61 @@
+"""Macro-benchmarks: the k1 ablation and the d/p trade-off ablation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ConstrainedDTW, make_timeseries_dataset
+from repro.experiments import TINY
+from repro.experiments.ablations import run_dimension_ablation, run_k1_ablation
+
+
+@pytest.fixture(scope="module")
+def ablation_data():
+    return make_timeseries_dataset(
+        n_database=TINY.database_size, n_queries=TINY.n_queries,
+        n_seeds=12, length=48, n_dims=2, seed=1,
+    )
+
+
+def test_k1_ablation(benchmark, ablation_data, bench_scale):
+    """Sweep the selective-sampling threshold k1 (Sec. 6 guideline)."""
+    database, queries = ablation_data
+
+    def run():
+        return run_k1_ablation(
+            ConstrainedDTW(),
+            database,
+            queries,
+            scale=bench_scale,
+            k1_values=(1, 3, 9),
+            k=5,
+            accuracy=0.9,
+            seed=0,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["costs_by_k1"] = result.costs_by_k1
+    benchmark.extra_info["suggested_k1"] = result.suggested_k1
+    print()
+    print(result.summary())
+    assert len(result.costs_by_k1) >= 2
+
+
+def test_dimension_ablation(benchmark, ablation_data, bench_scale):
+    """The d-versus-p trade-off of Sec. 8 for a trained Se-QS embedding."""
+    database, queries = ablation_data
+
+    def run():
+        return run_dimension_ablation(
+            ConstrainedDTW(), database, queries, scale=bench_scale,
+            k=1, accuracy=0.9, seed=0,
+        )
+
+    entries = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["entries"] = [
+        {"dim": e.dim, "embed_cost": e.embedding_cost, "p": e.p, "total": e.total_cost}
+        for e in entries
+    ]
+    assert len(entries) >= 2
+    # Embedding cost grows with dimensionality; p generally shrinks.
+    assert entries[-1].embedding_cost >= entries[0].embedding_cost

@@ -1,0 +1,74 @@
+"""Micro-benchmarks of the exact distance measures (the TIMING experiment).
+
+The paper reports ~15 Shape Context distances/second and ~60 constrained DTW
+distances/second on 2005 hardware, and argues that exact distance
+computations dominate per-query retrieval time while L1 comparisons of
+embedded vectors are negligible.  These benchmarks measure the same three
+quantities on the current machine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ConstrainedDTW, EditDistance, L1Distance, ShapeContextDistance
+
+
+def test_shape_context_distance(benchmark, digit_pair):
+    """One Shape Context distance between two 28x28 digit images."""
+    a, b = digit_pair
+    distance = ShapeContextDistance(n_points=20, cache_features=False)
+    result = benchmark(distance, a, b)
+    assert result >= 0.0
+
+
+def test_shape_context_distance_cached_features(benchmark, digit_pair):
+    """Shape Context with per-image feature caching (the experiment setting)."""
+    a, b = digit_pair
+    distance = ShapeContextDistance(n_points=20, cache_features=True)
+    distance(a, b)  # warm the cache
+    result = benchmark(distance, a, b)
+    assert result >= 0.0
+
+
+def test_constrained_dtw_distance(benchmark, series_pair):
+    """One constrained DTW distance between two ~64-sample 2D series."""
+    a, b = series_pair
+    distance = ConstrainedDTW(band_fraction=0.1)
+    result = benchmark(distance, a, b)
+    assert result >= 0.0
+
+
+def test_edit_distance(benchmark):
+    """One edit distance between two 60-symbol strings."""
+    rng = np.random.default_rng(0)
+    a = "".join(rng.choice(list("ACGT"), size=60))
+    b = "".join(rng.choice(list("ACGT"), size=60))
+    result = benchmark(EditDistance(), a, b)
+    assert result >= 0
+
+
+def test_vector_l1_distance(benchmark):
+    """One L1 distance between 100-dimensional embedded vectors.
+
+    The ratio between this and the exact-distance benchmarks substantiates
+    the paper's claim that the filter step is negligible.
+    """
+    rng = np.random.default_rng(1)
+    x, y = rng.normal(size=100), rng.normal(size=100)
+    result = benchmark(L1Distance(), x, y)
+    assert result >= 0.0
+
+
+def test_filter_step_full_database(benchmark, trained_model_bench, gaussian_split_bench):
+    """Ranking an entire database in embedding space (the filter step)."""
+    model = trained_model_bench.model
+    database_vectors = model.embed_many(list(gaussian_split_bench.database))
+    query_vector = model.embed(gaussian_split_bench.queries[0])
+
+    def filter_step():
+        return np.argsort(model.distances_to(query_vector, database_vectors))
+
+    order = benchmark(filter_step)
+    assert order.shape == (len(gaussian_split_bench.database),)

@@ -1,0 +1,25 @@
+"""Macro-benchmark: regenerate Figure 1 (the toy motivation example)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_figure1
+
+
+def test_figure1_reproduction(benchmark):
+    """Recompute every statistic quoted in the Figure 1 caption."""
+    result = benchmark.pedantic(run_figure1, kwargs={"seed": 7}, rounds=1, iterations=1)
+
+    benchmark.extra_info["n_triples"] = result.n_triples
+    benchmark.extra_info["full_embedding_error"] = round(result.full_embedding_error, 4)
+    benchmark.extra_info["reference_errors"] = [
+        round(e, 4) for e in result.reference_errors
+    ]
+    benchmark.extra_info["special_query_wins"] = sum(result.query_sensitive_wins())
+
+    # The caption's qualitative claims.
+    assert result.n_triples == 3800
+    for reference_error in result.reference_errors:
+        assert result.full_embedding_error < reference_error
+    assert sum(result.query_sensitive_wins()) >= 2

@@ -1,0 +1,44 @@
+"""Macro-benchmark: regenerate Figure 4 (digits + Shape Context) at TINY scale.
+
+The full SMALL-scale curves are produced by ``scripts/run_paper_experiments.py``;
+this benchmark runs the identical pipeline at the TINY scale so the whole
+figure (four methods, three accuracy levels, every k) is regenerated inside
+the benchmark suite in a couple of minutes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import format_figure_series
+from repro.experiments.figure4 import FIGURE4_METHODS, run_figure4
+
+
+def test_figure4_reproduction(benchmark, bench_scale):
+    """Regenerate the Figure 4 series for all methods at the TINY scale."""
+    comparison = benchmark.pedantic(
+        run_figure4,
+        kwargs={
+            "scale": bench_scale,
+            "methods": FIGURE4_METHODS,
+            "seed": 0,
+            "shape_context_points": 16,
+        },
+        rounds=1,
+        iterations=1,
+    )
+
+    for accuracy in comparison.accuracies:
+        benchmark.extra_info[f"series_{int(accuracy * 100)}pct"] = {
+            tag: {k: comparison.method(tag).cost(k, accuracy) for k in comparison.ks}
+            for tag in comparison.methods
+        }
+    print()
+    print(format_figure_series(comparison, accuracy=0.9))
+
+    # Shape checks: every method beats brute force, and the proposed method
+    # is competitive with the best at k=1 / 90%.
+    for tag in comparison.methods:
+        assert comparison.method(tag).cost(1, 0.9) < comparison.brute_force_cost
+    costs = {tag: comparison.method(tag).cost(1, 0.9) for tag in comparison.methods}
+    assert costs["Se-QS"] <= 1.5 * min(costs.values())

@@ -1,0 +1,36 @@
+"""Macro-benchmark: regenerate Figure 6 (quick vs regular Se-QS) at TINY scale."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_figure6
+
+
+def test_figure6_reproduction(benchmark, bench_scale):
+    """Quick Se-QS (tiny preprocessing budget) vs regular Se-QS vs FastMap."""
+    result = benchmark.pedantic(
+        run_figure6,
+        kwargs={
+            "scale": bench_scale,
+            "accuracy": 0.95,
+            "quick_shrink": 2,
+            "seed": 0,
+            "shape_context_points": 16,
+        },
+        rounds=1,
+        iterations=1,
+    )
+
+    benchmark.extra_info["costs"] = result.costs()
+    benchmark.extra_info["regular_preprocessing"] = result.regular_preprocessing_distances
+    benchmark.extra_info["quick_preprocessing"] = result.quick_preprocessing_distances
+    print()
+    print(result.summary())
+
+    # The quick variant must really be cheaper to preprocess...
+    assert result.quick_preprocessing_distances < result.regular_preprocessing_distances
+    # ...and still produce a usable embedding (beats brute force at k=1).
+    costs = result.costs()
+    assert costs["Quick Se-QS"][1] < result.database_size
+    assert costs["Regular Se-QS"][1] < result.database_size

@@ -1,0 +1,29 @@
+"""Macro-benchmark: regenerate Table 1 (both datasets, all five methods) at TINY scale."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import format_table1
+from repro.experiments.table1 import run_table1
+
+
+def test_table1_reproduction(benchmark, bench_scale):
+    """Both dataset comparisons with all five methods, in the Table 1 layout."""
+    comparisons = benchmark.pedantic(
+        run_table1, kwargs={"scale": bench_scale, "seed": 0}, rounds=1, iterations=1
+    )
+
+    text = format_table1(comparisons, ks=bench_scale.ks, accuracies=bench_scale.accuracies)
+    benchmark.extra_info["table"] = text
+    print()
+    print(text)
+
+    assert set(comparisons) == {"digits", "timeseries"}
+    for comparison in comparisons.values():
+        assert set(comparison.methods) == {"FastMap", "Ra-QI", "Ra-QS", "Se-QI", "Se-QS"}
+        for tag in comparison.methods:
+            for accuracy in comparison.accuracies:
+                for k in comparison.ks:
+                    cost = comparison.method(tag).cost(k, accuracy)
+                    assert 1 <= cost <= comparison.brute_force_cost

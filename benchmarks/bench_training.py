@@ -1,0 +1,97 @@
+"""Micro-benchmarks of the training pipeline (Sec. 5/7 complexity results).
+
+The paper's complexity analysis (Sec. 7) states that each training round is
+``O(m t)`` for ``m`` candidate classifiers and ``t`` training triples, and
+that embedding a query needs ``O(d)`` exact distances.  These benchmarks
+measure the concrete cost of one boosting round, of the full (tiny) training
+run, and of embedding a single object.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import BoostMapTrainer, L2Distance, TrainingConfig
+from repro.core.adaboost import initialize_weights
+from repro.core.trainer import build_training_tables
+from repro.core.training_data import SelectiveTripleSampler
+from repro.core.weak_learner import CandidateGenerator, TripleWeakLearner
+
+
+@pytest.fixture(scope="module")
+def learner_setup(gaussian_split_bench):
+    """A weak learner over precomputed tables, ready to be timed."""
+    l2 = L2Distance()
+    tables = build_training_tables(
+        l2, gaussian_split_bench.database, n_candidates=40, n_training_objects=40, seed=0
+    )
+    triples = SelectiveTripleSampler(k1=3, seed=1).sample(tables.pool_to_pool, 1000)
+    generator = CandidateGenerator(
+        tables.candidate_to_pool, tables.candidate_to_candidate, seed=2
+    )
+    learner = TripleWeakLearner(
+        triples=triples,
+        generator=generator,
+        classifiers_per_round=50,
+        intervals_per_candidate=6,
+        seed=3,
+    )
+    weights = initialize_weights(triples.size)
+    return learner, weights
+
+
+def test_one_boosting_round(benchmark, learner_setup):
+    """One round: draw 50 candidate embeddings x 7 intervals, pick the best."""
+    learner, weights = learner_setup
+    chosen, margins, alpha, z = benchmark(learner, weights, 0)
+    assert alpha > 0
+
+
+def test_training_tables_preprocessing(benchmark, gaussian_split_bench):
+    """The one-time preprocessing: |C| x |Xtr| distance matrices."""
+    l2 = L2Distance()
+
+    def build():
+        return build_training_tables(
+            l2, gaussian_split_bench.database, n_candidates=30, n_training_objects=30, seed=0
+        )
+
+    tables = benchmark(build)
+    assert tables.distance_evaluations == 30 * 29 // 2
+
+
+def test_full_tiny_training_run(benchmark, gaussian_split_bench):
+    """A complete (very small) Se-QS training run."""
+    l2 = L2Distance()
+    config = TrainingConfig(
+        n_candidates=30,
+        n_training_objects=30,
+        n_triples=400,
+        n_rounds=8,
+        classifiers_per_round=20,
+        kmax=5,
+        seed=4,
+    )
+
+    def train():
+        return BoostMapTrainer(l2, gaussian_split_bench.database, config).train()
+
+    result = benchmark.pedantic(train, rounds=1, iterations=1)
+    assert result.model.dim >= 1
+
+
+def test_embed_single_query(benchmark, trained_model_bench, gaussian_split_bench):
+    """Embedding one query object (costs `model.cost` exact distances)."""
+    model = trained_model_bench.model
+    query = gaussian_split_bench.queries[0]
+    vector = benchmark(model.embed, query)
+    assert vector.shape == (model.dim,)
+
+
+def test_query_sensitive_weights(benchmark, trained_model_bench, gaussian_split_bench):
+    """Computing the per-query weights A_i(q) of Eq. 10."""
+    model = trained_model_bench.model
+    query_vector = model.embed(gaussian_split_bench.queries[0])
+    weights = benchmark(model.weights, query_vector)
+    assert weights.shape == (model.dim,)

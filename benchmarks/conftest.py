@@ -1,0 +1,83 @@
+"""Shared fixtures for the benchmark suite.
+
+Two kinds of benchmarks live here:
+
+* **micro-benchmarks** of the computational kernels (exact distances, the
+  filter step, one boosting round, embedding a query) — these use
+  pytest-benchmark in its normal repeated-measurement mode;
+* **macro-benchmarks**, one per paper artifact (Figures 1, 4, 5, 6, Table 1,
+  the timing section, the ablations), which run the corresponding experiment
+  once at the TINY scale with ``benchmark.pedantic(rounds=1)`` and attach the
+  reproduced numbers to the benchmark record via ``benchmark.extra_info`` so
+  the regenerated rows are visible in the benchmark output/JSON.
+
+Run with ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import numpy as np
+import pytest
+
+_SRC = os.path.join(os.path.dirname(__file__), "..", "src")
+if os.path.isdir(_SRC) and _SRC not in sys.path:
+    sys.path.insert(0, os.path.abspath(_SRC))
+
+from repro import (  # noqa: E402
+    BoostMapTrainer,
+    ConstrainedDTW,
+    L2Distance,
+    RetrievalSplit,
+    ShapeContextDistance,
+    TrainingConfig,
+    make_gaussian_clusters,
+    make_timeseries_dataset,
+)
+from repro.datasets.digits import DigitImageGenerator  # noqa: E402
+from repro.experiments import TINY  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    """The scale used by all macro-benchmarks."""
+    return TINY
+
+
+@pytest.fixture(scope="session")
+def digit_pair():
+    generator = DigitImageGenerator()
+    rng = np.random.default_rng(0)
+    return generator.render(3, rng=rng), generator.render(8, rng=rng)
+
+
+@pytest.fixture(scope="session")
+def series_pair():
+    database, _ = make_timeseries_dataset(
+        n_database=2, n_queries=1, n_seeds=2, length=64, seed=0
+    )
+    return database[0], database[1]
+
+
+@pytest.fixture(scope="session")
+def gaussian_split_bench():
+    dataset = make_gaussian_clusters(n_objects=150, n_clusters=5, n_dims=6, seed=1)
+    return RetrievalSplit.from_dataset(dataset, n_queries=25, seed=2)
+
+
+@pytest.fixture(scope="session")
+def trained_model_bench(gaussian_split_bench):
+    config = TrainingConfig(
+        n_candidates=40,
+        n_training_objects=40,
+        n_triples=800,
+        n_rounds=16,
+        classifiers_per_round=30,
+        kmax=10,
+        seed=3,
+    )
+    return BoostMapTrainer(
+        L2Distance(), gaussian_split_bench.database, config
+    ).train()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Run the full experiment suite at the SMALL scale and save a text report.
+
+This script regenerates every paper artifact (Figure 1, Figures 4-6, Table 1,
+the timing paragraphs) at the repository's default reproduction scale and
+writes the results to ``results/paper_experiments.txt``.  EXPERIMENTS.md is
+based on its output.  Expect a runtime of roughly 10-25 minutes on a laptop.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+from repro.experiments import (
+    SMALL,
+    format_comparison,
+    format_table1,
+    run_figure1,
+    run_figure6,
+    run_table1,
+    run_timing,
+)
+from repro.experiments.reporting import speedup_table
+from repro.experiments.timing import speedup_report
+
+
+def main() -> int:
+    out_dir = os.path.join(os.path.dirname(__file__), "..", "results")
+    os.makedirs(out_dir, exist_ok=True)
+    out_path = os.path.join(out_dir, "paper_experiments.txt")
+    sections = []
+    start = time.time()
+
+    print("[1/5] Figure 1 (toy example)", flush=True)
+    figure1 = run_figure1()
+    sections.append("=" * 72 + "\nFIGURE 1\n" + "=" * 72 + "\n" + figure1.summary())
+
+    print("[2/5] Timing", flush=True)
+    timing = run_timing()
+    sections.append("=" * 72 + "\nTIMING\n" + "=" * 72 + "\n" + timing.summary())
+
+    print("[3/5] Table 1 / Figures 4-5 (all five methods, SMALL scale)", flush=True)
+    comparisons = run_table1(scale=SMALL, seed=0)
+    sections.append(
+        "=" * 72 + "\nTABLE 1 (digits + time series)\n" + "=" * 72 + "\n"
+        + format_table1(comparisons)
+    )
+    for name, comparison in comparisons.items():
+        sections.append(
+            "=" * 72 + f"\nFIGURE {'4' if name == 'digits' else '5'} ({name})\n"
+            + "=" * 72 + "\n" + format_comparison(comparison)
+        )
+        sections.append(
+            speedup_report(
+                comparison,
+                accuracy=0.9,
+                k=1,
+                timing=timing,
+                measure="shape_context" if name == "digits" else "dtw",
+            )
+        )
+
+    print("[4/5] Figure 6 (quick vs regular Se-QS)", flush=True)
+    figure6 = run_figure6(scale=SMALL, seed=0)
+    sections.append("=" * 72 + "\nFIGURE 6\n" + "=" * 72 + "\n" + figure6.summary())
+
+    print("[5/5] Writing report", flush=True)
+    elapsed = time.time() - start
+    sections.append(f"total runtime: {elapsed / 60.0:.1f} minutes")
+    with open(out_path, "w") as handle:
+        handle.write("\n\n".join(sections) + "\n")
+    print(f"wrote {out_path} ({elapsed / 60.0:.1f} minutes)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

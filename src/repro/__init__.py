@@ -1,0 +1,187 @@
+"""repro — a reproduction of "Query-Sensitive Embeddings" (SIGMOD 2005).
+
+The library implements the paper's query-sensitive embedding method (an
+extension of BoostMap), the baselines it is compared against (FastMap and the
+original BoostMap), the expensive distance measures and datasets the
+experiments use, the filter-and-refine retrieval framework, and the full
+evaluation harness that regenerates the paper's figures and tables.
+
+Quick start
+-----------
+>>> from repro import (
+...     L2Distance, make_gaussian_clusters, RetrievalSplit,
+...     BoostMapTrainer, TrainingConfig, FilterRefineRetriever,
+... )
+>>> dataset = make_gaussian_clusters(n_objects=120, seed=0)
+>>> split = RetrievalSplit.from_dataset(dataset, n_queries=20, seed=1)
+>>> config = TrainingConfig(n_candidates=40, n_training_objects=40,
+...                         n_triples=400, n_rounds=8,
+...                         classifiers_per_round=20, seed=2)
+>>> result = BoostMapTrainer(L2Distance(), split.database, config).train()
+>>> retriever = FilterRefineRetriever(L2Distance(), split.database, result.model)
+>>> hit = retriever.query(split.queries[0], k=1, p=10)
+>>> hit.total_distance_computations < len(split.database)
+True
+"""
+
+from repro.exceptions import (
+    ReproError,
+    ConfigurationError,
+    DatasetError,
+    DistanceError,
+    EmbeddingError,
+    TrainingError,
+    RetrievalError,
+    ExperimentError,
+    SerializationError,
+)
+from repro.distances import (
+    DistanceMeasure,
+    FunctionDistance,
+    CountingDistance,
+    CachedDistance,
+    LpDistance,
+    L1Distance,
+    L2Distance,
+    WeightedL1Distance,
+    QuerySensitiveL1,
+    ConstrainedDTW,
+    ShapeContextDistance,
+    EditDistance,
+    WeightedEditDistance,
+    KLDivergence,
+    SymmetricKL,
+    JensenShannonDistance,
+    ChamferDistance,
+    HausdorffDistance,
+)
+from repro.datasets import (
+    Dataset,
+    RetrievalSplit,
+    DigitImageGenerator,
+    make_digit_dataset,
+    TimeSeriesGenerator,
+    make_timeseries_dataset,
+    ToyUnitSquare,
+    make_toy_dataset,
+    StringMutationGenerator,
+    make_string_dataset,
+    make_gaussian_clusters,
+)
+from repro.embeddings import (
+    Embedding,
+    OneDimensionalEmbedding,
+    ReferenceEmbedding,
+    PivotEmbedding,
+    CompositeEmbedding,
+    LipschitzEmbedding,
+    build_lipschitz_embedding,
+    FastMapEmbedding,
+    build_fastmap_embedding,
+)
+from repro.core import (
+    TripleSet,
+    triple_label,
+    Interval,
+    GLOBAL_INTERVAL,
+    AdaBoost,
+    RandomTripleSampler,
+    SelectiveTripleSampler,
+    QuerySensitiveModel,
+    BoostMapTrainer,
+    TrainingConfig,
+    TrainingResult,
+)
+from repro.retrieval import (
+    NeighborTable,
+    ground_truth_neighbors,
+    BruteForceRetriever,
+    FilterRefineRetriever,
+    RetrievalResult,
+    DimensionSweep,
+    optimal_cost_curve,
+    DynamicDatabase,
+    DriftMonitor,
+)
+from repro.index import VPTree
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # exceptions
+    "ReproError",
+    "ConfigurationError",
+    "DatasetError",
+    "DistanceError",
+    "EmbeddingError",
+    "TrainingError",
+    "RetrievalError",
+    "ExperimentError",
+    "SerializationError",
+    # distances
+    "DistanceMeasure",
+    "FunctionDistance",
+    "CountingDistance",
+    "CachedDistance",
+    "LpDistance",
+    "L1Distance",
+    "L2Distance",
+    "WeightedL1Distance",
+    "QuerySensitiveL1",
+    "ConstrainedDTW",
+    "ShapeContextDistance",
+    "EditDistance",
+    "WeightedEditDistance",
+    "KLDivergence",
+    "SymmetricKL",
+    "JensenShannonDistance",
+    "ChamferDistance",
+    "HausdorffDistance",
+    # datasets
+    "Dataset",
+    "RetrievalSplit",
+    "DigitImageGenerator",
+    "make_digit_dataset",
+    "TimeSeriesGenerator",
+    "make_timeseries_dataset",
+    "ToyUnitSquare",
+    "make_toy_dataset",
+    "StringMutationGenerator",
+    "make_string_dataset",
+    "make_gaussian_clusters",
+    # embeddings
+    "Embedding",
+    "OneDimensionalEmbedding",
+    "ReferenceEmbedding",
+    "PivotEmbedding",
+    "CompositeEmbedding",
+    "LipschitzEmbedding",
+    "build_lipschitz_embedding",
+    "FastMapEmbedding",
+    "build_fastmap_embedding",
+    # core
+    "TripleSet",
+    "triple_label",
+    "Interval",
+    "GLOBAL_INTERVAL",
+    "AdaBoost",
+    "RandomTripleSampler",
+    "SelectiveTripleSampler",
+    "QuerySensitiveModel",
+    "BoostMapTrainer",
+    "TrainingConfig",
+    "TrainingResult",
+    # retrieval
+    "NeighborTable",
+    "ground_truth_neighbors",
+    "BruteForceRetriever",
+    "FilterRefineRetriever",
+    "RetrievalResult",
+    "DimensionSweep",
+    "optimal_cost_curve",
+    "DynamicDatabase",
+    "DriftMonitor",
+    # index
+    "VPTree",
+]

@@ -1,0 +1,56 @@
+"""The paper's core contribution: query-sensitive embeddings via boosting.
+
+The pipeline is:
+
+1. triples of training objects and their proximity labels
+   (:mod:`repro.core.triples`, :mod:`repro.core.training_data`);
+2. 1D embeddings turned into weak triple-classifiers, optionally gated by
+   splitters (:mod:`repro.core.splitters`,
+   :mod:`repro.core.weak_classifiers`);
+3. AdaBoost combines weak classifiers into a strong classifier
+   (:mod:`repro.core.adaboost`, :mod:`repro.core.weak_learner`);
+4. the strong classifier is re-interpreted as a d-dimensional embedding plus
+   a query-sensitive weighted L1 distance (:mod:`repro.core.model`), trained
+   end to end by :class:`repro.core.trainer.BoostMapTrainer`.
+"""
+
+from repro.core.triples import TripleSet, triple_label
+from repro.core.splitters import Interval, GLOBAL_INTERVAL
+from repro.core.weak_classifiers import (
+    classifier_margins,
+    apply_splitter,
+    optimize_alpha,
+    weighted_error,
+)
+from repro.core.adaboost import AdaBoost, BoostingRound, initialize_weights, update_weights
+from repro.core.training_data import (
+    RandomTripleSampler,
+    SelectiveTripleSampler,
+    make_sampler,
+)
+from repro.core.model import CoordinateSpec, ClassifierTerm, QuerySensitiveModel
+from repro.core.trainer import BoostMapTrainer, TrainingConfig, TrainingResult
+
+__all__ = [
+    "TripleSet",
+    "triple_label",
+    "Interval",
+    "GLOBAL_INTERVAL",
+    "classifier_margins",
+    "apply_splitter",
+    "optimize_alpha",
+    "weighted_error",
+    "AdaBoost",
+    "BoostingRound",
+    "initialize_weights",
+    "update_weights",
+    "RandomTripleSampler",
+    "SelectiveTripleSampler",
+    "make_sampler",
+    "CoordinateSpec",
+    "ClassifierTerm",
+    "QuerySensitiveModel",
+    "BoostMapTrainer",
+    "TrainingConfig",
+    "TrainingResult",
+]

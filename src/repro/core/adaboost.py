@@ -1,0 +1,154 @@
+"""AdaBoost (Figure 2 of the paper, after Schapire & Singer 1999).
+
+The generic algorithm is factored out of the embedding-specific trainer so it
+can be tested in isolation (e.g. on a plain binary-classification task) and
+reused.  A *weak learner* here is a callable
+
+``weak_learner(weights, round_index) -> (classifier, margins, alpha, z)``
+
+where ``margins`` are the classifier's real-valued outputs on the fixed
+training set and ``alpha`` is the proposed weight (normally obtained from
+:func:`repro.core.weak_classifiers.optimize_alpha`).  The booster keeps the
+training-weight vector, applies the exponential update of Eq. 6 and stops
+early when the weak learner cannot improve (``alpha <= 0`` or ``z >= 1``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import TrainingError
+
+WeakLearner = Callable[[np.ndarray, int], Tuple[Any, np.ndarray, float, float]]
+
+
+def initialize_weights(n_examples: int) -> np.ndarray:
+    """Uniform initial training weights ``w_{i,1} = 1/t``."""
+    if n_examples <= 0:
+        raise TrainingError("n_examples must be positive")
+    return np.full(n_examples, 1.0 / n_examples)
+
+
+def update_weights(
+    weights: np.ndarray, margins: np.ndarray, labels: np.ndarray, alpha: float
+) -> np.ndarray:
+    """One application of the AdaBoost weight update (Eq. 6).
+
+    ``w_{i,j+1} = w_{i,j} exp(-α_j y_i h_j(x_i)) / z_j`` with ``z_j`` chosen
+    so the new weights sum to one.  Margins are rescaled to unit maximum
+    magnitude before exponentiation, matching the α produced by the
+    confidence-rated optimiser (which folds the same scale into α).
+    """
+    weights = np.asarray(weights, dtype=float)
+    margins = np.asarray(margins, dtype=float)
+    labels = np.asarray(labels, dtype=float)
+    if weights.shape != margins.shape or weights.shape != labels.shape:
+        raise TrainingError("weights, margins and labels must have equal shapes")
+    updated = weights * np.exp(-alpha * labels * margins)
+    total = updated.sum()
+    if not np.isfinite(total) or total <= 0:
+        raise TrainingError("weight update produced a degenerate distribution")
+    return updated / total
+
+
+@dataclass
+class BoostingRound:
+    """Record of one boosting round (for diagnostics and tests)."""
+
+    index: int
+    classifier: Any
+    alpha: float
+    z: float
+    training_error: float
+
+
+@dataclass
+class AdaBoost:
+    """The boosting loop of Figure 2.
+
+    Parameters
+    ----------
+    labels:
+        The ±1 labels of the fixed training set.
+    max_rounds:
+        Maximum number of boosting rounds ``J``.
+    tolerance:
+        Stop when the chosen classifier's ``z`` exceeds ``1 - tolerance``
+        (no measurable progress).
+    """
+
+    labels: np.ndarray
+    max_rounds: int
+    tolerance: float = 1e-6
+
+    def __post_init__(self) -> None:
+        self.labels = np.asarray(self.labels, dtype=float)
+        if self.labels.ndim != 1 or self.labels.shape[0] == 0:
+            raise TrainingError("labels must be a non-empty 1D array")
+        if not np.all(np.isin(self.labels, (-1.0, 1.0))):
+            raise TrainingError("labels must be +1 or -1")
+        if self.max_rounds <= 0:
+            raise TrainingError("max_rounds must be positive")
+        self.weights = initialize_weights(self.labels.shape[0])
+        self.rounds: List[BoostingRound] = []
+        self._ensemble_margins = np.zeros_like(self.labels)
+
+    @property
+    def n_examples(self) -> int:
+        return int(self.labels.shape[0])
+
+    @property
+    def ensemble_margins(self) -> np.ndarray:
+        """Current outputs ``H(x_i) = Σ_j α_j h_j(x_i)`` of the strong classifier."""
+        return self._ensemble_margins.copy()
+
+    def training_error(self) -> float:
+        """Fraction of training examples misclassified by the current ensemble.
+
+        Ties (zero ensemble output) count as half an error.
+        """
+        signs = np.sign(self._ensemble_margins)
+        wrong = float(np.mean(signs * self.labels < 0))
+        ties = float(np.mean(signs == 0))
+        return wrong + 0.5 * ties
+
+    def step(self, classifier: Any, margins: np.ndarray, alpha: float, z: float) -> bool:
+        """Incorporate one weak classifier; returns False if it was rejected.
+
+        A classifier is rejected (and boosting should stop) when its α is not
+        strictly positive or its ``z`` shows no improvement.
+        """
+        if alpha <= 0.0 or z >= 1.0 - self.tolerance:
+            return False
+        margins = np.asarray(margins, dtype=float)
+        if margins.shape != self.labels.shape:
+            raise TrainingError("margins must match the number of training examples")
+        scale = float(np.abs(margins).max())
+        normalized = margins / scale if scale > 0 else margins
+        self.weights = update_weights(self.weights, normalized, self.labels, alpha * scale)
+        self._ensemble_margins = self._ensemble_margins + alpha * margins
+        self.rounds.append(
+            BoostingRound(
+                index=len(self.rounds),
+                classifier=classifier,
+                alpha=float(alpha),
+                z=float(z),
+                training_error=self.training_error(),
+            )
+        )
+        return True
+
+    def fit(self, weak_learner: WeakLearner) -> List[BoostingRound]:
+        """Run up to ``max_rounds`` rounds with the given weak learner."""
+        if not callable(weak_learner):
+            raise TrainingError("weak_learner must be callable")
+        for round_index in range(self.max_rounds):
+            classifier, margins, alpha, z = weak_learner(self.weights, round_index)
+            if classifier is None:
+                break
+            if not self.step(classifier, margins, alpha, z):
+                break
+        return self.rounds

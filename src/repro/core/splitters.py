@@ -1,0 +1,66 @@
+"""Splitters ``S_{F,V}`` — Eq. 4 of the paper.
+
+A splitter decides, from the 1D-embedding value ``F(q)`` of the query alone,
+whether the associated weak classifier should be applied (1) or abstain (0).
+Splitters here are intervals ``V = [low, high]`` of the real line; the global
+interval ``(-inf, +inf)`` accepts every query, which turns a query-sensitive
+classifier back into the query-insensitive classifier of the original
+BoostMap — this degenerate case is how the library implements the
+``QI`` variants with the same code path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+from repro.exceptions import TrainingError
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed interval ``[low, high]`` of the real line.
+
+    ``low`` may be ``-inf`` and ``high`` may be ``+inf``; ``low <= high`` is
+    required.
+    """
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if np.isnan(self.low) or np.isnan(self.high):
+            raise TrainingError("interval bounds must not be NaN")
+        if self.low > self.high:
+            raise TrainingError(
+                f"interval low must not exceed high, got [{self.low}, {self.high}]"
+            )
+
+    @property
+    def is_global(self) -> bool:
+        """Whether the interval accepts every real value."""
+        return np.isneginf(self.low) and np.isposinf(self.high)
+
+    def contains(self, value: Union[float, np.ndarray]) -> Union[bool, np.ndarray]:
+        """Membership test; works element-wise on arrays."""
+        value = np.asarray(value, dtype=float)
+        result = (value >= self.low) & (value <= self.high)
+        if result.ndim == 0:
+            return bool(result)
+        return result
+
+    def __contains__(self, value: float) -> bool:
+        return bool(self.contains(float(value)))
+
+    def width(self) -> float:
+        """Length of the interval (``inf`` for unbounded intervals)."""
+        return float(self.high - self.low)
+
+    def as_tuple(self) -> tuple:
+        return (float(self.low), float(self.high))
+
+
+GLOBAL_INTERVAL = Interval(low=-np.inf, high=np.inf)
+"""The interval accepting every query — the query-insensitive degenerate case."""

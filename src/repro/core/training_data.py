@@ -1,0 +1,173 @@
+"""Training-triple samplers (Sec. 6 of the paper).
+
+Two strategies are provided:
+
+* :class:`RandomTripleSampler` — the original BoostMap strategy (``Ra``):
+  triples are drawn uniformly at random from the training pool, so the
+  embedding is optimised to preserve the *entire* similarity structure.
+* :class:`SelectiveTripleSampler` — the paper's proposal (``Se``): for each
+  triple, ``a`` is one of the ``k1`` nearest neighbors of ``q`` in the
+  training pool and ``b`` is drawn from outside the ``k1`` nearest neighbors,
+  so the embedding concentrates on exactly the comparisons that determine
+  k-nearest-neighbor retrieval.
+
+Both samplers operate on a precomputed distance matrix over the training
+pool ``Xtr`` (its computation is part of the one-time preprocessing cost
+discussed in Sec. 7) and produce a :class:`repro.core.triples.TripleSet`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.triples import TripleSet
+from repro.exceptions import ConfigurationError, TrainingError
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import check_positive_int
+
+
+def _validate_pool_matrix(distances: np.ndarray) -> np.ndarray:
+    matrix = np.asarray(distances, dtype=float)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise TrainingError("pool distance matrix must be square")
+    if matrix.shape[0] < 3:
+        raise TrainingError("the training pool must contain at least 3 objects")
+    return matrix
+
+
+class RandomTripleSampler:
+    """Uniformly random triples — the ``Ra`` strategy of the original BoostMap.
+
+    Triples are drawn with ``q``, ``a`` and ``b`` distinct; labels are derived
+    from the pool distances and tie triples are re-drawn.
+    """
+
+    name = "random"
+
+    def __init__(self, seed: RngLike = None) -> None:
+        self._rng = ensure_rng(seed)
+
+    def sample(self, pool_distances: np.ndarray, n_triples: int) -> TripleSet:
+        """Draw ``n_triples`` labelled triples from the training pool."""
+        n_triples = check_positive_int(n_triples, "n_triples")
+        matrix = _validate_pool_matrix(pool_distances)
+        n = matrix.shape[0]
+        q_list, a_list, b_list = [], [], []
+        attempts = 0
+        max_attempts = 50 * n_triples
+        while len(q_list) < n_triples:
+            attempts += 1
+            if attempts > max_attempts:
+                raise TrainingError(
+                    "could not sample enough non-tie triples; the distance "
+                    "matrix may be degenerate (too many equal distances)"
+                )
+            q = int(self._rng.integers(0, n))
+            a = int(self._rng.integers(0, n))
+            b = int(self._rng.integers(0, n))
+            if q == a or q == b or a == b:
+                continue
+            if matrix[q, a] == matrix[q, b]:
+                continue
+            q_list.append(q)
+            a_list.append(a)
+            b_list.append(b)
+        return TripleSet.from_distance_matrix(
+            np.array(q_list), np.array(a_list), np.array(b_list), matrix
+        )
+
+
+class SelectiveTripleSampler:
+    """Nearest-neighbor-focused triples — the ``Se`` strategy of Sec. 6.
+
+    For each triple:
+
+    1. a training object ``q`` is chosen uniformly at random;
+    2. ``a`` is the ``k'``-nearest neighbor of ``q`` for a random
+       ``k' ∈ {1, ..., k1}``;
+    3. ``b`` is the ``k''``-nearest neighbor of ``q`` for a random
+       ``k'' ∈ {k1+1, ..., |Xtr|-1}``.
+
+    Parameters
+    ----------
+    k1:
+        The near/far threshold.  The paper suggests choosing
+        ``k1 ≈ kmax * |Xtr| / |database|`` so that ``a`` is likely one of the
+        ``kmax`` nearest database neighbors of ``q``
+        (:func:`suggest_k1` implements that guideline).
+    seed:
+        RNG seed.
+    """
+
+    name = "selective"
+
+    def __init__(self, k1: int, seed: RngLike = None) -> None:
+        self.k1 = check_positive_int(k1, "k1")
+        self._rng = ensure_rng(seed)
+
+    def sample(self, pool_distances: np.ndarray, n_triples: int) -> TripleSet:
+        """Draw ``n_triples`` labelled triples focused on k-NN structure."""
+        n_triples = check_positive_int(n_triples, "n_triples")
+        matrix = _validate_pool_matrix(pool_distances)
+        n = matrix.shape[0]
+        if self.k1 >= n - 1:
+            raise TrainingError(
+                f"k1={self.k1} leaves no far neighbors in a pool of {n} objects"
+            )
+        # neighbor_order[q] lists the other pool objects sorted by distance to q.
+        order = np.argsort(matrix, axis=1, kind="stable")
+        neighbor_order = np.empty((n, n - 1), dtype=int)
+        for q in range(n):
+            row = order[q]
+            neighbor_order[q] = row[row != q][: n - 1]
+
+        q_idx = self._rng.integers(0, n, size=n_triples)
+        near_rank = self._rng.integers(0, self.k1, size=n_triples)
+        far_rank = self._rng.integers(self.k1, n - 1, size=n_triples)
+        a_idx = neighbor_order[q_idx, near_rank]
+        b_idx = neighbor_order[q_idx, far_rank]
+
+        # Drop the rare ties (can only happen when several objects are at the
+        # exact same distance from q across the near/far boundary).
+        keep = matrix[q_idx, a_idx] != matrix[q_idx, b_idx]
+        if not np.any(keep):
+            raise TrainingError("all selective triples are ties; degenerate pool")
+        return TripleSet.from_distance_matrix(
+            q_idx[keep], a_idx[keep], b_idx[keep], matrix
+        )
+
+
+def suggest_k1(kmax: int, pool_size: int, database_size: int) -> int:
+    """The paper's guideline for choosing ``k1`` (Sec. 6).
+
+    If we want to retrieve up to ``kmax`` nearest neighbors per query and the
+    training pool holds a fraction ``pool_size / database_size`` of the
+    database, then ``k1 = max(1, round(kmax * pool_size / database_size))``
+    makes ``a`` likely to be among the ``kmax`` nearest database neighbors.
+    """
+    kmax = check_positive_int(kmax, "kmax")
+    pool_size = check_positive_int(pool_size, "pool_size")
+    database_size = check_positive_int(database_size, "database_size")
+    if pool_size > database_size:
+        raise ConfigurationError("pool_size cannot exceed database_size")
+    return max(1, int(round(kmax * pool_size / database_size)))
+
+
+def make_sampler(
+    strategy: str, k1: Optional[int] = None, seed: RngLike = None
+):
+    """Factory used by the trainer: ``"random"`` or ``"selective"``.
+
+    ``k1`` is required (and only meaningful) for the selective strategy.
+    """
+    if strategy == "random":
+        return RandomTripleSampler(seed=seed)
+    if strategy == "selective":
+        if k1 is None:
+            raise ConfigurationError("the selective sampler requires k1")
+        return SelectiveTripleSampler(k1=k1, seed=seed)
+    raise ConfigurationError(
+        f"unknown triple sampling strategy {strategy!r}; expected 'random' or 'selective'"
+    )

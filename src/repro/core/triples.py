@@ -1,0 +1,111 @@
+"""Training triples and proximity labels.
+
+A triple ``(q, a, b)`` asks "is q closer to a or to b?".  Following Sec. 5.1
+of the paper, a triple is of *type 1* if ``q`` is closer to ``a``, *type -1*
+if it is closer to ``b`` and *type 0* if the two distances are equal.  The
+training set excludes type-0 triples (they carry no information), so labels
+are always +1 or -1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from repro.exceptions import TrainingError
+
+
+def triple_label(distance_qa: float, distance_qb: float) -> int:
+    """Return the type of a triple given the two exact distances.
+
+    Returns +1 if ``q`` is closer to ``a``, -1 if closer to ``b`` and 0 on a
+    tie.
+    """
+    if distance_qa < distance_qb:
+        return 1
+    if distance_qa > distance_qb:
+        return -1
+    return 0
+
+
+@dataclass
+class TripleSet:
+    """A set of training triples, stored as index arrays into a training pool.
+
+    Attributes
+    ----------
+    q, a, b:
+        Integer arrays of equal length; entry ``i`` describes the triple
+        ``(pool[q[i]], pool[a[i]], pool[b[i]])``.
+    labels:
+        Array of +1 / -1 labels (``y_i`` in the AdaBoost formulation).
+    """
+
+    q: np.ndarray
+    a: np.ndarray
+    b: np.ndarray
+    labels: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.q = np.asarray(self.q, dtype=int)
+        self.a = np.asarray(self.a, dtype=int)
+        self.b = np.asarray(self.b, dtype=int)
+        self.labels = np.asarray(self.labels, dtype=int)
+        lengths = {arr.shape[0] for arr in (self.q, self.a, self.b, self.labels)}
+        if len(lengths) != 1:
+            raise TrainingError("triple index arrays must have equal length")
+        if self.size == 0:
+            raise TrainingError("a TripleSet must contain at least one triple")
+        if not np.all(np.isin(self.labels, (-1, 1))):
+            raise TrainingError("triple labels must be +1 or -1")
+        if np.any(self.a == self.b):
+            raise TrainingError("triples must have distinct a and b objects")
+
+    @property
+    def size(self) -> int:
+        """Number of triples."""
+        return int(self.q.shape[0])
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __iter__(self) -> Iterator[Tuple[int, int, int, int]]:
+        for i in range(self.size):
+            yield int(self.q[i]), int(self.a[i]), int(self.b[i]), int(self.labels[i])
+
+    def object_indices(self) -> np.ndarray:
+        """Sorted unique indices of all objects appearing in any triple."""
+        return np.unique(np.concatenate([self.q, self.a, self.b]))
+
+    def subset(self, indices: np.ndarray) -> "TripleSet":
+        """A TripleSet containing only the triples at ``indices``."""
+        indices = np.asarray(indices, dtype=int)
+        if indices.size == 0:
+            raise TrainingError("subset requires at least one triple index")
+        return TripleSet(
+            q=self.q[indices],
+            a=self.a[indices],
+            b=self.b[indices],
+            labels=self.labels[indices],
+        )
+
+    @staticmethod
+    def from_distance_matrix(
+        q: np.ndarray, a: np.ndarray, b: np.ndarray, distances: np.ndarray
+    ) -> "TripleSet":
+        """Build a TripleSet, deriving labels from a pool distance matrix.
+
+        Triples whose two distances tie (type 0) are dropped.
+        """
+        q = np.asarray(q, dtype=int)
+        a = np.asarray(a, dtype=int)
+        b = np.asarray(b, dtype=int)
+        d_qa = distances[q, a]
+        d_qb = distances[q, b]
+        labels = np.where(d_qa < d_qb, 1, np.where(d_qa > d_qb, -1, 0))
+        keep = labels != 0
+        if not np.any(keep):
+            raise TrainingError("all proposed triples are ties; cannot build TripleSet")
+        return TripleSet(q=q[keep], a=a[keep], b=b[keep], labels=labels[keep])

@@ -1,0 +1,291 @@
+"""Round-wise weak-classifier generation and selection (Sec. 5.3).
+
+At each boosting round the algorithm
+
+1. draws a large set of random 1D embeddings (reference-object embeddings
+   over random candidates, and pivot embeddings over random candidate pairs);
+2. for each embedding, tries many splitter intervals ``V`` and keeps the one
+   with the best weighted performance at the current round;
+3. returns the single (embedding, interval, α) combination with the lowest
+   ``Z`` value to the boosting loop.
+
+Everything operates on *precomputed value tables*: the distances from every
+candidate object to every training object are computed once (the matrices of
+Sec. 7), so evaluating thousands of candidate classifiers per round touches
+only numpy arrays, never the expensive distance measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.splitters import GLOBAL_INTERVAL, Interval
+from repro.core.triples import TripleSet
+from repro.core.weak_classifiers import (
+    apply_splitter,
+    classifier_margins,
+    optimize_alpha,
+    weighted_error,
+)
+from repro.exceptions import TrainingError
+from repro.utils.rng import RngLike, ensure_rng
+
+
+@dataclass(frozen=True)
+class EmbeddingCandidate:
+    """A candidate 1D embedding evaluated on the training pool.
+
+    Attributes
+    ----------
+    kind:
+        ``"reference"`` or ``"pivot"``.
+    candidate_indices:
+        Indices into the candidate set ``C`` defining the embedding.
+    values:
+        ``F(x)`` for every object ``x`` of the training pool ``Xtr``.
+    """
+
+    kind: str
+    candidate_indices: Tuple[int, ...]
+    values: np.ndarray
+
+    @property
+    def key(self) -> Tuple:
+        return (self.kind,) + tuple(self.candidate_indices)
+
+
+@dataclass
+class ChosenClassifier:
+    """The weak classifier selected at one boosting round."""
+
+    kind: str
+    candidate_indices: Tuple[int, ...]
+    interval: Interval
+    alpha: float
+    z: float
+    error: float
+
+
+class CandidateGenerator:
+    """Draws random 1D embeddings defined over the candidate set ``C``.
+
+    Parameters
+    ----------
+    candidate_to_pool:
+        ``|C| x |Xtr|`` matrix of distances from each candidate object to
+        each training-pool object.
+    candidate_to_candidate:
+        ``|C| x |C|`` matrix of pairwise candidate distances (needed for
+        pivot embeddings; may be ``None`` when ``pivot_fraction == 0``).
+    pivot_fraction:
+        Fraction of generated candidates that are pivot embeddings (the rest
+        are reference embeddings).
+    seed:
+        RNG seed.
+    """
+
+    def __init__(
+        self,
+        candidate_to_pool: np.ndarray,
+        candidate_to_candidate: Optional[np.ndarray] = None,
+        pivot_fraction: float = 0.5,
+        seed: RngLike = None,
+    ) -> None:
+        self.candidate_to_pool = np.asarray(candidate_to_pool, dtype=float)
+        if self.candidate_to_pool.ndim != 2:
+            raise TrainingError("candidate_to_pool must be a 2D matrix")
+        self.n_candidates = self.candidate_to_pool.shape[0]
+        if self.n_candidates < 1:
+            raise TrainingError("need at least one candidate object")
+        if not 0.0 <= pivot_fraction <= 1.0:
+            raise TrainingError("pivot_fraction must be in [0, 1]")
+        if pivot_fraction > 0.0:
+            if candidate_to_candidate is None:
+                raise TrainingError(
+                    "pivot embeddings require the candidate-to-candidate matrix"
+                )
+            candidate_to_candidate = np.asarray(candidate_to_candidate, dtype=float)
+            if candidate_to_candidate.shape != (self.n_candidates, self.n_candidates):
+                raise TrainingError(
+                    "candidate_to_candidate must be square and match candidate_to_pool"
+                )
+            if self.n_candidates < 2:
+                raise TrainingError("pivot embeddings require at least two candidates")
+        self.candidate_to_candidate = candidate_to_candidate
+        self.pivot_fraction = float(pivot_fraction)
+        self._rng = ensure_rng(seed)
+
+    def _reference_candidate(self) -> EmbeddingCandidate:
+        index = int(self._rng.integers(0, self.n_candidates))
+        return EmbeddingCandidate(
+            kind="reference",
+            candidate_indices=(index,),
+            values=self.candidate_to_pool[index],
+        )
+
+    def _pivot_candidate(self) -> Optional[EmbeddingCandidate]:
+        for _ in range(16):
+            i, j = self._rng.choice(self.n_candidates, size=2, replace=False)
+            i, j = int(i), int(j)
+            interpivot = float(self.candidate_to_candidate[i, j])
+            if interpivot > 0.0:
+                d_i = self.candidate_to_pool[i]
+                d_j = self.candidate_to_pool[j]
+                values = (d_i ** 2 + interpivot ** 2 - d_j ** 2) / (2.0 * interpivot)
+                return EmbeddingCandidate(
+                    kind="pivot", candidate_indices=(i, j), values=values
+                )
+        return None  # all sampled pairs coincide; caller falls back to reference
+
+    def generate(self, count: int) -> List[EmbeddingCandidate]:
+        """Draw ``count`` random candidate 1D embeddings."""
+        if count <= 0:
+            raise TrainingError("count must be positive")
+        candidates: List[EmbeddingCandidate] = []
+        for _ in range(count):
+            use_pivot = (
+                self.pivot_fraction > 0.0
+                and self.n_candidates >= 2
+                and self._rng.random() < self.pivot_fraction
+            )
+            candidate = self._pivot_candidate() if use_pivot else None
+            if candidate is None:
+                candidate = self._reference_candidate()
+            candidates.append(candidate)
+        return candidates
+
+
+class TripleWeakLearner:
+    """The weak learner handed to :class:`repro.core.adaboost.AdaBoost`.
+
+    Parameters
+    ----------
+    triples:
+        The training triples (indices into the training pool).
+    generator:
+        Source of random candidate 1D embeddings.
+    classifiers_per_round:
+        How many candidate embeddings to draw per round (the paper's ``m``).
+    intervals_per_candidate:
+        How many random splitter intervals to try for each embedding (only
+        used when ``query_sensitive`` is True; the global interval is always
+        tried as well, so a query-sensitive model can never do worse than the
+        query-insensitive choice on the training data).
+    query_sensitive:
+        Whether to search over splitter intervals at all.
+    min_interval_fraction:
+        Minimum fraction of the triple-object embedding values that a sampled
+        splitter interval must contain.  Narrow intervals fire on very few
+        training queries, which makes them easy to overfit; requiring a
+        minimum coverage is the regularisation that keeps query-sensitive
+        training well-behaved at small training-set sizes (the paper's
+        300,000 triples make this a non-issue at full scale).
+    mode:
+        Alpha-selection mode, ``"confidence"`` or ``"discrete"``
+        (see :func:`repro.core.weak_classifiers.optimize_alpha`).
+    seed:
+        RNG seed for the interval search.
+    """
+
+    def __init__(
+        self,
+        triples: TripleSet,
+        generator: CandidateGenerator,
+        classifiers_per_round: int,
+        intervals_per_candidate: int = 8,
+        query_sensitive: bool = True,
+        min_interval_fraction: float = 0.25,
+        mode: str = "confidence",
+        seed: RngLike = None,
+    ) -> None:
+        if classifiers_per_round <= 0:
+            raise TrainingError("classifiers_per_round must be positive")
+        if intervals_per_candidate < 0:
+            raise TrainingError("intervals_per_candidate must be non-negative")
+        if not 0.0 <= min_interval_fraction <= 1.0:
+            raise TrainingError("min_interval_fraction must be in [0, 1]")
+        if mode not in ("confidence", "discrete"):
+            raise TrainingError(f"unknown mode {mode!r}")
+        self.triples = triples
+        self.generator = generator
+        self.classifiers_per_round = int(classifiers_per_round)
+        self.intervals_per_candidate = int(intervals_per_candidate)
+        self.query_sensitive = bool(query_sensitive)
+        self.min_interval_fraction = float(min_interval_fraction)
+        self.mode = mode
+        self._rng = ensure_rng(seed)
+        self.labels = triples.labels.astype(float)
+
+    def _candidate_intervals(self, candidate: EmbeddingCandidate) -> List[Interval]:
+        """Intervals to try for one candidate embedding.
+
+        The global interval is always included.  Query-sensitive training
+        adds random intervals whose endpoints are drawn from the embedding
+        values of the objects appearing in training triples, as described in
+        Sec. 5.3, constrained to cover at least ``min_interval_fraction`` of
+        those values.
+        """
+        intervals = [GLOBAL_INTERVAL]
+        if not self.query_sensitive or self.intervals_per_candidate == 0:
+            return intervals
+        pool_values = np.sort(candidate.values[self.triples.object_indices()])
+        n_values = pool_values.shape[0]
+        min_span = max(int(np.ceil(self.min_interval_fraction * n_values)), 2)
+        if n_values < min_span:
+            return intervals
+        for _ in range(self.intervals_per_candidate):
+            start = int(self._rng.integers(0, n_values - min_span + 1))
+            end = int(self._rng.integers(start + min_span - 1, n_values))
+            lo, hi = float(pool_values[start]), float(pool_values[end])
+            if lo >= hi:
+                continue
+            intervals.append(Interval(low=lo, high=hi))
+        return intervals
+
+    def _evaluate_candidate(
+        self, candidate: EmbeddingCandidate, weights: np.ndarray
+    ) -> Optional[Tuple[ChosenClassifier, np.ndarray]]:
+        """Best (interval, alpha) for one candidate under the current weights."""
+        values_q = candidate.values[self.triples.q]
+        values_a = candidate.values[self.triples.a]
+        values_b = candidate.values[self.triples.b]
+        base_margins = classifier_margins(values_q, values_a, values_b)
+
+        best: Optional[Tuple[ChosenClassifier, np.ndarray]] = None
+        for interval in self._candidate_intervals(candidate):
+            gated = apply_splitter(base_margins, values_q, interval)
+            margins = np.sign(gated) if self.mode == "discrete" else gated
+            alpha, z = optimize_alpha(margins, self.labels, weights, mode=self.mode)
+            if alpha <= 0.0:
+                continue
+            if best is None or z < best[0].z:
+                chosen = ChosenClassifier(
+                    kind=candidate.kind,
+                    candidate_indices=candidate.candidate_indices,
+                    interval=interval,
+                    alpha=alpha,
+                    z=z,
+                    error=weighted_error(gated, self.labels, weights),
+                )
+                best = (chosen, margins)
+        return best
+
+    def __call__(
+        self, weights: np.ndarray, round_index: int
+    ) -> Tuple[Optional[ChosenClassifier], Optional[np.ndarray], float, float]:
+        """Produce the best weak classifier for the current training weights."""
+        candidates = self.generator.generate(self.classifiers_per_round)
+        best: Optional[Tuple[ChosenClassifier, np.ndarray]] = None
+        for candidate in candidates:
+            result = self._evaluate_candidate(candidate, weights)
+            if result is None:
+                continue
+            if best is None or result[0].z < best[0].z:
+                best = result
+        if best is None:
+            return None, None, 0.0, 1.0
+        chosen, margins = best
+        return chosen, margins, chosen.alpha, chosen.z

@@ -1,0 +1,30 @@
+"""Synthetic dataset generators and the dataset container.
+
+The paper's two workloads are the MNIST handwritten-digit database (with the
+Shape Context distance) and a synthetic time-series database generated from
+seed patterns (with constrained DTW).  Neither original file set can be
+bundled here, so this subpackage provides faithful synthetic equivalents —
+see DESIGN.md for the substitution rationale — plus the Figure 1 toy dataset
+and auxiliary datasets used by tests and extra examples.
+"""
+
+from repro.datasets.base import Dataset, RetrievalSplit
+from repro.datasets.digits import DigitImageGenerator, make_digit_dataset
+from repro.datasets.timeseries import TimeSeriesGenerator, make_timeseries_dataset
+from repro.datasets.toy import ToyUnitSquare, make_toy_dataset
+from repro.datasets.strings import StringMutationGenerator, make_string_dataset
+from repro.datasets.gaussian import make_gaussian_clusters
+
+__all__ = [
+    "Dataset",
+    "RetrievalSplit",
+    "DigitImageGenerator",
+    "make_digit_dataset",
+    "TimeSeriesGenerator",
+    "make_timeseries_dataset",
+    "ToyUnitSquare",
+    "make_toy_dataset",
+    "StringMutationGenerator",
+    "make_string_dataset",
+    "make_gaussian_clusters",
+]

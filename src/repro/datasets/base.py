@@ -1,0 +1,141 @@
+"""Dataset containers.
+
+A :class:`Dataset` is a thin, immutable-ish container of arbitrary objects
+(images, time series, strings, points...) with optional integer labels.  A
+:class:`RetrievalSplit` pairs a database with a disjoint query set — the
+shape of every experiment in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import DatasetError
+from repro.utils.rng import RngLike, ensure_rng
+
+
+@dataclass
+class Dataset:
+    """A collection of objects with optional labels.
+
+    Parameters
+    ----------
+    objects:
+        The raw objects of the space ``X``.  They are kept as-is; distance
+        measures define how they are compared.
+    labels:
+        Optional integer class labels (used by the digit dataset for the
+        nearest-neighbor classification example).
+    name:
+        Human-readable dataset identifier.
+    """
+
+    objects: List[Any]
+    labels: Optional[np.ndarray] = None
+    name: str = "dataset"
+
+    def __post_init__(self) -> None:
+        self.objects = list(self.objects)
+        if len(self.objects) == 0:
+            raise DatasetError("a Dataset must contain at least one object")
+        if self.labels is not None:
+            self.labels = np.asarray(self.labels)
+            if self.labels.shape[0] != len(self.objects):
+                raise DatasetError(
+                    f"labels has length {self.labels.shape[0]}, expected "
+                    f"{len(self.objects)}"
+                )
+
+    def __len__(self) -> int:
+        return len(self.objects)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self.objects)
+
+    def __getitem__(self, index: int) -> Any:
+        return self.objects[index]
+
+    def label_of(self, index: int) -> Optional[int]:
+        """Label of the object at ``index`` (``None`` if the set is unlabeled)."""
+        if self.labels is None:
+            return None
+        return int(self.labels[index])
+
+    def subset(self, indices: Sequence[int], name: Optional[str] = None) -> "Dataset":
+        """A new dataset containing the objects at ``indices`` (shared refs)."""
+        indices = list(indices)
+        if len(indices) == 0:
+            raise DatasetError("subset requires at least one index")
+        labels = None if self.labels is None else self.labels[indices]
+        return Dataset(
+            objects=[self.objects[i] for i in indices],
+            labels=labels,
+            name=name or f"{self.name}[subset]",
+        )
+
+    def sample(
+        self, size: int, seed: RngLike = None, name: Optional[str] = None
+    ) -> "Dataset":
+        """Sample ``size`` objects uniformly without replacement."""
+        if size <= 0 or size > len(self):
+            raise DatasetError(
+                f"sample size must be in [1, {len(self)}], got {size}"
+            )
+        rng = ensure_rng(seed)
+        indices = rng.choice(len(self), size=size, replace=False)
+        return self.subset(indices.tolist(), name=name or f"{self.name}[sample]")
+
+
+@dataclass
+class RetrievalSplit:
+    """A database / query split, the unit of every retrieval experiment.
+
+    The paper always evaluates on query objects that are disjoint from the
+    database (MNIST test vs training set; held-out time series).
+    """
+
+    database: Dataset
+    queries: Dataset
+    name: str = "split"
+
+    def __post_init__(self) -> None:
+        if len(self.database) == 0 or len(self.queries) == 0:
+            raise DatasetError("both database and query sets must be non-empty")
+
+    @property
+    def database_size(self) -> int:
+        return len(self.database)
+
+    @property
+    def query_count(self) -> int:
+        return len(self.queries)
+
+    @staticmethod
+    def from_dataset(
+        dataset: Dataset,
+        n_queries: int,
+        seed: RngLike = None,
+        name: Optional[str] = None,
+    ) -> "RetrievalSplit":
+        """Split one dataset into a disjoint database and query set.
+
+        This mirrors the paper's procedure for the time-series data: merge
+        everything, draw the query set at random, keep the rest as the
+        database.
+        """
+        if n_queries <= 0 or n_queries >= len(dataset):
+            raise DatasetError(
+                "n_queries must be positive and smaller than the dataset size"
+            )
+        rng = ensure_rng(seed)
+        permutation = rng.permutation(len(dataset))
+        query_idx = permutation[:n_queries].tolist()
+        database_idx = permutation[n_queries:].tolist()
+        return RetrievalSplit(
+            database=dataset.subset(database_idx, name=f"{dataset.name}[db]"),
+            queries=dataset.subset(query_idx, name=f"{dataset.name}[queries]"),
+            name=name or f"{dataset.name}-split",
+        )

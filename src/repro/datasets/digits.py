@@ -1,0 +1,200 @@
+"""Synthetic handwritten-digit images.
+
+The paper evaluates on the MNIST database with the Shape Context distance.
+MNIST itself cannot be downloaded in this environment, so this module
+generates MNIST-like 28x28 grayscale digit images from hand-designed stroke
+templates, randomly perturbed with affine transforms (rotation, scale, shear,
+translation), per-control-point jitter, stroke-thickness variation and pixel
+noise.  The result preserves the properties the experiments rely on:
+
+* a large labelled database of small grayscale digit images,
+* strong within-class similarity structure under shape-based distances,
+* enough between-writer-style variation to make retrieval non-trivial.
+
+See DESIGN.md ("Substitutions") for the full rationale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.datasets.base import Dataset
+from repro.exceptions import DatasetError
+from repro.utils.rng import RngLike, ensure_rng
+
+# Each digit is described by one or more polyline strokes with control points
+# in a normalised [0, 1] x [0, 1] coordinate frame (x to the right, y down).
+_DIGIT_STROKES: Dict[int, List[List[Tuple[float, float]]]] = {
+    0: [[(0.50, 0.10), (0.22, 0.30), (0.22, 0.70), (0.50, 0.90),
+         (0.78, 0.70), (0.78, 0.30), (0.50, 0.10)]],
+    1: [[(0.35, 0.25), (0.55, 0.10), (0.55, 0.90)],
+        [(0.35, 0.90), (0.75, 0.90)]],
+    2: [[(0.25, 0.28), (0.40, 0.10), (0.70, 0.15), (0.75, 0.40),
+         (0.45, 0.62), (0.25, 0.90), (0.78, 0.90)]],
+    3: [[(0.25, 0.15), (0.65, 0.12), (0.72, 0.32), (0.48, 0.48),
+         (0.75, 0.65), (0.65, 0.88), (0.25, 0.85)]],
+    4: [[(0.62, 0.90), (0.62, 0.10), (0.22, 0.62), (0.80, 0.62)]],
+    5: [[(0.72, 0.12), (0.30, 0.12), (0.28, 0.48), (0.60, 0.45),
+         (0.75, 0.65), (0.60, 0.88), (0.25, 0.85)]],
+    6: [[(0.68, 0.12), (0.35, 0.35), (0.26, 0.65), (0.45, 0.88),
+         (0.70, 0.75), (0.65, 0.52), (0.30, 0.58)]],
+    7: [[(0.22, 0.12), (0.78, 0.12), (0.45, 0.90)],
+        [(0.35, 0.52), (0.68, 0.52)]],
+    8: [[(0.50, 0.10), (0.28, 0.25), (0.50, 0.46), (0.72, 0.25), (0.50, 0.10)],
+        [(0.50, 0.46), (0.25, 0.68), (0.50, 0.90), (0.75, 0.68), (0.50, 0.46)]],
+    9: [[(0.70, 0.42), (0.40, 0.48), (0.30, 0.25), (0.52, 0.10),
+         (0.72, 0.22), (0.70, 0.42), (0.62, 0.88)]],
+}
+
+
+def _resample_polyline(points: np.ndarray, samples_per_unit: float) -> np.ndarray:
+    """Resample a polyline at (approximately) uniform arc-length spacing."""
+    if points.shape[0] < 2:
+        return points
+    segments = np.diff(points, axis=0)
+    lengths = np.sqrt((segments ** 2).sum(axis=1))
+    total = lengths.sum()
+    n_samples = max(int(np.ceil(total * samples_per_unit)), 2)
+    cumulative = np.concatenate([[0.0], np.cumsum(lengths)])
+    targets = np.linspace(0.0, total, n_samples)
+    resampled = np.empty((n_samples, 2))
+    for axis in range(2):
+        resampled[:, axis] = np.interp(targets, cumulative, points[:, axis])
+    return resampled
+
+
+@dataclass
+class DigitImageGenerator:
+    """Generator of randomly perturbed synthetic digit images.
+
+    Parameters
+    ----------
+    image_size:
+        Output images are square ``image_size x image_size`` arrays with
+        values in [0, 1] (default 28, matching MNIST).
+    max_rotation:
+        Maximum absolute rotation in radians applied to the digit skeleton.
+    max_shear:
+        Maximum absolute shear coefficient.
+    scale_range:
+        Uniform range for isotropic scaling of the skeleton.
+    jitter:
+        Standard deviation (in normalised units) of Gaussian noise added to
+        each stroke control point — the "handwriting" variation.
+    stroke_width_range:
+        Uniform range of the Gaussian stroke radius in pixels.
+    noise_level:
+        Standard deviation of additive pixel noise.
+    """
+
+    image_size: int = 28
+    max_rotation: float = 0.30
+    max_shear: float = 0.25
+    scale_range: Tuple[float, float] = (0.80, 1.10)
+    max_translation: float = 0.08
+    jitter: float = 0.03
+    stroke_width_range: Tuple[float, float] = (0.9, 1.6)
+    noise_level: float = 0.03
+
+    def __post_init__(self) -> None:
+        if self.image_size < 8:
+            raise DatasetError("image_size must be at least 8 pixels")
+        if self.scale_range[0] <= 0 or self.scale_range[0] > self.scale_range[1]:
+            raise DatasetError("scale_range must be a positive increasing pair")
+        if self.stroke_width_range[0] <= 0:
+            raise DatasetError("stroke widths must be positive")
+
+    def render(self, digit: int, rng: RngLike = None) -> np.ndarray:
+        """Render one random instance of ``digit`` as a grayscale image."""
+        if digit not in _DIGIT_STROKES:
+            raise DatasetError(f"digit must be in 0..9, got {digit}")
+        rng = ensure_rng(rng)
+        strokes = [np.asarray(s, dtype=float) for s in _DIGIT_STROKES[digit]]
+
+        angle = rng.uniform(-self.max_rotation, self.max_rotation)
+        shear = rng.uniform(-self.max_shear, self.max_shear)
+        scale = rng.uniform(*self.scale_range)
+        translation = rng.uniform(-self.max_translation, self.max_translation, size=2)
+        stroke_width = rng.uniform(*self.stroke_width_range)
+
+        cos_a, sin_a = np.cos(angle), np.sin(angle)
+        rotation = np.array([[cos_a, -sin_a], [sin_a, cos_a]])
+        shear_matrix = np.array([[1.0, shear], [0.0, 1.0]])
+        transform = scale * rotation @ shear_matrix
+
+        image = np.zeros((self.image_size, self.image_size), dtype=float)
+        for stroke in strokes:
+            jittered = stroke + rng.normal(0.0, self.jitter, size=stroke.shape)
+            centred = jittered - 0.5
+            transformed = centred @ transform.T + 0.5 + translation
+            dense = _resample_polyline(transformed, samples_per_unit=120.0)
+            self._draw_points(image, dense, stroke_width)
+
+        if self.noise_level > 0:
+            image += rng.normal(0.0, self.noise_level, size=image.shape)
+        np.clip(image, 0.0, 1.0, out=image)
+        return image
+
+    def _draw_points(
+        self, image: np.ndarray, points: np.ndarray, stroke_width: float
+    ) -> None:
+        """Stamp a small Gaussian blob at every skeleton point (in place)."""
+        size = self.image_size
+        radius = max(int(np.ceil(2 * stroke_width)), 1)
+        offsets = np.arange(-radius, radius + 1)
+        grid_r, grid_c = np.meshgrid(offsets, offsets, indexing="ij")
+        for x, y in points:
+            col = x * (size - 1)
+            row = y * (size - 1)
+            r0, c0 = int(round(row)), int(round(col))
+            rr = grid_r + r0
+            cc = grid_c + c0
+            valid = (rr >= 0) & (rr < size) & (cc >= 0) & (cc < size)
+            if not valid.any():
+                continue
+            dist2 = (rr - row) ** 2 + (cc - col) ** 2
+            blob = np.exp(-dist2 / (2.0 * stroke_width ** 2))
+            np.maximum.at(image, (rr[valid], cc[valid]), blob[valid])
+
+    def generate(
+        self,
+        n_images: int,
+        digits: Optional[Sequence[int]] = None,
+        seed: RngLike = None,
+        name: str = "synthetic-digits",
+    ) -> Dataset:
+        """Generate a labelled dataset of ``n_images`` digit images."""
+        if n_images <= 0:
+            raise DatasetError("n_images must be positive")
+        digit_pool = list(digits) if digits is not None else list(range(10))
+        for d in digit_pool:
+            if d not in _DIGIT_STROKES:
+                raise DatasetError(f"unknown digit class {d}")
+        rng = ensure_rng(seed)
+        labels = rng.choice(digit_pool, size=n_images)
+        images = [self.render(int(label), rng) for label in labels]
+        return Dataset(objects=images, labels=labels.astype(int), name=name)
+
+
+def make_digit_dataset(
+    n_database: int,
+    n_queries: int,
+    image_size: int = 28,
+    seed: RngLike = 0,
+) -> Tuple[Dataset, Dataset]:
+    """Convenience constructor for a (database, queries) digit pair.
+
+    The two sets are generated from independent RNG streams, mirroring the
+    paper's use of disjoint MNIST training (database) and test (query) sets.
+    """
+    if n_database <= 0 or n_queries <= 0:
+        raise DatasetError("n_database and n_queries must be positive")
+    rng = ensure_rng(seed)
+    db_rng, query_rng = rng.spawn(2)
+    generator = DigitImageGenerator(image_size=image_size)
+    database = generator.generate(n_database, seed=db_rng, name="digits-db")
+    queries = generator.generate(n_queries, seed=query_rng, name="digits-queries")
+    return database, queries

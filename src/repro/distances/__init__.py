@@ -1,0 +1,70 @@
+"""Distance measures and the distance-counting framework.
+
+The paper's entire evaluation is expressed in *numbers of exact distance
+computations* per query, so counting evaluations of the underlying measure
+``D_X`` is a first-class feature of this subpackage
+(:class:`~repro.distances.base.CountingDistance`).
+
+Measures implemented:
+
+* cheap vector measures used in embedding space
+  (:mod:`repro.distances.lp`) including the query-sensitive weighted L1 of
+  Eq. 11;
+* the two expensive measures used in the paper's experiments — the Shape
+  Context distance for images (:mod:`repro.distances.shape_context`) and
+  constrained Dynamic Time Warping for time series
+  (:mod:`repro.distances.dtw`);
+* additional non-metric measures the paper cites as motivating examples
+  (edit distance, Kullback-Leibler, chamfer, Hausdorff).
+"""
+
+from repro.distances.base import (
+    DistanceMeasure,
+    FunctionDistance,
+    CountingDistance,
+    CachedDistance,
+)
+from repro.distances.lp import (
+    LpDistance,
+    L1Distance,
+    L2Distance,
+    WeightedL1Distance,
+    QuerySensitiveL1,
+)
+from repro.distances.dtw import ConstrainedDTW, dtw_distance
+from repro.distances.shape_context import (
+    ShapeContextDistance,
+    ShapeContextExtractor,
+    sample_edge_points,
+)
+from repro.distances.edit import EditDistance, WeightedEditDistance
+from repro.distances.kl import KLDivergence, SymmetricKL, JensenShannonDistance
+from repro.distances.chamfer import ChamferDistance
+from repro.distances.hausdorff import HausdorffDistance
+from repro.distances.matrix import pairwise_distances, cross_distances
+
+__all__ = [
+    "DistanceMeasure",
+    "FunctionDistance",
+    "CountingDistance",
+    "CachedDistance",
+    "LpDistance",
+    "L1Distance",
+    "L2Distance",
+    "WeightedL1Distance",
+    "QuerySensitiveL1",
+    "ConstrainedDTW",
+    "dtw_distance",
+    "ShapeContextDistance",
+    "ShapeContextExtractor",
+    "sample_edge_points",
+    "EditDistance",
+    "WeightedEditDistance",
+    "KLDivergence",
+    "SymmetricKL",
+    "JensenShannonDistance",
+    "ChamferDistance",
+    "HausdorffDistance",
+    "pairwise_distances",
+    "cross_distances",
+]

@@ -1,0 +1,167 @@
+"""Base classes for distance measures.
+
+A *distance measure* in this library is any callable ``d(x, y) -> float``
+over objects of an arbitrary space ``X``.  The paper explicitly targets
+measures that may be non-Euclidean and non-metric (no triangle inequality,
+possibly asymmetric), so the base class makes no metric assumptions; metric
+properties, when present, are advertised through the :attr:`is_metric` flag
+so that components that need them (e.g. the VP-tree index) can check.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Callable, Dict, Hashable, Optional, Tuple
+
+from repro.exceptions import DistanceError
+
+
+class DistanceMeasure(ABC):
+    """Abstract base class for distance measures over an arbitrary space.
+
+    Subclasses implement :meth:`compute`; users call the instance directly.
+
+    Attributes
+    ----------
+    name:
+        Short human-readable identifier used in reports and reprs.
+    is_metric:
+        Whether the measure is known to satisfy the metric axioms.  The two
+        headline measures of the paper (Shape Context, constrained DTW) set
+        this to ``False``.
+    """
+
+    name: str = "distance"
+    is_metric: bool = False
+
+    @abstractmethod
+    def compute(self, x: Any, y: Any) -> float:
+        """Return the distance between objects ``x`` and ``y``."""
+
+    def __call__(self, x: Any, y: Any) -> float:
+        return self.compute(x, y)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class FunctionDistance(DistanceMeasure):
+    """Wrap an arbitrary ``f(x, y) -> float`` as a :class:`DistanceMeasure`.
+
+    Parameters
+    ----------
+    func:
+        The distance function.
+    name:
+        Identifier for reports; defaults to the function's ``__name__``.
+    is_metric:
+        Set to ``True`` only if the wrapped function is known to be metric.
+    """
+
+    def __init__(
+        self,
+        func: Callable[[Any, Any], float],
+        name: Optional[str] = None,
+        is_metric: bool = False,
+    ) -> None:
+        if not callable(func):
+            raise DistanceError("func must be callable")
+        self._func = func
+        self.name = name or getattr(func, "__name__", "function_distance")
+        self.is_metric = bool(is_metric)
+
+    def compute(self, x: Any, y: Any) -> float:
+        return float(self._func(x, y))
+
+
+class CountingDistance(DistanceMeasure):
+    """Wrap a measure and count how many times it is evaluated.
+
+    The count is the cost unit of the whole paper: filter-and-refine retrieval
+    is evaluated by the number of exact distance computations per query.
+
+    Examples
+    --------
+    >>> from repro.distances import L2Distance
+    >>> counting = CountingDistance(L2Distance())
+    >>> _ = counting([0.0], [1.0])
+    >>> counting.calls
+    1
+    """
+
+    def __init__(self, base: DistanceMeasure) -> None:
+        if not isinstance(base, DistanceMeasure):
+            raise DistanceError(
+                "CountingDistance wraps a DistanceMeasure; use FunctionDistance "
+                "to adapt a plain callable first"
+            )
+        self.base = base
+        self.name = f"counting({base.name})"
+        self.is_metric = base.is_metric
+        self.calls = 0
+
+    def compute(self, x: Any, y: Any) -> float:
+        self.calls += 1
+        return self.base.compute(x, y)
+
+    def reset(self) -> int:
+        """Reset the counter, returning the value it had before the reset."""
+        previous = self.calls
+        self.calls = 0
+        return previous
+
+
+class CachedDistance(DistanceMeasure):
+    """Memoise distance evaluations keyed by object identifiers.
+
+    Useful during training, where the same pairs (candidate object, training
+    object) are needed by many weak classifiers.  The cache requires a
+    ``key`` function mapping objects to hashable identifiers; by default the
+    object's ``id()`` is used, which is correct as long as the same Python
+    objects are reused (the dataset containers in :mod:`repro.datasets`
+    guarantee this).
+
+    Note that caching sits *above* counting when composed as
+    ``CachedDistance(CountingDistance(d))``: cache hits are then free, which
+    models the paper's setting where precomputed training distances are a
+    one-time preprocessing cost.
+    """
+
+    def __init__(
+        self,
+        base: DistanceMeasure,
+        key: Optional[Callable[[Any], Hashable]] = None,
+        symmetric: bool = True,
+    ) -> None:
+        if not isinstance(base, DistanceMeasure):
+            raise DistanceError("CachedDistance wraps a DistanceMeasure")
+        self.base = base
+        self.name = f"cached({base.name})"
+        self.is_metric = base.is_metric
+        self._key = key if key is not None else id
+        self._symmetric = bool(symmetric)
+        self._cache: Dict[Tuple[Hashable, Hashable], float] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def compute(self, x: Any, y: Any) -> float:
+        kx, ky = self._key(x), self._key(y)
+        cache_key = (kx, ky)
+        if self._symmetric and ky < kx:
+            cache_key = (ky, kx)
+        if cache_key in self._cache:
+            self.hits += 1
+            return self._cache[cache_key]
+        self.misses += 1
+        value = self.base.compute(x, y)
+        self._cache[cache_key] = value
+        return value
+
+    def clear(self) -> None:
+        """Drop all cached values and reset the hit/miss counters."""
+        self._cache.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._cache)

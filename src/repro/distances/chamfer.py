@@ -1,0 +1,61 @@
+"""Chamfer distance between 2D point sets.
+
+The chamfer distance (Barrow et al., IJCAI 1977) is cited by the paper as
+another widely-used non-metric measure.  It operates on point sets of
+possibly different cardinality, which also makes it a good example of a space
+whose objects are not fixed-dimensional vectors.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+import numpy as np
+
+from repro.distances.base import DistanceMeasure
+from repro.exceptions import DistanceError
+
+PointSet = Union[Sequence[Sequence[float]], np.ndarray]
+
+
+def _as_points(x: PointSet, name: str) -> np.ndarray:
+    arr = np.asarray(x, dtype=float)
+    if arr.ndim == 1:
+        arr = arr.reshape(-1, 1)
+    if arr.ndim != 2 or arr.shape[0] == 0:
+        raise DistanceError(f"{name} must be a non-empty (n, d) array of points")
+    return arr
+
+
+def directed_chamfer(source: np.ndarray, target: np.ndarray) -> float:
+    """Mean distance from each source point to its nearest target point."""
+    diffs = source[:, None, :] - target[None, :, :]
+    dists = np.sqrt(np.einsum("ijk,ijk->ij", diffs, diffs))
+    return float(dists.min(axis=1).mean())
+
+
+class ChamferDistance(DistanceMeasure):
+    """Symmetric chamfer distance (mean of the two directed distances).
+
+    Parameters
+    ----------
+    directed:
+        If ``True``, only the source-to-target direction is used, which makes
+        the measure asymmetric (the form used in template matching).
+    """
+
+    def __init__(self, directed: bool = False) -> None:
+        self.directed = bool(directed)
+        self.name = "chamfer_directed" if directed else "chamfer"
+        self.is_metric = False
+
+    def compute(self, x: PointSet, y: PointSet) -> float:
+        source = _as_points(x, "x")
+        target = _as_points(y, "y")
+        if source.shape[1] != target.shape[1]:
+            raise DistanceError("point sets must have the same dimensionality")
+        forward = directed_chamfer(source, target)
+        if self.directed:
+            return forward
+        backward = directed_chamfer(target, source)
+        return 0.5 * (forward + backward)

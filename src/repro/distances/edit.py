@@ -1,0 +1,115 @@
+"""Edit (Levenshtein) distance for strings and discrete sequences.
+
+The paper cites the edit distance for strings and biological sequences as a
+prototypical computationally-expensive measure that embedding methods must
+handle.  Both the plain Levenshtein distance and a weighted variant (custom
+substitution/indel costs, which in general breaks the metric property) are
+provided, and both accept any sequence of hashable symbols — Python strings,
+lists of tokens, or tuples.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.distances.base import DistanceMeasure
+from repro.exceptions import DistanceError
+
+
+def _check_sequence(x: Sequence[Hashable], name: str) -> Sequence[Hashable]:
+    if isinstance(x, (bytes, bytearray)):
+        return x.decode("utf-8", errors="replace")
+    if not isinstance(x, (str, list, tuple)):
+        raise DistanceError(
+            f"{name} must be a string, list or tuple of symbols, got {type(x).__name__}"
+        )
+    return x
+
+
+class EditDistance(DistanceMeasure):
+    """Classic Levenshtein distance with unit insert/delete/substitute costs."""
+
+    def __init__(self) -> None:
+        self.name = "edit"
+        self.is_metric = True
+
+    def compute(self, x: Sequence[Hashable], y: Sequence[Hashable]) -> float:
+        xs = _check_sequence(x, "x")
+        ys = _check_sequence(y, "y")
+        n, m = len(xs), len(ys)
+        if n == 0:
+            return float(m)
+        if m == 0:
+            return float(n)
+        previous = np.arange(m + 1, dtype=float)
+        current = np.empty(m + 1, dtype=float)
+        for i in range(1, n + 1):
+            current[0] = i
+            for j in range(1, m + 1):
+                substitution = previous[j - 1] + (0.0 if xs[i - 1] == ys[j - 1] else 1.0)
+                current[j] = min(previous[j] + 1.0, current[j - 1] + 1.0, substitution)
+            previous, current = current, previous
+        return float(previous[m])
+
+
+class WeightedEditDistance(DistanceMeasure):
+    """Edit distance with configurable substitution and indel costs.
+
+    Parameters
+    ----------
+    substitution_costs:
+        Mapping ``(symbol_a, symbol_b) -> cost``; missing pairs fall back to
+        ``default_substitution``.  The mapping is looked up in both orders, so
+        an asymmetric table produces an asymmetric (non-metric) measure.
+    insertion_cost, deletion_cost:
+        Costs of inserting/deleting one symbol.
+    default_substitution:
+        Cost of substituting two distinct symbols not found in the table.
+    """
+
+    def __init__(
+        self,
+        substitution_costs: Optional[Dict[Tuple[Hashable, Hashable], float]] = None,
+        insertion_cost: float = 1.0,
+        deletion_cost: float = 1.0,
+        default_substitution: float = 1.0,
+    ) -> None:
+        if insertion_cost < 0 or deletion_cost < 0 or default_substitution < 0:
+            raise DistanceError("edit costs must be non-negative")
+        self.substitution_costs = dict(substitution_costs or {})
+        for cost in self.substitution_costs.values():
+            if cost < 0:
+                raise DistanceError("substitution costs must be non-negative")
+        self.insertion_cost = float(insertion_cost)
+        self.deletion_cost = float(deletion_cost)
+        self.default_substitution = float(default_substitution)
+        self.name = "weighted_edit"
+        self.is_metric = False
+
+    def _substitution(self, a: Hashable, b: Hashable) -> float:
+        if a == b:
+            return 0.0
+        if (a, b) in self.substitution_costs:
+            return self.substitution_costs[(a, b)]
+        if (b, a) in self.substitution_costs:
+            return self.substitution_costs[(b, a)]
+        return self.default_substitution
+
+    def compute(self, x: Sequence[Hashable], y: Sequence[Hashable]) -> float:
+        xs = _check_sequence(x, "x")
+        ys = _check_sequence(y, "y")
+        n, m = len(xs), len(ys)
+        previous = np.arange(m + 1, dtype=float) * self.insertion_cost
+        current = np.empty(m + 1, dtype=float)
+        for i in range(1, n + 1):
+            current[0] = i * self.deletion_cost
+            for j in range(1, m + 1):
+                current[j] = min(
+                    previous[j] + self.deletion_cost,
+                    current[j - 1] + self.insertion_cost,
+                    previous[j - 1] + self._substitution(xs[i - 1], ys[j - 1]),
+                )
+            previous, current = current, previous
+        return float(previous[m])

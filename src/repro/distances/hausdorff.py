@@ -1,0 +1,52 @@
+"""Hausdorff distance between point sets."""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+import numpy as np
+
+from repro.distances.base import DistanceMeasure
+from repro.exceptions import DistanceError
+
+PointSet = Union[Sequence[Sequence[float]], np.ndarray]
+
+
+def _as_points(x: PointSet, name: str) -> np.ndarray:
+    arr = np.asarray(x, dtype=float)
+    if arr.ndim == 1:
+        arr = arr.reshape(-1, 1)
+    if arr.ndim != 2 or arr.shape[0] == 0:
+        raise DistanceError(f"{name} must be a non-empty (n, d) array of points")
+    return arr
+
+
+def directed_hausdorff(source: np.ndarray, target: np.ndarray) -> float:
+    """max over source points of the distance to the nearest target point."""
+    diffs = source[:, None, :] - target[None, :, :]
+    dists = np.sqrt(np.einsum("ijk,ijk->ij", diffs, diffs))
+    return float(dists.min(axis=1).max())
+
+
+class HausdorffDistance(DistanceMeasure):
+    """Symmetric Hausdorff distance between two point sets.
+
+    For point sets under the Euclidean ground distance the symmetric
+    Hausdorff distance is a metric; the directed variant is not.
+    """
+
+    def __init__(self, directed: bool = False) -> None:
+        self.directed = bool(directed)
+        self.name = "hausdorff_directed" if directed else "hausdorff"
+        self.is_metric = not directed
+
+    def compute(self, x: PointSet, y: PointSet) -> float:
+        source = _as_points(x, "x")
+        target = _as_points(y, "y")
+        if source.shape[1] != target.shape[1]:
+            raise DistanceError("point sets must have the same dimensionality")
+        forward = directed_hausdorff(source, target)
+        if self.directed:
+            return forward
+        backward = directed_hausdorff(target, source)
+        return max(forward, backward)

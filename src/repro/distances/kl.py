@@ -1,0 +1,91 @@
+"""Divergence measures for probability distributions.
+
+The Kullback-Leibler divergence is the paper's canonical example of a
+non-metric, asymmetric distance measure.  The symmetric KL and the
+Jensen-Shannon distance are also provided; the latter *is* a metric (its
+square root), which makes it a useful contrast case in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+import numpy as np
+
+from repro.distances.base import DistanceMeasure
+from repro.exceptions import DistanceError
+
+ArrayLike = Union[Sequence[float], np.ndarray]
+
+
+def _as_distribution(x: ArrayLike, name: str, smoothing: float) -> np.ndarray:
+    arr = np.asarray(x, dtype=float)
+    if arr.ndim != 1:
+        raise DistanceError(f"{name} must be a 1D array of probabilities")
+    if arr.size == 0:
+        raise DistanceError(f"{name} must not be empty")
+    if np.any(arr < 0):
+        raise DistanceError(f"{name} must be non-negative")
+    arr = arr + smoothing
+    total = arr.sum()
+    if total <= 0:
+        raise DistanceError(f"{name} must have positive mass")
+    return arr / total
+
+
+class KLDivergence(DistanceMeasure):
+    """Kullback-Leibler divergence ``KL(p || q)`` with additive smoothing.
+
+    Asymmetric and non-metric; inputs are renormalised after smoothing so
+    arbitrary non-negative histograms can be passed directly.
+    """
+
+    def __init__(self, smoothing: float = 1e-10) -> None:
+        if smoothing < 0:
+            raise DistanceError("smoothing must be non-negative")
+        self.smoothing = float(smoothing)
+        self.name = "kl"
+        self.is_metric = False
+
+    def compute(self, x: ArrayLike, y: ArrayLike) -> float:
+        p = _as_distribution(x, "x", self.smoothing)
+        q = _as_distribution(y, "y", self.smoothing)
+        if p.shape != q.shape:
+            raise DistanceError("distributions must have equal length")
+        return float(np.sum(p * np.log(p / q)))
+
+
+class SymmetricKL(DistanceMeasure):
+    """Symmetrised KL divergence ``KL(p||q) + KL(q||p)`` (still non-metric)."""
+
+    def __init__(self, smoothing: float = 1e-10) -> None:
+        self._kl = KLDivergence(smoothing=smoothing)
+        self.name = "symmetric_kl"
+        self.is_metric = False
+
+    def compute(self, x: ArrayLike, y: ArrayLike) -> float:
+        return self._kl.compute(x, y) + self._kl.compute(y, x)
+
+
+class JensenShannonDistance(DistanceMeasure):
+    """Jensen-Shannon distance (square root of the JS divergence).
+
+    Bounded in ``[0, sqrt(log 2)]`` and a true metric, unlike KL.
+    """
+
+    def __init__(self, smoothing: float = 1e-10) -> None:
+        self._kl = KLDivergence(smoothing=smoothing)
+        self.smoothing = float(smoothing)
+        self.name = "jensen_shannon"
+        self.is_metric = True
+
+    def compute(self, x: ArrayLike, y: ArrayLike) -> float:
+        p = _as_distribution(x, "x", self.smoothing)
+        q = _as_distribution(y, "y", self.smoothing)
+        if p.shape != q.shape:
+            raise DistanceError("distributions must have equal length")
+        mid = 0.5 * (p + q)
+        divergence = 0.5 * np.sum(p * np.log(p / mid)) + 0.5 * np.sum(
+            q * np.log(q / mid)
+        )
+        return float(np.sqrt(max(divergence, 0.0)))

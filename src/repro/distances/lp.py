@@ -1,0 +1,177 @@
+"""Lp distances on real vectors, including the query-sensitive weighted L1.
+
+These are the *cheap* distances used in the embedded space.  The paper's
+Eq. 11 defines the query-sensitive measure
+
+.. math::
+
+    D_{out}(q, x) = \\sum_{i=1}^{d} A_i(q)\\,|q_i - x_i|
+
+where the weights ``A_i(q)`` depend on the first argument (the query) only.
+``D_out`` is therefore asymmetric and not a metric; it is implemented here as
+:class:`QuerySensitiveL1`, parameterised by a weighting function.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.distances.base import DistanceMeasure
+from repro.exceptions import DistanceError
+
+ArrayLike = Union[Sequence[float], np.ndarray]
+
+
+def _as_vector(x: ArrayLike, name: str) -> np.ndarray:
+    vec = np.asarray(x, dtype=float)
+    if vec.ndim != 1:
+        raise DistanceError(f"{name} must be a 1D vector, got shape {vec.shape}")
+    return vec
+
+
+def _check_same_length(x: np.ndarray, y: np.ndarray) -> None:
+    if x.shape[0] != y.shape[0]:
+        raise DistanceError(
+            f"vectors must have equal length, got {x.shape[0]} and {y.shape[0]}"
+        )
+
+
+class LpDistance(DistanceMeasure):
+    """The Minkowski :math:`L_p` distance between equal-length real vectors."""
+
+    def __init__(self, p: float = 2.0) -> None:
+        if p <= 0:
+            raise DistanceError(f"p must be positive, got {p}")
+        self.p = float(p)
+        self.name = f"l{p:g}"
+        self.is_metric = p >= 1.0
+
+    def compute(self, x: ArrayLike, y: ArrayLike) -> float:
+        xv = _as_vector(x, "x")
+        yv = _as_vector(y, "y")
+        _check_same_length(xv, yv)
+        diff = np.abs(xv - yv)
+        if np.isinf(self.p):
+            return float(diff.max(initial=0.0))
+        return float(np.power(np.power(diff, self.p).sum(), 1.0 / self.p))
+
+
+class L1Distance(LpDistance):
+    """Manhattan distance, the default vector distance of BoostMap."""
+
+    def __init__(self) -> None:
+        super().__init__(p=1.0)
+        self.name = "l1"
+
+
+class L2Distance(LpDistance):
+    """Euclidean distance."""
+
+    def __init__(self) -> None:
+        super().__init__(p=2.0)
+        self.name = "l2"
+
+
+class WeightedL1Distance(DistanceMeasure):
+    """A *global* (query-insensitive) weighted L1 distance.
+
+    This is the distance used by the original BoostMap algorithm: each
+    coordinate ``i`` carries a fixed weight ``w_i`` (the sum of the boosting
+    weights of all weak classifiers built on that coordinate).
+    """
+
+    def __init__(self, weights: ArrayLike) -> None:
+        w = _as_vector(weights, "weights")
+        if np.any(w < 0):
+            raise DistanceError("weights must be non-negative")
+        if w.size == 0:
+            raise DistanceError("weights must not be empty")
+        self.weights = w
+        self.name = "weighted_l1"
+        self.is_metric = True
+
+    @property
+    def dim(self) -> int:
+        """Dimensionality of the vectors this distance expects."""
+        return int(self.weights.shape[0])
+
+    def compute(self, x: ArrayLike, y: ArrayLike) -> float:
+        xv = _as_vector(x, "x")
+        yv = _as_vector(y, "y")
+        _check_same_length(xv, yv)
+        if xv.shape[0] != self.dim:
+            raise DistanceError(
+                f"expected vectors of dimension {self.dim}, got {xv.shape[0]}"
+            )
+        return float(np.abs(xv - yv).dot(self.weights))
+
+    def batch(self, x: ArrayLike, others: np.ndarray) -> np.ndarray:
+        """Vectorised distances from ``x`` to every row of ``others``."""
+        xv = _as_vector(x, "x")
+        matrix = np.atleast_2d(np.asarray(others, dtype=float))
+        if matrix.shape[1] != xv.shape[0]:
+            raise DistanceError(
+                f"others has {matrix.shape[1]} columns, expected {xv.shape[0]}"
+            )
+        return np.abs(matrix - xv[None, :]).dot(self.weights)
+
+
+class QuerySensitiveL1(DistanceMeasure):
+    """The query-sensitive weighted L1 distance of Eq. 11.
+
+    Parameters
+    ----------
+    weight_fn:
+        Callable mapping a query *vector* to a vector of non-negative
+        coordinate weights ``A(q)`` of the same dimensionality.  For the
+        trained model, this is :meth:`repro.core.model.QuerySensitiveModel.weights`.
+
+    Notes
+    -----
+    The measure is asymmetric by construction: ``compute(q, x)`` weighs
+    coordinates by ``A(q)``, not ``A(x)``.  It is *not* a metric, which is
+    intentional (see the discussion after Eq. 11 in the paper).
+    """
+
+    def __init__(self, weight_fn: Callable[[np.ndarray], np.ndarray]) -> None:
+        if not callable(weight_fn):
+            raise DistanceError("weight_fn must be callable")
+        self._weight_fn = weight_fn
+        self.name = "query_sensitive_l1"
+        self.is_metric = False
+
+    def weights_for(self, query: ArrayLike) -> np.ndarray:
+        """Return the weight vector ``A(q)`` for the given query vector."""
+        q = _as_vector(query, "query")
+        w = np.asarray(self._weight_fn(q), dtype=float)
+        if w.shape != q.shape:
+            raise DistanceError(
+                f"weight_fn returned shape {w.shape}, expected {q.shape}"
+            )
+        if np.any(w < 0):
+            raise DistanceError("weight_fn returned negative weights")
+        return w
+
+    def compute(self, query: ArrayLike, other: ArrayLike) -> float:
+        q = _as_vector(query, "query")
+        x = _as_vector(other, "other")
+        _check_same_length(q, x)
+        w = self.weights_for(q)
+        return float(np.abs(q - x).dot(w))
+
+    def batch(self, query: ArrayLike, others: np.ndarray) -> np.ndarray:
+        """Vectorised distances from ``query`` to every row of ``others``.
+
+        This is the workhorse of the filter step: one call ranks the whole
+        database against the query under the query-sensitive measure.
+        """
+        q = _as_vector(query, "query")
+        matrix = np.atleast_2d(np.asarray(others, dtype=float))
+        if matrix.shape[1] != q.shape[0]:
+            raise DistanceError(
+                f"others has {matrix.shape[1]} columns, expected {q.shape[0]}"
+            )
+        w = self.weights_for(q)
+        return np.abs(matrix - q[None, :]).dot(w)

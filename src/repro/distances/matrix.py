@@ -1,0 +1,78 @@
+"""Distance-matrix helpers used during training preprocessing.
+
+The BoostMap training procedure precomputes all distances between candidate
+objects ``C`` and training objects ``Xtr`` (Sec. 7 of the paper); these
+helpers compute those matrices while exploiting symmetry when applicable and
+reporting progress through an optional callback.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.distances.base import DistanceMeasure
+from repro.exceptions import DistanceError
+
+ProgressCallback = Callable[[int, int], None]
+
+
+def pairwise_distances(
+    distance: DistanceMeasure,
+    objects: Sequence[Any],
+    symmetric: bool = True,
+    progress: Optional[ProgressCallback] = None,
+) -> np.ndarray:
+    """Full pairwise distance matrix over ``objects``.
+
+    Parameters
+    ----------
+    distance:
+        The distance measure to evaluate.
+    objects:
+        Sequence of objects; the result has shape ``(len(objects),) * 2``.
+    symmetric:
+        If ``True`` (default) only the upper triangle is evaluated and
+        mirrored, halving the number of expensive evaluations.  Set to
+        ``False`` for asymmetric measures such as KL divergence.
+    progress:
+        Optional callable ``progress(done, total)`` invoked after each row.
+    """
+    if not isinstance(distance, DistanceMeasure):
+        raise DistanceError("distance must be a DistanceMeasure instance")
+    n = len(objects)
+    matrix = np.zeros((n, n), dtype=float)
+    total = n
+    for i in range(n):
+        start = i + 1 if symmetric else 0
+        for j in range(start, n):
+            value = distance(objects[i], objects[j])
+            matrix[i, j] = value
+            if symmetric:
+                matrix[j, i] = value
+        if progress is not None:
+            progress(i + 1, total)
+    return matrix
+
+
+def cross_distances(
+    distance: DistanceMeasure,
+    rows: Sequence[Any],
+    columns: Sequence[Any],
+    progress: Optional[ProgressCallback] = None,
+) -> np.ndarray:
+    """Distance matrix between two object collections.
+
+    The entry ``[i, j]`` is ``distance(rows[i], columns[j])``.
+    """
+    if not isinstance(distance, DistanceMeasure):
+        raise DistanceError("distance must be a DistanceMeasure instance")
+    matrix = np.zeros((len(rows), len(columns)), dtype=float)
+    total = len(rows)
+    for i, row_obj in enumerate(rows):
+        for j, col_obj in enumerate(columns):
+            matrix[i, j] = distance(row_obj, col_obj)
+        if progress is not None:
+            progress(i + 1, total)
+    return matrix

@@ -1,0 +1,353 @@
+"""Shape Context distance for grayscale digit images.
+
+This module reproduces, at laptop scale, the expensive image distance the
+paper uses on MNIST (Belongie, Malik & Puzicha: "Shape matching and object
+recognition using shape contexts", PAMI 2002).  The distance between two
+images is a weighted sum of three terms, exactly as the paper describes:
+
+1. the cost of matching shape-context histograms between sampled edge points
+   of the two images (a bipartite matching solved with the Hungarian
+   algorithm);
+2. an alignment cost — the residual of the best similarity transform mapping
+   the matched points of one image onto the other (the original work uses
+   thin-plate splines; a similarity transform preserves the behaviour while
+   being much cheaper, see DESIGN.md);
+3. an appearance cost — sum of squared intensity differences between small
+   image windows centred at matched point locations.
+
+The resulting measure is computationally expensive relative to an L1 distance
+between short vectors (the whole point of the paper) and is **not** a metric:
+it is symmetrised by averaging both directions, but it does not satisfy the
+triangle inequality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+from scipy.optimize import linear_sum_assignment
+
+from repro.distances.base import DistanceMeasure
+from repro.exceptions import DistanceError
+
+
+def _binarize(image: np.ndarray, threshold: float) -> np.ndarray:
+    """Return a boolean mask of "ink" pixels."""
+    if image.ndim != 2:
+        raise DistanceError(f"images must be 2D arrays, got ndim={image.ndim}")
+    peak = float(image.max()) if image.size else 0.0
+    if peak <= 0.0:
+        return np.zeros_like(image, dtype=bool)
+    return image >= threshold * peak
+
+
+def _edge_mask(ink: np.ndarray) -> np.ndarray:
+    """Boundary pixels of the ink mask (ink pixels with a background neighbor)."""
+    if not ink.any():
+        return ink
+    padded = np.pad(ink, 1, mode="constant", constant_values=False)
+    neighbors = (
+        padded[:-2, 1:-1]
+        & padded[2:, 1:-1]
+        & padded[1:-1, :-2]
+        & padded[1:-1, 2:]
+    )
+    return ink & ~neighbors
+
+
+def sample_edge_points(
+    image: np.ndarray,
+    n_points: int,
+    threshold: float = 0.5,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Sample ``n_points`` (row, col) positions along the shape boundary.
+
+    If the image has fewer boundary pixels than requested, points are sampled
+    with replacement; a blank image yields points at the image centre so that
+    the distance remains defined (and large against non-blank images).
+    """
+    if n_points <= 0:
+        raise DistanceError("n_points must be positive")
+    rng = rng if rng is not None else np.random.default_rng(0)
+    ink = _binarize(np.asarray(image, dtype=float), threshold)
+    edges = _edge_mask(ink)
+    coords = np.argwhere(edges if edges.any() else ink)
+    if coords.shape[0] == 0:
+        center = np.array(image.shape, dtype=float) / 2.0
+        return np.tile(center, (n_points, 1))
+    if coords.shape[0] >= n_points:
+        # Deterministic stride-based subsampling keeps the outline coverage
+        # even and makes the extraction reproducible without an RNG.
+        order = np.argsort(coords[:, 0] * image.shape[1] + coords[:, 1])
+        idx = np.linspace(0, coords.shape[0] - 1, n_points).astype(int)
+        return coords[order[idx]].astype(float)
+    extra = rng.integers(0, coords.shape[0], size=n_points - coords.shape[0])
+    chosen = np.concatenate([np.arange(coords.shape[0]), extra])
+    return coords[chosen].astype(float)
+
+
+@dataclass
+class ShapeContextExtractor:
+    """Compute log-polar shape-context histograms for sampled edge points.
+
+    Parameters
+    ----------
+    n_points:
+        Number of edge points sampled per image (the original work uses 100;
+        the scaled-down default keeps the Hungarian matching fast).
+    n_radial_bins, n_angular_bins:
+        Log-polar histogram resolution (5 x 12 in the original work).
+    threshold:
+        Ink threshold as a fraction of the image maximum.
+    """
+
+    n_points: int = 24
+    n_radial_bins: int = 5
+    n_angular_bins: int = 12
+    threshold: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.n_points <= 1:
+            raise DistanceError("n_points must be at least 2")
+        if self.n_radial_bins <= 0 or self.n_angular_bins <= 0:
+            raise DistanceError("histogram bin counts must be positive")
+
+    def extract(self, image: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Return ``(points, histograms)`` for an image.
+
+        ``points`` has shape ``(n_points, 2)`` and ``histograms`` has shape
+        ``(n_points, n_radial_bins * n_angular_bins)``; each histogram is
+        normalised to sum to one.
+        """
+        points = sample_edge_points(image, self.n_points, self.threshold)
+        return points, self.histograms(points)
+
+    def histograms(self, points: np.ndarray) -> np.ndarray:
+        """Log-polar histograms of the relative positions of all other points."""
+        pts = np.asarray(points, dtype=float)
+        n = pts.shape[0]
+        if n < 2:
+            raise DistanceError("need at least two points for shape contexts")
+        deltas = pts[None, :, :] - pts[:, None, :]
+        dists = np.sqrt(np.einsum("ijk,ijk->ij", deltas, deltas))
+        angles = np.arctan2(deltas[..., 0], deltas[..., 1])  # row, col order
+
+        # Normalise distances by the mean pairwise distance for scale
+        # invariance, as in the original formulation.
+        off_diagonal = ~np.eye(n, dtype=bool)
+        mean_dist = dists[off_diagonal].mean()
+        if mean_dist <= 0:
+            mean_dist = 1.0
+        norm_dists = dists / mean_dist
+
+        # Log-spaced radial bin edges from r=0.125 to r=2 (relative units).
+        radial_edges = np.logspace(
+            np.log10(0.125), np.log10(2.0), self.n_radial_bins + 1
+        )
+        radial_idx = np.digitize(norm_dists, radial_edges) - 1
+        radial_idx = np.clip(radial_idx, 0, self.n_radial_bins - 1)
+        angular_idx = (
+            ((angles + np.pi) / (2 * np.pi) * self.n_angular_bins).astype(int)
+            % self.n_angular_bins
+        )
+        bin_idx = radial_idx * self.n_angular_bins + angular_idx
+
+        n_bins = self.n_radial_bins * self.n_angular_bins
+        histograms = np.zeros((n, n_bins), dtype=float)
+        for i in range(n):
+            counts = np.bincount(
+                bin_idx[i][off_diagonal[i]], minlength=n_bins
+            ).astype(float)
+            total = counts.sum()
+            histograms[i] = counts / total if total > 0 else counts
+        return histograms
+
+
+def _chi2_cost_matrix(h1: np.ndarray, h2: np.ndarray) -> np.ndarray:
+    """Pairwise chi-squared costs between two sets of histograms."""
+    num = (h1[:, None, :] - h2[None, :, :]) ** 2
+    den = h1[:, None, :] + h2[None, :, :]
+    with np.errstate(divide="ignore", invalid="ignore"):
+        terms = np.where(den > 0, num / den, 0.0)
+    return 0.5 * terms.sum(axis=2)
+
+
+def _similarity_residual(source: np.ndarray, target: np.ndarray) -> float:
+    """Mean residual after the best least-squares similarity transform.
+
+    Serves as the alignment-cost term: images whose matched points can be
+    superimposed by translation + rotation + scale get a small cost.
+    """
+    src = source - source.mean(axis=0)
+    tgt = target - target.mean(axis=0)
+    src_norm = np.sqrt((src ** 2).sum())
+    if src_norm <= 1e-12:
+        return float(np.sqrt((tgt ** 2).sum(axis=1)).mean())
+    # Procrustes: optimal rotation from SVD of the cross-covariance.
+    u, s, vt = np.linalg.svd(tgt.T @ src)
+    rotation = u @ vt
+    scale = s.sum() / (src_norm ** 2)
+    aligned = scale * (src @ rotation.T)
+    residuals = np.sqrt(((aligned - tgt) ** 2).sum(axis=1))
+    return float(residuals.mean())
+
+
+def _window_cost(
+    image1: np.ndarray,
+    image2: np.ndarray,
+    points1: np.ndarray,
+    points2: np.ndarray,
+    half_window: int,
+) -> float:
+    """Mean squared intensity difference between matched image windows."""
+    if half_window <= 0:
+        return 0.0
+    total = 0.0
+    count = 0
+    for (r1, c1), (r2, c2) in zip(points1, points2):
+        w1 = _extract_window(image1, int(round(r1)), int(round(c1)), half_window)
+        w2 = _extract_window(image2, int(round(r2)), int(round(c2)), half_window)
+        total += float(((w1 - w2) ** 2).mean())
+        count += 1
+    return total / count if count else 0.0
+
+
+def _extract_window(
+    image: np.ndarray, row: int, col: int, half_window: int
+) -> np.ndarray:
+    size = 2 * half_window + 1
+    window = np.zeros((size, size), dtype=float)
+    r_lo, r_hi = row - half_window, row + half_window + 1
+    c_lo, c_hi = col - half_window, col + half_window + 1
+    rr_lo, rr_hi = max(r_lo, 0), min(r_hi, image.shape[0])
+    cc_lo, cc_hi = max(c_lo, 0), min(c_hi, image.shape[1])
+    if rr_lo < rr_hi and cc_lo < cc_hi:
+        window[
+            rr_lo - r_lo : rr_hi - r_lo, cc_lo - c_lo : cc_hi - c_lo
+        ] = image[rr_lo:rr_hi, cc_lo:cc_hi]
+    return window
+
+
+class ShapeContextDistance(DistanceMeasure):
+    """Shape Context distance between two grayscale images.
+
+    Parameters
+    ----------
+    n_points:
+        Edge points sampled per image.
+    matching_weight, alignment_weight, appearance_weight:
+        Weights of the three cost terms (histogram matching, alignment
+        residual, window appearance).  Defaults follow the spirit of [4]:
+        matching dominates, appearance is a mild tie-breaker.
+    half_window:
+        Half-size of the appearance windows; ``0`` disables the appearance
+        term.
+    normalize_images:
+        If ``True`` (default) images are rescaled to [0, 1] before the
+        appearance term is computed, making the measure invariant to the
+        intensity scale of the input.
+    cache_features:
+        If ``True`` (default), the sampled edge points and their shape-context
+        histograms are memoised per image object (keyed by ``id``).  Feature
+        extraction is a per-object preprocessing step; the pairwise work
+        (χ² costs, Hungarian matching, alignment, appearance) is always
+        recomputed.  Disable only when image arrays are mutated in place
+        between calls.
+    """
+
+    def __init__(
+        self,
+        n_points: int = 24,
+        n_radial_bins: int = 5,
+        n_angular_bins: int = 12,
+        matching_weight: float = 1.0,
+        alignment_weight: float = 0.3,
+        appearance_weight: float = 0.1,
+        half_window: int = 2,
+        normalize_images: bool = True,
+        cache_features: bool = True,
+    ) -> None:
+        if min(matching_weight, alignment_weight, appearance_weight) < 0:
+            raise DistanceError("cost-term weights must be non-negative")
+        self.extractor = ShapeContextExtractor(
+            n_points=n_points,
+            n_radial_bins=n_radial_bins,
+            n_angular_bins=n_angular_bins,
+        )
+        self.matching_weight = float(matching_weight)
+        self.alignment_weight = float(alignment_weight)
+        self.appearance_weight = float(appearance_weight)
+        self.half_window = int(half_window)
+        self.normalize_images = bool(normalize_images)
+        self.cache_features = bool(cache_features)
+        self._feature_cache: dict = {}
+        self.name = "shape_context"
+        self.is_metric = False
+
+    def _prepare(self, image: np.ndarray) -> np.ndarray:
+        img = np.asarray(image, dtype=float)
+        if img.ndim != 2:
+            raise DistanceError("images must be 2D grayscale arrays")
+        if self.normalize_images:
+            peak = img.max()
+            if peak > 0:
+                img = img / peak
+        return img
+
+    def _features(
+        self, original: np.ndarray, prepared: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Sampled points and histograms, memoised per original image object."""
+        if not self.cache_features:
+            return self.extractor.extract(prepared)
+        key = id(original)
+        if key not in self._feature_cache:
+            self._feature_cache[key] = self.extractor.extract(prepared)
+        return self._feature_cache[key]
+
+    def clear_cache(self) -> None:
+        """Drop all memoised per-image features."""
+        self._feature_cache.clear()
+
+    def _directed(
+        self,
+        image1: np.ndarray,
+        image2: np.ndarray,
+        features1: Tuple[np.ndarray, np.ndarray],
+        features2: Tuple[np.ndarray, np.ndarray],
+    ) -> float:
+        points1, hist1 = features1
+        points2, hist2 = features2
+        costs = _chi2_cost_matrix(hist1, hist2)
+        rows, cols = linear_sum_assignment(costs)
+        matching_cost = float(costs[rows, cols].mean())
+        matched1 = points1[rows]
+        matched2 = points2[cols]
+        alignment_cost = _similarity_residual(matched1, matched2)
+        # Alignment residual is in pixel units; normalise by the image
+        # diagonal so the term is scale-free like the other two.
+        diagonal = float(np.hypot(*image1.shape))
+        if diagonal > 0:
+            alignment_cost /= diagonal
+        appearance_cost = _window_cost(
+            image1, image2, matched1, matched2, self.half_window
+        )
+        return (
+            self.matching_weight * matching_cost
+            + self.alignment_weight * alignment_cost
+            + self.appearance_weight * appearance_cost
+        )
+
+    def compute(self, x: np.ndarray, y: np.ndarray) -> float:
+        img1 = self._prepare(x)
+        img2 = self._prepare(y)
+        features1 = self._features(x, img1)
+        features2 = self._features(y, img2)
+        # Symmetrise by averaging both directions (the χ² matching term is
+        # symmetric; the alignment and appearance terms are not).
+        forward = self._directed(img1, img2, features1, features2)
+        backward = self._directed(img2, img1, features2, features1)
+        return 0.5 * (forward + backward)

@@ -1,0 +1,29 @@
+"""Embeddings from an arbitrary space ``X`` into real vector spaces.
+
+The building blocks are the two families of one-dimensional embeddings
+defined in Sec. 3.1 of the paper — reference-object embeddings
+``F^r(x) = D_X(x, r)`` and FastMap-style pivot ("line projection")
+embeddings ``F^{x1,x2}`` — plus ways of composing them into d-dimensional
+embeddings.  FastMap and Lipschitz embeddings, the non-learned baselines, are
+implemented here as well; the learned BoostMap / query-sensitive embeddings
+live in :mod:`repro.core`.
+"""
+
+from repro.embeddings.base import Embedding, OneDimensionalEmbedding
+from repro.embeddings.reference import ReferenceEmbedding
+from repro.embeddings.pivot import PivotEmbedding
+from repro.embeddings.composite import CompositeEmbedding
+from repro.embeddings.lipschitz import LipschitzEmbedding, build_lipschitz_embedding
+from repro.embeddings.fastmap import FastMapEmbedding, build_fastmap_embedding
+
+__all__ = [
+    "Embedding",
+    "OneDimensionalEmbedding",
+    "ReferenceEmbedding",
+    "PivotEmbedding",
+    "CompositeEmbedding",
+    "LipschitzEmbedding",
+    "build_lipschitz_embedding",
+    "FastMapEmbedding",
+    "build_fastmap_embedding",
+]

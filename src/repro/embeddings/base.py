@@ -1,0 +1,93 @@
+"""Embedding base classes.
+
+An :class:`Embedding` maps objects of an arbitrary space into ``R^d``.  What
+matters for the paper's cost accounting is :attr:`Embedding.cost`: the number
+of exact distance evaluations ``D_X`` required to embed one previously
+unseen object (Sec. 7: "computing the d-dimensional embedding of a query
+object takes O(d) time and requires O(d) evaluations of D_X").
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Iterable, List, Sequence
+
+import numpy as np
+
+from repro.exceptions import EmbeddingError
+
+
+class Embedding(ABC):
+    """Abstract base class for embeddings ``F : X -> R^d``."""
+
+    @property
+    @abstractmethod
+    def dim(self) -> int:
+        """Dimensionality ``d`` of the output vectors."""
+
+    @property
+    @abstractmethod
+    def cost(self) -> int:
+        """Number of exact ``D_X`` evaluations needed to embed one object."""
+
+    @abstractmethod
+    def embed(self, obj: Any) -> np.ndarray:
+        """Map a single object to its ``d``-dimensional vector."""
+
+    def embed_many(self, objects: Iterable[Any]) -> np.ndarray:
+        """Embed an iterable of objects into a ``(n, d)`` matrix."""
+        vectors = [self.embed(obj) for obj in objects]
+        if not vectors:
+            return np.zeros((0, self.dim), dtype=float)
+        return np.vstack(vectors)
+
+    def __call__(self, obj: Any) -> np.ndarray:
+        return self.embed(obj)
+
+
+class OneDimensionalEmbedding(Embedding):
+    """Base class for the 1D embeddings used as weak-classifier building blocks.
+
+    Subclasses implement :meth:`value`; ``embed`` wraps the scalar into a
+    length-1 vector so 1D embeddings compose transparently with the rest of
+    the library.
+
+    Attributes
+    ----------
+    anchor_objects:
+        The objects of ``X`` whose distances to the input are needed to
+        compute the embedding (one reference object, or two pivot objects).
+        The union of anchors across coordinates determines the embedding cost
+        of a composite embedding, because a distance to a shared anchor needs
+        to be computed only once.
+    """
+
+    anchor_objects: List[Any] = []
+
+    @abstractmethod
+    def value(self, obj: Any) -> float:
+        """The scalar embedding ``F(obj)``."""
+
+    @abstractmethod
+    def value_from_distances(self, distances: Sequence[float]) -> float:
+        """Compute ``F(obj)`` from precomputed distances to the anchors.
+
+        ``distances[i]`` must equal ``D_X(obj, anchor_objects[i])``.  Training
+        uses this path so that boosting never re-evaluates the expensive
+        distance measure.
+        """
+
+    @property
+    def dim(self) -> int:
+        return 1
+
+    @property
+    def cost(self) -> int:
+        return len(self.anchor_objects)
+
+    def embed(self, obj: Any) -> np.ndarray:
+        return np.array([self.value(obj)], dtype=float)
+
+    def describe(self) -> str:
+        """Short human-readable description used in model summaries."""
+        return type(self).__name__

@@ -1,0 +1,103 @@
+"""Lipschitz embeddings (Bourgain-style, as surveyed by Hjaltason & Samet).
+
+A Lipschitz embedding maps ``x`` to the vector of its distances to a
+collection of *reference sets* ``A_1 ... A_d``:
+``F(x) = (D_X(x, A_1), ..., D_X(x, A_d))`` with
+``D_X(x, A) = min_{a in A} D_X(x, a)``.  With singleton reference sets this
+reduces to a vector of reference-object embeddings, which is the common
+practical variant and the one most comparable to BoostMap's building blocks.
+
+The paper discusses Lipschitz embeddings as prior work; they are included
+both for completeness and as an additional non-learned baseline in the
+ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+import numpy as np
+
+from repro.datasets.base import Dataset
+from repro.distances.base import DistanceMeasure
+from repro.embeddings.base import Embedding
+from repro.exceptions import EmbeddingError
+from repro.utils.rng import RngLike, ensure_rng
+
+
+class LipschitzEmbedding(Embedding):
+    """Embedding by distances to reference sets.
+
+    Parameters
+    ----------
+    distance:
+        The underlying distance measure ``D_X``.
+    reference_sets:
+        A list of non-empty lists of objects; coordinate ``i`` of the
+        embedding is the minimum distance from the input to the objects of
+        ``reference_sets[i]``.
+    """
+
+    def __init__(
+        self, distance: DistanceMeasure, reference_sets: Sequence[Sequence[Any]]
+    ) -> None:
+        if not isinstance(distance, DistanceMeasure):
+            raise EmbeddingError("distance must be a DistanceMeasure instance")
+        sets = [list(ref_set) for ref_set in reference_sets]
+        if not sets:
+            raise EmbeddingError("at least one reference set is required")
+        for ref_set in sets:
+            if not ref_set:
+                raise EmbeddingError("reference sets must be non-empty")
+        self.distance = distance
+        self.reference_sets = sets
+
+    @property
+    def dim(self) -> int:
+        return len(self.reference_sets)
+
+    @property
+    def cost(self) -> int:
+        return sum(len(ref_set) for ref_set in self.reference_sets)
+
+    def embed(self, obj: Any) -> np.ndarray:
+        values = np.empty(self.dim, dtype=float)
+        for i, ref_set in enumerate(self.reference_sets):
+            values[i] = min(float(self.distance(obj, ref)) for ref in ref_set)
+        return values
+
+
+def build_lipschitz_embedding(
+    distance: DistanceMeasure,
+    database: Dataset,
+    dim: int,
+    set_size: int = 1,
+    seed: RngLike = 0,
+) -> LipschitzEmbedding:
+    """Build a Lipschitz embedding with randomly drawn reference sets.
+
+    Parameters
+    ----------
+    distance:
+        The underlying distance measure.
+    database:
+        Dataset from which reference objects are drawn.
+    dim:
+        Number of reference sets (output dimensionality).
+    set_size:
+        Size of each reference set (1 = plain reference-object embedding).
+    seed:
+        RNG seed.
+    """
+    if dim <= 0:
+        raise EmbeddingError("dim must be positive")
+    if set_size <= 0:
+        raise EmbeddingError("set_size must be positive")
+    if set_size > len(database):
+        raise EmbeddingError("set_size cannot exceed the database size")
+    rng = ensure_rng(seed)
+    reference_sets: List[List[Any]] = []
+    for _ in range(dim):
+        indices = rng.choice(len(database), size=set_size, replace=False)
+        reference_sets.append([database[i] for i in indices])
+    return LipschitzEmbedding(distance, reference_sets)

@@ -1,0 +1,88 @@
+"""Pivot-pair ("line projection") 1D embeddings — Eq. 2 of the paper.
+
+``F^{x1,x2}(x)`` projects ``x`` onto the "line" defined by two pivot objects
+``x1`` and ``x2``:
+
+.. math::
+
+    F^{x_1,x_2}(x) = \\frac{D_X(x, x_1)^2 + D_X(x_1, x_2)^2 - D_X(x, x_2)^2}
+                          {2\\,D_X(x_1, x_2)}
+
+This is the building block of FastMap (Faloutsos & Lin, 1995); the geometric
+interpretation via the Pythagorean theorem holds exactly in Euclidean spaces
+and approximately elsewhere.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence
+
+from repro.distances.base import DistanceMeasure
+from repro.embeddings.base import OneDimensionalEmbedding
+from repro.exceptions import EmbeddingError
+
+
+class PivotEmbedding(OneDimensionalEmbedding):
+    """The 1D embedding defined by a pair of pivot objects.
+
+    Parameters
+    ----------
+    distance:
+        The underlying distance measure ``D_X``.
+    pivot1, pivot2:
+        The two pivot objects.  They must not coincide under ``D_X``
+        (``D_X(x1, x2) > 0``), otherwise the projection is undefined.
+    interpivot_distance:
+        ``D_X(pivot1, pivot2)`` if already known; passing it avoids one
+        expensive evaluation.
+    pivot_ids:
+        Optional pair of identifiers used only for reporting/serialization.
+    """
+
+    def __init__(
+        self,
+        distance: DistanceMeasure,
+        pivot1: Any,
+        pivot2: Any,
+        interpivot_distance: float = None,
+        pivot_ids: Any = None,
+    ) -> None:
+        if not isinstance(distance, DistanceMeasure):
+            raise EmbeddingError("distance must be a DistanceMeasure instance")
+        self.distance = distance
+        self.pivot1 = pivot1
+        self.pivot2 = pivot2
+        self.pivot_ids = tuple(pivot_ids) if pivot_ids is not None else None
+        if interpivot_distance is None:
+            interpivot_distance = float(distance(pivot1, pivot2))
+        if interpivot_distance <= 0.0:
+            raise EmbeddingError(
+                "pivot objects must be at a strictly positive distance; got "
+                f"{interpivot_distance}"
+            )
+        self.interpivot_distance = float(interpivot_distance)
+        self.anchor_objects: List[Any] = [pivot1, pivot2]
+
+    def value(self, obj: Any) -> float:
+        d1 = float(self.distance(obj, self.pivot1))
+        d2 = float(self.distance(obj, self.pivot2))
+        return self._project(d1, d2)
+
+    def value_from_distances(self, distances: Sequence[float]) -> float:
+        if len(distances) != 2:
+            raise EmbeddingError(
+                f"PivotEmbedding expects 2 precomputed distances, got {len(distances)}"
+            )
+        return self._project(float(distances[0]), float(distances[1]))
+
+    def _project(self, d1: float, d2: float) -> float:
+        numerator = d1 ** 2 + self.interpivot_distance ** 2 - d2 ** 2
+        return numerator / (2.0 * self.interpivot_distance)
+
+    def describe(self) -> str:
+        if self.pivot_ids is not None:
+            return f"F^(x1={self.pivot_ids[0]},x2={self.pivot_ids[1]})"
+        return "F^(x1,x2)"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PivotEmbedding(pivot_ids={self.pivot_ids!r})"

@@ -1,0 +1,58 @@
+"""Reference-object ("vantage object") 1D embeddings — Eq. 1 of the paper.
+
+``F^r(x) = D_X(x, r)``: the embedding of ``x`` is simply its distance to a
+fixed reference object ``r``.  If two objects are similar, their distances to
+``r`` tend to be similar, so ``F^r`` maps similar objects to nearby reals.
+When ``D_X`` is a metric, ``F^r`` is 1-Lipschitz:
+``|F^r(x) - F^r(y)| <= D_X(x, y)`` — a property the test suite checks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence
+
+from repro.distances.base import DistanceMeasure
+from repro.embeddings.base import OneDimensionalEmbedding
+from repro.exceptions import EmbeddingError
+
+
+class ReferenceEmbedding(OneDimensionalEmbedding):
+    """The 1D embedding ``F^r(x) = D_X(x, r)``.
+
+    Parameters
+    ----------
+    distance:
+        The underlying (possibly expensive) distance measure ``D_X``.
+    reference:
+        The reference object ``r``.
+    reference_id:
+        Optional identifier (e.g. a database index) used only for reporting
+        and serialization.
+    """
+
+    def __init__(
+        self, distance: DistanceMeasure, reference: Any, reference_id: Any = None
+    ) -> None:
+        if not isinstance(distance, DistanceMeasure):
+            raise EmbeddingError("distance must be a DistanceMeasure instance")
+        self.distance = distance
+        self.reference = reference
+        self.reference_id = reference_id
+        self.anchor_objects: List[Any] = [reference]
+
+    def value(self, obj: Any) -> float:
+        return float(self.distance(obj, self.reference))
+
+    def value_from_distances(self, distances: Sequence[float]) -> float:
+        if len(distances) != 1:
+            raise EmbeddingError(
+                f"ReferenceEmbedding expects 1 precomputed distance, got {len(distances)}"
+            )
+        return float(distances[0])
+
+    def describe(self) -> str:
+        ref = self.reference_id if self.reference_id is not None else "?"
+        return f"F^r(r={ref})"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ReferenceEmbedding(reference_id={self.reference_id!r})"

@@ -1,0 +1,45 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All exceptions raised intentionally by the library derive from
+:class:`ReproError`, so callers can catch library failures with a single
+``except ReproError`` clause while letting programming errors (``TypeError``,
+``KeyError`` on internal structures, ...) propagate unchanged.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A component was configured with invalid or inconsistent parameters."""
+
+
+class DatasetError(ReproError):
+    """A dataset could not be generated, loaded or validated."""
+
+
+class DistanceError(ReproError):
+    """A distance measure received objects it cannot compare."""
+
+
+class EmbeddingError(ReproError):
+    """An embedding could not be constructed or applied."""
+
+
+class TrainingError(ReproError):
+    """The boosting / training procedure failed or was misused."""
+
+
+class RetrievalError(ReproError):
+    """A retrieval pipeline was misconfigured or queried incorrectly."""
+
+
+class ExperimentError(ReproError):
+    """An experiment harness was asked to do something impossible."""
+
+
+class SerializationError(ReproError):
+    """A model or result could not be serialized or deserialized."""

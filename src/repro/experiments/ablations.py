@@ -1,0 +1,189 @@
+"""Ablations: the selective-sampling parameter k1 and the d/p trade-off.
+
+Two studies that the paper discusses qualitatively but does not plot:
+
+* **k1 ablation** (Sec. 6): the selective sampler's near/far threshold
+  controls which triples the embedding is optimised for.  The paper derives
+  k1 from ``kmax`` and the pool/database ratio; :func:`run_k1_ablation`
+  sweeps k1 and reports the retrieval cost at a fixed (k, accuracy) target,
+  making the guideline's sweet spot visible.
+* **dimensionality / filter-size trade-off** (Sec. 8): for a fixed trained
+  embedding, more dimensions make the filter step more accurate (smaller p
+  suffices) but embedding the query costs more exact distances.
+  :func:`run_dimension_ablation` reports, per dimensionality, the p and the
+  total cost needed to reach an accuracy target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.trainer import BoostMapTrainer, TrainingConfig, build_training_tables
+from repro.datasets.base import Dataset
+from repro.distances.base import DistanceMeasure
+from repro.exceptions import ExperimentError
+from repro.experiments.config import ExperimentScale, TINY
+from repro.retrieval.evaluation import cost_for_accuracy, filter_ranks
+from repro.retrieval.knn import NeighborTable, ground_truth_neighbors
+from repro.retrieval.sweep import DimensionSweep
+from repro.utils.rng import RngLike, ensure_rng
+
+
+@dataclass
+class K1AblationResult:
+    """Retrieval cost of Se-QS as a function of the sampling threshold k1."""
+
+    k: int
+    accuracy: float
+    costs_by_k1: Dict[int, int]
+    suggested_k1: int
+
+    def best_k1(self) -> int:
+        """The k1 value achieving the lowest cost."""
+        return min(self.costs_by_k1, key=self.costs_by_k1.get)
+
+    def summary(self) -> str:
+        lines = [
+            f"k1 ablation (k={self.k}, accuracy={int(round(self.accuracy * 100))}%, "
+            f"paper guideline suggests k1={self.suggested_k1}):"
+        ]
+        for k1, cost in sorted(self.costs_by_k1.items()):
+            marker = "  <- best" if k1 == self.best_k1() else ""
+            lines.append(f"  k1={k1:<4} cost={cost}{marker}")
+        return "\n".join(lines)
+
+
+def run_k1_ablation(
+    distance: DistanceMeasure,
+    database: Dataset,
+    queries: Dataset,
+    scale: ExperimentScale = TINY,
+    k1_values: Sequence[int] = (1, 3, 5, 9, 20),
+    k: int = 5,
+    accuracy: float = 0.9,
+    seed: RngLike = 0,
+) -> K1AblationResult:
+    """Sweep the selective sampler's k1 and report the Se-QS retrieval cost."""
+    if k not in scale.ks:
+        raise ExperimentError(f"k={k} is not in the scale's k grid {scale.ks}")
+    if accuracy not in scale.accuracies:
+        raise ExperimentError(
+            f"accuracy={accuracy} is not in the scale's accuracy grid"
+        )
+    rng = ensure_rng(seed)
+    table_seed, *variant_seeds = rng.spawn(1 + len(k1_values))
+
+    ground_truth = ground_truth_neighbors(
+        distance, database, queries, k_max=scale.k_max_needed
+    )
+    tables = build_training_tables(
+        distance,
+        database,
+        n_candidates=scale.n_candidates,
+        n_training_objects=scale.n_training_objects,
+        seed=table_seed,
+    )
+
+    costs: Dict[int, int] = {}
+    for k1, variant_seed in zip(k1_values, variant_seeds):
+        if k1 >= tables.n_pool - 1:
+            continue  # no far neighbors left; skip impossible settings
+        config = TrainingConfig(
+            n_candidates=scale.n_candidates,
+            n_training_objects=scale.n_training_objects,
+            n_triples=scale.n_triples,
+            n_rounds=scale.n_rounds,
+            classifiers_per_round=scale.classifiers_per_round,
+            intervals_per_candidate=scale.intervals_per_candidate,
+            query_sensitive=True,
+            sampler="selective",
+            k1=int(k1),
+            kmax=scale.kmax,
+            mode=scale.mode,
+            seed=variant_seed,
+        )
+        result = BoostMapTrainer(distance, database, config, tables=tables).train()
+        model = result.model
+        db_vectors = model.embed_many(list(database))
+        query_vectors = model.embed_many(list(queries))
+        sweep = DimensionSweep(model, db_vectors, query_vectors, ground_truth, scale.dims)
+        costs[int(k1)] = sweep.best_point(k, accuracy, len(database)).cost
+
+    if not costs:
+        raise ExperimentError("no k1 value was applicable to the training pool")
+    from repro.core.training_data import suggest_k1
+
+    suggested = suggest_k1(scale.kmax, tables.n_pool, len(database))
+    return K1AblationResult(
+        k=k, accuracy=float(accuracy), costs_by_k1=costs, suggested_k1=suggested
+    )
+
+
+@dataclass
+class DimensionAblationEntry:
+    """Cost decomposition at one dimensionality."""
+
+    dim: int
+    embedding_cost: int
+    p: int
+    total_cost: int
+
+
+def run_dimension_ablation(
+    distance: DistanceMeasure,
+    database: Dataset,
+    queries: Dataset,
+    scale: ExperimentScale = TINY,
+    k: int = 1,
+    accuracy: float = 0.9,
+    seed: RngLike = 0,
+) -> List[DimensionAblationEntry]:
+    """Show the d-versus-p trade-off of Sec. 8 for a trained Se-QS model.
+
+    For every dimensionality in ``scale.dims`` the entry reports the
+    embedding cost, the filter size ``p`` needed to reach the accuracy
+    target, and their sum — the quantity the optimal-parameter search of the
+    main experiments minimises.
+    """
+    rng = ensure_rng(seed)
+    ground_truth = ground_truth_neighbors(
+        distance, database, queries, k_max=max(k, 1)
+    )
+    config = TrainingConfig(
+        n_candidates=scale.n_candidates,
+        n_training_objects=scale.n_training_objects,
+        n_triples=scale.n_triples,
+        n_rounds=scale.n_rounds,
+        classifiers_per_round=scale.classifiers_per_round,
+        intervals_per_candidate=scale.intervals_per_candidate,
+        query_sensitive=True,
+        sampler="selective",
+        kmax=scale.kmax,
+        mode=scale.mode,
+        seed=rng,
+    )
+    result = BoostMapTrainer(distance, database, config).train()
+    model = result.model
+    db_vectors = model.embed_many(list(database))
+    query_vectors = model.embed_many(list(queries))
+
+    entries: List[DimensionAblationEntry] = []
+    for dim in scale.dims:
+        dim = min(dim, model.dim)
+        truncated = model.truncate(dim)
+        ranks = filter_ranks(
+            truncated, db_vectors[:, :dim], query_vectors[:, :dim], ground_truth
+        )
+        point = cost_for_accuracy(ranks, k, accuracy, len(database))
+        entry = DimensionAblationEntry(
+            dim=dim,
+            embedding_cost=truncated.cost,
+            p=point.p,
+            total_cost=point.cost,
+        )
+        if not any(e.dim == dim for e in entries):
+            entries.append(entry)
+    return entries

@@ -1,0 +1,143 @@
+"""Experiment scales.
+
+The paper's full-scale experiments (60,000-image database, 10,000 queries,
+|C| = |Xtr| = 5,000, 300,000 training triples, embeddings of up to 600
+dimensions) take many hours even with the original optimised C++ code; this
+reproduction exposes the same pipeline at configurable scale.  Three presets
+are provided:
+
+* ``TINY``   — seconds-to-a-minute per experiment; used by the benchmark
+  suite and integration tests.
+* ``SMALL``  — a few minutes per experiment; the default for the example
+  scripts and EXPERIMENTS.md numbers.
+* ``MEDIUM`` — tens of minutes; closer to the paper's regime for users who
+  want tighter curves.
+
+The *protocol* (optimal d/p search, strict all-k-neighbors accuracy, cost in
+exact distance computations) is identical at every scale; only the sizes
+change.  EXPERIMENTS.md records which scale produced the reported numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Tuple
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Sizes and sweep grids for one experiment run.
+
+    Attributes
+    ----------
+    name:
+        Identifier recorded in reports.
+    database_size, n_queries:
+        Retrieval split sizes.
+    n_candidates, n_training_objects, n_triples:
+        Training-set sizes (|C|, |Xtr|, number of triples).
+    n_rounds, classifiers_per_round, intervals_per_candidate:
+        Boosting budget.
+    dims:
+        Dimensionalities evaluated in the optimal-parameter sweep.
+    ks:
+        Values of ``k`` (number of neighbors) reported.
+    accuracies:
+        Accuracy targets reported (fractions).
+    kmax:
+        Largest ``k`` retrieval is optimised for (paper: 50).
+    mode:
+        Boosting mode, ``"confidence"`` or ``"discrete"``.
+    """
+
+    name: str
+    database_size: int
+    n_queries: int
+    n_candidates: int
+    n_training_objects: int
+    n_triples: int
+    n_rounds: int
+    classifiers_per_round: int
+    intervals_per_candidate: int
+    dims: Tuple[int, ...]
+    ks: Tuple[int, ...]
+    accuracies: Tuple[float, ...]
+    kmax: int = 50
+    mode: str = "confidence"
+
+    def __post_init__(self) -> None:
+        if self.database_size <= 0 or self.n_queries <= 0:
+            raise ConfigurationError("database_size and n_queries must be positive")
+        if self.n_candidates > self.database_size:
+            raise ConfigurationError("n_candidates cannot exceed database_size")
+        if self.n_training_objects > self.database_size:
+            raise ConfigurationError("n_training_objects cannot exceed database_size")
+        if not self.dims or not self.ks or not self.accuracies:
+            raise ConfigurationError("dims, ks and accuracies must be non-empty")
+        if max(self.ks) > self.database_size:
+            raise ConfigurationError("the largest k cannot exceed database_size")
+        if self.kmax > self.database_size:
+            raise ConfigurationError("kmax cannot exceed database_size")
+        for accuracy in self.accuracies:
+            if not 0.0 < accuracy <= 1.0:
+                raise ConfigurationError("accuracies must be in (0, 1]")
+
+    @property
+    def k_max_needed(self) -> int:
+        """Ground-truth depth required by the sweep."""
+        return max(self.ks)
+
+    def with_overrides(self, **kwargs) -> "ExperimentScale":
+        """A copy of this scale with fields replaced (name included)."""
+        return replace(self, **kwargs)
+
+
+TINY = ExperimentScale(
+    name="tiny",
+    database_size=120,
+    n_queries=25,
+    n_candidates=40,
+    n_training_objects=40,
+    n_triples=800,
+    n_rounds=20,
+    classifiers_per_round=30,
+    intervals_per_candidate=5,
+    dims=(2, 4, 8, 16),
+    ks=(1, 5, 10),
+    accuracies=(0.9, 0.95, 0.99),
+    kmax=10,
+)
+
+SMALL = ExperimentScale(
+    name="small",
+    database_size=400,
+    n_queries=60,
+    n_candidates=80,
+    n_training_objects=80,
+    n_triples=4000,
+    n_rounds=40,
+    classifiers_per_round=60,
+    intervals_per_candidate=6,
+    dims=(2, 4, 8, 16, 24, 32),
+    ks=(1, 2, 5, 10, 20, 50),
+    accuracies=(0.9, 0.95, 0.99, 1.0),
+    kmax=50,
+)
+
+MEDIUM = ExperimentScale(
+    name="medium",
+    database_size=1500,
+    n_queries=200,
+    n_candidates=200,
+    n_training_objects=200,
+    n_triples=20000,
+    n_rounds=96,
+    classifiers_per_round=150,
+    intervals_per_candidate=8,
+    dims=(4, 8, 16, 32, 48, 64),
+    ks=(1, 2, 5, 10, 20, 30, 40, 50),
+    accuracies=(0.9, 0.95, 0.99, 1.0),
+    kmax=50,
+)

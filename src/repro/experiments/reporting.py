@@ -1,0 +1,104 @@
+"""Plain-text reports in the layout of the paper's figures and tables."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.experiments.runner import ComparisonResult, MethodResult
+from repro.exceptions import ExperimentError
+
+
+def _format_row(cells: Sequence[str], widths: Sequence[int]) -> str:
+    return "  ".join(str(cell).rjust(width) for cell, width in zip(cells, widths))
+
+
+def format_cost_table(
+    comparison: ComparisonResult,
+    ks: Optional[Sequence[int]] = None,
+    accuracies: Optional[Sequence[float]] = None,
+    methods: Optional[Sequence[str]] = None,
+) -> str:
+    """A Table 1 style block: one row per (k, pct), one column per method."""
+    ks = list(ks) if ks is not None else list(comparison.ks)
+    accuracies = list(accuracies) if accuracies is not None else list(comparison.accuracies)
+    methods = list(methods) if methods is not None else list(comparison.methods)
+    for tag in methods:
+        comparison.method(tag)  # validates presence
+
+    header = ["k", "pct"] + methods
+    rows: List[List[str]] = []
+    for k in ks:
+        for accuracy in accuracies:
+            row = [str(k), str(int(round(accuracy * 100)))]
+            for tag in methods:
+                row.append(str(comparison.method(tag).cost(k, accuracy)))
+            rows.append(row)
+    widths = [max(len(header[i]), max(len(r[i]) for r in rows)) for i in range(len(header))]
+    lines = [
+        f"{comparison.dataset_name} (database={comparison.database_size}, "
+        f"queries={comparison.n_queries}, scale={comparison.scale_name})",
+        _format_row(header, widths),
+        _format_row(["-" * w for w in widths], widths),
+    ]
+    lines.extend(_format_row(row, widths) for row in rows)
+    return "\n".join(lines)
+
+
+def format_figure_series(
+    comparison: ComparisonResult,
+    accuracy: float,
+    methods: Optional[Sequence[str]] = None,
+) -> str:
+    """A Figure 4/5 style block: number of distances vs k at one accuracy."""
+    methods = list(methods) if methods is not None else list(comparison.methods)
+    header = ["k"] + methods
+    rows: List[List[str]] = []
+    for k in comparison.ks:
+        row = [str(k)]
+        for tag in methods:
+            row.append(str(comparison.method(tag).cost(k, accuracy)))
+        rows.append(row)
+    widths = [max(len(header[i]), max(len(r[i]) for r in rows)) for i in range(len(header))]
+    lines = [
+        f"{comparison.dataset_name}: exact distance computations per query for "
+        f"{int(round(accuracy * 100))}% accuracy "
+        f"(brute force = {comparison.brute_force_cost})",
+        _format_row(header, widths),
+        _format_row(["-" * w for w in widths], widths),
+    ]
+    lines.extend(_format_row(row, widths) for row in rows)
+    return "\n".join(lines)
+
+
+def format_comparison(comparison: ComparisonResult) -> str:
+    """Full report: one figure-style block per accuracy plus a summary."""
+    blocks = [
+        format_figure_series(comparison, accuracy)
+        for accuracy in comparison.accuracies
+    ]
+    summary_lines = ["method summary:"]
+    for tag, result in comparison.methods.items():
+        error = (
+            "n/a" if result.training_error != result.training_error  # NaN check
+            else f"{result.training_error:.3f}"
+        )
+        summary_lines.append(
+            f"  {tag:<8} dim={result.embedding_dim:<4} "
+            f"embed_cost={result.embedding_cost:<4} "
+            f"train_error={error:<6} train_time={result.training_seconds:.1f}s"
+        )
+    blocks.append("\n".join(summary_lines))
+    return "\n\n".join(blocks)
+
+
+def speedup_table(comparison: ComparisonResult, accuracy: float) -> Dict[str, Dict[int, float]]:
+    """Speed-up factors over brute force, per method and k, at one accuracy."""
+    table: Dict[str, Dict[int, float]] = {}
+    for tag, result in comparison.methods.items():
+        table[tag] = {}
+        for k in comparison.ks:
+            cost = result.cost(k, accuracy)
+            if cost <= 0:
+                raise ExperimentError("cost must be positive to compute a speed-up")
+            table[tag][k] = comparison.brute_force_cost / cost
+    return table

@@ -1,0 +1,239 @@
+"""Shared machinery: train all methods on one dataset and evaluate them.
+
+The paper compares five methods on each dataset:
+
+* ``FastMap``  — the non-learned baseline;
+* ``Ra-QI``    — the original BoostMap (random triples, global L1);
+* ``Ra-QS``    — random triples, query-sensitive distance;
+* ``Se-QI``    — selective triples, global L1;
+* ``Se-QS``    — the proposed method (selective triples, query-sensitive).
+
+:func:`compare_methods` trains all requested methods from the *same*
+precomputed distance tables and ground truth, runs the optimal (d, p) sweep
+for each of them, and returns a :class:`ComparisonResult` holding the
+accuracy/cost tables — the raw material of Figures 4-6 and Table 1.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.trainer import (
+    BoostMapTrainer,
+    TrainingConfig,
+    TrainingTables,
+    build_training_tables,
+)
+from repro.datasets.base import Dataset
+from repro.distances.base import DistanceMeasure
+from repro.embeddings.fastmap import build_fastmap_embedding
+from repro.exceptions import ExperimentError
+from repro.experiments.config import ExperimentScale
+from repro.retrieval.evaluation import AccuracyCostPoint
+from repro.retrieval.knn import NeighborTable, ground_truth_neighbors
+from repro.retrieval.sweep import DimensionSweep, optimal_cost_curve
+from repro.utils.rng import RngLike, ensure_rng
+
+#: The method tags of the paper, in the order they appear in Table 1.
+ALL_METHODS: Tuple[str, ...] = ("FastMap", "Ra-QI", "Ra-QS", "Se-QI", "Se-QS")
+
+_METHOD_SWITCHES = {
+    "Ra-QI": {"sampler": "random", "query_sensitive": False},
+    "Ra-QS": {"sampler": "random", "query_sensitive": True},
+    "Se-QI": {"sampler": "selective", "query_sensitive": False},
+    "Se-QS": {"sampler": "selective", "query_sensitive": True},
+}
+
+
+@dataclass
+class MethodResult:
+    """Evaluation of one method on one dataset.
+
+    Attributes
+    ----------
+    tag:
+        The paper's method abbreviation.
+    costs:
+        Nested mapping ``{accuracy: {k: AccuracyCostPoint}}``.
+    embedding_dim:
+        Dimensionality of the full trained embedding.
+    embedding_cost:
+        Exact distances needed to embed one query at full dimensionality.
+    training_seconds:
+        Wall-clock time spent training (0 for FastMap-style baselines only
+        when nothing was trained).
+    training_error:
+        Final triple training error (NaN for FastMap).
+    """
+
+    tag: str
+    costs: Dict[float, Dict[int, AccuracyCostPoint]]
+    embedding_dim: int
+    embedding_cost: int
+    training_seconds: float
+    training_error: float
+
+    def cost(self, k: int, accuracy: float) -> int:
+        """Exact distance computations per query at one (k, accuracy) point."""
+        try:
+            return self.costs[float(accuracy)][int(k)].cost
+        except KeyError as exc:
+            raise ExperimentError(
+                f"method {self.tag} was not evaluated at k={k}, accuracy={accuracy}"
+            ) from exc
+
+
+@dataclass
+class ComparisonResult:
+    """All methods evaluated on one dataset."""
+
+    dataset_name: str
+    database_size: int
+    n_queries: int
+    scale_name: str
+    ks: Tuple[int, ...]
+    accuracies: Tuple[float, ...]
+    methods: Dict[str, MethodResult]
+    preprocessing_distance_evaluations: int = 0
+
+    def method(self, tag: str) -> MethodResult:
+        if tag not in self.methods:
+            raise ExperimentError(
+                f"method {tag!r} not present; available: {sorted(self.methods)}"
+            )
+        return self.methods[tag]
+
+    @property
+    def brute_force_cost(self) -> int:
+        """Exact distance computations of a brute-force query."""
+        return self.database_size
+
+
+def _training_config(scale: ExperimentScale, tag: str, seed: RngLike) -> TrainingConfig:
+    switches = _METHOD_SWITCHES[tag]
+    return TrainingConfig(
+        n_candidates=scale.n_candidates,
+        n_training_objects=scale.n_training_objects,
+        n_triples=scale.n_triples,
+        n_rounds=scale.n_rounds,
+        classifiers_per_round=scale.classifiers_per_round,
+        intervals_per_candidate=scale.intervals_per_candidate,
+        kmax=scale.kmax,
+        mode=scale.mode,
+        seed=seed,
+        **switches,
+    )
+
+
+def compare_methods(
+    distance: DistanceMeasure,
+    database: Dataset,
+    queries: Dataset,
+    scale: ExperimentScale,
+    methods: Sequence[str] = ALL_METHODS,
+    seed: RngLike = 0,
+    dataset_name: str = "dataset",
+    ground_truth: Optional[NeighborTable] = None,
+    tables: Optional[TrainingTables] = None,
+) -> ComparisonResult:
+    """Train and evaluate the requested methods on one retrieval split.
+
+    Parameters
+    ----------
+    distance:
+        The exact distance measure ``D_X``.
+    database, queries:
+        The retrieval split (queries disjoint from the database).
+    scale:
+        Sizes and sweep grids (see :class:`repro.experiments.config.ExperimentScale`).
+    methods:
+        Which of :data:`ALL_METHODS` to run.
+    seed:
+        Master seed; per-method seeds are derived from it so methods see
+        identical training tables but independent sampling randomness.
+    dataset_name:
+        Name recorded in the result.
+    ground_truth:
+        Optional precomputed ground truth (skips the brute-force scan).
+    tables:
+        Optional precomputed training tables shared across methods.
+    """
+    for tag in methods:
+        if tag not in ALL_METHODS:
+            raise ExperimentError(f"unknown method tag {tag!r}")
+    if len(database) < scale.k_max_needed:
+        raise ExperimentError("database is smaller than the largest requested k")
+
+    rng = ensure_rng(seed)
+    table_seed, fastmap_seed, *method_seeds = rng.spawn(2 + len(methods))
+
+    if ground_truth is None:
+        ground_truth = ground_truth_neighbors(
+            distance, database, queries, k_max=scale.k_max_needed
+        )
+
+    needs_training = any(tag != "FastMap" for tag in methods)
+    preprocessing = 0
+    if needs_training and tables is None:
+        tables = build_training_tables(
+            distance,
+            database,
+            n_candidates=scale.n_candidates,
+            n_training_objects=scale.n_training_objects,
+            seed=table_seed,
+        )
+    if tables is not None:
+        preprocessing = tables.distance_evaluations
+
+    max_dim = max(scale.dims)
+    results: Dict[str, MethodResult] = {}
+    for tag, method_seed in zip(methods, method_seeds):
+        start = time.perf_counter()
+        if tag == "FastMap":
+            embedder = build_fastmap_embedding(
+                distance,
+                database,
+                dim=max_dim,
+                sample_size=scale.n_candidates,
+                seed=fastmap_seed,
+            )
+            training_error = float("nan")
+        else:
+            config = _training_config(scale, tag, method_seed)
+            trainer = BoostMapTrainer(distance, database, config, tables=tables)
+            training = trainer.train()
+            embedder = training.model
+            training_error = training.final_training_error
+        training_seconds = time.perf_counter() - start
+
+        database_vectors = embedder.embed_many(list(database))
+        query_vectors = embedder.embed_many(list(queries))
+        sweep = DimensionSweep(
+            embedder, database_vectors, query_vectors, ground_truth, scale.dims
+        )
+        costs = optimal_cost_curve(
+            sweep, scale.ks, scale.accuracies, database_size=len(database)
+        )
+        results[tag] = MethodResult(
+            tag=tag,
+            costs=costs,
+            embedding_dim=embedder.dim,
+            embedding_cost=embedder.cost,
+            training_seconds=training_seconds,
+            training_error=training_error,
+        )
+
+    return ComparisonResult(
+        dataset_name=dataset_name,
+        database_size=len(database),
+        n_queries=len(queries),
+        scale_name=scale.name,
+        ks=tuple(scale.ks),
+        accuracies=tuple(scale.accuracies),
+        methods=results,
+        preprocessing_distance_evaluations=preprocessing,
+    )

@@ -1,0 +1,69 @@
+"""Table 1: the combined cost table over both datasets.
+
+Table 1 of the paper reports, for k ∈ {1, 10, 50} and accuracy ∈
+{90, 95, 99, 100}%, the number of exact distance computations required by
+FastMap, Ra-QI, Ra-QS, Se-QI and Se-QS on the MNIST/Shape-Context dataset and
+on the time-series/DTW dataset (with brute force costing 60,000 and 31,818
+distances respectively).
+
+:func:`run_table1` reruns both dataset comparisons (including the Ra-QS
+intermediate that the figures omit) and :func:`format_table1` renders the
+result in the paper's layout.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.experiments.config import SMALL, ExperimentScale
+from repro.experiments.figure4 import run_figure4
+from repro.experiments.figure5 import run_figure5
+from repro.experiments.reporting import format_cost_table
+from repro.experiments.runner import ALL_METHODS, ComparisonResult
+from repro.utils.rng import RngLike
+
+#: The (k, accuracy-percentage) grid of the paper's Table 1.
+TABLE1_KS: Tuple[int, ...] = (1, 10, 50)
+TABLE1_ACCURACIES: Tuple[float, ...] = (0.9, 0.95, 0.99, 1.0)
+
+
+def run_table1(
+    scale: ExperimentScale = SMALL,
+    seed: RngLike = 0,
+    methods: Sequence[str] = ALL_METHODS,
+) -> Dict[str, ComparisonResult]:
+    """Run both dataset comparisons with all five methods.
+
+    Returns a mapping with keys ``"digits"`` and ``"timeseries"``.
+    The scale's ``ks`` and ``accuracies`` grids should contain the Table 1
+    values (the ``SMALL`` and ``MEDIUM`` presets do); other grid points are
+    simply ignored by :func:`format_table1`.
+    """
+    digits = run_figure4(scale=scale, methods=methods, seed=seed)
+    timeseries = run_figure5(scale=scale, methods=methods, seed=seed)
+    return {"digits": digits, "timeseries": timeseries}
+
+
+def format_table1(
+    comparisons: Dict[str, ComparisonResult],
+    ks: Sequence[int] = TABLE1_KS,
+    accuracies: Sequence[float] = TABLE1_ACCURACIES,
+    methods: Optional[Sequence[str]] = None,
+) -> str:
+    """Render the Table 1 layout for the given comparisons.
+
+    ``ks`` and ``accuracies`` entries that a comparison was not evaluated at
+    are silently dropped for that comparison (e.g. the TINY scale evaluates a
+    reduced grid).
+    """
+    blocks = []
+    for name, comparison in comparisons.items():
+        available_ks = [k for k in ks if k in comparison.ks]
+        available_accs = [a for a in accuracies if a in comparison.accuracies]
+        method_list = list(methods) if methods is not None else list(comparison.methods)
+        blocks.append(
+            format_cost_table(
+                comparison, ks=available_ks, accuracies=available_accs, methods=method_list
+            )
+        )
+    return "\n\n".join(blocks)

@@ -1,0 +1,13 @@
+"""Index structures used as comparison points.
+
+The paper argues that metric index structures (vp-trees, M-trees, ...) cannot
+be applied when the distance measure violates the triangle inequality.  A
+vantage-point tree is included here both to make that comparison concrete in
+the benchmarks (on metric data it prunes; on the paper's non-metric measures
+it either loses correctness or degenerates to a linear scan) and as a useful
+exact index for the metric datasets used in tests.
+"""
+
+from repro.index.vptree import VPTree
+
+__all__ = ["VPTree"]

@@ -1,0 +1,175 @@
+"""Vantage-point tree (Yianilos 1993) for exact search in metric spaces.
+
+The tree recursively picks a vantage point, computes the distances from it to
+the remaining objects, and splits them at the median distance into an inner
+and an outer subtree.  Exact k-NN search prunes subtrees using the triangle
+inequality; with a non-metric distance the pruning rule is unsound, which is
+precisely the limitation the paper works around with embeddings.  The
+implementation counts distance evaluations so benchmarks can compare its
+pruning power against filter-and-refine retrieval.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.distances.base import CountingDistance, DistanceMeasure
+from repro.exceptions import RetrievalError
+from repro.utils.rng import RngLike, ensure_rng
+
+
+@dataclass
+class _Node:
+    """One internal node of the vp-tree."""
+
+    vantage_index: int
+    radius: float
+    inner: Optional["_Node"] = None
+    outer: Optional["_Node"] = None
+    leaf_indices: Optional[List[int]] = None
+
+
+class VPTree:
+    """Exact k-nearest-neighbor index for metric distance measures.
+
+    Parameters
+    ----------
+    distance:
+        The distance measure.  A warning-free construction requires
+        ``distance.is_metric``; passing a non-metric measure is allowed (for
+        demonstration purposes) but search results may then be incorrect,
+        exactly as discussed in the paper.
+    objects:
+        The database objects to index.
+    leaf_size:
+        Maximum number of objects stored in a leaf node.
+    seed:
+        RNG seed for vantage-point selection.
+    require_metric:
+        If ``True`` (default), refuse to build over a measure that declares
+        itself non-metric, to protect against silently wrong results.
+    """
+
+    def __init__(
+        self,
+        distance: DistanceMeasure,
+        objects: Sequence[Any],
+        leaf_size: int = 8,
+        seed: RngLike = 0,
+        require_metric: bool = True,
+    ) -> None:
+        if not isinstance(distance, DistanceMeasure):
+            raise RetrievalError("distance must be a DistanceMeasure instance")
+        if require_metric and not distance.is_metric:
+            raise RetrievalError(
+                f"{distance.name} does not declare itself metric; vp-tree search "
+                "would be unsound (pass require_metric=False to build anyway)"
+            )
+        objects = list(objects)
+        if not objects:
+            raise RetrievalError("cannot build a vp-tree over an empty collection")
+        if leaf_size < 1:
+            raise RetrievalError("leaf_size must be at least 1")
+        self.objects = objects
+        self.leaf_size = int(leaf_size)
+        self._counting = CountingDistance(distance)
+        self._rng = ensure_rng(seed)
+        self.construction_distance_computations = 0
+        self._root = self._build(list(range(len(objects))))
+        self.construction_distance_computations = self._counting.reset()
+
+    # ------------------------------------------------------------------ #
+    # Construction                                                       #
+    # ------------------------------------------------------------------ #
+
+    def _build(self, indices: List[int]) -> Optional[_Node]:
+        if not indices:
+            return None
+        if len(indices) <= self.leaf_size:
+            return _Node(vantage_index=indices[0], radius=0.0, leaf_indices=indices)
+        vantage_pos = int(self._rng.integers(0, len(indices)))
+        vantage_index = indices.pop(vantage_pos)
+        vantage = self.objects[vantage_index]
+        distances = np.array(
+            [self._counting(self.objects[i], vantage) for i in indices]
+        )
+        radius = float(np.median(distances))
+        inner_indices = [i for i, d in zip(indices, distances) if d <= radius]
+        outer_indices = [i for i, d in zip(indices, distances) if d > radius]
+        # Guard against degenerate splits (all distances equal).
+        if not inner_indices or not outer_indices:
+            return _Node(
+                vantage_index=vantage_index,
+                radius=radius,
+                leaf_indices=[vantage_index] + indices,
+            )
+        return _Node(
+            vantage_index=vantage_index,
+            radius=radius,
+            inner=self._build(inner_indices),
+            outer=self._build(outer_indices),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Search                                                             #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def distance_computations(self) -> int:
+        """Exact distance evaluations performed by queries so far."""
+        return self._counting.calls
+
+    def reset_counter(self) -> None:
+        """Reset the query-time distance counter."""
+        self._counting.reset()
+
+    def query(self, obj: Any, k: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Exact ``k`` nearest neighbors of ``obj`` (indices, distances)."""
+        if not 1 <= k <= len(self.objects):
+            raise RetrievalError(f"k must be in [1, {len(self.objects)}], got {k}")
+        # Max-heap of (-distance, index) holding the best k seen so far.
+        heap: List[Tuple[float, int]] = []
+
+        def consider(index: int) -> None:
+            dist = self._counting(obj, self.objects[index])
+            if len(heap) < k:
+                heapq.heappush(heap, (-dist, index))
+            elif dist < -heap[0][0]:
+                heapq.heapreplace(heap, (-dist, index))
+
+        def tau() -> float:
+            return -heap[0][0] if len(heap) == k else np.inf
+
+        def search(node: Optional[_Node]) -> None:
+            if node is None:
+                return
+            if node.leaf_indices is not None:
+                for index in node.leaf_indices:
+                    consider(index)
+                return
+            vantage = self.objects[node.vantage_index]
+            dist = self._counting(obj, vantage)
+            if len(heap) < k:
+                heapq.heappush(heap, (-dist, node.vantage_index))
+            elif dist < -heap[0][0]:
+                heapq.heapreplace(heap, (-dist, node.vantage_index))
+            # Visit the more promising side first, prune with the triangle
+            # inequality afterwards.
+            if dist <= node.radius:
+                search(node.inner)
+                if dist + tau() > node.radius:
+                    search(node.outer)
+            else:
+                search(node.outer)
+                if dist - tau() <= node.radius:
+                    search(node.inner)
+
+        search(self._root)
+        results = sorted(((-negative, index) for negative, index in heap))
+        indices = np.array([index for _, index in results], dtype=int)
+        distances = np.array([dist for dist, _ in results], dtype=float)
+        return indices, distances

@@ -1,0 +1,64 @@
+"""Exact brute-force nearest-neighbor retrieval.
+
+This is the reference point of the whole paper: answering a query exactly
+costs one distance computation per database object.  The retriever counts its
+evaluations so tests and benchmarks can verify the accounting.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Tuple
+
+import numpy as np
+
+from repro.datasets.base import Dataset
+from repro.distances.base import CountingDistance, DistanceMeasure
+from repro.exceptions import RetrievalError
+
+
+class BruteForceRetriever:
+    """Exact k-NN retrieval by scanning the whole database.
+
+    Parameters
+    ----------
+    distance:
+        The exact distance measure ``D_X``.
+    database:
+        The database to search.
+    """
+
+    def __init__(self, distance: DistanceMeasure, database: Dataset) -> None:
+        if not isinstance(distance, DistanceMeasure):
+            raise RetrievalError("distance must be a DistanceMeasure instance")
+        if not isinstance(database, Dataset):
+            raise RetrievalError("database must be a Dataset")
+        self._counting = CountingDistance(distance)
+        self.database = database
+
+    @property
+    def distance_computations(self) -> int:
+        """Total exact distance evaluations performed so far."""
+        return self._counting.calls
+
+    def reset_counter(self) -> None:
+        """Reset the distance-evaluation counter."""
+        self._counting.reset()
+
+    def query(self, obj: Any, k: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Return the indices and distances of the ``k`` nearest neighbors.
+
+        The cost is exactly ``len(database)`` distance computations.
+        """
+        if not 1 <= k <= len(self.database):
+            raise RetrievalError(
+                f"k must be in [1, {len(self.database)}], got {k}"
+            )
+        distances = np.array(
+            [self._counting(obj, candidate) for candidate in self.database]
+        )
+        order = np.argsort(distances, kind="stable")[:k]
+        return order, distances[order]
+
+    def query_many(self, objects, k: int) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """Run :meth:`query` for every object in an iterable."""
+        return [self.query(obj, k) for obj in objects]

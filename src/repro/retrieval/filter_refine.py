@@ -1,0 +1,169 @@
+"""Filter-and-refine retrieval (Sec. 8 of the paper).
+
+Given a query ``q``:
+
+1. **Embedding step** — compute ``F(q)`` by measuring the exact distances
+   from ``q`` to the embedding's reference/pivot objects (cost =
+   ``embedding.cost`` exact distances).
+2. **Filter step** — rank the precomputed database vectors by a cheap vector
+   distance.  For a query-sensitive model that distance is ``D_out`` with the
+   per-query weights ``A_i(q)``; for plain embeddings it is an (optionally
+   weighted) L1 distance.  This step touches no exact distances.
+3. **Refine step** — evaluate the exact distance between ``q`` and the top
+   ``p`` filter candidates and return the best ``k`` (cost = ``p`` exact
+   distances).
+
+Total cost per query: ``embedding.cost + p`` exact distance computations —
+the quantity every figure and table of the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.model import QuerySensitiveModel
+from repro.datasets.base import Dataset
+from repro.distances.base import CountingDistance, DistanceMeasure
+from repro.embeddings.base import Embedding
+from repro.exceptions import RetrievalError
+
+
+@dataclass
+class RetrievalResult:
+    """Outcome of one filter-and-refine query.
+
+    Attributes
+    ----------
+    neighbor_indices:
+        Database indices of the ``k`` reported neighbors, best first.
+    neighbor_distances:
+        Their exact distances to the query.
+    candidate_indices:
+        The ``p`` database indices that survived the filter step, in filter
+        order.
+    embedding_distance_computations:
+        Exact distances spent embedding the query.
+    refine_distance_computations:
+        Exact distances spent in the refine step (= ``p``).
+    """
+
+    neighbor_indices: np.ndarray
+    neighbor_distances: np.ndarray
+    candidate_indices: np.ndarray
+    embedding_distance_computations: int
+    refine_distance_computations: int
+
+    @property
+    def total_distance_computations(self) -> int:
+        """The paper's cost metric: embedding cost plus refine cost."""
+        return self.embedding_distance_computations + self.refine_distance_computations
+
+
+class FilterRefineRetriever:
+    """Approximate k-NN retrieval through an embedding.
+
+    Parameters
+    ----------
+    distance:
+        The exact distance measure (used for the refine step and, through
+        the embedding, for the embedding step).
+    database:
+        The database to search.
+    embedder:
+        Either a trained :class:`~repro.core.model.QuerySensitiveModel`
+        (filter distances are then the query-sensitive ``D_out``) or any
+        :class:`~repro.embeddings.base.Embedding` (filter distances are plain
+        L1, the choice of the original BoostMap and FastMap baselines).
+    database_vectors:
+        Optional precomputed ``(n, d)`` matrix of database embeddings.  When
+        omitted, the whole database is embedded at construction time (a
+        one-time preprocessing cost, not charged to queries).
+    """
+
+    def __init__(
+        self,
+        distance: DistanceMeasure,
+        database: Dataset,
+        embedder: Union[QuerySensitiveModel, Embedding],
+        database_vectors: Optional[np.ndarray] = None,
+    ) -> None:
+        if not isinstance(distance, DistanceMeasure):
+            raise RetrievalError("distance must be a DistanceMeasure instance")
+        if not isinstance(database, Dataset):
+            raise RetrievalError("database must be a Dataset")
+        if not isinstance(embedder, (QuerySensitiveModel, Embedding)):
+            raise RetrievalError(
+                "embedder must be a QuerySensitiveModel or an Embedding"
+            )
+        self.database = database
+        self.embedder = embedder
+        self._refine_distance = CountingDistance(distance)
+        if database_vectors is None:
+            database_vectors = embedder.embed_many(list(database))
+        self.database_vectors = np.asarray(database_vectors, dtype=float)
+        if self.database_vectors.shape != (len(database), self.dim):
+            raise RetrievalError(
+                f"database_vectors must have shape ({len(database)}, {self.dim}), "
+                f"got {self.database_vectors.shape}"
+            )
+
+    @property
+    def dim(self) -> int:
+        """Dimensionality of the embedding used for filtering."""
+        return self.embedder.dim
+
+    @property
+    def embedding_cost(self) -> int:
+        """Exact distances needed to embed one query."""
+        return self.embedder.cost
+
+    def filter_distances(self, query_vector: np.ndarray) -> np.ndarray:
+        """Vector distances from an embedded query to every database vector."""
+        query_vector = np.asarray(query_vector, dtype=float)
+        if isinstance(self.embedder, QuerySensitiveModel):
+            return self.embedder.distances_to(query_vector, self.database_vectors)
+        return np.abs(self.database_vectors - query_vector[None, :]).sum(axis=1)
+
+    def filter_order(self, query_vector: np.ndarray) -> np.ndarray:
+        """Database indices sorted by increasing filter distance."""
+        return np.argsort(self.filter_distances(query_vector), kind="stable")
+
+    def query(self, obj: Any, k: int, p: int) -> RetrievalResult:
+        """Retrieve the approximate ``k`` nearest neighbors of ``obj``.
+
+        Parameters
+        ----------
+        obj:
+            The query object (in the original space).
+        k:
+            Number of neighbors to return.
+        p:
+            Number of filter candidates to refine with exact distances
+            (``k <= p <= len(database)``).
+        """
+        if not 1 <= k <= len(self.database):
+            raise RetrievalError(f"k must be in [1, {len(self.database)}], got {k}")
+        if not k <= p <= len(self.database):
+            raise RetrievalError(
+                f"p must be in [{k}, {len(self.database)}], got {p}"
+            )
+        query_vector = self.embedder.embed(obj)
+        candidates = self.filter_order(query_vector)[:p]
+        exact = np.array(
+            [self._refine_distance(obj, self.database[int(i)]) for i in candidates]
+        )
+        order = np.argsort(exact, kind="stable")[:k]
+        return RetrievalResult(
+            neighbor_indices=candidates[order],
+            neighbor_distances=exact[order],
+            candidate_indices=candidates,
+            embedding_distance_computations=self.embedding_cost,
+            refine_distance_computations=int(p),
+        )
+
+    def query_many(self, objects: Sequence[Any], k: int, p: int):
+        """Run :meth:`query` for every object of a sequence."""
+        return [self.query(obj, k, p) for obj in objects]

@@ -1,0 +1,27 @@
+"""Shared utilities: seeding, argument validation and timing helpers."""
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.timing import Stopwatch, ThroughputMeter
+from repro.utils.validation import (
+    check_positive_int,
+    check_non_negative_int,
+    check_probability,
+    check_fraction,
+    check_in_choices,
+    check_array_2d,
+    check_non_empty,
+)
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rngs",
+    "Stopwatch",
+    "ThroughputMeter",
+    "check_positive_int",
+    "check_non_negative_int",
+    "check_probability",
+    "check_fraction",
+    "check_in_choices",
+    "check_array_2d",
+    "check_non_empty",
+]

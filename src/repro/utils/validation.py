@@ -1,0 +1,80 @@
+"""Argument-validation helpers.
+
+These helpers raise :class:`repro.exceptions.ConfigurationError` with a
+descriptive message.  Centralising the checks keeps the constructors of the
+public classes short and the error messages uniform.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+
+def check_positive_int(value: Any, name: str) -> int:
+    """Validate that ``value`` is a positive integer and return it as ``int``."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise ConfigurationError(f"{name} must be a positive integer, got {value!r}")
+    if value <= 0:
+        raise ConfigurationError(f"{name} must be positive, got {value}")
+    return int(value)
+
+
+def check_non_negative_int(value: Any, name: str) -> int:
+    """Validate that ``value`` is a non-negative integer."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise ConfigurationError(
+            f"{name} must be a non-negative integer, got {value!r}"
+        )
+    if value < 0:
+        raise ConfigurationError(f"{name} must be non-negative, got {value}")
+    return int(value)
+
+
+def check_probability(value: Any, name: str) -> float:
+    """Validate that ``value`` lies in the closed interval [0, 1]."""
+    try:
+        value = float(value)
+    except (TypeError, ValueError):
+        raise ConfigurationError(f"{name} must be a number in [0, 1], got {value!r}")
+    if not 0.0 <= value <= 1.0:
+        raise ConfigurationError(f"{name} must be in [0, 1], got {value}")
+    return value
+
+
+def check_fraction(value: Any, name: str) -> float:
+    """Validate that ``value`` lies in the half-open interval (0, 1]."""
+    value = check_probability(value, name)
+    if value == 0.0:
+        raise ConfigurationError(f"{name} must be strictly positive, got 0")
+    return value
+
+
+def check_in_choices(value: Any, name: str, choices: Iterable[Any]) -> Any:
+    """Validate that ``value`` is one of ``choices``."""
+    choices = list(choices)
+    if value not in choices:
+        raise ConfigurationError(f"{name} must be one of {choices}, got {value!r}")
+    return value
+
+
+def check_non_empty(seq: Sequence[Any], name: str) -> Sequence[Any]:
+    """Validate that ``seq`` contains at least one element."""
+    if len(seq) == 0:
+        raise ConfigurationError(f"{name} must not be empty")
+    return seq
+
+
+def check_array_2d(array: Any, name: str) -> np.ndarray:
+    """Coerce ``array`` to a 2D float array, raising if that is impossible."""
+    arr = np.asarray(array, dtype=float)
+    if arr.ndim == 1:
+        arr = arr.reshape(-1, 1)
+    if arr.ndim != 2:
+        raise ConfigurationError(f"{name} must be a 1D or 2D array, got ndim={arr.ndim}")
+    if arr.size == 0:
+        raise ConfigurationError(f"{name} must not be empty")
+    return arr

@@ -1,0 +1,130 @@
+"""Shared fixtures for the test suite.
+
+Expensive objects (trained models, digit images, ground truth) are
+session-scoped so that the many tests exercising them do not retrain or
+regenerate them repeatedly.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import numpy as np
+import pytest
+
+# Make the package importable even when it has not been pip-installed
+# (e.g. running pytest straight from a source checkout).
+_SRC = os.path.join(os.path.dirname(__file__), "..", "src")
+if os.path.isdir(_SRC) and _SRC not in sys.path:
+    sys.path.insert(0, os.path.abspath(_SRC))
+
+from repro import (  # noqa: E402  (import after sys.path tweak)
+    BoostMapTrainer,
+    ConstrainedDTW,
+    Dataset,
+    L2Distance,
+    RetrievalSplit,
+    TrainingConfig,
+    make_gaussian_clusters,
+    make_timeseries_dataset,
+)
+from repro.core.trainer import build_training_tables  # noqa: E402
+from repro.datasets.digits import DigitImageGenerator  # noqa: E402
+from repro.retrieval.knn import ground_truth_neighbors  # noqa: E402
+
+
+@pytest.fixture
+def rng():
+    """A fresh deterministic RNG per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def l2():
+    return L2Distance()
+
+
+@pytest.fixture(scope="session")
+def gaussian_dataset():
+    """A small Euclidean dataset with clear cluster structure."""
+    return make_gaussian_clusters(n_objects=150, n_clusters=5, n_dims=6, seed=11)
+
+
+@pytest.fixture(scope="session")
+def gaussian_split(gaussian_dataset):
+    """Database / query split of the Gaussian dataset."""
+    return RetrievalSplit.from_dataset(gaussian_dataset, n_queries=30, seed=12)
+
+
+@pytest.fixture(scope="session")
+def tiny_training_config():
+    """A very small but functional training configuration."""
+    return TrainingConfig(
+        n_candidates=40,
+        n_training_objects=40,
+        n_triples=600,
+        n_rounds=10,
+        classifiers_per_round=25,
+        intervals_per_candidate=4,
+        kmax=10,
+        seed=7,
+    )
+
+
+@pytest.fixture(scope="session")
+def trained_qs(gaussian_split, tiny_training_config, l2):
+    """A trained query-sensitive (Se-QS) model on the Gaussian split."""
+    trainer = BoostMapTrainer(l2, gaussian_split.database, tiny_training_config)
+    return trainer.train()
+
+
+@pytest.fixture(scope="session")
+def trained_qi(gaussian_split, tiny_training_config, l2):
+    """A trained query-insensitive (Ra-QI / original BoostMap) model."""
+    config = tiny_training_config.with_overrides(
+        query_sensitive=False, sampler="random", seed=8
+    )
+    trainer = BoostMapTrainer(l2, gaussian_split.database, config)
+    return trainer.train()
+
+
+@pytest.fixture(scope="session")
+def gaussian_ground_truth(gaussian_split, l2):
+    """Exact 10-NN ground truth for the Gaussian split."""
+    return ground_truth_neighbors(
+        l2, gaussian_split.database, gaussian_split.queries, k_max=10
+    )
+
+
+@pytest.fixture(scope="session")
+def shared_tables(gaussian_split, l2):
+    """Precomputed training tables shared by trainer tests."""
+    return build_training_tables(
+        l2, gaussian_split.database, n_candidates=40, n_training_objects=40, seed=21
+    )
+
+
+@pytest.fixture(scope="session")
+def digit_images():
+    """A small bank of synthetic digit images (4 per class)."""
+    generator = DigitImageGenerator()
+    rng = np.random.default_rng(3)
+    images = {}
+    for digit in range(10):
+        images[digit] = [generator.render(digit, rng=rng) for _ in range(4)]
+    return images
+
+
+@pytest.fixture(scope="session")
+def timeseries_split():
+    """A small time-series database/query split."""
+    database, queries = make_timeseries_dataset(
+        n_database=80, n_queries=15, n_seeds=8, length=40, n_dims=2, seed=5
+    )
+    return RetrievalSplit(database=database, queries=queries, name="ts-test")
+
+
+@pytest.fixture(scope="session")
+def dtw():
+    return ConstrainedDTW()

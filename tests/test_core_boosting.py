@@ -1,0 +1,333 @@
+"""Tests for AdaBoost, the triple samplers and the round-wise weak learner."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import AdaBoost, RandomTripleSampler, SelectiveTripleSampler
+from repro.core.adaboost import initialize_weights, update_weights
+from repro.core.training_data import make_sampler, suggest_k1
+from repro.core.triples import TripleSet
+from repro.core.weak_classifiers import optimize_alpha
+from repro.core.weak_learner import (
+    CandidateGenerator,
+    ChosenClassifier,
+    EmbeddingCandidate,
+    TripleWeakLearner,
+)
+from repro.distances.matrix import pairwise_distances
+from repro.exceptions import ConfigurationError, TrainingError
+
+
+# --------------------------------------------------------------------------- #
+# AdaBoost                                                                    #
+# --------------------------------------------------------------------------- #
+
+
+class TestWeightHelpers:
+    def test_initialize_weights_uniform(self):
+        weights = initialize_weights(4)
+        assert np.allclose(weights, 0.25)
+
+    def test_initialize_weights_rejects_zero(self):
+        with pytest.raises(TrainingError):
+            initialize_weights(0)
+
+    def test_update_weights_normalised_and_shifts_mass_to_errors(self):
+        weights = initialize_weights(2)
+        labels = np.array([1.0, -1.0])
+        margins = np.array([1.0, 1.0])  # second example misclassified
+        updated = update_weights(weights, margins, labels, alpha=0.5)
+        assert updated.sum() == pytest.approx(1.0)
+        assert updated[1] > updated[0]
+
+    def test_update_weights_shape_mismatch(self):
+        with pytest.raises(TrainingError):
+            update_weights(np.ones(2) / 2, np.ones(3), np.ones(2), 0.1)
+
+
+def _stump_weak_learner(features: np.ndarray, labels: np.ndarray):
+    """A decision-stump weak learner over a feature matrix, for AdaBoost tests."""
+
+    def learner(weights, round_index):
+        best = None
+        for feature_idx in range(features.shape[1]):
+            for threshold in np.unique(features[:, feature_idx]):
+                for polarity in (1.0, -1.0):
+                    margins = polarity * np.sign(features[:, feature_idx] - threshold + 1e-12)
+                    alpha, z = optimize_alpha(margins, labels, weights, mode="discrete")
+                    if alpha <= 0:
+                        continue
+                    if best is None or z < best[3]:
+                        best = ((feature_idx, threshold, polarity), margins, alpha, z)
+        if best is None:
+            return None, None, 0.0, 1.0
+        return best
+
+    return learner
+
+
+class TestAdaBoost:
+    def test_boosting_learns_a_toy_problem(self):
+        """AdaBoost with stumps should fit a 2D XOR-free toy problem well."""
+        rng = np.random.default_rng(0)
+        features = rng.normal(size=(80, 2))
+        labels = np.where(features[:, 0] + 0.5 * features[:, 1] > 0, 1.0, -1.0)
+        booster = AdaBoost(labels=labels, max_rounds=15)
+        rounds = booster.fit(_stump_weak_learner(features, labels))
+        assert len(rounds) >= 1
+        assert booster.training_error() <= 0.1
+        # Training error is non-increasing-ish: final no worse than first round.
+        assert rounds[-1].training_error <= rounds[0].training_error + 1e-9
+
+    def test_weights_remain_normalised(self):
+        rng = np.random.default_rng(1)
+        features = rng.normal(size=(40, 2))
+        labels = np.where(features[:, 0] > 0, 1.0, -1.0)
+        booster = AdaBoost(labels=labels, max_rounds=5)
+        booster.fit(_stump_weak_learner(features, labels))
+        assert booster.weights.sum() == pytest.approx(1.0)
+        assert np.all(booster.weights >= 0)
+
+    def test_step_rejects_useless_classifier(self):
+        booster = AdaBoost(labels=np.array([1.0, -1.0]), max_rounds=3)
+        accepted = booster.step("clf", np.array([0.0, 0.0]), alpha=0.0, z=1.0)
+        assert accepted is False
+        assert booster.rounds == []
+
+    def test_invalid_labels_rejected(self):
+        with pytest.raises(TrainingError):
+            AdaBoost(labels=np.array([1.0, 0.5]), max_rounds=3)
+
+    def test_invalid_rounds_rejected(self):
+        with pytest.raises(TrainingError):
+            AdaBoost(labels=np.array([1.0, -1.0]), max_rounds=0)
+
+    def test_ensemble_margins_accumulate(self):
+        labels = np.array([1.0, -1.0, 1.0])
+        booster = AdaBoost(labels=labels, max_rounds=5)
+        margins = np.array([1.0, -1.0, 1.0])
+        booster.step("h1", margins, alpha=0.7, z=0.5)
+        booster.step("h2", margins, alpha=0.3, z=0.6)
+        assert np.allclose(booster.ensemble_margins, margins)  # sign pattern
+        assert booster.training_error() == 0.0
+
+    def test_fit_requires_callable(self):
+        booster = AdaBoost(labels=np.array([1.0, -1.0]), max_rounds=2)
+        with pytest.raises(TrainingError):
+            booster.fit("not-callable")
+
+
+# --------------------------------------------------------------------------- #
+# Triple samplers                                                             #
+# --------------------------------------------------------------------------- #
+
+
+@pytest.fixture(scope="module")
+def pool_matrix(l2):
+    rng = np.random.default_rng(4)
+    objects = [rng.normal(size=3) for _ in range(30)]
+    return pairwise_distances(l2, objects)
+
+
+class TestRandomSampler:
+    def test_sampled_triples_are_valid(self, pool_matrix):
+        triples = RandomTripleSampler(seed=0).sample(pool_matrix, 200)
+        assert triples.size == 200
+        assert np.all(triples.labels != 0)
+        assert np.all(triples.a != triples.b)
+        # Labels agree with the distance matrix.
+        d_qa = pool_matrix[triples.q, triples.a]
+        d_qb = pool_matrix[triples.q, triples.b]
+        assert np.all(np.sign(d_qb - d_qa) == triples.labels)
+
+    def test_deterministic_given_seed(self, pool_matrix):
+        a = RandomTripleSampler(seed=5).sample(pool_matrix, 50)
+        b = RandomTripleSampler(seed=5).sample(pool_matrix, 50)
+        assert np.array_equal(a.q, b.q) and np.array_equal(a.labels, b.labels)
+
+    def test_rejects_degenerate_matrix(self):
+        with pytest.raises(TrainingError):
+            RandomTripleSampler(seed=0).sample(np.zeros((5, 5)), 10)
+
+    def test_rejects_tiny_pool(self):
+        with pytest.raises(TrainingError):
+            RandomTripleSampler(seed=0).sample(np.zeros((2, 2)), 10)
+
+
+class TestSelectiveSampler:
+    def test_a_is_always_a_near_neighbor(self, pool_matrix):
+        k1 = 3
+        triples = SelectiveTripleSampler(k1=k1, seed=0).sample(pool_matrix, 300)
+        n = pool_matrix.shape[0]
+        for q, a, b, label in triples:
+            ranks = np.argsort(pool_matrix[q])
+            ranks = ranks[ranks != q]
+            a_rank = int(np.where(ranks == a)[0][0])
+            b_rank = int(np.where(ranks == b)[0][0])
+            assert a_rank < k1
+            assert b_rank >= k1
+            assert label == 1  # a is strictly closer than b by construction
+
+    def test_k1_too_large_rejected(self, pool_matrix):
+        with pytest.raises(TrainingError):
+            SelectiveTripleSampler(k1=40, seed=0).sample(pool_matrix, 10)
+
+    def test_invalid_k1_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SelectiveTripleSampler(k1=0)
+
+    def test_deterministic_given_seed(self, pool_matrix):
+        a = SelectiveTripleSampler(k1=3, seed=2).sample(pool_matrix, 40)
+        b = SelectiveTripleSampler(k1=3, seed=2).sample(pool_matrix, 40)
+        assert np.array_equal(a.q, b.q) and np.array_equal(a.b, b.b)
+
+
+class TestSamplerFactory:
+    def test_make_random(self):
+        assert isinstance(make_sampler("random"), RandomTripleSampler)
+
+    def test_make_selective_requires_k1(self):
+        assert isinstance(make_sampler("selective", k1=3), SelectiveTripleSampler)
+        with pytest.raises(ConfigurationError):
+            make_sampler("selective")
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ConfigurationError):
+            make_sampler("exhaustive")
+
+    def test_suggest_k1_matches_paper_guideline(self):
+        # kmax=50, |Xtr| one tenth of the database -> k1 = 5 (the paper's example).
+        assert suggest_k1(50, 5000, 50000) == 5
+        assert suggest_k1(50, 200, 400) == 25
+        assert suggest_k1(1, 10, 1000) == 1  # never below 1
+
+    def test_suggest_k1_validates(self):
+        with pytest.raises(ConfigurationError):
+            suggest_k1(10, 100, 50)
+
+
+# --------------------------------------------------------------------------- #
+# Candidate generation and the round-wise weak learner                        #
+# --------------------------------------------------------------------------- #
+
+
+@pytest.fixture(scope="module")
+def tables(l2):
+    rng = np.random.default_rng(8)
+    pool = [rng.normal(size=3) for _ in range(25)]
+    candidates = [rng.normal(size=3) for _ in range(12)]
+    c_to_pool = np.array([[l2(c, x) for x in pool] for c in candidates])
+    c_to_c = np.array([[l2(c1, c2) for c2 in candidates] for c1 in candidates])
+    pool_to_pool = np.array([[l2(x1, x2) for x2 in pool] for x1 in pool])
+    return c_to_pool, c_to_c, pool_to_pool
+
+
+class TestCandidateGenerator:
+    def test_generates_requested_count(self, tables):
+        c_to_pool, c_to_c, _ = tables
+        generator = CandidateGenerator(c_to_pool, c_to_c, pivot_fraction=0.5, seed=0)
+        candidates = generator.generate(20)
+        assert len(candidates) == 20
+        kinds = {c.kind for c in candidates}
+        assert kinds <= {"reference", "pivot"}
+
+    def test_reference_values_come_from_table(self, tables):
+        c_to_pool, c_to_c, _ = tables
+        generator = CandidateGenerator(c_to_pool, c_to_c, pivot_fraction=0.0, seed=0)
+        candidate = generator.generate(1)[0]
+        assert candidate.kind == "reference"
+        idx = candidate.candidate_indices[0]
+        assert np.array_equal(candidate.values, c_to_pool[idx])
+
+    def test_pivot_values_match_projection_formula(self, tables):
+        c_to_pool, c_to_c, _ = tables
+        generator = CandidateGenerator(c_to_pool, c_to_c, pivot_fraction=1.0, seed=0)
+        candidate = generator.generate(1)[0]
+        assert candidate.kind == "pivot"
+        i, j = candidate.candidate_indices
+        expected = (c_to_pool[i] ** 2 + c_to_c[i, j] ** 2 - c_to_pool[j] ** 2) / (
+            2 * c_to_c[i, j]
+        )
+        assert np.allclose(candidate.values, expected)
+
+    def test_pivot_requires_candidate_matrix(self, tables):
+        c_to_pool, _, _ = tables
+        with pytest.raises(TrainingError):
+            CandidateGenerator(c_to_pool, None, pivot_fraction=0.5)
+        # but pivot_fraction=0 works without it
+        CandidateGenerator(c_to_pool, None, pivot_fraction=0.0)
+
+    def test_invalid_pivot_fraction(self, tables):
+        c_to_pool, c_to_c, _ = tables
+        with pytest.raises(TrainingError):
+            CandidateGenerator(c_to_pool, c_to_c, pivot_fraction=1.5)
+
+
+class TestTripleWeakLearner:
+    def _make_learner(self, tables, query_sensitive=True, mode="confidence"):
+        c_to_pool, c_to_c, pool_to_pool = tables
+        triples = SelectiveTripleSampler(k1=3, seed=1).sample(pool_to_pool, 300)
+        generator = CandidateGenerator(c_to_pool, c_to_c, pivot_fraction=0.5, seed=2)
+        learner = TripleWeakLearner(
+            triples=triples,
+            generator=generator,
+            classifiers_per_round=15,
+            intervals_per_candidate=4,
+            query_sensitive=query_sensitive,
+            mode=mode,
+            seed=3,
+        )
+        return learner, triples
+
+    def test_returns_useful_classifier(self, tables):
+        learner, triples = self._make_learner(tables)
+        weights = np.full(triples.size, 1.0 / triples.size)
+        chosen, margins, alpha, z = learner(weights, 0)
+        assert isinstance(chosen, ChosenClassifier)
+        assert alpha > 0 and z < 1.0
+        assert margins.shape == (triples.size,)
+
+    def test_query_insensitive_only_uses_global_interval(self, tables):
+        learner, triples = self._make_learner(tables, query_sensitive=False)
+        weights = np.full(triples.size, 1.0 / triples.size)
+        chosen, _, _, _ = learner(weights, 0)
+        assert chosen.interval.is_global
+
+    def test_discrete_mode_returns_sign_margins(self, tables):
+        learner, triples = self._make_learner(tables, mode="discrete")
+        weights = np.full(triples.size, 1.0 / triples.size)
+        chosen, margins, alpha, _ = learner(weights, 0)
+        assert set(np.unique(margins)) <= {-1.0, 0.0, 1.0}
+
+    def test_interval_coverage_constraint_respected(self, tables):
+        c_to_pool, c_to_c, pool_to_pool = tables
+        triples = SelectiveTripleSampler(k1=3, seed=1).sample(pool_to_pool, 200)
+        generator = CandidateGenerator(c_to_pool, c_to_c, pivot_fraction=0.0, seed=2)
+        learner = TripleWeakLearner(
+            triples=triples,
+            generator=generator,
+            classifiers_per_round=5,
+            intervals_per_candidate=10,
+            min_interval_fraction=0.5,
+            seed=3,
+        )
+        candidate = generator.generate(1)[0]
+        values = np.sort(candidate.values[triples.object_indices()])
+        for interval in learner._candidate_intervals(candidate):
+            if interval.is_global:
+                continue
+            covered = np.mean((values >= interval.low) & (values <= interval.high))
+            assert covered >= 0.5 - 1e-9
+
+    def test_invalid_configuration_rejected(self, tables):
+        c_to_pool, c_to_c, pool_to_pool = tables
+        triples = RandomTripleSampler(seed=0).sample(pool_to_pool, 50)
+        generator = CandidateGenerator(c_to_pool, c_to_c, seed=0)
+        with pytest.raises(TrainingError):
+            TripleWeakLearner(triples, generator, classifiers_per_round=0)
+        with pytest.raises(TrainingError):
+            TripleWeakLearner(triples, generator, 5, min_interval_fraction=1.5)
+        with pytest.raises(TrainingError):
+            TripleWeakLearner(triples, generator, 5, mode="bogus")

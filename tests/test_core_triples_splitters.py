@@ -1,0 +1,236 @@
+"""Tests for training triples, splitters and weak-classifier primitives."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import GLOBAL_INTERVAL, Interval, TripleSet, triple_label
+from repro.core.weak_classifiers import (
+    apply_splitter,
+    classifier_margins,
+    optimize_alpha,
+    weighted_error,
+)
+from repro.exceptions import TrainingError
+
+
+class TestTripleLabel:
+    def test_closer_to_a(self):
+        assert triple_label(1.0, 2.0) == 1
+
+    def test_closer_to_b(self):
+        assert triple_label(2.0, 1.0) == -1
+
+    def test_tie(self):
+        assert triple_label(1.5, 1.5) == 0
+
+
+class TestTripleSet:
+    def test_basic_construction(self):
+        triples = TripleSet(q=[0, 1], a=[1, 2], b=[2, 0], labels=[1, -1])
+        assert triples.size == 2
+        assert len(triples) == 2
+        assert list(triples)[0] == (0, 1, 2, 1)
+
+    def test_object_indices(self):
+        triples = TripleSet(q=[0, 5], a=[1, 2], b=[2, 7], labels=[1, 1])
+        assert list(triples.object_indices()) == [0, 1, 2, 5, 7]
+
+    def test_subset(self):
+        triples = TripleSet(q=[0, 1, 2], a=[1, 2, 0], b=[2, 0, 1], labels=[1, -1, 1])
+        sub = triples.subset(np.array([0, 2]))
+        assert sub.size == 2
+        assert list(sub.labels) == [1, 1]
+
+    def test_rejects_invalid_labels(self):
+        with pytest.raises(TrainingError):
+            TripleSet(q=[0], a=[1], b=[2], labels=[0])
+
+    def test_rejects_a_equal_b(self):
+        with pytest.raises(TrainingError):
+            TripleSet(q=[0], a=[1], b=[1], labels=[1])
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(TrainingError):
+            TripleSet(q=[0, 1], a=[1], b=[2], labels=[1])
+
+    def test_from_distance_matrix_derives_labels_and_drops_ties(self):
+        distances = np.array(
+            [
+                [0.0, 1.0, 2.0, 1.0],
+                [1.0, 0.0, 1.0, 2.0],
+                [2.0, 1.0, 0.0, 3.0],
+                [1.0, 2.0, 3.0, 0.0],
+            ]
+        )
+        triples = TripleSet.from_distance_matrix(
+            q=np.array([0, 0, 0]),
+            a=np.array([1, 2, 1]),
+            b=np.array([2, 1, 3]),  # last one ties (d=1 vs d=1) and is dropped
+            distances=distances,
+        )
+        assert triples.size == 2
+        assert list(triples.labels) == [1, -1]
+
+    def test_from_distance_matrix_all_ties_rejected(self):
+        distances = np.ones((3, 3))
+        with pytest.raises(TrainingError):
+            TripleSet.from_distance_matrix(
+                q=np.array([0]), a=np.array([1]), b=np.array([2]), distances=distances
+            )
+
+
+class TestInterval:
+    def test_contains_scalar_and_array(self):
+        interval = Interval(low=0.0, high=1.0)
+        assert interval.contains(0.5) is True
+        assert interval.contains(1.5) is False
+        mask = interval.contains(np.array([-0.5, 0.0, 0.7, 2.0]))
+        assert list(mask) == [False, True, True, False]
+
+    def test_in_operator(self):
+        assert 0.3 in Interval(0.0, 1.0)
+        assert 2.0 not in Interval(0.0, 1.0)
+
+    def test_global_interval(self):
+        assert GLOBAL_INTERVAL.is_global
+        assert GLOBAL_INTERVAL.contains(1e300)
+        assert not Interval(0.0, np.inf).is_global
+
+    def test_width(self):
+        assert Interval(1.0, 3.5).width() == 2.5
+        assert np.isinf(GLOBAL_INTERVAL.width())
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(TrainingError):
+            Interval(low=2.0, high=1.0)
+
+    def test_rejects_nan(self):
+        with pytest.raises(TrainingError):
+            Interval(low=np.nan, high=1.0)
+
+    def test_as_tuple(self):
+        assert Interval(0.5, 1.5).as_tuple() == (0.5, 1.5)
+
+
+class TestClassifierMargins:
+    def test_sign_predicts_proximity(self):
+        # F(q)=0, F(a)=1, F(b)=5: q appears closer to a -> positive margin.
+        margins = classifier_margins(np.array([0.0]), np.array([1.0]), np.array([5.0]))
+        assert margins[0] == pytest.approx(4.0)
+
+    def test_zero_when_equidistant(self):
+        margins = classifier_margins(np.array([0.0]), np.array([2.0]), np.array([-2.0]))
+        assert margins[0] == 0.0
+
+    def test_vectorised(self):
+        q = np.array([0.0, 1.0, 2.0])
+        a = np.array([1.0, 1.0, 0.0])
+        b = np.array([3.0, 0.0, 5.0])
+        margins = classifier_margins(q, a, b)
+        assert margins.shape == (3,)
+        assert margins[0] == pytest.approx(2.0)
+        assert margins[1] == pytest.approx(1.0)
+        assert margins[2] == pytest.approx(1.0)
+
+
+class TestApplySplitter:
+    def test_global_interval_is_identity(self):
+        margins = np.array([1.0, -2.0, 0.5])
+        out = apply_splitter(margins, np.array([0.0, 10.0, -5.0]), GLOBAL_INTERVAL)
+        assert np.array_equal(out, margins)
+
+    def test_outside_interval_zeroed(self):
+        margins = np.array([1.0, -2.0, 0.5])
+        values_q = np.array([0.0, 10.0, 0.5])
+        out = apply_splitter(margins, values_q, Interval(0.0, 1.0))
+        assert list(out) == [1.0, 0.0, 0.5]
+
+
+class TestWeightedError:
+    def test_perfect_classifier(self):
+        margins = np.array([1.0, -1.0, 2.0])
+        labels = np.array([1, -1, 1])
+        weights = np.full(3, 1 / 3)
+        assert weighted_error(margins, labels, weights) == 0.0
+
+    def test_always_wrong_classifier(self):
+        margins = np.array([-1.0, 1.0])
+        labels = np.array([1, -1])
+        weights = np.array([0.5, 0.5])
+        assert weighted_error(margins, labels, weights) == 1.0
+
+    def test_abstention_counts_half(self):
+        margins = np.array([0.0, 0.0])
+        labels = np.array([1, -1])
+        weights = np.array([0.5, 0.5])
+        assert weighted_error(margins, labels, weights) == 0.5
+
+    def test_weights_matter(self):
+        margins = np.array([1.0, -1.0])
+        labels = np.array([1, 1])  # second is misclassified
+        weights = np.array([0.9, 0.1])
+        assert weighted_error(margins, labels, weights) == pytest.approx(0.1)
+
+    def test_zero_total_weight_rejected(self):
+        with pytest.raises(TrainingError):
+            weighted_error(np.array([1.0]), np.array([1]), np.array([0.0]))
+
+
+class TestOptimizeAlpha:
+    @pytest.mark.parametrize("mode", ["confidence", "discrete"])
+    def test_good_classifier_gets_positive_alpha_and_small_z(self, mode):
+        labels = np.array([1, 1, -1, -1], dtype=float)
+        margins = np.array([0.8, 0.5, -0.9, -0.4])
+        weights = np.full(4, 0.25)
+        alpha, z = optimize_alpha(margins, labels, weights, mode=mode)
+        assert alpha > 0
+        assert z < 1.0
+
+    @pytest.mark.parametrize("mode", ["confidence", "discrete"])
+    def test_useless_classifier_rejected(self, mode):
+        labels = np.array([1, -1], dtype=float)
+        margins = np.array([-0.5, 0.5])  # always wrong
+        weights = np.array([0.5, 0.5])
+        alpha, z = optimize_alpha(margins, labels, weights, mode=mode)
+        assert alpha == 0.0
+        assert z == 1.0
+
+    def test_abstaining_classifier_rejected(self):
+        labels = np.array([1, -1], dtype=float)
+        margins = np.zeros(2)
+        weights = np.array([0.5, 0.5])
+        alpha, z = optimize_alpha(margins, labels, weights, mode="confidence")
+        assert alpha == 0.0
+
+    def test_confidence_alpha_minimises_z(self):
+        rng = np.random.default_rng(0)
+        labels = np.sign(rng.normal(size=50))
+        labels[labels == 0] = 1
+        margins = labels * np.abs(rng.normal(size=50)) * 0.7 + rng.normal(size=50) * 0.3
+        weights = np.full(50, 1 / 50)
+        alpha, z = optimize_alpha(margins, labels, weights, mode="confidence")
+        if alpha > 0:
+            # Perturbing alpha should not reduce Z (it is the minimiser).
+            def z_at(a):
+                return float(np.sum(weights * np.exp(-a * labels * margins)))
+
+            assert z_at(alpha) <= z_at(alpha * 1.2) + 1e-6
+            assert z_at(alpha) <= z_at(alpha * 0.8) + 1e-6
+
+    def test_perfect_separation_capped_not_overflowing(self):
+        labels = np.array([1, 1, -1, -1], dtype=float)
+        margins = labels.copy()
+        weights = np.full(4, 0.25)
+        alpha, z = optimize_alpha(margins, labels, weights, mode="confidence")
+        assert np.isfinite(alpha) and alpha > 0
+        assert np.isfinite(z) and z < 1.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(TrainingError):
+            optimize_alpha(np.zeros(3), np.zeros(2), np.zeros(3))
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(TrainingError):
+            optimize_alpha(np.zeros(2), np.ones(2), np.full(2, 0.5), mode="bogus")

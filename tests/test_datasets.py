@@ -1,0 +1,262 @@
+"""Tests for the dataset containers and synthetic generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    Dataset,
+    DigitImageGenerator,
+    RetrievalSplit,
+    StringMutationGenerator,
+    TimeSeriesGenerator,
+    ToyUnitSquare,
+    make_digit_dataset,
+    make_gaussian_clusters,
+    make_string_dataset,
+    make_timeseries_dataset,
+    make_toy_dataset,
+)
+from repro.exceptions import DatasetError
+
+
+class TestDataset:
+    def test_basic_container_behaviour(self):
+        ds = Dataset(objects=[1, 2, 3], labels=[0, 1, 0], name="ints")
+        assert len(ds) == 3
+        assert list(ds) == [1, 2, 3]
+        assert ds[1] == 2
+        assert ds.label_of(1) == 1
+
+    def test_label_of_none_when_unlabeled(self):
+        ds = Dataset(objects=["a", "b"])
+        assert ds.label_of(0) is None
+
+    def test_rejects_empty(self):
+        with pytest.raises(DatasetError):
+            Dataset(objects=[])
+
+    def test_rejects_label_length_mismatch(self):
+        with pytest.raises(DatasetError):
+            Dataset(objects=[1, 2], labels=[0])
+
+    def test_subset_shares_objects_and_slices_labels(self):
+        objects = [np.array([i]) for i in range(5)]
+        ds = Dataset(objects=objects, labels=[0, 1, 2, 3, 4])
+        sub = ds.subset([3, 1])
+        assert sub[0] is objects[3]
+        assert list(sub.labels) == [3, 1]
+
+    def test_subset_rejects_empty(self):
+        ds = Dataset(objects=[1, 2])
+        with pytest.raises(DatasetError):
+            ds.subset([])
+
+    def test_sample_without_replacement(self):
+        ds = Dataset(objects=list(range(20)))
+        sample = ds.sample(10, seed=0)
+        assert len(sample) == 10
+        assert len(set(sample.objects)) == 10
+
+    def test_sample_size_bounds(self):
+        ds = Dataset(objects=[1, 2, 3])
+        with pytest.raises(DatasetError):
+            ds.sample(0)
+        with pytest.raises(DatasetError):
+            ds.sample(4)
+
+
+class TestRetrievalSplit:
+    def test_from_dataset_is_disjoint_and_complete(self):
+        ds = Dataset(objects=list(range(50)))
+        split = RetrievalSplit.from_dataset(ds, n_queries=10, seed=0)
+        assert split.query_count == 10
+        assert split.database_size == 40
+        assert set(split.queries.objects).isdisjoint(split.database.objects)
+        assert set(split.queries.objects) | set(split.database.objects) == set(range(50))
+
+    def test_invalid_query_counts(self):
+        ds = Dataset(objects=list(range(10)))
+        with pytest.raises(DatasetError):
+            RetrievalSplit.from_dataset(ds, n_queries=0)
+        with pytest.raises(DatasetError):
+            RetrievalSplit.from_dataset(ds, n_queries=10)
+
+    def test_deterministic_given_seed(self):
+        ds = Dataset(objects=list(range(30)))
+        a = RetrievalSplit.from_dataset(ds, n_queries=5, seed=3)
+        b = RetrievalSplit.from_dataset(ds, n_queries=5, seed=3)
+        assert a.queries.objects == b.queries.objects
+
+
+class TestDigitGenerator:
+    def test_image_shape_and_range(self):
+        generator = DigitImageGenerator(image_size=28)
+        image = generator.render(5, rng=0)
+        assert image.shape == (28, 28)
+        assert image.min() >= 0.0 and image.max() <= 1.0
+        assert image.max() > 0.5  # there is actual ink
+
+    def test_deterministic_given_seed(self):
+        generator = DigitImageGenerator()
+        assert np.array_equal(generator.render(3, rng=9), generator.render(3, rng=9))
+
+    def test_different_seeds_produce_different_images(self):
+        generator = DigitImageGenerator()
+        assert not np.array_equal(generator.render(3, rng=1), generator.render(3, rng=2))
+
+    def test_rejects_unknown_digit(self):
+        with pytest.raises(DatasetError):
+            DigitImageGenerator().render(11)
+
+    def test_generate_labels_match_requested_classes(self):
+        ds = DigitImageGenerator().generate(30, digits=[1, 7], seed=0)
+        assert set(np.unique(ds.labels)) <= {1, 7}
+        assert len(ds) == 30
+
+    def test_make_digit_dataset_shapes(self):
+        database, queries = make_digit_dataset(n_database=20, n_queries=5, seed=0)
+        assert len(database) == 20 and len(queries) == 5
+        assert database[0].shape == (28, 28)
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(DatasetError):
+            make_digit_dataset(n_database=0, n_queries=5)
+        with pytest.raises(DatasetError):
+            DigitImageGenerator(image_size=4)
+
+
+class TestTimeSeriesGenerator:
+    def test_series_shape_and_normalisation(self):
+        generator = TimeSeriesGenerator(length=50, n_dims=3)
+        ds = generator.generate(10, seed=0)
+        series = ds[0]
+        assert series.ndim == 2 and series.shape[1] == 3
+        # Mean-normalised per dimension.
+        assert np.allclose(series.mean(axis=0), 0.0, atol=1e-9)
+
+    def test_lengths_vary_because_of_time_warping(self):
+        generator = TimeSeriesGenerator(length=60, warp_strength=0.3)
+        ds = generator.generate(20, seed=1)
+        lengths = {obj.shape[0] for obj in ds}
+        assert len(lengths) > 1
+
+    def test_labels_identify_seed_patterns(self):
+        generator = TimeSeriesGenerator(n_seeds=4)
+        ds = generator.generate(40, seed=2)
+        assert set(np.unique(ds.labels)) <= set(range(4))
+
+    def test_make_timeseries_dataset_split(self):
+        database, queries = make_timeseries_dataset(
+            n_database=30, n_queries=5, n_seeds=4, length=32, seed=0
+        )
+        assert len(database) == 30 and len(queries) == 5
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(DatasetError):
+            TimeSeriesGenerator(n_seeds=0)
+        with pytest.raises(DatasetError):
+            TimeSeriesGenerator(length=4)
+        with pytest.raises(DatasetError):
+            TimeSeriesGenerator(warp_strength=1.5)
+
+    def test_deterministic_given_seed(self):
+        a = TimeSeriesGenerator().generate(5, seed=7)
+        b = TimeSeriesGenerator().generate(5, seed=7)
+        assert all(np.array_equal(x, y) for x, y in zip(a, b))
+
+
+class TestToyDataset:
+    def test_default_layout_matches_paper_sizes(self):
+        toy = make_toy_dataset()
+        assert toy.database.shape == (20, 2)
+        assert toy.queries.shape == (10, 2)
+        assert len(toy.reference_indices) == 3
+        assert toy.triple_count() == 10 * 20 * 19  # = 3800, as in the caption
+
+    def test_special_queries_near_references(self):
+        toy = make_toy_dataset(near_distance=0.02, seed=0)
+        for q_idx, r_idx in zip(toy.special_query_indices, toy.reference_indices):
+            gap = np.linalg.norm(toy.queries[q_idx] - toy.database[r_idx])
+            assert gap < 0.15
+
+    def test_points_inside_unit_square(self):
+        toy = make_toy_dataset(seed=1)
+        for array in (toy.database, toy.queries):
+            assert np.all(array >= 0.0) and np.all(array <= 1.0)
+
+    def test_as_datasets(self):
+        toy = make_toy_dataset()
+        db, queries = toy.as_datasets()
+        assert len(db) == 20 and len(queries) == 10
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(DatasetError):
+            make_toy_dataset(n_database=2, n_references=3)
+        with pytest.raises(DatasetError):
+            make_toy_dataset(near_distance=0.0)
+        with pytest.raises(DatasetError):
+            ToyUnitSquare(
+                database=np.zeros((5, 2)),
+                queries=np.zeros((3, 2)),
+                reference_indices=[9],
+                special_query_indices=[0],
+            )
+
+
+class TestStringGenerator:
+    def test_mutations_preserve_alphabet(self):
+        generator = StringMutationGenerator(alphabet="AB", ancestor_length=20)
+        ds = generator.generate(10, seed=0)
+        assert all(set(s) <= {"A", "B"} for s in ds)
+
+    def test_same_family_strings_are_similar(self):
+        from repro.distances import EditDistance
+
+        database, _ = make_string_dataset(n_database=40, n_queries=5, n_ancestors=4, seed=0)
+        edit = EditDistance()
+        labels = database.labels
+        same_idx = np.where(labels == labels[0])[0]
+        diff_idx = np.where(labels != labels[0])[0]
+        if same_idx.shape[0] < 2 or diff_idx.shape[0] < 1:
+            pytest.skip("unlucky label draw")
+        d_same = edit(database[int(same_idx[0])], database[int(same_idx[1])])
+        d_diff = edit(database[int(same_idx[0])], database[int(diff_idx[0])])
+        assert d_same < d_diff
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(DatasetError):
+            StringMutationGenerator(alphabet="A")
+        with pytest.raises(DatasetError):
+            StringMutationGenerator(mutation_rate=1.5)
+
+    def test_mutation_never_returns_empty(self):
+        generator = StringMutationGenerator(indel_rate=1.0)
+        assert len(generator.mutate("ACGT", rng=0)) >= 1
+
+
+class TestGaussianClusters:
+    def test_shapes_and_labels(self):
+        ds = make_gaussian_clusters(n_objects=50, n_clusters=3, n_dims=4, seed=0)
+        assert len(ds) == 50
+        assert ds[0].shape == (4,)
+        assert set(np.unique(ds.labels)) <= {0, 1, 2}
+
+    def test_cluster_structure_exists(self):
+        ds = make_gaussian_clusters(
+            n_objects=60, n_clusters=2, n_dims=3, cluster_spread=0.01, seed=1
+        )
+        points = np.vstack(ds.objects)
+        labels = ds.labels
+        center0 = points[labels == 0].mean(axis=0)
+        center1 = points[labels == 1].mean(axis=0)
+        within = np.linalg.norm(points[labels == 0] - center0, axis=1).mean()
+        between = np.linalg.norm(center0 - center1)
+        assert within < between
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(DatasetError):
+            make_gaussian_clusters(n_objects=0)
+        with pytest.raises(DatasetError):
+            make_gaussian_clusters(n_objects=10, cluster_spread=-1.0)

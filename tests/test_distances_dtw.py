@@ -1,0 +1,136 @@
+"""Tests for constrained Dynamic Time Warping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distances import ConstrainedDTW, L2Distance, dtw_distance
+from repro.exceptions import DistanceError
+
+
+def _series(values):
+    return np.asarray(values, dtype=float).reshape(-1, 1)
+
+
+class TestDTWBasics:
+    def test_identical_series_distance_zero(self):
+        x = _series([1, 2, 3, 4, 5])
+        assert dtw_distance(x, x) == 0.0
+
+    def test_symmetric(self):
+        rng = np.random.default_rng(0)
+        x, y = rng.normal(size=(12, 2)), rng.normal(size=(15, 2))
+        assert dtw_distance(x, y) == pytest.approx(dtw_distance(y, x))
+
+    def test_non_negative(self):
+        rng = np.random.default_rng(1)
+        for _ in range(5):
+            x, y = rng.normal(size=(10, 1)), rng.normal(size=(10, 1))
+            assert dtw_distance(x, y) >= 0.0
+
+    def test_handles_different_lengths(self):
+        x = _series([0, 1, 2, 3, 4, 5, 6, 7])
+        y = _series([0, 2, 4, 6])
+        assert np.isfinite(dtw_distance(x, y))
+
+    def test_warping_beats_lockstep_on_shifted_series(self):
+        # A time-shifted copy should be much closer under DTW than under the
+        # lockstep Euclidean distance.
+        t = np.linspace(0, 4 * np.pi, 60)
+        x = _series(np.sin(t))
+        y = _series(np.sin(t + 0.6))
+        lockstep = float(np.abs(x - y).sum())
+        warped = dtw_distance(x, y, band_fraction=0.2)
+        assert warped < lockstep
+
+    def test_1d_input_accepted(self):
+        assert dtw_distance([1.0, 2.0, 3.0], [1.0, 2.0, 3.0]) == 0.0
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(DistanceError):
+            dtw_distance(np.zeros((5, 2)), np.zeros((5, 3)))
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(DistanceError):
+            dtw_distance(np.zeros((0, 1)), np.zeros((5, 1)))
+
+    def test_invalid_band_fraction_rejected(self):
+        with pytest.raises(DistanceError):
+            dtw_distance(_series([1, 2]), _series([1, 2]), band_fraction=1.5)
+
+
+class TestBandConstraint:
+    def test_band_zero_equals_lockstep_for_equal_lengths(self):
+        rng = np.random.default_rng(2)
+        x, y = rng.normal(size=(20, 1)), rng.normal(size=(20, 1))
+        banded = dtw_distance(x, y, band_width=0)
+        lockstep = float(np.sqrt(((x - y) ** 2).sum(axis=1)).sum())
+        assert banded == pytest.approx(lockstep)
+
+    def test_wider_band_never_increases_distance(self):
+        rng = np.random.default_rng(3)
+        x, y = rng.normal(size=(25, 2)), rng.normal(size=(25, 2))
+        narrow = dtw_distance(x, y, band_width=1)
+        medium = dtw_distance(x, y, band_width=4)
+        wide = dtw_distance(x, y, band_width=25)
+        assert wide <= medium <= narrow
+
+    def test_band_expands_to_length_difference(self):
+        # Even with band_width=0 a path must exist when lengths differ.
+        x = _series(range(10))
+        y = _series(range(15))
+        assert np.isfinite(dtw_distance(x, y, band_width=0))
+
+    def test_unconstrained_when_both_band_args_none(self):
+        x = _series([0, 0, 0, 5])
+        y = _series([5, 0, 0, 0])
+        unconstrained = dtw_distance(x, y, band_fraction=None, band_width=None)
+        constrained = dtw_distance(x, y, band_width=1)
+        assert unconstrained <= constrained
+
+
+class TestConstrainedDTWMeasure:
+    def test_declares_non_metric(self):
+        assert ConstrainedDTW().is_metric is False
+
+    def test_triangle_inequality_can_fail(self):
+        # A concrete violation: warping lets the short series z align cheaply
+        # with both x and y, while x and y are forced to pay at every step.
+        dtw = ConstrainedDTW(band_fraction=1.0)
+        x = _series([0, 0, 0, 0])
+        y = _series([1, 1, 1, 1])
+        z = _series([0, 1])
+        d_xy = dtw(x, y)
+        d_xz = dtw(x, z)
+        d_zy = dtw(z, y)
+        assert d_xy > d_xz + d_zy + 1e-9
+
+    def test_normalize_divides_by_length(self):
+        x = _series([0, 1, 2, 3])
+        y = _series([4, 5, 6, 7])
+        raw = ConstrainedDTW(normalize=False)(x, y)
+        normalized = ConstrainedDTW(normalize=True)(x, y)
+        assert normalized == pytest.approx(raw / 4.0)
+
+    def test_invalid_band_rejected(self):
+        with pytest.raises(DistanceError):
+            ConstrainedDTW(band_fraction=-0.1)
+        with pytest.raises(DistanceError):
+            ConstrainedDTW(band_width=-1)
+
+    def test_variants_of_same_seed_are_closer(self, timeseries_split, dtw):
+        """Series generated from the same seed pattern should be closer."""
+        database = timeseries_split.database
+        labels = database.labels
+        # Pick one object per of two different labels and one same-label pair.
+        label_values = np.unique(labels)
+        assert label_values.shape[0] >= 2
+        first_label = label_values[0]
+        same = np.where(labels == first_label)[0][:2]
+        other = np.where(labels != first_label)[0][0]
+        if same.shape[0] < 2:
+            pytest.skip("not enough same-seed series in fixture")
+        d_same = dtw(database[int(same[0])], database[int(same[1])])
+        d_diff = dtw(database[int(same[0])], database[int(other)])
+        assert d_same < d_diff

@@ -1,0 +1,122 @@
+"""Tests for Lp, weighted L1 and query-sensitive L1 distances."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distances import (
+    L1Distance,
+    L2Distance,
+    LpDistance,
+    QuerySensitiveL1,
+    WeightedL1Distance,
+)
+from repro.exceptions import DistanceError
+
+
+class TestLpDistance:
+    def test_l1_value(self):
+        assert L1Distance()([1.0, 2.0], [3.0, 0.0]) == 4.0
+
+    def test_l2_value(self):
+        assert L2Distance()([0.0, 0.0], [3.0, 4.0]) == pytest.approx(5.0)
+
+    def test_linf(self):
+        dist = LpDistance(p=np.inf)
+        assert dist([0.0, 0.0], [3.0, -7.0]) == 7.0
+
+    def test_fractional_p_not_metric(self):
+        assert LpDistance(p=0.5).is_metric is False
+        assert LpDistance(p=1.0).is_metric is True
+
+    def test_identity(self):
+        assert L2Distance()([1.0, 2.0, 3.0], [1.0, 2.0, 3.0]) == 0.0
+
+    def test_symmetry(self):
+        x, y = [1.0, -2.0, 0.5], [0.0, 4.0, 2.5]
+        assert L1Distance()(x, y) == L1Distance()(y, x)
+
+    def test_rejects_non_positive_p(self):
+        with pytest.raises(DistanceError):
+            LpDistance(p=0)
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(DistanceError):
+            L2Distance()([1.0, 2.0], [1.0])
+
+    def test_rejects_matrix_input(self):
+        with pytest.raises(DistanceError):
+            L2Distance()(np.zeros((2, 2)), np.zeros((2, 2)))
+
+
+class TestWeightedL1:
+    def test_matches_manual_computation(self):
+        dist = WeightedL1Distance([1.0, 2.0, 0.5])
+        assert dist([0.0, 0.0, 0.0], [1.0, 1.0, 2.0]) == pytest.approx(1 + 2 + 1)
+
+    def test_zero_weights_ignore_coordinates(self):
+        dist = WeightedL1Distance([0.0, 1.0])
+        assert dist([100.0, 1.0], [0.0, 1.0]) == 0.0
+
+    def test_batch_matches_scalar(self):
+        dist = WeightedL1Distance([1.0, 3.0])
+        x = np.array([0.5, 1.0])
+        others = np.array([[0.0, 0.0], [1.0, 2.0], [0.5, 1.0]])
+        batch = dist.batch(x, others)
+        expected = [dist(x, row) for row in others]
+        assert np.allclose(batch, expected)
+
+    def test_rejects_negative_weights(self):
+        with pytest.raises(DistanceError):
+            WeightedL1Distance([1.0, -1.0])
+
+    def test_rejects_dimension_mismatch(self):
+        dist = WeightedL1Distance([1.0, 1.0])
+        with pytest.raises(DistanceError):
+            dist([1.0], [2.0])
+
+    def test_dim_property(self):
+        assert WeightedL1Distance([1.0, 2.0, 3.0]).dim == 3
+
+
+class TestQuerySensitiveL1:
+    def test_weights_depend_on_query(self):
+        # Weight the first coordinate only when the query's first coordinate
+        # is below 0.5, otherwise weight the second coordinate only.
+        def weight_fn(q):
+            return np.array([1.0, 0.0]) if q[0] < 0.5 else np.array([0.0, 1.0])
+
+        dist = QuerySensitiveL1(weight_fn)
+        assert dist([0.0, 0.0], [1.0, 5.0]) == 1.0
+        assert dist([1.0, 0.0], [2.0, 5.0]) == 5.0
+
+    def test_asymmetry(self):
+        def weight_fn(q):
+            return np.array([1.0, 0.0]) if q[0] < 0.5 else np.array([0.0, 1.0])
+
+        dist = QuerySensitiveL1(weight_fn)
+        a, b = np.array([0.0, 0.0]), np.array([1.0, 5.0])
+        assert dist(a, b) != dist(b, a)
+        assert dist.is_metric is False
+
+    def test_batch_matches_scalar(self):
+        weight_fn = lambda q: np.abs(q) + 0.1
+        dist = QuerySensitiveL1(weight_fn)
+        q = np.array([0.3, -0.7, 1.0])
+        others = np.random.default_rng(0).normal(size=(6, 3))
+        assert np.allclose(dist.batch(q, others), [dist(q, row) for row in others])
+
+    def test_rejects_bad_weight_shapes(self):
+        dist = QuerySensitiveL1(lambda q: np.ones(q.shape[0] + 1))
+        with pytest.raises(DistanceError):
+            dist([1.0, 2.0], [0.0, 0.0])
+
+    def test_rejects_negative_weights(self):
+        dist = QuerySensitiveL1(lambda q: -np.ones_like(q))
+        with pytest.raises(DistanceError):
+            dist([1.0], [0.0])
+
+    def test_rejects_non_callable(self):
+        with pytest.raises(DistanceError):
+            QuerySensitiveL1("nope")

@@ -1,0 +1,195 @@
+"""Tests for the edit, KL, chamfer and Hausdorff distances and matrix helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distances import (
+    ChamferDistance,
+    CountingDistance,
+    EditDistance,
+    HausdorffDistance,
+    JensenShannonDistance,
+    KLDivergence,
+    L2Distance,
+    SymmetricKL,
+    WeightedEditDistance,
+    cross_distances,
+    pairwise_distances,
+)
+from repro.exceptions import DistanceError
+
+
+class TestEditDistance:
+    def test_known_values(self):
+        edit = EditDistance()
+        assert edit("kitten", "sitting") == 3
+        assert edit("flaw", "lawn") == 2
+        assert edit("", "abc") == 3
+        assert edit("abc", "") == 3
+        assert edit("same", "same") == 0
+
+    def test_symmetry(self):
+        edit = EditDistance()
+        assert edit("ACGT", "AGT") == edit("AGT", "ACGT")
+
+    def test_works_on_token_lists(self):
+        edit = EditDistance()
+        assert edit(["a", "b", "c"], ["a", "c"]) == 1
+
+    def test_rejects_bad_types(self):
+        with pytest.raises(DistanceError):
+            EditDistance()(12345, "abc")
+
+    def test_is_metric(self):
+        assert EditDistance().is_metric is True
+
+
+class TestWeightedEditDistance:
+    def test_custom_substitution_cost(self):
+        weighted = WeightedEditDistance(substitution_costs={("a", "b"): 0.1})
+        assert weighted("a", "b") == pytest.approx(0.1)
+        assert weighted("a", "c") == pytest.approx(1.0)
+
+    def test_substitution_table_checked_both_ways(self):
+        weighted = WeightedEditDistance(substitution_costs={("a", "b"): 0.2})
+        assert weighted("b", "a") == pytest.approx(0.2)
+
+    def test_indel_costs(self):
+        weighted = WeightedEditDistance(insertion_cost=2.0, deletion_cost=3.0)
+        assert weighted("", "xy") == pytest.approx(4.0)
+        assert weighted("xy", "") == pytest.approx(6.0)
+
+    def test_reduces_to_levenshtein_with_unit_costs(self):
+        plain = EditDistance()
+        weighted = WeightedEditDistance()
+        for a, b in [("kitten", "sitting"), ("abc", "abd"), ("", "xyz")]:
+            assert weighted(a, b) == plain(a, b)
+
+    def test_negative_costs_rejected(self):
+        with pytest.raises(DistanceError):
+            WeightedEditDistance(insertion_cost=-1)
+        with pytest.raises(DistanceError):
+            WeightedEditDistance(substitution_costs={("a", "b"): -0.5})
+
+
+class TestDivergences:
+    def test_kl_zero_for_identical(self):
+        assert KLDivergence()([0.2, 0.3, 0.5], [0.2, 0.3, 0.5]) == pytest.approx(0.0, abs=1e-8)
+
+    def test_kl_asymmetric(self):
+        kl = KLDivergence()
+        p, q = [0.8, 0.15, 0.05], [0.1, 0.1, 0.8]
+        assert abs(kl(p, q) - kl(q, p)) > 1e-6
+
+    def test_kl_non_negative(self):
+        rng = np.random.default_rng(0)
+        kl = KLDivergence()
+        for _ in range(10):
+            p = rng.random(5)
+            q = rng.random(5)
+            assert kl(p, q) >= -1e-12
+
+    def test_kl_accepts_unnormalised_histograms(self):
+        kl = KLDivergence()
+        assert kl([2, 3, 5], [0.2, 0.3, 0.5]) == pytest.approx(0.0, abs=1e-6)
+
+    def test_kl_rejects_negative_mass(self):
+        with pytest.raises(DistanceError):
+            KLDivergence()([-0.1, 1.1], [0.5, 0.5])
+
+    def test_kl_rejects_length_mismatch(self):
+        with pytest.raises(DistanceError):
+            KLDivergence()([0.5, 0.5], [1.0])
+
+    def test_symmetric_kl_is_symmetric(self):
+        skl = SymmetricKL()
+        p, q = [0.7, 0.2, 0.1], [0.3, 0.3, 0.4]
+        assert skl(p, q) == pytest.approx(skl(q, p))
+
+    def test_jensen_shannon_bounded_and_symmetric(self):
+        js = JensenShannonDistance()
+        p, q = [1.0, 0.0, 0.0], [0.0, 0.0, 1.0]
+        value = js(p, q)
+        assert value == pytest.approx(js(q, p))
+        assert 0.0 <= value <= np.sqrt(np.log(2)) + 1e-9
+
+    def test_jensen_shannon_is_declared_metric(self):
+        assert JensenShannonDistance().is_metric is True
+        assert KLDivergence().is_metric is False
+
+
+class TestPointSetDistances:
+    def test_chamfer_zero_for_identical_sets(self):
+        points = np.array([[0.0, 0.0], [1.0, 1.0], [2.0, 0.0]])
+        assert ChamferDistance()(points, points) == 0.0
+
+    def test_chamfer_symmetric_variant(self):
+        a = np.array([[0.0, 0.0], [1.0, 0.0]])
+        b = np.array([[0.0, 1.0]])
+        chamfer = ChamferDistance()
+        assert chamfer(a, b) == pytest.approx(chamfer(b, a))
+
+    def test_directed_chamfer_asymmetric(self):
+        a = np.array([[0.0, 0.0]])
+        b = np.array([[0.0, 0.0], [10.0, 0.0]])
+        directed = ChamferDistance(directed=True)
+        assert directed(a, b) == 0.0
+        assert directed(b, a) == 5.0
+
+    def test_chamfer_dimension_mismatch(self):
+        with pytest.raises(DistanceError):
+            ChamferDistance()(np.zeros((2, 2)), np.zeros((2, 3)))
+
+    def test_hausdorff_known_value(self):
+        a = np.array([[0.0, 0.0], [1.0, 0.0]])
+        b = np.array([[0.0, 0.0], [5.0, 0.0]])
+        assert HausdorffDistance()(a, b) == 4.0
+
+    def test_hausdorff_symmetric_is_metric_flag(self):
+        assert HausdorffDistance().is_metric is True
+        assert HausdorffDistance(directed=True).is_metric is False
+
+    def test_hausdorff_empty_rejected(self):
+        with pytest.raises(DistanceError):
+            HausdorffDistance()(np.zeros((0, 2)), np.zeros((3, 2)))
+
+
+class TestMatrixHelpers:
+    def test_pairwise_symmetric_counts(self):
+        counting = CountingDistance(L2Distance())
+        objects = [np.array([float(i), 0.0]) for i in range(6)]
+        matrix = pairwise_distances(counting, objects, symmetric=True)
+        assert matrix.shape == (6, 6)
+        assert counting.calls == 6 * 5 // 2
+        assert np.allclose(matrix, matrix.T)
+        assert np.allclose(np.diag(matrix), 0.0)
+
+    def test_pairwise_asymmetric_evaluates_everything(self):
+        counting = CountingDistance(L2Distance())
+        objects = [np.array([float(i)]) for i in range(4)]
+        pairwise_distances(counting, objects, symmetric=False)
+        assert counting.calls == 16
+
+    def test_cross_distances_shape_and_values(self):
+        l2 = L2Distance()
+        rows = [np.array([0.0, 0.0]), np.array([1.0, 1.0])]
+        cols = [np.array([1.0, 0.0]), np.array([0.0, 1.0]), np.array([2.0, 2.0])]
+        matrix = cross_distances(l2, rows, cols)
+        assert matrix.shape == (2, 3)
+        assert matrix[0, 0] == pytest.approx(1.0)
+        assert matrix[1, 2] == pytest.approx(np.sqrt(2))
+
+    def test_progress_callback_invoked(self):
+        calls = []
+        l2 = L2Distance()
+        objects = [np.array([float(i)]) for i in range(5)]
+        pairwise_distances(l2, objects, progress=lambda done, total: calls.append((done, total)))
+        assert calls[-1] == (5, 5)
+
+    def test_requires_distance_measure(self):
+        with pytest.raises(DistanceError):
+            pairwise_distances(lambda a, b: 0.0, [1, 2, 3])
+        with pytest.raises(DistanceError):
+            cross_distances(lambda a, b: 0.0, [1], [2])

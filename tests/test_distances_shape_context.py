@@ -1,0 +1,146 @@
+"""Tests for the Shape Context distance pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distances import ShapeContextDistance
+from repro.distances.shape_context import (
+    ShapeContextExtractor,
+    sample_edge_points,
+)
+from repro.exceptions import DistanceError
+
+
+@pytest.fixture(scope="module")
+def sc():
+    return ShapeContextDistance(n_points=16)
+
+
+class TestEdgeSampling:
+    def test_returns_requested_count(self, digit_images):
+        points = sample_edge_points(digit_images[3][0], n_points=20)
+        assert points.shape == (20, 2)
+
+    def test_points_lie_on_ink(self, digit_images):
+        image = digit_images[7][0]
+        points = sample_edge_points(image, n_points=15)
+        rows = np.clip(np.round(points[:, 0]).astype(int), 0, image.shape[0] - 1)
+        cols = np.clip(np.round(points[:, 1]).astype(int), 0, image.shape[1] - 1)
+        assert np.all(image[rows, cols] > 0.1)
+
+    def test_blank_image_returns_center(self):
+        blank = np.zeros((28, 28))
+        points = sample_edge_points(blank, n_points=5)
+        assert points.shape == (5, 2)
+        assert np.allclose(points, [[14.0, 14.0]] * 5)
+
+    def test_requires_positive_count(self):
+        with pytest.raises(DistanceError):
+            sample_edge_points(np.zeros((10, 10)), n_points=0)
+
+    def test_oversampling_small_shapes(self):
+        tiny = np.zeros((10, 10))
+        tiny[4:6, 4:6] = 1.0
+        points = sample_edge_points(tiny, n_points=30)
+        assert points.shape == (30, 2)
+
+
+class TestExtractor:
+    def test_histograms_are_normalised(self, digit_images):
+        extractor = ShapeContextExtractor(n_points=18)
+        _, histograms = extractor.extract(digit_images[2][0])
+        assert histograms.shape == (18, 5 * 12)
+        assert np.allclose(histograms.sum(axis=1), 1.0)
+
+    def test_histograms_non_negative(self, digit_images):
+        extractor = ShapeContextExtractor(n_points=12)
+        _, histograms = extractor.extract(digit_images[5][0])
+        assert np.all(histograms >= 0)
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(DistanceError):
+            ShapeContextExtractor(n_points=1)
+        with pytest.raises(DistanceError):
+            ShapeContextExtractor(n_radial_bins=0)
+
+    def test_scale_invariance_of_histograms(self):
+        # Scaling all point coordinates should not change the histograms
+        # because distances are normalised by the mean pairwise distance.
+        rng = np.random.default_rng(0)
+        points = rng.uniform(0, 28, size=(20, 2))
+        extractor = ShapeContextExtractor(n_points=20)
+        h1 = extractor.histograms(points)
+        h2 = extractor.histograms(points * 3.0)
+        assert np.allclose(h1, h2)
+
+
+class TestShapeContextDistance:
+    def test_self_distance_zero(self, sc, digit_images):
+        image = digit_images[0][0]
+        assert sc(image, image) == pytest.approx(0.0, abs=1e-9)
+
+    def test_symmetric(self, sc, digit_images):
+        a, b = digit_images[1][0], digit_images[8][0]
+        assert sc(a, b) == pytest.approx(sc(b, a))
+
+    def test_non_negative(self, sc, digit_images):
+        for d in (0, 4, 9):
+            assert sc(digit_images[d][0], digit_images[d][1]) >= 0.0
+
+    def test_same_digit_closer_than_different_digit(self, sc, digit_images):
+        """Intra-class distances should usually be smaller than inter-class.
+
+        We compare averages over a few pairs to keep the test robust to the
+        occasional ambiguous pair.
+        """
+        same = np.mean(
+            [sc(digit_images[d][0], digit_images[d][1]) for d in (0, 1, 3, 7)]
+        )
+        different = np.mean(
+            [
+                sc(digit_images[0][0], digit_images[1][0]),
+                sc(digit_images[3][0], digit_images[8][0]),
+                sc(digit_images[7][0], digit_images[2][0]),
+                sc(digit_images[1][0], digit_images[5][0]),
+            ]
+        )
+        assert same < different
+
+    def test_declares_non_metric(self, sc):
+        assert sc.is_metric is False
+
+    def test_rejects_non_2d_images(self, sc):
+        with pytest.raises(DistanceError):
+            sc(np.zeros(10), np.zeros(10))
+
+    def test_feature_cache_reused(self, digit_images):
+        dist = ShapeContextDistance(n_points=12, cache_features=True)
+        a, b = digit_images[2][0], digit_images[2][1]
+        dist(a, b)
+        assert len(dist._feature_cache) == 2
+        dist(a, b)
+        assert len(dist._feature_cache) == 2
+        dist.clear_cache()
+        assert len(dist._feature_cache) == 0
+
+    def test_cache_disabled_keeps_no_state(self, digit_images):
+        dist = ShapeContextDistance(n_points=12, cache_features=False)
+        dist(digit_images[0][0], digit_images[0][1])
+        assert len(dist._feature_cache) == 0
+
+    def test_cached_and_uncached_agree(self, digit_images):
+        a, b = digit_images[6][0], digit_images[6][1]
+        cached = ShapeContextDistance(n_points=14, cache_features=True)
+        uncached = ShapeContextDistance(n_points=14, cache_features=False)
+        assert cached(a, b) == pytest.approx(uncached(a, b))
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(DistanceError):
+            ShapeContextDistance(matching_weight=-1.0)
+
+    def test_appearance_term_can_be_disabled(self, digit_images):
+        dist = ShapeContextDistance(n_points=12, half_window=0, appearance_weight=0.0)
+        value = dist(digit_images[4][0], digit_images[4][1])
+        assert np.isfinite(value) and value >= 0

@@ -1,0 +1,233 @@
+"""Tests for 1D, composite, Lipschitz and FastMap embeddings."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import Dataset, make_gaussian_clusters
+from repro.distances import CountingDistance, L1Distance, L2Distance
+from repro.embeddings import (
+    CompositeEmbedding,
+    FastMapEmbedding,
+    LipschitzEmbedding,
+    PivotEmbedding,
+    ReferenceEmbedding,
+    build_fastmap_embedding,
+    build_lipschitz_embedding,
+)
+from repro.exceptions import EmbeddingError
+
+
+@pytest.fixture(scope="module")
+def vector_dataset():
+    return make_gaussian_clusters(n_objects=60, n_clusters=3, n_dims=4, seed=2)
+
+
+class TestReferenceEmbedding:
+    def test_value_is_distance_to_reference(self, l2):
+        ref = np.array([0.0, 0.0])
+        emb = ReferenceEmbedding(l2, ref)
+        assert emb.value(np.array([3.0, 4.0])) == pytest.approx(5.0)
+        assert emb.embed(np.array([3.0, 4.0])).shape == (1,)
+
+    def test_cost_is_one(self, l2):
+        assert ReferenceEmbedding(l2, np.zeros(2)).cost == 1
+
+    def test_value_from_distances(self, l2):
+        emb = ReferenceEmbedding(l2, np.zeros(2))
+        assert emb.value_from_distances([7.5]) == 7.5
+        with pytest.raises(EmbeddingError):
+            emb.value_from_distances([1.0, 2.0])
+
+    def test_lipschitz_property_for_metric_distance(self, l2, rng):
+        """|F^r(x) - F^r(y)| <= D(x, y) when D is a metric."""
+        reference = rng.normal(size=3)
+        emb = ReferenceEmbedding(l2, reference)
+        for _ in range(20):
+            x, y = rng.normal(size=3), rng.normal(size=3)
+            assert abs(emb.value(x) - emb.value(y)) <= l2(x, y) + 1e-9
+
+    def test_requires_distance_measure(self):
+        with pytest.raises(EmbeddingError):
+            ReferenceEmbedding(lambda a, b: 0.0, np.zeros(2))
+
+    def test_describe_mentions_reference_id(self, l2):
+        assert "42" in ReferenceEmbedding(l2, np.zeros(2), reference_id=42).describe()
+
+
+class TestPivotEmbedding:
+    def test_euclidean_projection_is_exact_on_the_line(self, l2):
+        """In Euclidean space, the projection of a point on the pivot line is exact."""
+        p1, p2 = np.array([0.0, 0.0]), np.array([10.0, 0.0])
+        emb = PivotEmbedding(l2, p1, p2)
+        assert emb.value(np.array([3.0, 0.0])) == pytest.approx(3.0)
+        assert emb.value(np.array([3.0, 4.0])) == pytest.approx(3.0)
+        assert emb.value(p1) == pytest.approx(0.0)
+        assert emb.value(p2) == pytest.approx(10.0)
+
+    def test_cost_is_two(self, l2):
+        emb = PivotEmbedding(l2, np.zeros(2), np.ones(2))
+        assert emb.cost == 2
+
+    def test_value_from_distances_matches_value(self, l2, rng):
+        p1, p2 = rng.normal(size=3), rng.normal(size=3)
+        emb = PivotEmbedding(l2, p1, p2)
+        x = rng.normal(size=3)
+        assert emb.value_from_distances([l2(x, p1), l2(x, p2)]) == pytest.approx(emb.value(x))
+
+    def test_coincident_pivots_rejected(self, l2):
+        point = np.array([1.0, 1.0])
+        with pytest.raises(EmbeddingError):
+            PivotEmbedding(l2, point, point.copy())
+
+    def test_interpivot_distance_reused_when_given(self, l2):
+        counting = CountingDistance(L2Distance())
+        PivotEmbedding(counting, np.zeros(2), np.ones(2), interpivot_distance=np.sqrt(2))
+        assert counting.calls == 0
+
+    def test_wrong_precomputed_distance_count(self, l2):
+        emb = PivotEmbedding(l2, np.zeros(2), np.ones(2))
+        with pytest.raises(EmbeddingError):
+            emb.value_from_distances([1.0])
+
+
+class TestCompositeEmbedding:
+    def test_concatenates_coordinates(self, l2):
+        refs = [np.array([0.0, 0.0]), np.array([1.0, 0.0])]
+        composite = CompositeEmbedding([ReferenceEmbedding(l2, r) for r in refs])
+        vec = composite.embed(np.array([0.0, 1.0]))
+        assert vec.shape == (2,)
+        assert vec[0] == pytest.approx(1.0)
+        assert vec[1] == pytest.approx(np.sqrt(2))
+
+    def test_cost_counts_distinct_anchors(self, l2):
+        shared = np.array([0.0, 0.0])
+        other = np.array([2.0, 0.0])
+        coords = [
+            ReferenceEmbedding(l2, shared),
+            ReferenceEmbedding(l2, shared),  # same object -> shared anchor
+            PivotEmbedding(l2, shared, other),
+        ]
+        composite = CompositeEmbedding(coords)
+        assert composite.dim == 3
+        assert composite.cost == 2  # shared + other
+
+    def test_embed_shares_anchor_distance_computations(self):
+        counting = CountingDistance(L2Distance())
+        shared = np.array([0.0, 0.0])
+        coords = [ReferenceEmbedding(counting, shared), ReferenceEmbedding(counting, shared)]
+        CompositeEmbedding(coords).embed(np.array([1.0, 1.0]))
+        assert counting.calls == 1
+
+    def test_embed_many_shape(self, l2):
+        composite = CompositeEmbedding([ReferenceEmbedding(l2, np.zeros(2))])
+        matrix = composite.embed_many([np.ones(2), np.zeros(2), np.array([3.0, 4.0])])
+        assert matrix.shape == (3, 1)
+
+    def test_prefix(self, l2):
+        coords = [ReferenceEmbedding(l2, np.array([float(i), 0.0])) for i in range(4)]
+        composite = CompositeEmbedding(coords)
+        prefix = composite.prefix(2)
+        assert prefix.dim == 2
+        with pytest.raises(EmbeddingError):
+            composite.prefix(0)
+        with pytest.raises(EmbeddingError):
+            composite.prefix(5)
+
+    def test_requires_coordinates(self):
+        with pytest.raises(EmbeddingError):
+            CompositeEmbedding([])
+
+
+class TestLipschitzEmbedding:
+    def test_singleton_sets_equal_reference_embeddings(self, l2):
+        refs = [np.array([0.0, 0.0]), np.array([1.0, 1.0])]
+        lip = LipschitzEmbedding(l2, [[r] for r in refs])
+        x = np.array([2.0, 0.0])
+        assert lip.embed(x)[0] == pytest.approx(l2(x, refs[0]))
+        assert lip.embed(x)[1] == pytest.approx(l2(x, refs[1]))
+
+    def test_set_coordinate_is_min_distance(self, l2):
+        ref_set = [np.array([0.0, 0.0]), np.array([10.0, 0.0])]
+        lip = LipschitzEmbedding(l2, [ref_set])
+        assert lip.embed(np.array([9.0, 0.0]))[0] == pytest.approx(1.0)
+
+    def test_cost_counts_all_reference_objects(self, l2):
+        lip = LipschitzEmbedding(l2, [[np.zeros(2)], [np.zeros(2), np.ones(2)]])
+        assert lip.cost == 3
+        assert lip.dim == 2
+
+    def test_builder_draws_from_database(self, l2, vector_dataset):
+        lip = build_lipschitz_embedding(l2, vector_dataset, dim=5, set_size=2, seed=0)
+        assert lip.dim == 5
+        assert lip.cost == 10
+
+    def test_builder_validates_arguments(self, l2, vector_dataset):
+        with pytest.raises(EmbeddingError):
+            build_lipschitz_embedding(l2, vector_dataset, dim=0)
+        with pytest.raises(EmbeddingError):
+            build_lipschitz_embedding(l2, vector_dataset, dim=2, set_size=0)
+        with pytest.raises(EmbeddingError):
+            build_lipschitz_embedding(l2, vector_dataset, dim=2, set_size=10**6)
+
+    def test_empty_reference_set_rejected(self, l2):
+        with pytest.raises(EmbeddingError):
+            LipschitzEmbedding(l2, [[]])
+
+
+class TestFastMap:
+    def test_build_produces_requested_dimensions(self, l2, vector_dataset):
+        fastmap = build_fastmap_embedding(l2, vector_dataset, dim=3, seed=0)
+        assert fastmap.dim == 3
+        assert fastmap.cost == 6
+        assert fastmap.embed(vector_dataset[0]).shape == (3,)
+
+    def test_distances_roughly_preserved_in_euclidean_space(self, l2, vector_dataset):
+        """On Euclidean data, a full-dimensional FastMap preserves distances well."""
+        fastmap = build_fastmap_embedding(l2, vector_dataset, dim=4, seed=0)
+        rng = np.random.default_rng(0)
+        originals, embedded = [], []
+        for _ in range(30):
+            i, j = rng.integers(0, len(vector_dataset), size=2)
+            if i == j:
+                continue
+            originals.append(l2(vector_dataset[int(i)], vector_dataset[int(j)]))
+            embedded.append(l2(fastmap.embed(vector_dataset[int(i)]),
+                               fastmap.embed(vector_dataset[int(j)])))
+        correlation = np.corrcoef(originals, embedded)[0, 1]
+        assert correlation > 0.9
+
+    def test_prefix(self, l2, vector_dataset):
+        fastmap = build_fastmap_embedding(l2, vector_dataset, dim=3, seed=0)
+        prefix = fastmap.prefix(2)
+        assert prefix.dim == 2
+        full = fastmap.embed(vector_dataset[5])
+        short = prefix.embed(vector_dataset[5])
+        assert np.allclose(full[:2], short)
+        with pytest.raises(EmbeddingError):
+            fastmap.prefix(0)
+
+    def test_dimension_can_collapse_on_degenerate_data(self, l2):
+        # All points identical except one: residual distances vanish quickly.
+        objects = [np.zeros(2)] * 10 + [np.ones(2)]
+        dataset = Dataset(objects=objects, name="degenerate")
+        fastmap = build_fastmap_embedding(l2, dataset, dim=5, seed=0)
+        assert 1 <= fastmap.dim <= 5
+
+    def test_all_identical_objects_rejected(self, l2):
+        dataset = Dataset(objects=[np.zeros(2)] * 5, name="constant")
+        with pytest.raises(EmbeddingError):
+            build_fastmap_embedding(l2, dataset, dim=2, seed=0)
+
+    def test_invalid_arguments(self, l2, vector_dataset):
+        with pytest.raises(EmbeddingError):
+            build_fastmap_embedding(l2, vector_dataset, dim=0)
+        with pytest.raises(EmbeddingError):
+            build_fastmap_embedding(l2, vector_dataset, dim=2, pivot_iterations=0)
+
+    def test_sample_size_limits_pivot_pool(self, vector_dataset):
+        counting = CountingDistance(L2Distance())
+        build_fastmap_embedding(counting, vector_dataset, dim=2, sample_size=15, seed=0)
+        # Construction cost should be far below using all 60 objects per level.
+        assert counting.calls < 15 * 15 * 4

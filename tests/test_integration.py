@@ -1,0 +1,192 @@
+"""End-to-end integration tests: the full pipeline on real (small) workloads.
+
+These tests exercise the same code paths as the paper's experiments — train,
+embed, filter-and-refine, evaluate — and assert the *qualitative* claims that
+should hold at any scale:
+
+* filter-and-refine with a trained embedding retrieves true nearest neighbors
+  with far fewer exact distance computations than brute force;
+* the trained methods beat FastMap on non-metric data;
+* the query-sensitive model is a working drop-in for the query-insensitive
+  one (same API, same evaluation protocol).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    BoostMapTrainer,
+    ConstrainedDTW,
+    FilterRefineRetriever,
+    TrainingConfig,
+    ground_truth_neighbors,
+)
+from repro.experiments import ExperimentScale, compare_methods
+from repro.retrieval.evaluation import filter_ranks, required_filter_sizes
+from repro.retrieval.sweep import DimensionSweep
+
+
+@pytest.fixture(scope="module")
+def dtw_scale():
+    return ExperimentScale(
+        name="integration",
+        database_size=100,
+        n_queries=20,
+        n_candidates=35,
+        n_training_objects=35,
+        n_triples=1200,
+        n_rounds=16,
+        classifiers_per_round=25,
+        intervals_per_candidate=5,
+        dims=(2, 4, 8, 16),
+        ks=(1, 5),
+        accuracies=(0.9, 1.0),
+        kmax=5,
+    )
+
+
+@pytest.fixture(scope="module")
+def dtw_comparison(timeseries_split, dtw, dtw_scale):
+    scale = dtw_scale.with_overrides(
+        database_size=len(timeseries_split.database),
+        n_queries=len(timeseries_split.queries),
+    )
+    return compare_methods(
+        dtw,
+        timeseries_split.database,
+        timeseries_split.queries,
+        scale,
+        seed=77,
+        dataset_name="integration-dtw",
+    )
+
+
+class TestEndToEndRetrieval:
+    def test_filter_refine_recovers_true_neighbors_cheaply(
+        self, timeseries_split, dtw
+    ):
+        """On the time-series data, the trained Se-QS embedding retrieves the
+        true nearest neighbor for most queries at a fraction of brute force."""
+        config = TrainingConfig(
+            n_candidates=35,
+            n_training_objects=35,
+            n_triples=1200,
+            n_rounds=14,
+            classifiers_per_round=25,
+            kmax=5,
+            seed=3,
+        )
+        result = BoostMapTrainer(dtw, timeseries_split.database, config).train()
+        model = result.model
+
+        ground_truth = ground_truth_neighbors(
+            dtw, timeseries_split.database, timeseries_split.queries, k_max=1
+        )
+        retriever = FilterRefineRetriever(dtw, timeseries_split.database, model)
+        p = max(10, len(timeseries_split.database) // 5)
+        hits = 0
+        for qi, query in enumerate(timeseries_split.queries):
+            retrieved = retriever.query(query, k=1, p=p)
+            if retrieved.neighbor_indices[0] == ground_truth.indices[qi, 0]:
+                hits += 1
+            assert retrieved.total_distance_computations < len(
+                timeseries_split.database
+            )
+        assert hits >= int(0.75 * len(timeseries_split.queries))
+
+    def test_refined_distances_are_exact(self, timeseries_split, dtw, dtw_comparison):
+        """The refine step reports true distances (spot check)."""
+        config = TrainingConfig(
+            n_candidates=25, n_training_objects=25, n_triples=500,
+            n_rounds=6, classifiers_per_round=15, kmax=5, seed=9,
+        )
+        model = BoostMapTrainer(dtw, timeseries_split.database, config).train().model
+        retriever = FilterRefineRetriever(dtw, timeseries_split.database, model)
+        query = timeseries_split.queries[0]
+        result = retriever.query(query, k=2, p=10)
+        for idx, dist in zip(result.neighbor_indices, result.neighbor_distances):
+            assert dist == pytest.approx(dtw(query, timeseries_split.database[int(idx)]))
+
+
+class TestPaperShape:
+    """Qualitative claims of the paper's evaluation, at integration-test scale."""
+
+    def test_all_methods_beat_brute_force_at_90pct(self, dtw_comparison):
+        for tag, result in dtw_comparison.methods.items():
+            assert result.cost(1, 0.9) < dtw_comparison.brute_force_cost
+
+    def test_trained_methods_beat_fastmap_at_largest_k(self, dtw_comparison):
+        """At the largest evaluated k, the boosted embeddings need fewer
+        exact distances than FastMap on the non-metric DTW data."""
+        k = max(dtw_comparison.ks)
+        fastmap_cost = dtw_comparison.method("FastMap").cost(k, 0.9)
+        best_trained = min(
+            dtw_comparison.method(tag).cost(k, 0.9)
+            for tag in ("Ra-QI", "Ra-QS", "Se-QI", "Se-QS")
+        )
+        assert best_trained <= fastmap_cost
+
+    def test_proposed_method_close_to_best(self, dtw_comparison):
+        """Se-QS is the best or within 35% of the best method at k=1, 90%.
+
+        (At paper scale Se-QS wins outright; at this tiny scale we only
+        require that it is competitive, which guards against regressions that
+        break the query-sensitive machinery.)"""
+        costs = {
+            tag: dtw_comparison.method(tag).cost(1, 0.9)
+            for tag in dtw_comparison.methods
+        }
+        assert costs["Se-QS"] <= 1.35 * min(costs.values())
+
+    def test_dimension_sweep_consistent_with_runner(
+        self, timeseries_split, dtw, dtw_comparison, dtw_scale
+    ):
+        """Re-running the sweep by hand for Se-QS reproduces the runner's cost."""
+        # The runner stores only the final numbers; rebuild the sweep for one
+        # method and check the evaluation protocol is deterministic.
+        scale = dtw_scale.with_overrides(
+            database_size=len(timeseries_split.database),
+            n_queries=len(timeseries_split.queries),
+        )
+        repeat = compare_methods(
+            dtw,
+            timeseries_split.database,
+            timeseries_split.queries,
+            scale,
+            methods=("Se-QS",),
+            seed=77,
+            dataset_name="repeat",
+        )
+        assert (
+            repeat.method("Se-QS").costs[0.9][1].cost
+            == dtw_comparison.method("Se-QS").cost(1, 0.9)
+        )
+
+
+class TestRequiredFilterSizes:
+    def test_better_embeddings_need_smaller_filters(self, timeseries_split, dtw):
+        """A trained model should (weakly) dominate a 1-dimensional truncation
+        of itself in median required filter size — more coordinates, better
+        filter ordering."""
+        config = TrainingConfig(
+            n_candidates=30, n_training_objects=30, n_triples=800,
+            n_rounds=12, classifiers_per_round=20, kmax=5, seed=13,
+        )
+        model = BoostMapTrainer(dtw, timeseries_split.database, config).train().model
+        if model.dim < 3:
+            pytest.skip("model too small for the comparison")
+        ground_truth = ground_truth_neighbors(
+            dtw, timeseries_split.database, timeseries_split.queries, k_max=1
+        )
+        db_vectors = model.embed_many(list(timeseries_split.database))
+        query_vectors = model.embed_many(list(timeseries_split.queries))
+        full = filter_ranks(model, db_vectors, query_vectors, ground_truth)
+        tiny = model.truncate(1)
+        reduced = filter_ranks(
+            tiny, db_vectors[:, :1], query_vectors[:, :1], ground_truth
+        )
+        assert np.median(required_filter_sizes(full, 1)) <= np.median(
+            required_filter_sizes(reduced, 1)
+        )

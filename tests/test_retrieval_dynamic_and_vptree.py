@@ -1,0 +1,152 @@
+"""Tests for dynamic-database maintenance, drift detection and the VP-tree."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_gaussian_clusters
+from repro.distances import ConstrainedDTW, L2Distance
+from repro.exceptions import RetrievalError
+from repro.index import VPTree
+from repro.retrieval import BruteForceRetriever, DriftMonitor, DynamicDatabase
+
+
+class TestDynamicDatabase:
+    def test_add_and_query(self, gaussian_split, l2, trained_qs):
+        dynamic = DynamicDatabase(
+            l2, trained_qs.model, initial_objects=list(gaussian_split.database)
+        )
+        assert len(dynamic) == len(gaussian_split.database)
+        indices, distances, cost = dynamic.query(gaussian_split.queries[0], k=3, p=15)
+        assert indices.shape == (3,)
+        assert np.all(np.diff(distances) >= 0)
+        assert cost == trained_qs.model.cost + 15
+
+    def test_insertion_cost_tracked(self, gaussian_split, l2, trained_qs):
+        dynamic = DynamicDatabase(l2, trained_qs.model)
+        dynamic.add(gaussian_split.database[0])
+        dynamic.add(gaussian_split.database[1])
+        assert dynamic.insertion_distance_computations == 2 * trained_qs.model.cost
+        # The paper's bound: embedding a new object needs at most 2d distances.
+        assert trained_qs.model.cost <= 2 * trained_qs.model.dim
+
+    def test_remove(self, gaussian_split, l2, trained_qs):
+        dynamic = DynamicDatabase(
+            l2, trained_qs.model, initial_objects=list(gaussian_split.database)[:5]
+        )
+        removed = dynamic.remove(2)
+        assert len(dynamic) == 4
+        assert removed is gaussian_split.database[2]
+        with pytest.raises(RetrievalError):
+            dynamic.remove(10)
+
+    def test_query_added_object_is_its_own_neighbor(self, gaussian_split, l2, trained_qs):
+        dynamic = DynamicDatabase(
+            l2, trained_qs.model, initial_objects=list(gaussian_split.database)[:30]
+        )
+        new_object = gaussian_split.queries[0]
+        index = dynamic.add(new_object)
+        indices, distances, _ = dynamic.query(new_object, k=1, p=10)
+        assert indices[0] == index
+        assert distances[0] == pytest.approx(0.0)
+
+    def test_empty_database_query_rejected(self, l2, trained_qs):
+        dynamic = DynamicDatabase(l2, trained_qs.model)
+        with pytest.raises(RetrievalError):
+            dynamic.query(np.zeros(6), k=1, p=1)
+
+    def test_vectors_matrix_shape(self, gaussian_split, l2, trained_qs):
+        dynamic = DynamicDatabase(
+            l2, trained_qs.model, initial_objects=list(gaussian_split.database)[:7]
+        )
+        assert dynamic.vectors.shape == (7, trained_qs.model.dim)
+
+    def test_type_validation(self, l2, trained_qs):
+        with pytest.raises(RetrievalError):
+            DynamicDatabase(lambda a, b: 0.0, trained_qs.model)
+        with pytest.raises(RetrievalError):
+            DynamicDatabase(l2, "not-a-model")
+
+
+class TestDriftMonitor:
+    def test_no_drift_on_same_distribution(self, gaussian_split, l2, trained_qs):
+        baseline = trained_qs.final_training_error
+        monitor = DriftMonitor(
+            distance=l2, model=trained_qs.model, baseline_error=baseline, tolerance=0.2
+        )
+        same_distribution = list(gaussian_split.database)[:40]
+        assert monitor.has_drifted(same_distribution, n_triples=300, seed=0) is False
+
+    def test_drift_detected_on_shifted_distribution(self, l2, trained_qs):
+        baseline = trained_qs.final_training_error
+        monitor = DriftMonitor(
+            distance=l2, model=trained_qs.model, baseline_error=baseline, tolerance=0.05
+        )
+        # A completely different distribution: far-away, tightly packed points.
+        shifted = make_gaussian_clusters(
+            n_objects=40, n_clusters=2, n_dims=6, cluster_spread=0.001, seed=10
+        )
+        shifted_objects = [obj + 50.0 for obj in shifted.objects]
+        error = monitor.measure_error(shifted_objects, n_triples=300, seed=0)
+        assert error > baseline
+
+    def test_measure_error_requires_enough_objects(self, l2, trained_qs):
+        monitor = DriftMonitor(l2, trained_qs.model, baseline_error=0.1)
+        with pytest.raises(RetrievalError):
+            monitor.measure_error([np.zeros(6)], n_triples=10)
+
+
+class TestVPTree:
+    @pytest.fixture(scope="class")
+    def euclidean_objects(self):
+        dataset = make_gaussian_clusters(n_objects=120, n_clusters=4, n_dims=5, seed=6)
+        return list(dataset.objects)
+
+    def test_exact_results_match_brute_force(self, euclidean_objects, l2):
+        tree = VPTree(l2, euclidean_objects, leaf_size=4, seed=0)
+        from repro.datasets import Dataset
+
+        brute = BruteForceRetriever(l2, Dataset(objects=euclidean_objects))
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            query = rng.normal(size=5)
+            tree_idx, tree_dist = tree.query(query, k=5)
+            brute_idx, brute_dist = brute.query(query, k=5)
+            assert np.allclose(sorted(tree_dist), sorted(brute_dist))
+
+    def test_prunes_compared_to_brute_force(self, euclidean_objects, l2):
+        tree = VPTree(l2, euclidean_objects, leaf_size=4, seed=0)
+        tree.reset_counter()
+        tree.query(np.zeros(5), k=1)
+        assert tree.distance_computations < len(euclidean_objects)
+
+    def test_construction_cost_recorded(self, euclidean_objects, l2):
+        tree = VPTree(l2, euclidean_objects, leaf_size=8, seed=0)
+        assert tree.construction_distance_computations > 0
+
+    def test_non_metric_distance_rejected_by_default(self):
+        series = [np.random.default_rng(i).normal(size=(10, 1)) for i in range(10)]
+        with pytest.raises(RetrievalError):
+            VPTree(ConstrainedDTW(), series)
+        # ... but can be forced for demonstration purposes.
+        tree = VPTree(ConstrainedDTW(), series, require_metric=False)
+        indices, _ = tree.query(series[0], k=1)
+        assert indices.shape == (1,)
+
+    def test_k_bounds(self, euclidean_objects, l2):
+        tree = VPTree(l2, euclidean_objects[:10], seed=0)
+        with pytest.raises(RetrievalError):
+            tree.query(np.zeros(5), k=0)
+        with pytest.raises(RetrievalError):
+            tree.query(np.zeros(5), k=11)
+
+    def test_empty_collection_rejected(self, l2):
+        with pytest.raises(RetrievalError):
+            VPTree(l2, [])
+
+    def test_duplicate_heavy_data_handled(self, l2):
+        objects = [np.zeros(3)] * 20 + [np.ones(3)]
+        tree = VPTree(l2, objects, leaf_size=2, seed=0)
+        indices, distances = tree.query(np.ones(3), k=1)
+        assert distances[0] == pytest.approx(0.0)

@@ -1,0 +1,173 @@
+"""Tests for repro.utils (rng, validation, timing)."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.timing import Stopwatch, ThroughputMeter
+from repro.utils.validation import (
+    check_array_2d,
+    check_fraction,
+    check_in_choices,
+    check_non_empty,
+    check_non_negative_int,
+    check_positive_int,
+    check_probability,
+)
+
+
+class TestEnsureRng:
+    def test_none_returns_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(42).integers(0, 1000, size=5)
+        b = ensure_rng(42).integers(0, 1000, size=5)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = ensure_rng(1).integers(0, 10**9)
+        b = ensure_rng(2).integers(0, 10**9)
+        assert a != b
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert ensure_rng(gen) is gen
+
+    def test_rejects_invalid_seed_type(self):
+        with pytest.raises(TypeError):
+            ensure_rng("not-a-seed")
+
+    def test_numpy_integer_seed_accepted(self):
+        assert isinstance(ensure_rng(np.int64(3)), np.random.Generator)
+
+
+class TestSpawnRngs:
+    def test_returns_requested_count(self):
+        children = spawn_rngs(0, 5)
+        assert len(children) == 5
+        assert all(isinstance(c, np.random.Generator) for c in children)
+
+    def test_children_are_independent(self):
+        a, b = spawn_rngs(0, 2)
+        assert a.integers(0, 10**9) != b.integers(0, 10**9)
+
+    def test_zero_count(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_deterministic_given_seed(self):
+        first = [g.integers(0, 10**9) for g in spawn_rngs(9, 3)]
+        second = [g.integers(0, 10**9) for g in spawn_rngs(9, 3)]
+        assert first == second
+
+
+class TestValidation:
+    def test_check_positive_int_accepts(self):
+        assert check_positive_int(3, "x") == 3
+        assert check_positive_int(np.int32(5), "x") == 5
+
+    @pytest.mark.parametrize("bad", [0, -1, 2.5, "3", True, None])
+    def test_check_positive_int_rejects(self, bad):
+        with pytest.raises(ConfigurationError):
+            check_positive_int(bad, "x")
+
+    def test_check_non_negative_int(self):
+        assert check_non_negative_int(0, "x") == 0
+        with pytest.raises(ConfigurationError):
+            check_non_negative_int(-1, "x")
+
+    def test_check_probability_bounds(self):
+        assert check_probability(0.0, "p") == 0.0
+        assert check_probability(1.0, "p") == 1.0
+        with pytest.raises(ConfigurationError):
+            check_probability(1.5, "p")
+        with pytest.raises(ConfigurationError):
+            check_probability(-0.1, "p")
+        with pytest.raises(ConfigurationError):
+            check_probability("oops", "p")
+
+    def test_check_fraction_excludes_zero(self):
+        assert check_fraction(0.5, "f") == 0.5
+        with pytest.raises(ConfigurationError):
+            check_fraction(0.0, "f")
+
+    def test_check_in_choices(self):
+        assert check_in_choices("a", "x", ["a", "b"]) == "a"
+        with pytest.raises(ConfigurationError):
+            check_in_choices("c", "x", ["a", "b"])
+
+    def test_check_non_empty(self):
+        assert check_non_empty([1], "s") == [1]
+        with pytest.raises(ConfigurationError):
+            check_non_empty([], "s")
+
+    def test_check_array_2d_promotes_1d(self):
+        arr = check_array_2d([1.0, 2.0, 3.0], "a")
+        assert arr.shape == (3, 1)
+
+    def test_check_array_2d_rejects_3d_and_empty(self):
+        with pytest.raises(ConfigurationError):
+            check_array_2d(np.zeros((2, 2, 2)), "a")
+        with pytest.raises(ConfigurationError):
+            check_array_2d(np.zeros((0, 3)), "a")
+
+
+class TestStopwatch:
+    def test_accumulates_time(self):
+        watch = Stopwatch()
+        with watch:
+            time.sleep(0.01)
+        assert watch.elapsed >= 0.009
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Stopwatch().stop()
+
+    def test_reset(self):
+        watch = Stopwatch()
+        with watch:
+            pass
+        watch.reset()
+        assert watch.elapsed == 0.0
+        assert not watch.running
+
+    def test_running_flag(self):
+        watch = Stopwatch()
+        assert not watch.running
+        watch.start()
+        assert watch.running
+        watch.stop()
+        assert not watch.running
+
+
+class TestThroughputMeter:
+    def test_measures_positive_rate(self):
+        meter = ThroughputMeter(name="noop")
+        rate = meter.measure(lambda: None, repetitions=100)
+        assert rate > 0
+        assert meter.calls == 100
+
+    def test_time_for_scales_linearly(self):
+        meter = ThroughputMeter()
+        meter.measure(lambda: None, repetitions=50)
+        assert meter.time_for(100) == pytest.approx(2 * meter.time_for(50))
+
+    def test_time_for_without_measurement_raises(self):
+        with pytest.raises(RuntimeError):
+            ThroughputMeter().time_for(10)
+
+    def test_zero_repetitions_rejected(self):
+        with pytest.raises(ValueError):
+            ThroughputMeter().measure(lambda: None, repetitions=0)
+
+    def test_per_second_zero_before_measurement(self):
+        assert ThroughputMeter().per_second == 0.0
