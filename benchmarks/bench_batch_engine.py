@@ -1,0 +1,104 @@
+"""Micro-benchmarks of the batch distance engine.
+
+Each benchmark pairs a batched hot path with its scalar-loop counterpart so
+regressions in either the vectorised kernels or the batch plumbing show up
+in the pytest-benchmark comparison.  Run with::
+
+    pytest benchmarks/bench_batch_engine.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ConstrainedDTW, EditDistance, L1Distance, make_timeseries_dataset
+from repro.distances import HausdorffDistance, KLDivergence, pairwise_distances
+from repro.embeddings.lipschitz import build_lipschitz_embedding
+from repro.retrieval.filter_refine import FilterRefineRetriever
+
+
+@pytest.fixture(scope="session")
+def series_batch():
+    database, _ = make_timeseries_dataset(
+        n_database=64, n_queries=1, n_seeds=4, length=64, n_dims=2, seed=0
+    )
+    return list(database)
+
+
+@pytest.fixture(scope="session")
+def string_batch():
+    rng = np.random.default_rng(0)
+    return ["".join(rng.choice(list("ACGT"), size=60)) for _ in range(64)]
+
+
+def test_dtw_compute_many(benchmark, series_batch):
+    """One query against 63 series through the batched banded DP."""
+    distance = ConstrainedDTW()
+    result = benchmark(distance.compute_many, series_batch[0], series_batch[1:])
+    assert result.shape == (63,)
+
+
+def test_dtw_scalar_loop(benchmark, series_batch):
+    """The same 63 evaluations as a scalar loop (batch-vs-scalar baseline)."""
+    distance = ConstrainedDTW()
+    x, ys = series_batch[0], series_batch[1:]
+    result = benchmark(lambda: [distance.compute(x, y) for y in ys])
+    assert len(result) == 63
+
+
+def test_edit_compute_many(benchmark, string_batch):
+    """One string against 63 strings through the batched edit DP."""
+    distance = EditDistance()
+    result = benchmark(distance.compute_many, string_batch[0], string_batch[1:])
+    assert result.shape == (63,)
+
+
+def test_l1_compute_many(benchmark):
+    """Vectorised L1 against a 10k-row database (the filter step shape)."""
+    rng = np.random.default_rng(1)
+    distance = L1Distance()
+    x = rng.normal(size=64)
+    ys = rng.normal(size=(10_000, 64))
+    result = benchmark(distance.compute_many, x, ys)
+    assert result.shape == (10_000,)
+
+
+def test_kl_compute_many(benchmark):
+    """Vectorised KL divergence against 10k histograms."""
+    rng = np.random.default_rng(2)
+    distance = KLDivergence()
+    x = rng.random(32) + 0.01
+    ys = rng.random(size=(10_000, 32)) + 0.01
+    result = benchmark(distance.compute_many, x, ys)
+    assert result.shape == (10_000,)
+
+
+def test_hausdorff_compute_many(benchmark):
+    """Segment-reduced Hausdorff against 200 point sets."""
+    rng = np.random.default_rng(3)
+    distance = HausdorffDistance()
+    x = rng.normal(size=(30, 2))
+    ys = [rng.normal(size=(int(rng.integers(10, 40)), 2)) for _ in range(200)]
+    result = benchmark(distance.compute_many, x, ys)
+    assert result.shape == (200,)
+
+
+def test_dtw_pairwise_matrix(benchmark, series_batch):
+    """A 64x64 DTW training table through the batch engine."""
+    distance = ConstrainedDTW()
+    matrix = benchmark(pairwise_distances, distance, series_batch)
+    assert matrix.shape == (64, 64)
+
+
+def test_query_many_batched(benchmark):
+    """Batched filter-and-refine over a DTW database."""
+    database, queries = make_timeseries_dataset(
+        n_database=100, n_queries=10, n_seeds=4, length=48, n_dims=1, seed=5
+    )
+    distance = ConstrainedDTW()
+    embedding = build_lipschitz_embedding(distance, database, dim=6, set_size=1, seed=3)
+    retriever = FilterRefineRetriever(distance, database, embedding)
+    query_objects = list(queries)
+    results = benchmark(retriever.query_many, query_objects, 3, 15)
+    assert len(results) == 10

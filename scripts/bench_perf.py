@@ -1,0 +1,293 @@
+#!/usr/bin/env python
+"""Track batch-distance-engine speedups across PRs.
+
+Times the three hot paths the batch engine rewrote — Sec. 7 distance-table
+builds (DTW and edit distance) and filter-and-refine ``query_many`` — against
+faithful re-implementations of the *seed* per-pair/per-cell Python loops, and
+writes the measurements to ``BENCH_perf.json`` so future PRs can compare.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_perf.py            # full sizes
+    PYTHONPATH=src python scripts/bench_perf.py --quick    # tier-1-friendly
+
+The seed baselines are kept here (not in the library) on purpose: they are
+the reference loop implementations this engine replaced, re-stated so the
+speedup is measured against a fixed yardstick rather than whatever the
+library currently does.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.datasets.timeseries import make_timeseries_dataset  # noqa: E402
+from repro.distances import ConstrainedDTW, EditDistance, pairwise_distances  # noqa: E402
+from repro.distances.base import DistanceMeasure  # noqa: E402
+from repro.embeddings.lipschitz import build_lipschitz_embedding  # noqa: E402
+from repro.retrieval.filter_refine import FilterRefineRetriever  # noqa: E402
+
+
+# --------------------------------------------------------------------------- #
+# Seed (pre-batch-engine) reference implementations                           #
+# --------------------------------------------------------------------------- #
+
+
+class SeedDTW(DistanceMeasure):
+    """The seed cDTW: banded DP with a per-cell Python inner loop."""
+
+    name = "seed_dtw"
+
+    def __init__(self, band_fraction: float = 0.1) -> None:
+        self.band_fraction = band_fraction
+
+    def compute(self, x, y) -> float:
+        xs = np.asarray(x, dtype=float)
+        ys = np.asarray(y, dtype=float)
+        if xs.ndim == 1:
+            xs = xs.reshape(-1, 1)
+        if ys.ndim == 1:
+            ys = ys.reshape(-1, 1)
+        n, m = xs.shape[0], ys.shape[0]
+        radius = int(np.ceil(self.band_fraction * min(n, m)))
+        radius = max(radius, abs(n - m))
+        previous = np.full(m + 1, np.inf)
+        previous[0] = 0.0
+        current = np.empty(m + 1)
+        for i in range(1, n + 1):
+            current.fill(np.inf)
+            j_lo = max(1, i - radius)
+            j_hi = min(m, i + radius)
+            diffs = ys[j_lo - 1 : j_hi] - xs[i - 1]
+            local = np.sqrt(np.einsum("ij,ij->i", diffs, diffs))
+            for offset, j in enumerate(range(j_lo, j_hi + 1)):
+                best_prev = min(previous[j], previous[j - 1], current[j - 1])
+                current[j] = local[offset] + best_prev
+            previous, current = current, previous
+        return float(previous[m])
+
+
+class SeedEdit(DistanceMeasure):
+    """The seed Levenshtein: per-cell Python DP loop."""
+
+    name = "seed_edit"
+
+    def compute(self, x, y) -> float:
+        n, m = len(x), len(y)
+        if n == 0:
+            return float(m)
+        if m == 0:
+            return float(n)
+        previous = np.arange(m + 1, dtype=float)
+        current = np.empty(m + 1, dtype=float)
+        for i in range(1, n + 1):
+            current[0] = i
+            for j in range(1, m + 1):
+                substitution = previous[j - 1] + (0.0 if x[i - 1] == y[j - 1] else 1.0)
+                current[j] = min(previous[j] + 1.0, current[j - 1] + 1.0, substitution)
+            previous, current = current, previous
+        return float(previous[m])
+
+
+def seed_pairwise(distance: DistanceMeasure, objects) -> np.ndarray:
+    """The seed pairwise_distances: per-pair scalar loop, symmetric."""
+    n = len(objects)
+    matrix = np.zeros((n, n), dtype=float)
+    for i in range(n):
+        for j in range(i + 1, n):
+            value = distance.compute(objects[i], objects[j])
+            matrix[i, j] = value
+            matrix[j, i] = value
+    return matrix
+
+
+def seed_query_many(distance, database, embedding, database_vectors, queries, k, p):
+    """The seed filter-and-refine loop: scalar embed, full stable argsort
+    over the whole database, per-candidate scalar refine."""
+    results = []
+    for obj in queries:
+        query_vector = np.array(
+            [
+                min(distance.compute(obj, ref) for ref in ref_set)
+                for ref_set in embedding.reference_sets
+            ]
+        )
+        filter_distances = np.abs(database_vectors - query_vector[None, :]).sum(axis=1)
+        candidates = np.argsort(filter_distances, kind="stable")[:p]
+        exact = np.array(
+            [distance.compute(obj, database[int(i)]) for i in candidates]
+        )
+        order = np.argsort(exact, kind="stable")[:k]
+        results.append((candidates[order], exact[order]))
+    return results
+
+
+# --------------------------------------------------------------------------- #
+# Benchmarks                                                                  #
+# --------------------------------------------------------------------------- #
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    value = fn()
+    return value, time.perf_counter() - start
+
+
+def bench_dtw_pairwise(n_objects: int, length: int) -> dict:
+    database, _ = make_timeseries_dataset(
+        n_database=n_objects, n_queries=1, n_seeds=8, length=length, n_dims=1, seed=7
+    )
+    objects = list(database)
+    seed_matrix, seed_seconds = _timed(lambda: seed_pairwise(SeedDTW(), objects))
+    engine_matrix, engine_seconds = _timed(
+        lambda: pairwise_distances(ConstrainedDTW(), objects)
+    )
+    assert np.allclose(seed_matrix, engine_matrix, atol=1e-8), "DTW engines disagree"
+    return {
+        "n_objects": n_objects,
+        "series_length": length,
+        "seed_seconds": seed_seconds,
+        "engine_seconds": engine_seconds,
+        "speedup": seed_seconds / engine_seconds,
+    }
+
+
+def bench_edit_pairwise(n_objects: int, length: int) -> dict:
+    rng = np.random.default_rng(11)
+    objects = [
+        "".join(rng.choice(list("ACGT"), size=length)) for _ in range(n_objects)
+    ]
+    seed_matrix, seed_seconds = _timed(lambda: seed_pairwise(SeedEdit(), objects))
+    engine_matrix, engine_seconds = _timed(
+        lambda: pairwise_distances(EditDistance(), objects)
+    )
+    assert np.array_equal(seed_matrix, engine_matrix), "edit engines disagree"
+    return {
+        "n_objects": n_objects,
+        "string_length": length,
+        "seed_seconds": seed_seconds,
+        "engine_seconds": engine_seconds,
+        "speedup": seed_seconds / engine_seconds,
+    }
+
+
+def bench_query_many(n_database: int, n_queries: int, length: int, dim: int, k: int, p: int) -> dict:
+    database, queries = make_timeseries_dataset(
+        n_database=n_database,
+        n_queries=n_queries,
+        n_seeds=8,
+        length=length,
+        n_dims=1,
+        seed=13,
+    )
+    distance = ConstrainedDTW()
+    embedding = build_lipschitz_embedding(distance, database, dim=dim, set_size=1, seed=3)
+    database_vectors = embedding.embed_many(list(database))
+
+    retriever = FilterRefineRetriever(
+        distance, database, embedding, database_vectors=database_vectors
+    )
+    query_objects = list(queries)
+
+    seed_results, seed_seconds = _timed(
+        lambda: seed_query_many(
+            SeedDTW(), database, embedding, database_vectors, query_objects, k, p
+        )
+    )
+    engine_results, engine_seconds = _timed(
+        lambda: retriever.query_many(query_objects, k=k, p=p)
+    )
+    for (seed_idx, seed_dist), result in zip(seed_results, engine_results):
+        assert np.array_equal(seed_idx, result.neighbor_indices), "retrieval disagrees"
+        assert np.allclose(seed_dist, result.neighbor_distances, atol=1e-8)
+    return {
+        "n_database": n_database,
+        "n_queries": n_queries,
+        "series_length": length,
+        "embedding_dim": dim,
+        "k": k,
+        "p": p,
+        "seed_seconds": seed_seconds,
+        "engine_seconds": engine_seconds,
+        "speedup": seed_seconds / engine_seconds,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small sizes so the run fits in the tier-1 time budget",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_perf.json",
+        help="where to write the JSON report (default: repo root)",
+    )
+    args = parser.parse_args()
+    if not args.output.parent.is_dir():
+        parser.error(f"--output directory does not exist: {args.output.parent}")
+
+    if args.quick:
+        sizes = {
+            "dtw_pairwise": dict(n_objects=50, length=40),
+            "edit_pairwise": dict(n_objects=60, length=25),
+            "query_many": dict(
+                n_database=80, n_queries=8, length=40, dim=6, k=3, p=15
+            ),
+        }
+    else:
+        sizes = {
+            "dtw_pairwise": dict(n_objects=200, length=64),
+            "edit_pairwise": dict(n_objects=200, length=40),
+            "query_many": dict(
+                n_database=300, n_queries=25, length=50, dim=8, k=5, p=30
+            ),
+        }
+
+    results = {}
+    for name, fn in [
+        ("dtw_pairwise", bench_dtw_pairwise),
+        ("edit_pairwise", bench_edit_pairwise),
+        ("query_many", bench_query_many),
+    ]:
+        print(f"[bench_perf] {name} {sizes[name]} ...", flush=True)
+        results[name] = fn(**sizes[name])
+        r = results[name]
+        print(
+            f"[bench_perf]   seed {r['seed_seconds']:.3f}s  "
+            f"engine {r['engine_seconds']:.3f}s  speedup {r['speedup']:.1f}x",
+            flush=True,
+        )
+
+    report = {
+        "meta": {
+            "generated": datetime.now(timezone.utc).isoformat(),
+            "mode": "quick" if args.quick else "full",
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "results": results,
+    }
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"[bench_perf] wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

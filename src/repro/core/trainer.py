@@ -31,7 +31,7 @@ methods from the *same* preprocessing investment.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -99,8 +99,16 @@ def build_training_tables(
     n_training_objects: int,
     seed: RngLike = 0,
     shared_sample: bool = True,
+    n_jobs: Optional[int] = None,
+    progress: Optional[Callable[[int, int], None]] = None,
 ) -> TrainingTables:
     """Sample ``C`` and ``Xtr`` from the database and precompute distances.
+
+    The Sec. 7 preprocessing tables are built through the batch distance
+    engine (:func:`repro.distances.matrix.pairwise_distances`), so vectorised
+    kernels are exploited automatically and the build parallelises across
+    worker processes with ``n_jobs`` — the reported
+    ``distance_evaluations`` cost stays exact either way.
 
     Parameters
     ----------
@@ -120,6 +128,12 @@ def build_training_tables(
         ``Xtr`` are drawn as one sample without replacement when possible —
         overlapping sets reduce the number of distinct expensive distances.
         If ``False`` the two sets are sampled independently.
+    n_jobs:
+        Worker processes for the matrix builds (``None``/``1`` = serial,
+        ``-1`` = all CPUs).
+    progress:
+        Optional ``progress(done, total)`` callback forwarded to the matrix
+        builders (chunked row granularity).
     """
     n_candidates = check_positive_int(n_candidates, "n_candidates")
     n_training_objects = check_positive_int(n_training_objects, "n_training_objects")
@@ -145,13 +159,19 @@ def build_training_tables(
         candidate_indices.shape == pool_indices.shape
         and np.array_equal(candidate_indices, pool_indices)
     )
-    candidate_to_candidate = pairwise_distances(counting, candidate_objects)
+    candidate_to_candidate = pairwise_distances(
+        counting, candidate_objects, n_jobs=n_jobs, progress=progress
+    )
     if identical_sets:
         candidate_to_pool = candidate_to_candidate.copy()
         pool_to_pool = candidate_to_candidate.copy()
     else:
-        candidate_to_pool = cross_distances(counting, candidate_objects, pool_objects)
-        pool_to_pool = pairwise_distances(counting, pool_objects)
+        candidate_to_pool = cross_distances(
+            counting, candidate_objects, pool_objects, n_jobs=n_jobs, progress=progress
+        )
+        pool_to_pool = pairwise_distances(
+            counting, pool_objects, n_jobs=n_jobs, progress=progress
+        )
 
     return TrainingTables(
         candidate_indices=np.asarray(candidate_indices, dtype=int),

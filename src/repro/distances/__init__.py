@@ -5,6 +5,17 @@ computations* per query, so counting evaluations of the underlying measure
 ``D_X`` is a first-class feature of this subpackage
 (:class:`~repro.distances.base.CountingDistance`).
 
+Every measure also speaks the *batch protocol*
+(:meth:`~repro.distances.base.DistanceMeasure.compute_many` /
+:meth:`~repro.distances.base.DistanceMeasure.compute_pairs`): the Lp family,
+KL family and point-set measures override it with fully vectorised kernels,
+the DP measures (constrained DTW, edit distances) with row-vectorised DPs
+batched over many targets, and everything else inherits an equivalent scalar
+loop.  The matrix builders (:mod:`repro.distances.matrix`, with an optional
+``n_jobs`` process pool), the batched ``embed_many`` embedding paths and the
+filter-and-refine refine step are all built on it; counting stays exact
+through every batch path.
+
 Measures implemented:
 
 * cheap vector measures used in embedding space

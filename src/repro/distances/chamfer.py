@@ -4,6 +4,10 @@ The chamfer distance (Barrow et al., IJCAI 1977) is cited by the paper as
 another widely-used non-metric measure.  It operates on point sets of
 possibly different cardinality, which also makes it a good example of a space
 whose objects are not fixed-dimensional vectors.
+
+``compute_many`` shares the batched kernel strategy of
+:mod:`repro.distances.hausdorff`: one cross-distance matrix against the
+concatenation of all target sets, followed by segment reductions.
 """
 
 from __future__ import annotations
@@ -13,6 +17,7 @@ from typing import Sequence, Union
 import numpy as np
 
 from repro.distances.base import DistanceMeasure
+from repro.distances.hausdorff import _cross_point_distances, _stack_point_sets
 from repro.exceptions import DistanceError
 
 PointSet = Union[Sequence[Sequence[float]], np.ndarray]
@@ -58,4 +63,21 @@ class ChamferDistance(DistanceMeasure):
         if self.directed:
             return forward
         backward = directed_chamfer(target, source)
+        return 0.5 * (forward + backward)
+
+    def compute_many(self, x: PointSet, ys: Sequence[PointSet]) -> np.ndarray:
+        ys = list(ys)
+        if not ys:
+            return np.zeros(0, dtype=float)
+        source, stacked, starts, counts = _stack_point_sets(x, ys)
+        cross = _cross_point_distances(source, stacked)
+        # Directed x -> y_i: nearest target point per (source point, set),
+        # averaged over the source points.
+        forward = np.minimum.reduceat(cross, starts, axis=1).mean(axis=0)
+        if self.directed:
+            return forward
+        # Directed y_i -> x: nearest source point per stacked target point,
+        # averaged within each segment.
+        nearest_source = cross.min(axis=0)
+        backward = np.add.reduceat(nearest_source, starts) / counts
         return 0.5 * (forward + backward)

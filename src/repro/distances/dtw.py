@@ -7,11 +7,25 @@ multi-dimensional: each is an array of shape ``(length, n_dims)``.
 
 cDTW is non-metric — it violates the triangle inequality — which is exactly
 why the paper needs embedding-based indexing instead of metric trees.
+
+Vectorised DP kernel
+--------------------
+The row recurrence ``c[j] = local[j] + min(prev[j], prev[j-1], c[j-1])``
+looks inherently sequential because of the ``c[j-1]`` term, but it has an
+exact closed form over a whole band row: with ``p[j] = min(prev[j],
+prev[j-1])`` and ``S`` the prefix sum of the local costs,
+
+.. math::  c[j] = S[j] + \\min_{k \\le j} (p[k] - S[k-1]),
+
+so one ``cumsum`` plus one ``minimum.accumulate`` replaces the per-cell
+Python loop.  The same kernel runs *batched* over many target series at once
+(`ConstrainedDTW.compute_many` groups targets by length), which is what makes
+Sec. 7 distance-table builds and the refine step fast.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -69,8 +83,19 @@ def dtw_distance(
         raise DistanceError(
             f"series dimensionality mismatch: {xs.shape[1]} vs {ys.shape[1]}"
         )
+    radius = _resolve_radius(
+        xs.shape[0], ys.shape[0], band_fraction=band_fraction, band_width=band_width
+    )
+    return float(_dtw_batch(xs, ys[None, :, :], radius)[0])
 
-    n, m = xs.shape[0], ys.shape[0]
+
+def _resolve_radius(
+    n: int,
+    m: int,
+    band_fraction: Optional[float],
+    band_width: Optional[int],
+) -> int:
+    """The Sakoe-Chiba band half-width for a pair of lengths ``(n, m)``."""
     if band_width is not None:
         radius = int(band_width)
         if radius < 0:
@@ -82,13 +107,32 @@ def dtw_distance(
     else:
         radius = max(n, m)
     # The band must be at least |n - m| wide for a path to exist at all.
-    radius = max(radius, abs(n - m))
+    return max(radius, abs(n - m))
 
-    # Local cost matrix restricted to the band, computed row by row to keep
-    # memory at O(m) while still using vectorised numpy inner operations.
-    previous = np.full(m + 1, _INF)
-    previous[0] = 0.0
-    current = np.empty(m + 1)
+
+def _dtw_batch(xs: np.ndarray, ys: np.ndarray, radius: int) -> np.ndarray:
+    """Banded DTW from one series to a stack of equal-length series.
+
+    Parameters
+    ----------
+    xs:
+        The query series, shape ``(n, d)``.
+    ys:
+        A stack of target series, shape ``(g, m, d)``.
+    radius:
+        Band half-width (must already include the ``|n - m|`` widening).
+
+    Returns
+    -------
+    np.ndarray
+        The ``g`` accumulated warped distances.  The DP state is ``O(g * m)``:
+        two rows, updated with banded whole-row vectorised operations.
+    """
+    n = xs.shape[0]
+    g, m = ys.shape[0], ys.shape[1]
+    previous = np.full((g, m + 1), _INF)
+    previous[:, 0] = 0.0
+    current = np.empty((g, m + 1))
     for i in range(1, n + 1):
         current.fill(_INF)
         j_lo = max(1, i - radius)
@@ -96,15 +140,67 @@ def dtw_distance(
         if j_lo > j_hi:
             previous, current = current, previous
             continue
-        # Euclidean local costs between x[i-1] and y[j_lo-1 .. j_hi-1].
-        diffs = ys[j_lo - 1 : j_hi] - xs[i - 1]
-        local = np.sqrt(np.einsum("ij,ij->i", diffs, diffs))
-        for offset, j in enumerate(range(j_lo, j_hi + 1)):
-            best_prev = min(previous[j], previous[j - 1], current[j - 1])
-            current[j] = local[offset] + best_prev
+        # Euclidean local costs between x[i-1] and y[:, j_lo-1 .. j_hi-1].
+        diffs = ys[:, j_lo - 1 : j_hi, :] - xs[i - 1]
+        local = np.sqrt(np.einsum("gjd,gjd->gj", diffs, diffs))
+        # Whole-row update: c[j] = local[j] + min(p[j], c[j-1]) with
+        # p[j] = min(prev[j], prev[j-1]) unrolls to
+        # c[j] = S[j] + min_{k<=j} (p[k] - S[k-1]) where S = cumsum(local);
+        # c[j_lo - 1] is outside the band (= inf), so the chain starts at p.
+        p = np.minimum(previous[:, j_lo : j_hi + 1], previous[:, j_lo - 1 : j_hi])
+        prefix = np.cumsum(local, axis=1)
+        shifted = np.empty_like(prefix)
+        shifted[:, 0] = 0.0
+        shifted[:, 1:] = prefix[:, :-1]
+        current[:, j_lo : j_hi + 1] = prefix + np.minimum.accumulate(
+            p - shifted, axis=1
+        )
         previous, current = current, previous
-    result = previous[m]
-    return float(result)
+    return previous[:, m]
+
+
+def _dtw_batch_mixed(
+    xs: np.ndarray, targets: List[np.ndarray], radii: np.ndarray
+) -> np.ndarray:
+    """Banded DTW from one series to targets of *different* lengths.
+
+    All targets run through one shared full-width DP: rows are updated over
+    the widest target, and each target's Sakoe-Chiba band is enforced with a
+    precomputed validity mask (cells outside a target's band are pinned to
+    ``inf``, exactly as in the banded kernel).  This trades a little extra
+    arithmetic on the padded columns for doing every row in one vectorised
+    update instead of one DP per length group.
+    """
+    n, d = xs.shape
+    g = len(targets)
+    lengths = np.array([t.shape[0] for t in targets], dtype=np.intp)
+    m_max = int(lengths.max())
+    ys = np.zeros((g, m_max, d))
+    for t, target in enumerate(targets):
+        ys[t, : target.shape[0]] = target
+    # Band validity is recomputed per row (two comparisons on (g, M)), so
+    # memory stays O(g * M) instead of an O(n * g * M) precomputed mask.
+    j_idx = np.arange(1, m_max + 1)[None, :]
+    radius_col = radii[:, None]
+    within_length = j_idx <= lengths[:, None]  # row-independent part
+    previous = np.full((g, m_max + 1), _INF)
+    previous[:, 0] = 0.0
+    shifted = np.empty((g, m_max))
+    for i in range(1, n + 1):
+        # valid[t, j-1] <=> cell (i, j) lies inside target t's band:
+        # i - r_t <= j <= min(m_t, i + r_t).
+        valid = (j_idx >= i - radius_col) & (j_idx <= i + radius_col) & within_length
+        diffs = ys - xs[i - 1]
+        local = np.sqrt(np.einsum("gjd,gjd->gj", diffs, diffs))
+        p = np.minimum(previous[:, 1:], previous[:, :-1])
+        p = np.where(valid, p, _INF)
+        prefix = np.cumsum(local, axis=1)
+        shifted[:, 0] = 0.0
+        shifted[:, 1:] = prefix[:, :-1]
+        row = prefix + np.minimum.accumulate(p - shifted, axis=1)
+        previous[:, 1:] = np.where(valid, row, _INF)
+        previous[:, 0] = _INF
+    return previous[np.arange(g), lengths]
 
 
 class ConstrainedDTW(DistanceMeasure):
@@ -149,3 +245,80 @@ class ConstrainedDTW(DistanceMeasure):
             ys = _as_series(y, "y")
             value /= max(xs.shape[0], ys.shape[0])
         return value
+
+    def compute_many(self, x: np.ndarray, ys: Sequence[np.ndarray]) -> np.ndarray:
+        """Batched cDTW from ``x`` to many series in one vectorised DP.
+
+        Targets are grouped by length; each group runs through
+        :func:`_dtw_batch` together, so the per-row NumPy overhead is
+        amortised over the whole group.  Results are identical to the scalar
+        path (same kernel, same band per pair).
+        """
+        xs = _as_series(x, "x")
+        targets: List[np.ndarray] = []
+        for i, y in enumerate(ys):
+            target = _as_series(y, f"ys[{i}]")
+            if target.shape[1] != xs.shape[1]:
+                raise DistanceError(
+                    f"series dimensionality mismatch: {xs.shape[1]} vs {target.shape[1]}"
+                )
+            targets.append(target)
+        results = np.empty(len(targets), dtype=float)
+        if not targets:
+            return results
+        by_length: dict = {}
+        for i, target in enumerate(targets):
+            by_length.setdefault(target.shape[0], []).append(i)
+        n = xs.shape[0]
+        if len(by_length) == 1:
+            # Uniform lengths: run the banded kernel, bit-identical to the
+            # scalar path.
+            ((m, indices),) = by_length.items()
+            radius = _resolve_radius(
+                n, m, band_fraction=self.band_fraction, band_width=self.band_width
+            )
+            values = _dtw_batch(xs, np.stack(targets), radius)
+            if self.normalize:
+                values = values / max(n, m)
+            return values
+        # Mixed lengths: one shared masked DP beats many small per-length
+        # groups (band semantics per pair are unchanged).
+        radii = np.array(
+            [
+                _resolve_radius(
+                    n,
+                    m,
+                    band_fraction=self.band_fraction,
+                    band_width=self.band_width,
+                )
+                for m in (t.shape[0] for t in targets)
+            ],
+            dtype=np.intp,
+        )
+        results = _dtw_batch_mixed(xs, targets, radii)
+        if self.normalize:
+            results = results / np.maximum(n, [t.shape[0] for t in targets])
+        return results
+
+    def compute_pairs(self, xs: Sequence[np.ndarray], ys: Sequence[np.ndarray]) -> np.ndarray:
+        """Element-wise cDTW, batched over runs of a shared second argument.
+
+        The batched embedding paths evaluate many objects against one anchor
+        (``compute_pairs(objects, [anchor] * n)``); cDTW is symmetric (the
+        local costs and the band are), so such runs are regrouped as one
+        batched :meth:`compute_many` call with the roles swapped.
+        """
+        xs = list(xs)
+        ys = list(ys)
+        if len(xs) != len(ys):
+            raise DistanceError(
+                f"compute_pairs needs equally long sequences, got {len(xs)} and {len(ys)}"
+            )
+        results = np.empty(len(xs), dtype=float)
+        groups: dict = {}
+        for i, y in enumerate(ys):
+            groups.setdefault(id(y), []).append(i)
+        for indices in groups.values():
+            anchor = ys[indices[0]]
+            results[indices] = self.compute_many(anchor, [xs[i] for i in indices])
+        return results

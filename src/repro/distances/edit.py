@@ -6,11 +6,26 @@ handle.  Both the plain Levenshtein distance and a weighted variant (custom
 substitution/indel costs, which in general breaks the metric property) are
 provided, and both accept any sequence of hashable symbols — Python strings,
 lists of tokens, or tuples.
+
+Vectorised DP kernel
+--------------------
+Sequences are encoded as integer code arrays (symbols are interned into an
+alphabet registry; :class:`WeightedEditDistance` additionally materialises
+its substitution-cost mapping as an alphabet-indexed cost *table*, so there
+is no per-cell dict lookup).  The row recurrence
+``c[j] = min(prev[j] + del, c[j-1] + ins, prev[j-1] + sub[j])`` unrolls
+exactly — with ``p[j] = min(prev[j] + del, prev[j-1] + sub[j])`` —
+
+.. math::  c[j] = j \\cdot ins + \\min_{k \\le j} (p[k] - k \\cdot ins),
+
+so one ``minimum.accumulate`` replaces the per-cell Python loop, and the
+same kernel runs batched over many equal-length targets at once
+(``compute_many`` groups targets by length).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Optional, Sequence, Tuple
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -28,6 +43,91 @@ def _check_sequence(x: Sequence[Hashable], name: str) -> Sequence[Hashable]:
     return x
 
 
+def _encode(seq: Sequence[Hashable], codes: Dict[Hashable, int]) -> np.ndarray:
+    """Intern the symbols of one sequence into ``codes``, returning int codes."""
+    if isinstance(seq, str):
+        try:
+            # Fast path: decode to code points in one C-level pass and intern
+            # only the *unique* characters through the registry dict.
+            raw = np.frombuffer(seq.encode("utf-32-le"), dtype=np.uint32)
+        except UnicodeEncodeError:
+            # Lone surrogates (e.g. os.fsdecode'd filenames) cannot take the
+            # codec shortcut; the per-character path handles any str.
+            pass
+        else:
+            unique, inverse = np.unique(raw, return_inverse=True)
+            mapped = np.array(
+                [codes.setdefault(chr(int(c)), len(codes)) for c in unique],
+                dtype=np.intp,
+            )
+            return mapped[inverse]
+    return np.array([codes.setdefault(sym, len(codes)) for sym in seq], dtype=np.intp)
+
+
+def _edit_dp_batch(
+    n: int,
+    sub_row,
+    insertion_cost: float,
+    deletion_cost: float,
+    lengths: np.ndarray,
+) -> np.ndarray:
+    """Batched weighted-edit DP with row-streamed substitution costs.
+
+    Targets of different lengths share one DP: they are padded to the widest
+    target and the result for target ``t`` is read off at column
+    ``lengths[t]``.  This is exact — cell ``(i, j)`` only ever depends on
+    columns ``<= j``, so padding never leaks into a target's own columns.
+    Substitution costs are produced one DP row at a time by ``sub_row``, so
+    memory stays O(g * M) regardless of the query length.
+
+    Parameters
+    ----------
+    n:
+        Length of the query sequence (number of DP rows).
+    sub_row:
+        Callable ``sub_row(i) -> (g, M)`` array: the cost of substituting
+        ``x[i]`` with ``ys[t][j]`` (arbitrary beyond ``lengths[t]``).
+    insertion_cost, deletion_cost:
+        The indel costs.
+    lengths:
+        The ``g`` true target lengths (``<= M``).
+
+    Returns
+    -------
+    np.ndarray
+        The ``g`` edit distances.
+    """
+    g = lengths.shape[0]
+    m = int(lengths.max())
+    if m == 0:
+        return np.full(g, n * deletion_cost)
+    ins_ramp = insertion_cost * np.arange(m + 1)
+    previous = np.broadcast_to(ins_ramp, (g, m + 1)).copy()
+    a = np.empty((g, m + 1))
+    for i in range(1, n + 1):
+        # p[j] = min(prev[j] + del, prev[j-1] + sub[j]) for j = 1..m; the
+        # boundary c[0] = i*del joins the prefix-min chain at position 0.
+        a[:, 0] = i * deletion_cost
+        a[:, 1:] = (
+            np.minimum(
+                previous[:, 1:] + deletion_cost,
+                previous[:, :-1] + sub_row(i - 1),
+            )
+            - ins_ramp[1:]
+        )
+        previous = ins_ramp + np.minimum.accumulate(a, axis=1)
+    return previous[np.arange(g), lengths]
+
+
+def _pad_codes(target_codes: List[np.ndarray]) -> Tuple[np.ndarray, np.ndarray]:
+    """Stack ragged code arrays into a zero-padded matrix plus true lengths."""
+    lengths = np.array([codes.size for codes in target_codes], dtype=np.intp)
+    stack = np.zeros((len(target_codes), int(lengths.max())), dtype=np.intp)
+    for t, codes in enumerate(target_codes):
+        stack[t, : codes.size] = codes
+    return stack, lengths
+
+
 class EditDistance(DistanceMeasure):
     """Classic Levenshtein distance with unit insert/delete/substitute costs."""
 
@@ -36,22 +136,55 @@ class EditDistance(DistanceMeasure):
         self.is_metric = True
 
     def compute(self, x: Sequence[Hashable], y: Sequence[Hashable]) -> float:
+        return float(self.compute_many(x, [y])[0])
+
+    def compute_many(
+        self, x: Sequence[Hashable], ys: Sequence[Sequence[Hashable]]
+    ) -> np.ndarray:
         xs = _check_sequence(x, "x")
-        ys = _check_sequence(y, "y")
-        n, m = len(xs), len(ys)
-        if n == 0:
-            return float(m)
-        if m == 0:
-            return float(n)
-        previous = np.arange(m + 1, dtype=float)
-        current = np.empty(m + 1, dtype=float)
-        for i in range(1, n + 1):
-            current[0] = i
-            for j in range(1, m + 1):
-                substitution = previous[j - 1] + (0.0 if xs[i - 1] == ys[j - 1] else 1.0)
-                current[j] = min(previous[j] + 1.0, current[j - 1] + 1.0, substitution)
-            previous, current = current, previous
-        return float(previous[m])
+        targets = [_check_sequence(y, f"ys[{i}]") for i, y in enumerate(ys)]
+        results = np.empty(len(targets), dtype=float)
+        if not targets:
+            return results
+        codes: Dict[Hashable, int] = {}
+        x_codes = _encode(xs, codes)
+        target_codes = [_encode(t, codes) for t in targets]
+        if x_codes.size == 0:
+            return np.array([float(len(t)) for t in targets])
+        stack, lengths = _pad_codes(target_codes)
+        if stack.shape[1] == 0:
+            results[:] = float(x_codes.size)
+            return results
+        # Padding uses code 0, which may collide with a real symbol; that is
+        # harmless because _edit_dp_batch reads each target off at its true
+        # length, before any padded column can influence the result.
+        sub_row = lambda i: (stack != x_codes[i]).astype(float)  # noqa: E731
+        return _edit_dp_batch(x_codes.size, sub_row, 1.0, 1.0, lengths)
+
+    def compute_pairs(
+        self, xs: Sequence[Sequence[Hashable]], ys: Sequence[Sequence[Hashable]]
+    ) -> np.ndarray:
+        """Element-wise Levenshtein, batched over runs of a shared target.
+
+        Unit-cost edit distance is symmetric, so runs of pairs sharing the
+        same second argument (the batched embedding paths produce exactly
+        this shape) are regrouped into one batched :meth:`compute_many` call
+        with the roles swapped.
+        """
+        xs = list(xs)
+        ys = list(ys)
+        if len(xs) != len(ys):
+            raise DistanceError(
+                f"compute_pairs needs equally long sequences, got {len(xs)} and {len(ys)}"
+            )
+        results = np.empty(len(xs), dtype=float)
+        groups: Dict[int, List[int]] = {}
+        for i, y in enumerate(ys):
+            groups.setdefault(id(y), []).append(i)
+        for indices in groups.values():
+            anchor = ys[indices[0]]
+            results[indices] = self.compute_many(anchor, [xs[i] for i in indices])
+        return results
 
 
 class WeightedEditDistance(DistanceMeasure):
@@ -67,6 +200,16 @@ class WeightedEditDistance(DistanceMeasure):
         Costs of inserting/deleting one symbol.
     default_substitution:
         Cost of substituting two distinct symbols not found in the table.
+
+    Notes
+    -----
+    The substitution mapping is materialised **once, at construction time**,
+    as a dense cost table over the (bounded) set of symbols appearing in
+    ``substitution_costs``; symbols outside that set always cost either 0
+    (equal) or ``default_substitution``, so they never need a table entry.
+    The DP then gathers whole rows of substitution costs with vectorised
+    indexing instead of a dict lookup per cell, while open alphabets stay
+    O(sequence length) per call — no per-instance state grows with the data.
     """
 
     def __init__(
@@ -87,6 +230,7 @@ class WeightedEditDistance(DistanceMeasure):
         self.default_substitution = float(default_substitution)
         self.name = "weighted_edit"
         self.is_metric = False
+        self._table_codes, self._table = self._build_cost_table()
 
     def _substitution(self, a: Hashable, b: Hashable) -> float:
         if a == b:
@@ -97,19 +241,72 @@ class WeightedEditDistance(DistanceMeasure):
             return self.substitution_costs[(b, a)]
         return self.default_substitution
 
+    def _build_cost_table(self) -> Tuple[Dict[Hashable, int], np.ndarray]:
+        """Dense cost matrix over the symbols named by ``substitution_costs``.
+
+        Precedence matches :meth:`_substitution` exactly — equal symbols cost
+        0, a ``(a, b)`` entry beats the reversed ``(b, a)`` entry, everything
+        else falls back to the default.
+        """
+        codes: Dict[Hashable, int] = {}
+        for a, b in self.substitution_costs:
+            codes.setdefault(a, len(codes))
+            codes.setdefault(b, len(codes))
+        table = np.full((len(codes), len(codes)), self.default_substitution)
+        for (a, b), cost in self.substitution_costs.items():
+            if (b, a) not in self.substitution_costs:
+                table[codes[b], codes[a]] = cost
+        for (a, b), cost in self.substitution_costs.items():
+            table[codes[a], codes[b]] = cost
+        if len(codes):
+            np.fill_diagonal(table, 0.0)
+        return codes, table
+
     def compute(self, x: Sequence[Hashable], y: Sequence[Hashable]) -> float:
+        return float(self.compute_many(x, [y])[0])
+
+    def compute_many(
+        self, x: Sequence[Hashable], ys: Sequence[Sequence[Hashable]]
+    ) -> np.ndarray:
         xs = _check_sequence(x, "x")
-        ys = _check_sequence(y, "y")
-        n, m = len(xs), len(ys)
-        previous = np.arange(m + 1, dtype=float) * self.insertion_cost
-        current = np.empty(m + 1, dtype=float)
-        for i in range(1, n + 1):
-            current[0] = i * self.deletion_cost
-            for j in range(1, m + 1):
-                current[j] = min(
-                    previous[j] + self.deletion_cost,
-                    current[j - 1] + self.insertion_cost,
-                    previous[j - 1] + self._substitution(xs[i - 1], ys[j - 1]),
+        targets = [_check_sequence(y, f"ys[{i}]") for i, y in enumerate(ys)]
+        results = np.empty(len(targets), dtype=float)
+        if not targets:
+            return results
+        # Per-call registry: tabled symbols keep their fixed codes (< T),
+        # anything else gets a transient code used only for equality checks.
+        codes = dict(self._table_codes)
+        x_codes = _encode(xs, codes) if isinstance(xs, str) else np.array(
+            [codes.setdefault(sym, len(codes)) for sym in xs], dtype=np.intp
+        )
+        target_codes = [
+            _encode(t, codes)
+            if isinstance(t, str)
+            else np.array(
+                [codes.setdefault(sym, len(codes)) for sym in t], dtype=np.intp
+            )
+            for t in targets
+        ]
+        if x_codes.size == 0:
+            return np.array([t.size * self.insertion_cost for t in target_codes])
+        stack, lengths = _pad_codes(target_codes)
+        if stack.shape[1] == 0:
+            results[:] = x_codes.size * self.deletion_cost
+            return results
+        n_tabled = self._table.shape[0]
+        tabled_mask = stack < n_tabled
+        clipped = np.minimum(stack, max(n_tabled - 1, 0))
+
+        def sub_row(i: int) -> np.ndarray:
+            x_code = int(x_codes[i])
+            if n_tabled and x_code < n_tabled:
+                row = np.where(
+                    tabled_mask, self._table[x_code, clipped], self.default_substitution
                 )
-            previous, current = current, previous
-        return float(previous[m])
+            else:
+                row = np.full(stack.shape, self.default_substitution)
+            return np.where(stack == x_code, 0.0, row)
+
+        return _edit_dp_batch(
+            x_codes.size, sub_row, self.insertion_cost, self.deletion_cost, lengths
+        )

@@ -1,8 +1,15 @@
-"""Hausdorff distance between point sets."""
+"""Hausdorff distance between point sets.
+
+``compute_many`` is vectorised: the cross-distance matrix between the source
+set and the *concatenation* of all target sets is computed in one shot, and
+the per-set min/max reductions are done with segment reductions
+(``np.minimum.reduceat``), so batching over many point sets of different
+cardinalities costs one NumPy pass instead of a Python loop.
+"""
 
 from __future__ import annotations
 
-from typing import Sequence, Union
+from typing import List, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -19,6 +26,36 @@ def _as_points(x: PointSet, name: str) -> np.ndarray:
     if arr.ndim != 2 or arr.shape[0] == 0:
         raise DistanceError(f"{name} must be a non-empty (n, d) array of points")
     return arr
+
+
+def _stack_point_sets(
+    x: PointSet, ys: Sequence[PointSet]
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Validate and concatenate target point sets for one batched evaluation.
+
+    Returns ``(source, stacked_targets, segment_starts, segment_counts)``;
+    the cross-distance matrix ``source x stacked_targets`` can then be
+    reduced per segment to recover each per-set directed distance.
+    """
+    source = _as_points(x, "x")
+    targets: List[np.ndarray] = [
+        _as_points(y, f"ys[{i}]") for i, y in enumerate(ys)
+    ]
+    for i, target in enumerate(targets):
+        if target.shape[1] != source.shape[1]:
+            raise DistanceError("point sets must have the same dimensionality")
+    counts = np.array([t.shape[0] for t in targets], dtype=int)
+    starts = np.zeros(len(targets), dtype=int)
+    if len(targets) > 1:
+        starts[1:] = np.cumsum(counts)[:-1]
+    stacked = np.concatenate(targets, axis=0)
+    return source, stacked, starts, counts
+
+
+def _cross_point_distances(source: np.ndarray, stacked: np.ndarray) -> np.ndarray:
+    """Euclidean distances between every source point and every stacked point."""
+    diffs = source[:, None, :] - stacked[None, :, :]
+    return np.sqrt(np.einsum("ijk,ijk->ij", diffs, diffs))
 
 
 def directed_hausdorff(source: np.ndarray, target: np.ndarray) -> float:
@@ -50,3 +87,20 @@ class HausdorffDistance(DistanceMeasure):
             return forward
         backward = directed_hausdorff(target, source)
         return max(forward, backward)
+
+    def compute_many(self, x: PointSet, ys: Sequence[PointSet]) -> np.ndarray:
+        ys = list(ys)
+        if not ys:
+            return np.zeros(0, dtype=float)
+        source, stacked, starts, _ = _stack_point_sets(x, ys)
+        cross = _cross_point_distances(source, stacked)
+        # Directed x -> y_i: nearest target point per (source point, set),
+        # then the worst source point of each set.
+        forward = np.minimum.reduceat(cross, starts, axis=1).max(axis=0)
+        if self.directed:
+            return forward
+        # Directed y_i -> x: nearest source point per stacked target point,
+        # then the worst point within each segment.
+        nearest_source = cross.min(axis=0)
+        backward = np.maximum.reduceat(nearest_source, starts)
+        return np.maximum(forward, backward)

@@ -10,6 +10,12 @@ Eq. 11 defines the query-sensitive measure
 where the weights ``A_i(q)`` depend on the first argument (the query) only.
 ``D_out`` is therefore asymmetric and not a metric; it is implemented here as
 :class:`QuerySensitiveL1`, parameterised by a weighting function.
+
+All measures here implement the batch protocol of
+:class:`~repro.distances.base.DistanceMeasure` with fully vectorised
+``compute_many``/``compute_pairs`` kernels; the historical ``batch()``
+methods are thin aliases of ``compute_many`` kept for backwards
+compatibility.
 """
 
 from __future__ import annotations
@@ -29,6 +35,15 @@ def _as_vector(x: ArrayLike, name: str) -> np.ndarray:
     if vec.ndim != 1:
         raise DistanceError(f"{name} must be a 1D vector, got shape {vec.shape}")
     return vec
+
+
+def _as_matrix(rows: Union[Sequence[ArrayLike], np.ndarray], name: str) -> np.ndarray:
+    if hasattr(rows, "__len__") and len(rows) == 0:
+        return np.zeros((0, 0))
+    matrix = np.atleast_2d(np.asarray(rows, dtype=float))
+    if matrix.ndim != 2:
+        raise DistanceError(f"{name} must be a (n, d) matrix, got shape {matrix.shape}")
+    return matrix
 
 
 def _check_same_length(x: np.ndarray, y: np.ndarray) -> None:
@@ -56,6 +71,36 @@ class LpDistance(DistanceMeasure):
         if np.isinf(self.p):
             return float(diff.max(initial=0.0))
         return float(np.power(np.power(diff, self.p).sum(), 1.0 / self.p))
+
+    def _reduce_rows(self, diffs: np.ndarray) -> np.ndarray:
+        """Row-wise Lp norm of a matrix of absolute differences."""
+        if np.isinf(self.p):
+            if diffs.shape[1] == 0:
+                return np.zeros(diffs.shape[0])
+            return diffs.max(axis=1)
+        return np.power(np.power(diffs, self.p).sum(axis=1), 1.0 / self.p)
+
+    def compute_many(self, x: ArrayLike, ys: Sequence[ArrayLike]) -> np.ndarray:
+        xv = _as_vector(x, "x")
+        matrix = _as_matrix(ys, "ys")
+        if matrix.shape[0] == 0:
+            return np.zeros(0)
+        if matrix.shape[1] != xv.shape[0]:
+            raise DistanceError(
+                f"ys has {matrix.shape[1]} columns, expected {xv.shape[0]}"
+            )
+        return self._reduce_rows(np.abs(matrix - xv[None, :]))
+
+    def compute_pairs(self, xs: Sequence[ArrayLike], ys: Sequence[ArrayLike]) -> np.ndarray:
+        xm = _as_matrix(xs, "xs")
+        ym = _as_matrix(ys, "ys")
+        if xm.shape != ym.shape:
+            raise DistanceError(
+                f"compute_pairs needs matching shapes, got {xm.shape} and {ym.shape}"
+            )
+        if xm.shape[0] == 0:
+            return np.zeros(0)
+        return self._reduce_rows(np.abs(xm - ym))
 
 
 class L1Distance(LpDistance):
@@ -107,15 +152,37 @@ class WeightedL1Distance(DistanceMeasure):
             )
         return float(np.abs(xv - yv).dot(self.weights))
 
-    def batch(self, x: ArrayLike, others: np.ndarray) -> np.ndarray:
-        """Vectorised distances from ``x`` to every row of ``others``."""
+    def compute_many(self, x: ArrayLike, ys: Sequence[ArrayLike]) -> np.ndarray:
+        """Vectorised distances from ``x`` to every row of ``ys``."""
         xv = _as_vector(x, "x")
-        matrix = np.atleast_2d(np.asarray(others, dtype=float))
-        if matrix.shape[1] != xv.shape[0]:
+        matrix = _as_matrix(ys, "ys")
+        if matrix.shape[0] == 0:
+            return np.zeros(0)
+        if matrix.shape[1] != self.dim:
             raise DistanceError(
-                f"others has {matrix.shape[1]} columns, expected {xv.shape[0]}"
+                f"ys has {matrix.shape[1]} columns, expected {self.dim}"
             )
+        _check_same_length(xv, self.weights)
         return np.abs(matrix - xv[None, :]).dot(self.weights)
+
+    def compute_pairs(self, xs: Sequence[ArrayLike], ys: Sequence[ArrayLike]) -> np.ndarray:
+        xm = _as_matrix(xs, "xs")
+        ym = _as_matrix(ys, "ys")
+        if xm.shape != ym.shape:
+            raise DistanceError(
+                f"compute_pairs needs matching shapes, got {xm.shape} and {ym.shape}"
+            )
+        if xm.shape[0] == 0:
+            return np.zeros(0)
+        if xm.shape[1] != self.dim:
+            raise DistanceError(
+                f"expected vectors of dimension {self.dim}, got {xm.shape[1]}"
+            )
+        return np.abs(xm - ym).dot(self.weights)
+
+    def batch(self, x: ArrayLike, others: np.ndarray) -> np.ndarray:
+        """Deprecated alias of :meth:`compute_many` (one batch API, not two)."""
+        return self.compute_many(x, others)
 
 
 class QuerySensitiveL1(DistanceMeasure):
@@ -161,17 +228,37 @@ class QuerySensitiveL1(DistanceMeasure):
         w = self.weights_for(q)
         return float(np.abs(q - x).dot(w))
 
-    def batch(self, query: ArrayLike, others: np.ndarray) -> np.ndarray:
-        """Vectorised distances from ``query`` to every row of ``others``.
+    def compute_many(self, query: ArrayLike, ys: Sequence[ArrayLike]) -> np.ndarray:
+        """Vectorised distances from ``query`` to every row of ``ys``.
 
         This is the workhorse of the filter step: one call ranks the whole
-        database against the query under the query-sensitive measure.
+        database against the query under the query-sensitive measure.  The
+        weights ``A(q)`` are evaluated once for the whole batch.
         """
         q = _as_vector(query, "query")
-        matrix = np.atleast_2d(np.asarray(others, dtype=float))
+        matrix = _as_matrix(ys, "ys")
+        if matrix.shape[0] == 0:
+            return np.zeros(0)
         if matrix.shape[1] != q.shape[0]:
             raise DistanceError(
-                f"others has {matrix.shape[1]} columns, expected {q.shape[0]}"
+                f"ys has {matrix.shape[1]} columns, expected {q.shape[0]}"
             )
         w = self.weights_for(q)
         return np.abs(matrix - q[None, :]).dot(w)
+
+    def compute_pairs(self, xs: Sequence[ArrayLike], ys: Sequence[ArrayLike]) -> np.ndarray:
+        xm = _as_matrix(xs, "xs")
+        ym = _as_matrix(ys, "ys")
+        if xm.shape != ym.shape:
+            raise DistanceError(
+                f"compute_pairs needs matching shapes, got {xm.shape} and {ym.shape}"
+            )
+        if xm.shape[0] == 0:
+            return np.zeros(0)
+        # The weights depend on each query row, so evaluate them row-wise.
+        weights = np.stack([self.weights_for(row) for row in xm])
+        return (np.abs(xm - ym) * weights).sum(axis=1)
+
+    def batch(self, query: ArrayLike, others: np.ndarray) -> np.ndarray:
+        """Deprecated alias of :meth:`compute_many` (one batch API, not two)."""
+        return self.compute_many(query, others)

@@ -35,7 +35,13 @@ class Embedding(ABC):
         """Map a single object to its ``d``-dimensional vector."""
 
     def embed_many(self, objects: Iterable[Any]) -> np.ndarray:
-        """Embed an iterable of objects into a ``(n, d)`` matrix."""
+        """Embed an iterable of objects into a ``(n, d)`` matrix.
+
+        The base implementation loops over :meth:`embed`; the concrete
+        embeddings override it with batched paths built on the distance
+        measures' ``compute_many``/``compute_pairs`` kernels, with identical
+        results and identical exact-distance accounting.
+        """
         vectors = [self.embed(obj) for obj in objects]
         if not vectors:
             return np.zeros((0, self.dim), dtype=float)

@@ -10,7 +10,7 @@ serves as a reference object, requires only one evaluation of ``D_X``
 
 from __future__ import annotations
 
-from typing import Any, Dict, Hashable, List, Optional, Sequence
+from typing import Any, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -74,6 +74,64 @@ class CompositeEmbedding(Embedding):
                     anchor_cache[key] = float(coord.distance(obj, anchor))
                 distances.append(anchor_cache[key])
             values[i] = coord.value_from_distances(distances)
+        return values
+
+    def _anchor_plan(
+        self,
+    ) -> Tuple[List[Tuple[Hashable, Any, Any]], List[List[int]]]:
+        """Unique anchors (first-occurrence order) and per-coordinate slots.
+
+        Returns ``(entries, coordinate_slots)`` where ``entries[p]`` is
+        ``(key, anchor, distance)`` — the distance instance of the first
+        coordinate that references the anchor, matching the scalar
+        :meth:`embed` evaluation — and ``coordinate_slots[i]`` lists the
+        positions in ``entries`` of coordinate ``i``'s anchors.
+        """
+        entries: List[Tuple[Hashable, Any, Any]] = []
+        position: Dict[Hashable, int] = {}
+        slots: List[List[int]] = []
+        for coord in self.coordinates:
+            coord_slots: List[int] = []
+            for anchor in coord.anchor_objects:
+                key = self._anchor_key(anchor)
+                if key not in position:
+                    position[key] = len(entries)
+                    entries.append((key, anchor, coord.distance))
+                coord_slots.append(position[key])
+            slots.append(coord_slots)
+        return entries, slots
+
+    def embed_many(self, objects: Iterable[Any]) -> np.ndarray:
+        """Batched embedding through the distance measures' batch kernels.
+
+        Per object, the distances to all *unique* anchors are evaluated with
+        one ``compute_many`` call per underlying distance instance (there is
+        normally exactly one), so batched kernels (grouped DTW/edit DP,
+        vectorised Lp, ...) amortise across the anchors while the cost
+        accounting stays identical to the scalar path: ``cost`` evaluations
+        per object, one per unique anchor.
+        """
+        objects = list(objects)
+        if not objects:
+            return np.zeros((0, self.dim), dtype=float)
+        entries, slots = self._anchor_plan()
+        # Group anchor positions by distance instance (usually one group).
+        groups: Dict[int, Tuple[Any, List[int]]] = {}
+        for pos, (_key, _anchor, dist) in enumerate(entries):
+            groups.setdefault(id(dist), (dist, []))[1].append(pos)
+        grouped = [
+            (dist, positions, [entries[p][1] for p in positions])
+            for dist, positions in groups.values()
+        ]
+        values = np.empty((len(objects), self.dim), dtype=float)
+        anchor_distances = np.empty(len(entries), dtype=float)
+        for oi, obj in enumerate(objects):
+            for dist, positions, anchors in grouped:
+                anchor_distances[positions] = dist.compute_many(obj, anchors)
+            for ci in range(self.dim):
+                values[oi, ci] = self.coordinates[ci].value_from_distances(
+                    [anchor_distances[s] for s in slots[ci]]
+                )
         return values
 
     def prefix(self, n_coordinates: int) -> "CompositeEmbedding":

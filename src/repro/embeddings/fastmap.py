@@ -17,7 +17,7 @@ cost is ``2 d`` — the figure used by the evaluation harness.
 
 from __future__ import annotations
 
-from typing import Any, List, Optional, Tuple
+from typing import Any, Iterable, List, Optional, Tuple
 
 import numpy as np
 
@@ -93,6 +93,35 @@ class FastMapEmbedding(Embedding):
             res_qb2 = max(d_qb ** 2 - float(((coords[:level] - coords_b) ** 2).sum()), 0.0)
             d_ab = self.interpivot_residuals[level]
             coords[level] = (res_qa2 + d_ab ** 2 - res_qb2) / (2.0 * d_ab)
+        return coords
+
+    def embed_many(self, objects: Iterable[Any]) -> np.ndarray:
+        """Batched embedding: per level, two ``compute_pairs`` pivot columns.
+
+        The residual-space corrections are vectorised across all objects, so
+        the Python-level loop runs over the ``d`` levels only.
+        """
+        objects = list(objects)
+        if not objects:
+            return np.zeros((0, self.dim), dtype=float)
+        n = len(objects)
+        coords = np.empty((n, self.dim), dtype=float)
+        for level in range(self.dim):
+            pivot_a, pivot_b = self.pivot_pairs[level]
+            coords_a, coords_b = self.pivot_coordinates[level]
+            d_qa = np.asarray(
+                self.distance.compute_pairs(objects, [pivot_a] * n), dtype=float
+            )
+            d_qb = np.asarray(
+                self.distance.compute_pairs(objects, [pivot_b] * n), dtype=float
+            )
+            # Residual squared distances after removing previous coordinates.
+            corr_a = ((coords[:, :level] - coords_a[None, :]) ** 2).sum(axis=1)
+            corr_b = ((coords[:, :level] - coords_b[None, :]) ** 2).sum(axis=1)
+            res_qa2 = np.maximum(d_qa ** 2 - corr_a, 0.0)
+            res_qb2 = np.maximum(d_qb ** 2 - corr_b, 0.0)
+            d_ab = self.interpivot_residuals[level]
+            coords[:, level] = (res_qa2 + d_ab ** 2 - res_qb2) / (2.0 * d_ab)
         return coords
 
     def prefix(self, n_coordinates: int) -> "FastMapEmbedding":

@@ -14,7 +14,7 @@ ablation benchmarks.
 
 from __future__ import annotations
 
-from typing import Any, List, Optional, Sequence
+from typing import Any, Iterable, List, Optional, Sequence
 
 import numpy as np
 
@@ -65,6 +65,28 @@ class LipschitzEmbedding(Embedding):
         for i, ref_set in enumerate(self.reference_sets):
             values[i] = min(float(self.distance(obj, ref)) for ref in ref_set)
         return values
+
+    def embed_many(self, objects: Iterable[Any]) -> np.ndarray:
+        """Batched embedding: one ``compute_pairs`` column per reference object.
+
+        Distances to all reference objects are evaluated in vectorised
+        columns (argument order ``D_X(obj, ref)`` preserved), then reduced
+        set-wise with a segmented minimum.
+        """
+        objects = list(objects)
+        if not objects:
+            return np.zeros((0, self.dim), dtype=float)
+        columns = [
+            np.asarray(
+                self.distance.compute_pairs(objects, [ref] * len(objects)), dtype=float
+            )
+            for ref_set in self.reference_sets
+            for ref in ref_set
+        ]
+        stacked = np.stack(columns, axis=1)  # (n_objects, total_refs)
+        sizes = [len(ref_set) for ref_set in self.reference_sets]
+        starts = np.concatenate([[0], np.cumsum(sizes)[:-1]]).astype(int)
+        return np.minimum.reduceat(stacked, starts, axis=1)
 
 
 def build_lipschitz_embedding(

@@ -15,7 +15,9 @@ and approximately elsewhere.
 
 from __future__ import annotations
 
-from typing import Any, List, Sequence
+from typing import Any, Iterable, List, Sequence
+
+import numpy as np
 
 from repro.distances.base import DistanceMeasure
 from repro.embeddings.base import OneDimensionalEmbedding
@@ -78,6 +80,22 @@ class PivotEmbedding(OneDimensionalEmbedding):
     def _project(self, d1: float, d2: float) -> float:
         numerator = d1 ** 2 + self.interpivot_distance ** 2 - d2 ** 2
         return numerator / (2.0 * self.interpivot_distance)
+
+    def embed_many(self, objects: Iterable[Any]) -> np.ndarray:
+        """Batched embedding: two ``compute_pairs`` calls (one per pivot)."""
+        objects = list(objects)
+        if not objects:
+            return np.zeros((0, 1), dtype=float)
+        d1 = np.asarray(
+            self.distance.compute_pairs(objects, [self.pivot1] * len(objects)),
+            dtype=float,
+        )
+        d2 = np.asarray(
+            self.distance.compute_pairs(objects, [self.pivot2] * len(objects)),
+            dtype=float,
+        )
+        numerators = d1 ** 2 + self.interpivot_distance ** 2 - d2 ** 2
+        return (numerators / (2.0 * self.interpivot_distance)).reshape(-1, 1)
 
     def describe(self) -> str:
         if self.pivot_ids is not None:

@@ -9,7 +9,9 @@ When ``D_X`` is a metric, ``F^r`` is 1-Lipschitz:
 
 from __future__ import annotations
 
-from typing import Any, List, Sequence
+from typing import Any, Iterable, List, Sequence
+
+import numpy as np
 
 from repro.distances.base import DistanceMeasure
 from repro.embeddings.base import OneDimensionalEmbedding
@@ -49,6 +51,18 @@ class ReferenceEmbedding(OneDimensionalEmbedding):
                 f"ReferenceEmbedding expects 1 precomputed distance, got {len(distances)}"
             )
         return float(distances[0])
+
+    def embed_many(self, objects: Iterable[Any]) -> np.ndarray:
+        """Batched embedding: one ``compute_pairs`` call against ``r``.
+
+        Argument order matches the scalar path (``D_X(obj, r)``), so
+        asymmetric measures embed identically.
+        """
+        objects = list(objects)
+        if not objects:
+            return np.zeros((0, 1), dtype=float)
+        values = self.distance.compute_pairs(objects, [self.reference] * len(objects))
+        return np.asarray(values, dtype=float).reshape(-1, 1)
 
     def describe(self) -> str:
         ref = self.reference_id if self.reference_id is not None else "?"

@@ -246,6 +246,7 @@ class TestAblations:
         )
         return database, queries
 
+    @pytest.mark.slow
     def test_k1_ablation_runs(self, dtw_split):
         database, queries = dtw_split
         scale = TINY.with_overrides(

@@ -27,6 +27,10 @@ from repro.experiments import ExperimentScale, compare_methods
 from repro.retrieval.evaluation import filter_ranks, required_filter_sizes
 from repro.retrieval.sweep import DimensionSweep
 
+# End-to-end reproductions (training + retrieval on DTW workloads) dominate
+# the suite's wall-clock; `pytest -m "not slow"` skips them for a fast loop.
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(scope="module")
 def dtw_scale():
