@@ -10,7 +10,13 @@ from __future__ import annotations
 
 import pytest
 
-from repro import BruteForceRetriever, FilterRefineRetriever, L2Distance, VPTree
+from repro import (
+    BruteForceRetriever,
+    FilterRefineRetriever,
+    L2Distance,
+    ShardedRetriever,
+    VPTree,
+)
 
 
 def test_brute_force_query(benchmark, gaussian_split_bench):
@@ -29,6 +35,19 @@ def test_filter_refine_query(benchmark, trained_model_bench, gaussian_split_benc
     query = gaussian_split_bench.queries[0]
     result = benchmark(retriever.query, query, 5, 20)
     assert result.total_distance_computations < len(gaussian_split_bench.database)
+
+
+def test_sharded_query_many(benchmark, trained_model_bench, gaussian_split_bench):
+    """Batched approximate 5-NN through a 4-shard partition (serial merge path)."""
+    retriever = ShardedRetriever(
+        L2Distance(),
+        gaussian_split_bench.database,
+        trained_model_bench.model,
+        n_shards=4,
+    )
+    queries = list(gaussian_split_bench.queries)[:10]
+    results = benchmark(retriever.query_many, queries, 5, 20)
+    assert len(results) == len(queries)
 
 
 def test_vptree_query(benchmark, gaussian_split_bench):

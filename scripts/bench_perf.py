@@ -3,13 +3,21 @@
 
 Times the three hot paths the batch engine rewrote — Sec. 7 distance-table
 builds (DTW and edit distance) and filter-and-refine ``query_many`` — against
-faithful re-implementations of the *seed* per-pair/per-cell Python loops, and
-writes the measurements to ``BENCH_perf.json`` so future PRs can compare.
+faithful re-implementations of the *seed* per-pair/per-cell Python loops,
+plus the sharded process-parallel ``query_many`` path against the
+single-process engine, and **appends** the measurements to a history record
+in ``BENCH_perf.json`` so regressions are visible across PRs.
 
 Usage::
 
     PYTHONPATH=src python scripts/bench_perf.py            # full sizes
     PYTHONPATH=src python scripts/bench_perf.py --quick    # tier-1-friendly
+    PYTHONPATH=src python scripts/bench_perf.py --no-gate  # skip the gate
+
+The script exits non-zero when any of the three tracked hot paths
+(``dtw_pairwise``, ``edit_pairwise``, ``query_many``) regresses by more than
+20% in engine wall-clock time against the most recent prior record of the
+same mode (quick/full); pass ``--no-gate`` to record without gating.
 
 The seed baselines are kept here (not in the library) on purpose: they are
 the reference loop implementations this engine replaced, re-stated so the
@@ -21,6 +29,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import sys
 import time
@@ -38,7 +47,13 @@ from repro.datasets.timeseries import make_timeseries_dataset  # noqa: E402
 from repro.distances import ConstrainedDTW, EditDistance, pairwise_distances  # noqa: E402
 from repro.distances.base import DistanceMeasure  # noqa: E402
 from repro.embeddings.lipschitz import build_lipschitz_embedding  # noqa: E402
+from repro.distances.parallel import resolve_jobs  # noqa: E402
 from repro.retrieval.filter_refine import FilterRefineRetriever  # noqa: E402
+from repro.retrieval.sharded import ShardedRetriever  # noqa: E402
+
+#: The hot paths whose engine time is gated against the previous record.
+TRACKED_HOT_PATHS = ("dtw_pairwise", "edit_pairwise", "query_many")
+REGRESSION_TOLERANCE = 1.20
 
 
 # --------------------------------------------------------------------------- #
@@ -226,6 +241,134 @@ def bench_query_many(n_database: int, n_queries: int, length: int, dim: int, k: 
     }
 
 
+def bench_sharded_query_many(
+    n_database: int,
+    n_queries: int,
+    length: int,
+    dim: int,
+    k: int,
+    p: int,
+    n_shards: int,
+    n_jobs: int,
+) -> dict:
+    """Sharded + process-parallel ``query_many`` vs. the single-process engine."""
+    database, queries = make_timeseries_dataset(
+        n_database=n_database,
+        n_queries=n_queries,
+        n_seeds=8,
+        length=length,
+        n_dims=1,
+        seed=13,
+    )
+    distance = ConstrainedDTW()
+    embedding = build_lipschitz_embedding(distance, database, dim=dim, set_size=1, seed=3)
+    database_vectors = embedding.embed_many(list(database))
+
+    single = FilterRefineRetriever(
+        distance, database, embedding, database_vectors=database_vectors
+    )
+    sharded = ShardedRetriever(
+        distance,
+        database,
+        embedding,
+        n_shards=n_shards,
+        database_vectors=database_vectors,
+    )
+    query_objects = list(queries)
+
+    single_results, single_seconds = _timed(
+        lambda: single.query_many(query_objects, k=k, p=p)
+    )
+    serial_results, serial_seconds = _timed(
+        lambda: sharded.query_many(query_objects, k=k, p=p, n_jobs=1)
+    )
+    pool_jobs = max(2, n_jobs)  # always exercise the process-pool path
+    pool_results, pool_seconds = _timed(
+        lambda: sharded.query_many(query_objects, k=k, p=p, n_jobs=pool_jobs)
+    )
+    for results in (serial_results, pool_results):
+        for lhs, rhs in zip(single_results, results):
+            assert np.array_equal(lhs.neighbor_indices, rhs.neighbor_indices), (
+                "sharded retrieval disagrees"
+            )
+            assert np.allclose(lhs.neighbor_distances, rhs.neighbor_distances, atol=1e-8)
+            assert lhs.total_distance_computations == rhs.total_distance_computations
+    sharded_seconds = min(serial_seconds, pool_seconds)
+    return {
+        "n_database": n_database,
+        "n_queries": n_queries,
+        "series_length": length,
+        "embedding_dim": dim,
+        "k": k,
+        "p": p,
+        "n_shards": n_shards,
+        "n_jobs": pool_jobs,
+        "single_process_seconds": single_seconds,
+        "sharded_serial_seconds": serial_seconds,
+        "sharded_pool_seconds": pool_seconds,
+        "sharded_seconds": sharded_seconds,
+        "speedup": single_seconds / sharded_seconds,
+    }
+
+
+# --------------------------------------------------------------------------- #
+# History + regression gate                                                   #
+# --------------------------------------------------------------------------- #
+
+
+def load_history(path: Path) -> list:
+    """Load the record history, migrating the pre-history single-record format."""
+    if not path.is_file():
+        return []
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError:
+        print(f"[bench_perf] WARNING: could not parse {path}, starting fresh history")
+        return []
+    if isinstance(payload, dict) and isinstance(payload.get("history"), list):
+        return payload["history"]
+    if isinstance(payload, dict) and "results" in payload:
+        # Pre-PR-2 format: one bare {meta, results} record.
+        return [payload]
+    print(f"[bench_perf] WARNING: unrecognised {path} layout, starting fresh history")
+    return []
+
+
+def check_regressions(record: dict, history: list) -> list:
+    """Compare the tracked hot paths against the latest *clean* same-mode record.
+
+    Returns a list of human-readable regression descriptions (empty = pass).
+    A path regresses when its engine wall-clock time exceeds the baseline's
+    by more than ``REGRESSION_TOLERANCE``.  Records that were themselves
+    flagged as regressed (non-empty ``regressions`` field) are skipped when
+    choosing the baseline, so a regression keeps failing until it is actually
+    fixed instead of becoming the next run's yardstick.
+    """
+    mode = record["meta"]["mode"]
+    previous = next(
+        (
+            r
+            for r in reversed(history)
+            if r.get("meta", {}).get("mode") == mode and not r.get("regressions")
+        ),
+        None,
+    )
+    if previous is None:
+        return []
+    regressions = []
+    for name in TRACKED_HOT_PATHS:
+        old = previous.get("results", {}).get(name, {}).get("engine_seconds")
+        new = record["results"][name]["engine_seconds"]
+        if old is None or old <= 0:
+            continue
+        if new > REGRESSION_TOLERANCE * old:
+            regressions.append(
+                f"{name}: engine {new:.3f}s vs previous {old:.3f}s "
+                f"({new / old:.2f}x, tolerance {REGRESSION_TOLERANCE:.2f}x)"
+            )
+    return regressions
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -239,9 +382,22 @@ def main() -> int:
         default=REPO_ROOT / "BENCH_perf.json",
         help="where to write the JSON report (default: repo root)",
     )
+    parser.add_argument(
+        "--no-gate",
+        action="store_true",
+        help="record the measurements without failing on regressions",
+    )
+    parser.add_argument(
+        "--n-jobs",
+        type=int,
+        default=-1,
+        help="worker processes for the sharded benchmark "
+        "(-1 = all CPUs, matching the library's n_jobs convention)",
+    )
     args = parser.parse_args()
     if not args.output.parent.is_dir():
         parser.error(f"--output directory does not exist: {args.output.parent}")
+    n_jobs = resolve_jobs(args.n_jobs)
 
     if args.quick:
         sizes = {
@@ -249,6 +405,10 @@ def main() -> int:
             "edit_pairwise": dict(n_objects=60, length=25),
             "query_many": dict(
                 n_database=80, n_queries=8, length=40, dim=6, k=3, p=15
+            ),
+            "sharded_query_many": dict(
+                n_database=80, n_queries=8, length=40, dim=6, k=3, p=15,
+                n_shards=2, n_jobs=n_jobs,
             ),
         }
     else:
@@ -258,6 +418,10 @@ def main() -> int:
             "query_many": dict(
                 n_database=300, n_queries=25, length=50, dim=8, k=5, p=30
             ),
+            "sharded_query_many": dict(
+                n_database=300, n_queries=25, length=50, dim=8, k=5, p=30,
+                n_shards=4, n_jobs=n_jobs,
+            ),
         }
 
     results = {}
@@ -265,27 +429,45 @@ def main() -> int:
         ("dtw_pairwise", bench_dtw_pairwise),
         ("edit_pairwise", bench_edit_pairwise),
         ("query_many", bench_query_many),
+        ("sharded_query_many", bench_sharded_query_many),
     ]:
         print(f"[bench_perf] {name} {sizes[name]} ...", flush=True)
         results[name] = fn(**sizes[name])
         r = results[name]
+        baseline = r.get("seed_seconds", r.get("single_process_seconds"))
+        engine = r.get("engine_seconds", r.get("sharded_seconds"))
         print(
-            f"[bench_perf]   seed {r['seed_seconds']:.3f}s  "
-            f"engine {r['engine_seconds']:.3f}s  speedup {r['speedup']:.1f}x",
+            f"[bench_perf]   baseline {baseline:.3f}s  "
+            f"engine {engine:.3f}s  speedup {r['speedup']:.1f}x",
             flush=True,
         )
 
-    report = {
+    record = {
         "meta": {
             "generated": datetime.now(timezone.utc).isoformat(),
             "mode": "quick" if args.quick else "full",
             "python": platform.python_version(),
             "numpy": np.__version__,
+            "cpu_count": os.cpu_count(),
         },
         "results": results,
     }
-    args.output.write_text(json.dumps(report, indent=2) + "\n")
-    print(f"[bench_perf] wrote {args.output}")
+    history = load_history(args.output)
+    regressions = check_regressions(record, history)
+    record["regressions"] = regressions
+    history.append(record)
+    args.output.write_text(
+        json.dumps({"history": history}, indent=2) + "\n"
+    )
+    print(f"[bench_perf] appended record #{len(history)} to {args.output}")
+
+    if regressions:
+        for line in regressions:
+            print(f"[bench_perf] REGRESSION: {line}")
+        if args.no_gate:
+            print("[bench_perf] --no-gate set; not failing")
+        else:
+            return 1
     return 0
 
 

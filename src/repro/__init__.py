@@ -98,6 +98,7 @@ from repro.retrieval import (
     BruteForceRetriever,
     FilterRefineRetriever,
     RetrievalResult,
+    ShardedRetriever,
     DimensionSweep,
     optimal_cost_curve,
     DynamicDatabase,
@@ -178,6 +179,7 @@ __all__ = [
     "BruteForceRetriever",
     "FilterRefineRetriever",
     "RetrievalResult",
+    "ShardedRetriever",
     "DimensionSweep",
     "optimal_cost_curve",
     "DynamicDatabase",

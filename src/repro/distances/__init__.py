@@ -53,6 +53,11 @@ from repro.distances.kl import KLDivergence, SymmetricKL, JensenShannonDistance
 from repro.distances.chamfer import ChamferDistance
 from repro.distances.hausdorff import HausdorffDistance
 from repro.distances.matrix import pairwise_distances, cross_distances
+from repro.distances.parallel import (
+    ensure_parallel_safe,
+    resolve_jobs,
+    split_counting,
+)
 
 __all__ = [
     "DistanceMeasure",
@@ -78,4 +83,7 @@ __all__ = [
     "HausdorffDistance",
     "pairwise_distances",
     "cross_distances",
+    "ensure_parallel_safe",
+    "resolve_jobs",
+    "split_counting",
 ]

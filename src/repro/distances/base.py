@@ -189,7 +189,19 @@ class CachedDistance(DistanceMeasure):
     ``key`` function mapping objects to hashable identifiers; by default the
     object's ``id()`` is used, which is correct as long as the same Python
     objects are reused (the dataset containers in :mod:`repro.datasets`
-    guarantee this).
+    guarantee this) **and the cache never crosses a process boundary**.
+
+    Identity keys do not survive pickling: a worker process unpickles
+    *copies* of every object, so ``id()`` keys computed there never match the
+    entries pickled with the cache (dead weight), and once the parent's
+    originals are garbage collected a reused id can collide with a stale
+    entry and return a wrong distance.  An identity-keyed cache therefore
+    refuses to be pickled (:meth:`__getstate__` raises
+    :class:`~repro.exceptions.DistanceError`), and every ``n_jobs`` pipeline
+    rejects it up front through
+    :func:`repro.distances.parallel.ensure_parallel_safe`.  To use a cache
+    under ``n_jobs``, supply an explicit stable ``key`` function — e.g. a
+    dataset index attached to the objects, or a content hash.
 
     Note that caching sits *above* counting when composed as
     ``CachedDistance(CountingDistance(d))``: cache hits are then free, which
@@ -209,10 +221,32 @@ class CachedDistance(DistanceMeasure):
         self.name = f"cached({base.name})"
         self.is_metric = base.is_metric
         self._key = key if key is not None else id
+        self._identity_keys = key is None
         self._symmetric = bool(symmetric)
         self._cache: Dict[Tuple[Hashable, Hashable], float] = {}
         self.hits = 0
         self.misses = 0
+
+    @property
+    def uses_identity_keys(self) -> bool:
+        """``True`` when the cache relies on the default ``key=id``.
+
+        Identity keys are only valid inside one process while the original
+        objects are alive; parallel pipelines check this flag to reject the
+        cache before shipping it to workers.
+        """
+        return self._identity_keys
+
+    def __getstate__(self) -> Dict[str, Any]:
+        if self._identity_keys:
+            raise DistanceError(
+                "cannot pickle a CachedDistance that uses the default key=id: "
+                "identity keys do not survive the process boundary (unpickled "
+                "object copies get fresh ids, and reused ids can collide with "
+                "stale entries). Construct the cache with an explicit stable "
+                "key function to make it picklable."
+            )
+        return self.__dict__.copy()
 
     def compute(self, x: Any, y: Any) -> float:
         cache_key = self._cache_key(self._key(x), self._key(y))

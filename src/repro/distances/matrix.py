@@ -15,108 +15,37 @@ Parallelism
 -----------
 Pass ``n_jobs > 1`` to spread rows over a pool of worker processes
 (``n_jobs=-1`` uses every CPU).  The distance measure and the objects must be
-picklable.  A top-level :class:`~repro.distances.base.CountingDistance` is
-handled specially so that cost accounting stays *exact*: the wrapped measure
-is shipped to the workers and the parent-process counter is charged one
-evaluation per computed pair, exactly as in the serial path.  Any other
-per-instance state mutated inside workers (e.g. a nested cache) stays in the
-workers and is discarded.
+picklable.  The pool and accounting rules are shared with the retrieval
+pipelines through :mod:`repro.distances.parallel`: top-level
+:class:`~repro.distances.base.CountingDistance` wrappers are peeled off so
+that cost accounting stays *exact* (the wrapped measure is shipped to the
+workers and the parent-process counters are charged one evaluation per
+computed pair, exactly as in the serial path), and a
+:class:`~repro.distances.base.CachedDistance` keyed by object identity is
+rejected up front because identity keys cannot survive the process boundary.
+Any other per-instance state mutated inside workers stays in the workers and
+is discarded.
 """
 
 from __future__ import annotations
 
-import os
-from concurrent.futures import ProcessPoolExecutor
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Optional, Sequence
 
 import numpy as np
 
-from repro.distances.base import CountingDistance, DistanceMeasure
+from repro.distances.base import DistanceMeasure
+from repro.distances.parallel import (
+    ProgressCallback,
+    ensure_parallel_safe,
+    parallel_rows,
+    pool_full_rows,
+    pool_upper_rows,
+    resolve_jobs,
+    split_counting,
+)
 from repro.exceptions import DistanceError
 
-ProgressCallback = Callable[[int, int], None]
-
-# Worker-process state, installed once per worker by the pool initializer so
-# that the object collections are pickled once instead of once per task.
-_POOL_STATE: Dict[str, Any] = {}
-
-
-def _pool_init(distance: DistanceMeasure, rows: List[Any], columns: List[Any]) -> None:
-    _POOL_STATE["distance"] = distance
-    _POOL_STATE["rows"] = rows
-    _POOL_STATE["columns"] = columns
-
-
-def _pool_full_rows(indices: Sequence[int]) -> List[np.ndarray]:
-    """Worker task: full rows against every column object."""
-    distance = _POOL_STATE["distance"]
-    rows = _POOL_STATE["rows"]
-    columns = _POOL_STATE["columns"]
-    return [np.asarray(distance.compute_many(rows[i], columns)) for i in indices]
-
-
-def _pool_upper_rows(indices: Sequence[int]) -> List[np.ndarray]:
-    """Worker task: strict-upper-triangle rows (symmetric pairwise case)."""
-    distance = _POOL_STATE["distance"]
-    rows = _POOL_STATE["rows"]
-    columns = _POOL_STATE["columns"]
-    out = []
-    for i in indices:
-        tail = columns[i + 1 :]
-        if tail:
-            out.append(np.asarray(distance.compute_many(rows[i], tail)))
-        else:
-            out.append(np.zeros(0))
-    return out
-
-
-def _resolve_jobs(n_jobs: Optional[int]) -> int:
-    if n_jobs is None or n_jobs == 0:
-        return 1
-    if n_jobs < 0:
-        return os.cpu_count() or 1
-    return int(n_jobs)
-
-
-def _split_counting(
-    distance: DistanceMeasure,
-) -> Tuple[DistanceMeasure, Optional[CountingDistance]]:
-    """Peel a top-level CountingDistance so workers compute, parent counts."""
-    if isinstance(distance, CountingDistance):
-        return distance.base, distance
-    return distance, None
-
-
-def _row_chunks(n_rows: int, n_workers: int) -> List[List[int]]:
-    """Contiguous row chunks, several per worker so progress stays granular."""
-    n_chunks = max(1, min(n_rows, n_workers * 4))
-    return [list(chunk) for chunk in np.array_split(np.arange(n_rows), n_chunks)]
-
-
-def _parallel_rows(
-    distance: DistanceMeasure,
-    rows: List[Any],
-    columns: List[Any],
-    task: Callable[[Sequence[int]], List[np.ndarray]],
-    n_workers: int,
-    progress: Optional[ProgressCallback],
-) -> List[np.ndarray]:
-    """Run a row task over a process pool, preserving row order."""
-    chunks = _row_chunks(len(rows), n_workers)
-    results: List[Optional[np.ndarray]] = [None] * len(rows)
-    done = 0
-    with ProcessPoolExecutor(
-        max_workers=n_workers,
-        initializer=_pool_init,
-        initargs=(distance, rows, columns),
-    ) as pool:
-        for chunk, chunk_rows in zip(chunks, pool.map(task, chunks)):
-            for i, row in zip(chunk, chunk_rows):
-                results[i] = row
-            done += len(chunk)
-            if progress is not None:
-                progress(done, len(rows))
-    return results  # type: ignore[return-value]
+__all__ = ["ProgressCallback", "pairwise_distances", "cross_distances"]
 
 
 def pairwise_distances(
@@ -150,20 +79,22 @@ def pairwise_distances(
     objects = list(objects)
     n = len(objects)
     matrix = np.zeros((n, n), dtype=float)
-    n_workers = _resolve_jobs(n_jobs)
+    n_workers = resolve_jobs(n_jobs)
 
     if n_workers > 1 and n > 1:
-        inner, counting = _split_counting(distance)
-        task = _pool_upper_rows if symmetric else _pool_full_rows
-        rows = _parallel_rows(inner, objects, objects, task, n_workers, progress)
+        ensure_parallel_safe(distance)
+        inner, counters = split_counting(distance)
+        task = pool_upper_rows if symmetric else pool_full_rows
+        rows = parallel_rows(inner, objects, objects, task, n_workers, progress)
         for i, row in enumerate(rows):
             if symmetric:
                 matrix[i, i + 1 :] = row
                 matrix[i + 1 :, i] = row
             else:
                 matrix[i, :] = row
-        if counting is not None:
-            counting.calls += n * (n - 1) // 2 if symmetric else n * n
+        n_pairs = n * (n - 1) // 2 if symmetric else n * n
+        for counting in counters:
+            counting.calls += n_pairs
         return matrix
 
     for i in range(n):
@@ -200,16 +131,17 @@ def cross_distances(
     matrix = np.zeros((len(rows), len(columns)), dtype=float)
     if not rows or not columns:
         return matrix
-    n_workers = _resolve_jobs(n_jobs)
+    n_workers = resolve_jobs(n_jobs)
 
     if n_workers > 1 and len(rows) > 1:
-        inner, counting = _split_counting(distance)
-        row_values = _parallel_rows(
-            inner, rows, columns, _pool_full_rows, n_workers, progress
+        ensure_parallel_safe(distance)
+        inner, counters = split_counting(distance)
+        row_values = parallel_rows(
+            inner, rows, columns, pool_full_rows, n_workers, progress
         )
         for i, row in enumerate(row_values):
             matrix[i, :] = row
-        if counting is not None:
+        for counting in counters:
             counting.calls += len(rows) * len(columns)
         return matrix
 

@@ -1,0 +1,253 @@
+"""Shared process-pool and cost-accounting helpers for parallel evaluation.
+
+Both the matrix builders (:mod:`repro.distances.matrix`) and the retrieval
+pipelines (:mod:`repro.retrieval.filter_refine`,
+:mod:`repro.retrieval.sharded`) can spread exact-distance work over a pool of
+worker processes.  The rules that keep the paper's cost accounting *exact*
+across process boundaries live here so every ``n_jobs`` path behaves the same
+way:
+
+* **Counting** — any top-level chain of
+  :class:`~repro.distances.base.CountingDistance` wrappers is peeled off
+  before the measure is shipped to workers (:func:`split_counting`); workers
+  evaluate the inner measure and the parent process charges each peeled
+  counter one evaluation per computed pair, exactly as the serial path
+  would have.
+* **Caching** — a :class:`~repro.distances.base.CachedDistance` keyed by
+  object identity (the default ``key=id``) is rejected up front
+  (:func:`ensure_parallel_safe`): workers unpickle *copies* of every object,
+  so identity keys never match and, after garbage collection reuses an id,
+  can silently collide with a stale entry.  Caches with user-supplied stable
+  keys are allowed; their worker-side state is discarded when the pool shuts
+  down.
+
+Two pool shapes are provided:
+
+* :func:`parallel_rows` — one task per chunk of distance-matrix rows (used by
+  the matrix builders);
+* :func:`parallel_refine` — one task per chunk of ``(query, shard)`` refine
+  work items (used by the retrieval pipelines), returning the exact distances
+  from each query to its filter candidates inside one shard.
+
+Worker state (the measure and the object collections) is installed once per
+worker by a pool initializer, so large databases are pickled once per worker
+instead of once per task.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.distances.base import CachedDistance, CountingDistance, DistanceMeasure
+from repro.exceptions import DistanceError
+
+ProgressCallback = Callable[[int, int], None]
+
+#: A unit of refine work: ``(key, query_object, shard_id, local_indices)``.
+#: ``key`` is an opaque identifier the caller uses to reassemble results.
+RefineItem = Tuple[Any, Any, int, np.ndarray]
+
+# Worker-process state, installed once per worker by the pool initializers so
+# that the object collections are pickled once instead of once per task.
+_POOL_STATE: Dict[str, Any] = {}
+
+
+def resolve_jobs(n_jobs: Optional[int]) -> int:
+    """Normalise an ``n_jobs`` argument to a worker count.
+
+    ``None``/``0``/``1`` mean serial, negative values mean every CPU.
+    """
+    if n_jobs is None or n_jobs == 0:
+        return 1
+    if n_jobs < 0:
+        return os.cpu_count() or 1
+    return int(n_jobs)
+
+
+def split_counting(
+    distance: DistanceMeasure,
+) -> Tuple[DistanceMeasure, List[CountingDistance]]:
+    """Peel every top-level :class:`CountingDistance` wrapper.
+
+    Returns the innermost non-counting measure plus the peeled counters,
+    outermost first.  Workers evaluate the inner measure; the parent charges
+    each counter one evaluation per computed pair, so nesting a user-supplied
+    counter inside a pipeline-internal one keeps both exact.
+    """
+    counters: List[CountingDistance] = []
+    while isinstance(distance, CountingDistance):
+        counters.append(distance)
+        distance = distance.base
+    return distance, counters
+
+
+def ensure_parallel_safe(distance: DistanceMeasure) -> None:
+    """Reject measures whose state cannot survive a process boundary.
+
+    Walks the wrapper chain (``CountingDistance.base`` / ``CachedDistance.base``)
+    and raises :class:`~repro.exceptions.DistanceError` if a
+    :class:`CachedDistance` relying on the default identity (``id``) keys is
+    found: worker processes see unpickled copies of every object, so identity
+    keys never match (the cache is dead weight) and, once the original objects
+    are garbage collected, a reused id can collide with a stale entry and
+    return a wrong distance.  Pass an explicit content-based ``key`` function
+    to :class:`CachedDistance` to use it under ``n_jobs``.
+    """
+    seen = set()
+    while isinstance(distance, DistanceMeasure) and id(distance) not in seen:
+        seen.add(id(distance))
+        if isinstance(distance, CachedDistance) and distance.uses_identity_keys:
+            raise DistanceError(
+                "CachedDistance with the default key=id cannot be used with "
+                "n_jobs > 1: worker processes unpickle copies of every object, "
+                "so identity keys never match across the process boundary and "
+                "can collide after id reuse. Construct the cache with an "
+                "explicit stable key function (e.g. a dataset index or a "
+                "content hash) to parallelise."
+            )
+        distance = getattr(distance, "base", None)
+
+
+def row_chunks(n_rows: int, n_workers: int) -> List[List[int]]:
+    """Contiguous row chunks, several per worker so progress stays granular."""
+    n_chunks = max(1, min(n_rows, n_workers * 4))
+    return [list(chunk) for chunk in np.array_split(np.arange(n_rows), n_chunks)]
+
+
+# --------------------------------------------------------------------------- #
+# Matrix-row pool (used by repro.distances.matrix)                            #
+# --------------------------------------------------------------------------- #
+
+
+def _rows_pool_init(
+    distance: DistanceMeasure, rows: List[Any], columns: List[Any]
+) -> None:
+    _POOL_STATE["distance"] = distance
+    _POOL_STATE["rows"] = rows
+    _POOL_STATE["columns"] = columns
+
+
+def pool_full_rows(indices: Sequence[int]) -> List[np.ndarray]:
+    """Worker task: full rows against every column object."""
+    distance = _POOL_STATE["distance"]
+    rows = _POOL_STATE["rows"]
+    columns = _POOL_STATE["columns"]
+    return [np.asarray(distance.compute_many(rows[i], columns)) for i in indices]
+
+
+def pool_upper_rows(indices: Sequence[int]) -> List[np.ndarray]:
+    """Worker task: strict-upper-triangle rows (symmetric pairwise case)."""
+    distance = _POOL_STATE["distance"]
+    rows = _POOL_STATE["rows"]
+    columns = _POOL_STATE["columns"]
+    out = []
+    for i in indices:
+        tail = columns[i + 1 :]
+        if tail:
+            out.append(np.asarray(distance.compute_many(rows[i], tail)))
+        else:
+            out.append(np.zeros(0))
+    return out
+
+
+def parallel_rows(
+    distance: DistanceMeasure,
+    rows: List[Any],
+    columns: List[Any],
+    task: Callable[[Sequence[int]], List[np.ndarray]],
+    n_workers: int,
+    progress: Optional[ProgressCallback],
+) -> List[np.ndarray]:
+    """Run a matrix-row task over a process pool, preserving row order.
+
+    ``distance`` must already be parallel-safe (see
+    :func:`ensure_parallel_safe`) and stripped of parent-side counters
+    (see :func:`split_counting`).
+    """
+    chunks = row_chunks(len(rows), n_workers)
+    results: List[Optional[np.ndarray]] = [None] * len(rows)
+    done = 0
+    with ProcessPoolExecutor(
+        max_workers=n_workers,
+        initializer=_rows_pool_init,
+        initargs=(distance, rows, columns),
+    ) as pool:
+        for chunk, chunk_rows in zip(chunks, pool.map(task, chunks)):
+            for i, row in zip(chunk, chunk_rows):
+                results[i] = row
+            done += len(chunk)
+            if progress is not None:
+                progress(done, len(rows))
+    return results  # type: ignore[return-value]
+
+
+# --------------------------------------------------------------------------- #
+# Refine pool (used by the retrieval pipelines)                               #
+# --------------------------------------------------------------------------- #
+
+
+def _refine_pool_init(distance: DistanceMeasure, shards: List[List[Any]]) -> None:
+    _POOL_STATE["distance"] = distance
+    _POOL_STATE["shards"] = shards
+
+
+def _pool_refine_chunk(
+    items: Sequence[Tuple[Any, Any, int, np.ndarray]],
+) -> List[Tuple[Any, np.ndarray]]:
+    """Worker task: exact distances from each query to its shard candidates.
+
+    Every item is ``(key, query_object, shard_id, local_indices)``; the
+    result pairs the key with ``distance.compute_many(query, candidates)``
+    evaluated in ``local_indices`` order, so asymmetric measures keep the
+    query as the first argument exactly as in the serial path.
+    """
+    distance = _POOL_STATE["distance"]
+    shards = _POOL_STATE["shards"]
+    out = []
+    for key, query, shard_id, local_indices in items:
+        shard = shards[shard_id]
+        candidates = [shard[int(i)] for i in local_indices]
+        out.append((key, np.asarray(distance.compute_many(query, candidates))))
+    return out
+
+
+def parallel_refine(
+    distance: DistanceMeasure,
+    shards: List[List[Any]],
+    items: Sequence[RefineItem],
+    n_workers: int,
+) -> Dict[Any, np.ndarray]:
+    """Evaluate refine work items over a process pool.
+
+    Parameters
+    ----------
+    distance:
+        The measure to evaluate in the workers.  Callers are expected to have
+        already peeled parent-side counters with :func:`split_counting` and
+        validated the chain with :func:`ensure_parallel_safe`; the parent
+        charges the peeled counters itself (one evaluation per candidate).
+    shards:
+        Per-shard object lists, installed once per worker.
+    items:
+        Work items ``(key, query_object, shard_id, local_indices)``.  Keys
+        must be unique (and hashable); the mapping they index is returned.
+    n_workers:
+        Pool size; callers should fall back to a serial loop when 1.
+    """
+    item_list = list(items)
+    chunks = row_chunks(len(item_list), n_workers)
+    results: Dict[Any, np.ndarray] = {}
+    with ProcessPoolExecutor(
+        max_workers=n_workers,
+        initializer=_refine_pool_init,
+        initargs=(distance, shards),
+    ) as pool:
+        payloads = [[item_list[i] for i in chunk] for chunk in chunks]
+        for chunk_result in pool.map(_pool_refine_chunk, payloads):
+            for key, values in chunk_result:
+                results[key] = values
+    return results

@@ -28,7 +28,12 @@ from repro.experiments.figure4 import run_figure4
 from repro.experiments.figure5 import run_figure5
 from repro.experiments.figure6 import Figure6Result, run_figure6
 from repro.experiments.table1 import format_table1, run_table1
-from repro.experiments.timing import TimingResult, run_timing
+from repro.experiments.timing import (
+    RetrievalTimingResult,
+    TimingResult,
+    run_retrieval_timing,
+    run_timing,
+)
 from repro.experiments.ablations import K1AblationResult, run_k1_ablation, run_dimension_ablation
 
 __all__ = [
@@ -52,6 +57,8 @@ __all__ = [
     "run_table1",
     "TimingResult",
     "run_timing",
+    "RetrievalTimingResult",
+    "run_retrieval_timing",
     "K1AblationResult",
     "run_k1_ablation",
     "run_dimension_ablation",

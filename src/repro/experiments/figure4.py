@@ -35,6 +35,7 @@ def run_figure4(
     seed: RngLike = 0,
     image_size: int = 28,
     shape_context_points: int = 20,
+    n_jobs=None,
 ) -> ComparisonResult:
     """Reproduce Figure 4 at the given scale.
 
@@ -53,6 +54,9 @@ def run_figure4(
         Number of edge points sampled by the Shape Context distance; the
         original work uses 100, the scaled default keeps the Hungarian
         matching fast without changing the qualitative behaviour.
+    n_jobs:
+        Worker processes for the distance-matrix preprocessing (forwarded to
+        :func:`repro.experiments.runner.compare_methods`).
     """
     database, queries = make_digit_dataset(
         n_database=scale.database_size,
@@ -69,4 +73,5 @@ def run_figure4(
         methods=methods,
         seed=seed,
         dataset_name="synthetic digits + shape context (Figure 4)",
+        n_jobs=n_jobs,
     )

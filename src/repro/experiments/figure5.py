@@ -29,6 +29,7 @@ def run_figure5(
     series_dims: int = 2,
     n_seeds: int = 16,
     band_fraction: float = 0.1,
+    n_jobs=None,
 ) -> ComparisonResult:
     """Reproduce Figure 5 at the given scale.
 
@@ -47,6 +48,9 @@ def run_figure5(
     band_fraction:
         Sakoe-Chiba warping-band width as a fraction of the shorter series
         (the paper uses 10%).
+    n_jobs:
+        Worker processes for the distance-matrix preprocessing (forwarded to
+        :func:`repro.experiments.runner.compare_methods`).
     """
     database, queries = make_timeseries_dataset(
         n_database=scale.database_size,
@@ -65,4 +69,5 @@ def run_figure5(
         methods=methods,
         seed=seed,
         dataset_name="synthetic time series + constrained DTW (Figure 5)",
+        n_jobs=n_jobs,
     )

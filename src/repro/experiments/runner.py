@@ -139,6 +139,7 @@ def compare_methods(
     dataset_name: str = "dataset",
     ground_truth: Optional[NeighborTable] = None,
     tables: Optional[TrainingTables] = None,
+    n_jobs: Optional[int] = None,
 ) -> ComparisonResult:
     """Train and evaluate the requested methods on one retrieval split.
 
@@ -161,6 +162,11 @@ def compare_methods(
         Optional precomputed ground truth (skips the brute-force scan).
     tables:
         Optional precomputed training tables shared across methods.
+    n_jobs:
+        Worker processes for the expensive distance-matrix preprocessing
+        (ground-truth scan and training tables); ``None``/``1`` = serial,
+        ``-1`` = all CPUs.  Results are identical either way, including the
+        exact distance-evaluation accounting.
     """
     for tag in methods:
         if tag not in ALL_METHODS:
@@ -173,7 +179,7 @@ def compare_methods(
 
     if ground_truth is None:
         ground_truth = ground_truth_neighbors(
-            distance, database, queries, k_max=scale.k_max_needed
+            distance, database, queries, k_max=scale.k_max_needed, n_jobs=n_jobs
         )
 
     needs_training = any(tag != "FastMap" for tag in methods)
@@ -185,6 +191,7 @@ def compare_methods(
             n_candidates=scale.n_candidates,
             n_training_objects=scale.n_training_objects,
             seed=table_seed,
+            n_jobs=n_jobs,
         )
     if tables is not None:
         preprocessing = tables.distance_evaluations

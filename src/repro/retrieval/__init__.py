@@ -6,7 +6,9 @@ This subpackage implements Sec. 8 and the evaluation protocol of Sec. 9:
   against) and ground-truth computation (:mod:`repro.retrieval.brute_force`,
   :mod:`repro.retrieval.knn`);
 * the filter-and-refine pipeline driven by an embedding and its (possibly
-  query-sensitive) vector distance (:mod:`repro.retrieval.filter_refine`);
+  query-sensitive) vector distance (:mod:`repro.retrieval.filter_refine`),
+  plus its sharded, process-parallel serving shape with bit-identical
+  results and cost accounting (:mod:`repro.retrieval.sharded`);
 * the accuracy-versus-cost evaluation with the paper's optimal-parameter
   search over the embedding dimensionality ``d`` and the filter size ``p``
   (:mod:`repro.retrieval.evaluation`, :mod:`repro.retrieval.sweep`);
@@ -17,11 +19,14 @@ This subpackage implements Sec. 8 and the evaluation protocol of Sec. 9:
 from repro.retrieval.knn import NeighborTable, knn_from_distances, ground_truth_neighbors
 from repro.retrieval.brute_force import BruteForceRetriever
 from repro.retrieval.filter_refine import FilterRefineRetriever, RetrievalResult
+from repro.retrieval.sharded import Shard, ShardedRetriever
 from repro.retrieval.evaluation import (
     FilterRankResult,
     filter_ranks,
     required_filter_sizes,
     cost_for_accuracy,
+    retrieval_recall,
+    success_rate,
     AccuracyCostPoint,
 )
 from repro.retrieval.sweep import DimensionSweep, SweepEntry, optimal_cost_curve
@@ -34,10 +39,14 @@ __all__ = [
     "BruteForceRetriever",
     "FilterRefineRetriever",
     "RetrievalResult",
+    "Shard",
+    "ShardedRetriever",
     "FilterRankResult",
     "filter_ranks",
     "required_filter_sizes",
     "cost_for_accuracy",
+    "retrieval_recall",
+    "success_rate",
     "AccuracyCostPoint",
     "DimensionSweep",
     "SweepEntry",

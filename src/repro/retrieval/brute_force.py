@@ -3,16 +3,31 @@
 This is the reference point of the whole paper: answering a query exactly
 costs one distance computation per database object.  The retriever counts its
 evaluations so tests and benchmarks can verify the accounting.
+
+The scan is one batched ``compute_many`` call per query, so vectorised
+distance kernels are exploited; ties in the exact distance are resolved by
+the smallest database index (stable sort), the reference tie order every
+filter-and-refine pipeline in :mod:`repro.retrieval` reproduces.
+:meth:`BruteForceRetriever.query_many` accepts ``n_jobs`` to spread query
+scans over worker processes with the same exact accounting rules as the
+matrix builders (parent-side counters charged one evaluation per scanned
+object, identity-keyed caches rejected).
 """
 
 from __future__ import annotations
 
-from typing import Any, List, Tuple
+from typing import Any, List, Optional, Tuple
 
 import numpy as np
 
 from repro.datasets.base import Dataset
 from repro.distances.base import CountingDistance, DistanceMeasure
+from repro.distances.parallel import (
+    ensure_parallel_safe,
+    parallel_refine,
+    resolve_jobs,
+    split_counting,
+)
 from repro.exceptions import RetrievalError
 
 
@@ -44,21 +59,52 @@ class BruteForceRetriever:
         """Reset the distance-evaluation counter."""
         self._counting.reset()
 
-    def query(self, obj: Any, k: int) -> Tuple[np.ndarray, np.ndarray]:
-        """Return the indices and distances of the ``k`` nearest neighbors.
-
-        The cost is exactly ``len(database)`` distance computations.
-        """
+    def _check_k(self, k: int) -> None:
         if not 1 <= k <= len(self.database):
             raise RetrievalError(
                 f"k must be in [1, {len(self.database)}], got {k}"
             )
-        distances = np.array(
-            [self._counting(obj, candidate) for candidate in self.database]
+
+    def query(self, obj: Any, k: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Return the indices and distances of the ``k`` nearest neighbors.
+
+        The cost is exactly ``len(database)`` distance computations,
+        evaluated through one batched ``compute_many`` call.
+        """
+        self._check_k(k)
+        distances = np.asarray(
+            self._counting.compute_many(obj, list(self.database)), dtype=float
         )
         order = np.argsort(distances, kind="stable")[:k]
         return order, distances[order]
 
-    def query_many(self, objects, k: int) -> List[Tuple[np.ndarray, np.ndarray]]:
-        """Run :meth:`query` for every object in an iterable."""
+    def query_many(
+        self, objects, k: int, n_jobs: Optional[int] = None
+    ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """Run :meth:`query` for every object in an iterable.
+
+        With ``n_jobs > 1`` (``-1`` = all CPUs) the per-query scans are
+        spread over a process pool; results and the evaluation counter are
+        identical to the serial path.
+        """
+        self._check_k(k)
+        objects = list(objects)
+        if not objects:
+            return []
+        n_workers = resolve_jobs(n_jobs)
+        if n_workers > 1 and len(objects) > 1:
+            ensure_parallel_safe(self._counting)
+            inner, counters = split_counting(self._counting)
+            database = list(self.database)
+            all_indices = np.arange(len(database))
+            items = [(qi, obj, 0, all_indices) for qi, obj in enumerate(objects)]
+            by_query = parallel_refine(inner, [database], items, n_workers)
+            for counting in counters:
+                counting.calls += len(database) * len(objects)
+            results = []
+            for qi in range(len(objects)):
+                distances = np.asarray(by_query[qi], dtype=float)
+                order = np.argsort(distances, kind="stable")[:k]
+                results.append((order, distances[order]))
+            return results
         return [self.query(obj, k) for obj in objects]

@@ -126,21 +126,30 @@ def filter_ranks(
 
     n_queries = query_vectors.shape[0]
     k_max = ground_truth.k_max
+    n_database = database_vectors.shape[0]
     rank_matrix = np.empty((n_queries, k_max), dtype=int)
     is_model = isinstance(embedder, QuerySensitiveModel)
+    database_positions = np.arange(n_database)
     for qi in range(n_queries):
         qvec = query_vectors[qi]
         if is_model:
             filter_dists = embedder.distances_to(qvec, database_vectors)
         else:
             filter_dists = np.abs(database_vectors - qvec[None, :]).sum(axis=1)
-        # rank of database object j = number of objects with strictly smaller
-        # filter distance, +1; ties are counted optimistically (stable order),
-        # matching what argsort-based candidate selection would do.
-        order = np.argsort(filter_dists, kind="stable")
-        positions = np.empty(database_vectors.shape[0], dtype=int)
-        positions[order] = np.arange(1, database_vectors.shape[0] + 1)
-        rank_matrix[qi] = positions[ground_truth.indices[qi]]
+        # rank of database object j in the stable filter ordering = number of
+        # objects with strictly smaller filter distance + number of equal
+        # distances at smaller indices + 1 (ties broken by database index,
+        # matching the stable argsort-based candidate selection).  Computing
+        # the k_max needed ranks directly is O(n * k_max) instead of sorting
+        # the whole database per query.
+        neighbors = ground_truth.indices[qi]
+        neighbor_dists = filter_dists[neighbors]
+        smaller = (filter_dists[None, :] < neighbor_dists[:, None]).sum(axis=1)
+        ties_before = (
+            (filter_dists[None, :] == neighbor_dists[:, None])
+            & (database_positions[None, :] < neighbors[:, None])
+        ).sum(axis=1)
+        rank_matrix[qi] = smaller + ties_before + 1
     return FilterRankResult(
         rank_matrix=rank_matrix,
         embedding_cost=int(embedder.cost),
@@ -206,3 +215,28 @@ def success_rate(rank_result: FilterRankResult, k: int, p: int) -> float:
         raise RetrievalError("p must be at least 1")
     required = required_filter_sizes(rank_result, k)
     return float(np.mean(required <= p))
+
+
+def retrieval_recall(results: Sequence, ground_truth: NeighborTable, k: int) -> float:
+    """Fraction of queries whose reported neighbors are exactly correct.
+
+    Applies the paper's strict criterion to actual retrieval output (a
+    sequence of :class:`~repro.retrieval.filter_refine.RetrievalResult`, from
+    the unsharded or sharded pipeline): a query counts as correct only if
+    *all* ``k`` true nearest neighbors appear among its reported top ``k``.
+    Complementary to :func:`success_rate`, which predicts the same quantity
+    from filter ranks without running the refine step.
+    """
+    results = list(results)
+    if len(results) != ground_truth.n_queries:
+        raise RetrievalError(
+            f"got {len(results)} results for {ground_truth.n_queries} queries"
+        )
+    if not 1 <= k <= ground_truth.k_max:
+        raise RetrievalError(f"k must be in [1, {ground_truth.k_max}], got {k}")
+    correct = 0
+    for qi, result in enumerate(results):
+        reported = set(int(i) for i in result.neighbor_indices[:k])
+        if all(int(i) in reported for i in ground_truth.indices[qi, :k]):
+            correct += 1
+    return correct / len(results)

@@ -21,18 +21,54 @@ full sort, the refine step evaluates all ``p`` exact distances through one
 batched ``compute_many`` call, and :meth:`FilterRefineRetriever.query_many`
 embeds all queries with one batched ``embed_many`` call — with results and
 per-query cost accounting identical to the scalar loops.
+
+Parameter clamping
+------------------
+``k`` and ``p`` are *clamped* rather than rejected: ``p`` is raised to at
+least ``k`` (the refine step must be allowed to return ``k`` results) and
+both are capped at the database size, so every query returns exactly
+``min(k, n)`` neighbors.  With ``p`` clamped to ``n`` the filter keeps
+everything and the results — including tie order — equal brute force.
+
+Tie-breaking
+------------
+Both the filter cut and the refine step resolve distance ties by the smallest
+*database index*, exactly like :class:`~repro.retrieval.brute_force.
+BruteForceRetriever`'s stable scan.  This makes results independent of the
+filter ordering among equal exact distances, which is what allows
+:class:`~repro.retrieval.sharded.ShardedRetriever` to merge per-shard
+candidates into bit-identical global results.
+
+Parallelism
+-----------
+:meth:`FilterRefineRetriever.query_many` accepts ``n_jobs``: queries are
+embedded and filtered in the parent process (filtering touches no exact
+distances), and the refine work is spread over worker processes through
+:func:`repro.distances.parallel.parallel_refine`.  Cost accounting stays
+exact the same way the matrix builders keep it exact: top-level
+:class:`~repro.distances.base.CountingDistance` wrappers stay in the parent
+and are charged one evaluation per refined candidate, while workers evaluate
+the inner measure.  Identity-keyed :class:`~repro.distances.base.
+CachedDistance` wrappers are rejected up front (their keys cannot survive the
+process boundary).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Optional, Sequence, Union
+from typing import Any, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.core.model import QuerySensitiveModel
 from repro.datasets.base import Dataset
 from repro.distances.base import CountingDistance, DistanceMeasure
+from repro.distances.parallel import (
+    ensure_parallel_safe,
+    parallel_refine,
+    resolve_jobs,
+    split_counting,
+)
 from repro.embeddings.base import Embedding
 from repro.exceptions import RetrievalError
 
@@ -62,6 +98,75 @@ def _stable_smallest(values: np.ndarray, p: Optional[int]) -> np.ndarray:
     return chosen[order]
 
 
+def _clamp_query_params(k: int, p: int, n: int) -> Tuple[int, int]:
+    """Clamp ``(k, p)`` against a database of ``n`` objects.
+
+    ``k`` and ``p`` must be positive; beyond that they are clamped rather
+    than rejected: ``k`` is capped at ``n`` (a query cannot have more
+    neighbors than the database holds) and ``p`` is raised to at least the
+    effective ``k`` (so the refine step can return ``k`` results) and capped
+    at ``n`` (refining more candidates than exist is meaningless).  Returns
+    the effective ``(k, p)``; the refine cost charged per query is the
+    effective ``p``.
+    """
+    if k < 1:
+        raise RetrievalError(f"k must be a positive integer, got {k}")
+    if p < 1:
+        raise RetrievalError(f"p must be a positive integer, got {p}")
+    k_eff = min(int(k), n)
+    p_eff = min(max(int(p), k_eff), n)
+    return k_eff, p_eff
+
+
+def _filter_distances(
+    embedder: Union[QuerySensitiveModel, Embedding],
+    query_vector: np.ndarray,
+    database_vectors: np.ndarray,
+) -> np.ndarray:
+    """Filter-step distances from one embedded query to database vectors.
+
+    Row-wise over ``database_vectors``, so evaluating it per shard and
+    concatenating yields bit-identical values to one full-database call.
+    """
+    query_vector = np.asarray(query_vector, dtype=float)
+    if isinstance(embedder, QuerySensitiveModel):
+        return embedder.distances_to(query_vector, database_vectors)
+    return np.abs(database_vectors - query_vector[None, :]).sum(axis=1)
+
+
+def _refine_order(exact: np.ndarray, candidates: np.ndarray, k: int) -> np.ndarray:
+    """Positions of the ``k`` best refined candidates, ties by database index.
+
+    ``np.lexsort`` with the exact distance as the primary key and the global
+    database index as the secondary key reproduces exactly the tie-stable
+    order of a brute-force scan, regardless of the order the candidates
+    survived the filter in.
+    """
+    return np.lexsort((candidates, exact))[:k]
+
+
+def _build_retrieval_result(
+    candidates: np.ndarray,
+    exact: np.ndarray,
+    k_eff: int,
+    p_eff: int,
+    embedding_cost: int,
+) -> "RetrievalResult":
+    """Assemble a :class:`RetrievalResult` from refined candidate distances.
+
+    Shared by the unsharded and sharded retrievers so the neighbor ordering
+    and cost accounting can never diverge between the two paths.
+    """
+    order = _refine_order(exact, candidates, k_eff)
+    return RetrievalResult(
+        neighbor_indices=candidates[order],
+        neighbor_distances=exact[order],
+        candidate_indices=candidates,
+        embedding_distance_computations=int(embedding_cost),
+        refine_distance_computations=int(p_eff),
+    )
+
+
 @dataclass
 class RetrievalResult:
     """Outcome of one filter-and-refine query.
@@ -69,16 +174,16 @@ class RetrievalResult:
     Attributes
     ----------
     neighbor_indices:
-        Database indices of the ``k`` reported neighbors, best first.
+        Database indices of the ``min(k, n)`` reported neighbors, best first.
     neighbor_distances:
         Their exact distances to the query.
     candidate_indices:
-        The ``p`` database indices that survived the filter step, in filter
-        order.
+        The (effective) ``p`` database indices that survived the filter step,
+        in filter order.
     embedding_distance_computations:
         Exact distances spent embedding the query.
     refine_distance_computations:
-        Exact distances spent in the refine step (= ``p``).
+        Exact distances spent in the refine step (= effective ``p``).
     """
 
     neighbor_indices: np.ndarray
@@ -151,12 +256,14 @@ class FilterRefineRetriever:
         """Exact distances needed to embed one query."""
         return self.embedder.cost
 
+    @property
+    def refine_distance_evaluations(self) -> int:
+        """Total exact distances spent refining, across all queries so far."""
+        return self._refine_distance.calls
+
     def filter_distances(self, query_vector: np.ndarray) -> np.ndarray:
         """Vector distances from an embedded query to every database vector."""
-        query_vector = np.asarray(query_vector, dtype=float)
-        if isinstance(self.embedder, QuerySensitiveModel):
-            return self.embedder.distances_to(query_vector, self.database_vectors)
-        return np.abs(self.database_vectors - query_vector[None, :]).sum(axis=1)
+        return _filter_distances(self.embedder, query_vector, self.database_vectors)
 
     def filter_order(self, query_vector: np.ndarray, p: Optional[int] = None) -> np.ndarray:
         """Database indices sorted by increasing filter distance.
@@ -169,28 +276,15 @@ class FilterRefineRetriever:
         """
         return _stable_smallest(self.filter_distances(query_vector), p)
 
-    def _refine(self, obj: Any, candidates: np.ndarray, k: int, p: int) -> RetrievalResult:
+    def _refine(self, obj: Any, candidates: np.ndarray, k_eff: int, p_eff: int) -> RetrievalResult:
         """Refine filter candidates with one batched exact-distance call."""
         candidate_objects = [self.database[int(i)] for i in candidates]
         exact = np.asarray(
             self._refine_distance.compute_many(obj, candidate_objects), dtype=float
         )
-        order = np.argsort(exact, kind="stable")[:k]
-        return RetrievalResult(
-            neighbor_indices=candidates[order],
-            neighbor_distances=exact[order],
-            candidate_indices=candidates,
-            embedding_distance_computations=self.embedding_cost,
-            refine_distance_computations=int(p),
+        return _build_retrieval_result(
+            candidates, exact, k_eff, p_eff, self.embedding_cost
         )
-
-    def _check_query_params(self, k: int, p: int) -> None:
-        if not 1 <= k <= len(self.database):
-            raise RetrievalError(f"k must be in [1, {len(self.database)}], got {k}")
-        if not k <= p <= len(self.database):
-            raise RetrievalError(
-                f"p must be in [{k}, {len(self.database)}], got {p}"
-            )
 
     def query(self, obj: Any, k: int, p: int) -> RetrievalResult:
         """Retrieve the approximate ``k`` nearest neighbors of ``obj``.
@@ -204,31 +298,71 @@ class FilterRefineRetriever:
         obj:
             The query object (in the original space).
         k:
-            Number of neighbors to return.
+            Number of neighbors to return; clamped to the database size, so
+            exactly ``min(k, n)`` neighbors come back.
         p:
-            Number of filter candidates to refine with exact distances
-            (``k <= p <= len(database)``).
+            Number of filter candidates to refine with exact distances;
+            clamped to ``[min(k, n), n]`` (see the module docstring).
         """
-        self._check_query_params(k, p)
+        k_eff, p_eff = _clamp_query_params(k, p, len(self.database))
         query_vector = self.embedder.embed(obj)
-        candidates = self.filter_order(query_vector, p)
-        return self._refine(obj, candidates, k, p)
+        candidates = self.filter_order(query_vector, p_eff)
+        return self._refine(obj, candidates, k_eff, p_eff)
 
-    def query_many(self, objects: Sequence[Any], k: int, p: int):
+    def query_many(
+        self,
+        objects: Sequence[Any],
+        k: int,
+        p: int,
+        n_jobs: Optional[int] = None,
+    ) -> List[RetrievalResult]:
         """Batched :meth:`query` over a sequence of query objects.
 
         All queries are embedded with one (batched) ``embed_many`` call, then
         each query's candidates are refined with one batched exact-distance
         call.  Results are identical to ``[self.query(obj, k, p) for obj in
         objects]``, including per-query cost accounting.
+
+        With ``n_jobs > 1`` (or ``-1`` for all CPUs) the refine work is
+        spread over a process pool; embedding and filtering stay in the
+        parent, results and counter charges are bit-identical to the serial
+        path, and the distance measure plus the database objects must be
+        picklable.
         """
-        self._check_query_params(k, p)
+        k_eff, p_eff = _clamp_query_params(k, p, len(self.database))
         objects = list(objects)
         if not objects:
             return []
         query_vectors = self.embedder.embed_many(objects)
-        results = []
-        for obj, query_vector in zip(objects, query_vectors):
-            candidates = self.filter_order(query_vector, p)
-            results.append(self._refine(obj, candidates, k, p))
-        return results
+        candidate_lists = [
+            self.filter_order(query_vector, p_eff) for query_vector in query_vectors
+        ]
+
+        n_workers = resolve_jobs(n_jobs)
+        if n_workers > 1 and len(objects) > 1:
+            ensure_parallel_safe(self._refine_distance)
+            inner, counters = split_counting(self._refine_distance)
+            items = [
+                (qi, obj, 0, candidates)
+                for qi, (obj, candidates) in enumerate(zip(objects, candidate_lists))
+            ]
+            exact_by_query = parallel_refine(
+                inner, [list(self.database)], items, n_workers
+            )
+            for counting in counters:
+                counting.calls += p_eff * len(objects)
+            return [
+                _build_retrieval_result(
+                    candidate_lists[qi],
+                    np.asarray(exact_by_query[qi], dtype=float),
+                    k_eff,
+                    p_eff,
+                    self.embedding_cost,
+                )
+                for qi in range(len(objects))
+            ]
+
+        return [
+            self._refine(obj, candidates, k_eff, p_eff)
+            for obj, candidates in zip(objects, candidate_lists)
+        ]

@@ -77,6 +77,7 @@ def ground_truth_neighbors(
     queries: Dataset,
     k_max: int,
     return_matrix: bool = False,
+    n_jobs: Optional[int] = None,
 ):
     """Compute exact nearest neighbors of every query by brute force.
 
@@ -92,6 +93,10 @@ def ground_truth_neighbors(
         If ``True``, also return the full query-by-database distance matrix
         (useful when the experiment later needs exact distances to arbitrary
         database objects, e.g. for refine-step simulation).
+    n_jobs:
+        Worker processes for the brute-force matrix build (forwarded to
+        :func:`repro.distances.matrix.cross_distances`); ``None``/``1`` =
+        serial, ``-1`` = all CPUs.
 
     Returns
     -------
@@ -101,7 +106,7 @@ def ground_truth_neighbors(
         raise RetrievalError(
             f"k_max must be in [1, {len(database)}], got {k_max}"
         )
-    matrix = cross_distances(distance, list(queries), list(database))
+    matrix = cross_distances(distance, list(queries), list(database), n_jobs=n_jobs)
     table = knn_from_distances(matrix, k_max)
     if return_matrix:
         return table, matrix

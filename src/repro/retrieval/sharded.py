@@ -1,0 +1,345 @@
+"""Sharded filter-and-refine retrieval.
+
+:class:`ShardedRetriever` partitions the database into ``S`` contiguous
+shards and runs the embedding-filter + exact-refine pipeline of
+:class:`~repro.retrieval.filter_refine.FilterRefineRetriever` per shard,
+merging per-shard candidates into globally exact top-``k`` results.  The
+point is serving shape: each shard's filter scan and refine batch is an
+independent unit of work that can fan out across worker processes today
+(``n_jobs``) and across remote workers later, while results stay
+*bit-identical* to the single-process unsharded path.
+
+Shard/merge semantics
+---------------------
+Shards are contiguous database index ranges (``np.array_split`` over
+``[0, n)``), so a shard-local index plus the shard offset is the global
+database index and global tie-breaking by index is preserved.  Per query:
+
+1. **Filter per shard** — compute filter distances against the shard's slice
+   of the embedded database (row-wise, so values equal the full-database
+   computation bit-for-bit) and keep the shard's ``min(p, shard_size)`` best
+   candidates in stable (distance, index) order.
+2. **Merge** — concatenate the per-shard survivor lists in shard order and
+   take the globally best ``p`` by a stable sort on filter distance.
+   Because each shard list is stable-ordered and shard order equals global
+   index order, concatenation order breaks distance ties by ascending global
+   index — exactly what the unsharded stable filter cut does, so the merged
+   candidate list is identical to
+   :meth:`~repro.retrieval.filter_refine.FilterRefineRetriever.filter_order`.
+   (A shard's local top-``min(p, shard_size)`` necessarily contains every
+   global top-``p`` member of that shard, so no candidate is lost.)
+3. **Refine per shard** — evaluate the exact distances from the query to its
+   surviving candidates shard by shard (one batched ``compute_many`` per
+   shard), scatter them back into filter order, and keep the best
+   ``min(k, n)`` with ties again resolved by global database index — the
+   same brute-force-identical order as the unsharded path.
+
+The per-query cost is unchanged: ``embedding.cost`` exact distances to embed
+plus exactly ``p`` to refine, regardless of the shard count.
+
+Parallelism and accounting
+--------------------------
+``n_jobs`` fans the refine work out over a process pool — per shard for
+:meth:`ShardedRetriever.query`, per (query, shard) pair for
+:meth:`ShardedRetriever.query_many` — through
+:func:`repro.distances.parallel.parallel_refine`.  Accounting follows the
+matrix builders' rule: top-level
+:class:`~repro.distances.base.CountingDistance` wrappers stay in the parent
+and are charged one evaluation per refined candidate (so per-query counts
+are identical to the serial path), workers receive the inner measure, and an
+identity-keyed :class:`~repro.distances.base.CachedDistance` is rejected
+because its keys cannot survive the process boundary — supply a stable
+``key`` function to cache under ``n_jobs``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.model import QuerySensitiveModel
+from repro.datasets.base import Dataset
+from repro.distances.base import CountingDistance, DistanceMeasure
+from repro.distances.parallel import (
+    ensure_parallel_safe,
+    parallel_refine,
+    resolve_jobs,
+    split_counting,
+)
+from repro.embeddings.base import Embedding
+from repro.exceptions import RetrievalError
+from repro.retrieval.filter_refine import (
+    RetrievalResult,
+    _build_retrieval_result,
+    _clamp_query_params,
+    _filter_distances,
+    _stable_smallest,
+)
+
+
+@dataclass
+class Shard:
+    """One contiguous partition of the database.
+
+    Attributes
+    ----------
+    offset:
+        Global database index of the shard's first object.
+    objects:
+        The shard's objects (shared references into the database).
+    vectors:
+        The shard's slice of the embedded database matrix.
+    """
+
+    offset: int
+    objects: List[Any]
+    vectors: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.objects)
+
+
+class ShardedRetriever:
+    """Filter-and-refine retrieval over a sharded database.
+
+    Results (neighbors, distances, candidate lists and per-query cost
+    accounting) are bit-identical to an unsharded
+    :class:`~repro.retrieval.filter_refine.FilterRefineRetriever` built on
+    the same distance, database and embedder — sharding changes how the work
+    is laid out, never what is computed.  See the module docstring for the
+    merge semantics and the parallel accounting rules.
+
+    Parameters
+    ----------
+    distance:
+        The exact distance measure (refine step; also used by the embedder).
+    database:
+        The database to search.
+    embedder:
+        A trained :class:`~repro.core.model.QuerySensitiveModel` or any
+        :class:`~repro.embeddings.base.Embedding`.
+    n_shards:
+        Number of contiguous shards to partition the database into; clamped
+        to the database size.
+    database_vectors:
+        Optional precomputed ``(n, d)`` matrix of database embeddings (the
+        same matrix an unsharded retriever would use; it is sliced per
+        shard).  When omitted, the database is embedded at construction time.
+    n_jobs:
+        Default worker-process count for queries; ``None``/``0``/``1`` =
+        serial, ``-1`` = all CPUs.  Overridable per call.
+    """
+
+    def __init__(
+        self,
+        distance: DistanceMeasure,
+        database: Dataset,
+        embedder: Union[QuerySensitiveModel, Embedding],
+        n_shards: int = 2,
+        database_vectors: Optional[np.ndarray] = None,
+        n_jobs: Optional[int] = None,
+    ) -> None:
+        if not isinstance(distance, DistanceMeasure):
+            raise RetrievalError("distance must be a DistanceMeasure instance")
+        if not isinstance(database, Dataset):
+            raise RetrievalError("database must be a Dataset")
+        if not isinstance(embedder, (QuerySensitiveModel, Embedding)):
+            raise RetrievalError(
+                "embedder must be a QuerySensitiveModel or an Embedding"
+            )
+        if n_shards < 1:
+            raise RetrievalError(f"n_shards must be at least 1, got {n_shards}")
+        self.database = database
+        self.embedder = embedder
+        self.n_jobs = n_jobs
+        self._refine_distance = CountingDistance(distance)
+        if database_vectors is None:
+            database_vectors = embedder.embed_many(list(database))
+        self.database_vectors = np.asarray(database_vectors, dtype=float)
+        if self.database_vectors.shape != (len(database), self.dim):
+            raise RetrievalError(
+                f"database_vectors must have shape ({len(database)}, {self.dim}), "
+                f"got {self.database_vectors.shape}"
+            )
+        objects = list(database)
+        splits = np.array_split(np.arange(len(database)), min(n_shards, len(database)))
+        self.shards: List[Shard] = [
+            Shard(
+                offset=int(chunk[0]),
+                objects=[objects[int(i)] for i in chunk],
+                vectors=self.database_vectors[chunk[0] : chunk[-1] + 1],
+            )
+            for chunk in splits
+            if chunk.size
+        ]
+
+    @property
+    def n_shards(self) -> int:
+        """Number of database shards."""
+        return len(self.shards)
+
+    @property
+    def shard_sizes(self) -> Tuple[int, ...]:
+        """Object count per shard."""
+        return tuple(len(shard) for shard in self.shards)
+
+    @property
+    def dim(self) -> int:
+        """Dimensionality of the embedding used for filtering."""
+        return self.embedder.dim
+
+    @property
+    def embedding_cost(self) -> int:
+        """Exact distances needed to embed one query."""
+        return self.embedder.cost
+
+    @property
+    def refine_distance_evaluations(self) -> int:
+        """Total exact distances spent refining, across all queries so far."""
+        return self._refine_distance.calls
+
+    # ------------------------------------------------------------------ #
+    # Filter + merge                                                     #
+    # ------------------------------------------------------------------ #
+
+    def merged_candidates(self, query_vector: np.ndarray, p: int) -> np.ndarray:
+        """Global top-``p`` filter candidates, merged across shards.
+
+        Identical — including tie-breaking by database index — to the
+        unsharded ``filter_order(query_vector, p)`` (see the module
+        docstring for why the merge preserves the stable order).
+        """
+        shard_distances: List[np.ndarray] = []
+        shard_indices: List[np.ndarray] = []
+        for shard in self.shards:
+            distances = _filter_distances(self.embedder, query_vector, shard.vectors)
+            local = _stable_smallest(distances, min(p, len(shard)))
+            shard_distances.append(distances[local])
+            shard_indices.append(shard.offset + local)
+        merged_distances = np.concatenate(shard_distances)
+        merged_indices = np.concatenate(shard_indices)
+        order = np.argsort(merged_distances, kind="stable")[:p]
+        return merged_indices[order]
+
+    def _split_by_shard(
+        self, candidates: np.ndarray
+    ) -> List[Tuple[int, np.ndarray, np.ndarray]]:
+        """Partition a global candidate list into per-shard refine work.
+
+        Returns ``(shard_id, local_indices, positions)`` triples, where
+        ``positions`` locates each shard candidate inside the filter-ordered
+        candidate array, so refined distances can be scattered back.
+        """
+        work = []
+        for sid, shard in enumerate(self.shards):
+            mask = (candidates >= shard.offset) & (candidates < shard.offset + len(shard))
+            positions = np.flatnonzero(mask)
+            if positions.size:
+                work.append((sid, candidates[positions] - shard.offset, positions))
+        return work
+
+    # ------------------------------------------------------------------ #
+    # Queries                                                            #
+    # ------------------------------------------------------------------ #
+
+    def query(
+        self, obj: Any, k: int, p: int, n_jobs: Optional[int] = None
+    ) -> RetrievalResult:
+        """Retrieve the approximate ``k`` nearest neighbors of ``obj``.
+
+        ``k`` and ``p`` are clamped exactly like the unsharded retriever
+        (``p`` into ``[min(k, n), n]``), so exactly ``min(k, n)`` neighbors
+        come back.  With ``n_jobs > 1`` the per-shard refine batches fan out
+        over a process pool.
+        """
+        k_eff, p_eff = _clamp_query_params(k, p, len(self.database))
+        query_vector = self.embedder.embed(obj)
+        candidates = self.merged_candidates(query_vector, p_eff)
+        work = self._split_by_shard(candidates)
+        exact = np.empty(candidates.shape[0], dtype=float)
+
+        n_workers = resolve_jobs(self.n_jobs if n_jobs is None else n_jobs)
+        if n_workers > 1 and len(work) > 1:
+            ensure_parallel_safe(self._refine_distance)
+            inner, counters = split_counting(self._refine_distance)
+            items = [(sid, obj, sid, local) for sid, local, _ in work]
+            by_shard = parallel_refine(
+                inner, [shard.objects for shard in self.shards], items, n_workers
+            )
+            for counting in counters:
+                counting.calls += int(p_eff)
+            for sid, _, positions in work:
+                exact[positions] = by_shard[sid]
+        else:
+            for sid, local, positions in work:
+                shard = self.shards[sid]
+                exact[positions] = self._refine_distance.compute_many(
+                    obj, [shard.objects[int(i)] for i in local]
+                )
+        return _build_retrieval_result(
+            candidates, exact, k_eff, p_eff, self.embedding_cost
+        )
+
+    def query_many(
+        self,
+        objects: Sequence[Any],
+        k: int,
+        p: int,
+        n_jobs: Optional[int] = None,
+    ) -> List[RetrievalResult]:
+        """Batched :meth:`query` over a sequence of query objects.
+
+        Queries are embedded with one batched ``embed_many`` call and
+        filtered/merged in the parent process; the refine work — one batch
+        per (query, shard) pair — runs serially or over a process pool
+        (``n_jobs``).  Results and per-query exact-distance accounting are
+        bit-identical to the serial unsharded
+        :meth:`~repro.retrieval.filter_refine.FilterRefineRetriever.query_many`.
+        """
+        k_eff, p_eff = _clamp_query_params(k, p, len(self.database))
+        objects = list(objects)
+        if not objects:
+            return []
+        query_vectors = self.embedder.embed_many(objects)
+        candidate_lists = [
+            self.merged_candidates(query_vector, p_eff)
+            for query_vector in query_vectors
+        ]
+        work_lists = [self._split_by_shard(c) for c in candidate_lists]
+        exact_lists = [
+            np.empty(c.shape[0], dtype=float) for c in candidate_lists
+        ]
+
+        n_workers = resolve_jobs(self.n_jobs if n_jobs is None else n_jobs)
+        if n_workers > 1 and len(objects) * len(self.shards) > 1:
+            ensure_parallel_safe(self._refine_distance)
+            inner, counters = split_counting(self._refine_distance)
+            items = [
+                ((qi, sid), obj, sid, local)
+                for qi, (obj, work) in enumerate(zip(objects, work_lists))
+                for sid, local, _ in work
+            ]
+            by_key: Dict[Any, np.ndarray] = parallel_refine(
+                inner, [shard.objects for shard in self.shards], items, n_workers
+            )
+            for counting in counters:
+                counting.calls += int(p_eff) * len(objects)
+            for qi, work in enumerate(work_lists):
+                for sid, _, positions in work:
+                    exact_lists[qi][positions] = by_key[(qi, sid)]
+        else:
+            for qi, (obj, work) in enumerate(zip(objects, work_lists)):
+                for sid, local, positions in work:
+                    shard = self.shards[sid]
+                    exact_lists[qi][positions] = self._refine_distance.compute_many(
+                        obj, [shard.objects[int(i)] for i in local]
+                    )
+
+        return [
+            _build_retrieval_result(
+                candidates, exact, k_eff, p_eff, self.embedding_cost
+            )
+            for candidates, exact in zip(candidate_lists, exact_lists)
+        ]

@@ -15,6 +15,11 @@ from repro.distances import (
 from repro.exceptions import DistanceError
 
 
+def _content_key(arr):
+    """A stable (content-based) cache key that survives pickling."""
+    return tuple(np.asarray(arr).ravel())
+
+
 class TestFunctionDistance:
     def test_wraps_callable(self):
         dist = FunctionDistance(lambda a, b: abs(a - b), name="abs-diff")
@@ -110,3 +115,36 @@ class TestCachedDistance:
     def test_requires_distance_measure(self):
         with pytest.raises(DistanceError):
             CachedDistance(lambda a, b: 0.0)
+
+    def test_identity_keyed_cache_flagged_and_unpicklable(self):
+        """The default key=id cannot survive a process boundary: unpickled
+        object copies get fresh ids (the cache goes dead) and reused ids can
+        collide with stale entries — so pickling must fail loudly."""
+        import pickle
+
+        cached = CachedDistance(L1Distance())
+        assert cached.uses_identity_keys
+        with pytest.raises(DistanceError, match="key=id"):
+            pickle.dumps(cached)
+
+    def test_stable_keyed_cache_picklable(self):
+        import pickle
+
+        cached = CachedDistance(L1Distance(), key=_content_key)
+        assert not cached.uses_identity_keys
+        x, y = np.array([0.0]), np.array([2.0])
+        cached(x, y)
+        clone = pickle.loads(pickle.dumps(cached))
+        assert clone(np.array([0.0]), np.array([2.0])) == cached(x, y)
+        assert clone.hits >= 1  # the warmed entry survived the round-trip
+
+    def test_identity_keyed_cache_rejected_by_parallel_matrix(self):
+        from repro.distances import pairwise_distances
+
+        cached = CachedDistance(L1Distance())
+        objects = [np.array([float(i)]) for i in range(6)]
+        with pytest.raises(DistanceError, match="n_jobs"):
+            pairwise_distances(cached, objects, n_jobs=2)
+        # Serial builds remain unaffected.
+        matrix = pairwise_distances(cached, objects)
+        assert matrix.shape == (6, 6)

@@ -157,9 +157,46 @@ class TestFilterRefine:
         with pytest.raises(RetrievalError):
             retriever.query(gaussian_split.queries[0], k=0, p=5)
         with pytest.raises(RetrievalError):
-            retriever.query(gaussian_split.queries[0], k=10, p=5)
-        with pytest.raises(RetrievalError):
-            retriever.query(gaussian_split.queries[0], k=1, p=10**6)
+            retriever.query(gaussian_split.queries[0], k=1, p=0)
+
+    def test_k_larger_than_p_clamps_p_up(self, gaussian_split, l2, trained_qs):
+        """k > p raises the refine size to k so all k neighbors come back."""
+        retriever = FilterRefineRetriever(l2, gaussian_split.database, trained_qs.model)
+        result = retriever.query(gaussian_split.queries[0], k=10, p=5)
+        assert result.neighbor_indices.shape == (10,)
+        assert result.refine_distance_computations == 10
+
+    def test_p_larger_than_database_clamps_to_brute_force(
+        self, gaussian_split, l2, trained_qs
+    ):
+        """p > n clamps to n; results then equal an exact brute-force scan."""
+        retriever = FilterRefineRetriever(l2, gaussian_split.database, trained_qs.model)
+        brute = BruteForceRetriever(l2, gaussian_split.database)
+        n = len(gaussian_split.database)
+        result = retriever.query(gaussian_split.queries[1], k=6, p=10**6)
+        assert result.refine_distance_computations == n
+        indices, distances = brute.query(gaussian_split.queries[1], k=6)
+        np.testing.assert_array_equal(result.neighbor_indices, indices)
+        np.testing.assert_allclose(result.neighbor_distances, distances)
+
+    def test_k_larger_than_database_returns_min_k_n(
+        self, gaussian_split, l2, trained_qs
+    ):
+        retriever = FilterRefineRetriever(l2, gaussian_split.database, trained_qs.model)
+        n = len(gaussian_split.database)
+        result = retriever.query(gaussian_split.queries[2], k=n + 25, p=n + 25)
+        assert result.neighbor_indices.shape == (n,)
+        assert result.refine_distance_computations == n
+
+    def test_query_many_parallel_matches_serial(self, gaussian_split, l2, trained_qs):
+        retriever = FilterRefineRetriever(l2, gaussian_split.database, trained_qs.model)
+        queries = list(gaussian_split.queries)[:5]
+        serial = retriever.query_many(queries, k=3, p=12)
+        parallel = retriever.query_many(queries, k=3, p=12, n_jobs=2)
+        for s, par in zip(serial, parallel):
+            np.testing.assert_array_equal(s.neighbor_indices, par.neighbor_indices)
+            np.testing.assert_array_equal(s.neighbor_distances, par.neighbor_distances)
+            assert s.total_distance_computations == par.total_distance_computations
 
 
 class TestEvaluation:
