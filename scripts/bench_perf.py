@@ -5,8 +5,11 @@ Times the three hot paths the batch engine rewrote — Sec. 7 distance-table
 builds (DTW and edit distance) and filter-and-refine ``query_many`` — against
 faithful re-implementations of the *seed* per-pair/per-cell Python loops,
 plus the sharded process-parallel ``query_many`` path against the
-single-process engine, and **appends** the measurements to a history record
-in ``BENCH_perf.json`` so regressions are visible across PRs.
+single-process engine and a ``context_reuse`` benchmark (cold vs. warm-store
+``run_table1``-shaped pipeline through a ``DistanceContext``; the warm run
+must perform zero exact evaluations for cached pairs, asserted), and
+**appends** the measurements to a history record in ``BENCH_perf.json`` so
+regressions are visible across PRs.
 
 Usage::
 
@@ -43,12 +46,19 @@ SRC = REPO_ROOT / "src"
 if str(SRC) not in sys.path:
     sys.path.insert(0, str(SRC))
 
+from repro.core.trainer import BoostMapTrainer, TrainingConfig, build_training_tables  # noqa: E402
 from repro.datasets.timeseries import make_timeseries_dataset  # noqa: E402
-from repro.distances import ConstrainedDTW, EditDistance, pairwise_distances  # noqa: E402
+from repro.distances import (  # noqa: E402
+    ConstrainedDTW,
+    DistanceContext,
+    EditDistance,
+    pairwise_distances,
+)
 from repro.distances.base import DistanceMeasure  # noqa: E402
 from repro.embeddings.lipschitz import build_lipschitz_embedding  # noqa: E402
 from repro.distances.parallel import resolve_jobs  # noqa: E402
 from repro.retrieval.filter_refine import FilterRefineRetriever  # noqa: E402
+from repro.retrieval.knn import ground_truth_neighbors  # noqa: E402
 from repro.retrieval.sharded import ShardedRetriever  # noqa: E402
 
 #: The hot paths whose engine time is gated against the previous record.
@@ -311,6 +321,96 @@ def bench_sharded_query_many(
     }
 
 
+def bench_context_reuse(
+    n_database: int,
+    n_queries: int,
+    length: int,
+    n_candidates: int,
+    dim_rounds: int,
+    k: int,
+    p: int,
+) -> dict:
+    """Cold vs. warm-store run of a table1-shaped train→embed→retrieve
+    pipeline through a ``DistanceContext``.
+
+    The cold run evaluates every distance once and persists the store; the
+    warm run reloads it into a fresh context and must perform **zero** exact
+    evaluations (asserted) while reproducing the cold results bit for bit.
+    """
+    import tempfile
+
+    database, queries = make_timeseries_dataset(
+        n_database=n_database,
+        n_queries=n_queries,
+        n_seeds=8,
+        length=length,
+        n_dims=1,
+        seed=17,
+    )
+    universe = list(database) + list(queries)
+    config = TrainingConfig(
+        n_candidates=n_candidates,
+        n_training_objects=n_candidates,
+        n_triples=max(200, 10 * n_candidates),
+        n_rounds=dim_rounds,
+        classifiers_per_round=20,
+        intervals_per_candidate=3,
+        kmax=k,
+        seed=7,
+    )
+
+    def pipeline(context):
+        ground_truth = ground_truth_neighbors(context, database, queries, k_max=k)
+        tables = build_training_tables(
+            context, database, n_candidates=n_candidates,
+            n_training_objects=n_candidates, seed=3,
+        )
+        model = BoostMapTrainer(context, database, config, tables=tables).train().model
+        vectors = model.embed_many(list(database))
+        retriever = FilterRefineRetriever(
+            context, database, model, database_vectors=vectors
+        )
+        results = retriever.query_many(list(queries), k=k, p=p)
+        return ground_truth, results
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store_path = Path(tmp) / "context_reuse.npz"
+        cold_context = DistanceContext(ConstrainedDTW(), universe)
+        (cold_gt, cold_results), cold_seconds = _timed(lambda: pipeline(cold_context))
+        cold_evaluations = cold_context.distance_evaluations
+        cold_context.save_store(store_path)
+
+        warm_context = DistanceContext(ConstrainedDTW(), universe)
+        warm_context.load_store(store_path)
+        (warm_gt, warm_results), warm_seconds = _timed(lambda: pipeline(warm_context))
+
+    # The whole point: a warm store answers every cached pair for free.
+    assert warm_context.distance_evaluations == 0, (
+        f"warm context performed {warm_context.distance_evaluations} exact "
+        "evaluations; expected 0 for a fully cached pipeline"
+    )
+    assert np.array_equal(warm_gt.indices, cold_gt.indices), "warm ground truth differs"
+    for cold_r, warm_r in zip(cold_results, warm_results):
+        assert np.array_equal(cold_r.neighbor_indices, warm_r.neighbor_indices), (
+            "warm retrieval disagrees"
+        )
+        assert np.array_equal(cold_r.neighbor_distances, warm_r.neighbor_distances)
+        assert warm_r.refine_distance_computations == 0
+    return {
+        "n_database": n_database,
+        "n_queries": n_queries,
+        "series_length": length,
+        "n_candidates": n_candidates,
+        "k": k,
+        "p": p,
+        "cold_seconds": cold_seconds,
+        "warm_seconds": warm_seconds,
+        "cold_distance_evaluations": cold_evaluations,
+        "warm_distance_evaluations": 0,
+        "speedup": cold_seconds / warm_seconds,
+    }
+
+
 # --------------------------------------------------------------------------- #
 # History + regression gate                                                   #
 # --------------------------------------------------------------------------- #
@@ -410,6 +510,10 @@ def main() -> int:
                 n_database=80, n_queries=8, length=40, dim=6, k=3, p=15,
                 n_shards=2, n_jobs=n_jobs,
             ),
+            "context_reuse": dict(
+                n_database=60, n_queries=8, length=30, n_candidates=20,
+                dim_rounds=5, k=3, p=10,
+            ),
         }
     else:
         sizes = {
@@ -422,6 +526,10 @@ def main() -> int:
                 n_database=300, n_queries=25, length=50, dim=8, k=5, p=30,
                 n_shards=4, n_jobs=n_jobs,
             ),
+            "context_reuse": dict(
+                n_database=200, n_queries=20, length=50, n_candidates=60,
+                dim_rounds=10, k=5, p=25,
+            ),
         }
 
     results = {}
@@ -430,12 +538,17 @@ def main() -> int:
         ("edit_pairwise", bench_edit_pairwise),
         ("query_many", bench_query_many),
         ("sharded_query_many", bench_sharded_query_many),
+        ("context_reuse", bench_context_reuse),
     ]:
         print(f"[bench_perf] {name} {sizes[name]} ...", flush=True)
         results[name] = fn(**sizes[name])
         r = results[name]
-        baseline = r.get("seed_seconds", r.get("single_process_seconds"))
-        engine = r.get("engine_seconds", r.get("sharded_seconds"))
+        baseline = r.get(
+            "seed_seconds", r.get("single_process_seconds", r.get("cold_seconds"))
+        )
+        engine = r.get(
+            "engine_seconds", r.get("sharded_seconds", r.get("warm_seconds"))
+        )
         print(
             f"[bench_perf]   baseline {baseline:.3f}s  "
             f"engine {engine:.3f}s  speedup {r['speedup']:.1f}x",

@@ -5,6 +5,11 @@ This script regenerates every paper artifact (Figure 1, Figures 4-6, Table 1,
 the timing paragraphs) at the repository's default reproduction scale and
 writes the results to ``results/paper_experiments.txt``.  EXPERIMENTS.md is
 based on its output.  Expect a runtime of roughly 10-25 minutes on a laptop.
+
+The Table 1 / Figure 4-5 comparisons persist their exact-distance stores to
+``results/stores/`` through a :class:`repro.distances.DistanceContext`, so
+re-running the script (same scale and seed) skips every previously evaluated
+expensive distance; delete that directory to force a cold run.
 """
 
 from __future__ import annotations
@@ -42,7 +47,9 @@ def main() -> int:
     sections.append("=" * 72 + "\nTIMING\n" + "=" * 72 + "\n" + timing.summary())
 
     print("[3/5] Table 1 / Figures 4-5 (all five methods, SMALL scale)", flush=True)
-    comparisons = run_table1(scale=SMALL, seed=0)
+    store_dir = os.path.join(out_dir, "stores")
+    os.makedirs(store_dir, exist_ok=True)
+    comparisons = run_table1(scale=SMALL, seed=0, store_dir=store_dir)
     sections.append(
         "=" * 72 + "\nTABLE 1 (digits + time series)\n" + "=" * 72 + "\n"
         + format_table1(comparisons)

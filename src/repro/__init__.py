@@ -40,6 +40,8 @@ from repro.distances import (
     FunctionDistance,
     CountingDistance,
     CachedDistance,
+    DistanceContext,
+    DistanceStore,
     LpDistance,
     L1Distance,
     L2Distance,
@@ -125,6 +127,8 @@ __all__ = [
     "FunctionDistance",
     "CountingDistance",
     "CachedDistance",
+    "DistanceContext",
+    "DistanceStore",
     "LpDistance",
     "L1Distance",
     "L2Distance",

@@ -47,6 +47,7 @@ from repro.core.triples import TripleSet
 from repro.core.weak_learner import CandidateGenerator, ChosenClassifier, TripleWeakLearner
 from repro.datasets.base import Dataset
 from repro.distances.base import CountingDistance, DistanceMeasure
+from repro.distances.context import DistanceContext
 from repro.distances.matrix import cross_distances, pairwise_distances
 from repro.exceptions import ConfigurationError, TrainingError
 from repro.utils.rng import RngLike, ensure_rng
@@ -110,10 +111,20 @@ def build_training_tables(
     worker processes with ``n_jobs`` — the reported
     ``distance_evaluations`` cost stays exact either way.
 
+    When ``distance`` is a :class:`~repro.distances.context.DistanceContext`
+    whose universe contains the database objects, the tables are built
+    through the context's store: pairs already cached (from a previous
+    stage or a persisted store) are free, and every freshly computed pair —
+    including the whole pool matrix — lands in the store for the embedding
+    and retrieval stages to reuse instead of being a throwaway.  The
+    sampled indices and the resulting matrices are bit-identical either
+    way; only ``distance_evaluations`` (the actual computations) shrinks.
+
     Parameters
     ----------
     distance:
-        The exact distance measure ``D_X``.
+        The exact distance measure ``D_X``, or a
+        :class:`~repro.distances.context.DistanceContext` wrapping it.
     database:
         The database to sample from.
     n_candidates:
@@ -154,24 +165,37 @@ def build_training_tables(
     candidate_objects = [database[i] for i in candidate_indices]
     pool_objects = [database[i] for i in pool_indices]
 
-    counting = CountingDistance(distance)
+    if isinstance(distance, DistanceContext):
+        # Build through the shared store: cached pairs are free, fresh
+        # pairs (the whole pool matrix included) are recorded for the
+        # embedding and retrieval stages.  The context counts its own
+        # actual evaluations, so no extra wrapper is needed.
+        measure: DistanceMeasure = distance
+        evaluations_before = distance.distance_evaluations
+    else:
+        measure = CountingDistance(distance)
+        evaluations_before = 0
     identical_sets = bool(
         candidate_indices.shape == pool_indices.shape
         and np.array_equal(candidate_indices, pool_indices)
     )
     candidate_to_candidate = pairwise_distances(
-        counting, candidate_objects, n_jobs=n_jobs, progress=progress
+        measure, candidate_objects, n_jobs=n_jobs, progress=progress
     )
     if identical_sets:
         candidate_to_pool = candidate_to_candidate.copy()
         pool_to_pool = candidate_to_candidate.copy()
     else:
         candidate_to_pool = cross_distances(
-            counting, candidate_objects, pool_objects, n_jobs=n_jobs, progress=progress
+            measure, candidate_objects, pool_objects, n_jobs=n_jobs, progress=progress
         )
         pool_to_pool = pairwise_distances(
-            counting, pool_objects, n_jobs=n_jobs, progress=progress
+            measure, pool_objects, n_jobs=n_jobs, progress=progress
         )
+    if isinstance(distance, DistanceContext):
+        evaluations = distance.distance_evaluations - evaluations_before
+    else:
+        evaluations = measure.calls
 
     return TrainingTables(
         candidate_indices=np.asarray(candidate_indices, dtype=int),
@@ -181,7 +205,7 @@ def build_training_tables(
         candidate_to_candidate=candidate_to_candidate,
         candidate_to_pool=candidate_to_pool,
         pool_to_pool=pool_to_pool,
-        distance_evaluations=counting.calls,
+        distance_evaluations=evaluations,
     )
 
 
@@ -308,7 +332,13 @@ class BoostMapTrainer:
     Parameters
     ----------
     distance:
-        The exact distance measure ``D_X``.
+        The exact distance measure ``D_X``.  Passing a
+        :class:`~repro.distances.context.DistanceContext` built over the
+        database routes the table build *and* the trained model's
+        reference/pivot embeddings through its shared store, so anchor
+        distances evaluated while embedding the database or queries are
+        cached for retrieval (and across runs when the store is
+        persisted).
     database:
         The database objects to train on.
     config:

@@ -14,6 +14,12 @@ Two strategies are provided:
 Both samplers operate on a precomputed distance matrix over the training
 pool ``Xtr`` (its computation is part of the one-time preprocessing cost
 discussed in Sec. 7) and produce a :class:`repro.core.triples.TripleSet`.
+The pool matrix normally comes from
+:func:`repro.core.trainer.build_training_tables`; when the tables are built
+through a :class:`~repro.distances.context.DistanceContext`, that matrix is
+simultaneously a warm slice of the shared distance store rather than a
+throwaway, so the samplers here cost no exact evaluations beyond the ones
+the store already paid for.
 """
 
 from __future__ import annotations

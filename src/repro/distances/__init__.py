@@ -10,11 +10,32 @@ Every measure also speaks the *batch protocol*
 :meth:`~repro.distances.base.DistanceMeasure.compute_pairs`): the Lp family,
 KL family and point-set measures override it with fully vectorised kernels,
 the DP measures (constrained DTW, edit distances) with row-vectorised DPs
-batched over many targets, and everything else inherits an equivalent scalar
-loop.  The matrix builders (:mod:`repro.distances.matrix`, with an optional
-``n_jobs`` process pool), the batched ``embed_many`` embedding paths and the
-filter-and-refine refine step are all built on it; counting stays exact
-through every batch path.
+batched over many targets, the Shape Context distance with a
+target-batched χ² cost-tensor kernel, and everything else inherits an
+equivalent scalar loop.  The matrix builders (:mod:`repro.distances.matrix`,
+with an optional ``n_jobs`` process pool), the batched ``embed_many``
+embedding paths and the filter-and-refine refine step are all built on it;
+counting stays exact through every batch path.
+
+Distance lifecycle
+------------------
+Because the paper treats every exact evaluation as *the* cost unit, this
+subpackage distinguishes three layers of distance objects:
+
+* **raw measures** (:class:`~repro.distances.base.DistanceMeasure`
+  subclasses) — stateless kernels, safe to ship to worker processes;
+* **wrappers** (:class:`~repro.distances.base.CountingDistance`,
+  :class:`~repro.distances.base.CachedDistance`) — per-call-site
+  accounting or memoisation; identity-keyed caches are process-local and
+  deprecated in favour of the context below;
+* **the shared context** (:class:`~repro.distances.context.DistanceContext`)
+  — one per experiment, owning the raw measure, a
+  :class:`~repro.distances.context.DistanceStore` keyed by *stable dataset
+  indices* (picklable, persistable to ``.npz``), exact counting, and the
+  ``n_jobs`` pool policy.  Training-table builds, embedding anchor
+  evaluations and retrieval refine steps all route through it, so
+  overlapping pairs are evaluated once per store lifetime — the paper's
+  "preprocessing once" cost model.
 
 Measures implemented:
 
@@ -52,6 +73,12 @@ from repro.distances.edit import EditDistance, WeightedEditDistance
 from repro.distances.kl import KLDivergence, SymmetricKL, JensenShannonDistance
 from repro.distances.chamfer import ChamferDistance
 from repro.distances.hausdorff import HausdorffDistance
+from repro.distances.context import (
+    DistanceContext,
+    DistanceStore,
+    fingerprint_objects,
+    object_digest,
+)
 from repro.distances.matrix import pairwise_distances, cross_distances
 from repro.distances.parallel import (
     ensure_parallel_safe,
@@ -64,6 +91,10 @@ __all__ = [
     "FunctionDistance",
     "CountingDistance",
     "CachedDistance",
+    "DistanceContext",
+    "DistanceStore",
+    "fingerprint_objects",
+    "object_digest",
     "LpDistance",
     "L1Distance",
     "L2Distance",

@@ -29,6 +29,7 @@ wrapped measure's vectorised kernels.
 
 from __future__ import annotations
 
+import warnings
 from abc import ABC, abstractmethod
 from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
@@ -191,6 +192,15 @@ class CachedDistance(DistanceMeasure):
     objects are reused (the dataset containers in :mod:`repro.datasets`
     guarantee this) **and the cache never crosses a process boundary**.
 
+    .. deprecated::
+        The bare ``id()`` default is deprecated (a
+        :class:`DeprecationWarning` is emitted at construction): identity
+        keys cannot cross a process boundary or an experiment run.  Use
+        :class:`repro.distances.context.DistanceContext` — the supported
+        shared cache for ``n_jobs`` pipelines, keyed by stable dataset
+        indices with disk persistence — or pass an explicit stable ``key``
+        function.
+
     Identity keys do not survive pickling: a worker process unpickles
     *copies* of every object, so ``id()`` keys computed there never match the
     entries pickled with the cache (dead weight), and once the parent's
@@ -199,9 +209,7 @@ class CachedDistance(DistanceMeasure):
     refuses to be pickled (:meth:`__getstate__` raises
     :class:`~repro.exceptions.DistanceError`), and every ``n_jobs`` pipeline
     rejects it up front through
-    :func:`repro.distances.parallel.ensure_parallel_safe`.  To use a cache
-    under ``n_jobs``, supply an explicit stable ``key`` function — e.g. a
-    dataset index attached to the objects, or a content hash.
+    :func:`repro.distances.parallel.ensure_parallel_safe`.
 
     Note that caching sits *above* counting when composed as
     ``CachedDistance(CountingDistance(d))``: cache hits are then free, which
@@ -217,6 +225,17 @@ class CachedDistance(DistanceMeasure):
     ) -> None:
         if not isinstance(base, DistanceMeasure):
             raise DistanceError("CachedDistance wraps a DistanceMeasure")
+        if key is None:
+            warnings.warn(
+                "CachedDistance with the default key=id is deprecated: "
+                "identity keys cannot cross a process boundary or an "
+                "experiment run. Use repro.distances.DistanceContext (a "
+                "stable dataset-index keyed, persistable cache and the "
+                "supported n_jobs path) or pass an explicit stable key "
+                "function.",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         self.base = base
         self.name = f"cached({base.name})"
         self.is_metric = base.is_metric
@@ -243,8 +262,10 @@ class CachedDistance(DistanceMeasure):
                 "cannot pickle a CachedDistance that uses the default key=id: "
                 "identity keys do not survive the process boundary (unpickled "
                 "object copies get fresh ids, and reused ids can collide with "
-                "stale entries). Construct the cache with an explicit stable "
-                "key function to make it picklable."
+                "stale entries). Use repro.distances.DistanceContext — the "
+                "supported n_jobs cache, keyed by stable dataset indices — or "
+                "construct the cache with an explicit stable key function to "
+                "make it picklable."
             )
         return self.__dict__.copy()
 

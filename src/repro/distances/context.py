@@ -1,0 +1,972 @@
+"""DistanceContext: one stable-keyed, persistable distance layer.
+
+Every cost the paper reports is an exact-distance evaluation, yet the
+pipeline stages overlap heavily in *which* pairs they evaluate: the Sec. 7
+training tables, the embedding reference/pivot ("anchor") evaluations and
+the filter-and-refine candidates all touch the same dataset objects.  A
+:class:`DistanceContext` makes that sharing explicit: it owns the base
+:class:`~repro.distances.base.DistanceMeasure`, a
+:class:`DistanceStore` keyed by **stable dataset indices**, exact
+:class:`~repro.distances.base.CountingDistance` accounting, and the
+``n_jobs`` pool policy of :mod:`repro.distances.parallel` — so a pair of
+objects is evaluated at most once per store lifetime, across training,
+embedding and retrieval, and across experiment invocations when the store
+is persisted to disk.
+
+Why stable indices (and not ``id()``)
+-------------------------------------
+:class:`~repro.distances.base.CachedDistance` keyed by object identity
+cannot cross a process boundary or an experiment run: unpickled copies get
+fresh ids and reused ids can collide with stale entries.  The context
+instead keys every cached value by the object's *index in the context's
+object universe* — the dataset ordering — which survives pickling, worker
+fan-out and disk round-trips.  A content fingerprint of the universe is
+recorded with the store, so a store saved under one dataset ordering
+refuses to load against a different one.
+
+Lifecycle
+---------
+1. Build the context over the full object universe (typically
+   ``list(database) + list(queries)``)::
+
+       context = DistanceContext(distance, list(database) + list(queries))
+
+2. Optionally merge a previously persisted store
+   (:meth:`DistanceContext.load_store`); the fingerprint is verified.
+3. Run the pipeline *through the context*: it is itself a
+   :class:`~repro.distances.base.DistanceMeasure`, so every component that
+   takes a distance (trainers, embeddings, retrievers, matrix builders)
+   accepts it unchanged; the table builders, ground-truth scan and
+   retrieval pipelines additionally detect a context and use its batched,
+   pool-aware primitives (:meth:`pairwise`, :meth:`cross`,
+   :meth:`distances_to_many`).
+4. Persist the warm store (:meth:`DistanceContext.save_store`) so the next
+   invocation starts from the precomputed tables — the paper's
+   "preprocessing once" cost model.
+
+Cost accounting
+---------------
+``context.distance_evaluations`` counts *actual* evaluations of the base
+measure; store hits are free.  This models the paper's setting where
+precomputed distances are a one-time preprocessing cost.  All parallel
+fan-out keeps the accounting exact: the parent looks cached pairs up
+first, ships only the missing ``(index pair)`` work to workers through
+:func:`repro.distances.parallel.parallel_refine`, merges the returned
+entries into the parent store, and charges the counters one evaluation per
+computed pair — never shipping the context (or its store) itself.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pickle
+from pathlib import Path
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+import numpy as np
+
+from repro.distances.base import CountingDistance, DistanceMeasure
+from repro.distances.parallel import (
+    ProgressCallback,
+    ensure_parallel_safe,
+    parallel_refine,
+    resolve_jobs,
+    split_counting,
+)
+from repro.exceptions import DistanceError
+
+__all__ = [
+    "DistanceContext",
+    "DistanceStore",
+    "object_digest",
+    "fingerprint_objects",
+]
+
+#: Layout version written into persisted stores.
+STORE_FORMAT_VERSION = 1
+
+
+# --------------------------------------------------------------------------- #
+# Dataset fingerprints                                                        #
+# --------------------------------------------------------------------------- #
+
+
+def object_digest(obj: Any) -> bytes:
+    """A deterministic content digest of one dataset object.
+
+    Arrays are hashed by dtype, shape and raw bytes; strings and bytes by
+    their encoded content; other objects fall back to a deterministic
+    pickle.  The digest is what makes store keys *stable*: two runs that
+    build the same dataset in the same order produce the same fingerprint,
+    regardless of process or machine.
+    """
+    hasher = hashlib.sha256()
+    if isinstance(obj, np.ndarray):
+        arr = np.ascontiguousarray(obj)
+        hasher.update(b"ndarray")
+        hasher.update(arr.dtype.str.encode())
+        hasher.update(repr(arr.shape).encode())
+        hasher.update(arr.tobytes())
+    elif isinstance(obj, str):
+        hasher.update(b"str")
+        hasher.update(obj.encode("utf-8"))
+    elif isinstance(obj, bytes):
+        hasher.update(b"bytes")
+        hasher.update(obj)
+    elif isinstance(obj, (int, float, bool, complex)) or obj is None:
+        hasher.update(b"scalar")
+        hasher.update(repr(obj).encode())
+    elif isinstance(obj, (tuple, list)):
+        hasher.update(b"sequence")
+        for item in obj:
+            hasher.update(object_digest(item))
+    else:
+        hasher.update(b"pickle")
+        hasher.update(pickle.dumps(obj, protocol=4))
+    return hasher.digest()
+
+
+def fingerprint_objects(objects: Iterable[Any]) -> str:
+    """Hex fingerprint of an object sequence (content **and** ordering)."""
+    return _combine_digests([object_digest(obj) for obj in objects])
+
+
+def _combine_digests(digests: Sequence[bytes]) -> str:
+    hasher = hashlib.sha256()
+    hasher.update(str(len(digests)).encode())
+    for digest in digests:
+        hasher.update(digest)
+    return hasher.hexdigest()
+
+
+# --------------------------------------------------------------------------- #
+# The store                                                                   #
+# --------------------------------------------------------------------------- #
+
+
+class _DenseBlock:
+    """Array-backed rectangle of cached distances.
+
+    Holds the values for every ``(row_index, col_index)`` pair of two index
+    sets — the natural shape of the Sec. 7 training tables and the
+    ground-truth query-by-database matrix.  Lookup is two dict probes plus
+    one array read.
+    """
+
+    def __init__(
+        self,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        values: np.ndarray,
+        diagonal_valid: bool = True,
+    ) -> None:
+        self.rows = np.asarray(rows, dtype=int)
+        self.cols = np.asarray(cols, dtype=int)
+        self.values = np.asarray(values, dtype=float)
+        if self.values.shape != (self.rows.size, self.cols.size):
+            raise DistanceError(
+                f"block values must have shape ({self.rows.size}, "
+                f"{self.cols.size}), got {self.values.shape}"
+            )
+        #: ``False`` for symmetric pairwise tables whose diagonal was never
+        #: actually evaluated (it is zero by convention, not by computation).
+        self.diagonal_valid = bool(diagonal_valid)
+        self._row_pos = {int(r): p for p, r in enumerate(self.rows)}
+        self._col_pos = {int(c): p for p, c in enumerate(self.cols)}
+
+    def get(self, i: int, j: int) -> Optional[float]:
+        p = self._row_pos.get(i)
+        if p is None:
+            return None
+        q = self._col_pos.get(j)
+        if q is None:
+            return None
+        if i == j and not self.diagonal_valid:
+            return None
+        return float(self.values[p, q])
+
+    @property
+    def n_entries(self) -> int:
+        total = self.rows.size * self.cols.size
+        if not self.diagonal_valid:
+            total -= len(set(self._row_pos) & set(self._col_pos))
+        return total
+
+
+class DistanceStore:
+    """Persistable cache of exact distances keyed by stable dataset indices.
+
+    Two backings are combined: *dense blocks* (`numpy` rectangles — the
+    training tables and ground-truth matrices) and a *sparse dict* for the
+    scattered pairs produced by embedding anchors and refine candidates.
+
+    Parameters
+    ----------
+    symmetric:
+        If ``True`` (default) a value stored for ``(i, j)`` also answers
+        ``(j, i)``.  Must be ``False`` for asymmetric measures (KL
+        divergence, directed chamfer) or the store would silently return
+        the wrong direction.
+    fingerprint:
+        Hex fingerprint of the object universe the indices refer to; stores
+        with mismatched fingerprints refuse to merge or load.
+    """
+
+    def __init__(
+        self, symmetric: bool = True, fingerprint: Optional[str] = None
+    ) -> None:
+        self.symmetric = bool(symmetric)
+        self.fingerprint = fingerprint
+        self._blocks: List[_DenseBlock] = []
+        self._sparse: Dict[Tuple[int, int], float] = {}
+
+    # -- keys -----------------------------------------------------------
+
+    def _key(self, i: int, j: int) -> Tuple[int, int]:
+        if self.symmetric and j < i:
+            return (j, i)
+        return (i, j)
+
+    # -- lookup / insert ------------------------------------------------
+
+    def get(self, i: int, j: int) -> Optional[float]:
+        """Cached distance for the index pair, or ``None``."""
+        i = int(i)
+        j = int(j)
+        for block in self._blocks:
+            value = block.get(i, j)
+            if value is None and self.symmetric and i != j:
+                value = block.get(j, i)
+            if value is not None:
+                return value
+        return self._sparse.get(self._key(i, j))
+
+    def put(self, i: int, j: int, value: float) -> None:
+        """Record one evaluated pair (sparse backing)."""
+        self._sparse[self._key(int(i), int(j))] = float(value)
+
+    def put_block(
+        self,
+        rows: Sequence[int],
+        cols: Sequence[int],
+        values: np.ndarray,
+        diagonal_valid: bool = True,
+    ) -> None:
+        """Record a dense rectangle of evaluated pairs (array backing)."""
+        self._blocks.append(
+            _DenseBlock(
+                np.asarray(rows, dtype=int),
+                np.asarray(cols, dtype=int),
+                np.asarray(values, dtype=float),
+                diagonal_valid=diagonal_valid,
+            )
+        )
+
+    def __len__(self) -> int:
+        """Number of addressable cached pairs (block cells + sparse entries)."""
+        return sum(block.n_entries for block in self._blocks) + len(self._sparse)
+
+    # -- merge ----------------------------------------------------------
+
+    def merge(self, other: "DistanceStore") -> None:
+        """Absorb another (partial) store built over the same universe.
+
+        Used to combine stores persisted at different pipeline stages and
+        to fold a loaded store into a live context.  Fingerprints (when
+        both known) and the symmetry flag must match.
+        """
+        if not isinstance(other, DistanceStore):
+            raise DistanceError("can only merge another DistanceStore")
+        if self.symmetric != other.symmetric:
+            raise DistanceError(
+                "cannot merge stores with different symmetry conventions"
+            )
+        if (
+            self.fingerprint is not None
+            and other.fingerprint is not None
+            and self.fingerprint != other.fingerprint
+        ):
+            raise DistanceError(
+                "cannot merge stores with different dataset fingerprints: "
+                "their indices refer to different object universes"
+            )
+        self._blocks.extend(other._blocks)
+        self._sparse.update(other._sparse)
+        if self.fingerprint is None:
+            self.fingerprint = other.fingerprint
+
+    # -- persistence ----------------------------------------------------
+
+    def save(self, path) -> None:
+        """Persist the store to a ``.npz`` file (bit-exact round trip)."""
+        path = Path(path)
+        meta = {
+            "version": STORE_FORMAT_VERSION,
+            "symmetric": self.symmetric,
+            "fingerprint": self.fingerprint,
+            "n_blocks": len(self._blocks),
+        }
+        payload: Dict[str, np.ndarray] = {
+            "meta": np.frombuffer(
+                json.dumps(meta).encode("utf-8"), dtype=np.uint8
+            ).copy()
+        }
+        for k, block in enumerate(self._blocks):
+            payload[f"block{k}_rows"] = block.rows
+            payload[f"block{k}_cols"] = block.cols
+            payload[f"block{k}_values"] = block.values
+            payload[f"block{k}_diagonal_valid"] = np.array(block.diagonal_valid)
+        if self._sparse:
+            keys = np.array(sorted(self._sparse), dtype=int)
+            payload["sparse_i"] = keys[:, 0]
+            payload["sparse_j"] = keys[:, 1]
+            payload["sparse_values"] = np.array(
+                [self._sparse[(int(i), int(j))] for i, j in keys], dtype=float
+            )
+        # Write through a file handle: np.savez_compressed given a *path*
+        # silently appends ".npz" to suffix-less names, which would make
+        # save/load disagree about where the store lives.
+        with open(path, "wb") as handle:
+            np.savez_compressed(handle, **payload)
+
+    @classmethod
+    def load(cls, path, expected_fingerprint: Optional[str] = None) -> "DistanceStore":
+        """Load a persisted store, verifying the dataset fingerprint.
+
+        Raises :class:`~repro.exceptions.DistanceError` when the file's
+        fingerprint differs from ``expected_fingerprint`` — loading a store
+        against a reordered or different dataset would silently return
+        distances for the wrong pairs.
+        """
+        path = Path(path)
+        if not path.is_file():
+            raise DistanceError(f"no distance store at {path}")
+        with np.load(path) as payload:
+            try:
+                meta = json.loads(bytes(payload["meta"]).decode("utf-8"))
+            except (KeyError, ValueError) as exc:
+                raise DistanceError(f"unreadable distance store {path}") from exc
+            if meta.get("version") != STORE_FORMAT_VERSION:
+                raise DistanceError(
+                    f"distance store {path} has layout version "
+                    f"{meta.get('version')!r}; this build reads version "
+                    f"{STORE_FORMAT_VERSION}"
+                )
+            fingerprint = meta.get("fingerprint")
+            if (
+                expected_fingerprint is not None
+                and fingerprint != expected_fingerprint
+            ):
+                raise DistanceError(
+                    f"distance store {path} was saved for a different dataset "
+                    f"(fingerprint {fingerprint!r} != expected "
+                    f"{expected_fingerprint!r}); its stable indices do not "
+                    "refer to the current objects, so loading it would return "
+                    "distances for the wrong pairs"
+                )
+            store = cls(symmetric=bool(meta["symmetric"]), fingerprint=fingerprint)
+            for k in range(int(meta.get("n_blocks", 0))):
+                store._blocks.append(
+                    _DenseBlock(
+                        payload[f"block{k}_rows"],
+                        payload[f"block{k}_cols"],
+                        payload[f"block{k}_values"],
+                        diagonal_valid=bool(payload[f"block{k}_diagonal_valid"]),
+                    )
+                )
+            if "sparse_i" in payload:
+                for i, j, v in zip(
+                    payload["sparse_i"], payload["sparse_j"], payload["sparse_values"]
+                ):
+                    store._sparse[(int(i), int(j))] = float(v)
+        return store
+
+
+# --------------------------------------------------------------------------- #
+# The context                                                                 #
+# --------------------------------------------------------------------------- #
+
+
+class DistanceContext(DistanceMeasure):
+    """Shared distance layer over a fixed object universe.
+
+    The context *is* a :class:`~repro.distances.base.DistanceMeasure`:
+    scalar and batch evaluations between universe objects are answered from
+    the store when possible and recorded into it when computed, and
+    evaluations involving unknown objects fall through to the base measure
+    (computed, counted, but not cached — there is no stable key for them).
+
+    Parameters
+    ----------
+    distance:
+        The base (expensive) measure ``D_X``.  Must not itself be a
+        context.
+    objects:
+        The object universe; an object's position in this sequence is its
+        stable store index.  Typically ``list(database) + list(queries)``.
+    symmetric:
+        Store convention; pass ``False`` for asymmetric measures.  Ignored
+        when ``store`` is given (the store's own flag wins).
+        ``symmetric=True`` asserts ``D_X(x, y) == D_X(y, x)`` and lets the
+        store serve a pair in either evaluation direction — the same
+        direction-equivalence convention
+        :meth:`repro.distances.dtw.ConstrainedDTW.compute_pairs` already
+        applies when it regroups anchor runs.  For measures whose two
+        directions differ in the last floating-point ulps (e.g. the cDTW
+        DP), a mirrored hit can therefore differ from a fresh evaluation at
+        the ``1e-14`` level; measures with bitwise-symmetric kernels (the
+        Lp family) are exactly reproducible in every direction.  Warm
+        re-runs against the same store are always bit-identical to the
+        cold run that filled it.
+    n_jobs:
+        Default worker-process count for the batched primitives
+        (``None``/``0``/``1`` = serial, ``-1`` = all CPUs); overridable per
+        call.
+    store:
+        Optional pre-existing :class:`DistanceStore`; its fingerprint must
+        match the universe.
+    """
+
+    #: Duck-typed marker checked by :func:`repro.distances.parallel.
+    #: ensure_parallel_safe` (a direct import would be circular).
+    _is_distance_context = True
+
+    def __init__(
+        self,
+        distance: DistanceMeasure,
+        objects: Sequence[Any],
+        symmetric: bool = True,
+        n_jobs: Optional[int] = None,
+        store: Optional[DistanceStore] = None,
+    ) -> None:
+        if isinstance(distance, DistanceContext):
+            raise DistanceError("a DistanceContext cannot wrap another context")
+        if not isinstance(distance, DistanceMeasure):
+            raise DistanceError("distance must be a DistanceMeasure instance")
+        self.base = distance
+        self.counting = CountingDistance(distance)
+        self.name = f"context({distance.name})"
+        self.is_metric = distance.is_metric
+        self.objects = list(objects)
+        if not self.objects:
+            raise DistanceError("a DistanceContext needs at least one object")
+        self.n_jobs = n_jobs
+        self._digests = [object_digest(obj) for obj in self.objects]
+        fingerprint = _combine_digests(self._digests)
+        if store is None:
+            store = DistanceStore(symmetric=symmetric, fingerprint=fingerprint)
+        else:
+            if not isinstance(store, DistanceStore):
+                raise DistanceError("store must be a DistanceStore")
+            if store.fingerprint is None:
+                store.fingerprint = fingerprint
+            elif store.fingerprint != fingerprint:
+                raise DistanceError(
+                    "the supplied store was built for a different object "
+                    "universe (dataset fingerprint mismatch)"
+                )
+        self.store = store
+        self._rebuild_index()
+
+    # -- identity / pickling -------------------------------------------
+
+    def _rebuild_index(self) -> None:
+        self._index_by_id = {id(obj): i for i, obj in enumerate(self.objects)}
+
+    def __getstate__(self) -> Dict[str, Any]:
+        state = self.__dict__.copy()
+        state.pop("_index_by_id", None)
+        return state
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._rebuild_index()
+
+    # -- introspection --------------------------------------------------
+
+    @property
+    def n_objects(self) -> int:
+        """Size of the object universe."""
+        return len(self.objects)
+
+    @property
+    def fingerprint(self) -> Optional[str]:
+        """Content fingerprint of the universe (recorded with the store)."""
+        return self.store.fingerprint
+
+    @property
+    def distance_evaluations(self) -> int:
+        """Exact base-measure evaluations performed so far (hits are free)."""
+        return self.counting.calls
+
+    def reset_evaluations(self) -> int:
+        """Reset the evaluation counter, returning the previous total."""
+        return self.counting.reset()
+
+    def index_of(self, obj: Any) -> Optional[int]:
+        """Universe index of an object (by identity), or ``None``.
+
+        The context holds strong references to every universe object, so
+        identity lookups stay valid for the context's lifetime — unlike a
+        bare ``id()``-keyed cache, the ids here can never be recycled.
+        """
+        return self._index_by_id.get(id(obj))
+
+    def indices_of(self, objects: Iterable[Any]) -> np.ndarray:
+        """Universe indices for a sequence of objects; all must be known."""
+        indices = []
+        for pos, obj in enumerate(objects):
+            index = self._index_by_id.get(id(obj))
+            if index is None:
+                raise DistanceError(
+                    f"object at position {pos} is not part of this context's "
+                    "universe; build the context over the full dataset (for "
+                    "retrieval: database plus queries) or register() the "
+                    "objects first"
+                )
+            indices.append(index)
+        return np.asarray(indices, dtype=int)
+
+    def register(self, objects: Iterable[Any]) -> np.ndarray:
+        """Append objects to the universe, returning their stable indices.
+
+        Already-known objects keep their existing index.  Registration
+        extends the fingerprint (append-only, so previously stored pairs
+        stay valid), which means a store persisted *after* a registration
+        only reloads into a context whose universe was built the same way.
+        """
+        indices = []
+        for obj in objects:
+            existing = self._index_by_id.get(id(obj))
+            if existing is not None:
+                indices.append(existing)
+                continue
+            index = len(self.objects)
+            self.objects.append(obj)
+            self._digests.append(object_digest(obj))
+            self._index_by_id[id(obj)] = index
+            indices.append(index)
+        self.store.fingerprint = _combine_digests(self._digests)
+        return np.asarray(indices, dtype=int)
+
+    # -- persistence ----------------------------------------------------
+
+    def save_store(self, path) -> None:
+        """Persist the current store to ``path`` (``.npz``)."""
+        self.store.save(path)
+
+    def load_store(self, path) -> None:
+        """Merge a persisted store into this context (fingerprint-checked)."""
+        loaded = DistanceStore.load(path, expected_fingerprint=self.store.fingerprint)
+        self.store.merge(loaded)
+
+    # -- core evaluation ------------------------------------------------
+
+    def _values_for(
+        self,
+        query_obj: Any,
+        query_index: Optional[int],
+        target_indices: np.ndarray,
+    ) -> Tuple[np.ndarray, int]:
+        """Distances from one object to universe targets, via the store.
+
+        Returns ``(values, n_computed)``; cached pairs are free, missing
+        pairs are evaluated with one batched ``compute_many`` call (charged
+        on :attr:`counting`) and recorded when ``query_index`` is known.
+        """
+        target_indices = np.asarray(target_indices, dtype=int)
+        values = np.empty(target_indices.size, dtype=float)
+        if target_indices.size == 0:
+            return values, 0
+        if query_index is None:
+            values[:] = self.counting.compute_many(
+                query_obj, [self.objects[int(j)] for j in target_indices]
+            )
+            return values, int(target_indices.size)
+        pending: List[Tuple[int, int]] = []
+        miss_slot: Dict[int, int] = {}
+        miss_targets: List[int] = []
+        for pos, j in enumerate(target_indices):
+            j = int(j)
+            cached = self.store.get(query_index, j)
+            if cached is not None:
+                values[pos] = cached
+                continue
+            if j not in miss_slot:
+                miss_slot[j] = len(miss_targets)
+                miss_targets.append(j)
+            pending.append((pos, j))
+        if miss_targets:
+            fresh = self.counting.compute_many(
+                query_obj, [self.objects[j] for j in miss_targets]
+            )
+            for j, slot in miss_slot.items():
+                self.store.put(query_index, j, float(fresh[slot]))
+            for pos, j in pending:
+                values[pos] = self.store.get(query_index, j)
+        return values, len(miss_targets)
+
+    def distances_to(self, obj: Any, target_indices: Sequence[int]) -> np.ndarray:
+        """Distances from ``obj`` to the universe objects at ``target_indices``.
+
+        Argument order matches ``D_X(obj, target)`` everywhere, so
+        asymmetric measures (with ``symmetric=False`` stores) stay correct.
+        """
+        values, _ = self._values_for(obj, self.index_of(obj), target_indices)
+        return values
+
+    def distances_to_many(
+        self,
+        objects: Sequence[Any],
+        target_indices_lists: Sequence[Sequence[int]],
+        n_jobs: Optional[int] = None,
+    ) -> Tuple[List[np.ndarray], List[int]]:
+        """Batched :meth:`distances_to` over many (query, targets) pairs.
+
+        This is the primitive the retrieval pipelines fan out on: the
+        parent resolves store hits, ships only the missing index pairs to
+        worker processes, merges the returned entries back into the parent
+        store, and charges the counters one evaluation per computed pair.
+        Returns ``(values_list, computed_counts)`` aligned with the input.
+        """
+        objects = list(objects)
+        if len(objects) != len(target_indices_lists):
+            raise DistanceError(
+                "distances_to_many needs one target list per query object"
+            )
+        n_workers = resolve_jobs(self.n_jobs if n_jobs is None else n_jobs)
+        if n_workers <= 1 or len(objects) <= 1:
+            values_list: List[np.ndarray] = []
+            counts: List[int] = []
+            for obj, targets in zip(objects, target_indices_lists):
+                values, computed = self._values_for(
+                    obj, self.index_of(obj), np.asarray(targets, dtype=int)
+                )
+                values_list.append(values)
+                counts.append(computed)
+            return values_list, counts
+
+        ensure_parallel_safe(self.counting)
+        inner, counters = split_counting(self.counting)
+        values_list = []
+        counts = []
+        plans: List[Tuple[Optional[int], List[Tuple[int, int]], Dict[int, int], List[int], List[Tuple[int, int]]]] = []
+        items = []
+        # Pairs another query in this call will already compute: deferred
+        # positions read the merged store afterwards instead of duplicating
+        # the work, so counts and cache contents match the serial path
+        # (where an earlier query's results are visible to later ones).
+        in_flight: set = set()
+        for qi, (obj, targets) in enumerate(zip(objects, target_indices_lists)):
+            targets = np.asarray(targets, dtype=int)
+            values = np.empty(targets.size, dtype=float)
+            query_index = self.index_of(obj)
+            pending: List[Tuple[int, int]] = []
+            deferred: List[Tuple[int, int]] = []
+            miss_slot: Dict[int, int] = {}
+            miss_targets: List[int] = []
+            if query_index is None:
+                # No stable key: compute everything, cache nothing.
+                miss_targets = [int(j) for j in targets]
+                pending = [(pos, int(j)) for pos, j in enumerate(targets)]
+            else:
+                for pos, j in enumerate(targets):
+                    j = int(j)
+                    cached = self.store.get(query_index, j)
+                    if cached is not None:
+                        values[pos] = cached
+                        continue
+                    if j in miss_slot:
+                        pending.append((pos, j))
+                        continue
+                    key = self.store._key(query_index, j)
+                    if key in in_flight:
+                        deferred.append((pos, j))
+                        continue
+                    in_flight.add(key)
+                    miss_slot[j] = len(miss_targets)
+                    miss_targets.append(j)
+                    pending.append((pos, j))
+            if miss_targets:
+                items.append((qi, obj, 0, np.asarray(miss_targets, dtype=int)))
+            values_list.append(values)
+            counts.append(len(miss_targets))
+            plans.append((query_index, pending, miss_slot, miss_targets, deferred))
+
+        if items:
+            by_query = parallel_refine(inner, [self.objects], items, n_workers)
+            total_computed = 0
+            for qi, (query_index, pending, miss_slot, miss_targets, _deferred) in enumerate(
+                plans
+            ):
+                if not miss_targets:
+                    continue
+                fresh = np.asarray(by_query[qi], dtype=float)
+                total_computed += len(miss_targets)
+                if query_index is None:
+                    for pos, _j in pending:
+                        values_list[qi][pos] = fresh[pos]
+                    continue
+                for j, slot in miss_slot.items():
+                    self.store.put(query_index, j, float(fresh[slot]))
+                for pos, j in pending:
+                    values_list[qi][pos] = self.store.get(query_index, j)
+            for counter in counters:
+                counter.calls += total_computed
+        # Deferred pairs were computed under another query's plan and are in
+        # the store now (free for this query, like a serial store hit).
+        for qi, (query_index, _pending, _miss_slot, _miss_targets, deferred) in enumerate(
+            plans
+        ):
+            for pos, j in deferred:
+                values_list[qi][pos] = self.store.get(query_index, j)
+        return values_list, counts
+
+    # -- matrix primitives ----------------------------------------------
+
+    def pairwise(
+        self,
+        indices: Sequence[int],
+        symmetric: Optional[bool] = None,
+        n_jobs: Optional[int] = None,
+        progress: Optional[ProgressCallback] = None,
+    ) -> np.ndarray:
+        """Pairwise distance matrix over universe indices, via the store.
+
+        Equivalent to :func:`repro.distances.matrix.pairwise_distances`
+        over the corresponding objects, except that cached pairs are free
+        and freshly computed pairs are recorded (a fully cold request is
+        stored as one dense array block).  ``symmetric`` defaults to the
+        store's convention.
+        """
+        idx = np.asarray(indices, dtype=int)
+        n = idx.size
+        matrix = np.zeros((n, n), dtype=float)
+        if symmetric is None:
+            symmetric = self.store.symmetric
+        if symmetric:
+            targets = [
+                [c for c in range(r + 1, n)] for r in range(n)
+            ]
+        else:
+            targets = [list(range(n)) for r in range(n)]
+        entries, had_hits = self._fill_rows(idx, idx, matrix, targets, n_jobs, progress)
+        if symmetric:
+            upper = np.triu_indices(n, k=1)
+            matrix[(upper[1], upper[0])] = matrix[upper]
+        if entries and not had_hits and not (symmetric and not self.store.symmetric):
+            # Cold build: keep the whole table as one array-backed block
+            # (the mirrored matrix answers both pair orders; the diagonal of
+            # a symmetric build is zero by convention, never evaluated).
+            # A symmetric build against an *asymmetric* store must not take
+            # this path: the mirrored half was never evaluated in its own
+            # direction, so only the computed-direction entries are stored.
+            self.store.put_block(idx, idx, matrix, diagonal_valid=not symmetric)
+        else:
+            for i, j, value in entries:
+                self.store.put(i, j, value)
+        return matrix
+
+    def cross(
+        self,
+        row_indices: Sequence[int],
+        col_indices: Sequence[int],
+        n_jobs: Optional[int] = None,
+        progress: Optional[ProgressCallback] = None,
+    ) -> np.ndarray:
+        """Cross distance matrix between two universe index sets.
+
+        Equivalent to :func:`repro.distances.matrix.cross_distances` over
+        the corresponding objects, with store reuse as in :meth:`pairwise`.
+        """
+        rows_idx = np.asarray(row_indices, dtype=int)
+        cols_idx = np.asarray(col_indices, dtype=int)
+        matrix = np.zeros((rows_idx.size, cols_idx.size), dtype=float)
+        if rows_idx.size == 0 or cols_idx.size == 0:
+            return matrix
+        targets = [list(range(cols_idx.size)) for _ in range(rows_idx.size)]
+        entries, had_hits = self._fill_rows(
+            rows_idx, cols_idx, matrix, targets, n_jobs, progress
+        )
+        if entries and not had_hits:
+            self.store.put_block(rows_idx, cols_idx, matrix, diagonal_valid=True)
+        else:
+            for i, j, value in entries:
+                self.store.put(i, j, value)
+        return matrix
+
+    def _fill_rows(
+        self,
+        row_idx: np.ndarray,
+        col_idx: np.ndarray,
+        matrix: np.ndarray,
+        targets: List[List[int]],
+        n_jobs: Optional[int],
+        progress: Optional[ProgressCallback],
+    ) -> Tuple[List[Tuple[int, int, float]], bool]:
+        """Fill matrix rows from the store plus batched fresh evaluations.
+
+        ``targets[r]`` lists the column *positions* row ``r`` needs.
+        Returns ``(computed_entries, had_hits)`` — the freshly evaluated
+        ``(row_index, col_index, value)`` triples (not yet stored) and
+        whether any requested pair came from the store, so callers can
+        record a fully cold request as one dense array block instead of
+        per-pair sparse entries.
+        """
+        n_rows = row_idx.size
+        had_hits = False
+        missing_by_row: List[List[int]] = []
+        for r in range(n_rows):
+            missing: List[int] = []
+            i = int(row_idx[r])
+            for c in targets[r]:
+                cached = self.store.get(i, int(col_idx[c]))
+                if cached is None:
+                    missing.append(c)
+                else:
+                    had_hits = True
+                    matrix[r, c] = cached
+            missing_by_row.append(missing)
+
+        entries: List[Tuple[int, int, float]] = []
+        rows_with_work = [r for r in range(n_rows) if missing_by_row[r]]
+        n_workers = resolve_jobs(self.n_jobs if n_jobs is None else n_jobs)
+        if n_workers > 1 and len(rows_with_work) > 1:
+            ensure_parallel_safe(self.counting)
+            inner, counters = split_counting(self.counting)
+            items = [
+                (
+                    r,
+                    self.objects[int(row_idx[r])],
+                    0,
+                    col_idx[missing_by_row[r]],
+                )
+                for r in rows_with_work
+            ]
+            by_row = parallel_refine(inner, [self.objects], items, n_workers)
+            computed = 0
+            for r in rows_with_work:
+                fresh = np.asarray(by_row[r], dtype=float)
+                computed += fresh.size
+                i = int(row_idx[r])
+                for c, value in zip(missing_by_row[r], fresh):
+                    matrix[r, c] = float(value)
+                    entries.append((i, int(col_idx[c]), float(value)))
+            for counter in counters:
+                counter.calls += computed
+            if progress is not None:
+                progress(n_rows, n_rows)
+        else:
+            for done, r in enumerate(range(n_rows)):
+                missing = missing_by_row[r]
+                if missing:
+                    i = int(row_idx[r])
+                    fresh = self.counting.compute_many(
+                        self.objects[i],
+                        [self.objects[int(col_idx[c])] for c in missing],
+                    )
+                    for c, value in zip(missing, fresh):
+                        matrix[r, c] = float(value)
+                        entries.append((i, int(col_idx[c]), float(value)))
+                if progress is not None:
+                    progress(done + 1, n_rows)
+        return entries, had_hits
+
+    # -- DistanceMeasure interface --------------------------------------
+
+    def compute(self, x: Any, y: Any) -> float:
+        i = self.index_of(x)
+        j = self.index_of(y)
+        if i is not None and j is not None:
+            cached = self.store.get(i, j)
+            if cached is not None:
+                return cached
+            value = float(self.counting.compute(x, y))
+            self.store.put(i, j, value)
+            return value
+        return float(self.counting.compute(x, y))
+
+    def compute_many(self, x: Any, ys: Sequence[Any]) -> np.ndarray:
+        ys = list(ys)
+        if not ys:
+            return np.zeros(0, dtype=float)
+        i = self.index_of(x)
+        known_positions: List[int] = []
+        known_indices: List[int] = []
+        unknown_positions: List[int] = []
+        if i is not None:
+            for pos, y in enumerate(ys):
+                j = self.index_of(y)
+                if j is None:
+                    unknown_positions.append(pos)
+                else:
+                    known_positions.append(pos)
+                    known_indices.append(j)
+        else:
+            unknown_positions = list(range(len(ys)))
+        values = np.empty(len(ys), dtype=float)
+        if known_positions:
+            cached, _ = self._values_for(x, i, np.asarray(known_indices, dtype=int))
+            values[known_positions] = cached
+        if unknown_positions:
+            values[unknown_positions] = self.counting.compute_many(
+                x, [ys[pos] for pos in unknown_positions]
+            )
+        return values
+
+    def compute_pairs(self, xs: Sequence[Any], ys: Sequence[Any]) -> np.ndarray:
+        xs = list(xs)
+        ys = list(ys)
+        if len(xs) != len(ys):
+            raise DistanceError(
+                f"compute_pairs needs equally long sequences, got {len(xs)} and {len(ys)}"
+            )
+        values = np.empty(len(xs), dtype=float)
+        pending: List[Tuple[int, Tuple[int, int]]] = []
+        miss_slot: Dict[Tuple[int, int], int] = {}
+        miss_xs: List[Any] = []
+        miss_ys: List[Any] = []
+        unknown_positions: List[int] = []
+        for pos, (x, y) in enumerate(zip(xs, ys)):
+            i = self.index_of(x)
+            j = self.index_of(y)
+            if i is None or j is None:
+                unknown_positions.append(pos)
+                continue
+            cached = self.store.get(i, j)
+            if cached is not None:
+                values[pos] = cached
+                continue
+            key = self.store._key(i, j)
+            if key not in miss_slot:
+                miss_slot[key] = len(miss_xs)
+                miss_xs.append(x)
+                miss_ys.append(y)
+            pending.append((pos, (i, j)))
+        if miss_xs:
+            fresh = self.counting.compute_pairs(miss_xs, miss_ys)
+            for key, slot in miss_slot.items():
+                self.store.put(key[0], key[1], float(fresh[slot]))
+            for pos, (i, j) in pending:
+                values[pos] = self.store.get(i, j)
+        if unknown_positions:
+            values[unknown_positions] = self.counting.compute_pairs(
+                [xs[pos] for pos in unknown_positions],
+                [ys[pos] for pos in unknown_positions],
+            )
+        return values
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DistanceContext(base={self.base!r}, n_objects={self.n_objects}, "
+            f"cached_pairs={len(self.store)})"
+        )

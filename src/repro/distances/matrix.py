@@ -25,6 +25,17 @@ computed pair, exactly as in the serial path), and a
 rejected up front because identity keys cannot survive the process boundary.
 Any other per-instance state mutated inside workers stays in the workers and
 is discarded.
+
+Shared caching
+--------------
+When ``distance`` is a :class:`~repro.distances.context.DistanceContext`
+and every object belongs to the context's universe, the build is delegated
+to the context's store-aware primitives: pairs already in the store are
+free, fresh pairs are recorded, and only the missing work is fanned out
+over the pool.  Objects outside the universe fall back to the generic
+serial loop (the context still computes, counts and simply cannot cache
+them); combining out-of-universe objects with ``n_jobs > 1`` is rejected
+because the context must not cross the process boundary.
 """
 
 from __future__ import annotations
@@ -34,6 +45,7 @@ from typing import Any, Optional, Sequence
 import numpy as np
 
 from repro.distances.base import DistanceMeasure
+from repro.distances.context import DistanceContext
 from repro.distances.parallel import (
     ProgressCallback,
     ensure_parallel_safe,
@@ -46,6 +58,29 @@ from repro.distances.parallel import (
 from repro.exceptions import DistanceError
 
 __all__ = ["ProgressCallback", "pairwise_distances", "cross_distances"]
+
+
+def _context_indices(
+    context: DistanceContext, objects: Sequence[Any], n_workers: int
+) -> Optional[np.ndarray]:
+    """Universe indices for a delegated context build, or ``None``.
+
+    ``None`` means at least one object is outside the context's universe:
+    the caller then falls back to the generic serial loop, which is only
+    legal without a pool (the context cannot cross a process boundary).
+    """
+    try:
+        return context.indices_of(objects)
+    except DistanceError:
+        if n_workers > 1:
+            raise DistanceError(
+                "cannot build a parallel distance matrix through a "
+                "DistanceContext over objects outside its universe: the "
+                "context must stay in the parent process. Register the "
+                "objects with the context (or build it over the full "
+                "dataset), or pass context.base to skip caching."
+            )
+        return None
 
 
 def pairwise_distances(
@@ -80,6 +115,13 @@ def pairwise_distances(
     n = len(objects)
     matrix = np.zeros((n, n), dtype=float)
     n_workers = resolve_jobs(n_jobs)
+
+    if isinstance(distance, DistanceContext):
+        indices = _context_indices(distance, objects, n_workers)
+        if indices is not None:
+            return distance.pairwise(
+                indices, symmetric=symmetric, n_jobs=n_jobs, progress=progress
+            )
 
     if n_workers > 1 and n > 1:
         ensure_parallel_safe(distance)
@@ -132,6 +174,14 @@ def cross_distances(
     if not rows or not columns:
         return matrix
     n_workers = resolve_jobs(n_jobs)
+
+    if isinstance(distance, DistanceContext):
+        row_indices = _context_indices(distance, rows, n_workers)
+        col_indices = _context_indices(distance, columns, n_workers)
+        if row_indices is not None and col_indices is not None:
+            return distance.cross(
+                row_indices, col_indices, n_jobs=n_jobs, progress=progress
+            )
 
     if n_workers > 1 and len(rows) > 1:
         ensure_parallel_safe(distance)

@@ -94,18 +94,40 @@ def ensure_parallel_safe(distance: DistanceMeasure) -> None:
     found: worker processes see unpickled copies of every object, so identity
     keys never match (the cache is dead weight) and, once the original objects
     are garbage collected, a reused id can collide with a stale entry and
-    return a wrong distance.  Pass an explicit content-based ``key`` function
-    to :class:`CachedDistance` to use it under ``n_jobs``.
+    return a wrong distance.  Use
+    :class:`repro.distances.context.DistanceContext` (stable dataset-index
+    keys, the supported ``n_jobs`` cache) or pass an explicit content-based
+    ``key`` function to :class:`CachedDistance`.
+
+    A :class:`~repro.distances.context.DistanceContext` itself is also
+    rejected — not because it cannot be pickled (it can), but because
+    shipping it would copy its store into every worker and discard the
+    worker-side updates and counter charges.  Context-managed evaluation
+    must stay in the parent: use the context's own ``pairwise`` / ``cross``
+    / ``distances_to_many`` primitives, which resolve cached pairs first and
+    fan only the missing work out over the pool.
     """
     seen = set()
     while isinstance(distance, DistanceMeasure) and id(distance) not in seen:
         seen.add(id(distance))
+        if getattr(distance, "_is_distance_context", False):
+            raise DistanceError(
+                "a DistanceContext must not be shipped to worker processes: "
+                "its store would be copied per worker and the worker-side "
+                "cache updates and counter charges discarded. Use the "
+                "context's own batched primitives (pairwise, cross, "
+                "distances_to, distances_to_many) — they keep the store and "
+                "accounting in the parent and pool only the missing pairs — "
+                "or pass context.base to evaluate without caching."
+            )
         if isinstance(distance, CachedDistance) and distance.uses_identity_keys:
             raise DistanceError(
                 "CachedDistance with the default key=id cannot be used with "
                 "n_jobs > 1: worker processes unpickle copies of every object, "
                 "so identity keys never match across the process boundary and "
-                "can collide after id reuse. Construct the cache with an "
+                "can collide after id reuse. Use repro.distances."
+                "DistanceContext — the supported n_jobs cache, keyed by "
+                "stable dataset indices — or construct the cache with an "
                 "explicit stable key function (e.g. a dataset index or a "
                 "content hash) to parallelise."
             )

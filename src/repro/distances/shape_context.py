@@ -24,7 +24,7 @@ triangle inequality.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Any, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 from scipy.optimize import linear_sum_assignment
@@ -175,6 +175,23 @@ def _chi2_cost_matrix(h1: np.ndarray, h2: np.ndarray) -> np.ndarray:
     return 0.5 * terms.sum(axis=2)
 
 
+def _chi2_cost_tensor(h1: np.ndarray, h2_batch: np.ndarray) -> np.ndarray:
+    """χ² cost matrices of one histogram set against a *batch* of sets.
+
+    ``h1`` has shape ``(n, b)`` and ``h2_batch`` shape ``(T, n, b)``; the
+    result has shape ``(T, n, n)`` and slice ``t`` is bit-identical to
+    ``_chi2_cost_matrix(h1, h2_batch[t])`` — same elementwise operations,
+    same reduction over the last (contiguous) axis — so the batched
+    :meth:`ShapeContextDistance.compute_many` reproduces the scalar path
+    exactly while amortising the broadcasting over many targets.
+    """
+    num = (h1[None, :, None, :] - h2_batch[:, None, :, :]) ** 2
+    den = h1[None, :, None, :] + h2_batch[:, None, :, :]
+    with np.errstate(divide="ignore", invalid="ignore"):
+        terms = np.where(den > 0, num / den, 0.0)
+    return 0.5 * terms.sum(axis=3)
+
+
 def _similarity_residual(source: np.ndarray, target: np.ndarray) -> float:
     """Mean residual after the best least-squares similarity transform.
 
@@ -318,10 +335,12 @@ class ShapeContextDistance(DistanceMeasure):
         image2: np.ndarray,
         features1: Tuple[np.ndarray, np.ndarray],
         features2: Tuple[np.ndarray, np.ndarray],
+        costs: Optional[np.ndarray] = None,
     ) -> float:
         points1, hist1 = features1
         points2, hist2 = features2
-        costs = _chi2_cost_matrix(hist1, hist2)
+        if costs is None:
+            costs = _chi2_cost_matrix(hist1, hist2)
         rows, cols = linear_sum_assignment(costs)
         matching_cost = float(costs[rows, cols].mean())
         matched1 = points1[rows]
@@ -341,6 +360,18 @@ class ShapeContextDistance(DistanceMeasure):
             + self.appearance_weight * appearance_cost
         )
 
+    def __getstate__(self) -> Dict[str, Any]:
+        """Drop the identity-keyed feature cache before pickling.
+
+        The memoised features are keyed by ``id(image)``, which a worker
+        process cannot match (unpickled copies get fresh ids) and which
+        could collide with a recycled id and silently return the *wrong*
+        image's features.  Workers start with an empty cache instead.
+        """
+        state = self.__dict__.copy()
+        state["_feature_cache"] = {}
+        return state
+
     def compute(self, x: np.ndarray, y: np.ndarray) -> float:
         img1 = self._prepare(x)
         img2 = self._prepare(y)
@@ -351,3 +382,43 @@ class ShapeContextDistance(DistanceMeasure):
         forward = self._directed(img1, img2, features1, features2)
         backward = self._directed(img2, img1, features2, features1)
         return 0.5 * (forward + backward)
+
+    def compute_many(self, x: np.ndarray, ys: Sequence[np.ndarray]) -> np.ndarray:
+        """Batched distances from one image to many targets.
+
+        The query's features are extracted once and the χ² histogram cost
+        matrices — the ``O(n² · bins)`` part of every evaluation — are
+        built for a whole chunk of targets with one broadcast
+        (:func:`_chi2_cost_tensor`); the backward direction reuses the
+        transpose, which is bit-identical to recomputing it because the χ²
+        terms commute.  The per-pair Hungarian assignment, alignment and
+        appearance terms then run through exactly the same code as the
+        scalar path, so results equal ``[self.compute(x, y) for y in ys]``
+        bit for bit.
+        """
+        ys = list(ys)
+        if not ys:
+            return np.zeros(0, dtype=float)
+        img_x = self._prepare(x)
+        features_x = self._features(x, img_x)
+        prepared = [self._prepare(y) for y in ys]
+        features = [self._features(y, img) for y, img in zip(ys, prepared)]
+        hist_x = features_x[1]
+        n, bins = hist_x.shape
+        # Bound the cost-tensor working set to ~32 MB per chunk.
+        chunk = max(1, int(2 ** 25 / max(1, n * n * bins * 8)))
+        results = np.empty(len(ys), dtype=float)
+        for start in range(0, len(ys), chunk):
+            stop = min(start + chunk, len(ys))
+            hist_batch = np.stack([features[t][1] for t in range(start, stop)])
+            cost_tensor = _chi2_cost_tensor(hist_x, hist_batch)
+            for offset, t in enumerate(range(start, stop)):
+                costs = cost_tensor[offset]
+                forward = self._directed(
+                    img_x, prepared[t], features_x, features[t], costs=costs
+                )
+                backward = self._directed(
+                    prepared[t], img_x, features[t], features_x, costs=costs.T
+                )
+                results[t] = 0.5 * (forward + backward)
+        return results

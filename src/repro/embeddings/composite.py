@@ -6,6 +6,12 @@ per object is the number of *distinct anchor objects* across the coordinates:
 a reference object shared by several coordinates, or a pivot object that also
 serves as a reference object, requires only one evaluation of ``D_X``
 (this is why the paper says "at most 2d" distances).
+
+Anchor sharing here is *within one object's embedding*; sharing anchor
+distances across objects, pipeline stages and experiment runs is the job of
+:class:`~repro.distances.context.DistanceContext` — coordinates built on a
+context (as :class:`~repro.core.trainer.BoostMapTrainer` does when trained
+through one) land every anchor evaluation in its persistable store.
 """
 
 from __future__ import annotations

@@ -151,7 +151,11 @@ def build_fastmap_embedding(
     Parameters
     ----------
     distance:
-        The underlying distance measure.
+        The underlying distance measure.  Passing a
+        :class:`~repro.distances.context.DistanceContext` built over the
+        database makes the pivot-selection sweeps and projections reuse
+        (and warm) its shared store — rebuilding FastMap from a persisted
+        store costs no exact evaluations.
     database:
         Dataset supplying candidate pivot objects (the paper runs FastMap on
         a 5,000-object subset).

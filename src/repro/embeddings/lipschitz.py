@@ -31,7 +31,9 @@ class LipschitzEmbedding(Embedding):
     Parameters
     ----------
     distance:
-        The underlying distance measure ``D_X``.
+        The underlying distance measure ``D_X``; a
+        :class:`~repro.distances.context.DistanceContext` makes the
+        per-reference columns of :meth:`embed_many` hit its shared store.
     reference_sets:
         A list of non-empty lists of objects; coordinate ``i`` of the
         embedding is the minimum distance from the input to the objects of

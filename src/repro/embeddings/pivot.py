@@ -30,7 +30,10 @@ class PivotEmbedding(OneDimensionalEmbedding):
     Parameters
     ----------
     distance:
-        The underlying distance measure ``D_X``.
+        The underlying distance measure ``D_X``.  A
+        :class:`~repro.distances.context.DistanceContext` routes the two
+        anchor evaluations per object (and the interpivot distance, when
+        not supplied) through its shared store.
     pivot1, pivot2:
         The two pivot objects.  They must not coincide under ``D_X``
         (``D_X(x1, x2) > 0``), otherwise the projection is undefined.

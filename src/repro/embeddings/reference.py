@@ -25,6 +25,11 @@ class ReferenceEmbedding(OneDimensionalEmbedding):
     ----------
     distance:
         The underlying (possibly expensive) distance measure ``D_X``.
+        Passing a :class:`~repro.distances.context.DistanceContext` makes
+        every anchor evaluation go through its shared store, so embedding a
+        database object whose distance to ``r`` was already paid for (by
+        the training tables, the ground-truth scan or a previous embed)
+        costs nothing.
     reference:
         The reference object ``r``.
     reference_id:

@@ -36,6 +36,7 @@ def run_figure4(
     image_size: int = 28,
     shape_context_points: int = 20,
     n_jobs=None,
+    store_path=None,
 ) -> ComparisonResult:
     """Reproduce Figure 4 at the given scale.
 
@@ -57,6 +58,11 @@ def run_figure4(
     n_jobs:
         Worker processes for the distance-matrix preprocessing (forwarded to
         :func:`repro.experiments.runner.compare_methods`).
+    store_path:
+        Optional ``.npz`` path for the shared distance store (forwarded to
+        :func:`repro.experiments.runner.compare_methods`): an existing,
+        fingerprint-matching store makes repeated runs skip every cached
+        exact distance, and the warm store is saved back afterwards.
     """
     database, queries = make_digit_dataset(
         n_database=scale.database_size,
@@ -74,4 +80,5 @@ def run_figure4(
         seed=seed,
         dataset_name="synthetic digits + shape context (Figure 4)",
         n_jobs=n_jobs,
+        store_path=store_path,
     )

@@ -30,6 +30,7 @@ def run_figure5(
     n_seeds: int = 16,
     band_fraction: float = 0.1,
     n_jobs=None,
+    store_path=None,
 ) -> ComparisonResult:
     """Reproduce Figure 5 at the given scale.
 
@@ -51,6 +52,10 @@ def run_figure5(
     n_jobs:
         Worker processes for the distance-matrix preprocessing (forwarded to
         :func:`repro.experiments.runner.compare_methods`).
+    store_path:
+        Optional ``.npz`` path for the shared distance store (forwarded to
+        :func:`repro.experiments.runner.compare_methods`); repeated runs
+        reuse every cached exact distance from it.
     """
     database, queries = make_timeseries_dataset(
         n_database=scale.database_size,
@@ -70,4 +75,5 @@ def run_figure5(
         seed=seed,
         dataset_name="synthetic time series + constrained DTW (Figure 5)",
         n_jobs=n_jobs,
+        store_path=store_path,
     )

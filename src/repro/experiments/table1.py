@@ -13,7 +13,8 @@ result in the paper's layout.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Dict, Optional, Sequence, Tuple, Union
 
 from repro.experiments.config import SMALL, ExperimentScale
 from repro.experiments.figure4 import run_figure4
@@ -32,6 +33,7 @@ def run_table1(
     seed: RngLike = 0,
     methods: Sequence[str] = ALL_METHODS,
     n_jobs: Optional[int] = None,
+    store_dir: Optional[Union[str, Path]] = None,
 ) -> Dict[str, ComparisonResult]:
     """Run both dataset comparisons with all five methods.
 
@@ -41,9 +43,26 @@ def run_table1(
     simply ignored by :func:`format_table1`.  ``n_jobs`` parallelises the
     distance-matrix preprocessing of both comparisons over worker processes
     (``-1`` = all CPUs) with identical results and cost accounting.
+
+    ``store_dir`` enables distance-store persistence: each dataset's exact
+    distances are loaded from / saved to ``<store_dir>/table1_<name>.npz``
+    through one shared :class:`~repro.distances.context.DistanceContext`
+    per comparison, so re-running the table (same scale and seed) skips
+    every previously evaluated pair.
     """
-    digits = run_figure4(scale=scale, methods=methods, seed=seed, n_jobs=n_jobs)
-    timeseries = run_figure5(scale=scale, methods=methods, seed=seed, n_jobs=n_jobs)
+    digits_store = timeseries_store = None
+    if store_dir is not None:
+        store_dir = Path(store_dir)
+        digits_store = store_dir / "table1_digits.npz"
+        timeseries_store = store_dir / "table1_timeseries.npz"
+    digits = run_figure4(
+        scale=scale, methods=methods, seed=seed, n_jobs=n_jobs,
+        store_path=digits_store,
+    )
+    timeseries = run_figure5(
+        scale=scale, methods=methods, seed=seed, n_jobs=n_jobs,
+        store_path=timeseries_store,
+    )
     return {"digits": digits, "timeseries": timeseries}
 
 

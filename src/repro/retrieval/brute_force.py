@@ -12,6 +12,14 @@ filter-and-refine pipeline in :mod:`repro.retrieval` reproduces.
 scans over worker processes with the same exact accounting rules as the
 matrix builders (parent-side counters charged one evaluation per scanned
 object, identity-keyed caches rejected).
+
+When built on a :class:`~repro.distances.context.DistanceContext` whose
+universe contains the database, the scan charges against the shared store:
+(query, object) pairs already evaluated — e.g. by a persisted ground-truth
+table — are free, and freshly scanned pairs are recorded for the rest of
+the pipeline.  :attr:`BruteForceRetriever.distance_computations` then
+counts the evaluations actually performed; the returned neighbors are
+bit-identical either way.
 """
 
 from __future__ import annotations
@@ -29,6 +37,7 @@ from repro.distances.parallel import (
     split_counting,
 )
 from repro.exceptions import RetrievalError
+from repro.retrieval.context_binding import bind_context
 
 
 class BruteForceRetriever:
@@ -37,7 +46,9 @@ class BruteForceRetriever:
     Parameters
     ----------
     distance:
-        The exact distance measure ``D_X``.
+        The exact distance measure ``D_X``, or a
+        :class:`~repro.distances.context.DistanceContext` to scan through
+        the shared store.
     database:
         The database to search.
     """
@@ -47,17 +58,30 @@ class BruteForceRetriever:
             raise RetrievalError("distance must be a DistanceMeasure instance")
         if not isinstance(database, Dataset):
             raise RetrievalError("database must be a Dataset")
-        self._counting = CountingDistance(distance)
+        self._binding = bind_context(distance, database)
+        self._counting: Optional[CountingDistance] = (
+            None if self._binding is not None else CountingDistance(distance)
+        )
         self.database = database
+        self._all_positions = np.arange(len(database))
 
     @property
     def distance_computations(self) -> int:
-        """Total exact distance evaluations performed so far."""
+        """Total exact distance evaluations performed so far.
+
+        For a context-backed retriever this counts the evaluations actually
+        performed by this retriever's scans (store hits are free).
+        """
+        if self._binding is not None:
+            return self._binding.calls
         return self._counting.calls
 
     def reset_counter(self) -> None:
         """Reset the distance-evaluation counter."""
-        self._counting.reset()
+        if self._binding is not None:
+            self._binding.calls = 0
+        else:
+            self._counting.reset()
 
     def _check_k(self, k: int) -> None:
         if not 1 <= k <= len(self.database):
@@ -72,9 +96,12 @@ class BruteForceRetriever:
         evaluated through one batched ``compute_many`` call.
         """
         self._check_k(k)
-        distances = np.asarray(
-            self._counting.compute_many(obj, list(self.database)), dtype=float
-        )
+        if self._binding is not None:
+            distances, _ = self._binding.distances_to(obj, self._all_positions)
+        else:
+            distances = np.asarray(
+                self._counting.compute_many(obj, list(self.database)), dtype=float
+            )
         order = np.argsort(distances, kind="stable")[:k]
         return order, distances[order]
 
@@ -91,6 +118,16 @@ class BruteForceRetriever:
         objects = list(objects)
         if not objects:
             return []
+        if self._binding is not None:
+            by_query, _computed = self._binding.distances_to_many(
+                objects, [self._all_positions] * len(objects), n_jobs=n_jobs
+            )
+            results = []
+            for distances in by_query:
+                distances = np.asarray(distances, dtype=float)
+                order = np.argsort(distances, kind="stable")[:k]
+                results.append((order, distances[order]))
+            return results
         n_workers = resolve_jobs(n_jobs)
         if n_workers > 1 and len(objects) > 1:
             ensure_parallel_safe(self._counting)

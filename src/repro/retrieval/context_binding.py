@@ -1,0 +1,90 @@
+"""Shared glue between the retrievers and a :class:`DistanceContext`.
+
+All three retrieval pipelines (brute force, filter-and-refine, sharded)
+support being built on a :class:`~repro.distances.context.DistanceContext`
+instead of a raw measure: exact evaluations then charge against the
+context's shared store, so cached pairs are free.  The mapping from the
+retriever's database positions to the context's universe indices, and the
+"actual evaluations performed" accounting, are identical across the three —
+:class:`ContextBinding` holds them once so the retrievers cannot drift.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.datasets.base import Dataset
+from repro.distances.base import DistanceMeasure
+from repro.distances.context import DistanceContext
+from repro.exceptions import RetrievalError
+
+__all__ = ["ContextBinding", "bind_context"]
+
+
+class ContextBinding:
+    """A :class:`DistanceContext` bound to one retriever's database.
+
+    Attributes
+    ----------
+    context:
+        The shared distance context.
+    indices:
+        ``indices[position]`` is the universe index of the database object
+        at ``position``, so retriever-level candidate arrays translate to
+        store keys with one fancy index.
+    calls:
+        Exact evaluations actually performed through this binding (store
+        hits are free) — the number the retrievers report.
+    """
+
+    def __init__(self, context: DistanceContext, database: Dataset) -> None:
+        try:
+            self.indices = context.indices_of(list(database))
+        except Exception as exc:
+            raise RetrievalError(
+                "the DistanceContext universe must contain every database "
+                "object (build the context over the database, or database "
+                "plus queries)"
+            ) from exc
+        self.context = context
+        self.calls = 0
+
+    def distances_to(
+        self, obj: Any, positions: np.ndarray
+    ) -> Tuple[np.ndarray, int]:
+        """Exact distances from ``obj`` to the database ``positions``.
+
+        Returns ``(values, spent)`` where ``spent`` is the number of fresh
+        evaluations the call performed (0 when every pair was cached).
+        """
+        before = self.context.distance_evaluations
+        values = np.asarray(
+            self.context.distances_to(obj, self.indices[positions]), dtype=float
+        )
+        spent = self.context.distance_evaluations - before
+        self.calls += spent
+        return values, spent
+
+    def distances_to_many(
+        self,
+        objects: Sequence[Any],
+        position_lists: Sequence[np.ndarray],
+        n_jobs: Optional[int] = None,
+    ) -> Tuple[List[np.ndarray], List[int]]:
+        """Batched :meth:`distances_to`; the context pools missing pairs."""
+        values, computed = self.context.distances_to_many(
+            objects, [self.indices[p] for p in position_lists], n_jobs=n_jobs
+        )
+        self.calls += sum(computed)
+        return values, computed
+
+
+def bind_context(
+    distance: DistanceMeasure, database: Dataset
+) -> Optional[ContextBinding]:
+    """Bind ``distance`` to ``database`` if it is a context, else ``None``."""
+    if isinstance(distance, DistanceContext):
+        return ContextBinding(distance, database)
+    return None

@@ -51,6 +51,22 @@ and are charged one evaluation per refined candidate, while workers evaluate
 the inner measure.  Identity-keyed :class:`~repro.distances.base.
 CachedDistance` wrappers are rejected up front (their keys cannot survive the
 process boundary).
+
+Shared store
+------------
+When the retriever is built on a
+:class:`~repro.distances.context.DistanceContext` (whose universe must
+contain the database), the refine step charges its evaluations against the
+context's store: a (query, candidate) pair already evaluated — by the
+ground-truth scan, an embedding anchor, or a previous query — costs
+*nothing*, matching the paper's treatment of precomputed distances as a
+one-time preprocessing cost.  ``RetrievalResult.refine_distance_computations``
+then reports the evaluations actually performed for that query (``0`` for a
+fully warm store) instead of the nominal ``p``; neighbor results stay
+bit-identical to the context-free path.  ``n_jobs`` fan-out goes through
+:meth:`~repro.distances.context.DistanceContext.distances_to_many`, which
+keeps the store and the counters in the parent and ships only the missing
+index pairs to the workers.
 """
 
 from __future__ import annotations
@@ -71,6 +87,7 @@ from repro.distances.parallel import (
 )
 from repro.embeddings.base import Embedding
 from repro.exceptions import RetrievalError
+from repro.retrieval.context_binding import bind_context
 
 
 def _stable_smallest(values: np.ndarray, p: Optional[int]) -> np.ndarray:
@@ -151,11 +168,15 @@ def _build_retrieval_result(
     k_eff: int,
     p_eff: int,
     embedding_cost: int,
+    refine_cost: Optional[int] = None,
 ) -> "RetrievalResult":
     """Assemble a :class:`RetrievalResult` from refined candidate distances.
 
     Shared by the unsharded and sharded retrievers so the neighbor ordering
     and cost accounting can never diverge between the two paths.
+    ``refine_cost`` defaults to the nominal ``p``; context-backed retrievers
+    pass the number of evaluations actually performed (cached pairs are
+    free).
     """
     order = _refine_order(exact, candidates, k_eff)
     return RetrievalResult(
@@ -163,7 +184,9 @@ def _build_retrieval_result(
         neighbor_distances=exact[order],
         candidate_indices=candidates,
         embedding_distance_computations=int(embedding_cost),
-        refine_distance_computations=int(p_eff),
+        refine_distance_computations=int(
+            p_eff if refine_cost is None else refine_cost
+        ),
     )
 
 
@@ -181,9 +204,14 @@ class RetrievalResult:
         The (effective) ``p`` database indices that survived the filter step,
         in filter order.
     embedding_distance_computations:
-        Exact distances spent embedding the query.
+        Exact distances spent embedding the query (the embedder's nominal
+        per-query cost).
     refine_distance_computations:
-        Exact distances spent in the refine step (= effective ``p``).
+        Exact distances spent in the refine step.  Equals the effective
+        ``p`` for a plain distance measure; for a retriever backed by a
+        :class:`~repro.distances.context.DistanceContext` it is the number
+        of evaluations actually performed — pairs already in the shared
+        store are free, so a fully warm store reports ``0``.
     """
 
     neighbor_indices: np.ndarray
@@ -205,7 +233,10 @@ class FilterRefineRetriever:
     ----------
     distance:
         The exact distance measure (used for the refine step and, through
-        the embedding, for the embedding step).
+        the embedding, for the embedding step).  Passing a
+        :class:`~repro.distances.context.DistanceContext` whose universe
+        contains the database makes refine evaluations go through its
+        shared store — cached pairs are free (see the module docstring).
     database:
         The database to search.
     embedder:
@@ -236,7 +267,10 @@ class FilterRefineRetriever:
             )
         self.database = database
         self.embedder = embedder
-        self._refine_distance = CountingDistance(distance)
+        self._binding = bind_context(distance, database)
+        self._refine_distance: Optional[CountingDistance] = (
+            None if self._binding is not None else CountingDistance(distance)
+        )
         if database_vectors is None:
             database_vectors = embedder.embed_many(list(database))
         self.database_vectors = np.asarray(database_vectors, dtype=float)
@@ -258,7 +292,13 @@ class FilterRefineRetriever:
 
     @property
     def refine_distance_evaluations(self) -> int:
-        """Total exact distances spent refining, across all queries so far."""
+        """Total exact distances spent refining, across all queries so far.
+
+        For a context-backed retriever this counts the evaluations actually
+        performed (store hits are free).
+        """
+        if self._binding is not None:
+            return self._binding.calls
         return self._refine_distance.calls
 
     def filter_distances(self, query_vector: np.ndarray) -> np.ndarray:
@@ -278,6 +318,12 @@ class FilterRefineRetriever:
 
     def _refine(self, obj: Any, candidates: np.ndarray, k_eff: int, p_eff: int) -> RetrievalResult:
         """Refine filter candidates with one batched exact-distance call."""
+        if self._binding is not None:
+            exact, spent = self._binding.distances_to(obj, candidates)
+            return _build_retrieval_result(
+                candidates, exact, k_eff, p_eff, self.embedding_cost,
+                refine_cost=spent,
+            )
         candidate_objects = [self.database[int(i)] for i in candidates]
         exact = np.asarray(
             self._refine_distance.compute_many(obj, candidate_objects), dtype=float
@@ -337,6 +383,27 @@ class FilterRefineRetriever:
         candidate_lists = [
             self.filter_order(query_vector, p_eff) for query_vector in query_vectors
         ]
+
+        if self._binding is not None:
+            # The context resolves store hits in the parent and pools only
+            # the missing (query, candidate) pairs; per-query refine cost is
+            # the number of evaluations actually performed.
+            exact_lists, computed = self._binding.distances_to_many(
+                objects, candidate_lists, n_jobs=n_jobs
+            )
+            return [
+                _build_retrieval_result(
+                    candidates,
+                    np.asarray(exact, dtype=float),
+                    k_eff,
+                    p_eff,
+                    self.embedding_cost,
+                    refine_cost=spent,
+                )
+                for candidates, exact, spent in zip(
+                    candidate_lists, exact_lists, computed
+                )
+            ]
 
         n_workers = resolve_jobs(n_jobs)
         if n_workers > 1 and len(objects) > 1:

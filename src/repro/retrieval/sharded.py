@@ -48,8 +48,20 @@ matrix builders' rule: top-level
 and are charged one evaluation per refined candidate (so per-query counts
 are identical to the serial path), workers receive the inner measure, and an
 identity-keyed :class:`~repro.distances.base.CachedDistance` is rejected
-because its keys cannot survive the process boundary — supply a stable
-``key`` function to cache under ``n_jobs``.
+because its keys cannot survive the process boundary — use a
+:class:`~repro.distances.context.DistanceContext` (stable dataset-index
+keys) or supply a stable ``key`` function to cache under ``n_jobs``.
+
+When the retriever is built on a
+:class:`~repro.distances.context.DistanceContext`, the refine step goes
+through the context's shared store exactly like the unsharded retriever:
+cached (query, candidate) pairs are free, per-query
+``refine_distance_computations`` reports the evaluations actually
+performed, and ``n_jobs`` fan-out happens inside
+:meth:`~repro.distances.context.DistanceContext.distances_to_many` (store
+and counters stay in the parent).  Sharding then only shapes the *filter*
+layout; the refined values — and therefore the merged neighbors — remain
+bit-identical to the unsharded context path.
 """
 
 from __future__ import annotations
@@ -70,6 +82,7 @@ from repro.distances.parallel import (
 )
 from repro.embeddings.base import Embedding
 from repro.exceptions import RetrievalError
+from repro.retrieval.context_binding import bind_context
 from repro.retrieval.filter_refine import (
     RetrievalResult,
     _build_retrieval_result,
@@ -154,7 +167,10 @@ class ShardedRetriever:
         self.database = database
         self.embedder = embedder
         self.n_jobs = n_jobs
-        self._refine_distance = CountingDistance(distance)
+        self._binding = bind_context(distance, database)
+        self._refine_distance: Optional[CountingDistance] = (
+            None if self._binding is not None else CountingDistance(distance)
+        )
         if database_vectors is None:
             database_vectors = embedder.embed_many(list(database))
         self.database_vectors = np.asarray(database_vectors, dtype=float)
@@ -197,7 +213,13 @@ class ShardedRetriever:
 
     @property
     def refine_distance_evaluations(self) -> int:
-        """Total exact distances spent refining, across all queries so far."""
+        """Total exact distances spent refining, across all queries so far.
+
+        For a context-backed retriever this counts the evaluations actually
+        performed (store hits are free).
+        """
+        if self._binding is not None:
+            return self._binding.calls
         return self._refine_distance.calls
 
     # ------------------------------------------------------------------ #
@@ -257,6 +279,12 @@ class ShardedRetriever:
         k_eff, p_eff = _clamp_query_params(k, p, len(self.database))
         query_vector = self.embedder.embed(obj)
         candidates = self.merged_candidates(query_vector, p_eff)
+        if self._binding is not None:
+            exact, spent = self._binding.distances_to(obj, candidates)
+            return _build_retrieval_result(
+                candidates, exact, k_eff, p_eff, self.embedding_cost,
+                refine_cost=spent,
+            )
         work = self._split_by_shard(candidates)
         exact = np.empty(candidates.shape[0], dtype=float)
 
@@ -307,6 +335,25 @@ class ShardedRetriever:
             self.merged_candidates(query_vector, p_eff)
             for query_vector in query_vectors
         ]
+        if self._binding is not None:
+            exact_lists, computed = self._binding.distances_to_many(
+                objects,
+                candidate_lists,
+                n_jobs=self.n_jobs if n_jobs is None else n_jobs,
+            )
+            return [
+                _build_retrieval_result(
+                    candidates,
+                    np.asarray(exact, dtype=float),
+                    k_eff,
+                    p_eff,
+                    self.embedding_cost,
+                    refine_cost=spent,
+                )
+                for candidates, exact, spent in zip(
+                    candidate_lists, exact_lists, computed
+                )
+            ]
         work_lists = [self._split_by_shard(c) for c in candidate_lists]
         exact_lists = [
             np.empty(c.shape[0], dtype=float) for c in candidate_lists

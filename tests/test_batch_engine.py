@@ -275,7 +275,8 @@ class TestWrapperBatchSemantics:
         assert_batch_matches_scalar(distance, x, ys)
 
     def test_cached_batch_reuses_entries(self, rng):
-        cached = CachedDistance(CountingDistance(L2Distance()))
+        with pytest.warns(DeprecationWarning, match="DistanceContext"):
+            cached = CachedDistance(CountingDistance(L2Distance()))
         objects = [rng.normal(size=3) for _ in range(6)]
         x = objects[0]
         first = cached.compute_many(x, objects)

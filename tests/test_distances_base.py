@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 import pytest
 
@@ -68,10 +70,16 @@ class TestCountingDistance:
         assert CountingDistance(L2Distance()).is_metric is True
 
 
+def _identity_cached(*args, **kwargs):
+    """Build a default-key (deprecated) cache, asserting the warning fires."""
+    with pytest.warns(DeprecationWarning, match="DistanceContext"):
+        return CachedDistance(*args, **kwargs)
+
+
 class TestCachedDistance:
     def test_cache_hit_avoids_recomputation(self):
         counting = CountingDistance(L1Distance())
-        cached = CachedDistance(counting)
+        cached = _identity_cached(counting)
         x, y = np.array([0.0, 0.0]), np.array([1.0, 2.0])
         first = cached(x, y)
         second = cached(x, y)
@@ -82,7 +90,7 @@ class TestCachedDistance:
 
     def test_symmetric_cache_shares_both_orders(self):
         counting = CountingDistance(L1Distance())
-        cached = CachedDistance(counting, symmetric=True)
+        cached = _identity_cached(counting, symmetric=True)
         x, y = np.array([0.0]), np.array([3.0])
         cached(x, y)
         cached(y, x)
@@ -90,11 +98,20 @@ class TestCachedDistance:
 
     def test_asymmetric_cache_keeps_orders_separate(self):
         counting = CountingDistance(L1Distance())
-        cached = CachedDistance(counting, symmetric=False)
+        cached = _identity_cached(counting, symmetric=False)
         x, y = np.array([0.0]), np.array([3.0])
         cached(x, y)
         cached(y, x)
         assert counting.calls == 2
+
+    def test_default_key_emits_deprecation_pointing_at_context(self):
+        """The bare-id() default is deprecated in favour of DistanceContext."""
+        with pytest.warns(DeprecationWarning, match="DistanceContext"):
+            CachedDistance(L1Distance())
+        # An explicit stable key stays warning-free.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            CachedDistance(L1Distance(), key=_content_key)
 
     def test_custom_key_function(self):
         counting = CountingDistance(L1Distance())
@@ -105,7 +122,7 @@ class TestCachedDistance:
         assert counting.calls == 1
 
     def test_clear(self):
-        cached = CachedDistance(L1Distance())
+        cached = _identity_cached(L1Distance())
         x, y = np.array([0.0]), np.array([1.0])
         cached(x, y)
         cached.clear()
@@ -122,7 +139,7 @@ class TestCachedDistance:
         collide with stale entries — so pickling must fail loudly."""
         import pickle
 
-        cached = CachedDistance(L1Distance())
+        cached = _identity_cached(L1Distance())
         assert cached.uses_identity_keys
         with pytest.raises(DistanceError, match="key=id"):
             pickle.dumps(cached)
@@ -141,7 +158,7 @@ class TestCachedDistance:
     def test_identity_keyed_cache_rejected_by_parallel_matrix(self):
         from repro.distances import pairwise_distances
 
-        cached = CachedDistance(L1Distance())
+        cached = _identity_cached(L1Distance())
         objects = [np.array([float(i)]) for i in range(6)]
         with pytest.raises(DistanceError, match="n_jobs"):
             pairwise_distances(cached, objects, n_jobs=2)

@@ -144,3 +144,81 @@ class TestShapeContextDistance:
         dist = ShapeContextDistance(n_points=12, half_window=0, appearance_weight=0.0)
         value = dist(digit_images[4][0], digit_images[4][1])
         assert np.isfinite(value) and value >= 0
+
+
+class TestBatchedShapeContext:
+    """The vectorised compute_many must equal the scalar loop bit for bit."""
+
+    def _images(self, digit_images, n):
+        flat = [img for bank in digit_images.values() for img in bank]
+        return flat[:n]
+
+    def test_compute_many_bit_identical_to_scalar(self, digit_images):
+        images = self._images(digit_images, 12)
+        batched = ShapeContextDistance(n_points=14)
+        scalar = ShapeContextDistance(n_points=14)
+        x = images[0]
+        batch = batched.compute_many(x, images)
+        loop = np.array([scalar.compute(x, y) for y in images])
+        np.testing.assert_array_equal(batch, loop)
+
+    def test_compute_many_without_feature_cache(self, digit_images):
+        images = self._images(digit_images, 8)
+        batched = ShapeContextDistance(n_points=12, cache_features=False)
+        scalar = ShapeContextDistance(n_points=12, cache_features=False)
+        batch = batched.compute_many(images[0], images[1:])
+        loop = np.array([scalar.compute(images[0], y) for y in images[1:]])
+        np.testing.assert_array_equal(batch, loop)
+
+    def test_compute_many_chunking(self, digit_images, monkeypatch):
+        """Forcing tiny chunks must not change the values."""
+        import repro.distances.shape_context as sc_mod
+
+        images = self._images(digit_images, 10)
+        dist = ShapeContextDistance(n_points=12)
+        full = dist.compute_many(images[0], images)
+        original = sc_mod._chi2_cost_tensor
+
+        def tracking(h1, h2_batch):
+            tracking.batch_sizes.append(h2_batch.shape[0])
+            return original(h1, h2_batch)
+
+        tracking.batch_sizes = []
+        monkeypatch.setattr(sc_mod, "_chi2_cost_tensor", tracking)
+        chunked = ShapeContextDistance(n_points=12)
+        values = chunked.compute_many(images[0], images)
+        assert tracking.batch_sizes  # batched kernel actually used
+        np.testing.assert_array_equal(values, full)
+
+    def test_empty_batch(self):
+        dist = ShapeContextDistance(n_points=12)
+        assert dist.compute_many(np.zeros((8, 8)), []).shape == (0,)
+
+    def test_cost_tensor_slices_match_matrix(self, digit_images, rng):
+        from repro.distances.shape_context import (
+            ShapeContextExtractor,
+            _chi2_cost_matrix,
+            _chi2_cost_tensor,
+        )
+
+        extractor = ShapeContextExtractor(n_points=12)
+        images = self._images(digit_images, 6)
+        histograms = [extractor.extract(img)[1] for img in images]
+        tensor = _chi2_cost_tensor(histograms[0], np.stack(histograms[1:]))
+        for t, h in enumerate(histograms[1:]):
+            np.testing.assert_array_equal(tensor[t], _chi2_cost_matrix(histograms[0], h))
+            # The transposed slice is the backward-direction matrix, bitwise.
+            np.testing.assert_array_equal(
+                tensor[t].T, _chi2_cost_matrix(h, histograms[0])
+            )
+
+    def test_pickling_drops_identity_keyed_feature_cache(self, digit_images):
+        import pickle
+
+        images = self._images(digit_images, 4)
+        dist = ShapeContextDistance(n_points=12)
+        value = dist.compute(images[0], images[1])
+        assert len(dist._feature_cache) == 2
+        clone = pickle.loads(pickle.dumps(dist))
+        assert len(clone._feature_cache) == 0
+        assert clone.compute(images[0], images[1]) == value

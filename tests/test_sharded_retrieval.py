@@ -296,7 +296,8 @@ class TestShardedEdgeCases:
 class TestCacheSafetyUnderParallelism:
     def test_identity_keyed_cache_rejected_by_n_jobs(self, l2_setup):
         distance, split, embedding = l2_setup
-        cached = CachedDistance(distance)  # default key=id
+        with pytest.warns(DeprecationWarning, match="DistanceContext"):
+            cached = CachedDistance(distance)  # default key=id
         sharded = ShardedRetriever(cached, split.database, embedding, n_shards=2)
         with pytest.raises(DistanceError, match="key"):
             sharded.query_many(list(split.queries)[:3], k=2, p=8, n_jobs=2)
@@ -306,7 +307,8 @@ class TestCacheSafetyUnderParallelism:
 
     def test_identity_keyed_cache_fine_serially(self, l2_setup):
         distance, split, embedding = l2_setup
-        cached = CachedDistance(distance)
+        with pytest.warns(DeprecationWarning, match="DistanceContext"):
+            cached = CachedDistance(distance)
         sharded = ShardedRetriever(cached, split.database, embedding, n_shards=2)
         flat = FilterRefineRetriever(cached, split.database, embedding)
         assert_results_identical(
