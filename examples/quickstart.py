@@ -1,12 +1,13 @@
 #!/usr/bin/env python
-"""Quickstart: train a query-sensitive embedding and use it for retrieval.
+"""Quickstart: build a query-sensitive EmbeddingIndex and search with it.
 
-This walks through the whole pipeline on a small Euclidean dataset (so it
-runs in a few seconds): train the proposed Se-QS method, inspect the model,
-run filter-and-refine retrieval, and compare its cost and accuracy against
-brute force.
+This walks through the library's front door on a small Euclidean dataset
+(so it runs in a few seconds): build an index (trains the paper's proposed
+Se-QS method once), serve filter-and-refine retrieval through it, compare
+cost and accuracy against the brute-force backend, and look at the
+query-sensitive weights — the paper's core idea.
 
-Run with:  python examples/quickstart.py
+Run with:  PYTHONPATH=src python examples/quickstart.py
 """
 
 from __future__ import annotations
@@ -14,9 +15,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro import (
-    BoostMapTrainer,
-    BruteForceRetriever,
-    FilterRefineRetriever,
+    EmbeddingIndex,
+    IndexConfig,
     L2Distance,
     RetrievalSplit,
     TrainingConfig,
@@ -30,58 +30,64 @@ def main() -> None:
     #    example runs instantly.
     dataset = make_gaussian_clusters(n_objects=300, n_clusters=6, n_dims=6, seed=0)
     split = RetrievalSplit.from_dataset(dataset, n_queries=40, seed=1)
-    distance = L2Distance()
     print(f"database: {split.database_size} objects, queries: {split.query_count}")
 
-    # 2. Train the paper's proposed method (selective triples + query-sensitive
-    #    distance).  The defaults of TrainingConfig are laptop-scale.
-    config = TrainingConfig(
-        n_candidates=80,
-        n_training_objects=80,
-        n_triples=3000,
-        n_rounds=24,
-        classifiers_per_round=40,
-        sampler="selective",
-        query_sensitive=True,
-        kmax=10,
-        seed=2,
+    # 2. Build the index.  This trains the paper's proposed method
+    #    (selective triples + query-sensitive distance) once and wires it
+    #    to a filter-and-refine retriever; the TrainingConfig defaults are
+    #    laptop-scale.
+    config = IndexConfig(
+        training=TrainingConfig(
+            n_candidates=80,
+            n_training_objects=80,
+            n_triples=3000,
+            n_rounds=24,
+            classifiers_per_round=40,
+            sampler="selective",
+            query_sensitive=True,
+            kmax=10,
+            seed=2,
+        ),
+        backend="filter_refine",
     )
-    print(f"training method {config.method_tag} ...")
-    result = BoostMapTrainer(distance, split.database, config).train()
-    model = result.model
-    print(f"  embedding dimensionality: {model.dim}")
-    print(f"  exact distances needed to embed a query: {model.cost}")
-    print(f"  triple training error: {result.final_training_error:.3f}")
+    print(f"building index (method {config.training.method_tag}) ...")
+    with EmbeddingIndex.build(L2Distance(), split.database, config) as index:
+        model = index.embedder
+        print(f"  embedding dimensionality: {index.dim}")
+        print(f"  exact distances needed to embed a query: {index.embedding_cost}")
 
-    # 3. Filter-and-refine retrieval: embed the query, rank the database with
-    #    the query-sensitive L1 distance, refine the top p with exact
-    #    distances.  Cost per query = model.cost + p exact distances.
-    retriever = FilterRefineRetriever(distance, split.database, model)
-    brute = BruteForceRetriever(distance, split.database)
+        # 3. Serve queries: embed the query, rank the database with the
+        #    query-sensitive L1 distance, refine the top p with exact
+        #    distances.  Cost per query = index.embedding_cost + p.
+        k, p = 3, 30
+        approximate = index.query_many(list(split.queries), k=k, p=p)
 
-    k, p = 3, 30
-    correct = 0
-    for query in split.queries:
-        approximate = retriever.query(query, k=k, p=p)
-        exact_indices, _ = brute.query(query, k=k)
-        if set(approximate.neighbor_indices) == set(exact_indices):
-            correct += 1
-    accuracy = correct / split.query_count
-    cost = model.cost + p
-    print(f"\nretrieving all {k} nearest neighbors with p={p}:")
-    print(f"  accuracy: {accuracy:.1%} of queries got all true neighbors")
-    print(f"  cost: {cost} exact distances per query "
-          f"vs {split.database_size} for brute force "
-          f"({split.database_size / cost:.1f}x speed-up)")
+        # The brute-force backend shares the same index (and its distance
+        #    store), so the exact baseline costs nothing extra for pairs
+        #    the filter-refine path already evaluated.
+        index.set_backend("brute_force")
+        exact = index.query_many(list(split.queries), k=k)
 
-    # 4. The query-sensitive weights: different queries emphasise different
-    #    embedding coordinates (the paper's core idea).
-    q1 = model.embed(split.queries[0])
-    q2 = model.embed(split.queries[1])
-    w1, w2 = model.weights(q1), model.weights(q2)
-    changed = int(np.sum(~np.isclose(w1, w2)))
-    print(f"\nquery-sensitive weights: {changed} of {model.dim} coordinate weights "
-          "differ between two example queries")
+        correct = sum(
+            set(a.neighbor_indices) == set(e.neighbor_indices)
+            for a, e in zip(approximate, exact)
+        )
+        accuracy = correct / split.query_count
+        cost = index.embedding_cost + p
+        print(f"\nretrieving all {k} nearest neighbors with p={p}:")
+        print(f"  accuracy: {accuracy:.1%} of queries got all true neighbors")
+        print(f"  cost: {cost} exact distances per query "
+              f"vs {split.database_size} for brute force "
+              f"({split.database_size / cost:.1f}x speed-up)")
+
+        # 4. The query-sensitive weights: different queries emphasise
+        #    different embedding coordinates (the paper's core idea).
+        q1 = model.embed(split.queries[0])
+        q2 = model.embed(split.queries[1])
+        w1, w2 = model.weights(q1), model.weights(q2)
+        changed = int(np.sum(~np.isclose(w1, w2)))
+        print(f"\nquery-sensitive weights: {changed} of {index.dim} coordinate "
+              "weights differ between two example queries")
 
 
 if __name__ == "__main__":

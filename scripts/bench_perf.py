@@ -5,9 +5,13 @@ Times the three hot paths the batch engine rewrote — Sec. 7 distance-table
 builds (DTW and edit distance) and filter-and-refine ``query_many`` — against
 faithful re-implementations of the *seed* per-pair/per-cell Python loops,
 plus the sharded process-parallel ``query_many`` path against the
-single-process engine and a ``context_reuse`` benchmark (cold vs. warm-store
+single-process engine, a ``context_reuse`` benchmark (cold vs. warm-store
 ``run_table1``-shaped pipeline through a ``DistanceContext``; the warm run
-must perform zero exact evaluations for cached pairs, asserted), and
+must perform zero exact evaluations for cached pairs, asserted), and an
+``index_serve`` benchmark (cold ``EmbeddingIndex.build`` + serve vs. warm
+``EmbeddingIndex.open`` + ``query_many`` through one persistent worker
+pool; the warm serve must perform zero exact evaluations and the pool must
+launch exactly once across repeated batches, both asserted), and
 **appends** the measurements to a history record in ``BENCH_perf.json`` so
 regressions are visible across PRs.
 
@@ -411,6 +415,109 @@ def bench_context_reuse(
     }
 
 
+def bench_index_serve(
+    n_database: int,
+    n_queries: int,
+    length: int,
+    n_candidates: int,
+    dim_rounds: int,
+    k: int,
+    p: int,
+    n_jobs: int,
+    n_batches: int,
+) -> dict:
+    """Cold build+serve vs. warm open+serve through ``EmbeddingIndex``.
+
+    The cold phase trains the index and serves ``n_batches`` query batches
+    through its persistent pool (one pool launch, asserted); the warm phase
+    saves the artifact, reopens it against a fresh database copy, and
+    serves the same batches — with **zero** exact evaluations (asserted)
+    and results bit-identical to the cold index's warm state.
+    """
+    import tempfile
+
+    from repro.index import EmbeddingIndex, IndexConfig
+
+    database, queries = make_timeseries_dataset(
+        n_database=n_database,
+        n_queries=n_queries,
+        n_seeds=8,
+        length=length,
+        n_dims=1,
+        seed=23,
+    )
+    query_objects = list(queries)
+    config = IndexConfig(
+        training=TrainingConfig(
+            n_candidates=n_candidates,
+            n_training_objects=n_candidates,
+            n_triples=max(200, 10 * n_candidates),
+            n_rounds=dim_rounds,
+            classifiers_per_round=20,
+            intervals_per_candidate=3,
+            kmax=k,
+            seed=7,
+        ),
+        backend="filter_refine",
+        n_jobs=n_jobs,
+    )
+
+    def cold():
+        index = EmbeddingIndex.build(ConstrainedDTW(), database, config)
+        for _ in range(n_batches):
+            results = index.query_many(query_objects, k=k, p=p, n_jobs=n_jobs)
+        return index, results
+
+    (index, cold_results), cold_seconds = _timed(cold)
+    cold_evaluations = index.distance_evaluations
+    assert index.pool.launches <= 1, (
+        f"expected at most one pool launch, got {index.pool.launches}"
+    )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        artifact = Path(tmp) / "index"
+        index.save(artifact)
+        index.close()
+
+        def warm():
+            reopened = EmbeddingIndex.open(artifact, database)
+            for _ in range(n_batches):
+                results = reopened.query_many(query_objects, k=k, p=p, n_jobs=n_jobs)
+            return reopened, results
+
+        (reopened, warm_results), warm_seconds = _timed(warm)
+
+    # The whole point: the artifact carries the preprocessing, so a warm
+    # open retrains nothing and the store answers every served pair.
+    assert reopened.distance_evaluations == 0, (
+        f"warm open performed {reopened.distance_evaluations} exact "
+        "evaluations; expected 0 for a persisted serve"
+    )
+    assert reopened.pool.launches <= 1
+    for cold_r, warm_r in zip(cold_results, warm_results):
+        assert np.array_equal(cold_r.neighbor_indices, warm_r.neighbor_indices), (
+            "warm index serve disagrees"
+        )
+        assert np.array_equal(cold_r.neighbor_distances, warm_r.neighbor_distances)
+        assert warm_r.refine_distance_computations == 0
+    reopened.close()
+    return {
+        "n_database": n_database,
+        "n_queries": n_queries,
+        "series_length": length,
+        "n_candidates": n_candidates,
+        "k": k,
+        "p": p,
+        "n_jobs": n_jobs,
+        "n_batches": n_batches,
+        "cold_seconds": cold_seconds,
+        "warm_seconds": warm_seconds,
+        "cold_distance_evaluations": cold_evaluations,
+        "warm_distance_evaluations": 0,
+        "speedup": cold_seconds / warm_seconds,
+    }
+
+
 # --------------------------------------------------------------------------- #
 # History + regression gate                                                   #
 # --------------------------------------------------------------------------- #
@@ -514,6 +621,10 @@ def main() -> int:
                 n_database=60, n_queries=8, length=30, n_candidates=20,
                 dim_rounds=5, k=3, p=10,
             ),
+            "index_serve": dict(
+                n_database=60, n_queries=8, length=30, n_candidates=20,
+                dim_rounds=5, k=3, p=10, n_jobs=2, n_batches=2,
+            ),
         }
     else:
         sizes = {
@@ -530,6 +641,10 @@ def main() -> int:
                 n_database=200, n_queries=20, length=50, n_candidates=60,
                 dim_rounds=10, k=5, p=25,
             ),
+            "index_serve": dict(
+                n_database=200, n_queries=20, length=50, n_candidates=60,
+                dim_rounds=10, k=5, p=25, n_jobs=2, n_batches=3,
+            ),
         }
 
     results = {}
@@ -539,6 +654,7 @@ def main() -> int:
         ("query_many", bench_query_many),
         ("sharded_query_many", bench_sharded_query_many),
         ("context_reuse", bench_context_reuse),
+        ("index_serve", bench_index_serve),
     ]:
         print(f"[bench_perf] {name} {sizes[name]} ...", flush=True)
         results[name] = fn(**sizes[name])

@@ -1,0 +1,127 @@
+#!/usr/bin/env python
+"""Smoke-check the EmbeddingIndex public API in well under 10 seconds.
+
+A tier-1-adjacent gate: exercises the whole build → save → open → query
+lifecycle on a tiny Euclidean workload and fails loudly (non-zero exit) if
+any contract breaks — bit-identical warm serving, zero-evaluation opens,
+fingerprint refusal, backend switching, and persistent-pool serving.
+
+Usage::
+
+    python scripts/check_api.py
+
+Exit code 0 = every check passed.  Designed to be cheap enough to run on
+every commit next to the unit-test suite.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+import numpy as np  # noqa: E402
+
+from repro import (  # noqa: E402
+    ArtifactError,
+    EmbeddingIndex,
+    IndexConfig,
+    L2Distance,
+    RetrievalSplit,
+    TrainingConfig,
+    make_gaussian_clusters,
+)
+
+
+def check(condition: bool, label: str) -> None:
+    status = "ok" if condition else "FAIL"
+    print(f"[check_api] {status:4s}  {label}")
+    if not condition:
+        raise AssertionError(label)
+
+
+def main() -> int:
+    start = time.perf_counter()
+    dataset = make_gaussian_clusters(n_objects=120, n_clusters=5, n_dims=5, seed=0)
+    split = RetrievalSplit.from_dataset(dataset, n_queries=12, seed=1)
+    queries = list(split.queries)
+    config = IndexConfig(
+        training=TrainingConfig(
+            n_candidates=25,
+            n_training_objects=25,
+            n_triples=400,
+            n_rounds=8,
+            classifiers_per_round=15,
+            kmax=5,
+            seed=2,
+        ),
+        n_jobs=2,
+    )
+
+    # build + serve (twice: the repeat batch must be store-resident)
+    index = EmbeddingIndex.build(L2Distance(), split.database, config)
+    first = index.query_many(queries, k=3, p=12, n_jobs=2)
+    check(len(first) == len(queries), "build + pooled query_many serves a batch")
+    warm = index.query_many(queries, k=3, p=12, n_jobs=2)
+    check(
+        all(r.refine_distance_computations == 0 for r in warm),
+        "repeated batch is store-resident (zero refine evaluations)",
+    )
+    check(index.pool.launches <= 1, "one persistent pool launch per index")
+
+    # backend switch reuses everything
+    index.set_backend("sharded")
+    sharded = index.query_many(queries, k=3, p=12)
+    check(
+        all(
+            np.array_equal(a.neighbor_indices, b.neighbor_indices)
+            for a, b in zip(warm, sharded)
+        ),
+        "backend switch is result-identical",
+    )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        artifact = Path(tmp) / "index"
+
+        # save → open round trip
+        index.save(artifact)
+        index.close()
+        reopened = EmbeddingIndex.open(artifact, split.database)
+        served = reopened.query_many(queries, k=3, p=12)
+        check(
+            all(
+                np.array_equal(a.neighbor_indices, b.neighbor_indices)
+                and np.array_equal(a.neighbor_distances, b.neighbor_distances)
+                and a.total_distance_computations == b.total_distance_computations
+                for a, b in zip(warm, served)
+            ),
+            "open serves bit-identically (neighbors + per-query cost)",
+        )
+        check(
+            reopened.distance_evaluations == 0,
+            "warm open performs zero exact evaluations",
+        )
+        reopened.close()
+
+        # fingerprint handshake
+        other = make_gaussian_clusters(n_objects=108, n_clusters=5, n_dims=5, seed=9)
+        try:
+            EmbeddingIndex.open(artifact, other)
+            check(False, "fingerprint mismatch is refused")
+        except ArtifactError:
+            check(True, "fingerprint mismatch is refused")
+
+    elapsed = time.perf_counter() - start
+    check(elapsed < 10.0, f"lifecycle fits the smoke budget ({elapsed:.1f}s < 10s)")
+    print(f"[check_api] all checks passed in {elapsed:.1f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

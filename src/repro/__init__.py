@@ -8,20 +8,37 @@ evaluation harness that regenerates the paper's figures and tables.
 
 Quick start
 -----------
+The front door is :class:`~repro.index.embedding_index.EmbeddingIndex` —
+build it once over a database (training the paper's proposed Se-QS method),
+query it, save it, reopen it with zero retraining:
+
 >>> from repro import (
-...     L2Distance, make_gaussian_clusters, RetrievalSplit,
-...     BoostMapTrainer, TrainingConfig, FilterRefineRetriever,
+...     EmbeddingIndex, IndexConfig, L2Distance, RetrievalSplit,
+...     TrainingConfig, make_gaussian_clusters,
 ... )
 >>> dataset = make_gaussian_clusters(n_objects=120, seed=0)
 >>> split = RetrievalSplit.from_dataset(dataset, n_queries=20, seed=1)
->>> config = TrainingConfig(n_candidates=40, n_training_objects=40,
-...                         n_triples=400, n_rounds=8,
-...                         classifiers_per_round=20, seed=2)
->>> result = BoostMapTrainer(L2Distance(), split.database, config).train()
->>> retriever = FilterRefineRetriever(L2Distance(), split.database, result.model)
->>> hit = retriever.query(split.queries[0], k=1, p=10)
+>>> config = IndexConfig(training=TrainingConfig(
+...     n_candidates=40, n_training_objects=40, n_triples=400,
+...     n_rounds=8, classifiers_per_round=20, seed=2))
+>>> index = EmbeddingIndex.build(L2Distance(), split.database, config)
+>>> hit = index.query(split.queries[0], k=1, p=10)
 >>> hit.total_distance_computations < len(split.database)
 True
+
+``index.save(directory)`` persists the trained model, the embedded
+database and the warm distance store as one versioned artifact;
+``EmbeddingIndex.open(directory, database)`` restores it (dataset
+fingerprint verified) and serves previously-evaluated pairs for free.
+``index.query_many(queries, k, p, n_jobs=...)`` batches queries through
+one persistent pool of worker processes, and the retriever backend —
+``"filter_refine"`` (default), ``"sharded"``, ``"brute_force"``, or a
+:func:`~repro.index.embedding_index.register_backend`-ed third-party
+engine — is switchable without re-evaluating anything.
+
+The layers underneath (``BoostMapTrainer``, the retrievers,
+``DistanceContext``) remain public for experiments that need them;
+see the module docstrings and ``examples/``.
 """
 
 from repro.exceptions import (
@@ -34,6 +51,7 @@ from repro.exceptions import (
     RetrievalError,
     ExperimentError,
     SerializationError,
+    ArtifactError,
 )
 from repro.distances import (
     DistanceMeasure,
@@ -106,7 +124,14 @@ from repro.retrieval import (
     DynamicDatabase,
     DriftMonitor,
 )
-from repro.index import VPTree
+from repro.index import (
+    EmbeddingIndex,
+    IndexConfig,
+    PersistentPool,
+    VPTree,
+    available_backends,
+    register_backend,
+)
 
 __version__ = "1.0.0"
 
@@ -122,6 +147,7 @@ __all__ = [
     "RetrievalError",
     "ExperimentError",
     "SerializationError",
+    "ArtifactError",
     # distances
     "DistanceMeasure",
     "FunctionDistance",
@@ -189,5 +215,10 @@ __all__ = [
     "DynamicDatabase",
     "DriftMonitor",
     # index
+    "EmbeddingIndex",
+    "IndexConfig",
+    "PersistentPool",
+    "available_backends",
+    "register_backend",
     "VPTree",
 ]

@@ -29,7 +29,6 @@ wrapped measure's vectorised kernels.
 
 from __future__ import annotations
 
-import warnings
 from abc import ABC, abstractmethod
 from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
@@ -187,34 +186,31 @@ class CachedDistance(DistanceMeasure):
 
     Useful during training, where the same pairs (candidate object, training
     object) are needed by many weak classifiers.  The cache requires a
-    ``key`` function mapping objects to hashable identifiers; by default the
-    object's ``id()`` is used, which is correct as long as the same Python
-    objects are reused (the dataset containers in :mod:`repro.datasets`
-    guarantee this) **and the cache never crosses a process boundary**.
+    ``key`` function mapping objects to hashable identifiers — there is no
+    default.  The historical bare-``id()`` default was removed (it was
+    deprecated first): identity keys cannot cross a process boundary or an
+    experiment run, and their silent failure modes (dead cache, id-reuse
+    collisions) are exactly what
+    :class:`repro.distances.context.DistanceContext` — the supported shared
+    cache, keyed by stable dataset indices with disk persistence — exists
+    to fix.  Constructing a ``CachedDistance`` without a ``key`` now raises
+    :class:`~repro.exceptions.DistanceError`.
 
-    .. deprecated::
-        The bare ``id()`` default is deprecated (a
-        :class:`DeprecationWarning` is emitted at construction): identity
-        keys cannot cross a process boundary or an experiment run.  Use
-        :class:`repro.distances.context.DistanceContext` — the supported
-        shared cache for ``n_jobs`` pipelines, keyed by stable dataset
-        indices with disk persistence — or pass an explicit stable ``key``
-        function.
-
-    Identity keys do not survive pickling: a worker process unpickles
-    *copies* of every object, so ``id()`` keys computed there never match the
-    entries pickled with the cache (dead weight), and once the parent's
-    originals are garbage collected a reused id can collide with a stale
-    entry and return a wrong distance.  An identity-keyed cache therefore
-    refuses to be pickled (:meth:`__getstate__` raises
-    :class:`~repro.exceptions.DistanceError`), and every ``n_jobs`` pipeline
-    rejects it up front through
-    :func:`repro.distances.parallel.ensure_parallel_safe`.
+    Passing ``key=id`` *explicitly* is still accepted for single-process,
+    single-run memoisation, but such a cache is flagged
+    (:attr:`uses_identity_keys`): identity keys do not survive pickling — a
+    worker process unpickles *copies* of every object, so ``id()`` keys
+    computed there never match the entries pickled with the cache (dead
+    weight), and once the parent's originals are garbage collected a reused
+    id can collide with a stale entry and return a wrong distance.  An
+    identity-keyed cache therefore refuses to be pickled
+    (:meth:`__getstate__` raises) and every ``n_jobs`` pipeline rejects it
+    up front through :func:`repro.distances.parallel.ensure_parallel_safe`.
 
     Note that caching sits *above* counting when composed as
-    ``CachedDistance(CountingDistance(d))``: cache hits are then free, which
-    models the paper's setting where precomputed training distances are a
-    one-time preprocessing cost.
+    ``CachedDistance(CountingDistance(d), key=...)``: cache hits are then
+    free, which models the paper's setting where precomputed training
+    distances are a one-time preprocessing cost.
     """
 
     def __init__(
@@ -226,21 +222,21 @@ class CachedDistance(DistanceMeasure):
         if not isinstance(base, DistanceMeasure):
             raise DistanceError("CachedDistance wraps a DistanceMeasure")
         if key is None:
-            warnings.warn(
-                "CachedDistance with the default key=id is deprecated: "
-                "identity keys cannot cross a process boundary or an "
-                "experiment run. Use repro.distances.DistanceContext (a "
-                "stable dataset-index keyed, persistable cache and the "
-                "supported n_jobs path) or pass an explicit stable key "
-                "function.",
-                DeprecationWarning,
-                stacklevel=2,
+            raise DistanceError(
+                "CachedDistance requires an explicit key function: the old "
+                "bare key=id default has been removed because identity keys "
+                "cannot cross a process boundary or an experiment run. Use "
+                "repro.distances.DistanceContext — the supported shared "
+                "cache, keyed by stable dataset indices with disk "
+                "persistence — or pass a stable key function (a dataset "
+                "index or content hash; key=id explicitly for "
+                "single-process memoisation)."
             )
         self.base = base
         self.name = f"cached({base.name})"
         self.is_metric = base.is_metric
-        self._key = key if key is not None else id
-        self._identity_keys = key is None
+        self._key = key
+        self._identity_keys = key is id
         self._symmetric = bool(symmetric)
         self._cache: Dict[Tuple[Hashable, Hashable], float] = {}
         self.hits = 0
@@ -248,7 +244,7 @@ class CachedDistance(DistanceMeasure):
 
     @property
     def uses_identity_keys(self) -> bool:
-        """``True`` when the cache relies on the default ``key=id``.
+        """``True`` when the cache relies on ``key=id``.
 
         Identity keys are only valid inside one process while the original
         objects are alive; parallel pipelines check this flag to reject the
@@ -259,7 +255,7 @@ class CachedDistance(DistanceMeasure):
     def __getstate__(self) -> Dict[str, Any]:
         if self._identity_keys:
             raise DistanceError(
-                "cannot pickle a CachedDistance that uses the default key=id: "
+                "cannot pickle a CachedDistance that uses identity (key=id) keys: "
                 "identity keys do not survive the process boundary (unpickled "
                 "object copies get fresh ids, and reused ids can collide with "
                 "stale entries). Use repro.distances.DistanceContext — the "

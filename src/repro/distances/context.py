@@ -61,6 +61,7 @@ from __future__ import annotations
 import hashlib
 import json
 import pickle
+from collections import OrderedDict
 from pathlib import Path
 from typing import (
     Any,
@@ -83,6 +84,7 @@ from repro.distances.parallel import (
     split_counting,
 )
 from repro.exceptions import DistanceError
+from repro.utils.io import atomic_replace
 
 __all__ = [
     "DistanceContext",
@@ -219,15 +221,64 @@ class DistanceStore:
     fingerprint:
         Hex fingerprint of the object universe the indices refer to; stores
         with mismatched fingerprints refuse to merge or load.
+    max_sparse_entries:
+        Optional bound on the number of *sparse* entries.  When set, the
+        sparse dict behaves as an LRU: a :meth:`get` hit refreshes the
+        entry, a :meth:`put` beyond the bound evicts the least recently
+        used pairs (:attr:`sparse_evictions` counts them).  Dense array
+        blocks are never evicted — they are the shape of the training
+        tables and ground-truth matrices whose reuse is the point of the
+        store; the bound targets the scattered refine/anchor pairs that
+        otherwise grow without limit over a serving lifetime.  Evicting a
+        pair only costs a potential re-evaluation later; results stay
+        identical.
     """
 
     def __init__(
-        self, symmetric: bool = True, fingerprint: Optional[str] = None
+        self,
+        symmetric: bool = True,
+        fingerprint: Optional[str] = None,
+        max_sparse_entries: Optional[int] = None,
     ) -> None:
         self.symmetric = bool(symmetric)
         self.fingerprint = fingerprint
         self._blocks: List[_DenseBlock] = []
-        self._sparse: Dict[Tuple[int, int], float] = {}
+        self._sparse: "OrderedDict[Tuple[int, int], float]" = OrderedDict()
+        self._max_sparse_entries: Optional[int] = None
+        self.max_sparse_entries = max_sparse_entries
+        #: Sparse entries dropped by the LRU bound so far.
+        self.sparse_evictions = 0
+
+    # -- sparse bound ---------------------------------------------------
+
+    @property
+    def max_sparse_entries(self) -> Optional[int]:
+        """The sparse-entry bound (``None`` = unbounded)."""
+        return self._max_sparse_entries
+
+    @max_sparse_entries.setter
+    def max_sparse_entries(self, bound: Optional[int]) -> None:
+        if bound is not None:
+            bound = int(bound)
+            if bound < 1:
+                raise DistanceError(
+                    f"max_sparse_entries must be a positive integer, got {bound}"
+                )
+        self._max_sparse_entries = bound
+        self._evict_over_bound()
+
+    @property
+    def n_sparse_entries(self) -> int:
+        """Current number of sparse entries (excludes dense-block cells)."""
+        return len(self._sparse)
+
+    def _evict_over_bound(self) -> None:
+        bound = self._max_sparse_entries
+        if bound is None:
+            return
+        while len(self._sparse) > bound:
+            self._sparse.popitem(last=False)
+            self.sparse_evictions += 1
 
     # -- keys -----------------------------------------------------------
 
@@ -248,11 +299,19 @@ class DistanceStore:
                 value = block.get(j, i)
             if value is not None:
                 return value
-        return self._sparse.get(self._key(i, j))
+        key = self._key(i, j)
+        value = self._sparse.get(key)
+        if value is not None and self._max_sparse_entries is not None:
+            self._sparse.move_to_end(key)
+        return value
 
     def put(self, i: int, j: int, value: float) -> None:
         """Record one evaluated pair (sparse backing)."""
-        self._sparse[self._key(int(i), int(j))] = float(value)
+        key = self._key(int(i), int(j))
+        self._sparse[key] = float(value)
+        if self._max_sparse_entries is not None:
+            self._sparse.move_to_end(key)
+            self._evict_over_bound()
 
     def put_block(
         self,
@@ -301,13 +360,20 @@ class DistanceStore:
             )
         self._blocks.extend(other._blocks)
         self._sparse.update(other._sparse)
+        self._evict_over_bound()
         if self.fingerprint is None:
             self.fingerprint = other.fingerprint
 
     # -- persistence ----------------------------------------------------
 
     def save(self, path) -> None:
-        """Persist the store to a ``.npz`` file (bit-exact round trip)."""
+        """Persist the store to a ``.npz`` file (bit-exact round trip).
+
+        The write is atomic: the payload goes to a temporary sibling file
+        which is then renamed over ``path``, so a crash mid-save can never
+        leave a truncated store behind (and an existing store file survives
+        a failed save untouched).
+        """
         path = Path(path)
         meta = {
             "version": STORE_FORMAT_VERSION,
@@ -335,8 +401,9 @@ class DistanceStore:
         # Write through a file handle: np.savez_compressed given a *path*
         # silently appends ".npz" to suffix-less names, which would make
         # save/load disagree about where the store lives.
-        with open(path, "wb") as handle:
-            np.savez_compressed(handle, **payload)
+        with atomic_replace(path) as tmp_path:
+            with open(tmp_path, "wb") as handle:
+                np.savez_compressed(handle, **payload)
 
     @classmethod
     def load(cls, path, expected_fingerprint: Optional[str] = None) -> "DistanceStore":
@@ -434,6 +501,14 @@ class DistanceContext(DistanceMeasure):
     store:
         Optional pre-existing :class:`DistanceStore`; its fingerprint must
         match the universe.
+    max_sparse_entries:
+        Optional bound on the store's sparse entries (LRU eviction; dense
+        blocks are kept).  Applied to the supplied ``store`` as well.
+    pool:
+        Optional :class:`~repro.index.pool.PersistentPool` used by every
+        batched primitive instead of per-call worker pools.  The pool is
+        borrowed, never owned: the context does not close it, and it is
+        dropped (not pickled) when the context is serialized.
     """
 
     #: Duck-typed marker checked by :func:`repro.distances.parallel.
@@ -447,6 +522,8 @@ class DistanceContext(DistanceMeasure):
         symmetric: bool = True,
         n_jobs: Optional[int] = None,
         store: Optional[DistanceStore] = None,
+        max_sparse_entries: Optional[int] = None,
+        pool: Optional[Any] = None,
     ) -> None:
         if isinstance(distance, DistanceContext):
             raise DistanceError("a DistanceContext cannot wrap another context")
@@ -460,10 +537,15 @@ class DistanceContext(DistanceMeasure):
         if not self.objects:
             raise DistanceError("a DistanceContext needs at least one object")
         self.n_jobs = n_jobs
+        self.pool = pool
         self._digests = [object_digest(obj) for obj in self.objects]
         fingerprint = _combine_digests(self._digests)
         if store is None:
-            store = DistanceStore(symmetric=symmetric, fingerprint=fingerprint)
+            store = DistanceStore(
+                symmetric=symmetric,
+                fingerprint=fingerprint,
+                max_sparse_entries=max_sparse_entries,
+            )
         else:
             if not isinstance(store, DistanceStore):
                 raise DistanceError("store must be a DistanceStore")
@@ -474,17 +556,36 @@ class DistanceContext(DistanceMeasure):
                     "the supplied store was built for a different object "
                     "universe (dataset fingerprint mismatch)"
                 )
+            if max_sparse_entries is not None:
+                store.max_sparse_entries = max_sparse_entries
         self.store = store
         self._rebuild_index()
 
     # -- identity / pickling -------------------------------------------
 
+    #: How many content-matched duplicates keep a fast identity mapping.
+    #: Bounds parent-side memory in a serving loop where every request
+    #: carries fresh copies of known queries; an evicted duplicate simply
+    #: re-matches by digest on its next registration.
+    ADOPTED_CACHE_SIZE = 1024
+
     def _rebuild_index(self) -> None:
         self._index_by_id = {id(obj): i for i, obj in enumerate(self.objects)}
+        self._index_by_digest: Optional[Dict[bytes, int]] = None
+        # Objects that adopted an existing index via content matching,
+        # keyed by their id; held (LRU-bounded) so the ids serving as
+        # _index_by_id keys cannot be recycled while mapped.
+        self._adopted: "OrderedDict[int, Any]" = OrderedDict()
 
     def __getstate__(self) -> Dict[str, Any]:
         state = self.__dict__.copy()
         state.pop("_index_by_id", None)
+        state.pop("_index_by_digest", None)
+        # Identity-keyed bookkeeping is rebuilt on load; content-matched
+        # duplicates re-adopt on their next register call.
+        state.pop("_adopted", None)
+        # Worker pools hold live processes; a pickled copy starts pool-less.
+        state["pool"] = None
         return state
 
     def __setstate__(self, state: Dict[str, Any]) -> None:
@@ -503,6 +604,21 @@ class DistanceContext(DistanceMeasure):
         """Content fingerprint of the universe (recorded with the store)."""
         return self.store.fingerprint
 
+    def prefix_fingerprint(self, n: int) -> str:
+        """Fingerprint of the first ``n`` universe objects.
+
+        Universe construction is append-only, so the prefix holding a
+        retrieval database keeps a stable fingerprint however many queries
+        are registered afterwards — this is what an
+        :class:`~repro.index.embedding_index.EmbeddingIndex` artifact
+        records to verify the database it is reopened against.
+        """
+        if not 0 <= n <= len(self._digests):
+            raise DistanceError(
+                f"prefix length must be in [0, {len(self._digests)}], got {n}"
+            )
+        return _combine_digests(self._digests[:n])
+
     @property
     def distance_evaluations(self) -> int:
         """Exact base-measure evaluations performed so far (hits are free)."""
@@ -511,6 +627,28 @@ class DistanceContext(DistanceMeasure):
     def reset_evaluations(self) -> int:
         """Reset the evaluation counter, returning the previous total."""
         return self.counting.reset()
+
+    def _pool_for(self, n_workers: int) -> Optional[Any]:
+        """The persistent pool to run an ``n_workers`` fan-out on, if any.
+
+        A 1-worker pool cannot honour a multi-worker request — routing it
+        there would serialize the whole batch through one process — so such
+        requests fall back to a per-call executor of the requested size.
+        A multi-worker pool serves every request (a call asking for more
+        workers than the pool holds is clamped by pool capacity; reusing
+        warm workers beats respawning wider ones).
+        """
+        pool = self.pool
+        if pool is None:
+            return None
+        if getattr(pool, "closed", False):
+            # A borrowed pool whose owner shut it down: detach and fall
+            # back to per-call executors instead of erroring forever.
+            self.pool = None
+            return None
+        if pool.n_workers <= 1 and n_workers > pool.n_workers:
+            return None
+        return pool
 
     def index_of(self, obj: Any) -> Optional[int]:
         """Universe index of an object (by identity), or ``None``.
@@ -536,26 +674,79 @@ class DistanceContext(DistanceMeasure):
             indices.append(index)
         return np.asarray(indices, dtype=int)
 
-    def register(self, objects: Iterable[Any]) -> np.ndarray:
+    def _digest_index(self) -> Dict[bytes, int]:
+        """Lazy content-digest → universe-index map (first occurrence wins)."""
+        if self._index_by_digest is None:
+            mapping: Dict[bytes, int] = {}
+            for i, digest in enumerate(self._digests):
+                mapping.setdefault(digest, i)
+            self._index_by_digest = mapping
+        return self._index_by_digest
+
+    def register(
+        self, objects: Iterable[Any], match_content: bool = False
+    ) -> np.ndarray:
         """Append objects to the universe, returning their stable indices.
 
         Already-known objects keep their existing index.  Registration
         extends the fingerprint (append-only, so previously stored pairs
         stay valid), which means a store persisted *after* a registration
         only reloads into a context whose universe was built the same way.
+
+        With ``match_content=True`` an object whose content digest equals an
+        existing universe member adopts that member's index instead of being
+        appended — this is how a reopened
+        :class:`~repro.index.embedding_index.EmbeddingIndex` maps the
+        caller's *equal-but-distinct* query objects back onto the store
+        entries persisted for them (unpickled copies never share ``id()``).
+        Identity registration keeps the default because equal content at a
+        new index is sometimes intentional (e.g. duplicate-object tests).
         """
         indices = []
+        changed = False
+        adopted_this_call: set = set()
         for obj in objects:
             existing = self._index_by_id.get(id(obj))
             if existing is not None:
+                if id(obj) in self._adopted:
+                    # Keep hot duplicates recent so they outlive cold ones.
+                    self._adopted.move_to_end(id(obj))
+                    adopted_this_call.add(id(obj))
                 indices.append(existing)
                 continue
+            digest = object_digest(obj)
+            if match_content:
+                known = self._digest_index().get(digest)
+                if known is not None:
+                    # Adopt the stored index; remember the identity so the
+                    # next lookup of this exact object is one dict probe.
+                    # The adopted object must stay alive while mapped
+                    # (a recycled id would alias a stale entry), so it
+                    # joins a bounded LRU; eviction drops both sides — but
+                    # never an entry from the current call, whose mapping
+                    # the caller is about to rely on (a batch larger than
+                    # the bound must stay fully mapped until served).
+                    self._index_by_id[id(obj)] = known
+                    self._adopted[id(obj)] = obj
+                    adopted_this_call.add(id(obj))
+                    while len(self._adopted) > self.ADOPTED_CACHE_SIZE:
+                        old_id = next(iter(self._adopted))
+                        if old_id in adopted_this_call:
+                            break
+                        del self._adopted[old_id]
+                        self._index_by_id.pop(old_id, None)
+                    indices.append(known)
+                    continue
             index = len(self.objects)
             self.objects.append(obj)
-            self._digests.append(object_digest(obj))
+            self._digests.append(digest)
             self._index_by_id[id(obj)] = index
+            if self._index_by_digest is not None:
+                self._index_by_digest.setdefault(digest, index)
             indices.append(index)
-        self.store.fingerprint = _combine_digests(self._digests)
+            changed = True
+        if changed:
+            self.store.fingerprint = _combine_digests(self._digests)
         return np.asarray(indices, dtype=int)
 
     # -- persistence ----------------------------------------------------
@@ -611,8 +802,10 @@ class DistanceContext(DistanceMeasure):
             )
             for j, slot in miss_slot.items():
                 self.store.put(query_index, j, float(fresh[slot]))
+            # Fill from the computed batch, not the store: a bounded store
+            # may already have evicted the earliest entries of this batch.
             for pos, j in pending:
-                values[pos] = self.store.get(query_index, j)
+                values[pos] = float(fresh[miss_slot[j]])
         return values, len(miss_targets)
 
     def distances_to(self, obj: Any, target_indices: Sequence[int]) -> np.ndarray:
@@ -702,8 +895,12 @@ class DistanceContext(DistanceMeasure):
             counts.append(len(miss_targets))
             plans.append((query_index, pending, miss_slot, miss_targets, deferred))
 
+        computed_this_call: Dict[Tuple[int, int], float] = {}
         if items:
-            by_query = parallel_refine(inner, [self.objects], items, n_workers)
+            by_query = parallel_refine(
+                inner, [self.objects], items, n_workers,
+                pool=self._pool_for(n_workers),
+            )
             total_computed = 0
             for qi, (query_index, pending, miss_slot, miss_targets, _deferred) in enumerate(
                 plans
@@ -717,18 +914,27 @@ class DistanceContext(DistanceMeasure):
                         values_list[qi][pos] = fresh[pos]
                     continue
                 for j, slot in miss_slot.items():
-                    self.store.put(query_index, j, float(fresh[slot]))
+                    value = float(fresh[slot])
+                    self.store.put(query_index, j, value)
+                    computed_this_call[self.store._key(query_index, j)] = value
+                # Fill from the computed batch (eviction-safe, see
+                # _values_for).
                 for pos, j in pending:
-                    values_list[qi][pos] = self.store.get(query_index, j)
+                    values_list[qi][pos] = float(fresh[miss_slot[j]])
             for counter in counters:
                 counter.calls += total_computed
         # Deferred pairs were computed under another query's plan and are in
-        # the store now (free for this query, like a serial store hit).
+        # the store now (free for this query, like a serial store hit); a
+        # bounded store may have evicted them again, so fall back to the
+        # values recorded for this call.
         for qi, (query_index, _pending, _miss_slot, _miss_targets, deferred) in enumerate(
             plans
         ):
             for pos, j in deferred:
-                values_list[qi][pos] = self.store.get(query_index, j)
+                cached = self.store.get(query_index, j)
+                if cached is None:
+                    cached = computed_this_call[self.store._key(query_index, j)]
+                values_list[qi][pos] = cached
         return values_list, counts
 
     # -- matrix primitives ----------------------------------------------
@@ -852,7 +1058,10 @@ class DistanceContext(DistanceMeasure):
                 )
                 for r in rows_with_work
             ]
-            by_row = parallel_refine(inner, [self.objects], items, n_workers)
+            by_row = parallel_refine(
+                inner, [self.objects], items, n_workers,
+                pool=self._pool_for(n_workers),
+            )
             computed = 0
             for r in rows_with_work:
                 fresh = np.asarray(by_row[r], dtype=float)
@@ -956,8 +1165,9 @@ class DistanceContext(DistanceMeasure):
             fresh = self.counting.compute_pairs(miss_xs, miss_ys)
             for key, slot in miss_slot.items():
                 self.store.put(key[0], key[1], float(fresh[slot]))
+            # Fill from the computed batch (eviction-safe, see _values_for).
             for pos, (i, j) in pending:
-                values[pos] = self.store.get(i, j)
+                values[pos] = float(fresh[miss_slot[self.store._key(i, j)]])
         if unknown_positions:
             values[unknown_positions] = self.counting.compute_pairs(
                 [xs[pos] for pos in unknown_positions],

@@ -108,6 +108,9 @@ def pairwise_distances(
     n_jobs:
         Number of worker processes; ``None``/``0``/``1`` = serial (default),
         ``-1`` = all CPUs.  Requires a picklable measure and objects.
+        A context-backed build (``distance`` is a
+        :class:`~repro.distances.context.DistanceContext`) additionally
+        reuses the context's persistent worker pool, when it has one.
     """
     if not isinstance(distance, DistanceMeasure):
         raise DistanceError("distance must be a DistanceMeasure instance")

@@ -32,12 +32,22 @@ Two pool shapes are provided:
 Worker state (the measure and the object collections) is installed once per
 worker by a pool initializer, so large databases are pickled once per worker
 instead of once per task.
+
+Both entry points accept an optional
+:class:`~repro.index.pool.PersistentPool`: instead of spinning up (and
+tearing down) a throwaway ``ProcessPoolExecutor`` per call, the work runs on
+the pool's long-lived workers, and a worker state reused across calls — the
+serving loop of an :class:`~repro.index.embedding_index.EmbeddingIndex`
+issuing ``query_many`` batches against one database — is shipped to each
+worker once for the pool's lifetime.  Results and cost accounting are
+identical either way.
 """
 
 from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
+from functools import partial
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -122,7 +132,7 @@ def ensure_parallel_safe(distance: DistanceMeasure) -> None:
             )
         if isinstance(distance, CachedDistance) and distance.uses_identity_keys:
             raise DistanceError(
-                "CachedDistance with the default key=id cannot be used with "
+                "CachedDistance with identity (key=id) keys cannot be used with "
                 "n_jobs > 1: worker processes unpickle copies of every object, "
                 "so identity keys never match across the process boundary and "
                 "can collide after id reuse. Use repro.distances."
@@ -153,19 +163,19 @@ def _rows_pool_init(
     _POOL_STATE["columns"] = columns
 
 
-def pool_full_rows(indices: Sequence[int]) -> List[np.ndarray]:
+def pool_full_rows(state: Dict[str, Any], indices: Sequence[int]) -> List[np.ndarray]:
     """Worker task: full rows against every column object."""
-    distance = _POOL_STATE["distance"]
-    rows = _POOL_STATE["rows"]
-    columns = _POOL_STATE["columns"]
+    distance = state["distance"]
+    rows = state["rows"]
+    columns = state["columns"]
     return [np.asarray(distance.compute_many(rows[i], columns)) for i in indices]
 
 
-def pool_upper_rows(indices: Sequence[int]) -> List[np.ndarray]:
+def pool_upper_rows(state: Dict[str, Any], indices: Sequence[int]) -> List[np.ndarray]:
     """Worker task: strict-upper-triangle rows (symmetric pairwise case)."""
-    distance = _POOL_STATE["distance"]
-    rows = _POOL_STATE["rows"]
-    columns = _POOL_STATE["columns"]
+    distance = state["distance"]
+    rows = state["rows"]
+    columns = state["columns"]
     out = []
     for i in indices:
         tail = columns[i + 1 :]
@@ -176,11 +186,16 @@ def pool_upper_rows(indices: Sequence[int]) -> List[np.ndarray]:
     return out
 
 
+def _oneshot_task(task: Callable[[Dict[str, Any], Any], Any], chunk: Any) -> Any:
+    """Adapter for the one-shot executor path: bind the initializer state."""
+    return task(_POOL_STATE, chunk)
+
+
 def parallel_rows(
     distance: DistanceMeasure,
     rows: List[Any],
     columns: List[Any],
-    task: Callable[[Sequence[int]], List[np.ndarray]],
+    task: Callable[[Dict[str, Any], Sequence[int]], List[np.ndarray]],
     n_workers: int,
     progress: Optional[ProgressCallback],
 ) -> List[np.ndarray]:
@@ -188,7 +203,10 @@ def parallel_rows(
 
     ``distance`` must already be parallel-safe (see
     :func:`ensure_parallel_safe`) and stripped of parent-side counters
-    (see :func:`split_counting`).
+    (see :func:`split_counting`).  Persistent-pool reuse happens one layer
+    up: a :class:`~repro.distances.context.DistanceContext` build routes
+    its missing pairs through :func:`parallel_refine` with the context's
+    pool instead of coming here.
     """
     chunks = row_chunks(len(rows), n_workers)
     results: List[Optional[np.ndarray]] = [None] * len(rows)
@@ -197,8 +215,9 @@ def parallel_rows(
         max_workers=n_workers,
         initializer=_rows_pool_init,
         initargs=(distance, rows, columns),
-    ) as pool:
-        for chunk, chunk_rows in zip(chunks, pool.map(task, chunks)):
+    ) as executor:
+        bound = partial(_oneshot_task, task)
+        for chunk, chunk_rows in zip(chunks, executor.map(bound, chunks)):
             for i, row in zip(chunk, chunk_rows):
                 results[i] = row
             done += len(chunk)
@@ -218,6 +237,7 @@ def _refine_pool_init(distance: DistanceMeasure, shards: List[List[Any]]) -> Non
 
 
 def _pool_refine_chunk(
+    state: Dict[str, Any],
     items: Sequence[Tuple[Any, Any, int, np.ndarray]],
 ) -> List[Tuple[Any, np.ndarray]]:
     """Worker task: exact distances from each query to its shard candidates.
@@ -227,8 +247,8 @@ def _pool_refine_chunk(
     evaluated in ``local_indices`` order, so asymmetric measures keep the
     query as the first argument exactly as in the serial path.
     """
-    distance = _POOL_STATE["distance"]
-    shards = _POOL_STATE["shards"]
+    distance = state["distance"]
+    shards = state["shards"]
     out = []
     for key, query, shard_id, local_indices in items:
         shard = shards[shard_id]
@@ -237,11 +257,21 @@ def _pool_refine_chunk(
     return out
 
 
+def _refine_signature(distance: DistanceMeasure, shards: List[List[Any]]) -> Tuple:
+    """Persistent-pool state signature for refine work (see `_rows_signature`)."""
+    return (
+        "refine",
+        id(distance),
+        tuple((id(shard), len(shard)) for shard in shards),
+    )
+
+
 def parallel_refine(
     distance: DistanceMeasure,
     shards: List[List[Any]],
     items: Sequence[RefineItem],
     n_workers: int,
+    pool: Optional[Any] = None,
 ) -> Dict[Any, np.ndarray]:
     """Evaluate refine work items over a process pool.
 
@@ -259,17 +289,34 @@ def parallel_refine(
         must be unique (and hashable); the mapping they index is returned.
     n_workers:
         Pool size; callers should fall back to a serial loop when 1.
+    pool:
+        Optional :class:`~repro.index.pool.PersistentPool`.  When given, the
+        items run on its long-lived workers and the (distance, shards) state
+        is shipped once per worker per pool lifetime instead of once per
+        call; ``n_workers`` only shapes the chunking then.
     """
     item_list = list(items)
     chunks = row_chunks(len(item_list), n_workers)
+    payloads = [[item_list[i] for i in chunk] for chunk in chunks]
     results: Dict[Any, np.ndarray] = {}
+    if pool is not None:
+        chunk_results = pool.run(
+            _pool_refine_chunk,
+            {"distance": distance, "shards": shards},
+            payloads,
+            signature=_refine_signature(distance, shards),
+        )
+        for chunk_result in chunk_results:
+            for key, values in chunk_result:
+                results[key] = values
+        return results
     with ProcessPoolExecutor(
         max_workers=n_workers,
         initializer=_refine_pool_init,
         initargs=(distance, shards),
-    ) as pool:
-        payloads = [[item_list[i] for i in chunk] for chunk in chunks]
-        for chunk_result in pool.map(_pool_refine_chunk, payloads):
+    ) as executor:
+        bound = partial(_oneshot_task, _pool_refine_chunk)
+        for chunk_result in executor.map(bound, payloads):
             for key, values in chunk_result:
                 results[key] = values
     return results

@@ -43,3 +43,7 @@ class ExperimentError(ReproError):
 
 class SerializationError(ReproError):
     """A model or result could not be serialized or deserialized."""
+
+
+class ArtifactError(ReproError):
+    """An index artifact directory is missing, corrupt, or mismatched."""

@@ -37,6 +37,7 @@ def run_figure4(
     shape_context_points: int = 20,
     n_jobs=None,
     store_path=None,
+    pool=None,
 ) -> ComparisonResult:
     """Reproduce Figure 4 at the given scale.
 
@@ -63,6 +64,11 @@ def run_figure4(
         :func:`repro.experiments.runner.compare_methods`): an existing,
         fingerprint-matching store makes repeated runs skip every cached
         exact distance, and the warm store is saved back afterwards.
+    pool:
+        Optional :class:`~repro.index.pool.PersistentPool` shared with the
+        caller (forwarded to ``compare_methods``); with ``store_path`` set,
+        the comparison's per-method ``EmbeddingIndex`` objects serve from
+        it (see ``ComparisonResult.indexes``).
     """
     database, queries = make_digit_dataset(
         n_database=scale.database_size,
@@ -81,4 +87,5 @@ def run_figure4(
         dataset_name="synthetic digits + shape context (Figure 4)",
         n_jobs=n_jobs,
         store_path=store_path,
+        pool=pool,
     )

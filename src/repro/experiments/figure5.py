@@ -31,6 +31,7 @@ def run_figure5(
     band_fraction: float = 0.1,
     n_jobs=None,
     store_path=None,
+    pool=None,
 ) -> ComparisonResult:
     """Reproduce Figure 5 at the given scale.
 
@@ -56,6 +57,9 @@ def run_figure5(
         Optional ``.npz`` path for the shared distance store (forwarded to
         :func:`repro.experiments.runner.compare_methods`); repeated runs
         reuse every cached exact distance from it.
+    pool:
+        Optional :class:`~repro.index.pool.PersistentPool` shared with the
+        caller (forwarded to ``compare_methods``).
     """
     database, queries = make_timeseries_dataset(
         n_database=scale.database_size,
@@ -76,4 +80,5 @@ def run_figure5(
         dataset_name="synthetic time series + constrained DTW (Figure 5)",
         n_jobs=n_jobs,
         store_path=store_path,
+        pool=pool,
     )

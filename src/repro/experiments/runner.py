@@ -48,6 +48,9 @@ from repro.distances.context import DistanceContext
 from repro.embeddings.fastmap import build_fastmap_embedding
 from repro.exceptions import DistanceError, ExperimentError
 from repro.experiments.config import ExperimentScale
+from repro.distances.parallel import resolve_jobs
+from repro.index.embedding_index import EmbeddingIndex, IndexConfig
+from repro.index.pool import PersistentPool
 from repro.retrieval.evaluation import AccuracyCostPoint
 from repro.retrieval.knn import NeighborTable, ground_truth_neighbors
 from repro.retrieval.sweep import DimensionSweep, optimal_cost_curve
@@ -104,7 +107,18 @@ class MethodResult:
 
 @dataclass
 class ComparisonResult:
-    """All methods evaluated on one dataset."""
+    """All methods evaluated on one dataset.
+
+    When the comparison ran through a shared
+    :class:`~repro.distances.context.DistanceContext` (``store_path`` or a
+    context passed as the distance), :attr:`indexes` holds one ready-to-query
+    :class:`~repro.index.embedding_index.EmbeddingIndex` per method, all
+    sharing that context (and therefore the warm store): querying them —
+    or saving the trained ones as artifacts — costs no retraining and no
+    re-evaluation of stored pairs.  Call :meth:`close` when done with the
+    indexes to release the comparison's worker pool (created only for
+    ``n_jobs > 1`` runs that did not pass their own pool).
+    """
 
     dataset_name: str
     database_size: int
@@ -114,6 +128,11 @@ class ComparisonResult:
     accuracies: Tuple[float, ...]
     methods: Dict[str, MethodResult]
     preprocessing_distance_evaluations: int = 0
+    indexes: Dict[str, EmbeddingIndex] = field(default_factory=dict)
+    #: The worker pool the comparison ran on, and whether this comparison
+    #: created it (a caller-supplied pool is never closed here).
+    pool: Optional[PersistentPool] = None
+    owns_pool: bool = False
 
     def method(self, tag: str) -> MethodResult:
         if tag not in self.methods:
@@ -121,6 +140,22 @@ class ComparisonResult:
                 f"method {tag!r} not present; available: {sorted(self.methods)}"
             )
         return self.methods[tag]
+
+    def close(self) -> None:
+        """Close the per-method indexes and their shared worker pool.
+
+        Only a pool this comparison created itself is shut down; a pool the
+        caller passed into :func:`compare_methods` (or attached to the
+        context beforehand) is left running — the caller owns its
+        lifecycle.  Idempotent; without an explicit close the pool is
+        reclaimed when the result is garbage collected.  A context that
+        outlives its closed pool detaches it on the next parallel call and
+        falls back to per-call executors.
+        """
+        for index in self.indexes.values():
+            index.close()
+        if self.owns_pool and self.pool is not None:
+            self.pool.close()
 
     @property
     def brute_force_cost(self) -> int:
@@ -157,6 +192,7 @@ def compare_methods(
     n_jobs: Optional[int] = None,
     store_path: Optional[Union[str, Path]] = None,
     store_symmetric: bool = True,
+    pool: Optional[PersistentPool] = None,
 ) -> ComparisonResult:
     """Train and evaluate the requested methods on one retrieval split.
 
@@ -200,6 +236,12 @@ def compare_methods(
         ``distance`` is already a context).  Must be ``False`` for
         asymmetric measures such as KL divergence, or the store would
         silently serve mirrored (wrong-direction) values.
+    pool:
+        Optional :class:`~repro.index.pool.PersistentPool` shared across
+        the comparison's parallel work (and with the caller, e.g. across
+        the two ``run_table1`` comparisons); only used on the
+        context-backed path.  Without one, a context-backed comparison
+        lazily creates a pool on its context.
     """
     for tag in methods:
         if tag not in ALL_METHODS:
@@ -215,8 +257,19 @@ def compare_methods(
             symmetric=store_symmetric,
             n_jobs=n_jobs,
         )
+    owns_pool = False
     if context is not None:
         distance = context
+        if context.pool is None and pool is not None:
+            context.pool = pool
+        elif context.pool is None and resolve_jobs(n_jobs) > 1:
+            # One pool per parallel comparison: the per-method indexes below
+            # all borrow it, so none of them tears it down for the others.
+            # ComparisonResult.close() releases it (ownership is recorded
+            # on the result, since this comparison, not the caller,
+            # created the pool).
+            context.pool = PersistentPool(n_jobs)
+            owns_pool = True
         if store_path is not None and Path(store_path).is_file():
             try:
                 context.load_store(store_path)
@@ -255,8 +308,10 @@ def compare_methods(
 
     max_dim = max(scale.dims)
     results: Dict[str, MethodResult] = {}
+    indexes: Dict[str, EmbeddingIndex] = {}
     for tag, method_seed in zip(methods, method_seeds):
         start = time.perf_counter()
+        method_config: Optional[TrainingConfig] = None
         if tag == "FastMap":
             embedder = build_fastmap_embedding(
                 distance,
@@ -267,14 +322,35 @@ def compare_methods(
             )
             training_error = float("nan")
         else:
-            config = _training_config(scale, tag, method_seed)
-            trainer = BoostMapTrainer(distance, database, config, tables=tables)
+            method_config = _training_config(scale, tag, method_seed)
+            trainer = BoostMapTrainer(distance, database, method_config, tables=tables)
             training = trainer.train()
             embedder = training.model
             training_error = training.final_training_error
         training_seconds = time.perf_counter() - start
 
-        database_vectors = embedder.embed_many(list(database))
+        if context is not None:
+            # Assemble the method's ready-to-query index on the shared
+            # context: the database embedding below lands in the index, so
+            # the comparison and any post-hoc index.query_many agree on
+            # every cached pair.
+            index = EmbeddingIndex.build(
+                context,
+                database,
+                config=IndexConfig(
+                    training=(
+                        method_config if method_config is not None else TrainingConfig()
+                    ),
+                    n_jobs=n_jobs,
+                ),
+                embedder=embedder,
+                tables=None if tag == "FastMap" else tables,
+                pool=context.pool,
+            )
+            indexes[tag] = index
+            database_vectors = index.database_vectors
+        else:
+            database_vectors = embedder.embed_many(list(database))
         query_vectors = embedder.embed_many(list(queries))
         sweep = DimensionSweep(
             embedder, database_vectors, query_vectors, ground_truth, scale.dims
@@ -303,4 +379,7 @@ def compare_methods(
         accuracies=tuple(scale.accuracies),
         methods=results,
         preprocessing_distance_evaluations=preprocessing,
+        indexes=indexes,
+        pool=context.pool if context is not None else None,
+        owns_pool=owns_pool,
     )

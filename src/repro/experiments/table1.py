@@ -34,6 +34,7 @@ def run_table1(
     methods: Sequence[str] = ALL_METHODS,
     n_jobs: Optional[int] = None,
     store_dir: Optional[Union[str, Path]] = None,
+    pool=None,
 ) -> Dict[str, ComparisonResult]:
     """Run both dataset comparisons with all five methods.
 
@@ -48,7 +49,12 @@ def run_table1(
     distances are loaded from / saved to ``<store_dir>/table1_<name>.npz``
     through one shared :class:`~repro.distances.context.DistanceContext`
     per comparison, so re-running the table (same scale and seed) skips
-    every previously evaluated pair.
+    every previously evaluated pair.  On this context-backed path each
+    comparison also exposes per-method
+    :class:`~repro.index.embedding_index.EmbeddingIndex` objects
+    (``result.indexes``), ready to query or save as artifacts.  ``pool``
+    shares one :class:`~repro.index.pool.PersistentPool` of worker
+    processes across both comparisons instead of per-call pools.
     """
     digits_store = timeseries_store = None
     if store_dir is not None:
@@ -57,11 +63,11 @@ def run_table1(
         timeseries_store = store_dir / "table1_timeseries.npz"
     digits = run_figure4(
         scale=scale, methods=methods, seed=seed, n_jobs=n_jobs,
-        store_path=digits_store,
+        store_path=digits_store, pool=pool,
     )
     timeseries = run_figure5(
         scale=scale, methods=methods, seed=seed, n_jobs=n_jobs,
-        store_path=timeseries_store,
+        store_path=timeseries_store, pool=pool,
     )
     return {"digits": digits, "timeseries": timeseries}
 

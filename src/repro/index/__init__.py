@@ -1,13 +1,33 @@
-"""Index structures used as comparison points.
+"""Index structures: the embedding-index facade and metric baselines.
 
-The paper argues that metric index structures (vp-trees, M-trees, ...) cannot
-be applied when the distance measure violates the triangle inequality.  A
-vantage-point tree is included here both to make that comparison concrete in
-the benchmarks (on metric data it prunes; on the paper's non-metric measures
-it either loses correctness or degenerates to a linear scan) and as a useful
-exact index for the metric datasets used in tests.
+:class:`~repro.index.embedding_index.EmbeddingIndex` is the library's top
+level deliverable — the paper's trained filter-and-refine index as one
+build → save → open → query session object (see that module's docstring).
+:class:`~repro.index.pool.PersistentPool` provides the long-lived worker
+processes it serves from, and :mod:`repro.index.artifacts` defines the
+versioned on-disk format.
+
+A vantage-point tree is included as a comparison point: the paper argues
+that metric index structures cannot be applied when the distance measure
+violates the triangle inequality — on metric data the VP-tree prunes, on
+the paper's non-metric measures it either loses correctness or degenerates
+to a linear scan.
 """
 
+from repro.index.embedding_index import (
+    EmbeddingIndex,
+    IndexConfig,
+    available_backends,
+    register_backend,
+)
+from repro.index.pool import PersistentPool
 from repro.index.vptree import VPTree
 
-__all__ = ["VPTree"]
+__all__ = [
+    "EmbeddingIndex",
+    "IndexConfig",
+    "PersistentPool",
+    "available_backends",
+    "register_backend",
+    "VPTree",
+]

@@ -1,0 +1,823 @@
+"""`EmbeddingIndex`: the build → save → open → query session facade.
+
+The paper's end product is an *index you query*: train a query-sensitive
+embedding once over a database, then serve approximate k-NN queries at a
+fraction of the brute-force cost (filter with the cheap embedded distance,
+refine the top ``p`` with exact distances).  Before this module, assembling
+that product meant hand-wiring five layers — ``BoostMapTrainer`` →
+``TrainingResult.model`` → a retriever → a ``ContextBinding`` →
+``save_store``/``load_store`` — and every parallel call paid a fresh
+process-pool spin-up.  :class:`EmbeddingIndex` owns the whole session:
+
+>>> index = EmbeddingIndex.build(distance, database, config)   # trains once
+>>> index.query_many(queries, k=5, p=30)                       # serves
+>>> index.save("artifacts/digits")                             # persists
+...
+>>> with EmbeddingIndex.open("artifacts/digits", database) as index:
+...     index.query_many(queries, k=5, p=30)   # zero retraining, warm store
+
+What the facade owns
+--------------------
+* **One** :class:`~repro.distances.context.DistanceContext` per index — the
+  experiment-level distance layer: every exact evaluation (training tables,
+  embedding anchors, refine candidates) goes through its store, so a pair is
+  paid for at most once per index lifetime and
+  :attr:`EmbeddingIndex.distance_evaluations` is the exact cost of
+  everything done so far.  Queried objects are registered into the context
+  (by content, so reopened indexes recognise equal query objects), which is
+  what makes a warm-opened index serve previously-queried batches with zero
+  exact evaluations.
+* **One** :class:`~repro.index.pool.PersistentPool` — long-lived worker
+  processes reused by every ``n_jobs`` code path the index touches (matrix
+  builds, refine fan-out) instead of a throwaway pool per call.  The index
+  is a context manager; closing it releases the pool.
+* A **retriever backend** chosen by name from a registry —
+  ``"brute_force"``, ``"filter_refine"`` (default) or ``"sharded"``, with
+  third-party backends registerable through :func:`register_backend`.
+  All backends answer through the shared context, so switching backends
+  never re-evaluates stored pairs and results stay bit-identical across
+  backends (they are all exact over the same candidates).
+
+Artifacts
+---------
+:meth:`EmbeddingIndex.save` writes a versioned directory (model, embedded
+database, distance store, config, dataset fingerprint — see
+:mod:`repro.index.artifacts`); :meth:`EmbeddingIndex.open` restores it with
+zero retraining, zero re-embedding of the database and zero exact distance
+evaluations, refusing a database whose content fingerprint differs from the
+one the index was built over.
+"""
+
+from __future__ import annotations
+
+import datetime as _datetime
+from dataclasses import dataclass, field, asdict
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.model import QuerySensitiveModel
+from repro.core.trainer import BoostMapTrainer, TrainingConfig, TrainingTables
+from repro.datasets.base import Dataset
+from repro.distances.base import DistanceMeasure
+from repro.distances.context import DistanceContext, fingerprint_objects
+from repro.distances.parallel import resolve_jobs
+from repro.embeddings.base import Embedding
+from repro.exceptions import ArtifactError, ConfigurationError, RetrievalError
+from repro.index import artifacts as artifacts  # noqa: F401 (submodule alias)
+from repro.index.pool import PersistentPool
+from repro.retrieval.brute_force import BruteForceRetriever
+from repro.retrieval.filter_refine import FilterRefineRetriever, RetrievalResult
+from repro.retrieval.sharded import ShardedRetriever
+
+__all__ = [
+    "EmbeddingIndex",
+    "IndexConfig",
+    "register_backend",
+    "available_backends",
+]
+
+
+# --------------------------------------------------------------------------- #
+# Configuration                                                               #
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class IndexConfig:
+    """Everything an :class:`EmbeddingIndex` needs beyond data and distance.
+
+    Attributes
+    ----------
+    training:
+        The :class:`~repro.core.trainer.TrainingConfig` used when the index
+        trains its own model (ignored when a prebuilt embedder is supplied).
+    backend:
+        Retriever backend name (see :func:`available_backends`).
+    n_shards:
+        Shard count for the ``"sharded"`` backend.
+    n_jobs:
+        Default worker count for every parallel path the index drives
+        (matrix builds, refine fan-out) and the size of the index's
+        persistent pool; per-call ``n_jobs`` overrides remain possible.
+    symmetric:
+        Symmetry convention of the distance store; must be ``False`` for
+        asymmetric measures (KL divergence, directed chamfer).
+    max_sparse_entries:
+        Optional LRU bound on the store's sparse entries (dense training /
+        ground-truth blocks are never evicted) so a long-serving index
+        cannot grow its cache without limit.
+    register_queries:
+        Whether served query objects join the context universe (default
+        ``True``): their refine pairs then cache under stable keys, which
+        is what makes repeated and save/open-restored batches free.  Set
+        ``False`` for high-volume serving of *ever-novel* queries — there
+        the registrations would grow the universe (and the state shipped
+        to pool workers) per batch with no reuse to show for it; queries
+        are then evaluated uncached, with identical results.
+    """
+
+    training: TrainingConfig = field(default_factory=TrainingConfig)
+    backend: str = "filter_refine"
+    n_shards: int = 4
+    n_jobs: Optional[int] = None
+    symmetric: bool = True
+    max_sparse_entries: Optional[int] = None
+    register_queries: bool = True
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.training, TrainingConfig):
+            raise ConfigurationError("training must be a TrainingConfig")
+        if self.backend not in _BACKEND_REGISTRY:
+            raise ConfigurationError(
+                f"unknown backend {self.backend!r}; available: "
+                f"{', '.join(available_backends())}"
+            )
+        if self.n_shards < 1:
+            raise ConfigurationError("n_shards must be at least 1")
+        if self.max_sparse_entries is not None and self.max_sparse_entries < 1:
+            raise ConfigurationError("max_sparse_entries must be positive")
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable description (round-trips via :meth:`from_dict`)."""
+        training = asdict(self.training)
+        if not isinstance(training.get("seed"), (int, str, type(None))):
+            # Generator-typed seeds cannot be serialized; the trained model
+            # is persisted anyway, so only the provenance note is lost.
+            training["seed"] = None
+        return {
+            "training": training,
+            "backend": self.backend,
+            "n_shards": self.n_shards,
+            "n_jobs": self.n_jobs,
+            "symmetric": self.symmetric,
+            "max_sparse_entries": self.max_sparse_entries,
+            "register_queries": self.register_queries,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "IndexConfig":
+        try:
+            training_payload = dict(payload["training"])
+            if training_payload.get("seed") is None:
+                training_payload["seed"] = 0
+            return cls(
+                training=TrainingConfig(**training_payload),
+                backend=payload["backend"],
+                n_shards=int(payload["n_shards"]),
+                n_jobs=payload.get("n_jobs"),
+                symmetric=bool(payload["symmetric"]),
+                max_sparse_entries=payload.get("max_sparse_entries"),
+                register_queries=bool(payload.get("register_queries", True)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ArtifactError(f"invalid index config payload: {exc}") from exc
+
+    def with_overrides(self, **kwargs) -> "IndexConfig":
+        """A copy of this config with the given fields replaced."""
+        from dataclasses import replace
+
+        return replace(self, **kwargs)
+
+
+# --------------------------------------------------------------------------- #
+# Backend registry                                                            #
+# --------------------------------------------------------------------------- #
+
+#: A backend factory builds a query engine from the index's parts.  It must
+#: return an object exposing ``query(obj, k, p)`` and
+#: ``query_many(objects, k, p, n_jobs=None)`` returning
+#: :class:`~repro.retrieval.filter_refine.RetrievalResult` (lists thereof).
+BackendFactory = Callable[
+    [DistanceMeasure, Dataset, Any, np.ndarray, "IndexConfig"], Any
+]
+
+_BACKEND_REGISTRY: Dict[str, BackendFactory] = {}
+
+
+def register_backend(
+    name: str, factory: BackendFactory, overwrite: bool = False
+) -> None:
+    """Register a retriever backend under ``name``.
+
+    Third-party backends plug in here; afterwards any
+    :class:`IndexConfig(backend=name)` — including one persisted in an
+    artifact — resolves to ``factory``.  Built-in names cannot be replaced
+    unless ``overwrite=True``.
+    """
+    if not name or not isinstance(name, str):
+        raise ConfigurationError("backend name must be a non-empty string")
+    if not callable(factory):
+        raise ConfigurationError("backend factory must be callable")
+    if name in _BACKEND_REGISTRY and not overwrite:
+        raise ConfigurationError(
+            f"backend {name!r} is already registered; pass overwrite=True "
+            "to replace it"
+        )
+    _BACKEND_REGISTRY[name] = factory
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Names of every registered retriever backend, sorted."""
+    return tuple(sorted(_BACKEND_REGISTRY))
+
+
+def _make_backend(
+    name: str,
+    distance: DistanceMeasure,
+    database: Dataset,
+    embedder: Any,
+    database_vectors: np.ndarray,
+    config: IndexConfig,
+) -> Any:
+    factory = _BACKEND_REGISTRY.get(name)
+    if factory is None:
+        raise ConfigurationError(
+            f"unknown backend {name!r}; available: {', '.join(available_backends())}"
+        )
+    return factory(distance, database, embedder, database_vectors, config)
+
+
+class _BruteForceBackend:
+    """Exact scan backend with the facade's uniform result shape.
+
+    ``p`` is accepted and ignored: brute force refines everything.  The
+    per-query ``refine_distance_computations`` is the number of evaluations
+    actually performed — ``len(database)`` cold, fewer through a warm store.
+    """
+
+    def __init__(
+        self,
+        distance: DistanceMeasure,
+        database: Dataset,
+        embedder: Any,
+        database_vectors: np.ndarray,
+        config: IndexConfig,
+    ) -> None:
+        self.retriever = BruteForceRetriever(distance, database)
+        self._n = len(database)
+        # Every scan "filters" nothing: the candidate list is the whole
+        # database, shared across results (read-only by convention) so a
+        # large batch does not allocate O(batch x database) identical
+        # arrays.
+        self._all_candidates = np.arange(self._n)
+
+    def _result(
+        self, distances: np.ndarray, spent: int, k: int
+    ) -> RetrievalResult:
+        if k < 1:
+            raise RetrievalError(f"k must be a positive integer, got {k}")
+        k_eff = min(int(k), self._n)
+        order = np.argsort(distances, kind="stable")[:k_eff]
+        return RetrievalResult(
+            neighbor_indices=order,
+            neighbor_distances=distances[order],
+            candidate_indices=self._all_candidates,
+            embedding_distance_computations=0,
+            refine_distance_computations=int(spent),
+        )
+
+    def query(
+        self, obj: Any, k: int, p: Optional[int] = None
+    ) -> RetrievalResult:
+        distances_list, spent_list = self.retriever.scan_many([obj])
+        return self._result(distances_list[0], spent_list[0], k)
+
+    def query_many(
+        self,
+        objects: Sequence[Any],
+        k: int,
+        p: Optional[int] = None,
+        n_jobs: Optional[int] = None,
+    ) -> List[RetrievalResult]:
+        distances_list, spent_list = self.retriever.scan_many(
+            objects, n_jobs=n_jobs
+        )
+        return [
+            self._result(distances, spent, k)
+            for distances, spent in zip(distances_list, spent_list)
+        ]
+
+
+def _filter_refine_factory(distance, database, embedder, database_vectors, config):
+    return FilterRefineRetriever(
+        distance, database, embedder, database_vectors=database_vectors
+    )
+
+
+def _sharded_factory(distance, database, embedder, database_vectors, config):
+    return ShardedRetriever(
+        distance,
+        database,
+        embedder,
+        n_shards=config.n_shards,
+        database_vectors=database_vectors,
+        n_jobs=config.n_jobs,
+    )
+
+
+register_backend("brute_force", _BruteForceBackend)
+register_backend("filter_refine", _filter_refine_factory)
+register_backend("sharded", _sharded_factory)
+
+
+# --------------------------------------------------------------------------- #
+# The facade                                                                  #
+# --------------------------------------------------------------------------- #
+
+
+class EmbeddingIndex:
+    """A built (or reopened) query-sensitive embedding index.
+
+    Do not call the constructor directly — use :meth:`build` (train from a
+    distance + database) or :meth:`open` (restore a saved artifact).  See
+    the module docstring for the ownership model.
+    """
+
+    def __init__(
+        self,
+        context: DistanceContext,
+        database: Dataset,
+        embedder: Any,
+        database_vectors: np.ndarray,
+        config: IndexConfig,
+        candidate_indices: Optional[np.ndarray] = None,
+        candidate_distances: Optional[np.ndarray] = None,
+        pool: Optional[PersistentPool] = None,
+        owns_pool: bool = False,
+    ) -> None:
+        if not isinstance(context, DistanceContext):
+            raise RetrievalError("an EmbeddingIndex needs a DistanceContext")
+        if not isinstance(database, Dataset):
+            raise RetrievalError("database must be a Dataset")
+        if not isinstance(embedder, (QuerySensitiveModel, Embedding)):
+            raise RetrievalError(
+                "embedder must be a QuerySensitiveModel or an Embedding"
+            )
+        self.context = context
+        self.database = database
+        self.embedder = embedder
+        self.database_vectors = np.asarray(database_vectors, dtype=float)
+        self.config = config
+        self._candidate_indices = (
+            None
+            if candidate_indices is None
+            else np.asarray(candidate_indices, dtype=int)
+        )
+        self._candidate_distances = (
+            None
+            if candidate_distances is None
+            else np.asarray(candidate_distances, dtype=float)
+        )
+        self.pool = pool
+        self._owns_pool = bool(owns_pool)
+        self._closed = False
+        self._backend_name = config.backend
+        self._backend = _make_backend(
+            config.backend,
+            context,
+            database,
+            embedder,
+            self.database_vectors,
+            config,
+        )
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        distance: DistanceMeasure,
+        database: Dataset,
+        config: Optional[IndexConfig] = None,
+        queries: Optional[Sequence[Any]] = None,
+        tables: Optional[TrainingTables] = None,
+        embedder: Optional[Any] = None,
+        pool: Optional[PersistentPool] = None,
+    ) -> "EmbeddingIndex":
+        """Train (once) and assemble an index over ``database``.
+
+        Parameters
+        ----------
+        distance:
+            The exact measure ``D_X`` — or an existing
+            :class:`~repro.distances.context.DistanceContext` whose universe
+            contains the database (its store is then adopted, warm pairs
+            included).
+        database:
+            The objects to index.
+        config:
+            The :class:`IndexConfig`; defaults are laptop-scale.
+        queries:
+            Optional query objects known upfront (an experiment's held-out
+            set).  They join the context universe immediately, so their
+            exact distances — ground truth, refine candidates — are cached
+            under stable keys from the first evaluation on.
+        tables:
+            Optional precomputed :class:`~repro.core.trainer.TrainingTables`
+            (shared across several indexes in method comparisons).
+        embedder:
+            Optional prebuilt model/embedding.  Skips training entirely;
+            note that only indexes holding a trained
+            :class:`~repro.core.model.QuerySensitiveModel` with candidate
+            provenance can be :meth:`save`\\ d.
+        pool:
+            Optional shared :class:`~repro.index.pool.PersistentPool`.  When
+            omitted the index creates (and owns) one sized by
+            ``config.n_jobs``; a supplied pool is borrowed and never closed
+            by the index.
+        """
+        config = config if config is not None else IndexConfig()
+        if not isinstance(database, Dataset):
+            raise RetrievalError("database must be a Dataset")
+        if isinstance(distance, DistanceContext):
+            context = distance
+            if config.symmetric != context.store.symmetric:
+                # The adopted store's convention is the truth: record it in
+                # the config so a saved artifact reopens with a store of
+                # the same symmetry (a mismatch would make load_store
+                # refuse the merge forever).
+                config = config.with_overrides(symmetric=context.store.symmetric)
+            if config.max_sparse_entries is not None:
+                context.store.max_sparse_entries = config.max_sparse_entries
+            if queries is not None:
+                context.register(list(queries))
+        else:
+            universe = list(database) + (list(queries) if queries is not None else [])
+            context = DistanceContext(
+                distance,
+                universe,
+                symmetric=config.symmetric,
+                n_jobs=config.n_jobs,
+                max_sparse_entries=config.max_sparse_entries,
+            )
+        owns_pool = False
+        if pool is None:
+            pool = context.pool
+        if pool is None and resolve_jobs(config.n_jobs) > 1:
+            # Only a parallel config warrants worker processes; a serial
+            # index stays pool-less (per-call n_jobs overrides then use
+            # per-call executors), so nothing is left running to leak.
+            pool = PersistentPool(config.n_jobs)
+            owns_pool = True
+        if pool is not None and context.pool is None:
+            context.pool = pool
+
+        candidate_indices = candidate_distances = None
+        if embedder is None:
+            training = BoostMapTrainer(
+                context, database, config.training, tables=tables
+            ).train()
+            embedder = training.model
+            candidate_indices = training.tables.candidate_indices
+            candidate_distances = training.tables.candidate_to_candidate
+        elif tables is not None:
+            candidate_indices = tables.candidate_indices
+            candidate_distances = tables.candidate_to_candidate
+        database_vectors = embedder.embed_many(list(database))
+        return cls(
+            context=context,
+            database=database,
+            embedder=embedder,
+            database_vectors=database_vectors,
+            config=config,
+            candidate_indices=candidate_indices,
+            candidate_distances=candidate_distances,
+            pool=pool,
+            owns_pool=owns_pool,
+        )
+
+    @classmethod
+    def open(
+        cls,
+        directory,
+        database: Dataset,
+        distance: Optional[DistanceMeasure] = None,
+        backend: Optional[str] = None,
+        pool: Optional[PersistentPool] = None,
+    ) -> "EmbeddingIndex":
+        """Restore a saved index against its database — no retraining.
+
+        The supplied ``database`` must be content- and order-identical to
+        the one the index was built over (verified by fingerprint; a
+        mismatch raises :class:`~repro.exceptions.ArtifactError`, because
+        the persisted model, vectors and store are all keyed by database
+        position).  Opening performs **zero** exact distance evaluations:
+        the model is rebuilt from its serialized description plus the
+        persisted candidate-distance table, the database embedding matrix
+        is loaded, and the distance store arrives warm.
+
+        Parameters
+        ----------
+        directory:
+            The artifact directory written by :meth:`save`.
+        database:
+            The database objects (artifacts persist fingerprints, not the
+            database itself).
+        distance:
+            Optional measure instance to use instead of unpickling the
+            persisted one; its ``name`` must match the artifact's.
+        backend:
+            Optional backend-name override (defaults to the saved one).
+        pool:
+            Optional shared pool, as in :meth:`build`.
+        """
+        directory = Path(directory)
+        manifest = artifacts.read_manifest(directory)
+        config = IndexConfig.from_dict(manifest["config"])
+        if backend is not None:
+            config = config.with_overrides(backend=backend)
+        paths = artifacts.artifact_paths(directory)
+
+        if not isinstance(database, Dataset):
+            raise RetrievalError("database must be a Dataset")
+        if len(database) != int(manifest["n_database"]):
+            raise ArtifactError(
+                f"index artifact {directory} was built over "
+                f"{manifest['n_database']} database objects; got "
+                f"{len(database)}"
+            )
+        database_fingerprint = fingerprint_objects(database)
+        if database_fingerprint != manifest["database_fingerprint"]:
+            raise ArtifactError(
+                f"index artifact {directory} was built over a different "
+                "database (content fingerprint mismatch): the persisted "
+                "model, vectors and distance store are keyed by database "
+                "position, so opening against these objects would return "
+                "wrong neighbors. Rebuild the index for this database."
+            )
+
+        if distance is None:
+            distance = artifacts.read_pickle(paths["distance"], "distance measure")
+        elif getattr(distance, "name", None) != manifest.get("distance_name"):
+            raise ArtifactError(
+                f"index artifact {directory} was built with distance "
+                f"{manifest.get('distance_name')!r}, got {distance.name!r}"
+            )
+        extras: List[Any] = []
+        if int(manifest.get("n_extra_objects", 0)) > 0:
+            extras = artifacts.read_pickle(paths["extras"], "extra universe objects")
+
+        context = DistanceContext(
+            distance,
+            list(database) + list(extras),
+            symmetric=config.symmetric,
+            n_jobs=config.n_jobs,
+            max_sparse_entries=config.max_sparse_entries,
+        )
+        context.load_store(paths["store"])
+
+        model_payload, candidate_indices = artifacts.read_model_payload(directory)
+        database_vectors, candidate_distances = artifacts.read_arrays(directory)
+        candidate_objects = [database[int(i)] for i in candidate_indices]
+        embedder = QuerySensitiveModel.from_dict(
+            model_payload, context, candidate_objects, candidate_distances
+        )
+
+        owns_pool = False
+        if pool is None and resolve_jobs(config.n_jobs) > 1:
+            pool = PersistentPool(config.n_jobs)
+            owns_pool = True
+        if pool is not None and context.pool is None:
+            context.pool = pool
+        return cls(
+            context=context,
+            database=database,
+            embedder=embedder,
+            database_vectors=database_vectors,
+            config=config,
+            candidate_indices=candidate_indices,
+            candidate_distances=candidate_distances,
+            pool=pool,
+            owns_pool=owns_pool,
+        )
+
+    # -- persistence ----------------------------------------------------
+
+    def save(self, directory) -> Path:
+        """Persist this index as a versioned artifact directory.
+
+        Everything needed for a zero-retraining :meth:`open` is written:
+        the serialized model (with its candidate provenance), the embedded
+        database, the distance store (warm pairs included — queries served
+        so far stay free forever), the config and the dataset fingerprints.
+        The manifest is committed last, so a crashed save never leaves an
+        openable half-artifact.
+        """
+        if not isinstance(self.embedder, QuerySensitiveModel):
+            raise ArtifactError(
+                "only indexes holding a trained QuerySensitiveModel can be "
+                f"saved; this index wraps a {type(self.embedder).__name__}. "
+                "Build the index without a prebuilt embedder to persist it."
+            )
+        if self._candidate_indices is None or self._candidate_distances is None:
+            raise ArtifactError(
+                "this index has no candidate provenance (it was built from "
+                "a prebuilt embedder without training tables), so its model "
+                "cannot be serialized; rebuild with EmbeddingIndex.build"
+            )
+        # The artifact format stores the database as the universe *prefix*
+        # (its fingerprint, its store keys, the extras slice all assume
+        # positions [0, n)).  A hand-built context with another layout
+        # serves fine but cannot be persisted in this format.
+        positions = self.context.indices_of(list(self.database))
+        if not np.array_equal(positions, np.arange(len(self.database))):
+            raise ArtifactError(
+                "cannot save: the database does not occupy the first "
+                f"{len(self.database)} universe positions of this index's "
+                "context. Build the context over list(database) first (plus "
+                "queries after), or let EmbeddingIndex.build create it."
+            )
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        paths = artifacts.artifact_paths(directory)
+
+        # Re-saving over an existing artifact: retract the old manifest
+        # first, so a crash mid-save leaves an (unopenable) manifest-less
+        # directory rather than an old manifest validating a mixed set of
+        # old and new files.
+        if paths["manifest"].exists():
+            paths["manifest"].unlink()
+
+        artifacts.write_pickle(paths["distance"], self.context.base)
+        extras = self.context.objects[len(self.database):]
+        if extras:
+            artifacts.write_pickle(paths["extras"], extras)
+        elif paths["extras"].exists():
+            paths["extras"].unlink()
+        self.context.save_store(paths["store"])
+        artifacts.write_arrays(
+            directory, self.database_vectors, self._candidate_distances
+        )
+        artifacts.write_model_payload(
+            directory, self.embedder.to_dict(), self._candidate_indices
+        )
+        artifacts.write_manifest(
+            directory,
+            {
+                "created_utc": _datetime.datetime.now(
+                    _datetime.timezone.utc
+                ).isoformat(),
+                "config": self.config.to_dict(),
+                "backend": self._backend_name,
+                "distance_name": self.context.base.name,
+                "n_database": len(self.database),
+                "n_extra_objects": len(extras),
+                "database_fingerprint": self.context.prefix_fingerprint(
+                    len(self.database)
+                ),
+                "universe_fingerprint": self.context.fingerprint,
+                "model": {
+                    "dim": int(self.dim),
+                    "embedding_cost": int(self.embedding_cost),
+                    "n_terms": len(self.embedder.terms),
+                },
+            },
+        )
+        return directory
+
+    # -- querying -------------------------------------------------------
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RetrievalError("this EmbeddingIndex has been closed")
+
+    def _register(self, objects: Sequence[Any]) -> None:
+        """Admit query objects into the context universe (by content).
+
+        Registration is what makes serving cacheable: a query's refine
+        pairs land in the store under stable keys, so repeating it — in
+        this process or after a save/open round trip — costs nothing.
+        Content matching maps equal-but-distinct objects (e.g. the caller's
+        own copies of queries a reopened index has already served) onto
+        their existing universe indices.  Disabled by
+        ``IndexConfig(register_queries=False)`` for ever-novel-query
+        serving, where caching per-query pairs buys nothing.
+        """
+        if self.config.register_queries:
+            self.context.register(objects, match_content=True)
+
+    def query(self, obj: Any, k: int, p: Optional[int] = None) -> RetrievalResult:
+        """Approximate ``k``-NN retrieval of one query object.
+
+        ``p`` (the number of filter survivors to refine exactly) is
+        required by the embedding-filter backends and ignored by
+        ``"brute_force"``.  Returns a
+        :class:`~repro.retrieval.filter_refine.RetrievalResult`, whose
+        ``total_distance_computations`` is the paper's per-query cost.
+        """
+        self._check_open()
+        self._register([obj])
+        if p is None:
+            if self._backend_name != "brute_force":
+                raise RetrievalError(
+                    f"backend {self._backend_name!r} needs p (the number of "
+                    "filter candidates to refine)"
+                )
+            return self._backend.query(obj, k)
+        return self._backend.query(obj, k, p)
+
+    def query_many(
+        self,
+        objects: Sequence[Any],
+        k: int,
+        p: Optional[int] = None,
+        n_jobs: Optional[int] = None,
+    ) -> List[RetrievalResult]:
+        """Batched :meth:`query` (one embed batch, pooled refine fan-out).
+
+        ``n_jobs`` defaults to the index config; with more than one worker
+        the refine work runs on the index's persistent pool — the same
+        worker processes across every ``query_many`` call of the index's
+        lifetime.  Results and per-query cost accounting are bit-identical
+        to the serial path.
+        """
+        self._check_open()
+        objects = list(objects)
+        if not objects:
+            return []
+        self._register(objects)
+        effective_jobs = self.config.n_jobs if n_jobs is None else n_jobs
+        if p is None:
+            if self._backend_name != "brute_force":
+                raise RetrievalError(
+                    f"backend {self._backend_name!r} needs p (the number of "
+                    "filter candidates to refine)"
+                )
+            return self._backend.query_many(objects, k, n_jobs=effective_jobs)
+        return self._backend.query_many(objects, k, p, n_jobs=effective_jobs)
+
+    # -- backend management ---------------------------------------------
+
+    @property
+    def backend(self) -> str:
+        """Name of the active retriever backend."""
+        return self._backend_name
+
+    def set_backend(self, name: str) -> None:
+        """Switch the retriever backend in place.
+
+        Embeddings and the distance store are reused — switching backends
+        re-wires the query path only and costs zero exact evaluations.
+        """
+        self._check_open()
+        backend = _make_backend(
+            name,
+            self.context,
+            self.database,
+            self.embedder,
+            self.database_vectors,
+            self.config,
+        )
+        self._backend = backend
+        self._backend_name = name
+        self.config = self.config.with_overrides(backend=name)
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def dim(self) -> int:
+        """Dimensionality of the embedding used for filtering."""
+        return self.embedder.dim
+
+    @property
+    def embedding_cost(self) -> int:
+        """Exact distances needed to embed one query."""
+        return self.embedder.cost
+
+    @property
+    def distance_evaluations(self) -> int:
+        """Exact evaluations performed through this index's context so far."""
+        return self.context.distance_evaluations
+
+    @property
+    def fingerprint(self) -> Optional[str]:
+        """Content fingerprint of the context universe."""
+        return self.context.fingerprint
+
+    # -- lifecycle -------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the persistent pool (if owned).  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._owns_pool and self.pool is not None:
+            self.pool.close()
+        if self.context.pool is self.pool and self._owns_pool:
+            self.context.pool = None
+
+    def __enter__(self) -> "EmbeddingIndex":
+        self._check_open()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"EmbeddingIndex(backend={self._backend_name!r}, dim={self.dim}, "
+            f"n_database={len(self.database)}, "
+            f"distance={self.context.base.name!r})"
+        )

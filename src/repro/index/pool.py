@@ -1,0 +1,241 @@
+"""Persistent worker pools for the serving-path fan-out.
+
+Every ``n_jobs`` code path in the library used to create a fresh
+:class:`concurrent.futures.ProcessPoolExecutor` per call and tear it down
+afterwards — fine for a one-shot matrix build, but wrong for the serving
+shape of an :class:`~repro.index.embedding_index.EmbeddingIndex`, where
+``query_many`` arrives repeatedly against the same database: every batch
+paid worker start-up plus a full re-pickle of the database.
+
+:class:`PersistentPool` keeps one pool of worker processes alive across
+calls.  The per-call *worker state* (the distance measure and the object
+collections a task needs) is published once to a shared manager process,
+and each worker fetches and caches it on first use — so a state reused
+across calls (the index's universe, the retriever's shards) is shipped to
+each worker exactly once for the pool's lifetime, not once per call.
+
+Design
+------
+* The pool is **lazy**: no processes exist until the first :meth:`run`.
+* States are keyed by a caller-supplied *signature* (identity + length of
+  the constituent collections).  The pool holds a strong reference to every
+  cached state, so the ``id()``-based signatures can never be recycled
+  while the cache entry lives; a bounded LRU (:data:`MAX_CACHED_STATES`)
+  evicts old states on both the parent and worker side.
+* Workers pull state payloads from a ``multiprocessing.Manager`` dict —
+  the only cross-process channel — and cache the unpickled state in a
+  module-global LRU, so repeated chunks of the same call (and later calls
+  with the same signature) hit process-local memory.
+* :meth:`run` is synchronous: all chunks complete (or raise) before it
+  returns, so state eviction between runs can never strand an in-flight
+  task.
+
+The pool object itself must never be pickled or shipped to workers; the
+components that hold one (:class:`~repro.distances.context.DistanceContext`,
+the index facade) drop it from their pickled state.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.exceptions import DistanceError
+
+__all__ = ["PersistentPool", "MAX_CACHED_STATES"]
+
+#: How many distinct worker states a pool (and each worker) keeps cached.
+MAX_CACHED_STATES = 4
+
+# ----------------------------------------------------------------------- #
+# Worker side                                                             #
+# ----------------------------------------------------------------------- #
+
+#: Proxy to the parent's published-state dict, installed per worker.
+_WORKER_PROXY: Optional[Any] = None
+#: Worker-local LRU of unpickled states, keyed by state id.
+_WORKER_STATES: "OrderedDict[int, Any]" = OrderedDict()
+
+
+def _persistent_worker_init(proxy: Any) -> None:
+    global _WORKER_PROXY
+    _WORKER_PROXY = proxy
+    _WORKER_STATES.clear()
+
+
+def _persistent_run_chunk(state_id: int, task: Callable[[Any, Any], Any], chunk: Any) -> Any:
+    """Worker task: resolve the cached state and run ``task(state, chunk)``."""
+    state = _WORKER_STATES.get(state_id)
+    if state is None:
+        state = pickle.loads(_WORKER_PROXY[state_id])
+        _WORKER_STATES[state_id] = state
+        while len(_WORKER_STATES) > MAX_CACHED_STATES:
+            _WORKER_STATES.popitem(last=False)
+    else:
+        _WORKER_STATES.move_to_end(state_id)
+    return task(state, chunk)
+
+
+# ----------------------------------------------------------------------- #
+# Parent side                                                             #
+# ----------------------------------------------------------------------- #
+
+
+class PersistentPool:
+    """A reusable process pool with once-per-worker state shipping.
+
+    Parameters
+    ----------
+    n_workers:
+        Worker-process count, following the library's ``n_jobs``
+        convention (``None``/``0``/``1`` = 1 worker, ``-1`` = all CPUs).
+        A 1-worker pool is legal — callers normally bypass the pool for
+        serial work, but a pool built from ``n_jobs=1`` stays usable.
+
+    Use as a context manager (or call :meth:`close`) to release the worker
+    and manager processes; an unclosed pool is also torn down by garbage
+    collection as a fallback.
+    """
+
+    def __init__(self, n_workers: Optional[int] = None) -> None:
+        # Local import: repro.distances.parallel imports this module's
+        # sibling package at call time, and resolve_jobs has no deps.
+        from repro.distances.parallel import resolve_jobs
+
+        self.n_workers = resolve_jobs(n_workers)
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._manager = None
+        self._proxy = None
+        self._states: "OrderedDict[Hashable, Tuple[int, Any]]" = OrderedDict()
+        self._next_state_id = 0
+        self._closed = False
+        #: How many times worker processes were actually launched; a
+        #: serving loop through one pool keeps this at 1.
+        self.launches = 0
+        #: Completed :meth:`run` calls.
+        self.runs = 0
+        #: States pickled to the manager (cache misses on the parent side).
+        self.states_published = 0
+
+    # -- lifecycle ------------------------------------------------------
+
+    def _ensure_started(self) -> None:
+        if self._closed:
+            raise DistanceError("this PersistentPool has been closed")
+        if self._executor is not None:
+            return
+        import multiprocessing
+
+        self._manager = multiprocessing.Manager()
+        self._proxy = self._manager.dict()
+        self._executor = ProcessPoolExecutor(
+            max_workers=self.n_workers,
+            initializer=_persistent_worker_init,
+            initargs=(self._proxy,),
+        )
+        self.launches += 1
+
+    @property
+    def started(self) -> bool:
+        """Whether worker processes currently exist."""
+        return self._executor is not None
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called (the pool is unusable)."""
+        return self._closed
+
+    def close(self) -> None:
+        """Shut down the workers and the state manager (idempotent)."""
+        self._closed = True
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        if self._manager is not None:
+            self._manager.shutdown()
+            self._manager = None
+        self._proxy = None
+        self._states.clear()
+
+    def __enter__(self) -> "PersistentPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC fallback
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __getstate__(self) -> None:
+        raise DistanceError(
+            "a PersistentPool cannot be pickled or shipped to workers; "
+            "share the pool object within one process instead"
+        )
+
+    # -- state publication ---------------------------------------------
+
+    def _publish(self, state: Any, signature: Optional[Hashable]) -> int:
+        """Return the state id for ``state``, publishing it if unseen.
+
+        ``signature`` identifies the state contents; ``None`` disables
+        caching (the state is re-published for this run only).  The pool
+        keeps a strong reference to each cached state so the identity-based
+        signatures callers build from ``id()`` stay valid.
+        """
+        if signature is not None:
+            cached = self._states.get(signature)
+            if cached is not None:
+                self._states.move_to_end(signature)
+                return cached[0]
+        state_id = self._next_state_id
+        self._next_state_id += 1
+        self._proxy[state_id] = pickle.dumps(state, protocol=4)
+        self.states_published += 1
+        if signature is not None:
+            self._states[signature] = (state_id, state)
+            while len(self._states) > MAX_CACHED_STATES:
+                _, (old_id, _old_state) = self._states.popitem(last=False)
+                self._proxy.pop(old_id, None)
+        return state_id
+
+    # -- execution ------------------------------------------------------
+
+    def run(
+        self,
+        task: Callable[[Any, Any], Any],
+        state: Any,
+        chunks: Sequence[Any],
+        signature: Optional[Hashable] = None,
+    ) -> List[Any]:
+        """Run ``task(state, chunk)`` for every chunk, preserving order.
+
+        ``task`` must be a module-level (pickle-by-reference) callable.
+        ``state`` is shipped through the manager once per worker per
+        distinct ``signature`` (see :meth:`_publish`); chunks themselves
+        travel with each submission, so keep them small (index arrays,
+        not object collections).
+        """
+        self._ensure_started()
+        state_id = self._publish(state, signature)
+        futures = [
+            self._executor.submit(_persistent_run_chunk, state_id, task, chunk)
+            for chunk in chunks
+        ]
+        results = [future.result() for future in futures]
+        if signature is None:
+            self._proxy.pop(state_id, None)
+        self.runs += 1
+        return results
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        status = "closed" if self._closed else ("live" if self.started else "idle")
+        return (
+            f"PersistentPool(n_workers={self.n_workers}, {status}, "
+            f"launches={self.launches}, runs={self.runs})"
+        )

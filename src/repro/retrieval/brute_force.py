@@ -89,6 +89,56 @@ class BruteForceRetriever:
                 f"k must be in [1, {len(self.database)}], got {k}"
             )
 
+    def scan_many(
+        self, objects, n_jobs: Optional[int] = None
+    ) -> Tuple[List[np.ndarray], List[int]]:
+        """Full-database exact distance scans for many queries.
+
+        Returns ``(distances_list, spent_list)`` aligned with the input:
+        ``distances_list[i]`` holds query ``i``'s exact distances to every
+        database object (in database order) and ``spent_list[i]`` the
+        evaluations actually performed for it — ``len(database)`` for a
+        plain measure, possibly fewer through a context-backed store.  This
+        is the primitive both :meth:`query_many` and the
+        :class:`~repro.index.embedding_index.EmbeddingIndex` brute-force
+        backend rank from, so their per-query cost accounting can never
+        diverge.
+        """
+        objects = list(objects)
+        if not objects:
+            return [], []
+        n = len(self.database)
+        if self._binding is not None:
+            by_query, computed = self._binding.distances_to_many(
+                objects, [self._all_positions] * len(objects), n_jobs=n_jobs
+            )
+            return (
+                [np.asarray(distances, dtype=float) for distances in by_query],
+                [int(c) for c in computed],
+            )
+        n_workers = resolve_jobs(n_jobs)
+        if n_workers > 1 and len(objects) > 1:
+            ensure_parallel_safe(self._counting)
+            inner, counters = split_counting(self._counting)
+            database = list(self.database)
+            all_indices = np.arange(n)
+            items = [(qi, obj, 0, all_indices) for qi, obj in enumerate(objects)]
+            by_query = parallel_refine(inner, [database], items, n_workers)
+            for counting in counters:
+                counting.calls += n * len(objects)
+            return (
+                [np.asarray(by_query[qi], dtype=float) for qi in range(len(objects))],
+                [n] * len(objects),
+            )
+        database = list(self.database)
+        return (
+            [
+                np.asarray(self._counting.compute_many(obj, database), dtype=float)
+                for obj in objects
+            ],
+            [n] * len(objects),
+        )
+
     def query(self, obj: Any, k: int) -> Tuple[np.ndarray, np.ndarray]:
         """Return the indices and distances of the ``k`` nearest neighbors.
 
@@ -115,33 +165,9 @@ class BruteForceRetriever:
         identical to the serial path.
         """
         self._check_k(k)
-        objects = list(objects)
-        if not objects:
-            return []
-        if self._binding is not None:
-            by_query, _computed = self._binding.distances_to_many(
-                objects, [self._all_positions] * len(objects), n_jobs=n_jobs
-            )
-            results = []
-            for distances in by_query:
-                distances = np.asarray(distances, dtype=float)
-                order = np.argsort(distances, kind="stable")[:k]
-                results.append((order, distances[order]))
-            return results
-        n_workers = resolve_jobs(n_jobs)
-        if n_workers > 1 and len(objects) > 1:
-            ensure_parallel_safe(self._counting)
-            inner, counters = split_counting(self._counting)
-            database = list(self.database)
-            all_indices = np.arange(len(database))
-            items = [(qi, obj, 0, all_indices) for qi, obj in enumerate(objects)]
-            by_query = parallel_refine(inner, [database], items, n_workers)
-            for counting in counters:
-                counting.calls += len(database) * len(objects)
-            results = []
-            for qi in range(len(objects)):
-                distances = np.asarray(by_query[qi], dtype=float)
-                order = np.argsort(distances, kind="stable")[:k]
-                results.append((order, distances[order]))
-            return results
-        return [self.query(obj, k) for obj in objects]
+        distances_list, _spent = self.scan_many(objects, n_jobs=n_jobs)
+        results = []
+        for distances in distances_list:
+            order = np.argsort(distances, kind="stable")[:k]
+            results.append((order, distances[order]))
+        return results

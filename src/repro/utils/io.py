@@ -1,0 +1,41 @@
+"""Low-level filesystem helpers shared across layers.
+
+Lives in :mod:`repro.utils` so both the distance layer
+(:meth:`~repro.distances.context.DistanceStore.save`) and the index
+artifact writer (:mod:`repro.index.artifacts`) use one implementation of
+the crash-safety pattern instead of drifting copies.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterator
+
+__all__ = ["atomic_replace", "atomic_write_bytes"]
+
+
+@contextmanager
+def atomic_replace(path) -> Iterator[Path]:
+    """Yield a temporary sibling path that replaces ``path`` on success.
+
+    The body writes to the yielded temp path; on normal exit the temp file
+    is atomically renamed over ``path``, so a crash (or an exception) can
+    never leave a truncated file behind and an existing ``path`` survives a
+    failed write untouched.  The temp file is always cleaned up.
+    """
+    path = Path(path)
+    tmp_path = path.with_name(f"{path.name}.tmp-{os.getpid()}")
+    try:
+        yield tmp_path
+        os.replace(tmp_path, path)
+    finally:
+        if tmp_path.exists():
+            tmp_path.unlink()
+
+
+def atomic_write_bytes(path, payload: bytes) -> None:
+    """Atomically write ``payload`` to ``path`` (temp file + rename)."""
+    with atomic_replace(path) as tmp_path:
+        tmp_path.write_bytes(payload)

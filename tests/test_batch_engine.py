@@ -275,8 +275,7 @@ class TestWrapperBatchSemantics:
         assert_batch_matches_scalar(distance, x, ys)
 
     def test_cached_batch_reuses_entries(self, rng):
-        with pytest.warns(DeprecationWarning, match="DistanceContext"):
-            cached = CachedDistance(CountingDistance(L2Distance()))
+        cached = CachedDistance(CountingDistance(L2Distance()), key=id)
         objects = [rng.normal(size=3) for _ in range(6)]
         x = objects[0]
         first = cached.compute_many(x, objects)

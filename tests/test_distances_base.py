@@ -70,10 +70,9 @@ class TestCountingDistance:
         assert CountingDistance(L2Distance()).is_metric is True
 
 
-def _identity_cached(*args, **kwargs):
-    """Build a default-key (deprecated) cache, asserting the warning fires."""
-    with pytest.warns(DeprecationWarning, match="DistanceContext"):
-        return CachedDistance(*args, **kwargs)
+def _identity_cached(base, **kwargs):
+    """Build an explicitly identity-keyed cache (single-process only)."""
+    return CachedDistance(base, key=id, **kwargs)
 
 
 class TestCachedDistance:
@@ -104,14 +103,15 @@ class TestCachedDistance:
         cached(y, x)
         assert counting.calls == 2
 
-    def test_default_key_emits_deprecation_pointing_at_context(self):
-        """The bare-id() default is deprecated in favour of DistanceContext."""
-        with pytest.warns(DeprecationWarning, match="DistanceContext"):
+    def test_bare_default_key_raises_pointing_at_context(self):
+        """The bare-id() default was removed: construction fails hard."""
+        with pytest.raises(DistanceError, match="DistanceContext"):
             CachedDistance(L1Distance())
-        # An explicit stable key stays warning-free.
+        # An explicit key — stable or even id — constructs fine.
         with warnings.catch_warnings():
             warnings.simplefilter("error")
             CachedDistance(L1Distance(), key=_content_key)
+            CachedDistance(L1Distance(), key=id)
 
     def test_custom_key_function(self):
         counting = CountingDistance(L1Distance())
@@ -134,7 +134,7 @@ class TestCachedDistance:
             CachedDistance(lambda a, b: 0.0)
 
     def test_identity_keyed_cache_flagged_and_unpicklable(self):
-        """The default key=id cannot survive a process boundary: unpickled
+        """Identity (key=id) keys cannot survive a process boundary: unpickled
         object copies get fresh ids (the cache goes dead) and reused ids can
         collide with stale entries — so pickling must fail loudly."""
         import pickle

@@ -1,0 +1,743 @@
+"""Tests for the EmbeddingIndex facade, its artifacts, and the worker pool.
+
+Covers the acceptance surface of the build → save → open → query API:
+
+* artifact round trips across all three built-in backends (neighbors,
+  distances and per-query cost accounting bit-identical, zero retraining);
+* fingerprint verification refusing mismatched databases and half-written
+  artifacts;
+* warm-open serving with zero exact evaluations for store-resident pairs;
+* persistent-pool results bit-identical to the serial path, with a single
+  pool launch across repeated ``query_many`` calls;
+* equivalence with the hand-wired trainer → retriever → context path;
+* the bounded ``DistanceStore`` (LRU over sparse entries, dense blocks
+  kept) and the atomic ``save_store``.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro import (
+    BoostMapTrainer,
+    ConstrainedDTW,
+    DistanceContext,
+    EmbeddingIndex,
+    FilterRefineRetriever,
+    IndexConfig,
+    L2Distance,
+    PersistentPool,
+    RetrievalSplit,
+    TrainingConfig,
+    make_gaussian_clusters,
+    make_timeseries_dataset,
+)
+from repro.distances.context import DistanceStore
+from repro.exceptions import (
+    ArtifactError,
+    ConfigurationError,
+    DistanceError,
+    RetrievalError,
+)
+from repro.index import available_backends, register_backend
+from repro.index.artifacts import MANIFEST_NAME, read_manifest, write_manifest
+
+
+def _tiny_training(seed: int = 2) -> TrainingConfig:
+    return TrainingConfig(
+        n_candidates=25,
+        n_training_objects=25,
+        n_triples=400,
+        n_rounds=8,
+        classifiers_per_round=15,
+        intervals_per_candidate=4,
+        kmax=5,
+        seed=seed,
+    )
+
+
+@pytest.fixture(scope="module")
+def l2_split():
+    dataset = make_gaussian_clusters(n_objects=100, n_clusters=5, n_dims=5, seed=11)
+    return RetrievalSplit.from_dataset(dataset, n_queries=12, seed=12)
+
+
+@pytest.fixture(scope="module")
+def built_index(l2_split):
+    index = EmbeddingIndex.build(
+        L2Distance(),
+        l2_split.database,
+        IndexConfig(training=_tiny_training()),
+        queries=list(l2_split.queries),
+    )
+    yield index
+    index.close()
+
+
+def assert_results_identical(lhs, rhs):
+    assert len(lhs) == len(rhs)
+    for a, b in zip(lhs, rhs):
+        assert np.array_equal(a.neighbor_indices, b.neighbor_indices)
+        assert np.array_equal(a.neighbor_distances, b.neighbor_distances)
+        assert a.total_distance_computations == b.total_distance_computations
+
+
+class TestBuildAndQuery:
+    def test_build_trains_once_and_serves(self, built_index, l2_split):
+        results = built_index.query_many(list(l2_split.queries), k=3, p=10)
+        assert len(results) == len(l2_split.queries)
+        for result in results:
+            assert result.neighbor_indices.shape == (3,)
+            assert (
+                result.total_distance_computations <= len(l2_split.database)
+            )
+
+    def test_query_matches_query_many(self, built_index, l2_split):
+        single = [built_index.query(q, k=2, p=8) for q in l2_split.queries]
+        batched = built_index.query_many(list(l2_split.queries), k=2, p=8)
+        for a, b in zip(single, batched):
+            assert np.array_equal(a.neighbor_indices, b.neighbor_indices)
+            assert np.array_equal(a.neighbor_distances, b.neighbor_distances)
+
+    def test_equivalent_to_hand_wired_pipeline(self, l2_split):
+        """The facade path must be bit-identical — neighbors and per-query
+        total_distance_computations — to trainer → retriever → context."""
+        config = _tiny_training()
+        context = DistanceContext(
+            L2Distance(), list(l2_split.database) + list(l2_split.queries)
+        )
+        model = BoostMapTrainer(context, l2_split.database, config).train().model
+        retriever = FilterRefineRetriever(context, l2_split.database, model)
+        hand = retriever.query_many(list(l2_split.queries), k=3, p=10)
+
+        index = EmbeddingIndex.build(
+            L2Distance(),
+            l2_split.database,
+            IndexConfig(training=config),
+            queries=list(l2_split.queries),
+        )
+        got = index.query_many(list(l2_split.queries), k=3, p=10)
+        assert_results_identical(hand, got)
+        assert index.distance_evaluations == context.distance_evaluations
+        index.close()
+
+    def test_backend_switch_is_free_and_identical(self, l2_split):
+        index = EmbeddingIndex.build(
+            L2Distance(),
+            l2_split.database,
+            IndexConfig(training=_tiny_training()),
+            queries=list(l2_split.queries),
+        )
+        flat = index.query_many(list(l2_split.queries), k=3, p=10)
+        before = index.distance_evaluations
+        index.set_backend("sharded")
+        assert index.distance_evaluations == before  # switching costs nothing
+        sharded = index.query_many(list(l2_split.queries), k=3, p=10)
+        # Same neighbors, and the switched backend reuses the shared store:
+        # every refine pair was already evaluated, so the repeat is free.
+        for a, b in zip(flat, sharded):
+            assert np.array_equal(a.neighbor_indices, b.neighbor_indices)
+            assert np.array_equal(a.neighbor_distances, b.neighbor_distances)
+            assert b.refine_distance_computations == 0
+        assert index.distance_evaluations == before
+        index.close()
+
+    def test_brute_force_backend(self, l2_split):
+        index = EmbeddingIndex.build(
+            L2Distance(),
+            l2_split.database,
+            IndexConfig(training=_tiny_training(), backend="brute_force"),
+        )
+        result = index.query(l2_split.queries[0], k=4)  # p not needed
+        # Brute force must agree with an exhaustive scan.
+        exact = np.array(
+            [L2Distance()(l2_split.queries[0], obj) for obj in l2_split.database]
+        )
+        expected = np.argsort(exact, kind="stable")[:4]
+        assert np.array_equal(result.neighbor_indices, expected)
+        assert result.embedding_distance_computations == 0
+        index.close()
+
+    def test_filter_backend_requires_p(self, built_index, l2_split):
+        with pytest.raises(RetrievalError, match="needs p"):
+            built_index.query(l2_split.queries[0], k=2)
+
+    def test_closed_index_refuses_queries(self, l2_split):
+        index = EmbeddingIndex.build(
+            L2Distance(), l2_split.database, IndexConfig(training=_tiny_training())
+        )
+        index.close()
+        with pytest.raises(RetrievalError, match="closed"):
+            index.query(l2_split.queries[0], k=1, p=5)
+
+
+class TestArtifactLifecycle:
+    @pytest.mark.parametrize("backend", ["brute_force", "filter_refine", "sharded"])
+    def test_round_trip_all_backends(self, tmp_path, l2_split, backend):
+        """build → query → save → open → query round-trips bit-identically
+        on every built-in backend, with zero retraining on open."""
+        config = IndexConfig(
+            training=_tiny_training(), backend=backend, n_shards=3
+        )
+        index = EmbeddingIndex.build(
+            L2Distance(), l2_split.database, config, queries=list(l2_split.queries)
+        )
+        kwargs = {} if backend == "brute_force" else {"p": 10}
+        index.query_many(list(l2_split.queries), k=3, **kwargs)
+        # A second pass on the (now warm) index is the reference state the
+        # reopened index must reproduce — including per-query costs.
+        warm = index.query_many(list(l2_split.queries), k=3, **kwargs)
+        index.save(tmp_path / "artifact")
+        index.close()
+
+        reopened = EmbeddingIndex.open(tmp_path / "artifact", l2_split.database)
+        assert reopened.backend == backend
+        served = reopened.query_many(list(l2_split.queries), k=3, **kwargs)
+        assert_results_identical(warm, served)
+        # Zero retraining and zero exact evaluations: everything the serve
+        # needed was persisted.
+        assert reopened.distance_evaluations == 0
+        reopened.close()
+
+    def test_open_verifies_model_identity(self, tmp_path, built_index, l2_split):
+        built_index.save(tmp_path / "artifact")
+        reopened = EmbeddingIndex.open(tmp_path / "artifact", l2_split.database)
+        assert reopened.embedder.to_dict() == built_index.embedder.to_dict()
+        np.testing.assert_array_equal(
+            reopened.database_vectors, built_index.database_vectors
+        )
+        reopened.close()
+
+    def test_open_refuses_fingerprint_mismatch(self, tmp_path, built_index):
+        built_index.save(tmp_path / "artifact")
+        other = make_gaussian_clusters(n_objects=88, n_clusters=5, n_dims=5, seed=99)
+        with pytest.raises(ArtifactError, match="fingerprint|database"):
+            EmbeddingIndex.open(tmp_path / "artifact", other)
+
+    def test_open_refuses_reordered_database(self, tmp_path, built_index, l2_split):
+        built_index.save(tmp_path / "artifact")
+        reordered = l2_split.database.subset(
+            list(range(len(l2_split.database)))[::-1]
+        )
+        with pytest.raises(ArtifactError, match="fingerprint"):
+            EmbeddingIndex.open(tmp_path / "artifact", reordered)
+
+    def test_open_refuses_missing_manifest(self, tmp_path, built_index, l2_split):
+        """A save that crashed before its manifest commit point is refused."""
+        built_index.save(tmp_path / "artifact")
+        (tmp_path / "artifact" / MANIFEST_NAME).unlink()
+        with pytest.raises(ArtifactError, match="manifest"):
+            EmbeddingIndex.open(tmp_path / "artifact", l2_split.database)
+
+    def test_open_refuses_future_format_version(
+        self, tmp_path, built_index, l2_split
+    ):
+        built_index.save(tmp_path / "artifact")
+        manifest = read_manifest(tmp_path / "artifact")
+        manifest["format_version"] = 999
+        # write_manifest stamps the supported version, so write by hand.
+        import json
+
+        (tmp_path / "artifact" / MANIFEST_NAME).write_text(json.dumps(manifest))
+        with pytest.raises(ArtifactError, match="format version"):
+            EmbeddingIndex.open(tmp_path / "artifact", l2_split.database)
+
+    def test_open_checks_supplied_distance_name(
+        self, tmp_path, built_index, l2_split
+    ):
+        built_index.save(tmp_path / "artifact")
+        with pytest.raises(ArtifactError, match="distance"):
+            EmbeddingIndex.open(
+                tmp_path / "artifact", l2_split.database, distance=ConstrainedDTW()
+            )
+        # The right measure (by name) is accepted.
+        reopened = EmbeddingIndex.open(
+            tmp_path / "artifact", l2_split.database, distance=L2Distance()
+        )
+        reopened.close()
+
+    def test_warm_open_serves_stored_queries_for_free(self, tmp_path):
+        """The acceptance scenario: a reopened index answers a previously
+        served query batch with zero exact evaluations, even though the
+        caller's query objects are new (equal-content) instances."""
+        database, queries = make_timeseries_dataset(
+            n_database=60, n_queries=8, n_seeds=6, length=24, n_dims=1, seed=3
+        )
+        index = EmbeddingIndex.build(
+            ConstrainedDTW(),
+            database,
+            IndexConfig(training=_tiny_training(seed=5)),
+        )
+        index.query_many(list(queries), k=3, p=12)
+        assert index.distance_evaluations > 0
+        warm = index.query_many(list(queries), k=3, p=12)
+        index.save(tmp_path / "artifact")
+        index.close()
+
+        # Regenerate the dataset: distinct objects, identical content.
+        database2, queries2 = make_timeseries_dataset(
+            n_database=60, n_queries=8, n_seeds=6, length=24, n_dims=1, seed=3
+        )
+        reopened = EmbeddingIndex.open(tmp_path / "artifact", database2)
+        served = reopened.query_many(list(queries2), k=3, p=12)
+        assert reopened.distance_evaluations == 0
+        assert_results_identical(warm, served)
+        for result in served:
+            assert result.refine_distance_computations == 0
+        reopened.close()
+
+    def test_asymmetric_context_round_trips(self, tmp_path):
+        """An index adopted from an asymmetric context must reopen: the
+        config records the store's symmetry convention at build time."""
+        rng = np.random.default_rng(4)
+
+        def histogram():
+            h = rng.random(6) + 0.05
+            return h / h.sum()
+
+        from repro.datasets.base import Dataset
+
+        database = Dataset([histogram() for _ in range(40)], name="hists")
+        queries = [histogram() for _ in range(5)]
+        from repro import KLDivergence
+
+        context = DistanceContext(
+            KLDivergence(), list(database) + queries, symmetric=False
+        )
+        index = EmbeddingIndex.build(
+            context,
+            database,
+            IndexConfig(training=_tiny_training(seed=8), n_shards=2),
+        )
+        assert index.config.symmetric is False  # reconciled with the store
+        index.query_many(queries, k=2, p=8)
+        warm = index.query_many(queries, k=2, p=8)
+        index.save(tmp_path / "artifact")
+        index.close()
+        reopened = EmbeddingIndex.open(tmp_path / "artifact", database)
+        assert reopened.context.store.symmetric is False
+        served = reopened.query_many(queries, k=2, p=8)
+        assert_results_identical(warm, served)
+        assert reopened.distance_evaluations == 0
+        reopened.close()
+
+    def test_save_refuses_non_prefix_database_layout(self, tmp_path, l2_split):
+        """The artifact format keys everything by database position, so a
+        context whose universe does not start with the database cannot be
+        persisted (it would reopen against wrong store keys)."""
+        context = DistanceContext(
+            L2Distance(), list(l2_split.queries) + list(l2_split.database)
+        )
+        index = EmbeddingIndex.build(
+            context, l2_split.database, IndexConfig(training=_tiny_training())
+        )
+        index.query(l2_split.queries[0], k=1, p=5)  # serving still works
+        with pytest.raises(ArtifactError, match="universe positions"):
+            index.save(tmp_path / "artifact")
+        index.close()
+
+    def test_save_requires_trained_model(self, tmp_path, l2_split):
+        from repro.embeddings.lipschitz import build_lipschitz_embedding
+
+        embedding = build_lipschitz_embedding(
+            L2Distance(), l2_split.database, dim=4, set_size=1, seed=0
+        )
+        index = EmbeddingIndex.build(
+            L2Distance(),
+            l2_split.database,
+            IndexConfig(training=_tiny_training()),
+            embedder=embedding,
+        )
+        with pytest.raises(ArtifactError, match="QuerySensitiveModel"):
+            index.save(tmp_path / "artifact")
+        index.close()
+
+    def test_register_queries_false_keeps_universe_fixed(self, l2_split):
+        """Novel-query serving mode: results identical, universe constant."""
+        config = _tiny_training()
+        registered = EmbeddingIndex.build(
+            L2Distance(), l2_split.database, IndexConfig(training=config)
+        )
+        unregistered = EmbeddingIndex.build(
+            L2Distance(),
+            l2_split.database,
+            IndexConfig(training=config, register_queries=False),
+        )
+        n_before = unregistered.context.n_objects
+        a = registered.query_many(list(l2_split.queries), k=3, p=10)
+        b = unregistered.query_many(list(l2_split.queries), k=3, p=10)
+        # Same neighbors either way; only the *cost* differs (a registered
+        # query's embedding-anchor pairs are reusable by its refine step).
+        for lhs, rhs in zip(a, b):
+            assert np.array_equal(lhs.neighbor_indices, rhs.neighbor_indices)
+            assert np.array_equal(lhs.neighbor_distances, rhs.neighbor_distances)
+        assert unregistered.context.n_objects == n_before
+        assert registered.context.n_objects > n_before
+        # Repeat batch: the registered index serves from the store, the
+        # unregistered one re-evaluates (by design).
+        again = unregistered.query_many(list(l2_split.queries), k=3, p=10)
+        assert all(r.refine_distance_computations > 0 for r in again)
+        registered.close()
+        unregistered.close()
+
+    def test_crashed_resave_leaves_unopenable_artifact(
+        self, tmp_path, built_index, l2_split
+    ):
+        """Overwriting an existing artifact retracts the manifest first, so
+        a crash mid-re-save cannot leave the old manifest validating a
+        mixed old/new file set."""
+        built_index.save(tmp_path / "artifact")
+
+        import repro.index.embedding_index as module
+
+        original = module.artifacts.write_arrays
+        calls = {"n": 0}
+
+        def crash_after_arrays(*args, **kwargs):
+            calls["n"] += 1
+            original(*args, **kwargs)
+            raise RuntimeError("simulated crash mid-save")
+
+        module.artifacts.write_arrays = crash_after_arrays
+        try:
+            with pytest.raises(RuntimeError):
+                built_index.save(tmp_path / "artifact")
+        finally:
+            module.artifacts.write_arrays = original
+        assert calls["n"] == 1
+        with pytest.raises(ArtifactError, match="manifest"):
+            EmbeddingIndex.open(tmp_path / "artifact", l2_split.database)
+        # A completed re-save repairs the directory.
+        built_index.save(tmp_path / "artifact")
+        EmbeddingIndex.open(tmp_path / "artifact", l2_split.database).close()
+
+    def test_saved_store_includes_served_queries(self, tmp_path, built_index):
+        """Ad-hoc queries served before save() are part of the artifact."""
+        built_index.save(tmp_path / "artifact")
+        manifest = read_manifest(tmp_path / "artifact")
+        assert manifest["n_extra_objects"] > 0  # the registered queries
+
+
+class TestPersistentPoolServing:
+    def test_pooled_results_bit_identical_to_serial(self):
+        database, queries = make_timeseries_dataset(
+            n_database=50, n_queries=8, n_seeds=6, length=24, n_dims=1, seed=7
+        )
+        serial = EmbeddingIndex.build(
+            ConstrainedDTW(), database, IndexConfig(training=_tiny_training(seed=9))
+        )
+        serial_results = serial.query_many(list(queries), k=3, p=10)
+
+        pooled = EmbeddingIndex.build(
+            ConstrainedDTW(),
+            database,
+            IndexConfig(training=_tiny_training(seed=9), n_jobs=2),
+        )
+        pooled_results = pooled.query_many(list(queries), k=3, p=10, n_jobs=2)
+        assert_results_identical(serial_results, pooled_results)
+        serial.close()
+        pooled.close()
+
+    def test_single_pool_instance_serves_repeated_batches(self):
+        """One persistent pool (one launch) across build + every query_many."""
+        database, queries = make_timeseries_dataset(
+            n_database=50, n_queries=6, n_seeds=6, length=24, n_dims=1, seed=7
+        )
+        index = EmbeddingIndex.build(
+            ConstrainedDTW(),
+            database,
+            IndexConfig(training=_tiny_training(seed=9), n_jobs=2),
+        )
+        fresh_batches = [list(queries)[:3], list(queries)[3:]]
+        for batch in fresh_batches:
+            index.query_many(batch, k=2, p=10, n_jobs=2)
+        assert index.pool.launches == 1
+        assert index.pool.runs >= 2
+        index.close()
+        # Closing is idempotent and leaves the pool unusable.
+        index.close()
+        with pytest.raises(DistanceError, match="closed"):
+            index.pool.run(lambda s, c: c, {}, [[1]])
+
+    def test_shared_pool_is_borrowed_not_owned(self, l2_split):
+        with PersistentPool(2) as pool:
+            index = EmbeddingIndex.build(
+                L2Distance(),
+                l2_split.database,
+                IndexConfig(training=_tiny_training()),
+                pool=pool,
+            )
+            index.close()  # must NOT close the shared pool
+            assert not pool._closed
+            pool.run(_echo_chunk, {"tag": 1}, [[1, 2]])
+
+    def test_serial_config_creates_no_pool(self, l2_split):
+        """A serial index stays pool-less (nothing to leak), and a per-call
+        n_jobs override still works through a per-call executor."""
+        index = EmbeddingIndex.build(
+            L2Distance(), l2_split.database, IndexConfig(training=_tiny_training())
+        )
+        assert index.pool is None
+        assert index.context.pool is None
+        serial = index.query_many(list(l2_split.queries)[:4], k=2, p=8)
+        fresh = list(l2_split.queries)[4:8]
+        pooled = index.query_many(fresh, k=2, p=8, n_jobs=2)
+        reference = index.query_many(fresh, k=2, p=8)
+        for a, b in zip(pooled, reference):
+            assert np.array_equal(a.neighbor_indices, b.neighbor_indices)
+        index.close()
+
+    def test_undersized_pool_bypassed_for_wider_requests(self, l2_split):
+        """A 1-worker pool must not serialize a multi-worker request."""
+        context = DistanceContext(
+            L2Distance(), list(l2_split.database) + list(l2_split.queries)
+        )
+        with PersistentPool(1) as pool:
+            context.pool = pool
+            assert context._pool_for(4) is None  # fall back to per-call
+            assert context._pool_for(1) is pool
+        context.pool = None
+
+    def test_closed_borrowed_pool_degrades_gracefully(self, l2_split):
+        """An index outliving its borrowed pool falls back to per-call
+        executors instead of erroring on the next parallel batch."""
+        pool = PersistentPool(2)
+        index = EmbeddingIndex.build(
+            L2Distance(),
+            l2_split.database,
+            IndexConfig(training=_tiny_training(), n_jobs=2),
+            pool=pool,
+        )
+        reference = index.query_many(list(l2_split.queries), k=2, p=8)
+        pool.close()
+        # Genuinely novel queries → real refine work that would hit the pool.
+        rng = np.random.default_rng(3)
+        fresh = [rng.normal(size=5) for _ in range(4)]
+        served = index.query_many(fresh, k=2, p=8, n_jobs=2)
+        expected = index.query_many(fresh, k=2, p=8)
+        for a, b in zip(served, expected):
+            assert np.array_equal(a.neighbor_indices, b.neighbor_indices)
+        assert index.context.pool is None  # closed pool was detached
+        assert len(reference) == len(l2_split.queries)
+        index.close()
+
+    def test_adoption_survives_batches_larger_than_the_lru(self, tmp_path):
+        """A warm-open batch larger than the adopted-id LRU must still be
+        served entirely from the store (no silent cache-nothing fallback)."""
+        database, queries = make_timeseries_dataset(
+            n_database=40, n_queries=6, n_seeds=5, length=20, n_dims=1, seed=5
+        )
+        index = EmbeddingIndex.build(
+            ConstrainedDTW(), database, IndexConfig(training=_tiny_training(seed=6))
+        )
+        index.query_many(list(queries), k=2, p=8)
+        index.save(tmp_path / "artifact")
+        index.close()
+
+        _db2, queries2 = make_timeseries_dataset(
+            n_database=40, n_queries=6, n_seeds=5, length=20, n_dims=1, seed=5
+        )
+        reopened = EmbeddingIndex.open(tmp_path / "artifact", database)
+        reopened.context.ADOPTED_CACHE_SIZE = 2  # force eviction pressure
+        served = reopened.query_many(list(queries2), k=2, p=8)
+        assert reopened.distance_evaluations == 0
+        for result in served:
+            assert result.refine_distance_computations == 0
+        reopened.close()
+
+    def test_pool_cannot_be_pickled(self):
+        with PersistentPool(1) as pool:
+            with pytest.raises(DistanceError, match="pickle"):
+                pickle.dumps(pool)
+
+
+def _echo_chunk(state, chunk):
+    return [state["tag"]] + list(chunk)
+
+
+class TestPersistentPoolUnit:
+    def test_run_preserves_chunk_order_and_state(self):
+        with PersistentPool(2) as pool:
+            results = pool.run(
+                _echo_chunk, {"tag": 7}, [[1], [2], [3], [4]], signature=("s", 1)
+            )
+            assert results == [[7, 1], [7, 2], [7, 3], [7, 4]]
+            assert pool.launches == 1
+            # Same signature: the state is not re-published.
+            pool.run(_echo_chunk, {"tag": 7}, [[5]], signature=("s", 1))
+            assert pool.states_published == 1
+            # New signature: published once more, same workers.
+            pool.run(_echo_chunk, {"tag": 8}, [[6]], signature=("s", 2))
+            assert pool.states_published == 2
+            assert pool.launches == 1
+
+    def test_unsigned_state_never_cached(self):
+        with PersistentPool(1) as pool:
+            pool.run(_echo_chunk, {"tag": 1}, [[1]])
+            pool.run(_echo_chunk, {"tag": 2}, [[2]])
+            assert pool.states_published == 2
+
+
+class TestIndexConfig:
+    def test_round_trip(self):
+        config = IndexConfig(
+            training=_tiny_training(seed=4),
+            backend="sharded",
+            n_shards=5,
+            n_jobs=3,
+            symmetric=False,
+            max_sparse_entries=1000,
+        )
+        clone = IndexConfig.from_dict(config.to_dict())
+        assert clone == config
+
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(ConfigurationError, match="backend"):
+            IndexConfig(backend="warp-drive")
+
+    def test_third_party_backend_registration(self, l2_split):
+        calls = {}
+
+        def factory(distance, database, embedder, database_vectors, config):
+            calls["built"] = True
+            return _BACKEND_PROBE
+
+        register_backend("test-probe", factory)
+        try:
+            assert "test-probe" in available_backends()
+            index = EmbeddingIndex.build(
+                L2Distance(),
+                l2_split.database,
+                IndexConfig(training=_tiny_training(), backend="test-probe"),
+            )
+            assert calls["built"]
+            assert index.query(l2_split.queries[0], k=1, p=3) == "probe-result"
+            with pytest.raises(ConfigurationError, match="already registered"):
+                register_backend("test-probe", factory)
+            index.close()
+        finally:
+            from repro.index.embedding_index import _BACKEND_REGISTRY
+
+            _BACKEND_REGISTRY.pop("test-probe", None)
+
+
+class _BackendProbe:
+    def query(self, obj, k, p=None, n_jobs=None):
+        return "probe-result"
+
+    def query_many(self, objects, k, p=None, n_jobs=None):
+        return ["probe-result"] * len(objects)
+
+
+_BACKEND_PROBE = _BackendProbe()
+
+
+class TestBoundedStore:
+    def test_lru_eviction_over_sparse_entries(self):
+        store = DistanceStore(max_sparse_entries=3)
+        for i in range(5):
+            store.put(0, i + 1, float(i))
+        assert store.n_sparse_entries == 3
+        assert store.sparse_evictions == 2
+        assert store.get(0, 1) is None  # oldest two evicted
+        assert store.get(0, 5) == 4.0
+
+    def test_get_refreshes_recency(self):
+        store = DistanceStore(max_sparse_entries=2)
+        store.put(0, 1, 1.0)
+        store.put(0, 2, 2.0)
+        assert store.get(0, 1) == 1.0  # refresh (0, 1)
+        store.put(0, 3, 3.0)  # evicts (0, 2), the least recently used
+        assert store.get(0, 2) is None
+        assert store.get(0, 1) == 1.0
+
+    def test_dense_blocks_never_evicted(self):
+        store = DistanceStore(max_sparse_entries=1)
+        values = np.arange(9, dtype=float).reshape(3, 3)
+        store.put_block([0, 1, 2], [3, 4, 5], values)
+        for i in range(50):
+            store.put(10, 11 + i, float(i))
+        assert store.get(1, 4) == 4.0  # block cell survives any sparse churn
+        assert store.n_sparse_entries == 1
+
+    def test_bound_must_be_positive(self):
+        with pytest.raises(DistanceError, match="positive"):
+            DistanceStore(max_sparse_entries=0)
+
+    def test_context_results_identical_under_tight_bound(self):
+        """A tiny bound may cost re-evaluations but never changes values,
+        including batches larger than the bound and duplicate targets."""
+        rng = np.random.default_rng(0)
+        objects = [rng.normal(size=4) for _ in range(20)]
+        unbounded = DistanceContext(L2Distance(), objects)
+        bounded = DistanceContext(L2Distance(), objects, max_sparse_entries=3)
+        targets = list(range(1, 20)) + [5, 5, 7]
+        a = unbounded.distances_to(objects[0], targets)
+        b = bounded.distances_to(objects[0], targets)
+        np.testing.assert_array_equal(a, b)
+        # Batched path with duplicate queries/targets exercises the
+        # deferred-pair bookkeeping under eviction pressure.
+        batch = [objects[2], objects[3], objects[2]]
+        values_a, _ = unbounded.distances_to_many(batch, [targets] * 3)
+        # n_jobs=2 exercises the deferred-pair fallback: a pair computed
+        # under another query's plan can be evicted again before the
+        # deferred position reads it back.
+        values_b, _ = bounded.distances_to_many(batch, [targets] * 3, n_jobs=2)
+        for lhs, rhs in zip(values_a, values_b):
+            np.testing.assert_array_equal(lhs, rhs)
+        assert bounded.store.n_sparse_entries <= 3
+        assert bounded.store.sparse_evictions > 0
+
+    def test_index_config_surfaces_bound(self, l2_split):
+        index = EmbeddingIndex.build(
+            L2Distance(),
+            l2_split.database,
+            IndexConfig(training=_tiny_training(), max_sparse_entries=40),
+        )
+        index.query_many(list(l2_split.queries), k=2, p=15)
+        assert index.context.store.max_sparse_entries == 40
+        assert index.context.store.n_sparse_entries <= 40
+        index.close()
+
+    def test_merge_respects_bound(self):
+        big = DistanceStore()
+        for i in range(10):
+            big.put(0, i + 1, float(i))
+        small = DistanceStore(max_sparse_entries=4)
+        small.merge(big)
+        assert small.n_sparse_entries == 4
+
+
+class TestAtomicStoreSave:
+    def test_failed_save_preserves_existing_file(self, tmp_path, monkeypatch):
+        store = DistanceStore()
+        store.put(0, 1, 1.5)
+        path = tmp_path / "store.npz"
+        store.save(path)
+        original = path.read_bytes()
+
+        store.put(0, 2, 2.5)
+        import repro.distances.context as context_module
+
+        def boom(*args, **kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(context_module.np, "savez_compressed", boom)
+        with pytest.raises(OSError):
+            store.save(path)
+        # The original file is intact and no temp litter remains.
+        assert path.read_bytes() == original
+        assert list(tmp_path.iterdir()) == [path]
+
+    def test_save_leaves_no_temp_files(self, tmp_path):
+        store = DistanceStore()
+        store.put(3, 4, 5.0)
+        path = tmp_path / "store.npz"
+        store.save(path)
+        assert [p.name for p in tmp_path.iterdir()] == ["store.npz"]
+        loaded = DistanceStore.load(path)
+        assert loaded.get(3, 4) == 5.0

@@ -296,8 +296,7 @@ class TestShardedEdgeCases:
 class TestCacheSafetyUnderParallelism:
     def test_identity_keyed_cache_rejected_by_n_jobs(self, l2_setup):
         distance, split, embedding = l2_setup
-        with pytest.warns(DeprecationWarning, match="DistanceContext"):
-            cached = CachedDistance(distance)  # default key=id
+        cached = CachedDistance(distance, key=id)
         sharded = ShardedRetriever(cached, split.database, embedding, n_shards=2)
         with pytest.raises(DistanceError, match="key"):
             sharded.query_many(list(split.queries)[:3], k=2, p=8, n_jobs=2)
@@ -307,8 +306,7 @@ class TestCacheSafetyUnderParallelism:
 
     def test_identity_keyed_cache_fine_serially(self, l2_setup):
         distance, split, embedding = l2_setup
-        with pytest.warns(DeprecationWarning, match="DistanceContext"):
-            cached = CachedDistance(distance)
+        cached = CachedDistance(distance, key=id)
         sharded = ShardedRetriever(cached, split.database, embedding, n_shards=2)
         flat = FilterRefineRetriever(cached, split.database, embedding)
         assert_results_identical(
