@@ -11,9 +11,11 @@ must perform zero exact evaluations for cached pairs, asserted), and an
 ``index_serve`` benchmark (cold ``EmbeddingIndex.build`` + serve vs. warm
 ``EmbeddingIndex.open`` + ``query_many`` through one persistent worker
 pool; the warm serve must perform zero exact evaluations and the pool must
-launch exactly once across repeated batches, both asserted), and
-**appends** the measurements to a history record in ``BENCH_perf.json`` so
-regressions are visible across PRs.
+launch exactly once across repeated batches, both asserted), an
+``async_serve`` benchmark (blocking ``query_many`` vs. the pipelined
+``stream`` serving path on a warm index, results asserted bit-identical),
+and **appends** the measurements to a history record in
+``BENCH_perf.json`` so regressions are visible across PRs.
 
 Usage::
 
@@ -518,6 +520,97 @@ def bench_index_serve(
     }
 
 
+def bench_async_serve(
+    n_database: int,
+    n_queries: int,
+    length: int,
+    n_candidates: int,
+    dim_rounds: int,
+    k: int,
+    p: int,
+    n_jobs: int,
+) -> dict:
+    """Blocking ``query_many`` vs. pipelined ``stream``, both served cold.
+
+    Builds one index and serves two *disjoint* query halves — the first
+    through blocking ``query_many``, the second through ``stream`` — so
+    both paths pay their refine evaluations and the recorded ratio
+    measures the pipelining (parent-side embed/filter of query ``i+1``
+    overlapping the pooled refine of query ``i``), not store warmth.
+    A blocking re-run of the streamed half then asserts the streamed
+    results are bit-identical, and the persistent pool must have launched
+    exactly once across every path.
+    """
+    from repro.index import EmbeddingIndex, IndexConfig
+
+    database, queries = make_timeseries_dataset(
+        n_database=n_database,
+        n_queries=2 * n_queries,
+        n_seeds=8,
+        length=length,
+        n_dims=1,
+        seed=29,
+    )
+    query_objects = list(queries)
+    blocking_batch = query_objects[:n_queries]
+    stream_batch = query_objects[n_queries:]
+    config = IndexConfig(
+        training=TrainingConfig(
+            n_candidates=n_candidates,
+            n_training_objects=n_candidates,
+            n_triples=max(200, 10 * n_candidates),
+            n_rounds=dim_rounds,
+            classifiers_per_round=20,
+            intervals_per_candidate=3,
+            kmax=k,
+            seed=7,
+        ),
+        backend="filter_refine",
+        n_jobs=n_jobs,
+    )
+    index = EmbeddingIndex.build(ConstrainedDTW(), database, config)
+
+    _blocking_results, blocking_seconds = _timed(
+        lambda: index.query_many(blocking_batch, k=k, p=p, n_jobs=n_jobs)
+    )
+
+    def streamed():
+        results = [None] * len(stream_batch)
+        for position, result in index.stream(
+            stream_batch, k=k, p=p, n_jobs=n_jobs, order="completion"
+        ):
+            results[position] = result
+        return results
+
+    stream_results, stream_seconds = _timed(streamed)
+
+    reference = index.query_many(stream_batch, k=k, p=p, n_jobs=n_jobs)
+    for stream_r, reference_r in zip(stream_results, reference):
+        assert np.array_equal(
+            stream_r.neighbor_indices, reference_r.neighbor_indices
+        ), "streamed serve disagrees with blocking query_many"
+        assert np.array_equal(
+            stream_r.neighbor_distances, reference_r.neighbor_distances
+        )
+    if index.pool is not None:
+        assert index.pool.launches <= 1, (
+            f"expected at most one pool launch, got {index.pool.launches}"
+        )
+    index.close()
+    return {
+        "n_database": n_database,
+        "n_queries": n_queries,
+        "series_length": length,
+        "n_candidates": n_candidates,
+        "k": k,
+        "p": p,
+        "n_jobs": n_jobs,
+        "blocking_seconds": blocking_seconds,
+        "stream_seconds": stream_seconds,
+        "speedup": blocking_seconds / stream_seconds,
+    }
+
+
 # --------------------------------------------------------------------------- #
 # History + regression gate                                                   #
 # --------------------------------------------------------------------------- #
@@ -625,6 +718,10 @@ def main() -> int:
                 n_database=60, n_queries=8, length=30, n_candidates=20,
                 dim_rounds=5, k=3, p=10, n_jobs=2, n_batches=2,
             ),
+            "async_serve": dict(
+                n_database=60, n_queries=8, length=30, n_candidates=20,
+                dim_rounds=5, k=3, p=10, n_jobs=2,
+            ),
         }
     else:
         sizes = {
@@ -645,6 +742,10 @@ def main() -> int:
                 n_database=200, n_queries=20, length=50, n_candidates=60,
                 dim_rounds=10, k=5, p=25, n_jobs=2, n_batches=3,
             ),
+            "async_serve": dict(
+                n_database=200, n_queries=20, length=50, n_candidates=60,
+                dim_rounds=10, k=5, p=25, n_jobs=2,
+            ),
         }
 
     results = {}
@@ -655,15 +756,21 @@ def main() -> int:
         ("sharded_query_many", bench_sharded_query_many),
         ("context_reuse", bench_context_reuse),
         ("index_serve", bench_index_serve),
+        ("async_serve", bench_async_serve),
     ]:
         print(f"[bench_perf] {name} {sizes[name]} ...", flush=True)
         results[name] = fn(**sizes[name])
         r = results[name]
         baseline = r.get(
-            "seed_seconds", r.get("single_process_seconds", r.get("cold_seconds"))
+            "seed_seconds",
+            r.get(
+                "single_process_seconds",
+                r.get("cold_seconds", r.get("blocking_seconds")),
+            ),
         )
         engine = r.get(
-            "engine_seconds", r.get("sharded_seconds", r.get("warm_seconds"))
+            "engine_seconds",
+            r.get("sharded_seconds", r.get("warm_seconds", r.get("stream_seconds"))),
         )
         print(
             f"[bench_perf]   baseline {baseline:.3f}s  "

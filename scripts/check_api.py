@@ -86,6 +86,30 @@ def main() -> int:
         "backend switch is result-identical",
     )
 
+    # async serving: submit/stream must agree with the blocking path
+    ticket = index.submit(queries[0], k=3, p=12)
+    check(
+        np.array_equal(ticket.result().neighbor_indices, warm[0].neighbor_indices),
+        "submit -> ticket.result matches blocking query",
+    )
+    streamed = [None] * len(queries)
+    stream = index.stream(queries, k=3, p=12, max_in_flight=4)
+    for position, result in stream:
+        streamed[position] = result
+    check(
+        all(
+            np.array_equal(a.neighbor_indices, b.neighbor_indices)
+            and a.refine_distance_computations == 0
+            for a, b in zip(warm, streamed)
+        ),
+        "stream serves bit-identically from the warm store",
+    )
+    check(
+        stream.max_pending_seen <= 4,
+        "stream honours the max_in_flight backpressure bound",
+    )
+    check(index.pool.launches <= 1, "async serving reuses the same pool launch")
+
     with tempfile.TemporaryDirectory() as tmp:
         artifact = Path(tmp) / "index"
 

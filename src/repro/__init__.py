@@ -115,6 +115,7 @@ from repro.core import (
 from repro.retrieval import (
     NeighborTable,
     ground_truth_neighbors,
+    QueryEngine,
     BruteForceRetriever,
     FilterRefineRetriever,
     RetrievalResult,
@@ -128,6 +129,8 @@ from repro.index import (
     EmbeddingIndex,
     IndexConfig,
     PersistentPool,
+    QueryStream,
+    QueryTicket,
     VPTree,
     available_backends,
     register_backend,
@@ -206,6 +209,7 @@ __all__ = [
     # retrieval
     "NeighborTable",
     "ground_truth_neighbors",
+    "QueryEngine",
     "BruteForceRetriever",
     "FilterRefineRetriever",
     "RetrievalResult",
@@ -218,6 +222,8 @@ __all__ = [
     "EmbeddingIndex",
     "IndexConfig",
     "PersistentPool",
+    "QueryStream",
+    "QueryTicket",
     "available_backends",
     "register_backend",
     "VPTree",

@@ -61,6 +61,8 @@ from __future__ import annotations
 import hashlib
 import json
 import pickle
+import warnings
+import zipfile
 from collections import OrderedDict
 from pathlib import Path
 from typing import (
@@ -89,6 +91,7 @@ from repro.utils.io import atomic_replace
 __all__ = [
     "DistanceContext",
     "DistanceStore",
+    "PendingDistances",
     "object_digest",
     "fingerprint_objects",
 ]
@@ -148,6 +151,56 @@ def _combine_digests(digests: Sequence[bytes]) -> str:
     for digest in digests:
         hasher.update(digest)
     return hasher.hexdigest()
+
+
+def _mmap_npz_member(path: Path, name: str, mmap_mode: str) -> Optional[np.ndarray]:
+    """Memory-map one array member of an *uncompressed* ``.npz`` archive.
+
+    ``np.load(..., mmap_mode=...)`` silently ignores the mode for ``.npz``
+    files, so this locates the member's raw ``.npy`` payload inside the zip
+    (only possible for ``ZIP_STORED`` members — a store saved with
+    ``compress=False``) and maps it directly.  Returns ``None`` whenever
+    mapping is not possible (compressed member, exotic npy header), letting
+    the caller fall back to an eager read.
+    """
+    member_name = name + ".npy"
+    try:
+        with zipfile.ZipFile(path) as archive:
+            info = archive.getinfo(member_name)
+            if info.compress_type != zipfile.ZIP_STORED:
+                return None
+            with archive.open(info) as member:
+                version = np.lib.format.read_magic(member)
+                if version == (1, 0):
+                    shape, fortran, dtype = np.lib.format.read_array_header_1_0(member)
+                elif version == (2, 0):
+                    shape, fortran, dtype = np.lib.format.read_array_header_2_0(member)
+                else:
+                    return None
+                header_size = member.tell()
+        if dtype.hasobject:
+            return None
+        # The zip local file header is 30 fixed bytes plus the (possibly
+        # re-encoded) file name and extra field; read the lengths from the
+        # header itself rather than trusting the central directory.
+        with open(path, "rb") as handle:
+            handle.seek(info.header_offset)
+            local_header = handle.read(30)
+        if len(local_header) != 30 or local_header[:4] != b"PK\x03\x04":
+            return None
+        name_length = int.from_bytes(local_header[26:28], "little")
+        extra_length = int.from_bytes(local_header[28:30], "little")
+        offset = info.header_offset + 30 + name_length + extra_length + header_size
+        return np.memmap(
+            path,
+            dtype=dtype,
+            mode=mmap_mode,
+            offset=offset,
+            shape=shape,
+            order="F" if fortran else "C",
+        )
+    except (KeyError, OSError, ValueError):
+        return None
 
 
 # --------------------------------------------------------------------------- #
@@ -366,13 +419,20 @@ class DistanceStore:
 
     # -- persistence ----------------------------------------------------
 
-    def save(self, path) -> None:
+    def save(self, path, compress: bool = True) -> None:
         """Persist the store to a ``.npz`` file (bit-exact round trip).
 
         The write is atomic: the payload goes to a temporary sibling file
         which is then renamed over ``path``, so a crash mid-save can never
         leave a truncated store behind (and an existing store file survives
         a failed save untouched).
+
+        ``compress=False`` stores the arrays uncompressed (``ZIP_STORED``),
+        which is what makes :meth:`load`'s ``mmap_mode`` able to map the
+        dense blocks straight off disk; paper-scale ground-truth tables
+        then page in on demand instead of being materialized up front.
+        A memory-mapped source block is read (copied) like any array here,
+        so re-saving a store loaded with ``mmap_mode`` materializes it.
         """
         path = Path(path)
         meta = {
@@ -401,18 +461,43 @@ class DistanceStore:
         # Write through a file handle: np.savez_compressed given a *path*
         # silently appends ".npz" to suffix-less names, which would make
         # save/load disagree about where the store lives.
+        writer = np.savez_compressed if compress else np.savez
         with atomic_replace(path) as tmp_path:
             with open(tmp_path, "wb") as handle:
-                np.savez_compressed(handle, **payload)
+                writer(handle, **payload)
 
     @classmethod
-    def load(cls, path, expected_fingerprint: Optional[str] = None) -> "DistanceStore":
+    def load(
+        cls,
+        path,
+        expected_fingerprint: Optional[str] = None,
+        mmap_mode: Optional[str] = None,
+    ) -> "DistanceStore":
         """Load a persisted store, verifying the dataset fingerprint.
 
         Raises :class:`~repro.exceptions.DistanceError` when the file's
         fingerprint differs from ``expected_fingerprint`` — loading a store
         against a reordered or different dataset would silently return
         distances for the wrong pairs.
+
+        With ``mmap_mode`` (``"r"`` being the sensible choice) the *dense
+        block values* are memory-mapped instead of read into RAM, so a
+        paper-scale store (e.g. a 60k x 10k ground-truth table) opens
+        instantly and pages in on demand.  Only stores saved with
+        ``compress=False`` can be mapped; compressed blocks fall back to an
+        eager read with a :class:`RuntimeWarning`.  Rows, columns and the
+        sparse entries are always loaded eagerly (they are small).
+
+        Caveats of a mapped store:
+
+        * the mapping is **read-only** — dense blocks are never mutated or
+          evicted, so this matches the store's semantics, but anything
+          that persists the store again (e.g. ``save``) copies the mapped
+          pages into RAM first (copy-on-write at the numpy level);
+        * replacing the file on disk (the atomic ``save`` renames over it)
+          leaves live mappings attached to the *old* file's data — safe on
+          POSIX (the inode survives until unmapped), but the old file's
+          disk space is not reclaimed until the store is dropped.
         """
         path = Path(path)
         if not path.is_file():
@@ -441,14 +526,30 @@ class DistanceStore:
                     "distances for the wrong pairs"
                 )
             store = cls(symmetric=bool(meta["symmetric"]), fingerprint=fingerprint)
+            mmap_failed = False
             for k in range(int(meta.get("n_blocks", 0))):
+                values: Optional[np.ndarray] = None
+                if mmap_mode is not None:
+                    values = _mmap_npz_member(path, f"block{k}_values", mmap_mode)
+                    if values is None:
+                        mmap_failed = True
+                if values is None:
+                    values = payload[f"block{k}_values"]
                 store._blocks.append(
                     _DenseBlock(
                         payload[f"block{k}_rows"],
                         payload[f"block{k}_cols"],
-                        payload[f"block{k}_values"],
+                        values,
                         diagonal_valid=bool(payload[f"block{k}_diagonal_valid"]),
                     )
+                )
+            if mmap_failed:
+                warnings.warn(
+                    f"distance store {path} holds compressed (or unmappable) "
+                    "dense blocks; mmap_mode was ignored for them. Save the "
+                    "store with compress=False to page blocks in on demand.",
+                    RuntimeWarning,
+                    stacklevel=2,
                 )
             if "sparse_i" in payload:
                 for i, j, v in zip(
@@ -456,6 +557,84 @@ class DistanceStore:
                 ):
                     store._sparse[(int(i), int(j))] = float(v)
         return store
+
+
+# --------------------------------------------------------------------------- #
+# Pending resolutions (the async serving slice of distances_to_many)          #
+# --------------------------------------------------------------------------- #
+
+
+class PendingDistances:
+    """One in-flight ``distances_to`` resolution, split into plan/complete.
+
+    :meth:`DistanceContext.resolve_distances` resolves the store hits of a
+    (query, targets) request in the parent and records the *missing* pairs
+    here; the caller computes those pairs wherever it likes (inline, or as
+    refine chunks on a :class:`~repro.index.pool.PersistentPool` while the
+    parent moves on) and then calls
+    :meth:`DistanceContext.complete_distances` to store the fresh values,
+    charge the evaluation counter and obtain the filled value array.  This
+    is exactly the per-query planning step of
+    :meth:`DistanceContext.distances_to_many`, reified so the async serving
+    layer can overlap the compute with other parent work.
+
+    The optional ``in_flight`` mapping carries the batch-dedup semantics
+    across pending resolutions: a pair another pending resolution is
+    already computing is *deferred* (free for this one, like a store hit in
+    the serial path) and filled at completion time from the store — or from
+    the owning resolution's :attr:`computed` values if a bounded store has
+    already evicted the pair again.  Completion of the owner must therefore
+    happen before completion of the dependent (the serving layer's ticket
+    dependencies guarantee it).
+    """
+
+    __slots__ = (
+        "query_index",
+        "obj",
+        "targets",
+        "values",
+        "pending",
+        "miss_slot",
+        "miss_targets",
+        "deferred",
+        "owned_keys",
+        "computed",
+        "dependents",
+        "completed",
+        "owner",
+    )
+
+    def __init__(self, query_index: Optional[int], obj: Any, targets: np.ndarray) -> None:
+        self.query_index = query_index
+        self.obj = obj
+        self.targets = targets
+        self.values = np.empty(targets.size, dtype=float)
+        #: ``(position, target_index)`` pairs filled from the fresh batch.
+        self.pending: List[Tuple[int, int]] = []
+        #: target index → slot in :attr:`miss_targets`.
+        self.miss_slot: Dict[int, int] = {}
+        #: Unique universe indices this resolution must evaluate.
+        self.miss_targets: List[int] = []
+        #: ``(position, target_index, owner)`` filled from another pending
+        #: resolution's work.
+        self.deferred: List[Tuple[int, int, "PendingDistances"]] = []
+        #: Store keys this resolution registered in the in-flight map.
+        self.owned_keys: List[Tuple[int, int]] = []
+        #: key → value for pairs this resolution computed (set on
+        #: completion; outlives bounded-store eviction for dependents).
+        self.computed: Dict[Tuple[int, int], float] = {}
+        #: How many other pending resolutions deferred onto this one (the
+        #: serving layer refuses to cancel while nonzero).
+        self.dependents = 0
+        self.completed = False
+        #: Opaque back-reference for the caller (the serving layer points
+        #: it at the owning ticket to build dependency edges).
+        self.owner: Any = None
+
+    @property
+    def n_missing(self) -> int:
+        """Unique pairs the caller must evaluate (the eventual cost)."""
+        return len(self.miss_targets)
 
 
 # --------------------------------------------------------------------------- #
@@ -751,13 +930,26 @@ class DistanceContext(DistanceMeasure):
 
     # -- persistence ----------------------------------------------------
 
-    def save_store(self, path) -> None:
-        """Persist the current store to ``path`` (``.npz``)."""
-        self.store.save(path)
+    def save_store(self, path, compress: bool = True) -> None:
+        """Persist the current store to ``path`` (``.npz``).
 
-    def load_store(self, path) -> None:
-        """Merge a persisted store into this context (fingerprint-checked)."""
-        loaded = DistanceStore.load(path, expected_fingerprint=self.store.fingerprint)
+        ``compress=False`` writes mappable (``ZIP_STORED``) blocks — see
+        :meth:`DistanceStore.save`.
+        """
+        self.store.save(path, compress=compress)
+
+    def load_store(self, path, mmap_mode: Optional[str] = None) -> None:
+        """Merge a persisted store into this context (fingerprint-checked).
+
+        With ``mmap_mode="r"`` the loaded dense blocks are memory-mapped
+        and page in on demand (uncompressed stores only; see
+        :meth:`DistanceStore.load` for the caveats).
+        """
+        loaded = DistanceStore.load(
+            path,
+            expected_fingerprint=self.store.fingerprint,
+            mmap_mode=mmap_mode,
+        )
         self.store.merge(loaded)
 
     # -- core evaluation ------------------------------------------------
@@ -936,6 +1128,157 @@ class DistanceContext(DistanceMeasure):
                     cached = computed_this_call[self.store._key(query_index, j)]
                 values_list[qi][pos] = cached
         return values_list, counts
+
+    # -- split resolution (async serving primitives) ---------------------
+
+    def miss_objects(self, pending: PendingDistances) -> List[Any]:
+        """The universe objects behind a resolution's missing targets."""
+        return [self.objects[j] for j in pending.miss_targets]
+
+    def resolve_distances(
+        self,
+        obj: Any,
+        target_indices: Sequence[int],
+        in_flight: Optional[Dict[Tuple[int, int], PendingDistances]] = None,
+    ) -> PendingDistances:
+        """Resolve store hits now; return the missing pairs as a plan.
+
+        The first half of :meth:`distances_to`: ``pending.values`` is
+        filled for every cached pair, and ``pending.miss_targets`` lists
+        the unique universe indices whose exact distances the caller must
+        supply to :meth:`complete_distances`.  With an ``in_flight``
+        mapping, pairs another registered resolution is already computing
+        are deferred instead of recomputed (see
+        :class:`PendingDistances`), and this resolution's own missing keys
+        are registered in the mapping until completed or cancelled.
+        """
+        targets = np.asarray(target_indices, dtype=int)
+        pending = PendingDistances(self.index_of(obj), obj, targets)
+        if pending.query_index is None:
+            # No stable key: compute everything (duplicates included),
+            # cache nothing; fresh values align with the targets by
+            # position.
+            pending.miss_targets = [int(j) for j in targets]
+            pending.pending = [(pos, int(j)) for pos, j in enumerate(targets)]
+            return pending
+        for pos, j in enumerate(targets):
+            j = int(j)
+            cached = self.store.get(pending.query_index, j)
+            if cached is not None:
+                pending.values[pos] = cached
+                continue
+            if j in pending.miss_slot:
+                pending.pending.append((pos, j))
+                continue
+            key = self.store._key(pending.query_index, j)
+            if in_flight is not None:
+                owner = in_flight.get(key)
+                if owner is not None and not owner.completed:
+                    owner.dependents += 1
+                    pending.deferred.append((pos, j, owner))
+                    continue
+                in_flight[key] = pending
+                pending.owned_keys.append(key)
+            pending.miss_slot[j] = len(pending.miss_targets)
+            pending.miss_targets.append(j)
+            pending.pending.append((pos, j))
+        return pending
+
+    def complete_distances(
+        self,
+        pending: PendingDistances,
+        fresh: Optional[np.ndarray],
+        in_flight: Optional[Dict[Tuple[int, int], PendingDistances]] = None,
+    ) -> Tuple[np.ndarray, int]:
+        """Fold freshly computed miss values back in; return ``(values, spent)``.
+
+        ``fresh`` must hold one value per ``pending.miss_targets`` entry,
+        evaluated with the *base* measure (workers evaluate the inner
+        measure; this method charges the context's counter one evaluation
+        per pair, exactly like the pooled paths).  Resolutions this one
+        deferred onto must have been completed first; pairs whose owner
+        was force-released without delivering are evaluated here directly
+        and included in the returned ``spent`` count, so the per-query
+        cost always equals the evaluations actually performed.
+        """
+        if pending.completed:
+            return pending.values, pending.n_missing
+        query_index = pending.query_index
+        if pending.miss_targets:
+            fresh = np.asarray(fresh, dtype=float)
+            if fresh.shape[0] != len(pending.miss_targets):
+                raise DistanceError(
+                    f"complete_distances needs {len(pending.miss_targets)} fresh "
+                    f"values, got {fresh.shape[0]}"
+                )
+            if query_index is None:
+                for pos, _j in pending.pending:
+                    pending.values[pos] = float(fresh[pos])
+            else:
+                for j, slot in pending.miss_slot.items():
+                    value = float(fresh[slot])
+                    self.store.put(query_index, j, value)
+                    pending.computed[self.store._key(query_index, j)] = value
+                # Fill from the computed batch, not the store: a bounded
+                # store may already have evicted the earliest entries.
+                for pos, j in pending.pending:
+                    pending.values[pos] = float(fresh[pending.miss_slot[j]])
+            self.counting.calls += len(pending.miss_targets)
+        fallback_evaluations = 0
+        for pos, j, owner in pending.deferred:
+            cached = self.store.get(query_index, j)
+            if cached is None:
+                cached = owner.computed.get(self.store._key(query_index, j))
+            if cached is None:
+                # The owner never delivered (it errored or was force
+                # released): evaluate the pair directly, charged like any
+                # fresh evaluation, so one failed ticket cannot poison
+                # later ones that deferred onto it.
+                cached = float(self.counting.compute(pending.obj, self.objects[j]))
+                self.store.put(query_index, j, cached)
+                fallback_evaluations += 1
+            pending.values[pos] = cached
+            owner.dependents -= 1
+        self._release_keys(pending, in_flight)
+        pending.completed = True
+        return pending.values, pending.n_missing + fallback_evaluations
+
+    def cancel_distances(
+        self,
+        pending: PendingDistances,
+        in_flight: Optional[Dict[Tuple[int, int], PendingDistances]] = None,
+        force: bool = False,
+    ) -> None:
+        """Abandon a resolution: release its in-flight keys and deferrals.
+
+        Only legal while nothing depends on it (``pending.dependents ==
+        0``), unless ``force=True`` — the error path of a serving ticket,
+        where dependents then fall back to evaluating the abandoned pairs
+        themselves (see :meth:`complete_distances`).
+        """
+        if pending.completed:
+            return
+        if pending.dependents and not force:
+            raise DistanceError(
+                "cannot cancel a pending resolution other resolutions "
+                "deferred onto"
+            )
+        for _pos, _j, owner in pending.deferred:
+            owner.dependents -= 1
+        pending.deferred = []
+        self._release_keys(pending, in_flight)
+        pending.completed = True
+
+    def _release_keys(
+        self,
+        pending: PendingDistances,
+        in_flight: Optional[Dict[Tuple[int, int], PendingDistances]],
+    ) -> None:
+        if in_flight is not None:
+            for key in pending.owned_keys:
+                if in_flight.get(key) is pending:
+                    del in_flight[key]
+        pending.owned_keys = []
 
     # -- matrix primitives ----------------------------------------------
 

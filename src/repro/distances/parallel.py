@@ -266,6 +266,16 @@ def _refine_signature(distance: DistanceMeasure, shards: List[List[Any]]) -> Tup
     )
 
 
+#: Public aliases for the refine worker task and its persistent-pool state
+#: signature.  The async serving layer submits refine chunks to a
+#: :class:`~repro.index.pool.PersistentPool` *non-blockingly* with exactly
+#: these, so the worker-side state cache is shared with the synchronous
+#: :func:`parallel_refine` path (the state is shipped once per worker per
+#: pool lifetime, whichever path touches it first).
+refine_chunk_task = _pool_refine_chunk
+refine_state_signature = _refine_signature
+
+
 def parallel_refine(
     distance: DistanceMeasure,
     shards: List[List[Any]],

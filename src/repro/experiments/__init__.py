@@ -30,8 +30,10 @@ from repro.experiments.figure6 import Figure6Result, run_figure6
 from repro.experiments.table1 import format_table1, run_table1
 from repro.experiments.timing import (
     RetrievalTimingResult,
+    ServingTimingResult,
     TimingResult,
     run_retrieval_timing,
+    run_serving_timing,
     run_timing,
 )
 from repro.experiments.ablations import K1AblationResult, run_k1_ablation, run_dimension_ablation
@@ -59,6 +61,8 @@ __all__ = [
     "run_timing",
     "RetrievalTimingResult",
     "run_retrieval_timing",
+    "ServingTimingResult",
+    "run_serving_timing",
     "K1AblationResult",
     "run_k1_ablation",
     "run_dimension_ablation",

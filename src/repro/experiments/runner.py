@@ -141,6 +141,29 @@ class ComparisonResult:
             )
         return self.methods[tag]
 
+    def index(self, tag: str) -> EmbeddingIndex:
+        """The ready-to-query index of one method (context-backed runs only)."""
+        if tag not in self.indexes:
+            raise ExperimentError(
+                f"no index for method {tag!r} (indexes are assembled only "
+                "when the comparison runs through a DistanceContext, e.g. "
+                "with store_path set); available: "
+                f"{sorted(self.indexes) or 'none'}"
+            )
+        return self.indexes[tag]
+
+    def stream(self, tag: str, queries: Sequence, k: int, p: int, **kwargs):
+        """Pipelined serving through one method's index (post-hoc queries).
+
+        Delegates to :meth:`repro.index.embedding_index.EmbeddingIndex.stream`
+        on the method's ready-to-query index: every pair the comparison
+        already evaluated — ground truth, training tables, embeddings — is
+        served from the shared store for free, and fresh refine work
+        overlaps with parent-side embed/filter.  Yields ``(position,
+        result)`` pairs.
+        """
+        return self.index(tag).stream(queries, k, p, **kwargs)
+
     def close(self) -> None:
         """Close the per-method indexes and their shared worker pool.
 

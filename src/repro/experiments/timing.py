@@ -18,6 +18,13 @@ process-parallel one (:class:`~repro.retrieval.sharded.ShardedRetriever`)
 with configurable ``n_shards``/``n_jobs`` knobs, asserting along the way that
 both return identical results — the retrieval-service analogue of the
 paper's per-distance throughput numbers.
+
+:func:`run_serving_timing` measures the serving shape on top of that: one
+:class:`~repro.index.embedding_index.EmbeddingIndex` answering the same
+query batch through the blocking ``query_many`` path and through the
+pipelined ``stream`` path (parent-side embed/filter of query ``i+1``
+overlapping the pooled refine of query ``i``), asserting bit-identical
+results before reporting wall-clock throughput.
 """
 
 from __future__ import annotations
@@ -260,6 +267,125 @@ def run_retrieval_timing(
         n_jobs=n_jobs,
         single_seconds=single_seconds,
         sharded_seconds=sharded_seconds,
+    )
+
+
+@dataclass
+class ServingTimingResult:
+    """Measured index serving throughput, blocking vs. pipelined stream.
+
+    Attributes
+    ----------
+    n_database, n_queries, k, p:
+        Workload shape.
+    n_jobs:
+        Pool width of the index the batch was served from.
+    blocking_seconds, stream_seconds:
+        Wall-clock time of the whole batch on each path.
+    """
+
+    n_database: int
+    n_queries: int
+    k: int
+    p: int
+    n_jobs: Optional[int]
+    blocking_seconds: float
+    stream_seconds: float
+
+    @property
+    def blocking_queries_per_second(self) -> float:
+        return self.n_queries / self.blocking_seconds
+
+    @property
+    def stream_queries_per_second(self) -> float:
+        return self.n_queries / self.stream_seconds
+
+    @property
+    def speedup(self) -> float:
+        """Stream speedup over the blocking batch path (>1 = faster)."""
+        return self.blocking_seconds / self.stream_seconds
+
+    def summary(self) -> str:
+        return "\n".join(
+            [
+                f"index serving throughput ({self.n_queries} queries, "
+                f"database={self.n_database}, k={self.k}, p={self.p}, "
+                f"n_jobs={self.n_jobs}):",
+                f"  blocking query_many: {self.blocking_queries_per_second:8.1f} queries/s",
+                f"  pipelined stream:    {self.stream_queries_per_second:8.1f} queries/s",
+                f"  speedup: {self.speedup:.2f}x",
+            ]
+        )
+
+
+def run_serving_timing(
+    n_database: int = 200,
+    n_queries: int = 24,
+    k: int = 5,
+    p: int = 25,
+    n_jobs: Optional[int] = 2,
+    series_length: int = 50,
+    seed: RngLike = 0,
+) -> ServingTimingResult:
+    """Time blocking ``query_many`` vs. pipelined ``stream`` on one index.
+
+    Builds an :class:`~repro.index.embedding_index.EmbeddingIndex` over a
+    synthetic DTW workload (a prebuilt Lipschitz embedding, so the
+    measurement isolates serving, not training), serves one half of the
+    query set each way *cold*, and verifies the other half is bit-identical
+    across paths before reporting throughput.
+    """
+    from repro.index.embedding_index import EmbeddingIndex, IndexConfig
+
+    if n_queries < 2:
+        raise ExperimentError("n_queries must be at least 2")
+    database, queries = make_timeseries_dataset(
+        n_database=n_database,
+        n_queries=2 * n_queries,
+        n_seeds=8,
+        length=series_length,
+        n_dims=1,
+        seed=seed,
+    )
+    distance = ConstrainedDTW()
+    embedding = build_lipschitz_embedding(
+        distance, database, dim=8, set_size=1, seed=seed
+    )
+    query_objects = list(queries)
+    blocking_batch = query_objects[:n_queries]
+    stream_batch = query_objects[n_queries:]
+
+    index = EmbeddingIndex.build(
+        distance, database, IndexConfig(n_jobs=n_jobs), embedder=embedding
+    )
+    try:
+        start = time.perf_counter()
+        index.query_many(blocking_batch, k=k, p=p)
+        blocking_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        streamed = [None] * len(stream_batch)
+        for position, result in index.stream(stream_batch, k=k, p=p):
+            streamed[position] = result
+        stream_seconds = time.perf_counter() - start
+
+        reference = index.query_many(stream_batch, k=k, p=p)
+        for lhs, rhs in zip(streamed, reference):
+            if not np.array_equal(lhs.neighbor_indices, rhs.neighbor_indices):
+                raise ExperimentError(
+                    "streamed serving disagreed with the blocking pipeline"
+                )
+    finally:
+        index.close()
+
+    return ServingTimingResult(
+        n_database=n_database,
+        n_queries=n_queries,
+        k=k,
+        p=p,
+        n_jobs=n_jobs,
+        blocking_seconds=blocking_seconds,
+        stream_seconds=stream_seconds,
     )
 
 

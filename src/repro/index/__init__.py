@@ -20,13 +20,17 @@ from repro.index.embedding_index import (
     available_backends,
     register_backend,
 )
-from repro.index.pool import PersistentPool
+from repro.index.pool import PersistentPool, PoolJob
+from repro.index.serving import QueryStream, QueryTicket
 from repro.index.vptree import VPTree
 
 __all__ = [
     "EmbeddingIndex",
     "IndexConfig",
     "PersistentPool",
+    "PoolJob",
+    "QueryStream",
+    "QueryTicket",
     "available_backends",
     "register_backend",
     "VPTree",

@@ -50,6 +50,7 @@ one the index was built over.
 
 from __future__ import annotations
 
+import contextlib
 import datetime as _datetime
 from dataclasses import dataclass, field, asdict
 from pathlib import Path
@@ -66,8 +67,10 @@ from repro.distances.parallel import resolve_jobs
 from repro.embeddings.base import Embedding
 from repro.exceptions import ArtifactError, ConfigurationError, RetrievalError
 from repro.index import artifacts as artifacts  # noqa: F401 (submodule alias)
+from repro.index import serving as serving_module
 from repro.index.pool import PersistentPool
 from repro.retrieval.brute_force import BruteForceRetriever
+from repro.retrieval.engine import build_scan_result
 from repro.retrieval.filter_refine import FilterRefineRetriever, RetrievalResult
 from repro.retrieval.sharded import ShardedRetriever
 
@@ -266,17 +269,7 @@ class _BruteForceBackend:
     def _result(
         self, distances: np.ndarray, spent: int, k: int
     ) -> RetrievalResult:
-        if k < 1:
-            raise RetrievalError(f"k must be a positive integer, got {k}")
-        k_eff = min(int(k), self._n)
-        order = np.argsort(distances, kind="stable")[:k_eff]
-        return RetrievalResult(
-            neighbor_indices=order,
-            neighbor_distances=distances[order],
-            candidate_indices=self._all_candidates,
-            embedding_distance_computations=0,
-            refine_distance_computations=int(spent),
-        )
+        return build_scan_result(distances, self._all_candidates, k, spent)
 
     def query(
         self, obj: Any, k: int, p: Optional[int] = None
@@ -373,6 +366,7 @@ class EmbeddingIndex:
         self.pool = pool
         self._owns_pool = bool(owns_pool)
         self._closed = False
+        self._server: Optional[serving_module.AsyncServer] = None
         self._backend_name = config.backend
         self._backend = _make_backend(
             config.backend,
@@ -496,6 +490,7 @@ class EmbeddingIndex:
         distance: Optional[DistanceMeasure] = None,
         backend: Optional[str] = None,
         pool: Optional[PersistentPool] = None,
+        store_mmap_mode: Optional[str] = None,
     ) -> "EmbeddingIndex":
         """Restore a saved index against its database — no retraining.
 
@@ -522,6 +517,14 @@ class EmbeddingIndex:
             Optional backend-name override (defaults to the saved one).
         pool:
             Optional shared pool, as in :meth:`build`.
+        store_mmap_mode:
+            Forwarded to
+            :meth:`~repro.distances.context.DistanceContext.load_store`:
+            with ``"r"``, the store's dense blocks (ground-truth and
+            training tables) are memory-mapped and page in on demand
+            instead of materializing at open time.  Requires an artifact
+            saved with ``compress_store=False``; compressed blocks fall
+            back to an eager read with a warning.
         """
         directory = Path(directory)
         manifest = artifacts.read_manifest(directory)
@@ -566,7 +569,7 @@ class EmbeddingIndex:
             n_jobs=config.n_jobs,
             max_sparse_entries=config.max_sparse_entries,
         )
-        context.load_store(paths["store"])
+        context.load_store(paths["store"], mmap_mode=store_mmap_mode)
 
         model_payload, candidate_indices = artifacts.read_model_payload(directory)
         database_vectors, candidate_distances = artifacts.read_arrays(directory)
@@ -595,7 +598,7 @@ class EmbeddingIndex:
 
     # -- persistence ----------------------------------------------------
 
-    def save(self, directory) -> Path:
+    def save(self, directory, compress_store: bool = True) -> Path:
         """Persist this index as a versioned artifact directory.
 
         Everything needed for a zero-retraining :meth:`open` is written:
@@ -604,6 +607,10 @@ class EmbeddingIndex:
         so far stay free forever), the config and the dataset fingerprints.
         The manifest is committed last, so a crashed save never leaves an
         openable half-artifact.
+
+        ``compress_store=False`` writes the distance store uncompressed so
+        a later ``open(..., store_mmap_mode="r")`` can memory-map its dense
+        blocks (larger on disk, instant to open).
         """
         if not isinstance(self.embedder, QuerySensitiveModel):
             raise ArtifactError(
@@ -646,7 +653,7 @@ class EmbeddingIndex:
             artifacts.write_pickle(paths["extras"], extras)
         elif paths["extras"].exists():
             paths["extras"].unlink()
-        self.context.save_store(paths["store"])
+        self.context.save_store(paths["store"], compress=compress_store)
         artifacts.write_arrays(
             directory, self.database_vectors, self._candidate_distances
         )
@@ -683,6 +690,19 @@ class EmbeddingIndex:
         if self._closed:
             raise RetrievalError("this EmbeddingIndex has been closed")
 
+    def _serving_guard(self):
+        """The serving lock when tickets may be in flight, else a no-op.
+
+        Blocking queries mutate the shared context (query registration,
+        store entries, counters); once the async serving layer exists,
+        those mutations must serialize with ticket completion happening on
+        other threads.  An index that never served asynchronously pays
+        nothing.
+        """
+        if self._server is not None:
+            return self._server._lock
+        return contextlib.nullcontext()
+
     def _register(self, objects: Sequence[Any]) -> None:
         """Admit query objects into the context universe (by content).
 
@@ -708,15 +728,16 @@ class EmbeddingIndex:
         ``total_distance_computations`` is the paper's per-query cost.
         """
         self._check_open()
-        self._register([obj])
-        if p is None:
-            if self._backend_name != "brute_force":
-                raise RetrievalError(
-                    f"backend {self._backend_name!r} needs p (the number of "
-                    "filter candidates to refine)"
-                )
-            return self._backend.query(obj, k)
-        return self._backend.query(obj, k, p)
+        with self._serving_guard():
+            self._register([obj])
+            if p is None:
+                if self._backend_name != "brute_force":
+                    raise RetrievalError(
+                        f"backend {self._backend_name!r} needs p (the number of "
+                        "filter candidates to refine)"
+                    )
+                return self._backend.query(obj, k)
+            return self._backend.query(obj, k, p)
 
     def query_many(
         self,
@@ -737,16 +758,102 @@ class EmbeddingIndex:
         objects = list(objects)
         if not objects:
             return []
-        self._register(objects)
-        effective_jobs = self.config.n_jobs if n_jobs is None else n_jobs
-        if p is None:
-            if self._backend_name != "brute_force":
-                raise RetrievalError(
-                    f"backend {self._backend_name!r} needs p (the number of "
-                    "filter candidates to refine)"
-                )
-            return self._backend.query_many(objects, k, n_jobs=effective_jobs)
-        return self._backend.query_many(objects, k, p, n_jobs=effective_jobs)
+        with self._serving_guard():
+            self._register(objects)
+            effective_jobs = self.config.n_jobs if n_jobs is None else n_jobs
+            if p is None:
+                if self._backend_name != "brute_force":
+                    raise RetrievalError(
+                        f"backend {self._backend_name!r} needs p (the number of "
+                        "filter candidates to refine)"
+                    )
+                return self._backend.query_many(objects, k, n_jobs=effective_jobs)
+            return self._backend.query_many(objects, k, p, n_jobs=effective_jobs)
+
+    # -- async serving ---------------------------------------------------
+
+    @property
+    def serving(self) -> "serving_module.AsyncServer":
+        """The index's async serving state (created lazily)."""
+        if self._server is None:
+            self._server = serving_module.AsyncServer(self)
+        return self._server
+
+    def submit(
+        self, obj: Any, k: int, p: Optional[int] = None, n_jobs: Optional[int] = None
+    ) -> "serving_module.QueryTicket":
+        """Non-blocking :meth:`query`: returns a ticket, not a result.
+
+        The query is embedded and filtered immediately (parent CPU); the
+        refine batch is submitted to the index's persistent pool without
+        waiting (or held for lazy serial evaluation when the index has no
+        pool).  :meth:`~repro.index.serving.QueryTicket.result` completes
+        it — bit-identical to the blocking call, including per-query cost
+        accounting — and
+        :meth:`~repro.index.serving.QueryTicket.cancel` abandons work that
+        has not started.  See :mod:`repro.index.serving`.
+        """
+        self._check_open()
+        return self.serving.submit(obj, k, p, n_jobs=n_jobs)
+
+    def stream(
+        self,
+        objects: Sequence[Any],
+        k: int,
+        p: Optional[int] = None,
+        n_jobs: Optional[int] = None,
+        max_in_flight: Optional[int] = None,
+        order: str = "completion",
+    ) -> "serving_module.QueryStream":
+        """Pipelined :meth:`query_many`: yields ``(position, result)`` pairs.
+
+        While the pool refines query ``i``, the parent embeds and filters
+        query ``i+1`` — the embed/filter ↔ refine overlap the blocking
+        batch path cannot express.  ``max_in_flight`` bounds how many
+        queries are outstanding (default: twice the pool width); ``order``
+        is ``"completion"`` (yield each result as soon as its refine lands)
+        or ``"submission"`` (yield in input order).  Results — and their
+        exact cost accounting — are bit-identical to :meth:`query_many`
+        over the same batch.
+        """
+        self._check_open()
+        if max_in_flight is None:
+            width = self.pool.n_workers if self.pool is not None else 1
+            max_in_flight = max(2, 2 * width)
+        return serving_module.QueryStream(
+            self.serving, objects, k, p, n_jobs, max_in_flight, order
+        )
+
+    async def aquery_many(
+        self,
+        objects: Sequence[Any],
+        k: int,
+        p: Optional[int] = None,
+        n_jobs: Optional[int] = None,
+        max_in_flight: Optional[int] = None,
+    ) -> List[RetrievalResult]:
+        """``asyncio``-friendly :meth:`query_many` over the pipelined stream.
+
+        Drains :meth:`stream` on an executor thread (the event loop stays
+        responsive) and resolves to the same list — same order, same
+        neighbors, same per-query costs — that ``query_many`` returns.
+        """
+        import asyncio
+
+        self._check_open()
+        objects = list(objects)
+        stream = self.stream(
+            objects, k, p, n_jobs=n_jobs, max_in_flight=max_in_flight
+        )
+
+        def _drain() -> List[RetrievalResult]:
+            results: List[Optional[RetrievalResult]] = [None] * len(objects)
+            for position, result in stream:
+                results[position] = result
+            return results
+
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, _drain)
 
     # -- backend management ---------------------------------------------
 
@@ -770,9 +877,10 @@ class EmbeddingIndex:
             self.database_vectors,
             self.config,
         )
-        self._backend = backend
-        self._backend_name = name
-        self.config = self.config.with_overrides(backend=name)
+        with self._serving_guard():
+            self._backend = backend
+            self._backend_name = name
+            self.config = self.config.with_overrides(backend=name)
 
     # -- introspection ---------------------------------------------------
 

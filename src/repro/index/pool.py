@@ -26,9 +26,11 @@ Design
   the only cross-process channel — and cache the unpickled state in a
   module-global LRU, so repeated chunks of the same call (and later calls
   with the same signature) hit process-local memory.
-* :meth:`run` is synchronous: all chunks complete (or raise) before it
-  returns, so state eviction between runs can never strand an in-flight
-  task.
+* :meth:`run` is synchronous; :meth:`submit` returns a non-blocking
+  :class:`PoolJob` whose chunks may stay queued across other callers'
+  publications.  Live jobs hold a reference on their state id, so an LRU
+  eviction of a state with in-flight chunks is deferred until the last
+  job finishes — eviction can never strand a queued task.
 
 The pool object itself must never be pickled or shipped to workers; the
 components that hold one (:class:`~repro.distances.context.DistanceContext`,
@@ -39,13 +41,14 @@ from __future__ import annotations
 
 import os
 import pickle
+import threading
 from collections import OrderedDict
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import Future, ProcessPoolExecutor
 from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.exceptions import DistanceError
 
-__all__ = ["PersistentPool", "MAX_CACHED_STATES"]
+__all__ = ["PersistentPool", "PoolJob", "MAX_CACHED_STATES"]
 
 #: How many distinct worker states a pool (and each worker) keeps cached.
 MAX_CACHED_STATES = 4
@@ -84,6 +87,77 @@ def _persistent_run_chunk(state_id: int, task: Callable[[Any, Any], Any], chunk:
 # ----------------------------------------------------------------------- #
 
 
+class PoolJob:
+    """A batch of chunks submitted to a :class:`PersistentPool`.
+
+    The handle the non-blocking :meth:`PersistentPool.submit` returns:
+    worker processes crunch the chunks while the parent keeps doing other
+    work (the async serving layer embeds and filters the next queries), and
+    :meth:`results` collects the ordered chunk results when they are
+    needed.  :meth:`PersistentPool.run` is ``submit(...).results()``.
+    """
+
+    def __init__(
+        self,
+        pool: "PersistentPool",
+        futures: List[Future],
+        state_id: int,
+        task: Callable[[Any, Any], Any],
+        chunks: Sequence[Any],
+        transient: bool,
+    ) -> None:
+        self._pool = pool
+        self._futures = futures
+        self._state_id = state_id
+        self._task = task
+        self._chunks = list(chunks)
+        #: Whether the state must be dropped from the manager once done
+        #: (transient states only; cached states stay for reuse).
+        self._transient = transient
+        self._collected = False
+
+    @property
+    def futures(self) -> Tuple[Future, ...]:
+        """The chunk futures (for ``concurrent.futures.wait`` composition)."""
+        return tuple(self._futures)
+
+    def done(self) -> bool:
+        """Whether every chunk has finished (or been cancelled)."""
+        return all(future.done() for future in self._futures)
+
+    def cancel(self) -> bool:
+        """Try to cancel every chunk; ``True`` if none will run.
+
+        All-or-nothing: if any chunk is already running (or finished) the
+        job must still complete, so chunks this attempt managed to cancel
+        are resubmitted and ``False`` is returned — a failed cancel never
+        leaves the job unable to deliver :meth:`results`.
+        """
+        cancelled = [future.cancel() for future in self._futures]
+        if all(cancelled):
+            self._cleanup()
+            return True
+        for position, was_cancelled in enumerate(cancelled):
+            if was_cancelled:
+                self._futures[position] = self._pool._resubmit(
+                    self._state_id, self._task, self._chunks[position]
+                )
+        return False
+
+    def _cleanup(self) -> None:
+        if self._collected:
+            return
+        self._collected = True
+        self._pool._finish_job(self._state_id, self._transient)
+
+    def results(self) -> List[Any]:
+        """Block until every chunk is done; chunk results in submit order."""
+        try:
+            return [future.result() for future in self._futures]
+        finally:
+            self._cleanup()
+
+
 class PersistentPool:
     """A reusable process pool with once-per-worker state shipping.
 
@@ -112,6 +186,16 @@ class PersistentPool:
         self._states: "OrderedDict[Hashable, Tuple[int, Any]]" = OrderedDict()
         self._next_state_id = 0
         self._closed = False
+        # Serialises start-up and state publication so concurrent submits
+        # (e.g. several serving threads) cannot race on the state cache.
+        self._lock = threading.Lock()
+        # Jobs still holding each state id (queued or running chunks).  A
+        # state evicted from the LRU while jobs reference it keeps its
+        # manager entry until the last job finishes — with synchronous
+        # run() this could not happen, but submit() leaves chunks queued
+        # across other callers' publications.
+        self._state_refs: Dict[int, int] = {}
+        self._deferred_evictions: set = set()
         #: How many times worker processes were actually launched; a
         #: serving loop through one pool keeps this at 1.
         self.launches = 0
@@ -201,10 +285,63 @@ class PersistentPool:
             self._states[signature] = (state_id, state)
             while len(self._states) > MAX_CACHED_STATES:
                 _, (old_id, _old_state) = self._states.popitem(last=False)
-                self._proxy.pop(old_id, None)
+                if self._state_refs.get(old_id, 0) > 0:
+                    # In-flight jobs still need the payload: defer the
+                    # manager-side eviction until the last one finishes.
+                    self._deferred_evictions.add(old_id)
+                else:
+                    self._proxy.pop(old_id, None)
         return state_id
 
     # -- execution ------------------------------------------------------
+
+    def _finish_job(self, state_id: int, transient: bool) -> None:
+        """Book-keeping when a job completes (or is fully cancelled)."""
+        with self._lock:
+            remaining = self._state_refs.get(state_id, 1) - 1
+            if remaining > 0:
+                self._state_refs[state_id] = remaining
+            else:
+                self._state_refs.pop(state_id, None)
+                evict = transient or state_id in self._deferred_evictions
+                self._deferred_evictions.discard(state_id)
+                if evict and self._proxy is not None:
+                    self._proxy.pop(state_id, None)
+            self.runs += 1
+
+    def _resubmit(self, state_id: int, task: Callable[[Any, Any], Any], chunk: Any):
+        """Resubmit one chunk of a partially-cancelled job (see PoolJob)."""
+        with self._lock:
+            self._ensure_started()
+            return self._executor.submit(_persistent_run_chunk, state_id, task, chunk)
+
+    def submit(
+        self,
+        task: Callable[[Any, Any], Any],
+        state: Any,
+        chunks: Sequence[Any],
+        signature: Optional[Hashable] = None,
+    ) -> PoolJob:
+        """Submit ``task(state, chunk)`` for every chunk without blocking.
+
+        Returns a :class:`PoolJob`; call its :meth:`~PoolJob.results` to
+        collect the ordered chunk results.  This is the primitive the async
+        serving layer pipelines on: refine chunks of query ``i`` run on the
+        workers while the parent embeds and filters query ``i+1``.
+        Submission (state publication included) is thread-safe; waiting on
+        different jobs from different threads is too.
+        """
+        with self._lock:
+            self._ensure_started()
+            state_id = self._publish(state, signature)
+            self._state_refs[state_id] = self._state_refs.get(state_id, 0) + 1
+            futures = [
+                self._executor.submit(_persistent_run_chunk, state_id, task, chunk)
+                for chunk in chunks
+            ]
+        return PoolJob(
+            self, futures, state_id, task, chunks, transient=signature is None
+        )
 
     def run(
         self,
@@ -219,19 +356,10 @@ class PersistentPool:
         ``state`` is shipped through the manager once per worker per
         distinct ``signature`` (see :meth:`_publish`); chunks themselves
         travel with each submission, so keep them small (index arrays,
-        not object collections).
+        not object collections).  Blocking equivalent of
+        ``submit(...).results()``.
         """
-        self._ensure_started()
-        state_id = self._publish(state, signature)
-        futures = [
-            self._executor.submit(_persistent_run_chunk, state_id, task, chunk)
-            for chunk in chunks
-        ]
-        results = [future.result() for future in futures]
-        if signature is None:
-            self._proxy.pop(state_id, None)
-        self.runs += 1
-        return results
+        return self.submit(task, state, chunks, signature=signature).results()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         status = "closed" if self._closed else ("live" if self.started else "idle")

@@ -1,0 +1,534 @@
+"""Non-blocking serving for :class:`~repro.index.embedding_index.EmbeddingIndex`.
+
+``EmbeddingIndex.query_many`` blocks on the whole batch: every query is
+embedded and filtered, then every refine batch runs, then all results come
+back at once.  This module adds the *pipelined* serving shape the ROADMAP's
+"Async query API" asks for:
+
+* :meth:`EmbeddingIndex.submit` → a :class:`QueryTicket` — embed and
+  filter run immediately in the parent (cheap vector work plus the
+  embedding's exact distances), the refine batch is submitted to the
+  index's :class:`~repro.index.pool.PersistentPool` *without blocking*,
+  and the caller collects the
+  :class:`~repro.retrieval.engine.RetrievalResult` later via
+  :meth:`QueryTicket.result`.
+* :meth:`EmbeddingIndex.stream` → a :class:`QueryStream` iterator —
+  submits queries with bounded look-ahead (``max_in_flight``) and yields
+  ``(position, result)`` pairs in completion or submission order, so the
+  parent embeds/filters query ``i+1`` while the pool refines query ``i``.
+* :meth:`EmbeddingIndex.aquery_many` — the ``asyncio``-friendly wrapper:
+  drains a stream on an executor thread and resolves to the same list
+  ``query_many`` returns.
+
+Bit-identity
+------------
+Results are bit-identical to the blocking path: the same engine stages
+prepare the candidates, the same store resolves cached pairs, and the same
+merge orders the survivors.  Per-query cost accounting follows the
+in-flight dedup rule of
+:meth:`~repro.distances.context.DistanceContext.distances_to_many`: a pair
+an earlier in-flight ticket is already computing is free for later
+tickets, exactly like a store hit in the serial path, so
+``refine_distance_computations`` matches ``query_many`` for the same batch.
+
+Threading model
+---------------
+Every store/counter interaction happens under one lock on the serving
+state; the only work done outside it is waiting on pool futures and the
+serial inline refine (no shared state).  Tickets may therefore be
+completed from any thread — ``stream`` drives them from the consuming
+thread, ``aquery_many`` from an executor thread, and direct
+``submit``/``result`` use composes with both.  A ticket that deferred
+pairs onto an earlier ticket completes that dependency first; dependency
+edges always point at earlier submissions, so completion cannot deadlock.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import CancelledError, FIRST_COMPLETED, wait as futures_wait
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.distances.context import PendingDistances
+from repro.distances.parallel import (
+    ensure_parallel_safe,
+    refine_chunk_task,
+    refine_state_signature,
+    resolve_jobs,
+    split_counting,
+)
+from repro.exceptions import RetrievalError
+from repro.retrieval.engine import (
+    QueryEngine,
+    RetrievalResult,
+    build_retrieval_result,
+    build_scan_result,
+)
+
+__all__ = ["QueryTicket", "QueryStream", "AsyncServer"]
+
+
+class _Group:
+    """One per-shard (or whole-query) slice of a ticket's refine work."""
+
+    __slots__ = ("shard_id", "positions", "pending", "spent")
+
+    def __init__(
+        self,
+        shard_id: Optional[int],
+        positions: Optional[np.ndarray],
+        pending: PendingDistances,
+    ) -> None:
+        self.shard_id = shard_id
+        #: Positions inside the candidate array this group scatters back to
+        #: (``None`` = the whole array, in order).
+        self.positions = positions
+        self.pending = pending
+        self.spent = 0
+
+
+class QueryTicket:
+    """A submitted query whose refine work may still be in flight.
+
+    Returned by :meth:`EmbeddingIndex.submit`.  The embed/filter work is
+    already done; :meth:`result` completes the refine (waiting on the pool
+    futures if needed) and returns the
+    :class:`~repro.retrieval.engine.RetrievalResult` — bit-identical to
+    what the blocking ``query`` call would have returned.
+    """
+
+    def __init__(
+        self, server: "AsyncServer", position: int, obj: Any, k: int, p: Optional[int]
+    ) -> None:
+        self._server = server
+        #: Position of the query in its submission batch (0 for direct
+        #: ``submit`` calls).
+        self.position = position
+        self.obj = obj
+        self.k = k
+        self.p = p
+        self._k_eff = 0
+        self._p_eff = 0
+        self._embedding_cost = 0
+        self._merge = True
+        self._refine_stage: Optional[Any] = None
+        self._candidates: Optional[np.ndarray] = None
+        self._exact: Optional[np.ndarray] = None
+        self._groups: List[_Group] = []
+        self._job = None
+        self._chunk_keys: List[Tuple[int, int]] = []
+        self._deps: List["QueryTicket"] = []
+        self._state = "pending"
+        self._finishing = False
+        self._result: Optional[RetrievalResult] = None
+        self._error: Optional[BaseException] = None
+        self._event = threading.Event()
+
+    # -- inspection ------------------------------------------------------
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` succeeded."""
+        return self._state == "cancelled"
+
+    def done(self) -> bool:
+        """Whether :meth:`result` would return without blocking."""
+        return self._state in ("done", "cancelled", "error") or self._ready()
+
+    def _ready(self) -> bool:
+        if self._state != "pending":
+            # done, and also error/cancelled: completion would not block —
+            # a dependent of a failed ticket evaluates the abandoned pairs
+            # itself (see DistanceContext.complete_distances).
+            return True
+        if self._job is not None and not self._job.done():
+            return False
+        return all(dep._ready() for dep in self._deps)
+
+    def _futures(self):
+        seen = []
+        if self._job is not None:
+            seen.extend(self._job.futures)
+        for dep in self._deps:
+            if dep._state == "pending":
+                seen.extend(dep._futures())
+        return seen
+
+    # -- completion ------------------------------------------------------
+
+    def result(self, timeout: Optional[float] = None) -> RetrievalResult:
+        """Complete the refine (blocking if needed) and return the result.
+
+        Raises :class:`concurrent.futures.CancelledError` if the ticket
+        was cancelled.  ``timeout`` bounds the wait when another thread is
+        already completing this ticket.
+        """
+        self._server._finish(self, timeout=timeout)
+        if self._state == "cancelled":
+            raise CancelledError("this QueryTicket was cancelled")
+        if self._state == "error":
+            raise self._error
+        return self._result
+
+    def cancel(self) -> bool:
+        """Cancel the ticket if its refine work can still be abandoned.
+
+        Fails (returns ``False``) when the ticket already completed, when
+        its pool chunks are already running, or when a later ticket
+        deferred pairs onto it (the later ticket needs the values).  On
+        success the reserved pairs are released — no exact evaluations are
+        charged — and :meth:`result` raises
+        :class:`concurrent.futures.CancelledError`.
+        """
+        return self._server._cancel(self)
+
+
+class QueryStream:
+    """Iterator over pipelined query results (see :meth:`EmbeddingIndex.stream`).
+
+    Yields ``(position, result)`` pairs — ``position`` is the query's index
+    in the submitted sequence — in completion or submission order.  At most
+    ``max_in_flight`` tickets are outstanding at any moment
+    (:attr:`max_pending_seen` records the high-water mark, which tests use
+    to assert the backpressure bound).
+    """
+
+    def __init__(
+        self,
+        server: "AsyncServer",
+        objects: Sequence[Any],
+        k: int,
+        p: Optional[int],
+        n_jobs: Optional[int],
+        max_in_flight: int,
+        order: str,
+    ) -> None:
+        if order not in ("completion", "submission"):
+            raise RetrievalError(
+                f"order must be 'completion' or 'submission', got {order!r}"
+            )
+        if max_in_flight < 1:
+            raise RetrievalError(
+                f"max_in_flight must be at least 1, got {max_in_flight}"
+            )
+        self._server = server
+        self._objects = list(objects)
+        self._k = k
+        self._p = p
+        self._n_jobs = n_jobs
+        self.max_in_flight = max_in_flight
+        self.order = order
+        #: Most tickets outstanding at once (backpressure high-water mark).
+        self.max_pending_seen = 0
+        #: Results yielded so far.
+        self.completed = 0
+
+    def __iter__(self) -> Iterator[Tuple[int, RetrievalResult]]:
+        pending: List[QueryTicket] = []
+        next_position = 0
+        n = len(self._objects)
+        while next_position < n or pending:
+            while next_position < n and len(pending) < self.max_in_flight:
+                pending.append(
+                    self._server.submit(
+                        self._objects[next_position],
+                        self._k,
+                        self._p,
+                        n_jobs=self._n_jobs,
+                        position=next_position,
+                    )
+                )
+                next_position += 1
+                self.max_pending_seen = max(self.max_pending_seen, len(pending))
+            ticket = (
+                pending[0] if self.order == "submission" else self._pick(pending)
+            )
+            pending.remove(ticket)
+            result = ticket.result()
+            self.completed += 1
+            yield ticket.position, result
+
+    def _pick(self, pending: List[QueryTicket]) -> QueryTicket:
+        """The next completed ticket (waiting on pool futures if none is)."""
+        while True:
+            for ticket in pending:
+                if ticket._ready():
+                    return ticket
+            futures = [f for t in pending for f in t._futures() if not f.done()]
+            if not futures:
+                # Every chunk is done but some ticket still needs its
+                # (cheap) parent-side completion — take the oldest.
+                return pending[0]
+            futures_wait(futures, return_when=FIRST_COMPLETED)
+
+
+class AsyncServer:
+    """The serving state an :class:`EmbeddingIndex` drives tickets through.
+
+    One per index, created lazily.  Owns the in-flight pair map (the
+    cross-ticket dedup that keeps stream accounting identical to
+    ``query_many``) and the lock every store/counter interaction runs
+    under.
+    """
+
+    def __init__(self, index: Any) -> None:
+        self._index = index
+        self._context = index.context
+        self._lock = threading.RLock()
+        self._in_flight: Dict[Tuple[int, int], PendingDistances] = {}
+        #: Tickets submitted through this server (for introspection/tests).
+        self.submitted = 0
+
+    # -- planning --------------------------------------------------------
+
+    def _engine(self) -> QueryEngine:
+        backend = self._index._backend
+        engine = getattr(backend, "engine", None)
+        if engine is None:
+            engine = getattr(getattr(backend, "retriever", None), "engine", None)
+        if not isinstance(engine, QueryEngine):
+            raise RetrievalError(
+                f"backend {self._index.backend!r} does not expose a "
+                "QueryEngine; async serving needs one (register the backend "
+                "with an `engine` attribute to serve it asynchronously)"
+            )
+        return engine
+
+    def submit(
+        self,
+        obj: Any,
+        k: int,
+        p: Optional[int],
+        n_jobs: Optional[int] = None,
+        position: int = 0,
+    ) -> QueryTicket:
+        """Embed + filter now, submit the refine, return the ticket."""
+        index = self._index
+        index._check_open()
+        if p is None and index.backend != "brute_force":
+            raise RetrievalError(
+                f"backend {index.backend!r} needs p (the number of filter "
+                "candidates to refine)"
+            )
+        if p is None and k < 1:
+            raise RetrievalError(f"k must be a positive integer, got {k}")
+        ticket = QueryTicket(self, position, obj, k, p)
+        effective_jobs = index.config.n_jobs if n_jobs is None else n_jobs
+        with self._lock:
+            index._register([obj])
+            engine = self._engine()
+            plan = engine.make_plan([obj], k, p, n_jobs=effective_jobs, single=True)
+            engine.prepare(plan)
+            ticket._k_eff = plan.k_eff
+            ticket._p_eff = plan.p_eff
+            ticket._embedding_cost = plan.embedding_cost
+            ticket._merge = engine.merge is not None
+            # Capture the refine stage now: a set_backend between submit
+            # and completion must not redirect the accounting.
+            ticket._refine_stage = engine.refine
+            candidates = plan.candidate_lists[0]
+            ticket._candidates = candidates
+            ticket._exact = np.empty(candidates.shape[0], dtype=float)
+            binding = engine.refine.binding
+            if binding is None:
+                raise RetrievalError(
+                    "async serving requires a context-backed backend (an "
+                    "EmbeddingIndex always builds one)"
+                )
+            if plan.shard_work is not None:
+                units = [
+                    (sid, positions) for sid, _local, positions in plan.shard_work[0]
+                ]
+            else:
+                units = [(None, None)]
+            deps: List[QueryTicket] = []
+            for sid, positions in units:
+                targets = candidates if positions is None else candidates[positions]
+                pending = self._context.resolve_distances(
+                    obj, binding.indices[targets], in_flight=self._in_flight
+                )
+                pending.owner = ticket
+                ticket._groups.append(_Group(sid, positions, pending))
+                for _pos, _j, owner_pending in pending.deferred:
+                    owner = owner_pending.owner
+                    if owner is not None and owner is not ticket and owner not in deps:
+                        deps.append(owner)
+            ticket._deps = deps
+            self._submit_misses(ticket, effective_jobs)
+            self.submitted += 1
+        return ticket
+
+    def _submit_misses(self, ticket: QueryTicket, n_jobs: Optional[int]) -> None:
+        """Ship the ticket's missing pairs to the pool (or leave them inline).
+
+        Without a usable persistent pool the misses are evaluated serially
+        at completion time — cancellation can then still save the work.
+        """
+        groups_with_misses = [g for g in ticket._groups if g.pending.n_missing]
+        if not groups_with_misses:
+            return
+        n_workers = resolve_jobs(n_jobs)
+        pool = self._context._pool_for(n_workers) if n_workers > 1 else None
+        if pool is None:
+            return
+        ensure_parallel_safe(self._context.counting)
+        inner, _counters = split_counting(self._context.counting)
+        shards = [self._context.objects]
+        items = []
+        if len(groups_with_misses) == 1:
+            # One group (unsharded, or all survivors in one shard): split
+            # the miss list so a single query still fans out over workers.
+            group = ticket._groups.index(groups_with_misses[0])
+            miss = np.asarray(groups_with_misses[0].pending.miss_targets, dtype=int)
+            parts = np.array_split(miss, min(n_workers, miss.size))
+            items = [
+                ((group, part_index), ticket.obj, 0, part)
+                for part_index, part in enumerate(parts)
+                if part.size
+            ]
+        else:
+            # One chunk per (query, shard) group: refine work routes shard
+            # by shard, warm shards ship nothing.
+            for group_index, group in enumerate(ticket._groups):
+                if group.pending.n_missing:
+                    items.append(
+                        (
+                            (group_index, 0),
+                            ticket.obj,
+                            0,
+                            np.asarray(group.pending.miss_targets, dtype=int),
+                        )
+                    )
+        ticket._chunk_keys = [key for key, *_rest in items]
+        ticket._job = pool.submit(
+            refine_chunk_task,
+            {"distance": inner, "shards": shards},
+            [[item] for item in items],
+            signature=refine_state_signature(inner, shards),
+        )
+
+    # -- completion ------------------------------------------------------
+
+    def _finish(self, ticket: QueryTicket, timeout: Optional[float] = None) -> None:
+        while True:
+            with self._lock:
+                if ticket._state != "pending":
+                    return
+                if not ticket._finishing:
+                    ticket._finishing = True
+                    break
+            # Another thread is completing this ticket; wait for it.
+            if not ticket._event.wait(timeout):
+                raise TimeoutError("timed out waiting for the query ticket")
+        try:
+            for dep in ticket._deps:
+                try:
+                    self._finish(dep)
+                except BaseException:
+                    # The dependency's failure is its own result; this
+                    # ticket recovers by evaluating the deferred pairs
+                    # itself at complete time.
+                    pass
+            fresh_by_group = self._collect(ticket)
+            with self._lock:
+                if ticket._state != "pending":  # cancelled meanwhile
+                    return
+                stage = ticket._refine_stage
+                spent_total = 0
+                for group, fresh in zip(ticket._groups, fresh_by_group):
+                    values, spent = self._context.complete_distances(
+                        group.pending, fresh, in_flight=self._in_flight
+                    )
+                    group.spent = spent
+                    spent_total += spent
+                    if group.positions is None:
+                        ticket._exact[:] = values
+                    else:
+                        ticket._exact[group.positions] = values
+                    if group.shard_id is not None and stage.shard_evaluations is not None:
+                        stage.shard_evaluations[group.shard_id] += spent
+                if stage.binding is not None:
+                    stage.binding.calls += spent_total
+                ticket._result = self._build_result(ticket, spent_total)
+                ticket._state = "done"
+        except BaseException as exc:
+            with self._lock:
+                if ticket._state == "pending":
+                    ticket._error = exc
+                    ticket._state = "error"
+                    # Release the ticket's reserved pairs so one failure
+                    # cannot poison the server: later tickets stop
+                    # deferring onto it, and tickets that already did fall
+                    # back to evaluating those pairs themselves.
+                    for group in ticket._groups:
+                        self._context.cancel_distances(
+                            group.pending, in_flight=self._in_flight, force=True
+                        )
+            raise
+        finally:
+            ticket._event.set()
+
+    def _collect(self, ticket: QueryTicket) -> List[Optional[np.ndarray]]:
+        """Fresh miss values per group (pool results or inline compute)."""
+        by_group: List[Optional[np.ndarray]] = [None] * len(ticket._groups)
+        if ticket._job is not None:
+            chunk_results = ticket._job.results()
+            parts: Dict[Tuple[int, int], np.ndarray] = {}
+            for chunk in chunk_results:
+                for key, values in chunk:
+                    parts[key] = np.asarray(values, dtype=float)
+            for group_index in {key[0] for key in ticket._chunk_keys}:
+                ordered = sorted(
+                    key for key in ticket._chunk_keys if key[0] == group_index
+                )
+                by_group[group_index] = np.concatenate(
+                    [parts[key] for key in ordered]
+                )
+            return by_group
+        # Inline (serial) refine: evaluate with the inner measure; the
+        # counter is charged by complete_distances, like the pooled path.
+        inner, _counters = split_counting(self._context.counting)
+        for group_index, group in enumerate(ticket._groups):
+            if group.pending.n_missing:
+                by_group[group_index] = np.asarray(
+                    inner.compute_many(
+                        ticket.obj, self._context.miss_objects(group.pending)
+                    ),
+                    dtype=float,
+                )
+        return by_group
+
+    def _build_result(self, ticket: QueryTicket, spent: int) -> RetrievalResult:
+        if ticket._merge:
+            return build_retrieval_result(
+                ticket._candidates,
+                ticket._exact,
+                ticket._k_eff,
+                ticket._p_eff,
+                ticket._embedding_cost,
+                refine_cost=spent,
+            )
+        # Brute-force shape: rank the full scan, candidates shared.
+        return build_scan_result(
+            ticket._exact, ticket._candidates, ticket._k_eff, spent
+        )
+
+    # -- cancellation ----------------------------------------------------
+
+    def _cancel(self, ticket: QueryTicket) -> bool:
+        with self._lock:
+            if ticket._state != "pending" or ticket._finishing:
+                return False
+            if any(group.pending.dependents for group in ticket._groups):
+                return False
+            if ticket._job is not None and not ticket._job.cancel():
+                return False
+            for group in ticket._groups:
+                self._context.cancel_distances(
+                    group.pending, in_flight=self._in_flight
+                )
+            ticket._state = "cancelled"
+            ticket._event.set()
+            return True

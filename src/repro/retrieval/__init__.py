@@ -17,6 +17,16 @@ This subpackage implements Sec. 8 and the evaluation protocol of Sec. 9:
 """
 
 from repro.retrieval.knn import NeighborTable, knn_from_distances, ground_truth_neighbors
+from repro.retrieval.engine import (
+    EmbedStage,
+    FilterStage,
+    MergeStage,
+    QueryEngine,
+    QueryPlan,
+    RefineStage,
+    ScanStage,
+    ShardedFilterStage,
+)
 from repro.retrieval.brute_force import BruteForceRetriever
 from repro.retrieval.filter_refine import FilterRefineRetriever, RetrievalResult
 from repro.retrieval.sharded import Shard, ShardedRetriever
@@ -36,6 +46,14 @@ __all__ = [
     "NeighborTable",
     "knn_from_distances",
     "ground_truth_neighbors",
+    "QueryEngine",
+    "QueryPlan",
+    "EmbedStage",
+    "FilterStage",
+    "ShardedFilterStage",
+    "ScanStage",
+    "RefineStage",
+    "MergeStage",
     "BruteForceRetriever",
     "FilterRefineRetriever",
     "RetrievalResult",

@@ -4,14 +4,16 @@ This is the reference point of the whole paper: answering a query exactly
 costs one distance computation per database object.  The retriever counts its
 evaluations so tests and benchmarks can verify the accounting.
 
-The scan is one batched ``compute_many`` call per query, so vectorised
-distance kernels are exploited; ties in the exact distance are resolved by
-the smallest database index (stable sort), the reference tie order every
-filter-and-refine pipeline in :mod:`repro.retrieval` reproduces.
-:meth:`BruteForceRetriever.query_many` accepts ``n_jobs`` to spread query
-scans over worker processes with the same exact accounting rules as the
-matrix builders (parent-side counters charged one evaluation per scanned
-object, identity-keyed caches rejected).
+The scan is the degenerate configuration of the shared
+:class:`~repro.retrieval.engine.QueryEngine` — a
+:class:`~repro.retrieval.engine.ScanStage` "filter" that keeps every
+database position, followed by the same
+:class:`~repro.retrieval.engine.RefineStage` the embedding retrievers
+refine with — so vectorised distance kernels, ``n_jobs`` fan-out and the
+exact accounting rules are the same code everywhere.  Ties in the exact
+distance are resolved by the smallest database index (stable sort), the
+reference tie order every filter-and-refine pipeline in
+:mod:`repro.retrieval` reproduces.
 
 When built on a :class:`~repro.distances.context.DistanceContext` whose
 universe contains the database, the scan charges against the shared store:
@@ -30,14 +32,10 @@ import numpy as np
 
 from repro.datasets.base import Dataset
 from repro.distances.base import CountingDistance, DistanceMeasure
-from repro.distances.parallel import (
-    ensure_parallel_safe,
-    parallel_refine,
-    resolve_jobs,
-    split_counting,
-)
 from repro.exceptions import RetrievalError
-from repro.retrieval.context_binding import bind_context
+from repro.retrieval.engine import QueryEngine
+
+__all__ = ["BruteForceRetriever"]
 
 
 class BruteForceRetriever:
@@ -58,12 +56,17 @@ class BruteForceRetriever:
             raise RetrievalError("distance must be a DistanceMeasure instance")
         if not isinstance(database, Dataset):
             raise RetrievalError("database must be a Dataset")
-        self._binding = bind_context(distance, database)
-        self._counting: Optional[CountingDistance] = (
-            None if self._binding is not None else CountingDistance(distance)
-        )
         self.database = database
-        self._all_positions = np.arange(len(database))
+        self.engine = QueryEngine.brute_force(distance, database)
+        self._all_positions = self.engine.filter.all_positions
+
+    @property
+    def _binding(self):
+        return self.engine.refine.binding
+
+    @property
+    def _counting(self) -> Optional[CountingDistance]:
+        return self.engine.refine.counting
 
     @property
     def distance_computations(self) -> int:
@@ -72,16 +75,11 @@ class BruteForceRetriever:
         For a context-backed retriever this counts the evaluations actually
         performed by this retriever's scans (store hits are free).
         """
-        if self._binding is not None:
-            return self._binding.calls
-        return self._counting.calls
+        return self.engine.refine.calls
 
     def reset_counter(self) -> None:
         """Reset the distance-evaluation counter."""
-        if self._binding is not None:
-            self._binding.calls = 0
-        else:
-            self._counting.reset()
+        self.engine.refine.reset()
 
     def _check_k(self, k: int) -> None:
         if not 1 <= k <= len(self.database):
@@ -107,36 +105,12 @@ class BruteForceRetriever:
         objects = list(objects)
         if not objects:
             return [], []
+        plan = self.engine.make_plan(objects, k=1, p=None, n_jobs=n_jobs)
+        plan = self.engine.run(plan)
         n = len(self.database)
-        if self._binding is not None:
-            by_query, computed = self._binding.distances_to_many(
-                objects, [self._all_positions] * len(objects), n_jobs=n_jobs
-            )
-            return (
-                [np.asarray(distances, dtype=float) for distances in by_query],
-                [int(c) for c in computed],
-            )
-        n_workers = resolve_jobs(n_jobs)
-        if n_workers > 1 and len(objects) > 1:
-            ensure_parallel_safe(self._counting)
-            inner, counters = split_counting(self._counting)
-            database = list(self.database)
-            all_indices = np.arange(n)
-            items = [(qi, obj, 0, all_indices) for qi, obj in enumerate(objects)]
-            by_query = parallel_refine(inner, [database], items, n_workers)
-            for counting in counters:
-                counting.calls += n * len(objects)
-            return (
-                [np.asarray(by_query[qi], dtype=float) for qi in range(len(objects))],
-                [n] * len(objects),
-            )
-        database = list(self.database)
         return (
-            [
-                np.asarray(self._counting.compute_many(obj, database), dtype=float)
-                for obj in objects
-            ],
-            [n] * len(objects),
+            plan.exact_lists,
+            [n if spent is None else int(spent) for spent in plan.refine_costs],
         )
 
     def query(self, obj: Any, k: int) -> Tuple[np.ndarray, np.ndarray]:

@@ -22,6 +22,7 @@ from repro.datasets.base import Dataset
 from repro.distances.base import CountingDistance, DistanceMeasure
 from repro.distances.matrix import pairwise_distances
 from repro.exceptions import RetrievalError
+from repro.retrieval.engine import MergeStage, QueryPlan, RefineStage, stable_smallest
 from repro.utils.rng import RngLike, ensure_rng
 
 
@@ -49,9 +50,16 @@ class DynamicDatabase:
             raise RetrievalError("distance must be a DistanceMeasure instance")
         if not isinstance(model, QuerySensitiveModel):
             raise RetrievalError("model must be a QuerySensitiveModel")
-        self._counting = CountingDistance(distance)
         self.model = model
         self.objects: List[Any] = []
+        # The refine/merge stages are shared with every other retrieval
+        # pipeline, so tie-breaking and accounting cannot drift from them.
+        # ``bind=False``: the database mutates, so a frozen context binding
+        # would be invalid — exact distances always go through the stage's
+        # counting wrapper.
+        self._refine = RefineStage(distance, self.objects, bind=False)
+        self._merge = MergeStage()
+        self._counting = self._refine.counting
         self._vectors: List[np.ndarray] = []
         self.insertion_distance_computations = 0
         for obj in initial_objects or []:
@@ -90,6 +98,15 @@ class DynamicDatabase:
         """Filter-and-refine k-NN query against the current contents.
 
         Returns ``(indices, exact_distances, distance_computations)``.
+
+        The refine step runs through the shared
+        :class:`~repro.retrieval.engine.RefineStage` /
+        :class:`~repro.retrieval.engine.MergeStage`, so exact-distance ties
+        are resolved by the smallest database index — identical to a
+        brute-force scan and to every other retriever.  (An earlier
+        implementation re-sorted by *filter order* among tied exact
+        distances, which could disagree with brute force when the embedding
+        ranked tied objects differently.)
         """
         n = len(self.objects)
         if n == 0:
@@ -100,11 +117,18 @@ class DynamicDatabase:
             raise RetrievalError(f"p must be in [{k}, {n}], got {p}")
         query_vector = self.model.embed(obj)
         filter_dists = self.model.distances_to(query_vector, self.vectors)
-        candidates = np.argsort(filter_dists, kind="stable")[:p]
-        exact = np.array([self._counting(obj, self.objects[int(i)]) for i in candidates])
-        order = np.argsort(exact, kind="stable")[:k]
-        cost = self.model.cost + int(p)
-        return candidates[order], exact[order], cost
+        candidates = stable_smallest(filter_dists, p)
+        plan = QueryPlan(objects=[obj], k=k, p=p, single=True)
+        plan.k_eff, plan.p_eff = int(k), int(p)
+        plan.embedding_cost = self.model.cost
+        plan.candidate_lists = [candidates]
+        plan = self._merge.run(self._refine.run(plan))
+        result = plan.results[0]
+        return (
+            result.neighbor_indices,
+            result.neighbor_distances,
+            result.total_distance_computations,
+        )
 
 
 @dataclass

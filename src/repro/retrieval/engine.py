@@ -1,0 +1,827 @@
+"""QueryEngine: the staged embed → filter → refine → merge retrieval pipeline.
+
+The paper's retrieval model is one fixed pipeline — embed the query (exact
+distances to the embedding's reference objects), filter the database by a
+cheap vector distance, refine the best ``p`` candidates with exact
+distances — yet the repo used to implement that pipeline three times over
+(brute force, filter-and-refine, sharded).  This module decomposes it into
+explicit, composable *stages*, each a small object with a ``run(plan) ->
+plan`` step over a shared :class:`QueryPlan`:
+
+* :class:`EmbedStage` — clamp ``(k, p)`` and embed the queries (batched
+  ``embed_many``; a single query keeps the scalar ``embed`` call so store
+  interactions are unchanged);
+* :class:`FilterStage` — rank database vectors by the cheap filter distance
+  and keep the stable top-``p`` cut (no exact distances);
+* :class:`ShardedFilterStage` — the same cut evaluated per contiguous shard
+  and merged into the identical global candidate list, plus the per-shard
+  candidate split the refine stage routes work with;
+* :class:`ScanStage` — the degenerate "filter" of brute force: every
+  database position is a candidate;
+* :class:`RefineStage` — evaluate the exact distances from each query to
+  its candidates, through a shared
+  :class:`~repro.distances.context.DistanceContext` store when one is
+  bound (cached pairs are free) and over worker processes when ``n_jobs``
+  asks for them, with the library's exact cost-accounting rules;
+* :class:`MergeStage` — order the refined candidates (ties by database
+  index, the brute-force-identical order) into
+  :class:`RetrievalResult` objects.
+
+:class:`QueryEngine` chains the stages; the public retrievers
+(:class:`~repro.retrieval.brute_force.BruteForceRetriever`,
+:class:`~repro.retrieval.filter_refine.FilterRefineRetriever`,
+:class:`~repro.retrieval.sharded.ShardedRetriever`) are thin
+configurations of it, so the tie-breaking, clamping, accounting and
+parallel fan-out rules exist exactly once.  The async serving layer
+(:mod:`repro.index.serving`) reuses the embed/filter stages to prepare
+queries in the parent while refine batches run on the persistent pool.
+
+Store-aware sharded refine
+--------------------------
+When the sharded pipeline runs on a ``DistanceContext``, the refine stage
+routes work *per (query, shard) group*: store hits are resolved in the
+parent, and only each shard's missing pairs become refine work, so a shard
+whose pairs are already cached receives **zero** exact evaluations — the
+ROADMAP's "store-aware shard placement" in its single-process form.  The
+per-shard evaluation counts are accumulated in
+:attr:`RefineStage.shard_evaluations` (surfaced as
+``ShardedRetriever.shard_refine_evaluations``), which is exactly the
+hit-rate signal a remote-shard placement policy needs.  Results and
+per-query costs stay bit-identical to the ungrouped path because a query's
+candidates are unique and shard ranges are disjoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.model import QuerySensitiveModel
+from repro.datasets.base import Dataset
+from repro.distances.base import CountingDistance, DistanceMeasure
+from repro.distances.parallel import (
+    ensure_parallel_safe,
+    parallel_refine,
+    resolve_jobs,
+    split_counting,
+)
+from repro.embeddings.base import Embedding
+from repro.exceptions import RetrievalError
+from repro.retrieval.context_binding import ContextBinding, bind_context
+
+__all__ = [
+    "RetrievalResult",
+    "QueryPlan",
+    "QueryEngine",
+    "EmbedStage",
+    "FilterStage",
+    "ShardedFilterStage",
+    "ScanStage",
+    "RefineStage",
+    "MergeStage",
+    "stable_smallest",
+    "clamp_query_params",
+    "filter_vector_distances",
+    "refine_order",
+    "build_retrieval_result",
+    "build_scan_result",
+]
+
+
+# --------------------------------------------------------------------------- #
+# Shared primitives (formerly private helpers of filter_refine)               #
+# --------------------------------------------------------------------------- #
+
+
+def stable_smallest(values: np.ndarray, p: Optional[int]) -> np.ndarray:
+    """Indices of the ``p`` smallest values, in stable ascending order.
+
+    Exactly equivalent to ``np.argsort(values, kind="stable")[:p]`` but uses
+    :func:`np.argpartition` for the top-``p`` cut, so only the survivors pay
+    the sort.  Boundary ties are resolved by smallest index, matching the
+    stable full sort.
+    """
+    values = np.asarray(values)
+    n = values.shape[0]
+    if p is None or p >= n:
+        return np.argsort(values, kind="stable")
+    if p <= 0:
+        return np.zeros(0, dtype=int)
+    partition = np.argpartition(values, p - 1)[:p]
+    # argpartition breaks ties at the cut arbitrarily; rebuild the selection
+    # so that equal values at the boundary keep the lowest database indices.
+    boundary = values[partition].max()
+    below = np.flatnonzero(values < boundary)
+    needed = p - below.size
+    chosen = np.concatenate([below, np.flatnonzero(values == boundary)[:needed]])
+    order = np.argsort(values[chosen], kind="stable")
+    return chosen[order]
+
+
+def clamp_query_params(k: int, p: int, n: int) -> Tuple[int, int]:
+    """Clamp ``(k, p)`` against a database of ``n`` objects.
+
+    ``k`` and ``p`` must be positive; beyond that they are clamped rather
+    than rejected: ``k`` is capped at ``n`` (a query cannot have more
+    neighbors than the database holds) and ``p`` is raised to at least the
+    effective ``k`` (so the refine step can return ``k`` results) and capped
+    at ``n`` (refining more candidates than exist is meaningless).  Returns
+    the effective ``(k, p)``; the refine cost charged per query is the
+    effective ``p``.
+    """
+    if k < 1:
+        raise RetrievalError(f"k must be a positive integer, got {k}")
+    if p < 1:
+        raise RetrievalError(f"p must be a positive integer, got {p}")
+    k_eff = min(int(k), n)
+    p_eff = min(max(int(p), k_eff), n)
+    return k_eff, p_eff
+
+
+def filter_vector_distances(
+    embedder: Union[QuerySensitiveModel, Embedding],
+    query_vector: np.ndarray,
+    database_vectors: np.ndarray,
+) -> np.ndarray:
+    """Filter-step distances from one embedded query to database vectors.
+
+    Row-wise over ``database_vectors``, so evaluating it per shard and
+    concatenating yields bit-identical values to one full-database call.
+    """
+    query_vector = np.asarray(query_vector, dtype=float)
+    if isinstance(embedder, QuerySensitiveModel):
+        return embedder.distances_to(query_vector, database_vectors)
+    return np.abs(database_vectors - query_vector[None, :]).sum(axis=1)
+
+
+def refine_order(exact: np.ndarray, candidates: np.ndarray, k: int) -> np.ndarray:
+    """Positions of the ``k`` best refined candidates, ties by database index.
+
+    ``np.lexsort`` with the exact distance as the primary key and the global
+    database index as the secondary key reproduces exactly the tie-stable
+    order of a brute-force scan, regardless of the order the candidates
+    survived the filter in.
+    """
+    return np.lexsort((candidates, exact))[:k]
+
+
+def build_retrieval_result(
+    candidates: np.ndarray,
+    exact: np.ndarray,
+    k_eff: int,
+    p_eff: int,
+    embedding_cost: int,
+    refine_cost: Optional[int] = None,
+) -> "RetrievalResult":
+    """Assemble a :class:`RetrievalResult` from refined candidate distances.
+
+    Shared by every pipeline configuration so the neighbor ordering and
+    cost accounting can never diverge between paths.  ``refine_cost``
+    defaults to the nominal ``p``; context-backed pipelines pass the number
+    of evaluations actually performed (cached pairs are free).
+    """
+    order = refine_order(exact, candidates, k_eff)
+    return RetrievalResult(
+        neighbor_indices=candidates[order],
+        neighbor_distances=exact[order],
+        candidate_indices=candidates,
+        embedding_distance_computations=int(embedding_cost),
+        refine_distance_computations=int(
+            p_eff if refine_cost is None else refine_cost
+        ),
+    )
+
+
+def build_scan_result(
+    exact: np.ndarray,
+    candidates: np.ndarray,
+    k: int,
+    refine_cost: int,
+) -> "RetrievalResult":
+    """Rank one full exact scan (the brute-force result shape).
+
+    ``k`` is clamped to the scan length; ties resolve by the smallest
+    database index (stable sort) — the reference order every pipeline
+    reproduces.  Shared by the ``EmbeddingIndex`` brute-force backend and
+    the async serving layer so the scan ranking exists exactly once.
+    """
+    if k < 1:
+        raise RetrievalError(f"k must be a positive integer, got {k}")
+    k_eff = min(int(k), exact.shape[0])
+    order = np.argsort(exact, kind="stable")[:k_eff]
+    return RetrievalResult(
+        neighbor_indices=order,
+        neighbor_distances=exact[order],
+        candidate_indices=candidates,
+        embedding_distance_computations=0,
+        refine_distance_computations=int(refine_cost),
+    )
+
+
+@dataclass
+class RetrievalResult:
+    """Outcome of one filter-and-refine query.
+
+    Attributes
+    ----------
+    neighbor_indices:
+        Database indices of the ``min(k, n)`` reported neighbors, best first.
+    neighbor_distances:
+        Their exact distances to the query.
+    candidate_indices:
+        The (effective) ``p`` database indices that survived the filter step,
+        in filter order.
+    embedding_distance_computations:
+        Exact distances spent embedding the query (the embedder's nominal
+        per-query cost).
+    refine_distance_computations:
+        Exact distances spent in the refine step.  Equals the effective
+        ``p`` for a plain distance measure; for a pipeline backed by a
+        :class:`~repro.distances.context.DistanceContext` it is the number
+        of evaluations actually performed — pairs already in the shared
+        store are free, so a fully warm store reports ``0``.
+    """
+
+    neighbor_indices: np.ndarray
+    neighbor_distances: np.ndarray
+    candidate_indices: np.ndarray
+    embedding_distance_computations: int
+    refine_distance_computations: int
+
+    @property
+    def total_distance_computations(self) -> int:
+        """The paper's cost metric: embedding cost plus refine cost."""
+        return self.embedding_distance_computations + self.refine_distance_computations
+
+
+# --------------------------------------------------------------------------- #
+# The plan                                                                    #
+# --------------------------------------------------------------------------- #
+
+#: One (shard_id, local_indices, positions) unit of per-shard refine work:
+#: ``positions`` locates each shard candidate inside the filter-ordered
+#: candidate array, so refined distances can be scattered back.
+ShardWork = Tuple[int, np.ndarray, np.ndarray]
+
+
+@dataclass
+class QueryPlan:
+    """The state one query batch accumulates as it flows through the stages.
+
+    A plan is built by :meth:`QueryEngine.make_plan`, then each stage's
+    ``run(plan)`` reads the fields earlier stages filled and adds its own —
+    embed fills :attr:`query_vectors`, filter fills :attr:`candidate_lists`
+    (and :attr:`shard_work` when sharded), refine fills :attr:`exact_lists`
+    and :attr:`refine_costs`, merge fills :attr:`results`.
+    """
+
+    objects: List[Any]
+    k: int
+    p: Optional[int]
+    n_jobs: Optional[int] = None
+    #: Single-query plans keep the scalar ``embed``/``distances_to`` calls
+    #: of the original per-query paths, so store and counter interactions
+    #: are unchanged.
+    single: bool = False
+    k_eff: int = 0
+    p_eff: int = 0
+    embedding_cost: int = 0
+    query_vectors: Optional[np.ndarray] = None
+    candidate_lists: List[np.ndarray] = field(default_factory=list)
+    #: Per-query per-shard refine routing (sharded pipelines only).
+    shard_work: Optional[List[List[ShardWork]]] = None
+    exact_lists: List[np.ndarray] = field(default_factory=list)
+    #: Evaluations actually performed per query (``None`` = nominal ``p``).
+    refine_costs: List[Optional[int]] = field(default_factory=list)
+    results: List[RetrievalResult] = field(default_factory=list)
+
+
+# --------------------------------------------------------------------------- #
+# Stages                                                                      #
+# --------------------------------------------------------------------------- #
+
+
+class EmbedStage:
+    """Embed the query objects (cost: ``embedder.cost`` exact distances each)."""
+
+    def __init__(self, embedder: Union[QuerySensitiveModel, Embedding]) -> None:
+        self.embedder = embedder
+
+    @property
+    def dim(self) -> int:
+        return self.embedder.dim
+
+    @property
+    def cost(self) -> int:
+        return self.embedder.cost
+
+    def run(self, plan: QueryPlan) -> QueryPlan:
+        plan.embedding_cost = self.embedder.cost
+        if plan.single:
+            vector = self.embedder.embed(plan.objects[0])
+            plan.query_vectors = np.asarray(vector, dtype=float)[None, :]
+        else:
+            plan.query_vectors = np.asarray(
+                self.embedder.embed_many(plan.objects), dtype=float
+            )
+        return plan
+
+
+class FilterStage:
+    """Stable top-``p`` cut of the database by the cheap filter distance."""
+
+    def __init__(
+        self,
+        embedder: Union[QuerySensitiveModel, Embedding],
+        database_vectors: np.ndarray,
+    ) -> None:
+        self.embedder = embedder
+        self.database_vectors = database_vectors
+
+    def distances(self, query_vector: np.ndarray) -> np.ndarray:
+        """Vector distances from an embedded query to every database vector."""
+        return filter_vector_distances(
+            self.embedder, query_vector, self.database_vectors
+        )
+
+    def order(self, query_vector: np.ndarray, p: Optional[int] = None) -> np.ndarray:
+        """Database indices sorted by increasing filter distance (top ``p``)."""
+        return stable_smallest(self.distances(query_vector), p)
+
+    def run(self, plan: QueryPlan) -> QueryPlan:
+        plan.candidate_lists = [
+            self.order(vector, plan.p_eff) for vector in plan.query_vectors
+        ]
+        return plan
+
+
+class ShardedFilterStage:
+    """Per-shard filter cut merged into the identical global candidate list.
+
+    Also computes the per-shard candidate split the refine stage routes
+    work with (``plan.shard_work``).
+    """
+
+    def __init__(
+        self,
+        embedder: Union[QuerySensitiveModel, Embedding],
+        shards: Sequence[Any],
+    ) -> None:
+        self.embedder = embedder
+        self.shards = list(shards)
+
+    def merged(self, query_vector: np.ndarray, p: int) -> np.ndarray:
+        """Global top-``p`` filter candidates, merged across shards.
+
+        Identical — including tie-breaking by database index — to the
+        unsharded ``FilterStage.order(query_vector, p)``: each shard list is
+        stable-ordered and shard order equals global index order, so
+        concatenation order breaks distance ties by ascending global index.
+        """
+        shard_distances: List[np.ndarray] = []
+        shard_indices: List[np.ndarray] = []
+        for shard in self.shards:
+            distances = filter_vector_distances(
+                self.embedder, query_vector, shard.vectors
+            )
+            local = stable_smallest(distances, min(p, len(shard)))
+            shard_distances.append(distances[local])
+            shard_indices.append(shard.offset + local)
+        merged_distances = np.concatenate(shard_distances)
+        merged_indices = np.concatenate(shard_indices)
+        order = np.argsort(merged_distances, kind="stable")[:p]
+        return merged_indices[order]
+
+    def split(self, candidates: np.ndarray) -> List[ShardWork]:
+        """Partition a global candidate list into per-shard refine work."""
+        work: List[ShardWork] = []
+        for sid, shard in enumerate(self.shards):
+            mask = (candidates >= shard.offset) & (
+                candidates < shard.offset + len(shard)
+            )
+            positions = np.flatnonzero(mask)
+            if positions.size:
+                work.append((sid, candidates[positions] - shard.offset, positions))
+        return work
+
+    def run(self, plan: QueryPlan) -> QueryPlan:
+        plan.candidate_lists = [
+            self.merged(vector, plan.p_eff) for vector in plan.query_vectors
+        ]
+        plan.shard_work = [self.split(c) for c in plan.candidate_lists]
+        return plan
+
+
+class ScanStage:
+    """The degenerate filter of brute force: every position is a candidate."""
+
+    def __init__(self, n_database: int) -> None:
+        # One shared candidate array (read-only by convention), so a large
+        # batch does not allocate O(batch x database) identical arrays.
+        self.all_positions = np.arange(n_database)
+
+    def run(self, plan: QueryPlan) -> QueryPlan:
+        plan.embedding_cost = 0
+        plan.candidate_lists = [self.all_positions] * len(plan.objects)
+        return plan
+
+
+class RefineStage:
+    """Evaluate exact distances from each query to its filter candidates.
+
+    One object owns the pipeline's exact-distance access: the
+    :class:`~repro.retrieval.context_binding.ContextBinding` (store-backed,
+    cached pairs free) or the :class:`CountingDistance` wrapper (plain
+    measures, nominal cost), plus every ``n_jobs`` fan-out rule.  All three
+    retrievers and the async serving layer refine through this stage, so
+    accounting can never drift between them.
+    """
+
+    def __init__(
+        self,
+        distance: DistanceMeasure,
+        database: Dataset,
+        shards: Optional[Sequence[Any]] = None,
+        bind: bool = True,
+    ) -> None:
+        self.database = database
+        self.shards = list(shards) if shards is not None else None
+        # ``bind=False`` forces plain counting mode even for a context:
+        # a ContextBinding freezes the database→universe index mapping at
+        # construction, which a mutable database (DynamicDatabase) would
+        # silently invalidate.
+        self._binding: Optional[ContextBinding] = (
+            bind_context(distance, database) if bind else None
+        )
+        self._counting: Optional[CountingDistance] = (
+            None if self._binding is not None else CountingDistance(distance)
+        )
+        #: Exact evaluations routed to each shard so far (sharded pipelines;
+        #: store hits are free on the context-backed path).  This is the
+        #: per-shard hit-rate signal a store-aware placement policy reads.
+        self.shard_evaluations: Optional[np.ndarray] = (
+            np.zeros(len(self.shards), dtype=int) if self.shards is not None else None
+        )
+
+    # -- accounting ------------------------------------------------------
+
+    @property
+    def binding(self) -> Optional[ContextBinding]:
+        """The context binding, when refining through a shared store."""
+        return self._binding
+
+    @property
+    def counting(self) -> Optional[CountingDistance]:
+        """The counting wrapper, when refining a plain measure."""
+        return self._counting
+
+    @property
+    def calls(self) -> int:
+        """Exact evaluations performed by this stage so far."""
+        if self._binding is not None:
+            return self._binding.calls
+        return self._counting.calls
+
+    def reset(self) -> None:
+        """Reset the evaluation counter."""
+        if self._binding is not None:
+            self._binding.calls = 0
+        else:
+            self._counting.reset()
+
+    # -- running ---------------------------------------------------------
+
+    def run(self, plan: QueryPlan) -> QueryPlan:
+        if not plan.objects:
+            plan.exact_lists = []
+            plan.refine_costs = []
+            return plan
+        if self.shards is not None and plan.shard_work is not None:
+            if self._binding is not None:
+                self._run_sharded_context(plan)
+            else:
+                self._run_sharded_counting(plan)
+        else:
+            if self._binding is not None:
+                self._run_flat_context(plan)
+            else:
+                self._run_flat_counting(plan)
+        return plan
+
+    # -- flat (unsharded) paths -----------------------------------------
+
+    def _run_flat_context(self, plan: QueryPlan) -> None:
+        if plan.single:
+            exact, spent = self._binding.distances_to(
+                plan.objects[0], plan.candidate_lists[0]
+            )
+            plan.exact_lists = [exact]
+            plan.refine_costs = [spent]
+            return
+        # The context resolves store hits in the parent and pools only the
+        # missing (query, candidate) pairs; per-query refine cost is the
+        # number of evaluations actually performed.
+        exact_lists, computed = self._binding.distances_to_many(
+            plan.objects, plan.candidate_lists, n_jobs=plan.n_jobs
+        )
+        plan.exact_lists = [np.asarray(exact, dtype=float) for exact in exact_lists]
+        plan.refine_costs = list(computed)
+
+    def _run_flat_counting(self, plan: QueryPlan) -> None:
+        objects = plan.objects
+        n_workers = resolve_jobs(plan.n_jobs)
+        if not plan.single and n_workers > 1 and len(objects) > 1:
+            ensure_parallel_safe(self._counting)
+            inner, counters = split_counting(self._counting)
+            items = [
+                (qi, obj, 0, candidates)
+                for qi, (obj, candidates) in enumerate(
+                    zip(objects, plan.candidate_lists)
+                )
+            ]
+            exact_by_query = parallel_refine(
+                inner, [list(self.database)], items, n_workers
+            )
+            for counting in counters:
+                counting.calls += plan.p_eff * len(objects)
+            plan.exact_lists = [
+                np.asarray(exact_by_query[qi], dtype=float)
+                for qi in range(len(objects))
+            ]
+        else:
+            plan.exact_lists = [
+                np.asarray(
+                    self._counting.compute_many(
+                        obj, [self.database[int(i)] for i in candidates]
+                    ),
+                    dtype=float,
+                )
+                for obj, candidates in zip(objects, plan.candidate_lists)
+            ]
+        plan.refine_costs = [None] * len(objects)
+
+    # -- sharded paths ---------------------------------------------------
+
+    def _run_sharded_context(self, plan: QueryPlan) -> None:
+        """Store-aware per-(query, shard) refine through the shared store.
+
+        Work is grouped query-major, then shard by shard: the context
+        resolves each group's store hits in the parent and evaluates only
+        the missing pairs, so a shard whose pairs are fully cached performs
+        zero exact evaluations (recorded in :attr:`shard_evaluations`).
+        Grouping cannot change results or per-query costs — a query's
+        candidates are unique and shard ranges are disjoint, so the groups
+        partition exactly the pairs the ungrouped call would resolve.
+        """
+        objects = plan.objects
+        plan.exact_lists = [
+            np.empty(c.shape[0], dtype=float) for c in plan.candidate_lists
+        ]
+        plan.refine_costs = [0] * len(objects)
+        if plan.single:
+            # Preserve the serial scalar path of the original per-query
+            # code: one store-resolved evaluation batch per shard group.
+            obj = objects[0]
+            candidates = plan.candidate_lists[0]
+            for sid, _local, positions in plan.shard_work[0]:
+                values, spent = self._binding.distances_to(
+                    obj, candidates[positions]
+                )
+                plan.exact_lists[0][positions] = values
+                plan.refine_costs[0] += spent
+                self.shard_evaluations[sid] += spent
+            return
+        flat_keys: List[Tuple[int, int, np.ndarray]] = []
+        flat_objects: List[Any] = []
+        flat_targets: List[np.ndarray] = []
+        for qi, (obj, work) in enumerate(zip(objects, plan.shard_work)):
+            for sid, _local, positions in work:
+                flat_keys.append((qi, sid, positions))
+                flat_objects.append(obj)
+                flat_targets.append(plan.candidate_lists[qi][positions])
+        values_list, computed = self._binding.distances_to_many(
+            flat_objects, flat_targets, n_jobs=plan.n_jobs
+        )
+        for (qi, sid, positions), values, spent in zip(
+            flat_keys, values_list, computed
+        ):
+            plan.exact_lists[qi][positions] = values
+            plan.refine_costs[qi] += spent
+            self.shard_evaluations[sid] += spent
+
+    def _run_sharded_counting(self, plan: QueryPlan) -> None:
+        objects = plan.objects
+        shards = self.shards
+        plan.exact_lists = [
+            np.empty(c.shape[0], dtype=float) for c in plan.candidate_lists
+        ]
+        plan.refine_costs = [None] * len(objects)
+        n_workers = resolve_jobs(plan.n_jobs)
+        n_units = (
+            len(plan.shard_work[0])
+            if plan.single
+            else len(objects) * len(shards)
+        )
+        if n_workers > 1 and n_units > 1:
+            ensure_parallel_safe(self._counting)
+            inner, counters = split_counting(self._counting)
+            items = [
+                ((qi, sid), obj, sid, local)
+                for qi, (obj, work) in enumerate(zip(objects, plan.shard_work))
+                for sid, local, _ in work
+            ]
+            by_key: Dict[Any, np.ndarray] = parallel_refine(
+                inner, [shard.objects for shard in shards], items, n_workers
+            )
+            for counting in counters:
+                counting.calls += int(plan.p_eff) * len(objects)
+            for qi, work in enumerate(plan.shard_work):
+                for sid, local, positions in work:
+                    plan.exact_lists[qi][positions] = by_key[(qi, sid)]
+                    self.shard_evaluations[sid] += int(local.size)
+        else:
+            for qi, (obj, work) in enumerate(zip(objects, plan.shard_work)):
+                for sid, local, positions in work:
+                    shard = shards[sid]
+                    plan.exact_lists[qi][positions] = self._counting.compute_many(
+                        obj, [shard.objects[int(i)] for i in local]
+                    )
+                    self.shard_evaluations[sid] += int(local.size)
+
+
+class MergeStage:
+    """Order refined candidates into results (ties by database index)."""
+
+    def run(self, plan: QueryPlan) -> QueryPlan:
+        plan.results = [
+            build_retrieval_result(
+                candidates,
+                exact,
+                plan.k_eff,
+                plan.p_eff,
+                plan.embedding_cost,
+                refine_cost=cost,
+            )
+            for candidates, exact, cost in zip(
+                plan.candidate_lists, plan.exact_lists, plan.refine_costs
+            )
+        ]
+        return plan
+
+
+# --------------------------------------------------------------------------- #
+# The engine                                                                  #
+# --------------------------------------------------------------------------- #
+
+
+class QueryEngine:
+    """A staged retrieval pipeline: embed → filter → refine → merge.
+
+    Build one with :meth:`filter_refine`, :meth:`sharded` or
+    :meth:`brute_force` (or pass custom stages).  ``embed`` may be ``None``
+    (brute force has nothing to embed); the remaining stages are required.
+    """
+
+    def __init__(
+        self,
+        embed: Optional[EmbedStage],
+        filter: Any,
+        refine: RefineStage,
+        merge: Optional[MergeStage],
+        n_database: int,
+    ) -> None:
+        self.embed = embed
+        self.filter = filter
+        self.refine = refine
+        self.merge = merge
+        self.n_database = int(n_database)
+
+    @property
+    def stages(self) -> List[Any]:
+        """The pipeline's stages, in run order."""
+        return [
+            stage
+            for stage in (self.embed, self.filter, self.refine, self.merge)
+            if stage is not None
+        ]
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    def filter_refine(
+        cls,
+        distance: DistanceMeasure,
+        database: Dataset,
+        embedder: Union[QuerySensitiveModel, Embedding],
+        database_vectors: np.ndarray,
+    ) -> "QueryEngine":
+        """The unsharded filter-and-refine pipeline."""
+        return cls(
+            embed=EmbedStage(embedder),
+            filter=FilterStage(embedder, database_vectors),
+            refine=RefineStage(distance, database),
+            merge=MergeStage(),
+            n_database=len(database),
+        )
+
+    @classmethod
+    def sharded(
+        cls,
+        distance: DistanceMeasure,
+        database: Dataset,
+        embedder: Union[QuerySensitiveModel, Embedding],
+        shards: Sequence[Any],
+    ) -> "QueryEngine":
+        """The sharded filter-and-refine pipeline (store-aware refine)."""
+        return cls(
+            embed=EmbedStage(embedder),
+            filter=ShardedFilterStage(embedder, shards),
+            refine=RefineStage(distance, database, shards=shards),
+            merge=MergeStage(),
+            n_database=len(database),
+        )
+
+    @classmethod
+    def brute_force(
+        cls, distance: DistanceMeasure, database: Dataset
+    ) -> "QueryEngine":
+        """The exact-scan pipeline (no embedding, every position refined).
+
+        Built without a merge stage: brute-force callers rank the full
+        scan themselves (their ``k`` validation is strict, not clamped).
+        """
+        return cls(
+            embed=None,
+            filter=ScanStage(len(database)),
+            refine=RefineStage(distance, database),
+            merge=None,
+            n_database=len(database),
+        )
+
+    # -- plans -----------------------------------------------------------
+
+    def make_plan(
+        self,
+        objects: Sequence[Any],
+        k: int,
+        p: Optional[int],
+        n_jobs: Optional[int] = None,
+        single: bool = False,
+    ) -> QueryPlan:
+        """Clamp the parameters and seed a plan for one query batch."""
+        objects = list(objects)
+        plan = QueryPlan(objects=objects, k=k, p=p, n_jobs=n_jobs, single=single)
+        if p is None:
+            # Scan pipelines refine everything; the nominal per-query cost
+            # is the database size.
+            plan.k_eff = min(int(k), self.n_database)
+            plan.p_eff = self.n_database
+        else:
+            plan.k_eff, plan.p_eff = clamp_query_params(k, p, self.n_database)
+        return plan
+
+    def run(self, plan: QueryPlan) -> QueryPlan:
+        """Run every stage over the plan, in order."""
+        for stage in self.stages:
+            plan = stage.run(plan)
+        return plan
+
+    def prepare(self, plan: QueryPlan) -> QueryPlan:
+        """Run only the parent-CPU stages (embed + filter).
+
+        This is the async serving split: the serving layer prepares query
+        ``i+1`` here while query ``i``'s refine batch runs on the worker
+        pool, then completes the refine/merge itself.
+        """
+        if self.embed is not None:
+            plan = self.embed.run(plan)
+        plan = self.filter.run(plan)
+        return plan
+
+    # -- conveniences ----------------------------------------------------
+
+    def query(
+        self, obj: Any, k: int, p: int, n_jobs: Optional[int] = None
+    ) -> RetrievalResult:
+        """Run the full pipeline for one query object."""
+        plan = self.run(self.make_plan([obj], k, p, n_jobs=n_jobs, single=True))
+        return plan.results[0]
+
+    def query_many(
+        self,
+        objects: Sequence[Any],
+        k: int,
+        p: int,
+        n_jobs: Optional[int] = None,
+    ) -> List[RetrievalResult]:
+        """Run the full pipeline for a batch of query objects."""
+        objects = list(objects)
+        # Clamping validates (k, p) even for an empty batch, exactly like
+        # the scalar path.
+        plan = self.make_plan(objects, k, p, n_jobs=n_jobs)
+        if not objects:
+            return []
+        plan = self.run(plan)
+        return plan.results

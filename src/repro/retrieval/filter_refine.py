@@ -16,218 +16,75 @@ Given a query ``q``:
 Total cost per query: ``embedding.cost + p`` exact distance computations —
 the quantity every figure and table of the paper reports.
 
-Batching: the filter cut uses an O(n) ``argpartition`` selection instead of a
-full sort, the refine step evaluates all ``p`` exact distances through one
-batched ``compute_many`` call, and :meth:`FilterRefineRetriever.query_many`
-embeds all queries with one batched ``embed_many`` call — with results and
-per-query cost accounting identical to the scalar loops.
+Since the :mod:`repro.retrieval.engine` refactor the pipeline itself lives
+in :class:`~repro.retrieval.engine.QueryEngine` as explicit stages
+(:class:`~repro.retrieval.engine.EmbedStage` →
+:class:`~repro.retrieval.engine.FilterStage` →
+:class:`~repro.retrieval.engine.RefineStage` →
+:class:`~repro.retrieval.engine.MergeStage`);
+:class:`FilterRefineRetriever` is the unsharded configuration of that
+engine.  See the engine module for the batching, tie-breaking, parameter
+clamping, parallelism and shared-store rules — they are identical for
+every retriever because they are the *same code*:
 
-Parameter clamping
-------------------
-``k`` and ``p`` are *clamped* rather than rejected: ``p`` is raised to at
-least ``k`` (the refine step must be allowed to return ``k`` results) and
-both are capped at the database size, so every query returns exactly
-``min(k, n)`` neighbors.  With ``p`` clamped to ``n`` the filter keeps
-everything and the results — including tie order — equal brute force.
-
-Tie-breaking
-------------
-Both the filter cut and the refine step resolve distance ties by the smallest
-*database index*, exactly like :class:`~repro.retrieval.brute_force.
-BruteForceRetriever`'s stable scan.  This makes results independent of the
-filter ordering among equal exact distances, which is what allows
-:class:`~repro.retrieval.sharded.ShardedRetriever` to merge per-shard
-candidates into bit-identical global results.
-
-Parallelism
------------
-:meth:`FilterRefineRetriever.query_many` accepts ``n_jobs``: queries are
-embedded and filtered in the parent process (filtering touches no exact
-distances), and the refine work is spread over worker processes through
-:func:`repro.distances.parallel.parallel_refine`.  Cost accounting stays
-exact the same way the matrix builders keep it exact: top-level
-:class:`~repro.distances.base.CountingDistance` wrappers stay in the parent
-and are charged one evaluation per refined candidate, while workers evaluate
-the inner measure.  Identity-keyed :class:`~repro.distances.base.
-CachedDistance` wrappers are rejected up front (their keys cannot survive the
-process boundary).
-
-Shared store
-------------
-When the retriever is built on a
-:class:`~repro.distances.context.DistanceContext` (whose universe must
-contain the database), the refine step charges its evaluations against the
-context's store: a (query, candidate) pair already evaluated — by the
-ground-truth scan, an embedding anchor, or a previous query — costs
-*nothing*, matching the paper's treatment of precomputed distances as a
-one-time preprocessing cost.  ``RetrievalResult.refine_distance_computations``
-then reports the evaluations actually performed for that query (``0`` for a
-fully warm store) instead of the nominal ``p``; neighbor results stay
-bit-identical to the context-free path.  ``n_jobs`` fan-out goes through
-:meth:`~repro.distances.context.DistanceContext.distances_to_many`, which
-keeps the store and the counters in the parent and ships only the missing
-index pairs to the workers.
+* ``k``/``p`` clamping: ``p`` is raised to at least ``k`` and both are
+  capped at the database size, so every query returns exactly
+  ``min(k, n)`` neighbors; with ``p`` clamped to ``n`` the results equal
+  brute force, tie order included.
+* Tie-breaking: filter cut and refine both resolve distance ties by the
+  smallest database index — the stable brute-force scan order, which is
+  what lets :class:`~repro.retrieval.sharded.ShardedRetriever` merge
+  per-shard candidates into bit-identical global results.
+* ``n_jobs``: queries are embedded and filtered in the parent process and
+  the refine work fans out over worker processes
+  (:func:`repro.distances.parallel.parallel_refine`), with parent-side
+  :class:`~repro.distances.base.CountingDistance` wrappers charged exactly
+  as in the serial path and identity-keyed caches rejected.
+* Shared store: built on a
+  :class:`~repro.distances.context.DistanceContext` (whose universe must
+  contain the database), refine evaluations charge against the context's
+  store — cached pairs are free and
+  ``RetrievalResult.refine_distance_computations`` reports the evaluations
+  actually performed (``0`` for a fully warm store).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, List, Optional, Sequence, Tuple, Union
+from typing import Any, List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.core.model import QuerySensitiveModel
 from repro.datasets.base import Dataset
 from repro.distances.base import CountingDistance, DistanceMeasure
-from repro.distances.parallel import (
-    ensure_parallel_safe,
-    parallel_refine,
-    resolve_jobs,
-    split_counting,
-)
 from repro.embeddings.base import Embedding
 from repro.exceptions import RetrievalError
-from repro.retrieval.context_binding import bind_context
+from repro.retrieval.engine import (
+    QueryEngine,
+    RetrievalResult,
+    build_retrieval_result,
+    clamp_query_params,
+    filter_vector_distances,
+    refine_order,
+    stable_smallest,
+)
 
+__all__ = ["FilterRefineRetriever", "RetrievalResult"]
 
-def _stable_smallest(values: np.ndarray, p: Optional[int]) -> np.ndarray:
-    """Indices of the ``p`` smallest values, in stable ascending order.
-
-    Exactly equivalent to ``np.argsort(values, kind="stable")[:p]`` but uses
-    :func:`np.argpartition` for the top-``p`` cut, so only the survivors pay
-    the sort.  Boundary ties are resolved by smallest index, matching the
-    stable full sort.
-    """
-    values = np.asarray(values)
-    n = values.shape[0]
-    if p is None or p >= n:
-        return np.argsort(values, kind="stable")
-    if p <= 0:
-        return np.zeros(0, dtype=int)
-    partition = np.argpartition(values, p - 1)[:p]
-    # argpartition breaks ties at the cut arbitrarily; rebuild the selection
-    # so that equal values at the boundary keep the lowest database indices.
-    boundary = values[partition].max()
-    below = np.flatnonzero(values < boundary)
-    needed = p - below.size
-    chosen = np.concatenate([below, np.flatnonzero(values == boundary)[:needed]])
-    order = np.argsort(values[chosen], kind="stable")
-    return chosen[order]
-
-
-def _clamp_query_params(k: int, p: int, n: int) -> Tuple[int, int]:
-    """Clamp ``(k, p)`` against a database of ``n`` objects.
-
-    ``k`` and ``p`` must be positive; beyond that they are clamped rather
-    than rejected: ``k`` is capped at ``n`` (a query cannot have more
-    neighbors than the database holds) and ``p`` is raised to at least the
-    effective ``k`` (so the refine step can return ``k`` results) and capped
-    at ``n`` (refining more candidates than exist is meaningless).  Returns
-    the effective ``(k, p)``; the refine cost charged per query is the
-    effective ``p``.
-    """
-    if k < 1:
-        raise RetrievalError(f"k must be a positive integer, got {k}")
-    if p < 1:
-        raise RetrievalError(f"p must be a positive integer, got {p}")
-    k_eff = min(int(k), n)
-    p_eff = min(max(int(p), k_eff), n)
-    return k_eff, p_eff
-
-
-def _filter_distances(
-    embedder: Union[QuerySensitiveModel, Embedding],
-    query_vector: np.ndarray,
-    database_vectors: np.ndarray,
-) -> np.ndarray:
-    """Filter-step distances from one embedded query to database vectors.
-
-    Row-wise over ``database_vectors``, so evaluating it per shard and
-    concatenating yields bit-identical values to one full-database call.
-    """
-    query_vector = np.asarray(query_vector, dtype=float)
-    if isinstance(embedder, QuerySensitiveModel):
-        return embedder.distances_to(query_vector, database_vectors)
-    return np.abs(database_vectors - query_vector[None, :]).sum(axis=1)
-
-
-def _refine_order(exact: np.ndarray, candidates: np.ndarray, k: int) -> np.ndarray:
-    """Positions of the ``k`` best refined candidates, ties by database index.
-
-    ``np.lexsort`` with the exact distance as the primary key and the global
-    database index as the secondary key reproduces exactly the tie-stable
-    order of a brute-force scan, regardless of the order the candidates
-    survived the filter in.
-    """
-    return np.lexsort((candidates, exact))[:k]
-
-
-def _build_retrieval_result(
-    candidates: np.ndarray,
-    exact: np.ndarray,
-    k_eff: int,
-    p_eff: int,
-    embedding_cost: int,
-    refine_cost: Optional[int] = None,
-) -> "RetrievalResult":
-    """Assemble a :class:`RetrievalResult` from refined candidate distances.
-
-    Shared by the unsharded and sharded retrievers so the neighbor ordering
-    and cost accounting can never diverge between the two paths.
-    ``refine_cost`` defaults to the nominal ``p``; context-backed retrievers
-    pass the number of evaluations actually performed (cached pairs are
-    free).
-    """
-    order = _refine_order(exact, candidates, k_eff)
-    return RetrievalResult(
-        neighbor_indices=candidates[order],
-        neighbor_distances=exact[order],
-        candidate_indices=candidates,
-        embedding_distance_computations=int(embedding_cost),
-        refine_distance_computations=int(
-            p_eff if refine_cost is None else refine_cost
-        ),
-    )
-
-
-@dataclass
-class RetrievalResult:
-    """Outcome of one filter-and-refine query.
-
-    Attributes
-    ----------
-    neighbor_indices:
-        Database indices of the ``min(k, n)`` reported neighbors, best first.
-    neighbor_distances:
-        Their exact distances to the query.
-    candidate_indices:
-        The (effective) ``p`` database indices that survived the filter step,
-        in filter order.
-    embedding_distance_computations:
-        Exact distances spent embedding the query (the embedder's nominal
-        per-query cost).
-    refine_distance_computations:
-        Exact distances spent in the refine step.  Equals the effective
-        ``p`` for a plain distance measure; for a retriever backed by a
-        :class:`~repro.distances.context.DistanceContext` it is the number
-        of evaluations actually performed — pairs already in the shared
-        store are free, so a fully warm store reports ``0``.
-    """
-
-    neighbor_indices: np.ndarray
-    neighbor_distances: np.ndarray
-    candidate_indices: np.ndarray
-    embedding_distance_computations: int
-    refine_distance_computations: int
-
-    @property
-    def total_distance_computations(self) -> int:
-        """The paper's cost metric: embedding cost plus refine cost."""
-        return self.embedding_distance_computations + self.refine_distance_computations
+# Backwards-compatible aliases: these helpers started life as this module's
+# private functions and are imported elsewhere under their old names.
+_stable_smallest = stable_smallest
+_clamp_query_params = clamp_query_params
+_filter_distances = filter_vector_distances
+_refine_order = refine_order
+_build_retrieval_result = build_retrieval_result
 
 
 class FilterRefineRetriever:
     """Approximate k-NN retrieval through an embedding.
+
+    A thin configuration of :class:`~repro.retrieval.engine.QueryEngine`
+    (embed → filter → refine → merge over the whole database).
 
     Parameters
     ----------
@@ -267,10 +124,6 @@ class FilterRefineRetriever:
             )
         self.database = database
         self.embedder = embedder
-        self._binding = bind_context(distance, database)
-        self._refine_distance: Optional[CountingDistance] = (
-            None if self._binding is not None else CountingDistance(distance)
-        )
         if database_vectors is None:
             database_vectors = embedder.embed_many(list(database))
         self.database_vectors = np.asarray(database_vectors, dtype=float)
@@ -279,6 +132,9 @@ class FilterRefineRetriever:
                 f"database_vectors must have shape ({len(database)}, {self.dim}), "
                 f"got {self.database_vectors.shape}"
             )
+        self.engine = QueryEngine.filter_refine(
+            distance, database, embedder, self.database_vectors
+        )
 
     @property
     def dim(self) -> int:
@@ -291,19 +147,25 @@ class FilterRefineRetriever:
         return self.embedder.cost
 
     @property
+    def _binding(self):
+        return self.engine.refine.binding
+
+    @property
+    def _refine_distance(self) -> Optional[CountingDistance]:
+        return self.engine.refine.counting
+
+    @property
     def refine_distance_evaluations(self) -> int:
         """Total exact distances spent refining, across all queries so far.
 
         For a context-backed retriever this counts the evaluations actually
         performed (store hits are free).
         """
-        if self._binding is not None:
-            return self._binding.calls
-        return self._refine_distance.calls
+        return self.engine.refine.calls
 
     def filter_distances(self, query_vector: np.ndarray) -> np.ndarray:
         """Vector distances from an embedded query to every database vector."""
-        return _filter_distances(self.embedder, query_vector, self.database_vectors)
+        return self.engine.filter.distances(query_vector)
 
     def filter_order(self, query_vector: np.ndarray, p: Optional[int] = None) -> np.ndarray:
         """Database indices sorted by increasing filter distance.
@@ -314,23 +176,7 @@ class FilterRefineRetriever:
         over the whole database.  The result is identical — including tie
         breaking by database index — to ``filter_order(...)[:p]``.
         """
-        return _stable_smallest(self.filter_distances(query_vector), p)
-
-    def _refine(self, obj: Any, candidates: np.ndarray, k_eff: int, p_eff: int) -> RetrievalResult:
-        """Refine filter candidates with one batched exact-distance call."""
-        if self._binding is not None:
-            exact, spent = self._binding.distances_to(obj, candidates)
-            return _build_retrieval_result(
-                candidates, exact, k_eff, p_eff, self.embedding_cost,
-                refine_cost=spent,
-            )
-        candidate_objects = [self.database[int(i)] for i in candidates]
-        exact = np.asarray(
-            self._refine_distance.compute_many(obj, candidate_objects), dtype=float
-        )
-        return _build_retrieval_result(
-            candidates, exact, k_eff, p_eff, self.embedding_cost
-        )
+        return self.engine.filter.order(query_vector, p)
 
     def query(self, obj: Any, k: int, p: int) -> RetrievalResult:
         """Retrieve the approximate ``k`` nearest neighbors of ``obj``.
@@ -350,10 +196,7 @@ class FilterRefineRetriever:
             Number of filter candidates to refine with exact distances;
             clamped to ``[min(k, n), n]`` (see the module docstring).
         """
-        k_eff, p_eff = _clamp_query_params(k, p, len(self.database))
-        query_vector = self.embedder.embed(obj)
-        candidates = self.filter_order(query_vector, p_eff)
-        return self._refine(obj, candidates, k_eff, p_eff)
+        return self.engine.query(obj, k, p)
 
     def query_many(
         self,
@@ -375,61 +218,4 @@ class FilterRefineRetriever:
         path, and the distance measure plus the database objects must be
         picklable.
         """
-        k_eff, p_eff = _clamp_query_params(k, p, len(self.database))
-        objects = list(objects)
-        if not objects:
-            return []
-        query_vectors = self.embedder.embed_many(objects)
-        candidate_lists = [
-            self.filter_order(query_vector, p_eff) for query_vector in query_vectors
-        ]
-
-        if self._binding is not None:
-            # The context resolves store hits in the parent and pools only
-            # the missing (query, candidate) pairs; per-query refine cost is
-            # the number of evaluations actually performed.
-            exact_lists, computed = self._binding.distances_to_many(
-                objects, candidate_lists, n_jobs=n_jobs
-            )
-            return [
-                _build_retrieval_result(
-                    candidates,
-                    np.asarray(exact, dtype=float),
-                    k_eff,
-                    p_eff,
-                    self.embedding_cost,
-                    refine_cost=spent,
-                )
-                for candidates, exact, spent in zip(
-                    candidate_lists, exact_lists, computed
-                )
-            ]
-
-        n_workers = resolve_jobs(n_jobs)
-        if n_workers > 1 and len(objects) > 1:
-            ensure_parallel_safe(self._refine_distance)
-            inner, counters = split_counting(self._refine_distance)
-            items = [
-                (qi, obj, 0, candidates)
-                for qi, (obj, candidates) in enumerate(zip(objects, candidate_lists))
-            ]
-            exact_by_query = parallel_refine(
-                inner, [list(self.database)], items, n_workers
-            )
-            for counting in counters:
-                counting.calls += p_eff * len(objects)
-            return [
-                _build_retrieval_result(
-                    candidate_lists[qi],
-                    np.asarray(exact_by_query[qi], dtype=float),
-                    k_eff,
-                    p_eff,
-                    self.embedding_cost,
-                )
-                for qi in range(len(objects))
-            ]
-
-        return [
-            self._refine(obj, candidates, k_eff, p_eff)
-            for obj, candidates in zip(objects, candidate_lists)
-        ]
+        return self.engine.query_many(objects, k, p, n_jobs=n_jobs)

@@ -9,6 +9,13 @@ independent unit of work that can fan out across worker processes today
 (``n_jobs``) and across remote workers later, while results stay
 *bit-identical* to the single-process unsharded path.
 
+Since the :mod:`repro.retrieval.engine` refactor the retriever is a thin
+configuration of :class:`~repro.retrieval.engine.QueryEngine`: the shard
+merge lives in :class:`~repro.retrieval.engine.ShardedFilterStage` and the
+per-(query, shard) refine routing in
+:class:`~repro.retrieval.engine.RefineStage` — shared with the unsharded
+pipeline, so tie-breaking, clamping and accounting cannot drift.
+
 Shard/merge semantics
 ---------------------
 Shards are contiguous database index ranges (``np.array_split`` over
@@ -52,44 +59,41 @@ because its keys cannot survive the process boundary — use a
 :class:`~repro.distances.context.DistanceContext` (stable dataset-index
 keys) or supply a stable ``key`` function to cache under ``n_jobs``.
 
+Store-aware refine routing
+--------------------------
 When the retriever is built on a
 :class:`~repro.distances.context.DistanceContext`, the refine step goes
-through the context's shared store exactly like the unsharded retriever:
-cached (query, candidate) pairs are free, per-query
+through the context's shared store *per (query, shard) group*: each
+shard's store hits are resolved in the parent and only its missing pairs
+are evaluated, so a shard whose pairs are already cached receives zero
+exact evaluations.  :attr:`ShardedRetriever.shard_refine_evaluations`
+accumulates the evaluations routed to each shard — the hit-rate signal the
+ROADMAP's store-aware shard placement reads to route refine work where the
+pairs are already cached.  Per-query
 ``refine_distance_computations`` reports the evaluations actually
-performed, and ``n_jobs`` fan-out happens inside
+performed, ``n_jobs`` fan-out happens inside
 :meth:`~repro.distances.context.DistanceContext.distances_to_many` (store
-and counters stay in the parent).  Sharding then only shapes the *filter*
-layout; the refined values — and therefore the merged neighbors — remain
-bit-identical to the unsharded context path.
+and counters stay in the parent), and the refined values — and therefore
+the merged neighbors — remain bit-identical to the unsharded context path
+(a query's candidates are unique and shard ranges disjoint, so the groups
+partition exactly the pairs the unsharded call resolves).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.core.model import QuerySensitiveModel
 from repro.datasets.base import Dataset
 from repro.distances.base import CountingDistance, DistanceMeasure
-from repro.distances.parallel import (
-    ensure_parallel_safe,
-    parallel_refine,
-    resolve_jobs,
-    split_counting,
-)
 from repro.embeddings.base import Embedding
 from repro.exceptions import RetrievalError
-from repro.retrieval.context_binding import bind_context
-from repro.retrieval.filter_refine import (
-    RetrievalResult,
-    _build_retrieval_result,
-    _clamp_query_params,
-    _filter_distances,
-    _stable_smallest,
-)
+from repro.retrieval.engine import QueryEngine, RetrievalResult
+
+__all__ = ["Shard", "ShardedRetriever"]
 
 
 @dataclass
@@ -167,10 +171,6 @@ class ShardedRetriever:
         self.database = database
         self.embedder = embedder
         self.n_jobs = n_jobs
-        self._binding = bind_context(distance, database)
-        self._refine_distance: Optional[CountingDistance] = (
-            None if self._binding is not None else CountingDistance(distance)
-        )
         if database_vectors is None:
             database_vectors = embedder.embed_many(list(database))
         self.database_vectors = np.asarray(database_vectors, dtype=float)
@@ -190,6 +190,7 @@ class ShardedRetriever:
             for chunk in splits
             if chunk.size
         ]
+        self.engine = QueryEngine.sharded(distance, database, embedder, self.shards)
 
     @property
     def n_shards(self) -> int:
@@ -212,15 +213,33 @@ class ShardedRetriever:
         return self.embedder.cost
 
     @property
+    def _binding(self):
+        return self.engine.refine.binding
+
+    @property
+    def _refine_distance(self) -> Optional[CountingDistance]:
+        return self.engine.refine.counting
+
+    @property
     def refine_distance_evaluations(self) -> int:
         """Total exact distances spent refining, across all queries so far.
 
         For a context-backed retriever this counts the evaluations actually
         performed (store hits are free).
         """
-        if self._binding is not None:
-            return self._binding.calls
-        return self._refine_distance.calls
+        return self.engine.refine.calls
+
+    @property
+    def shard_refine_evaluations(self) -> np.ndarray:
+        """Exact refine evaluations routed to each shard so far.
+
+        On the context-backed path store hits are free, so a shard whose
+        candidate pairs are already cached accumulates zero — the signal a
+        store-aware placement policy uses to route refine work to warm
+        shards.  On the plain-measure path this is the nominal per-shard
+        candidate count.
+        """
+        return self.engine.refine.shard_evaluations.copy()
 
     # ------------------------------------------------------------------ #
     # Filter + merge                                                     #
@@ -233,34 +252,16 @@ class ShardedRetriever:
         unsharded ``filter_order(query_vector, p)`` (see the module
         docstring for why the merge preserves the stable order).
         """
-        shard_distances: List[np.ndarray] = []
-        shard_indices: List[np.ndarray] = []
-        for shard in self.shards:
-            distances = _filter_distances(self.embedder, query_vector, shard.vectors)
-            local = _stable_smallest(distances, min(p, len(shard)))
-            shard_distances.append(distances[local])
-            shard_indices.append(shard.offset + local)
-        merged_distances = np.concatenate(shard_distances)
-        merged_indices = np.concatenate(shard_indices)
-        order = np.argsort(merged_distances, kind="stable")[:p]
-        return merged_indices[order]
+        return self.engine.filter.merged(query_vector, p)
 
-    def _split_by_shard(
-        self, candidates: np.ndarray
-    ) -> List[Tuple[int, np.ndarray, np.ndarray]]:
+    def _split_by_shard(self, candidates: np.ndarray):
         """Partition a global candidate list into per-shard refine work.
 
         Returns ``(shard_id, local_indices, positions)`` triples, where
         ``positions`` locates each shard candidate inside the filter-ordered
         candidate array, so refined distances can be scattered back.
         """
-        work = []
-        for sid, shard in enumerate(self.shards):
-            mask = (candidates >= shard.offset) & (candidates < shard.offset + len(shard))
-            positions = np.flatnonzero(mask)
-            if positions.size:
-                work.append((sid, candidates[positions] - shard.offset, positions))
-        return work
+        return self.engine.filter.split(candidates)
 
     # ------------------------------------------------------------------ #
     # Queries                                                            #
@@ -276,38 +277,8 @@ class ShardedRetriever:
         come back.  With ``n_jobs > 1`` the per-shard refine batches fan out
         over a process pool.
         """
-        k_eff, p_eff = _clamp_query_params(k, p, len(self.database))
-        query_vector = self.embedder.embed(obj)
-        candidates = self.merged_candidates(query_vector, p_eff)
-        if self._binding is not None:
-            exact, spent = self._binding.distances_to(obj, candidates)
-            return _build_retrieval_result(
-                candidates, exact, k_eff, p_eff, self.embedding_cost,
-                refine_cost=spent,
-            )
-        work = self._split_by_shard(candidates)
-        exact = np.empty(candidates.shape[0], dtype=float)
-
-        n_workers = resolve_jobs(self.n_jobs if n_jobs is None else n_jobs)
-        if n_workers > 1 and len(work) > 1:
-            ensure_parallel_safe(self._refine_distance)
-            inner, counters = split_counting(self._refine_distance)
-            items = [(sid, obj, sid, local) for sid, local, _ in work]
-            by_shard = parallel_refine(
-                inner, [shard.objects for shard in self.shards], items, n_workers
-            )
-            for counting in counters:
-                counting.calls += int(p_eff)
-            for sid, _, positions in work:
-                exact[positions] = by_shard[sid]
-        else:
-            for sid, local, positions in work:
-                shard = self.shards[sid]
-                exact[positions] = self._refine_distance.compute_many(
-                    obj, [shard.objects[int(i)] for i in local]
-                )
-        return _build_retrieval_result(
-            candidates, exact, k_eff, p_eff, self.embedding_cost
+        return self.engine.query(
+            obj, k, p, n_jobs=self.n_jobs if n_jobs is None else n_jobs
         )
 
     def query_many(
@@ -326,67 +297,6 @@ class ShardedRetriever:
         bit-identical to the serial unsharded
         :meth:`~repro.retrieval.filter_refine.FilterRefineRetriever.query_many`.
         """
-        k_eff, p_eff = _clamp_query_params(k, p, len(self.database))
-        objects = list(objects)
-        if not objects:
-            return []
-        query_vectors = self.embedder.embed_many(objects)
-        candidate_lists = [
-            self.merged_candidates(query_vector, p_eff)
-            for query_vector in query_vectors
-        ]
-        if self._binding is not None:
-            exact_lists, computed = self._binding.distances_to_many(
-                objects,
-                candidate_lists,
-                n_jobs=self.n_jobs if n_jobs is None else n_jobs,
-            )
-            return [
-                _build_retrieval_result(
-                    candidates,
-                    np.asarray(exact, dtype=float),
-                    k_eff,
-                    p_eff,
-                    self.embedding_cost,
-                    refine_cost=spent,
-                )
-                for candidates, exact, spent in zip(
-                    candidate_lists, exact_lists, computed
-                )
-            ]
-        work_lists = [self._split_by_shard(c) for c in candidate_lists]
-        exact_lists = [
-            np.empty(c.shape[0], dtype=float) for c in candidate_lists
-        ]
-
-        n_workers = resolve_jobs(self.n_jobs if n_jobs is None else n_jobs)
-        if n_workers > 1 and len(objects) * len(self.shards) > 1:
-            ensure_parallel_safe(self._refine_distance)
-            inner, counters = split_counting(self._refine_distance)
-            items = [
-                ((qi, sid), obj, sid, local)
-                for qi, (obj, work) in enumerate(zip(objects, work_lists))
-                for sid, local, _ in work
-            ]
-            by_key: Dict[Any, np.ndarray] = parallel_refine(
-                inner, [shard.objects for shard in self.shards], items, n_workers
-            )
-            for counting in counters:
-                counting.calls += int(p_eff) * len(objects)
-            for qi, work in enumerate(work_lists):
-                for sid, _, positions in work:
-                    exact_lists[qi][positions] = by_key[(qi, sid)]
-        else:
-            for qi, (obj, work) in enumerate(zip(objects, work_lists)):
-                for sid, local, positions in work:
-                    shard = self.shards[sid]
-                    exact_lists[qi][positions] = self._refine_distance.compute_many(
-                        obj, [shard.objects[int(i)] for i in local]
-                    )
-
-        return [
-            _build_retrieval_result(
-                candidates, exact, k_eff, p_eff, self.embedding_cost
-            )
-            for candidates, exact in zip(candidate_lists, exact_lists)
-        ]
+        return self.engine.query_many(
+            objects, k, p, n_jobs=self.n_jobs if n_jobs is None else n_jobs
+        )

@@ -1,0 +1,197 @@
+"""The staged QueryEngine: stage composition, delegation, store-aware routing.
+
+The heavy bit-identity oracles for the engine live in the existing
+retrieval suites (every retriever now runs through it); this file covers
+the engine-specific surface: stage composition, the retrievers exposing
+one shared stage set, the store-aware per-shard refine accounting, and the
+DynamicDatabase tie-break fix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    BruteForceRetriever,
+    DynamicDatabase,
+    FilterRefineRetriever,
+    L2Distance,
+    ShardedRetriever,
+)
+from repro.datasets.base import Dataset
+from repro.distances.context import DistanceContext
+from repro.exceptions import RetrievalError
+from repro.retrieval.engine import (
+    EmbedStage,
+    FilterStage,
+    MergeStage,
+    QueryEngine,
+    RefineStage,
+    ScanStage,
+    ShardedFilterStage,
+)
+
+
+class TestEngineComposition:
+    def test_retrievers_expose_the_shared_stages(self, gaussian_split, l2, trained_qs):
+        model = trained_qs.model
+        flat = FilterRefineRetriever(l2, gaussian_split.database, model)
+        sharded = ShardedRetriever(l2, gaussian_split.database, model, n_shards=3)
+        brute = BruteForceRetriever(l2, gaussian_split.database)
+
+        assert isinstance(flat.engine, QueryEngine)
+        assert isinstance(flat.engine.embed, EmbedStage)
+        assert isinstance(flat.engine.filter, FilterStage)
+        assert isinstance(flat.engine.refine, RefineStage)
+        assert isinstance(flat.engine.merge, MergeStage)
+        assert isinstance(sharded.engine.filter, ShardedFilterStage)
+        assert isinstance(brute.engine.filter, ScanStage)
+        assert brute.engine.embed is None and brute.engine.merge is None
+        # Stage list preserves run order (embed first, merge last).
+        assert flat.engine.stages[0] is flat.engine.embed
+        assert flat.engine.stages[-1] is flat.engine.merge
+
+    def test_engine_query_equals_retriever_query(self, gaussian_split, l2, trained_qs):
+        retriever = FilterRefineRetriever(l2, gaussian_split.database, trained_qs.model)
+        query = gaussian_split.queries[0]
+        via_engine = retriever.engine.query(query, k=3, p=12)
+        via_retriever = retriever.query(query, k=3, p=12)
+        assert np.array_equal(
+            via_engine.neighbor_indices, via_retriever.neighbor_indices
+        )
+        assert np.array_equal(
+            via_engine.neighbor_distances, via_retriever.neighbor_distances
+        )
+
+    def test_plan_accumulates_stage_outputs(self, gaussian_split, l2, trained_qs):
+        retriever = ShardedRetriever(
+            l2, gaussian_split.database, trained_qs.model, n_shards=4
+        )
+        engine = retriever.engine
+        plan = engine.make_plan(list(gaussian_split.queries)[:3], k=2, p=9)
+        plan = engine.run(plan)
+        assert plan.query_vectors.shape == (3, trained_qs.model.dim)
+        assert all(c.shape == (9,) for c in plan.candidate_lists)
+        assert plan.shard_work is not None and len(plan.shard_work) == 3
+        assert all(e.shape == (9,) for e in plan.exact_lists)
+        assert len(plan.results) == 3
+
+    def test_prepare_runs_only_parent_stages(self, gaussian_split, l2, trained_qs):
+        retriever = FilterRefineRetriever(l2, gaussian_split.database, trained_qs.model)
+        engine = retriever.engine
+        before = retriever.refine_distance_evaluations
+        plan = engine.prepare(engine.make_plan([gaussian_split.queries[0]], 2, 8, single=True))
+        assert plan.candidate_lists[0].shape == (8,)
+        assert plan.exact_lists == []
+        # prepare never refines: no exact evaluations charged to the stage.
+        assert retriever.refine_distance_evaluations == before
+
+    def test_empty_batch_still_validates_params(self, gaussian_split, l2, trained_qs):
+        retriever = FilterRefineRetriever(l2, gaussian_split.database, trained_qs.model)
+        with pytest.raises(RetrievalError):
+            retriever.query_many([], k=0, p=5)
+        assert retriever.query_many([], k=2, p=5) == []
+
+
+class TestStoreAwareShardedRefine:
+    def _context_retriever(self, gaussian_split, trained_qs, n_shards=3):
+        context = DistanceContext(
+            L2Distance(),
+            list(gaussian_split.database) + list(gaussian_split.queries),
+        )
+        retriever = ShardedRetriever(
+            context, gaussian_split.database, trained_qs.model, n_shards=n_shards
+        )
+        return context, retriever
+
+    def test_shard_evaluations_accumulate(self, gaussian_split, trained_qs):
+        _context, retriever = self._context_retriever(gaussian_split, trained_qs)
+        results = retriever.query_many(list(gaussian_split.queries)[:5], k=3, p=12)
+        per_shard = retriever.shard_refine_evaluations
+        assert per_shard.shape == (retriever.n_shards,)
+        assert per_shard.sum() == sum(
+            r.refine_distance_computations for r in results
+        )
+
+    def test_fully_cached_shard_gets_zero_evaluations(self, gaussian_split, trained_qs):
+        context, retriever = self._context_retriever(gaussian_split, trained_qs)
+        queries = list(gaussian_split.queries)[:4]
+        # Warm every (query, shard-0 member) pair: shard 0's refine work is
+        # then fully cached, so the store-aware split must route zero exact
+        # evaluations to it.
+        shard0 = retriever.shards[0]
+        warm_targets = np.arange(shard0.offset, shard0.offset + len(shard0))
+        for query in queries:
+            context.distances_to(query, warm_targets)
+        baseline = retriever.shard_refine_evaluations
+        assert baseline.sum() == 0
+        results = retriever.query_many(queries, k=3, p=15)
+        per_shard = retriever.shard_refine_evaluations
+        assert per_shard[0] == 0
+        # The other shards did real work (the filter keeps 15 candidates
+        # spread across shards for these queries).
+        assert per_shard.sum() == sum(
+            r.refine_distance_computations for r in results
+        )
+        # And results equal the unsharded pipeline exactly.
+        flat = FilterRefineRetriever(
+            L2Distance(), gaussian_split.database, trained_qs.model
+        )
+        for lhs, rhs in zip(results, flat.query_many(queries, k=3, p=15)):
+            assert np.array_equal(lhs.neighbor_indices, rhs.neighbor_indices)
+            assert np.array_equal(lhs.neighbor_distances, rhs.neighbor_distances)
+
+    def test_sharded_context_counts_match_unsharded(self, gaussian_split, trained_qs):
+        context_a = DistanceContext(
+            L2Distance(),
+            list(gaussian_split.database) + list(gaussian_split.queries),
+        )
+        context_b = DistanceContext(
+            L2Distance(),
+            list(gaussian_split.database) + list(gaussian_split.queries),
+        )
+        queries = list(gaussian_split.queries)[:6]
+        sharded = ShardedRetriever(
+            context_a, gaussian_split.database, trained_qs.model, n_shards=4
+        )
+        flat = FilterRefineRetriever(
+            context_b, gaussian_split.database, trained_qs.model
+        )
+        for lhs, rhs in zip(
+            sharded.query_many(queries, k=3, p=12),
+            flat.query_many(queries, k=3, p=12),
+        ):
+            assert np.array_equal(lhs.neighbor_indices, rhs.neighbor_indices)
+            assert (
+                lhs.refine_distance_computations == rhs.refine_distance_computations
+            )
+
+
+class TestDynamicTieOrder:
+    def test_dynamic_ties_match_brute_force(self, trained_qs):
+        # Four database points at identical distance from the query; the
+        # embedding is free to rank them arbitrarily in the filter, so the
+        # old filter-position tie-break could diverge from brute force.
+        points = [
+            np.array([1.0, 0.0, 0.0, 0.0, 0.0, 0.0]),
+            np.array([-1.0, 0.0, 0.0, 0.0, 0.0, 0.0]),
+            np.array([0.0, 1.0, 0.0, 0.0, 0.0, 0.0]),
+            np.array([0.0, -1.0, 0.0, 0.0, 0.0, 0.0]),
+            np.array([3.0, 0.0, 0.0, 0.0, 0.0, 0.0]),
+        ]
+        query = np.zeros(6)
+        l2 = L2Distance()
+        dynamic = DynamicDatabase(l2, trained_qs.model, initial_objects=points)
+        indices, distances, cost = dynamic.query(query, k=4, p=len(points))
+        brute = BruteForceRetriever(l2, Dataset(objects=points, name="tied"))
+        expected_indices, expected_distances = brute.query(query, k=4)
+        assert np.array_equal(indices, expected_indices)
+        assert np.array_equal(distances, expected_distances)
+        assert cost == trained_qs.model.cost + len(points)
+
+    def test_dynamic_routes_through_shared_refine_stage(self, trained_qs):
+        dynamic = DynamicDatabase(L2Distance(), trained_qs.model)
+        assert isinstance(dynamic._refine, RefineStage)
+        # The stage must track the live object list, not a snapshot.
+        assert dynamic._refine.database is dynamic.objects
