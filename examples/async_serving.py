@@ -15,7 +15,11 @@ result out as soon as it lands.  This walkthrough, on DTW time-series data:
      look-ahead (``max_in_flight`` backpressure),
    * ``aquery_many`` → the ``asyncio``-friendly batch call,
 4. re-streams the same batch to show warm serving: zero exact distance
-   evaluations, every pair answered by the store.
+   evaluations, every pair answered by the store,
+5. puts a deadline on a deliberately slowed pool: without
+   ``allow_partial`` the ticket resolves to a typed ``ServingError``
+   instead of hanging; with it, whatever refine work finished in time is
+   ranked and returned with ``result.partial`` set.
 
 Run with:  PYTHONPATH=src python examples/async_serving.py
 """
@@ -32,9 +36,12 @@ from repro import (
     ConstrainedDTW,
     EmbeddingIndex,
     IndexConfig,
+    PersistentPool,
+    ServingError,
     TrainingConfig,
     make_timeseries_dataset,
 )
+from repro.testing import FaultPlan
 
 
 def main() -> None:
@@ -113,6 +120,34 @@ def main() -> None:
             assert total_refine == 0
             print("warm re-stream refined with 0 exact evaluations "
                   f"(pool launched {served.pool.launches}x in this session)")
+
+        # -- 5. deadlines: typed failures and partial results ----------
+        # A deadline bounds how long a caller can be stalled.  Slow the
+        # refine pool down with the fault-injection harness so it
+        # actually expires on a never-seen query.
+        fresh = list(make_timeseries_dataset(
+            n_database=1, n_queries=2, n_seeds=8, length=40, n_dims=1, seed=99
+        )[1])
+        slow = EmbeddingIndex.open(artifact, database)
+        # Warm a small candidate prefix first, so the partial result
+        # below has resolved distances to rank.
+        slow.query(fresh[1], k=3, p=5)
+        delayed = PersistentPool(2, faults=FaultPlan(delay_seconds=2.0))
+        slow.pool = delayed
+        slow.context.pool = delayed
+        slow._owns_pool = True
+        try:
+            slow.submit(fresh[0], k=3, p=15, deadline=0.25).result()
+        except ServingError as exc:
+            print(f"deadline expired as a typed error: "
+                  f"{type(exc).__name__}: {exc}")
+        partial = slow.submit(
+            fresh[1], k=3, p=15, deadline=0.25, allow_partial=True
+        ).result()
+        print(f"partial result (partial={partial.partial}): "
+              f"{len(partial.neighbor_indices)} neighbors ranked from the "
+              "candidates whose exact distances resolved in time")
+        slow.close()
 
 
 if __name__ == "__main__":

@@ -14,8 +14,11 @@ pool; the warm serve must perform zero exact evaluations and the pool must
 launch exactly once across repeated batches, both asserted), an
 ``async_serve`` benchmark (blocking ``query_many`` vs. the pipelined
 ``stream`` serving path on a warm index, results asserted bit-identical),
-and **appends** the measurements to a history record in
-``BENCH_perf.json`` so regressions are visible across PRs.
+a ``degraded_serve`` benchmark (warm-artifact serve with a worker killed
+mid-batch vs. a healthy pool — bit-identical results and exactly one
+respawn asserted; recorded but never gated), and **appends** the
+measurements to a history record in ``BENCH_perf.json`` so regressions
+are visible across PRs.
 
 Usage::
 
@@ -611,6 +614,105 @@ def bench_async_serve(
     }
 
 
+def bench_degraded_serve(
+    n_database: int,
+    n_queries: int,
+    length: int,
+    n_candidates: int,
+    dim_rounds: int,
+    k: int,
+    p: int,
+    n_jobs: int,
+) -> dict:
+    """Warm-artifact serve with a worker killed mid-batch vs. a healthy pool.
+
+    Builds and saves an index once, then serves the same query batch from
+    two reopened copies: one through a healthy pool, one through a pool
+    whose fault plan kills a worker after its first refine chunk.  The
+    supervisor must respawn the worker (exactly one restart, asserted) and
+    the faulted serve must stay bit-identical to the healthy one; the
+    recorded ratio is the wall-clock price of losing a worker mid-batch.
+    Not gated — recorded so the recovery overhead stays visible across PRs.
+    """
+    import tempfile
+
+    from repro.index import EmbeddingIndex, IndexConfig
+    from repro.index.pool import PersistentPool
+    from repro.testing import FaultPlan
+
+    database, queries = make_timeseries_dataset(
+        n_database=n_database,
+        n_queries=n_queries,
+        n_seeds=8,
+        length=length,
+        n_dims=1,
+        seed=31,
+    )
+    query_objects = list(queries)
+    config = IndexConfig(
+        training=TrainingConfig(
+            n_candidates=n_candidates,
+            n_training_objects=n_candidates,
+            n_triples=max(200, 10 * n_candidates),
+            n_rounds=dim_rounds,
+            classifiers_per_round=20,
+            intervals_per_candidate=3,
+            kmax=k,
+            seed=7,
+        ),
+        backend="filter_refine",
+        n_jobs=n_jobs,
+    )
+    index = EmbeddingIndex.build(ConstrainedDTW(), database, config)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        artifact = Path(tmp) / "index"
+        index.save(artifact)
+        index.close()
+
+        # The artifact's store covers only the build's pairs, so both
+        # reopened copies pay the same cold refine work through their pool.
+        healthy = EmbeddingIndex.open(artifact, database)
+        healthy_results, healthy_seconds = _timed(
+            lambda: healthy.query_many(query_objects, k=k, p=p, n_jobs=n_jobs)
+        )
+        healthy.close()
+
+        faulted = EmbeddingIndex.open(artifact, database)
+        pool = PersistentPool(n_jobs, faults=FaultPlan(kill_after_chunks=1))
+        faulted.pool = pool
+        faulted.context.pool = pool
+        faulted._owns_pool = True
+        faulted_results, faulted_seconds = _timed(
+            lambda: faulted.query_many(query_objects, k=k, p=p, n_jobs=n_jobs)
+        )
+        restarts = pool.restarts
+        faulted.close()
+
+    assert restarts == 1, f"expected exactly one injected restart, got {restarts}"
+    for healthy_r, faulted_r in zip(healthy_results, faulted_results):
+        assert np.array_equal(
+            healthy_r.neighbor_indices, faulted_r.neighbor_indices
+        ), "faulted serve disagrees with the healthy pool"
+        assert np.array_equal(
+            healthy_r.neighbor_distances, faulted_r.neighbor_distances
+        )
+    return {
+        "n_database": n_database,
+        "n_queries": n_queries,
+        "series_length": length,
+        "n_candidates": n_candidates,
+        "k": k,
+        "p": p,
+        "n_jobs": n_jobs,
+        "healthy_seconds": healthy_seconds,
+        "degraded_seconds": faulted_seconds,
+        "restarts": restarts,
+        "recovery_overhead": faulted_seconds / healthy_seconds,
+        "speedup": healthy_seconds / faulted_seconds,
+    }
+
+
 # --------------------------------------------------------------------------- #
 # History + regression gate                                                   #
 # --------------------------------------------------------------------------- #
@@ -722,6 +824,10 @@ def main() -> int:
                 n_database=60, n_queries=8, length=30, n_candidates=20,
                 dim_rounds=5, k=3, p=10, n_jobs=2,
             ),
+            "degraded_serve": dict(
+                n_database=60, n_queries=8, length=30, n_candidates=20,
+                dim_rounds=5, k=3, p=10, n_jobs=2,
+            ),
         }
     else:
         sizes = {
@@ -746,6 +852,10 @@ def main() -> int:
                 n_database=200, n_queries=20, length=50, n_candidates=60,
                 dim_rounds=10, k=5, p=25, n_jobs=2,
             ),
+            "degraded_serve": dict(
+                n_database=200, n_queries=20, length=50, n_candidates=60,
+                dim_rounds=10, k=5, p=25, n_jobs=2,
+            ),
         }
 
     results = {}
@@ -757,6 +867,7 @@ def main() -> int:
         ("context_reuse", bench_context_reuse),
         ("index_serve", bench_index_serve),
         ("async_serve", bench_async_serve),
+        ("degraded_serve", bench_degraded_serve),
     ]:
         print(f"[bench_perf] {name} {sizes[name]} ...", flush=True)
         results[name] = fn(**sizes[name])
@@ -765,12 +876,21 @@ def main() -> int:
             "seed_seconds",
             r.get(
                 "single_process_seconds",
-                r.get("cold_seconds", r.get("blocking_seconds")),
+                r.get(
+                    "cold_seconds",
+                    r.get("blocking_seconds", r.get("healthy_seconds")),
+                ),
             ),
         )
         engine = r.get(
             "engine_seconds",
-            r.get("sharded_seconds", r.get("warm_seconds", r.get("stream_seconds"))),
+            r.get(
+                "sharded_seconds",
+                r.get(
+                    "warm_seconds",
+                    r.get("stream_seconds", r.get("degraded_seconds")),
+                ),
+            ),
         )
         print(
             f"[bench_perf]   baseline {baseline:.3f}s  "

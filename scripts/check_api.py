@@ -33,10 +33,12 @@ from repro import (  # noqa: E402
     EmbeddingIndex,
     IndexConfig,
     L2Distance,
+    PersistentPool,
     RetrievalSplit,
     TrainingConfig,
     make_gaussian_clusters,
 )
+from repro.testing import FaultPlan  # noqa: E402
 
 
 def check(condition: bool, label: str) -> None:
@@ -140,6 +142,42 @@ def main() -> int:
             check(False, "fingerprint mismatch is refused")
         except ArtifactError:
             check(True, "fingerprint mismatch is refused")
+
+        # fault tolerance: kill a worker mid-batch; supervision must
+        # respawn it and the batch must stay bit-identical to the healthy
+        # serve, with exactly the one injected restart on record.  The
+        # saved store already covers ``queries``, so serve fresh ones —
+        # their refine work actually flows through the pool.
+        fresh = list(
+            make_gaussian_clusters(n_objects=8, n_clusters=4, n_dims=5, seed=17)
+        )
+        healthy = EmbeddingIndex.open(artifact, split.database)
+        baseline = healthy.query_many(fresh, k=3, p=12, n_jobs=2)
+        healthy.close()
+        survivor = EmbeddingIndex.open(artifact, split.database)
+        faulty = PersistentPool(2, faults=FaultPlan(kill_after_chunks=1))
+        survivor.pool = faulty
+        survivor.context.pool = faulty
+        survivor._owns_pool = True
+        chaos_served = survivor.query_many(fresh, k=3, p=12, n_jobs=2)
+        check(
+            all(
+                np.array_equal(a.neighbor_indices, b.neighbor_indices)
+                and np.array_equal(a.neighbor_distances, b.neighbor_distances)
+                for a, b in zip(baseline, chaos_served)
+            ),
+            "worker killed mid-batch: results stay bit-identical",
+        )
+        check(
+            faulty.restarts == 1,
+            "pool reports exactly the injected worker restart",
+        )
+        check(
+            survivor.health()["pool"]["restarts"] == 1,
+            "index.health surfaces the pool restart",
+        )
+        survivor.close()
+        survivor.close()  # idempotent close is part of the contract
 
     elapsed = time.perf_counter() - start
     check(elapsed < 10.0, f"lifecycle fits the smoke budget ({elapsed:.1f}s < 10s)")

@@ -49,6 +49,8 @@ from repro.exceptions import (
     EmbeddingError,
     TrainingError,
     RetrievalError,
+    ServingError,
+    ServingTimeout,
     ExperimentError,
     SerializationError,
     ArtifactError,
@@ -148,6 +150,8 @@ __all__ = [
     "EmbeddingError",
     "TrainingError",
     "RetrievalError",
+    "ServingError",
+    "ServingTimeout",
     "ExperimentError",
     "SerializationError",
     "ArtifactError",

@@ -63,6 +63,7 @@ import json
 import pickle
 import warnings
 import zipfile
+import zlib
 from collections import OrderedDict
 from pathlib import Path
 from typing import (
@@ -502,6 +503,26 @@ class DistanceStore:
         path = Path(path)
         if not path.is_file():
             raise DistanceError(f"no distance store at {path}")
+        try:
+            store = cls._load_payload(path, expected_fingerprint, mmap_mode)
+        except DistanceError:
+            raise
+        except (OSError, ValueError, KeyError, EOFError, zipfile.BadZipFile, zlib.error) as exc:
+            # A truncated or bit-flipped file must surface as a typed error
+            # naming the file, never a raw zipfile/zlib/numpy traceback
+            # (BadZipFile and zlib.error are not OSError/ValueError).
+            raise DistanceError(
+                f"unreadable distance store {path} (truncated or corrupt): {exc}"
+            ) from exc
+        return store
+
+    @classmethod
+    def _load_payload(
+        cls,
+        path: Path,
+        expected_fingerprint: Optional[str],
+        mmap_mode: Optional[str],
+    ) -> "DistanceStore":
         with np.load(path) as payload:
             try:
                 meta = json.loads(bytes(payload["meta"]).decode("utf-8"))

@@ -266,6 +266,46 @@ def _refine_signature(distance: DistanceMeasure, shards: List[List[Any]]) -> Tup
     )
 
 
+def _serial_refine(
+    distance: DistanceMeasure,
+    shards: List[List[Any]],
+    items: Sequence[RefineItem],
+    results: Dict[Any, np.ndarray],
+) -> None:
+    """Evaluate refine items in the parent, exactly as a worker would.
+
+    The recovery path: same ``compute_many`` calls in the same candidate
+    order as :func:`_pool_refine_chunk`, so a result recomputed here is
+    bit-identical to the one the lost worker never delivered.
+    """
+    for key, query, shard_id, local_indices in items:
+        shard = shards[shard_id]
+        candidates = [shard[int(i)] for i in local_indices]
+        results[key] = np.asarray(distance.compute_many(query, candidates))
+
+
+def _repair_refine(
+    distance: DistanceMeasure,
+    shards: List[List[Any]],
+    items: Sequence[RefineItem],
+    results: Dict[Any, np.ndarray],
+) -> int:
+    """Recompute items whose replies are missing or the wrong shape.
+
+    A torn or corrupted worker reply cannot silently become a wrong
+    answer: any item without exactly one distance per candidate is
+    recomputed serially in the parent.  Returns the repair count.
+    """
+    damaged = [
+        item
+        for item in items
+        if results.get(item[0]) is None or len(results[item[0]]) != len(item[3])
+    ]
+    if damaged:
+        _serial_refine(distance, shards, damaged, results)
+    return len(damaged)
+
+
 #: Public aliases for the refine worker task and its persistent-pool state
 #: signature.  The async serving layer submits refine chunks to a
 #: :class:`~repro.index.pool.PersistentPool` *non-blockingly* with exactly
@@ -305,28 +345,44 @@ def parallel_refine(
         is shipped once per worker per pool lifetime instead of once per
         call; ``n_workers`` only shapes the chunking then.
     """
+    from repro.index.pool import WORKER_FAILURES
+
     item_list = list(items)
     chunks = row_chunks(len(item_list), n_workers)
     payloads = [[item_list[i] for i in chunk] for chunk in chunks]
     results: Dict[Any, np.ndarray] = {}
     if pool is not None:
-        chunk_results = pool.run(
-            _pool_refine_chunk,
-            {"distance": distance, "shards": shards},
-            payloads,
-            signature=_refine_signature(distance, shards),
-        )
+        try:
+            chunk_results = pool.run(
+                _pool_refine_chunk,
+                {"distance": distance, "shards": shards},
+                payloads,
+                signature=_refine_signature(distance, shards),
+            )
+        except WORKER_FAILURES:
+            # The pool already retried up to its budget; finish the batch
+            # in the parent rather than fail it — same calls, same values.
+            _serial_refine(distance, shards, item_list, results)
+            return results
         for chunk_result in chunk_results:
+            if not isinstance(chunk_result, list):
+                continue  # corrupted reply; repaired below
             for key, values in chunk_result:
                 results[key] = values
+        _repair_refine(distance, shards, item_list, results)
         return results
-    with ProcessPoolExecutor(
-        max_workers=n_workers,
-        initializer=_refine_pool_init,
-        initargs=(distance, shards),
-    ) as executor:
-        bound = partial(_oneshot_task, _pool_refine_chunk)
-        for chunk_result in executor.map(bound, payloads):
-            for key, values in chunk_result:
-                results[key] = values
+    try:
+        with ProcessPoolExecutor(
+            max_workers=n_workers,
+            initializer=_refine_pool_init,
+            initargs=(distance, shards),
+        ) as executor:
+            bound = partial(_oneshot_task, _pool_refine_chunk)
+            for chunk_result in executor.map(bound, payloads):
+                for key, values in chunk_result:
+                    results[key] = values
+    except WORKER_FAILURES:
+        _serial_refine(distance, shards, item_list, results)
+        return results
+    _repair_refine(distance, shards, item_list, results)
     return results

@@ -37,6 +37,24 @@ class RetrievalError(ReproError):
     """A retrieval pipeline was misconfigured or queried incorrectly."""
 
 
+class ServingError(RetrievalError):
+    """A served query could not be completed: its worker pool failed beyond
+    the configured retries, a reply was unusable, or its deadline expired.
+
+    The serving layer only raises this after recovery options (respawn,
+    resubmit, serial fallback) are exhausted or forbidden — a caller never
+    receives a silently wrong result in exchange for availability.
+    """
+
+
+class ServingTimeout(ServingError, TimeoutError):
+    """A serving deadline or a ``result(timeout=...)`` wait expired.
+
+    Subclasses :class:`TimeoutError` so callers that already guard waits
+    with ``except TimeoutError`` keep working.
+    """
+
+
 class ExperimentError(ReproError):
     """An experiment harness was asked to do something impossible."""
 

@@ -33,6 +33,8 @@ from __future__ import annotations
 
 import json
 import pickle
+import zipfile
+import zlib
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -40,6 +42,19 @@ import numpy as np
 
 from repro.exceptions import ArtifactError
 from repro.utils.io import atomic_write_bytes as _atomic_write_bytes
+
+#: Everything a truncated or bit-flipped ``.npz`` can raise.  Notably
+#: ``zipfile.BadZipFile`` and ``zlib.error`` derive from ``Exception``
+#: directly — an ``except (OSError, ValueError)`` misses them and leaks a
+#: raw zipfile traceback for a half-written file.
+NPZ_CORRUPTION_ERRORS = (
+    OSError,
+    ValueError,
+    KeyError,
+    EOFError,
+    zipfile.BadZipFile,
+    zlib.error,
+)
 
 __all__ = [
     "ARTIFACT_FORMAT_VERSION",
@@ -177,8 +192,10 @@ def read_arrays(directory) -> Tuple[np.ndarray, np.ndarray]:
                 np.asarray(payload["database_vectors"], dtype=float),
                 np.asarray(payload["candidate_to_candidate"], dtype=float),
             )
-    except (OSError, ValueError, KeyError) as exc:
-        raise ArtifactError(f"unreadable arrays file {path}: {exc}") from exc
+    except NPZ_CORRUPTION_ERRORS as exc:
+        raise ArtifactError(
+            f"unreadable arrays file {path} (truncated or corrupt): {exc}"
+        ) from exc
 
 
 def write_pickle(path, obj: Any) -> None:

@@ -65,7 +65,12 @@ from repro.distances.base import DistanceMeasure
 from repro.distances.context import DistanceContext, fingerprint_objects
 from repro.distances.parallel import resolve_jobs
 from repro.embeddings.base import Embedding
-from repro.exceptions import ArtifactError, ConfigurationError, RetrievalError
+from repro.exceptions import (
+    ArtifactError,
+    ConfigurationError,
+    RetrievalError,
+    ServingError,
+)
 from repro.index import artifacts as artifacts  # noqa: F401 (submodule alias)
 from repro.index import serving as serving_module
 from repro.index.pool import PersistentPool
@@ -745,6 +750,9 @@ class EmbeddingIndex:
         k: int,
         p: Optional[int] = None,
         n_jobs: Optional[int] = None,
+        deadline: Optional[float] = None,
+        max_retries: Optional[int] = None,
+        allow_partial: bool = False,
     ) -> List[RetrievalResult]:
         """Batched :meth:`query` (one embed batch, pooled refine fan-out).
 
@@ -752,12 +760,36 @@ class EmbeddingIndex:
         the refine work runs on the index's persistent pool — the same
         worker processes across every ``query_many`` call of the index's
         lifetime.  Results and per-query cost accounting are bit-identical
-        to the serial path.
+        to the serial path; a worker killed mid-batch is respawned and its
+        chunks recomputed (or served serially), never answered wrongly.
+
+        With ``deadline``/``max_retries``/``allow_partial`` the batch runs
+        through the submission-ordered serving stream (documented
+        bit-identical): a query that misses its per-query deadline raises
+        its typed :class:`~repro.exceptions.ServingError` — within the
+        deadline, instead of hanging — unless ``allow_partial=True``, in
+        which case it contributes a ``partial=True`` result.
         """
         self._check_open()
         objects = list(objects)
         if not objects:
             return []
+        if deadline is not None or max_retries is not None or allow_partial:
+            results: List[Optional[RetrievalResult]] = [None] * len(objects)
+            for position, result in self.stream(
+                objects,
+                k,
+                p,
+                n_jobs=n_jobs,
+                order="submission",
+                deadline=deadline,
+                max_retries=max_retries,
+                allow_partial=allow_partial,
+            ):
+                if isinstance(result, ServingError):
+                    raise result
+                results[position] = result
+            return results
         with self._serving_guard():
             self._register(objects)
             effective_jobs = self.config.n_jobs if n_jobs is None else n_jobs
@@ -780,7 +812,14 @@ class EmbeddingIndex:
         return self._server
 
     def submit(
-        self, obj: Any, k: int, p: Optional[int] = None, n_jobs: Optional[int] = None
+        self,
+        obj: Any,
+        k: int,
+        p: Optional[int] = None,
+        n_jobs: Optional[int] = None,
+        deadline: Optional[float] = None,
+        max_retries: Optional[int] = None,
+        allow_partial: bool = False,
     ) -> "serving_module.QueryTicket":
         """Non-blocking :meth:`query`: returns a ticket, not a result.
 
@@ -792,9 +831,24 @@ class EmbeddingIndex:
         accounting — and
         :meth:`~repro.index.serving.QueryTicket.cancel` abandons work that
         has not started.  See :mod:`repro.index.serving`.
+
+        ``deadline`` (seconds from now) bounds the query's time in flight:
+        on expiry the ticket resolves to a typed
+        :class:`~repro.exceptions.ServingError` — or, with
+        ``allow_partial=True``, to a ``partial=True`` result ranking the
+        candidates resolved in time.  ``max_retries`` overrides the pool's
+        worker-failure recovery budget for this query.
         """
         self._check_open()
-        return self.serving.submit(obj, k, p, n_jobs=n_jobs)
+        return self.serving.submit(
+            obj,
+            k,
+            p,
+            n_jobs=n_jobs,
+            deadline=deadline,
+            max_retries=max_retries,
+            allow_partial=allow_partial,
+        )
 
     def stream(
         self,
@@ -804,6 +858,9 @@ class EmbeddingIndex:
         n_jobs: Optional[int] = None,
         max_in_flight: Optional[int] = None,
         order: str = "completion",
+        deadline: Optional[float] = None,
+        max_retries: Optional[int] = None,
+        allow_partial: bool = False,
     ) -> "serving_module.QueryStream":
         """Pipelined :meth:`query_many`: yields ``(position, result)`` pairs.
 
@@ -815,13 +872,27 @@ class EmbeddingIndex:
         or ``"submission"`` (yield in input order).  Results — and their
         exact cost accounting — are bit-identical to :meth:`query_many`
         over the same batch.
+
+        ``deadline``/``max_retries``/``allow_partial`` apply per query (see
+        :meth:`submit`).  A query that resolves to a
+        :class:`~repro.exceptions.ServingError` is yielded as ``(position,
+        exception)`` and the stream keeps draining the rest.
         """
         self._check_open()
         if max_in_flight is None:
             width = self.pool.n_workers if self.pool is not None else 1
             max_in_flight = max(2, 2 * width)
         return serving_module.QueryStream(
-            self.serving, objects, k, p, n_jobs, max_in_flight, order
+            self.serving,
+            objects,
+            k,
+            p,
+            n_jobs,
+            max_in_flight,
+            order,
+            deadline=deadline,
+            max_retries=max_retries,
+            allow_partial=allow_partial,
         )
 
     async def aquery_many(
@@ -831,19 +902,32 @@ class EmbeddingIndex:
         p: Optional[int] = None,
         n_jobs: Optional[int] = None,
         max_in_flight: Optional[int] = None,
+        deadline: Optional[float] = None,
+        max_retries: Optional[int] = None,
+        allow_partial: bool = False,
     ) -> List[RetrievalResult]:
         """``asyncio``-friendly :meth:`query_many` over the pipelined stream.
 
         Drains :meth:`stream` on an executor thread (the event loop stays
         responsive) and resolves to the same list — same order, same
         neighbors, same per-query costs — that ``query_many`` returns.
+        With a ``deadline``, a query that misses it appears in the list as
+        its :class:`~repro.exceptions.ServingError` (or a ``partial=True``
+        result when ``allow_partial``), never as a hang.
         """
         import asyncio
 
         self._check_open()
         objects = list(objects)
         stream = self.stream(
-            objects, k, p, n_jobs=n_jobs, max_in_flight=max_in_flight
+            objects,
+            k,
+            p,
+            n_jobs=n_jobs,
+            max_in_flight=max_in_flight,
+            deadline=deadline,
+            max_retries=max_retries,
+            allow_partial=allow_partial,
         )
 
         def _drain() -> List[RetrievalResult]:
@@ -903,6 +987,23 @@ class EmbeddingIndex:
     def fingerprint(self) -> Optional[str]:
         """Content fingerprint of the context universe."""
         return self.context.fingerprint
+
+    def health(self) -> Dict[str, Any]:
+        """Fault-tolerance status of the serving stack.
+
+        ``pool`` reports worker supervision counters (``restarts``,
+        ``failed_jobs``, ...), ``serving`` the degradation state of the
+        async server; both are ``None`` until the corresponding component
+        exists.  ``degraded=True`` means refine work currently bypasses
+        the pool and runs serially in the parent — slower, never wrong.
+        """
+        return {
+            "closed": self._closed,
+            "backend": self._backend_name,
+            "degraded": bool(self._server is not None and self._server.degraded),
+            "pool": self.pool.health() if self.pool is not None else None,
+            "serving": self._server.health() if self._server is not None else None,
+        }
 
     # -- lifecycle -------------------------------------------------------
 

@@ -35,23 +35,71 @@ Design
 The pool object itself must never be pickled or shipped to workers; the
 components that hold one (:class:`~repro.distances.context.DistanceContext`,
 the index facade) drop it from their pickled state.
+
+Supervision
+-----------
+Worker processes die — OOM kills, segfaults in native kernels, an operator's
+stray ``kill``.  A dead worker breaks its ``ProcessPoolExecutor`` for good,
+so an unsupervised pool would turn one crash into a permanently failing (or
+hanging) serving stack.  The pool therefore supervises itself:
+
+* a submission against a broken executor **respawns** the workers (the
+  manager process holding the published states survives worker death, so
+  respawn is cheap: no state is re-pickled);
+* :meth:`PoolJob.results` catches the broken-pool error, respawns, and
+  **resubmits** the chunks that had not completed — refine work is pure and
+  idempotent over ``(index pair) → distance``, so a resubmitted chunk
+  returns bit-identical values — up to ``max_retries`` times per job before
+  the error propagates to the caller;
+* :attr:`PersistentPool.restarts` and :attr:`PersistentPool.failed_jobs`
+  count the recoveries (surfaced through :meth:`PersistentPool.health`),
+  and every live pool is registered with an ``atexit`` hook so a crashed
+  or interrupted script cannot leak worker processes.
+
+The ``faults`` constructor argument is the fault-injection seam: a
+:class:`~repro.testing.faults.FaultPlan` wraps every submitted task so the
+chaos suite can kill workers mid-batch, delay replies, or corrupt one reply
+payload deterministically.
 """
 
 from __future__ import annotations
 
+import atexit
 import os
 import pickle
 import threading
+import time
+import weakref
 from collections import OrderedDict
 from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
-from repro.exceptions import DistanceError
+from repro.exceptions import DistanceError, ServingTimeout
 
 __all__ = ["PersistentPool", "PoolJob", "MAX_CACHED_STATES"]
 
 #: How many distinct worker states a pool (and each worker) keeps cached.
 MAX_CACHED_STATES = 4
+
+#: Exceptions that mean "the worker processes (or their manager) died",
+#: as opposed to an exception the task itself raised.
+WORKER_FAILURES = (BrokenProcessPool, BrokenPipeError, EOFError, ConnectionError)
+
+# Live pools, closed at interpreter exit so crashed or interrupted scripts
+# do not leak worker/manager processes.  Weak references: a pool that was
+# garbage collected already tore itself down.
+_LIVE_POOLS: "weakref.WeakSet[PersistentPool]" = weakref.WeakSet()
+
+
+@atexit.register
+def _close_live_pools() -> None:  # pragma: no cover - interpreter teardown
+    for pool in list(_LIVE_POOLS):
+        try:
+            pool.close()
+        except Exception:
+            pass
 
 # ----------------------------------------------------------------------- #
 # Worker side                                                             #
@@ -105,6 +153,8 @@ class PoolJob:
         task: Callable[[Any, Any], Any],
         chunks: Sequence[Any],
         transient: bool,
+        state: Any = None,
+        max_retries: Optional[int] = None,
     ) -> None:
         self._pool = pool
         self._futures = futures
@@ -114,7 +164,18 @@ class PoolJob:
         #: Whether the state must be dropped from the manager once done
         #: (transient states only; cached states stay for reuse).
         self._transient = transient
+        #: The state object itself, kept so a respawn after a *manager*
+        #: death can republish it (cached states are also held by the pool;
+        #: transient states live only here).
+        self._state = state
         self._collected = False
+        #: Executor generation the chunks were submitted under (see
+        #: :meth:`PersistentPool._recover`).
+        self._epoch = pool._epoch
+        #: How many worker-failure recoveries this job may still attempt.
+        self.retries_left = (
+            pool.max_retries if max_retries is None else int(max_retries)
+        )
 
     @property
     def futures(self) -> Tuple[Future, ...]:
@@ -150,12 +211,56 @@ class PoolJob:
         self._collected = True
         self._pool._finish_job(self._state_id, self._transient)
 
-    def results(self) -> List[Any]:
-        """Block until every chunk is done; chunk results in submit order."""
-        try:
-            return [future.result() for future in self._futures]
-        finally:
-            self._cleanup()
+    def abandon(self) -> None:
+        """Give up on the job: cancel what can be cancelled, release refs.
+
+        Unlike :meth:`cancel` this never resubmits — the caller is walking
+        away (deadline expired, ticket failed).  Chunks already running
+        finish on the workers but their results are discarded; the job's
+        state reference is released so eviction bookkeeping stays exact.
+        Idempotent, and safe after a partial :meth:`results` timeout.
+        """
+        for future in self._futures:
+            future.cancel()
+        self._cleanup()
+
+    def results(self, timeout: Optional[float] = None) -> List[Any]:
+        """Block until every chunk is done; chunk results in submit order.
+
+        Supervised: when the worker processes die mid-job
+        (``BrokenProcessPool`` and friends), the pool is respawned and the
+        unfinished chunks are resubmitted — refine tasks are pure functions
+        of ``(state, chunk)``, so a retried chunk returns bit-identical
+        values — up to the job's retry budget, after which the failure
+        propagates.  ``timeout`` bounds the *total* wait across retries;
+        expiry raises :class:`~repro.exceptions.ServingTimeout` and leaves
+        the job collectable (call :meth:`results` again to keep waiting, or
+        :meth:`abandon` to walk away).
+        """
+        end = None if timeout is None else time.monotonic() + float(timeout)
+        while True:
+            try:
+                out = []
+                for future in self._futures:
+                    remaining = None
+                    if end is not None:
+                        remaining = max(0.0, end - time.monotonic())
+                    out.append(future.result(remaining))
+            except FuturesTimeoutError:
+                # Not a failure: the caller may wait again or abandon.
+                raise ServingTimeout(
+                    f"pool job did not complete within {timeout} seconds"
+                ) from None
+            except WORKER_FAILURES as exc:
+                self._pool.failed_jobs += 1
+                if self.retries_left <= 0:
+                    self._cleanup()
+                    raise
+                self.retries_left -= 1
+                self._pool._recover(self, exc)
+            else:
+                self._cleanup()
+                return out
 
 
 class PersistentPool:
@@ -168,18 +273,33 @@ class PersistentPool:
         convention (``None``/``0``/``1`` = 1 worker, ``-1`` = all CPUs).
         A 1-worker pool is legal — callers normally bypass the pool for
         serial work, but a pool built from ``n_jobs=1`` stays usable.
+    max_retries:
+        Default worker-failure recovery budget per job (see
+        :meth:`PoolJob.results`); individual submissions may override it.
+    faults:
+        Optional :class:`~repro.testing.faults.FaultPlan` wrapped around
+        every submitted task — the chaos-test seam.  ``None`` in
+        production.
 
     Use as a context manager (or call :meth:`close`) to release the worker
     and manager processes; an unclosed pool is also torn down by garbage
-    collection as a fallback.
+    collection as a fallback (and an ``atexit`` hook closes any pool that
+    is still live when the interpreter exits).
     """
 
-    def __init__(self, n_workers: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        n_workers: Optional[int] = None,
+        max_retries: int = 1,
+        faults: Optional[Any] = None,
+    ) -> None:
         # Local import: repro.distances.parallel imports this module's
         # sibling package at call time, and resolve_jobs has no deps.
         from repro.distances.parallel import resolve_jobs
 
         self.n_workers = resolve_jobs(n_workers)
+        self.max_retries = int(max_retries)
+        self.faults = faults
         self._executor: Optional[ProcessPoolExecutor] = None
         self._manager = None
         self._proxy = None
@@ -197,12 +317,19 @@ class PersistentPool:
         self._state_refs: Dict[int, int] = {}
         self._deferred_evictions: set = set()
         #: How many times worker processes were actually launched; a
-        #: serving loop through one pool keeps this at 1.
+        #: serving loop through one healthy pool keeps this at 1.
         self.launches = 0
         #: Completed :meth:`run` calls.
         self.runs = 0
         #: States pickled to the manager (cache misses on the parent side).
         self.states_published = 0
+        #: Worker respawns after a detected worker/manager death.
+        self.restarts = 0
+        #: Jobs that observed a worker failure (each retry attempt counts).
+        self.failed_jobs = 0
+        #: Bumped on every executor (re)creation; jobs record the epoch
+        #: they were submitted under so concurrent recoveries respawn once.
+        self._epoch = 0
 
     # -- lifecycle ------------------------------------------------------
 
@@ -211,16 +338,91 @@ class PersistentPool:
             raise DistanceError("this PersistentPool has been closed")
         if self._executor is not None:
             return
-        import multiprocessing
+        if self._proxy is None:
+            import multiprocessing
 
-        self._manager = multiprocessing.Manager()
-        self._proxy = self._manager.dict()
+            self._manager = multiprocessing.Manager()
+            self._proxy = self._manager.dict()
         self._executor = ProcessPoolExecutor(
             max_workers=self.n_workers,
             initializer=_persistent_worker_init,
             initargs=(self._proxy,),
         )
         self.launches += 1
+        self._epoch += 1
+        _LIVE_POOLS.add(self)
+
+    def _respawn_locked(self) -> None:
+        """Replace dead workers (and the manager, if it died with them).
+
+        Caller holds ``self._lock``.  A worker death normally leaves the
+        manager process alive, so the published states survive and respawn
+        ships zero bytes of state; when the manager itself is gone, it is
+        recreated and every cached state is republished under its original
+        id (jobs and workers key on the id, so nothing else changes).
+        """
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+        manager_alive = False
+        if self._proxy is not None:
+            try:
+                len(self._proxy)
+                manager_alive = True
+            except Exception:
+                manager_alive = False
+        if not manager_alive:
+            if self._manager is not None:
+                try:
+                    self._manager.shutdown()
+                except Exception:
+                    pass
+            self._manager = None
+            self._proxy = None
+            self._ensure_started()
+            for state_id, state in self._states.values():
+                self._proxy[state_id] = pickle.dumps(state, protocol=4)
+        else:
+            self._ensure_started()
+        self.restarts += 1
+
+    def _recover(self, job: PoolJob, cause: BaseException) -> None:
+        """Respawn after ``job`` hit a worker failure, resubmit its chunks.
+
+        Epoch-guarded: when several jobs observe the same dead pool, only
+        the first respawns — the rest see a fresh epoch and go straight to
+        resubmission.  Chunks whose futures already finished keep their
+        results; only unfinished (or cancelled) chunks are resubmitted, so
+        a recovered job still returns one result per chunk in order.
+        """
+        with self._lock:
+            if self._closed:
+                raise DistanceError(
+                    "this PersistentPool has been closed"
+                ) from cause
+            if job._epoch == self._epoch:
+                self._respawn_locked()
+            job._epoch = self._epoch
+            if job._state_id not in self._proxy:
+                # Transient (or evicted-while-referenced) state whose
+                # payload died with the manager: republish from the job.
+                self._proxy[job._state_id] = pickle.dumps(
+                    job._state, protocol=4
+                )
+            for position, future in enumerate(job._futures):
+                if future.done() and not future.cancelled():
+                    try:
+                        future.result(0)
+                    except BaseException:
+                        pass
+                    else:
+                        continue  # keep the finished result
+                job._futures[position] = self._executor.submit(
+                    _persistent_run_chunk,
+                    job._state_id,
+                    job._task,
+                    job._chunks[position],
+                )
 
     @property
     def started(self) -> bool:
@@ -233,16 +435,41 @@ class PersistentPool:
         return self._closed
 
     def close(self) -> None:
-        """Shut down the workers and the state manager (idempotent)."""
+        """Shut down the workers and the state manager (idempotent).
+
+        Safe to call twice, from ``atexit``, and on a pool whose workers
+        or manager already died — a broken child can not turn shutdown
+        into a traceback.
+        """
         self._closed = True
+        _LIVE_POOLS.discard(self)
         if self._executor is not None:
-            self._executor.shutdown(wait=True)
+            try:
+                self._executor.shutdown(wait=True)
+            except Exception:  # pragma: no cover - broken executor
+                pass
             self._executor = None
         if self._manager is not None:
-            self._manager.shutdown()
+            try:
+                self._manager.shutdown()
+            except Exception:  # pragma: no cover - manager already dead
+                pass
             self._manager = None
         self._proxy = None
         self._states.clear()
+
+    def health(self) -> Dict[str, Any]:
+        """Live supervision counters, for dashboards and assertions."""
+        return {
+            "n_workers": self.n_workers,
+            "started": self.started,
+            "closed": self._closed,
+            "launches": self.launches,
+            "restarts": self.restarts,
+            "failed_jobs": self.failed_jobs,
+            "runs": self.runs,
+            "states_published": self.states_published,
+        }
 
     def __enter__(self) -> "PersistentPool":
         return self
@@ -321,6 +548,7 @@ class PersistentPool:
         state: Any,
         chunks: Sequence[Any],
         signature: Optional[Hashable] = None,
+        max_retries: Optional[int] = None,
     ) -> PoolJob:
         """Submit ``task(state, chunk)`` for every chunk without blocking.
 
@@ -329,18 +557,38 @@ class PersistentPool:
         serving layer pipelines on: refine chunks of query ``i`` run on the
         workers while the parent embeds and filters query ``i+1``.
         Submission (state publication included) is thread-safe; waiting on
-        different jobs from different threads is too.
+        different jobs from different threads is too.  A submission that
+        finds the workers already dead respawns them once before failing.
         """
+        if self.faults is not None:
+            task = self.faults.wrap(task)
         with self._lock:
             self._ensure_started()
-            state_id = self._publish(state, signature)
+            for attempt in range(2):
+                try:
+                    state_id = self._publish(state, signature)
+                    futures = [
+                        self._executor.submit(
+                            _persistent_run_chunk, state_id, task, chunk
+                        )
+                        for chunk in chunks
+                    ]
+                except WORKER_FAILURES:
+                    if attempt:
+                        raise
+                    self._respawn_locked()
+                else:
+                    break
             self._state_refs[state_id] = self._state_refs.get(state_id, 0) + 1
-            futures = [
-                self._executor.submit(_persistent_run_chunk, state_id, task, chunk)
-                for chunk in chunks
-            ]
         return PoolJob(
-            self, futures, state_id, task, chunks, transient=signature is None
+            self,
+            futures,
+            state_id,
+            task,
+            chunks,
+            transient=signature is None,
+            state=state,
+            max_retries=max_retries,
         )
 
     def run(
@@ -349,6 +597,8 @@ class PersistentPool:
         state: Any,
         chunks: Sequence[Any],
         signature: Optional[Hashable] = None,
+        max_retries: Optional[int] = None,
+        timeout: Optional[float] = None,
     ) -> List[Any]:
         """Run ``task(state, chunk)`` for every chunk, preserving order.
 
@@ -359,7 +609,14 @@ class PersistentPool:
         not object collections).  Blocking equivalent of
         ``submit(...).results()``.
         """
-        return self.submit(task, state, chunks, signature=signature).results()
+        job = self.submit(
+            task, state, chunks, signature=signature, max_retries=max_retries
+        )
+        try:
+            return job.results(timeout)
+        except ServingTimeout:
+            job.abandon()
+            raise
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         status = "closed" if self._closed else ("live" if self.started else "idle")

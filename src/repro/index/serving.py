@@ -45,9 +45,11 @@ edges always point at earlier submissions, so completion cannot deadlock.
 
 from __future__ import annotations
 
+import logging
 import threading
+import time
 from concurrent.futures import CancelledError, FIRST_COMPLETED, wait as futures_wait
-from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -59,7 +61,8 @@ from repro.distances.parallel import (
     resolve_jobs,
     split_counting,
 )
-from repro.exceptions import RetrievalError
+from repro.exceptions import RetrievalError, ServingError, ServingTimeout
+from repro.index.pool import WORKER_FAILURES
 from repro.retrieval.engine import (
     QueryEngine,
     RetrievalResult,
@@ -68,6 +71,8 @@ from repro.retrieval.engine import (
 )
 
 __all__ = ["QueryTicket", "QueryStream", "AsyncServer"]
+
+logger = logging.getLogger(__name__)
 
 
 class _Group:
@@ -100,7 +105,15 @@ class QueryTicket:
     """
 
     def __init__(
-        self, server: "AsyncServer", position: int, obj: Any, k: int, p: Optional[int]
+        self,
+        server: "AsyncServer",
+        position: int,
+        obj: Any,
+        k: int,
+        p: Optional[int],
+        deadline: Optional[float] = None,
+        max_retries: Optional[int] = None,
+        allow_partial: bool = False,
     ) -> None:
         self._server = server
         #: Position of the query in its submission batch (0 for direct
@@ -109,6 +122,16 @@ class QueryTicket:
         self.obj = obj
         self.k = k
         self.p = p
+        #: Seconds (from submission) this query may spend in flight; the
+        #: clock starts now, before the refine is even shipped.
+        self.deadline = deadline
+        self._deadline_at = (
+            None if deadline is None else time.monotonic() + float(deadline)
+        )
+        #: On deadline expiry: rank what resolved in time (``True``) or
+        #: resolve to a :class:`~repro.exceptions.ServingTimeout` (``False``).
+        self.allow_partial = bool(allow_partial)
+        self._max_retries = max_retries
         self._k_eff = 0
         self._p_eff = 0
         self._embedding_cost = 0
@@ -156,14 +179,28 @@ class QueryTicket:
                 seen.extend(dep._futures())
         return seen
 
+    def _remaining(self) -> Optional[float]:
+        """Seconds left before this ticket's deadline (``None`` = no bound)."""
+        if self._deadline_at is None:
+            return None
+        return self._deadline_at - time.monotonic()
+
+    def _deadline_expired(self) -> bool:
+        return self._deadline_at is not None and time.monotonic() >= self._deadline_at
+
     # -- completion ------------------------------------------------------
 
     def result(self, timeout: Optional[float] = None) -> RetrievalResult:
         """Complete the refine (blocking if needed) and return the result.
 
-        Raises :class:`concurrent.futures.CancelledError` if the ticket
-        was cancelled.  ``timeout`` bounds the wait when another thread is
-        already completing this ticket.
+        Raises :class:`concurrent.futures.CancelledError` if the ticket was
+        cancelled.  ``timeout`` bounds this call's wait only: expiry raises
+        :class:`~repro.exceptions.ServingTimeout` but leaves the ticket
+        *pending* — call ``result`` again to keep waiting.  The ticket's
+        own ``deadline`` is terminal instead: once it expires the ticket
+        resolves to a :class:`~repro.exceptions.ServingError` (or a
+        ``partial=True`` result when submitted with ``allow_partial``) and
+        every later ``result`` call returns that same outcome.
         """
         self._server._finish(self, timeout=timeout)
         if self._state == "cancelled":
@@ -193,6 +230,13 @@ class QueryStream:
     ``max_in_flight`` tickets are outstanding at any moment
     (:attr:`max_pending_seen` records the high-water mark, which tests use
     to assert the backpressure bound).
+
+    One failed query does not kill the stream: a ticket that resolves to a
+    :class:`~repro.exceptions.ServingError` (retries exhausted, deadline
+    expired without ``allow_partial``) is yielded as ``(position,
+    exception)`` and the remaining queries keep draining.  Anything else —
+    a programming error in the measure, a cancelled ticket — still
+    propagates and ends the iteration.
     """
 
     def __init__(
@@ -204,6 +248,9 @@ class QueryStream:
         n_jobs: Optional[int],
         max_in_flight: int,
         order: str,
+        deadline: Optional[float] = None,
+        max_retries: Optional[int] = None,
+        allow_partial: bool = False,
     ) -> None:
         if order not in ("completion", "submission"):
             raise RetrievalError(
@@ -220,12 +267,17 @@ class QueryStream:
         self._n_jobs = n_jobs
         self.max_in_flight = max_in_flight
         self.order = order
+        self._deadline = deadline
+        self._max_retries = max_retries
+        self._allow_partial = allow_partial
         #: Most tickets outstanding at once (backpressure high-water mark).
         self.max_pending_seen = 0
-        #: Results yielded so far.
+        #: Results yielded so far (failed tickets included).
         self.completed = 0
+        #: Tickets that resolved to a ServingError instead of a result.
+        self.failed = 0
 
-    def __iter__(self) -> Iterator[Tuple[int, RetrievalResult]]:
+    def __iter__(self) -> Iterator[Tuple[int, Union[RetrievalResult, ServingError]]]:
         pending: List[QueryTicket] = []
         next_position = 0
         n = len(self._objects)
@@ -238,6 +290,9 @@ class QueryStream:
                         self._p,
                         n_jobs=self._n_jobs,
                         position=next_position,
+                        deadline=self._deadline,
+                        max_retries=self._max_retries,
+                        allow_partial=self._allow_partial,
                     )
                 )
                 next_position += 1
@@ -246,7 +301,12 @@ class QueryStream:
                 pending[0] if self.order == "submission" else self._pick(pending)
             )
             pending.remove(ticket)
-            result = ticket.result()
+            try:
+                result: Union[RetrievalResult, ServingError] = ticket.result()
+            except ServingError as exc:
+                # This query's typed outcome; the rest of the batch drains.
+                self.failed += 1
+                result = exc
             self.completed += 1
             yield ticket.position, result
 
@@ -254,14 +314,20 @@ class QueryStream:
         """The next completed ticket (waiting on pool futures if none is)."""
         while True:
             for ticket in pending:
-                if ticket._ready():
+                if ticket._ready() or ticket._deadline_expired():
+                    # An expired ticket is "ready" too: its result() call
+                    # resolves terminally without waiting on the workers.
                     return ticket
             futures = [f for t in pending for f in t._futures() if not f.done()]
             if not futures:
                 # Every chunk is done but some ticket still needs its
                 # (cheap) parent-side completion — take the oldest.
                 return pending[0]
-            futures_wait(futures, return_when=FIRST_COMPLETED)
+            budgets = [
+                t._remaining() for t in pending if t._remaining() is not None
+            ]
+            timeout = max(0.0, min(budgets)) if budgets else None
+            futures_wait(futures, timeout=timeout, return_when=FIRST_COMPLETED)
 
 
 class AsyncServer:
@@ -271,7 +337,20 @@ class AsyncServer:
     cross-ticket dedup that keeps stream accounting identical to
     ``query_many``) and the lock every store/counter interaction runs
     under.
+
+    Degradation: the server tracks *consecutive* pool failures (worker
+    deaths that exhausted a job's retries, corrupt replies).  After
+    :attr:`DEGRADE_AFTER` of them it stops shipping refine work to the
+    pool and evaluates serially in the parent — logged, surfaced via
+    :meth:`health` — because a pool that keeps dying only adds latency to
+    every ticket.  Answers never change: the serial fallback performs the
+    same evaluations the workers would have, so results stay bit-identical
+    and per-query accounting stays exact.  One healthy pool round-trip
+    resets the streak.
     """
+
+    #: Consecutive pool failures before refine work stays in the parent.
+    DEGRADE_AFTER = 3
 
     def __init__(self, index: Any) -> None:
         self._index = index
@@ -280,6 +359,45 @@ class AsyncServer:
         self._in_flight: Dict[Tuple[int, int], PendingDistances] = {}
         #: Tickets submitted through this server (for introspection/tests).
         self.submitted = 0
+        #: Consecutive pool failures (reset by any healthy pool result).
+        self._pool_failures = 0
+        #: Whether refine work currently bypasses the pool (see class doc).
+        self.degraded = False
+        #: Tickets completed serially after a pool failure (not a count of
+        #: wrong answers — the fallback recomputes, it never guesses).
+        self.fallbacks = 0
+
+    def _note_pool_failure(self, reason: str) -> None:
+        with self._lock:
+            self._pool_failures += 1
+            self.fallbacks += 1
+            if not self.degraded and self._pool_failures >= self.DEGRADE_AFTER:
+                self.degraded = True
+                logger.warning(
+                    "async serving degraded to serial refine after %d "
+                    "consecutive pool failures (last: %s)",
+                    self._pool_failures,
+                    reason,
+                )
+            else:
+                logger.warning(
+                    "pool failure during async refine (%s); completed serially",
+                    reason,
+                )
+
+    def _note_pool_success(self) -> None:
+        with self._lock:
+            self._pool_failures = 0
+
+    def health(self) -> Dict[str, Any]:
+        """Serving-side health counters (see also ``PersistentPool.health``)."""
+        with self._lock:
+            return {
+                "degraded": self.degraded,
+                "pool_failures": self._pool_failures,
+                "fallbacks": self.fallbacks,
+                "submitted": self.submitted,
+            }
 
     # -- planning --------------------------------------------------------
 
@@ -303,6 +421,9 @@ class AsyncServer:
         p: Optional[int],
         n_jobs: Optional[int] = None,
         position: int = 0,
+        deadline: Optional[float] = None,
+        max_retries: Optional[int] = None,
+        allow_partial: bool = False,
     ) -> QueryTicket:
         """Embed + filter now, submit the refine, return the ticket."""
         index = self._index
@@ -314,7 +435,20 @@ class AsyncServer:
             )
         if p is None and k < 1:
             raise RetrievalError(f"k must be a positive integer, got {k}")
-        ticket = QueryTicket(self, position, obj, k, p)
+        if deadline is not None and deadline <= 0:
+            raise RetrievalError(
+                f"deadline must be a positive number of seconds, got {deadline}"
+            )
+        ticket = QueryTicket(
+            self,
+            position,
+            obj,
+            k,
+            p,
+            deadline=deadline,
+            max_retries=max_retries,
+            allow_partial=allow_partial,
+        )
         effective_jobs = index.config.n_jobs if n_jobs is None else n_jobs
         with self._lock:
             index._register([obj])
@@ -369,6 +503,10 @@ class AsyncServer:
         groups_with_misses = [g for g in ticket._groups if g.pending.n_missing]
         if not groups_with_misses:
             return
+        if self.degraded:
+            # The pool keeps failing; refine in the parent until an
+            # operator replaces it (see class docstring).
+            return
         n_workers = resolve_jobs(n_jobs)
         pool = self._context._pool_for(n_workers) if n_workers > 1 else None
         if pool is None:
@@ -402,16 +540,25 @@ class AsyncServer:
                         )
                     )
         ticket._chunk_keys = [key for key, *_rest in items]
-        ticket._job = pool.submit(
-            refine_chunk_task,
-            {"distance": inner, "shards": shards},
-            [[item] for item in items],
-            signature=refine_state_signature(inner, shards),
-        )
+        try:
+            ticket._job = pool.submit(
+                refine_chunk_task,
+                {"distance": inner, "shards": shards},
+                [[item] for item in items],
+                signature=refine_state_signature(inner, shards),
+                max_retries=ticket._max_retries,
+            )
+        except WORKER_FAILURES as exc:
+            # Even the post-respawn submission failed: serve this ticket
+            # inline; _collect recomputes every miss in the parent.
+            ticket._job = None
+            ticket._chunk_keys = []
+            self._note_pool_failure(repr(exc))
 
     # -- completion ------------------------------------------------------
 
     def _finish(self, ticket: QueryTicket, timeout: Optional[float] = None) -> None:
+        end = None if timeout is None else time.monotonic() + float(timeout)
         while True:
             with self._lock:
                 if ticket._state != "pending":
@@ -419,19 +566,27 @@ class AsyncServer:
                 if not ticket._finishing:
                     ticket._finishing = True
                     break
-            # Another thread is completing this ticket; wait for it.
-            if not ticket._event.wait(timeout):
-                raise TimeoutError("timed out waiting for the query ticket")
+            # Another thread is completing this ticket.  Wait in bounded
+            # slices: a finisher that bailed out on its own caller timeout
+            # resets the claim without setting the event, and a sliced wait
+            # lets this thread re-check and take over.
+            remaining = None if end is None else end - time.monotonic()
+            if remaining is not None and remaining <= 0:
+                raise ServingTimeout(
+                    "timed out waiting for the query ticket to complete"
+                )
+            ticket._event.wait(0.05 if remaining is None else min(remaining, 0.05))
+        terminal = True
         try:
             for dep in ticket._deps:
                 try:
-                    self._finish(dep)
+                    self._finish(dep, timeout=ticket._remaining())
                 except BaseException:
-                    # The dependency's failure is its own result; this
-                    # ticket recovers by evaluating the deferred pairs
-                    # itself at complete time.
+                    # The dependency's failure (or missed deadline) is its
+                    # own result; this ticket recovers by evaluating the
+                    # deferred pairs itself at complete time.
                     pass
-            fresh_by_group = self._collect(ticket)
+            fresh_by_group = self._collect(ticket, end)
             with self._lock:
                 if ticket._state != "pending":  # cancelled meanwhile
                     return
@@ -453,6 +608,19 @@ class AsyncServer:
                     stage.binding.calls += spent_total
                 ticket._result = self._build_result(ticket, spent_total)
                 ticket._state = "done"
+        except ServingTimeout:
+            budget = ticket._remaining()
+            if budget is not None and budget <= 0:
+                # The ticket's own deadline expired: terminal outcome
+                # (partial result or typed error), never a hang.
+                self._resolve_deadline(ticket)
+                return
+            # Only this caller's wait expired: the ticket stays pending
+            # and collectable, so release the completion claim.
+            terminal = False
+            with self._lock:
+                ticket._finishing = False
+            raise
         except BaseException as exc:
             with self._lock:
                 if ticket._state == "pending":
@@ -468,36 +636,144 @@ class AsyncServer:
                         )
             raise
         finally:
+            if terminal:
+                ticket._event.set()
+
+    def _resolve_deadline(self, ticket: QueryTicket) -> None:
+        """Terminal deadline expiry: partial result or typed error."""
+        with self._lock:
+            if ticket._state != "pending":
+                return
+            if ticket._job is not None:
+                ticket._job.abandon()
+            if not ticket.allow_partial:
+                ticket._error = ServingTimeout(
+                    f"query deadline of {ticket.deadline}s expired before the "
+                    "refine completed (submit with allow_partial=True to "
+                    "rank the candidates resolved in time instead)"
+                )
+                ticket._state = "error"
+                for group in ticket._groups:
+                    self._context.cancel_distances(
+                        group.pending, in_flight=self._in_flight, force=True
+                    )
+                ticket._event.set()
+                return
+            # Partial result: rank only the candidates whose exact
+            # distances resolved (store hits and earlier tickets' values)
+            # before the deadline.  No evaluations happened, none are
+            # charged; distances are real, neighbors may be missing.
+            mask = np.ones(ticket._candidates.shape[0], dtype=bool)
+            for group in ticket._groups:
+                pending = group.pending
+                unresolved = {pos for pos, _j in pending.pending}
+                unresolved.update(pos for pos, _j, _owner in pending.deferred)
+                if group.positions is None:
+                    for local in range(pending.values.size):
+                        if local in unresolved:
+                            mask[local] = False
+                        else:
+                            ticket._exact[local] = pending.values[local]
+                else:
+                    for local, absolute in enumerate(group.positions):
+                        if local in unresolved:
+                            mask[int(absolute)] = False
+                        else:
+                            ticket._exact[int(absolute)] = pending.values[local]
+                self._context.cancel_distances(
+                    pending, in_flight=self._in_flight, force=True
+                )
+            candidates = ticket._candidates[mask]
+            exact = ticket._exact[mask]
+            # refine_order's lexsort tie-breaks by database index, which
+            # for the brute-force shape (ascending candidates) matches the
+            # stable scan ranking — one partial builder serves both shapes.
+            ticket._result = build_retrieval_result(
+                candidates,
+                exact,
+                min(ticket._k_eff, candidates.shape[0]),
+                ticket._p_eff,
+                ticket._embedding_cost,
+                refine_cost=0,
+                partial=True,
+            )
+            ticket._state = "done"
             ticket._event.set()
 
-    def _collect(self, ticket: QueryTicket) -> List[Optional[np.ndarray]]:
-        """Fresh miss values per group (pool results or inline compute)."""
+    def _inline_group(self, ticket: QueryTicket, group: _Group) -> np.ndarray:
+        """Serial refine of one group's misses, bit-identical to a worker's."""
+        inner, _counters = split_counting(self._context.counting)
+        return np.asarray(
+            inner.compute_many(
+                ticket.obj, self._context.miss_objects(group.pending)
+            ),
+            dtype=float,
+        )
+
+    def _collect(
+        self, ticket: QueryTicket, end: Optional[float] = None
+    ) -> List[Optional[np.ndarray]]:
+        """Fresh miss values per group (pool results or inline compute).
+
+        The recovery choke point: a pool job that fails beyond its retry
+        budget is recomputed serially here (same evaluations, same values),
+        and a reply that is missing parts or has the wrong shape — a torn
+        or corrupted payload — is detected and recomputed per group, so a
+        damaged reply can never become a wrong answer.
+        """
         by_group: List[Optional[np.ndarray]] = [None] * len(ticket._groups)
         if ticket._job is not None:
-            chunk_results = ticket._job.results()
+            budget = ticket._remaining()
+            if end is not None:
+                caller_left = end - time.monotonic()
+                budget = caller_left if budget is None else min(budget, caller_left)
+            try:
+                chunk_results = ticket._job.results(budget)
+            except WORKER_FAILURES as exc:
+                self._note_pool_failure(repr(exc))
+                return self._collect_inline(ticket)
             parts: Dict[Tuple[int, int], np.ndarray] = {}
+            damaged = False
             for chunk in chunk_results:
+                if not isinstance(chunk, list):
+                    damaged = True  # corrupted reply; repaired below
+                    continue
                 for key, values in chunk:
                     parts[key] = np.asarray(values, dtype=float)
             for group_index in {key[0] for key in ticket._chunk_keys}:
                 ordered = sorted(
                     key for key in ticket._chunk_keys if key[0] == group_index
                 )
-                by_group[group_index] = np.concatenate(
-                    [parts[key] for key in ordered]
-                )
+                try:
+                    assembled = np.concatenate([parts[key] for key in ordered])
+                except KeyError:
+                    assembled = None
+                group = ticket._groups[group_index]
+                if (
+                    assembled is None
+                    or assembled.shape[0] != group.pending.n_missing
+                ):
+                    damaged = True
+                    assembled = self._inline_group(ticket, group)
+                by_group[group_index] = assembled
+            if damaged:
+                self._note_pool_failure("corrupt pool reply")
+            else:
+                self._note_pool_success()
             return by_group
+        return self._collect_inline(ticket)
+
+    def _collect_inline(self, ticket: QueryTicket) -> List[Optional[np.ndarray]]:
         # Inline (serial) refine: evaluate with the inner measure; the
         # counter is charged by complete_distances, like the pooled path.
-        inner, _counters = split_counting(self._context.counting)
+        if ticket._deadline_expired():
+            raise ServingTimeout(
+                f"query deadline of {ticket.deadline}s expired"
+            )
+        by_group: List[Optional[np.ndarray]] = [None] * len(ticket._groups)
         for group_index, group in enumerate(ticket._groups):
             if group.pending.n_missing:
-                by_group[group_index] = np.asarray(
-                    inner.compute_many(
-                        ticket.obj, self._context.miss_objects(group.pending)
-                    ),
-                    dtype=float,
-                )
+                by_group[group_index] = self._inline_group(ticket, group)
         return by_group
 
     def _build_result(self, ticket: QueryTicket, spent: int) -> RetrievalResult:

@@ -174,13 +174,16 @@ def build_retrieval_result(
     p_eff: int,
     embedding_cost: int,
     refine_cost: Optional[int] = None,
+    partial: bool = False,
 ) -> "RetrievalResult":
     """Assemble a :class:`RetrievalResult` from refined candidate distances.
 
     Shared by every pipeline configuration so the neighbor ordering and
     cost accounting can never diverge between paths.  ``refine_cost``
     defaults to the nominal ``p``; context-backed pipelines pass the number
-    of evaluations actually performed (cached pairs are free).
+    of evaluations actually performed (cached pairs are free).  ``partial``
+    marks a deadline-expired serving result ranked over the candidates
+    that were resolved in time (see :meth:`EmbeddingIndex.submit`).
     """
     order = refine_order(exact, candidates, k_eff)
     return RetrievalResult(
@@ -191,6 +194,7 @@ def build_retrieval_result(
         refine_distance_computations=int(
             p_eff if refine_cost is None else refine_cost
         ),
+        partial=partial,
     )
 
 
@@ -199,6 +203,7 @@ def build_scan_result(
     candidates: np.ndarray,
     k: int,
     refine_cost: int,
+    partial: bool = False,
 ) -> "RetrievalResult":
     """Rank one full exact scan (the brute-force result shape).
 
@@ -217,6 +222,7 @@ def build_scan_result(
         candidate_indices=candidates,
         embedding_distance_computations=0,
         refine_distance_computations=int(refine_cost),
+        partial=partial,
     )
 
 
@@ -242,6 +248,13 @@ class RetrievalResult:
         :class:`~repro.distances.context.DistanceContext` it is the number
         of evaluations actually performed — pairs already in the shared
         store are free, so a fully warm store reports ``0``.
+    partial:
+        ``False`` everywhere except the serving layer's
+        ``allow_partial=True`` deadline path: ``True`` means the neighbors
+        were ranked over only the candidates whose exact distances were
+        resolved before the deadline — correct distances, possibly missing
+        neighbors — and must not be compared bit-for-bit with a full
+        result.
     """
 
     neighbor_indices: np.ndarray
@@ -249,6 +262,7 @@ class RetrievalResult:
     candidate_indices: np.ndarray
     embedding_distance_computations: int
     refine_distance_computations: int
+    partial: bool = False
 
     @property
     def total_distance_computations(self) -> int:

@@ -1,0 +1,10 @@
+"""Test-support seams shipped with the library.
+
+Only the chaos suite and the ops scripts import from here; nothing in the
+serving path depends on this package unless a
+:class:`~repro.testing.faults.FaultPlan` is explicitly injected.
+"""
+
+from repro.testing.faults import FaultPlan, FaultyTask, flip_byte, truncate_file
+
+__all__ = ["FaultPlan", "FaultyTask", "flip_byte", "truncate_file"]
