@@ -713,6 +713,31 @@ def bench_degraded_serve(
     }
 
 
+def bench_static_analysis() -> dict:
+    """Wall-clock of the `repro.analysis` lint gate over src + scripts.
+
+    Recorded in the history but never gated (not in TRACKED_HOT_PATHS):
+    the number exists so a rule whose cost quietly explodes shows up in
+    the record trail, not as CI friction.
+    """
+    from repro.analysis import run_analysis
+
+    report, seconds = _timed(
+        lambda: run_analysis(
+            [REPO_ROOT / "src", REPO_ROOT / "scripts"],
+            baseline_path=REPO_ROOT / ".repro-lint-baseline.json",
+            root=REPO_ROOT,
+        )
+    )
+    return {
+        "files_checked": report.files_checked,
+        "new_findings": len(report.findings),
+        "baselined": len(report.grandfathered),
+        "lint_seconds": seconds,
+        "files_per_second": report.files_checked / seconds if seconds else 0.0,
+    }
+
+
 # --------------------------------------------------------------------------- #
 # History + regression gate                                                   #
 # --------------------------------------------------------------------------- #
@@ -897,6 +922,16 @@ def main() -> int:
             f"engine {engine:.3f}s  speedup {r['speedup']:.1f}x",
             flush=True,
         )
+
+    # Non-gated: the lint gate's own cost rides along in the history.
+    print("[bench_perf] static_analysis ...", flush=True)
+    results["static_analysis"] = bench_static_analysis()
+    lint = results["static_analysis"]
+    print(
+        f"[bench_perf]   linted {lint['files_checked']} files in "
+        f"{lint['lint_seconds']:.3f}s ({lint['files_per_second']:.0f} files/s)",
+        flush=True,
+    )
 
     record = {
         "meta": {

@@ -179,6 +179,20 @@ def main() -> int:
         survivor.close()
         survivor.close()  # idempotent close is part of the contract
 
+    # static invariants: the linter gate must hold on the shipped tree
+    from repro.analysis import run_analysis
+
+    lint = run_analysis(
+        [REPO_ROOT / "src", REPO_ROOT / "scripts"],
+        baseline_path=REPO_ROOT / ".repro-lint-baseline.json",
+        root=REPO_ROOT,
+    )
+    check(
+        lint.exit_code() == 0,
+        f"repro.analysis lint gate is clean ({lint.files_checked} files, "
+        f"{len(lint.findings)} new finding(s))",
+    )
+
     elapsed = time.perf_counter() - start
     check(elapsed < 10.0, f"lifecycle fits the smoke budget ({elapsed:.1f}s < 10s)")
     print(f"[check_api] all checks passed in {elapsed:.1f}s")

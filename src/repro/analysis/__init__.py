@@ -1,0 +1,53 @@
+"""Static analysis for the repro codebase: invariants as machine checks.
+
+``python -m repro.analysis src scripts`` lints the tree against the
+library's own correctness invariants — parallel safety (RP001), exact-cost
+accounting (RP002), exception hygiene (RP003), determinism (RP004),
+resource hygiene (RP005) and the API-surface rules (RP006–RP009) — with
+scoped ``# repro-lint: disable=RULE -- reason`` pragmas, a checked-in
+baseline for grandfathered findings, text/JSON reporters and an optional
+mypy gate (``--types``).  Zero third-party dependencies: everything is
+built on :mod:`ast` and :mod:`tokenize`.
+
+See ``src/repro/analysis/README.md`` for how to add a rule, and the
+"Static invariants" section of ROADMAP.md for what each rule encodes.
+"""
+
+from repro.analysis.baseline import (
+    DEFAULT_BASELINE_NAME,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.core import (
+    Finding,
+    ModuleContext,
+    Rule,
+    all_rules,
+    get_rule,
+    register_rule,
+)
+from repro.analysis.runner import (
+    AnalysisReport,
+    analyze_file,
+    collect_files,
+    run_analysis,
+)
+from repro.analysis.typecheck import mypy_available, run_type_check
+
+__all__ = [
+    "AnalysisReport",
+    "DEFAULT_BASELINE_NAME",
+    "Finding",
+    "ModuleContext",
+    "Rule",
+    "all_rules",
+    "analyze_file",
+    "collect_files",
+    "get_rule",
+    "load_baseline",
+    "mypy_available",
+    "register_rule",
+    "run_analysis",
+    "run_type_check",
+    "write_baseline",
+]

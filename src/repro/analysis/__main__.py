@@ -1,0 +1,162 @@
+"""CLI for the invariant linter: ``python -m repro.analysis [paths...]``.
+
+Examples
+--------
+Lint the library and the scripts (the CI gate)::
+
+    python -m repro.analysis src scripts
+
+Pre-commit / diff-friendly mode — only the files you touched::
+
+    python -m repro.analysis --files src/repro/index/pool.py scripts/check_api.py
+
+Machine-readable output, explicit baseline::
+
+    python -m repro.analysis src --json --baseline .repro-lint-baseline.json
+
+Regenerate the grandfathered-findings baseline (review the diff!)::
+
+    python -m repro.analysis src scripts --write-baseline
+
+Run the optional mypy gate (skips cleanly when mypy is absent)::
+
+    python -m repro.analysis --types
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.analysis.baseline import DEFAULT_BASELINE_NAME, write_baseline
+from repro.analysis.reporters import render_json, render_rule_list, render_text
+from repro.analysis.runner import run_analysis
+from repro.analysis.typecheck import run_type_check
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The linter's argument parser (exposed for the test suite)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="AST-based invariant linter for the repro codebase.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: src and scripts when "
+        "they exist, else the current directory)",
+    )
+    parser.add_argument(
+        "--files",
+        nargs="+",
+        default=None,
+        metavar="FILE",
+        help="lint exactly these files (diff/pre-commit mode); baseline "
+        "subtraction still applies",
+    )
+    parser.add_argument("--json", action="store_true", help="JSON report on stdout")
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help=f"baseline file (default: ./{DEFAULT_BASELINE_NAME} when present)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file (report every finding)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write the current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--rules",
+        nargs="+",
+        default=None,
+        metavar="RPxxx",
+        help="restrict the run to these rule ids",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list registered rules and exit"
+    )
+    parser.add_argument(
+        "--show-baselined",
+        action="store_true",
+        help="also list baselined (grandfathered) findings in text output",
+    )
+    parser.add_argument(
+        "--types",
+        action="store_true",
+        help="run the optional mypy gate (skips with exit 0 when mypy is "
+        "not installed) instead of / in addition to linting",
+    )
+    parser.add_argument(
+        "--type-targets",
+        nargs="+",
+        default=None,
+        metavar="PATH",
+        help="override the default --types targets",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit status (0 = gate passes)."""
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        render_rule_list()
+        return 0
+
+    types_only = args.types and not (args.paths or args.files)
+    lint_status = 0
+    if not types_only:
+        if args.files is not None:
+            paths: List[str] = list(args.files)
+        elif args.paths:
+            paths = list(args.paths)
+        else:
+            defaults = [p for p in ("src", "scripts") if Path(p).is_dir()]
+            paths = defaults if defaults else ["."]
+
+        baseline = args.baseline
+        if baseline is None and not args.no_baseline:
+            candidate = Path(DEFAULT_BASELINE_NAME)
+            baseline = candidate if candidate.is_file() else None
+        if args.no_baseline:
+            baseline = None
+
+        if args.write_baseline:
+            target = args.baseline if args.baseline else Path(DEFAULT_BASELINE_NAME)
+            report = run_analysis(paths, baseline_path=None, rule_ids=args.rules)
+            write_baseline(target, report.findings)
+            sys.stdout.write(
+                f"[repro.analysis] wrote {len(report.findings)} finding(s) "
+                f"to {target}\n"
+            )
+            return 0
+
+        report = run_analysis(paths, baseline_path=baseline, rule_ids=args.rules)
+        if args.json:
+            render_json(report)
+        else:
+            render_text(report)
+            if args.show_baselined:
+                for finding in report.grandfathered:
+                    sys.stdout.write(
+                        f"{finding.path}:{finding.line}: [baselined "
+                        f"{finding.rule}] {finding.message}\n"
+                    )
+        lint_status = report.exit_code()
+
+    type_status = 0
+    if args.types:
+        type_status = run_type_check(args.type_targets)
+    return lint_status or type_status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,99 @@
+"""Checked-in baseline of grandfathered findings.
+
+A new rule applied to an old tree usually surfaces findings nobody wants to
+fix in the same PR that introduces the rule.  Instead of weakening the rule
+or sprinkling pragmas, the findings are *grandfathered*: recorded in a
+checked-in JSON baseline that the gate subtracts before deciding pass/fail.
+New code never inherits the waiver — a baseline entry matches on
+``(rule, path, stripped source line)``, so moving a finding (line drift) is
+tolerated but a *new* violation, even an identical-looking one in another
+file, is not.
+
+The file is written by ``python -m repro.analysis --write-baseline`` and is
+expected to shrink over time; entries whose finding no longer exists are
+reported as stale so the baseline cannot rot silently.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.analysis.core import Finding
+
+__all__ = ["DEFAULT_BASELINE_NAME", "load_baseline", "write_baseline", "split_findings"]
+
+DEFAULT_BASELINE_NAME = ".repro-lint-baseline.json"
+
+BaselineKey = Tuple[str, str, str]
+
+
+def load_baseline(path) -> Set[BaselineKey]:
+    """Load baseline keys; a missing file is an empty baseline."""
+    path = Path(path)
+    if not path.is_file():
+        return set()
+    payload = json.loads(path.read_text())
+    entries = payload.get("findings", []) if isinstance(payload, dict) else payload
+    keys: Set[BaselineKey] = set()
+    for entry in entries:
+        keys.add(
+            (
+                str(entry["rule"]),
+                Path(str(entry["path"])).as_posix(),
+                str(entry.get("source_line", "")),
+            )
+        )
+    return keys
+
+
+#: Written into every baseline file so the waiver explains itself.
+BASELINE_NOTE = (
+    "Grandfathered findings, subtracted by the lint gate. Entries match on "
+    "(rule, path, stripped source line) — new violations never inherit the "
+    "waiver. Expected to shrink: fix a finding, then regenerate with "
+    "`python -m repro.analysis src scripts --write-baseline` (stale entries "
+    "are reported until removed)."
+)
+
+
+def write_baseline(path, findings: Sequence[Finding]) -> None:
+    """Persist ``findings`` as the new baseline (sorted, one entry each)."""
+    entries: List[Dict[str, str]] = []
+    seen: Set[BaselineKey] = set()
+    for finding in sorted(findings, key=lambda f: (f.rule, f.path, f.line)):
+        key = finding.key()
+        if key in seen:
+            continue
+        seen.add(key)
+        entries.append(
+            {
+                "rule": finding.rule,
+                "path": Path(finding.path).as_posix(),
+                "source_line": finding.source_line,
+                # Informational only — matching ignores the line number.
+                "line": finding.line,
+                "message": finding.message,
+            }
+        )
+    payload = {"note": BASELINE_NOTE, "findings": entries}
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def split_findings(
+    findings: Iterable[Finding], baseline: Set[BaselineKey]
+) -> Tuple[List[Finding], List[Finding], Set[BaselineKey]]:
+    """Partition into (new, grandfathered) and report stale baseline keys."""
+    new: List[Finding] = []
+    grandfathered: List[Finding] = []
+    matched: Set[BaselineKey] = set()
+    for finding in findings:
+        key = finding.key()
+        if key in baseline:
+            matched.add(key)
+            grandfathered.append(finding)
+        else:
+            new.append(finding)
+    stale = baseline - matched
+    return new, grandfathered, stale

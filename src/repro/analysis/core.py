@@ -1,0 +1,329 @@
+"""Core machinery of the :mod:`repro.analysis` invariant linter.
+
+The library's correctness invariants — "never ship a context or a pool to
+workers", "all exact-distance accounting happens in the parent", "recovery
+is bit-identical", "typed errors, never raw tracebacks" — used to live only
+in ROADMAP prose and runtime guards (``ensure_parallel_safe``, the chaos
+suite).  This module turns them into *statically checkable properties* of
+the source tree, in the spirit of consistent-query-answering systems that
+treat integrity constraints as machine-checkable objects rather than
+documentation.
+
+Pieces
+------
+* :class:`Finding` — one rule violation at one source location.
+* :class:`Rule` — a named, registered invariant checker over a parsed
+  module (:class:`ModuleContext`).
+* :func:`register_rule` / :func:`all_rules` — the registry the CLI and the
+  test-suite gate iterate.
+* Suppressions — ``# repro-lint: disable=RP003 -- reason`` on (or directly
+  above) the offending line scopes an exemption to that line;
+  ``# repro-lint: disable-file=RP008`` in the first
+  :data:`FILE_PRAGMA_WINDOW` lines exempts the whole file.  ``disable=all``
+  is accepted in both forms.  Pragmas are the *visible* form of a waiver:
+  unlike a baseline entry they sit next to the code they excuse.
+
+Scope helpers used by several rules (dataflow-lite origin tracking,
+dotted-name rendering) also live here so each rule stays small.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import tokenize
+from dataclasses import dataclass, field
+from io import StringIO
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "Finding",
+    "ModuleContext",
+    "Rule",
+    "register_rule",
+    "all_rules",
+    "get_rule",
+    "dotted_name",
+    "call_name",
+    "iter_scopes",
+    "scope_assignments",
+    "FILE_PRAGMA_WINDOW",
+]
+
+#: How deep into a file a ``disable-file`` pragma may appear.
+FILE_PRAGMA_WINDOW = 15
+
+_PRAGMA_RE = re.compile(
+    r"#\s*repro-lint:\s*(?P<kind>disable|disable-file)\s*=\s*"
+    r"(?P<rules>[A-Za-z0-9_,\s]+?)(?:\s*--\s*(?P<reason>.*))?\s*$"
+)
+
+SEVERITIES = ("error", "warning")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One invariant violation at one source location."""
+
+    rule: str
+    severity: str
+    path: str
+    line: int
+    message: str
+    #: The stripped source line, used for drift-tolerant baseline matching.
+    source_line: str = ""
+
+    def key(self) -> Tuple[str, str, str]:
+        """Line-number-free identity used by the baseline (survives drift)."""
+        return (self.rule, Path(self.path).as_posix(), self.source_line)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable form (used by the JSON reporter and baseline)."""
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": Path(self.path).as_posix(),
+            "line": self.line,
+            "message": self.message,
+            "source_line": self.source_line,
+        }
+
+
+class ModuleContext:
+    """A parsed module plus everything rules need to inspect it."""
+
+    def __init__(self, path, source: str, relative_to: Optional[Path] = None) -> None:
+        self.path = Path(path)
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=str(path))
+        root = relative_to if relative_to is not None else Path.cwd()
+        try:
+            self.relative_path = self.path.resolve().relative_to(root.resolve())
+        except ValueError:
+            self.relative_path = self.path
+        self._line_pragmas, self._file_pragmas = _scan_pragmas(source)
+
+    # -- pragma suppression ---------------------------------------------
+
+    def suppressed(self, rule_id: str, line: int) -> bool:
+        """Whether ``rule_id`` is waived at ``line`` (or file-wide)."""
+        if rule_id in self._file_pragmas or "all" in self._file_pragmas:
+            return True
+        for candidate in (line, line - 1):
+            rules = self._line_pragmas.get(candidate)
+            if rules and (rule_id in rules or "all" in rules):
+                return True
+        return False
+
+    # -- finding construction -------------------------------------------
+
+    def finding(self, rule: "Rule", node: ast.AST, message: str) -> Finding:
+        """Build a :class:`Finding` for ``node`` at this module's path."""
+        line = getattr(node, "lineno", 1)
+        source_line = ""
+        if 1 <= line <= len(self.lines):
+            source_line = self.lines[line - 1].strip()
+        return Finding(
+            rule=rule.id,
+            severity=rule.severity,
+            path=str(self.relative_path),
+            line=line,
+            message=message,
+            source_line=source_line,
+        )
+
+
+def _scan_pragmas(source: str) -> Tuple[Dict[int, Set[str]], Set[str]]:
+    """Map line numbers to waived rule ids, plus the file-wide waivers.
+
+    Tokenizes so pragmas inside string literals are not honoured; a file
+    that fails to tokenize (it will fail ``ast.parse`` too) yields none.
+    """
+    line_pragmas: Dict[int, Set[str]] = {}
+    file_pragmas: Set[str] = set()
+    try:
+        tokens = list(tokenize.generate_tokens(StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return line_pragmas, file_pragmas
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _PRAGMA_RE.search(token.string)
+        if match is None:
+            continue
+        rules = {part.strip() for part in match.group("rules").split(",") if part.strip()}
+        if match.group("kind") == "disable-file":
+            if token.start[0] <= FILE_PRAGMA_WINDOW:
+                file_pragmas |= rules
+        else:
+            line_pragmas.setdefault(token.start[0], set()).update(rules)
+    return line_pragmas, file_pragmas
+
+
+# --------------------------------------------------------------------------- #
+# Rules and their registry                                                    #
+# --------------------------------------------------------------------------- #
+
+
+class Rule:
+    """Base class for one registered invariant.
+
+    Subclasses set the class attributes and implement :meth:`check`,
+    yielding findings (pragma filtering happens in the runner, so rules
+    stay oblivious to suppression mechanics).
+    """
+
+    id: str = ""
+    name: str = ""
+    severity: str = "error"
+    description: str = ""
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        """Yield every violation of this rule found in ``module``."""
+        raise NotImplementedError
+
+    def applies_to(self, module: ModuleContext) -> bool:
+        """Override to scope a rule to part of the tree (default: all)."""
+        return True
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register_rule(cls):
+    """Class decorator adding one :class:`Rule` subclass to the registry."""
+    rule = cls()
+    if not rule.id or not rule.name:
+        raise ValueError(f"rule {cls.__name__} must define id and name")
+    if rule.severity not in SEVERITIES:
+        raise ValueError(f"rule {rule.id} has unknown severity {rule.severity!r}")
+    if rule.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.id}")
+    _REGISTRY[rule.id] = rule
+    return cls
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, sorted by id."""
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def get_rule(rule_id: str) -> Rule:
+    """One registered rule by id (``KeyError`` for unknown ids)."""
+    return _REGISTRY[rule_id]
+
+
+# --------------------------------------------------------------------------- #
+# Shared AST helpers                                                          #
+# --------------------------------------------------------------------------- #
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """Render ``a.b.c`` expressions to their dotted string, else ``None``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_name(node: ast.Call) -> Optional[str]:
+    """Dotted name of a call's callee (``np.random.default_rng`` etc.)."""
+    return dotted_name(node.func)
+
+
+def iter_scopes(tree: ast.Module) -> Iterator[ast.AST]:
+    """The module node plus every (async) function and lambda within it."""
+    yield tree
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            yield node
+
+
+def walk_scope(scope: ast.AST) -> Iterator[ast.AST]:
+    """Walk ``scope`` without descending into nested function scopes.
+
+    Rules that pair :func:`iter_scopes` with a per-scope walk must use this
+    (not ``ast.walk``) so each node is visited exactly once, under the
+    scope whose local assignments actually govern it.
+    """
+    pending: List[ast.AST] = [scope]
+    while pending:
+        node = pending.pop(0)
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            pending.append(child)
+
+
+def _scope_body(scope: ast.AST) -> Sequence[ast.stmt]:
+    if isinstance(scope, ast.Lambda):
+        return []
+    return scope.body  # type: ignore[attr-defined]
+
+
+def scope_statements(scope: ast.AST) -> Iterator[ast.stmt]:
+    """Statements belonging to ``scope``, not descending into nested defs."""
+    pending: List[ast.stmt] = list(_scope_body(scope))
+    while pending:
+        stmt = pending.pop(0)
+        yield stmt
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.stmt):
+                pending.append(child)
+
+
+def scope_assignments(scope: ast.AST) -> Dict[str, ast.expr]:
+    """Dataflow-lite: the last simple ``name = <expr>`` per local name.
+
+    Only plain single-target assignments (and annotated assignments with a
+    value) are tracked — enough to see ``ctx = DistanceContext(...)`` and
+    one level of aliasing, which is what the parallel-safety and accounting
+    rules need.  Tuple unpacking records each name against the full value
+    expression so ``inner, counters = split_counting(d)`` marks *both*
+    names as split-counting products.
+    """
+    assigned: Dict[str, ast.expr] = {}
+    for stmt in scope_statements(scope):
+        if isinstance(stmt, ast.Assign) and stmt.value is not None:
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    assigned[target.id] = stmt.value
+                elif isinstance(target, (ast.Tuple, ast.List)):
+                    for element in target.elts:
+                        if isinstance(element, ast.Name):
+                            assigned[element.id] = stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            if isinstance(stmt.target, ast.Name):
+                assigned[stmt.target.id] = stmt.value
+        elif isinstance(stmt, ast.With):
+            for item in stmt.items:
+                if isinstance(item.optional_vars, ast.Name):
+                    assigned[item.optional_vars.id] = item.context_expr
+    return assigned
+
+
+def resolve_origin(
+    expr: ast.expr,
+    assignments: Dict[str, ast.expr],
+    max_hops: int = 4,
+) -> ast.expr:
+    """Follow ``x = y`` aliases until a non-name expression (bounded)."""
+    seen: Set[str] = set()
+    for _ in range(max_hops):
+        if not isinstance(expr, ast.Name) or expr.id in seen:
+            break
+        seen.add(expr.id)
+        nxt = assignments.get(expr.id)
+        if nxt is None:
+            break
+        expr = nxt
+    return expr

@@ -1,0 +1,68 @@
+"""Text and JSON reporters for :class:`~repro.analysis.runner.AnalysisReport`."""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import IO, Optional
+
+from repro.analysis.core import all_rules
+from repro.analysis.runner import AnalysisReport
+
+__all__ = ["render_text", "render_json", "render_rule_list"]
+
+
+def render_text(report: AnalysisReport, stream: Optional[IO[str]] = None) -> None:
+    """Human-oriented ``path:line: [RULE] message`` listing plus a summary."""
+    stream = stream if stream is not None else sys.stdout
+    for path, error in report.parse_errors:
+        stream.write(f"{path}: [parse-error] {error}\n")
+    for finding in report.findings:
+        stream.write(
+            f"{finding.path}:{finding.line}: [{finding.rule}/"
+            f"{finding.severity}] {finding.message}\n"
+        )
+    if report.grandfathered:
+        stream.write(
+            f"# {len(report.grandfathered)} baselined finding(s) not shown "
+            "(run with --show-baselined to list them)\n"
+        )
+    for key in sorted(report.stale_baseline):
+        stream.write(
+            f"# stale baseline entry (fixed? remove it): rule={key[0]} "
+            f"path={key[1]} line={key[2]!r}\n"
+        )
+    status = "FAIL" if report.exit_code() else "ok"
+    stream.write(
+        f"[repro.analysis] {status}: {report.files_checked} file(s), "
+        f"{len(report.errors)} error(s), {len(report.warnings)} warning(s), "
+        f"{len(report.grandfathered)} baselined, "
+        f"{len(report.parse_errors)} parse error(s)\n"
+    )
+
+
+def render_json(report: AnalysisReport, stream: Optional[IO[str]] = None) -> None:
+    """Machine-oriented single-document report (stable key order)."""
+    stream = stream if stream is not None else sys.stdout
+    payload = {
+        "files_checked": report.files_checked,
+        "exit_code": report.exit_code(),
+        "findings": [finding.to_dict() for finding in report.findings],
+        "grandfathered": [finding.to_dict() for finding in report.grandfathered],
+        "stale_baseline": [
+            {"rule": rule, "path": path, "source_line": line}
+            for rule, path, line in sorted(report.stale_baseline)
+        ],
+        "parse_errors": [
+            {"path": path, "error": error} for path, error in report.parse_errors
+        ],
+    }
+    stream.write(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def render_rule_list(stream: Optional[IO[str]] = None) -> None:
+    """One line per registered rule: id, severity, name, description."""
+    stream = stream if stream is not None else sys.stdout
+    for rule in all_rules():
+        stream.write(f"{rule.id} [{rule.severity}] {rule.name}\n")
+        stream.write(f"    {rule.description}\n")

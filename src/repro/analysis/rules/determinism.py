@@ -1,0 +1,132 @@
+"""RP004 — determinism: the static half of the bit-identity guarantee.
+
+Every recovery and parallel path in this codebase promises *bit-identical*
+results to the serial run (ROADMAP, "Failure semantics").  Two easy ways to
+break that promise never show up in a unit test on a small dataset:
+
+* **Iterating a bare set.**  Python set iteration order depends on
+  insertion history and hash seeding; a ``for`` loop (or comprehension)
+  over a set feeding anything order-sensitive — result assembly, merge
+  order, chunk scheduling — is a latent nondeterminism.  Wrap the set in
+  ``sorted(...)`` to fix the order by value.
+* **Clocks or RNGs in ranking paths.**  Functions whose job is merging,
+  ranking or tie-breaking (name — or enclosing class name — mentioning
+  ``merge``/``rank``/``order``/``tie``) must be pure over their inputs:
+  a ``time.*`` or ``random.*`` call there makes two identical queries
+  disagree.  (Deadline bookkeeping lives in the serving layer, whose
+  function names do not match, deliberately.)
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator
+
+from repro.analysis.core import (
+    Finding,
+    ModuleContext,
+    Rule,
+    call_name,
+    iter_scopes,
+    register_rule,
+    resolve_origin,
+    scope_assignments,
+    walk_scope,
+)
+
+RANKING_NAME = re.compile(r"(merge|rank|order|tie)", re.IGNORECASE)
+
+#: Call-name prefixes that read a clock or an unseeded RNG.
+NONDETERMINISTIC_PREFIXES = ("time.", "random.", "np.random.", "numpy.random.")
+
+
+def _is_bare_set(expr: ast.expr) -> bool:
+    if isinstance(expr, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(expr, ast.Call):
+        name = call_name(expr)
+        return name in ("set", "frozenset")
+    return False
+
+
+def _iterates_set(expr: ast.expr, assignments: Dict[str, ast.expr]) -> bool:
+    if _is_bare_set(expr):
+        return True
+    origin = resolve_origin(expr, assignments)
+    return origin is not expr and _is_bare_set(origin)
+
+
+@register_rule
+class DeterminismRule(Rule):
+    """RP004: no bare-set iteration; no clocks/RNGs in ranking functions."""
+
+    id = "RP004"
+    name = "determinism"
+    severity = "error"
+    description = (
+        "No iteration over bare sets (insertion/hash-seed-dependent order) "
+        "and no clock/RNG calls inside merge/rank/tie-break functions — the "
+        "statically checkable half of the bit-identity guarantee."
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        """Check set iteration everywhere, purity in ranking-named scopes."""
+        module_assignments = scope_assignments(module.tree)
+        class_of: Dict[int, str] = {}
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                for child in node.body:
+                    if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        class_of[id(child)] = node.name
+        for scope in iter_scopes(module.tree):
+            assignments = dict(module_assignments)
+            if scope is not module.tree:
+                assignments.update(scope_assignments(scope))
+            yield from self._check_set_iteration(module, scope, assignments)
+            if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                context = f"{class_of.get(id(scope), '')}.{scope.name}"
+                if RANKING_NAME.search(context):
+                    yield from self._check_ranking_purity(module, scope)
+
+    def _check_set_iteration(
+        self, module: ModuleContext, scope: ast.AST, assignments: Dict[str, ast.expr]
+    ) -> Iterator[Finding]:
+        for node in walk_scope(scope):
+            iterables = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iterables.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                iterables.extend(gen.iter for gen in node.generators)
+            for iterable in iterables:
+                if _iterates_set(iterable, assignments):
+                    yield module.finding(
+                        self,
+                        node,
+                        "iteration over a bare set: the order depends on "
+                        "insertion history and hash seeding, so anything "
+                        "order-sensitive downstream silently loses "
+                        "bit-identity; iterate sorted(<set>) instead.",
+                    )
+
+    def _check_ranking_purity(
+        self, module: ModuleContext, scope: ast.AST
+    ) -> Iterator[Finding]:
+        for node in walk_scope(scope):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if name is None:
+                continue
+            if any(
+                name == prefix.rstrip(".") or name.startswith(prefix)
+                for prefix in NONDETERMINISTIC_PREFIXES
+            ):
+                yield module.finding(
+                    self,
+                    node,
+                    f"{name}() inside a merge/rank/tie-break function: "
+                    "ranking must be a pure function of its inputs, or two "
+                    "identical queries can return different neighbors; hoist "
+                    "the clock/RNG to the caller and pass the value in.",
+                )

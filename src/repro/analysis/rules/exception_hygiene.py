@@ -1,0 +1,156 @@
+"""RP003 — exception hygiene: no blind swallowing, typed errors at the rim.
+
+Two halves of one invariant (ROADMAP, "Failure semantics"):
+
+* **No blind catches.** ``except:`` is always an error.  ``except
+  Exception`` / ``except BaseException`` is allowed only when the handler
+  visibly deals with the failure — it re-raises (possibly as a typed
+  library error), or logs / warns.  Genuine supervision-path swallows
+  (``atexit`` sweeps, double-close guards, liveness probes) exist, but they
+  must carry a scoped ``# repro-lint: disable=RP003 -- <why>`` pragma so
+  the waiver is visible in the diff, not implicit in reviewer fatigue.
+* **Typed errors at the persistence rim.**  In ``index/artifacts.py`` and
+  ``distances/context.py`` — the modules that parse files — a handler
+  catching low-level I/O or codec errors (``OSError``,
+  ``zipfile.BadZipFile``, ``zlib.error``, ``json.JSONDecodeError``,
+  ``pickle.UnpicklingError``) must re-raise a typed ``*Error`` naming the
+  file; leaking a raw zipfile traceback for a truncated store is exactly
+  the failure mode PR 6 closed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional
+
+from repro.analysis.core import (
+    Finding,
+    ModuleContext,
+    Rule,
+    call_name,
+    dotted_name,
+    register_rule,
+)
+
+BROAD_NAMES = {"Exception", "BaseException"}
+
+#: Low-level exception names whose handlers, in the rim modules, must
+#: re-raise typed library errors.  Matched on the rendered dotted name's
+#: last segment, plus the fully dotted ``zlib.error``.
+LOW_LEVEL_LAST = {"OSError", "IOError", "BadZipFile", "JSONDecodeError", "UnpicklingError"}
+LOW_LEVEL_DOTTED = {"zlib.error"}
+
+#: Modules that translate file corruption into typed errors.
+RIM_SUFFIXES = ("repro/index/artifacts.py", "repro/distances/context.py")
+
+#: Call-name fragments that count as handling a swallowed exception.
+LOGGING_FRAGMENTS = ("log", "warn")
+
+
+def _caught_names(handler: ast.ExceptHandler) -> List[str]:
+    if handler.type is None:
+        return []
+    nodes = handler.type.elts if isinstance(handler.type, ast.Tuple) else [handler.type]
+    names = []
+    for node in nodes:
+        name = dotted_name(node)
+        if name is not None:
+            names.append(name)
+    return names
+
+
+def _handler_raises(handler: ast.ExceptHandler) -> bool:
+    return any(isinstance(node, ast.Raise) for node in ast.walk(handler))
+
+
+def _handler_raises_typed(handler: ast.ExceptHandler) -> bool:
+    for node in ast.walk(handler):
+        if not isinstance(node, ast.Raise):
+            continue
+        if node.exc is None:  # bare re-raise keeps the original type
+            continue
+        exc = node.exc
+        if isinstance(exc, ast.Call):
+            name = call_name(exc)
+            if name is not None and name.split(".")[-1].endswith("Error"):
+                return True
+    return False
+
+
+def _handler_logs(handler: ast.ExceptHandler) -> bool:
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Call):
+            name = call_name(node)
+            if name is None:
+                continue
+            lowered = name.lower()
+            if any(fragment in lowered for fragment in LOGGING_FRAGMENTS):
+                return True
+    return False
+
+
+def _is_low_level(name: str) -> bool:
+    return name in LOW_LEVEL_DOTTED or name.split(".")[-1] in LOW_LEVEL_LAST
+
+
+@register_rule
+class ExceptionHygieneRule(Rule):
+    """RP003: no blind catches; typed errors at the persistence rim."""
+
+    id = "RP003"
+    name = "exception-hygiene"
+    severity = "error"
+    description = (
+        "No bare except; except Exception/BaseException only with re-raise "
+        "or logging (or a justified scoped pragma on supervision paths); "
+        "file-parsing modules re-raise low-level I/O errors as typed "
+        "library errors naming the file."
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        """Inspect every except handler in the module."""
+        posix = module.relative_path.as_posix()
+        at_rim = posix.endswith(RIM_SUFFIXES)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            finding = self._check_handler(module, node, at_rim)
+            if finding is not None:
+                yield finding
+
+    def _check_handler(
+        self, module: ModuleContext, handler: ast.ExceptHandler, at_rim: bool
+    ) -> Optional[Finding]:
+        caught = _caught_names(handler)
+        if handler.type is None:
+            return module.finding(
+                self,
+                handler,
+                "bare `except:` catches SystemExit/KeyboardInterrupt too and "
+                "hides programming errors; catch the concrete exception "
+                "types (at minimum `except Exception`) and handle them.",
+            )
+        if any(name.split(".")[-1] in BROAD_NAMES for name in caught):
+            if not (_handler_raises(handler) or _handler_logs(handler)):
+                return module.finding(
+                    self,
+                    handler,
+                    "`except Exception` that neither re-raises nor logs "
+                    "swallows failures invisibly; narrow the types, re-raise "
+                    "a typed library error, log — or, on a genuine "
+                    "supervision path, annotate with "
+                    "`# repro-lint: disable=RP003 -- <why>`.",
+                )
+            return None
+        if at_rim and any(_is_low_level(name) for name in caught):
+            if not _handler_raises_typed(handler):
+                return module.finding(
+                    self,
+                    handler,
+                    "low-level I/O/codec errors in this module must be "
+                    "re-raised as typed library errors (ArtifactError / "
+                    "DistanceError) naming the file — a raw "
+                    "zipfile/zlib/json traceback is the 'corrupt store' "
+                    "failure mode, not an API.",
+                )
+        return None

@@ -1,0 +1,149 @@
+"""RP005 — resource hygiene: every pool or manager created is releasable.
+
+A :class:`~repro.index.pool.PersistentPool` (and the ``multiprocessing``
+manager inside it) owns OS processes.  The library's contract is that every
+created pool has a reachable release path: used as a context manager,
+``close()``d in the creating scope, or handed off to an owner (assigned to
+an attribute, passed to a callee, returned) that participates in the
+``atexit`` sweep.  A pool bound to a local that is never closed nor handed
+off leaks worker processes until interpreter exit — in a long-lived serving
+process, forever.
+
+The rule flags ``PersistentPool(...)`` / ``multiprocessing.Manager()``
+creations whose result is (a) discarded outright, or (b) bound to a local
+name with no ``close()`` / ``with`` / handoff use of that name anywhere in
+the enclosing scope.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.core import (
+    Finding,
+    ModuleContext,
+    Rule,
+    call_name,
+    iter_scopes,
+    register_rule,
+    scope_statements,
+)
+
+CREATOR_LAST_SEGMENTS = {"PersistentPool", "Manager", "SyncManager"}
+
+
+def _creates_pool(expr: ast.expr) -> bool:
+    if not isinstance(expr, ast.Call):
+        return False
+    name = call_name(expr)
+    return name is not None and name.split(".")[-1] in CREATOR_LAST_SEGMENTS
+
+
+def _name_released(scope: ast.AST, name: str) -> bool:
+    """Whether ``name`` is closed, context-managed or handed off in scope."""
+    for node in ast.walk(scope):
+        if isinstance(node, ast.Call):
+            # pool.close() / pool.shutdown() / atexit.register(pool.close)
+            func = node.func
+            if isinstance(func, ast.Attribute):
+                if func.attr in ("close", "shutdown", "terminate") and isinstance(
+                    func.value, ast.Name
+                ) and func.value.id == name:
+                    return True
+            # handoff: the name is passed to any callee
+            for argument in list(node.args) + [kw.value for kw in node.keywords]:
+                for sub in ast.walk(argument):
+                    if isinstance(sub, ast.Name) and sub.id == name:
+                        return True
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                expr = item.context_expr
+                if isinstance(expr, ast.Name) and expr.id == name:
+                    return True
+        elif isinstance(node, ast.Return) and node.value is not None:
+            for sub in ast.walk(node.value):
+                if isinstance(sub, ast.Name) and sub.id == name:
+                    return True
+        elif isinstance(node, ast.Assign):
+            # ownership transfer: self.pool = name / registry[k] = name
+            if any(
+                isinstance(target, (ast.Attribute, ast.Subscript))
+                for target in node.targets
+            ):
+                for sub in ast.walk(node.value):
+                    if isinstance(sub, ast.Name) and sub.id == name:
+                        return True
+        elif isinstance(node, ast.Yield) and node.value is not None:
+            for sub in ast.walk(node.value):
+                if isinstance(sub, ast.Name) and sub.id == name:
+                    return True
+    return False
+
+
+@register_rule
+class ResourceHygieneRule(Rule):
+    """RP005: every created pool/manager has a reachable release path."""
+
+    id = "RP005"
+    name = "resource-hygiene"
+    severity = "error"
+    description = (
+        "Every PersistentPool(...) / multiprocessing Manager created must be "
+        "context-managed, close()d, or handed off to an owner — a local pool "
+        "with no release path leaks worker processes."
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        """Check pool-creating statements in each scope."""
+        for scope in iter_scopes(module.tree):
+            yield from self._check_scope(module, scope)
+
+    def _check_scope(self, module: ModuleContext, scope: ast.AST) -> Iterator[Finding]:
+        for stmt in scope_statements(scope):
+            finding = self._check_statement(module, scope, stmt)
+            if finding is not None:
+                yield finding
+
+    def _check_statement(
+        self, module: ModuleContext, scope: ast.AST, stmt: ast.stmt
+    ) -> Optional[Finding]:
+        if isinstance(stmt, ast.Expr) and _creates_pool(stmt.value):
+            return module.finding(
+                self,
+                stmt,
+                "worker-pool created and immediately discarded: nothing can "
+                "ever close it; bind it (`with PersistentPool(...) as pool`) "
+                "or keep a reference an owner closes.",
+            )
+        if isinstance(stmt, ast.Assign) and _creates_pool(stmt.value):
+            # Direct attribute/subscript targets are ownership transfers.
+            plain_names = [
+                target.id for target in stmt.targets if isinstance(target, ast.Name)
+            ]
+            if not plain_names:
+                return None
+            for name in plain_names:
+                if not _name_released(scope, name):
+                    return module.finding(
+                        self,
+                        stmt,
+                        f"pool bound to `{name}` has no reachable release in "
+                        "this scope: add `with`, call `.close()`, or hand it "
+                        "off to an owner (attribute assignment, argument, "
+                        "return) that participates in the atexit sweep.",
+                    )
+        if isinstance(stmt, ast.AnnAssign) and stmt.value is not None and _creates_pool(
+            stmt.value
+        ):
+            if isinstance(stmt.target, ast.Name) and not _name_released(
+                scope, stmt.target.id
+            ):
+                return module.finding(
+                    self,
+                    stmt,
+                    f"pool bound to `{stmt.target.id}` has no reachable "
+                    "release in this scope: add `with`, call `.close()`, or "
+                    "hand it off to an owner.",
+                )
+        return None

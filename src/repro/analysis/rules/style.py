@@ -1,0 +1,211 @@
+"""RP006–RP009 — API-surface rules that ride along with the invariants.
+
+Individually small, collectively the difference between a library and a
+pile of scripts:
+
+* **RP006 mutable default arguments** — ``def f(x=[])`` shares one list
+  across every call; with process pools in play the sharing is also
+  process-dependent, so the bug appears only under ``n_jobs=1``.
+* **RP007 swallowed PoolJob** — ``pool.submit(...)`` returns a
+  :class:`~repro.index.pool.PoolJob` whose ``results()`` is where worker
+  failures, retries and typed timeouts surface.  A fire-and-forget submit
+  discards not just the result but the *error channel*.
+* **RP008 public docstrings** — every public module-level function/class
+  and public method of a public class documents itself; the API reference
+  is generated from these.
+* **RP009 no prints in library code** — the library reports through return
+  values, typed exceptions and ``logging``; ``print`` belongs to scripts,
+  examples and the experiments/reporting layer (exempt by path).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Tuple
+
+from repro.analysis.core import (
+    Finding,
+    ModuleContext,
+    Rule,
+    call_name,
+    dotted_name,
+    register_rule,
+)
+
+MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)
+MUTABLE_FACTORIES = {"list", "dict", "set", "bytearray", "defaultdict", "OrderedDict", "Counter", "deque"}
+
+
+@register_rule
+class MutableDefaultRule(Rule):
+    """RP006: default argument values must be immutable."""
+
+    id = "RP006"
+    name = "mutable-default-argument"
+    severity = "error"
+    description = (
+        "Default argument values must be immutable — a mutable default is "
+        "created once and shared across every call (and differently across "
+        "worker processes)."
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        """Inspect the defaults of every def/lambda in the module."""
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            defaults = list(node.args.defaults) + [
+                default for default in node.args.kw_defaults if default is not None
+            ]
+            for default in defaults:
+                if self._is_mutable(default):
+                    label = getattr(node, "name", "<lambda>")
+                    yield module.finding(
+                        self,
+                        default,
+                        f"mutable default argument in {label}(): the object "
+                        "is created once at def time and shared by every "
+                        "call; default to None and create it in the body.",
+                    )
+
+    @staticmethod
+    def _is_mutable(default: ast.expr) -> bool:
+        if isinstance(default, MUTABLE_LITERALS):
+            return True
+        if isinstance(default, ast.Call):
+            name = call_name(default)
+            return name is not None and name.split(".")[-1] in MUTABLE_FACTORIES
+        return False
+
+
+@register_rule
+class SwallowedPoolJobRule(Rule):
+    """RP007: ``pool.submit(...)`` results must not be discarded."""
+
+    id = "RP007"
+    name = "swallowed-pool-job"
+    severity = "error"
+    description = (
+        "pool.submit(...) returns the PoolJob that carries results, retry "
+        "supervision and typed failures; discarding it severs the error "
+        "channel — keep the job (or use pool.run for blocking calls)."
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        """Flag expression-statement submits on pool-like receivers."""
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Expr):
+                continue
+            call = node.value
+            if not isinstance(call, ast.Call):
+                continue
+            func = call.func
+            if not isinstance(func, ast.Attribute) or func.attr != "submit":
+                continue
+            receiver = dotted_name(func.value)
+            if receiver is None:
+                continue
+            lowered = receiver.lower()
+            if "pool" in lowered or "executor" in lowered:
+                yield module.finding(
+                    self,
+                    node,
+                    f"{receiver}.submit(...) discards its job handle: worker "
+                    "failures, retries and timeouts surface through "
+                    "PoolJob.results(); bind the job or call .run() if the "
+                    "result matters synchronously.",
+                )
+
+
+@register_rule
+class PublicDocstringRule(Rule):
+    """RP008: the public API surface carries docstrings."""
+
+    id = "RP008"
+    name = "public-api-docstring"
+    severity = "error"
+    description = (
+        "Public module-level functions/classes and public methods of public "
+        "classes must carry docstrings."
+    )
+
+    def applies_to(self, module: ModuleContext) -> bool:
+        """Library packages only; scripts document themselves via --help."""
+        return "repro/" in module.relative_path.as_posix()
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        """Flag public defs (module-level and methods) without docstrings."""
+        for node, qualname in self._public_defs(module.tree):
+            if ast.get_docstring(node) is None:
+                kind = "class" if isinstance(node, ast.ClassDef) else "function"
+                yield module.finding(
+                    self,
+                    node,
+                    f"public {kind} {qualname} has no docstring; the public "
+                    "surface documents itself (one summary line is enough).",
+                )
+
+    @staticmethod
+    def _is_accessor_companion(node: ast.AST) -> bool:
+        """Property setters/deleters: the getter documents the property."""
+        for decorator in getattr(node, "decorator_list", []):
+            if isinstance(decorator, ast.Attribute) and decorator.attr in (
+                "setter",
+                "deleter",
+            ):
+                return True
+        return False
+
+    @classmethod
+    def _public_defs(cls, tree: ast.Module) -> List[Tuple[ast.AST, str]]:
+        out: List[Tuple[ast.AST, str]] = []
+        for node in tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if not node.name.startswith("_"):
+                    out.append((node, node.name))
+            elif isinstance(node, ast.ClassDef) and not node.name.startswith("_"):
+                out.append((node, node.name))
+                for child in node.body:
+                    if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        if not child.name.startswith("_") and not (
+                            cls._is_accessor_companion(child)
+                        ):
+                            out.append((child, f"{node.name}.{child.name}"))
+        return out
+
+
+@register_rule
+class NoPrintRule(Rule):
+    """RP009: library code reports via logging, not ``print``."""
+
+    id = "RP009"
+    name = "no-print-in-library"
+    severity = "error"
+    description = (
+        "Library packages communicate through return values, typed "
+        "exceptions and logging — print() belongs to scripts, examples and "
+        "the experiments/reporting layer."
+    )
+
+    #: Path fragments exempt from the rule: CLI-shaped layers whose output
+    #: *is* their job.
+    EXEMPT_FRAGMENTS = ("repro/experiments/", "repro/analysis/")
+
+    def applies_to(self, module: ModuleContext) -> bool:
+        """Library packages minus the CLI-shaped exempt layers."""
+        posix = module.relative_path.as_posix()
+        if "repro/" not in posix:
+            return False
+        return not any(fragment in posix for fragment in self.EXEMPT_FRAGMENTS)
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        """Flag every ``print(...)`` call."""
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call) and call_name(node) == "print":
+                yield module.finding(
+                    self,
+                    node,
+                    "print() in library code: route diagnostics through the "
+                    "logging module (callers configure handlers) and results "
+                    "through return values.",
+                )

@@ -1,0 +1,133 @@
+"""File collection and rule execution for :mod:`repro.analysis`.
+
+:func:`run_analysis` is the single entry point the CLI, the tier-1 test
+gate, ``scripts/check_api.py`` and ``scripts/bench_perf.py`` all share: it
+collects Python files, parses each once, runs every registered rule,
+applies scoped pragmas, and (optionally) subtracts a baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis import rules as _rules  # noqa: F401  (registers the rules)
+from repro.analysis.baseline import BaselineKey, load_baseline, split_findings
+from repro.analysis.core import Finding, ModuleContext, all_rules
+
+__all__ = ["AnalysisReport", "collect_files", "analyze_file", "run_analysis"]
+
+#: Directory names never descended into.
+SKIP_DIRS = {".git", "__pycache__", ".mypy_cache", ".pytest_cache", "build", "dist"}
+
+
+@dataclass
+class AnalysisReport:
+    """Everything one linter run produced."""
+
+    #: Findings that gate (not suppressed, not baselined), sorted.
+    findings: List[Finding] = field(default_factory=list)
+    #: Baseline-matched findings (reported, never gating).
+    grandfathered: List[Finding] = field(default_factory=list)
+    #: Baseline entries whose finding no longer exists.
+    stale_baseline: Set[BaselineKey] = field(default_factory=set)
+    #: Files that failed to parse, as (path, error) pairs — always gating.
+    parse_errors: List[Tuple[str, str]] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def errors(self) -> List[Finding]:
+        """The gating subset of :attr:`findings` (severity ``error``)."""
+        return [f for f in self.findings if f.severity == "error"]
+
+    @property
+    def warnings(self) -> List[Finding]:
+        """The advisory subset of :attr:`findings` (severity ``warning``)."""
+        return [f for f in self.findings if f.severity == "warning"]
+
+    def exit_code(self) -> int:
+        """Non-zero when anything gates: errors or unparseable files."""
+        return 1 if (self.errors or self.parse_errors) else 0
+
+
+def collect_files(paths: Iterable) -> List[Path]:
+    """Expand files/directories into a sorted, de-duplicated .py file list."""
+    out: List[Path] = []
+    seen: Set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            candidates = sorted(
+                p
+                for p in path.rglob("*.py")
+                if not any(part in SKIP_DIRS for part in p.parts)
+            )
+        elif path.suffix == ".py":
+            candidates = [path]
+        else:
+            candidates = []
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                out.append(candidate)
+    return out
+
+
+def analyze_file(
+    path, root: Optional[Path] = None, rule_ids: Optional[Sequence[str]] = None
+) -> List[Finding]:
+    """All non-suppressed findings for one file (no baseline applied)."""
+    source = Path(path).read_text()
+    module = ModuleContext(path, source, relative_to=root)
+    findings: List[Finding] = []
+    for rule in all_rules():
+        if rule_ids is not None and rule.id not in rule_ids:
+            continue
+        if not rule.applies_to(module):
+            continue
+        for finding in rule.check(module):
+            if not module.suppressed(finding.rule, finding.line):
+                findings.append(finding)
+    return findings
+
+
+def run_analysis(
+    paths: Iterable,
+    baseline_path=None,
+    root: Optional[Path] = None,
+    rule_ids: Optional[Sequence[str]] = None,
+) -> AnalysisReport:
+    """Lint ``paths`` (files or directories) and return the report.
+
+    ``baseline_path`` (optional) subtracts grandfathered findings;
+    ``root`` anchors the relative paths findings and baseline entries use
+    (default: the current working directory); ``rule_ids`` restricts the
+    run to a subset of rules (default: all).
+    """
+    report = AnalysisReport()
+    root = Path(root) if root is not None else Path.cwd()
+    collected: List[Finding] = []
+    checked_paths: Set[str] = set()
+    for path in collect_files(paths):
+        try:
+            resolved = path.resolve().relative_to(root.resolve())
+        except ValueError:
+            resolved = Path(path)
+        checked_paths.add(resolved.as_posix())
+        try:
+            collected.extend(analyze_file(path, root=root, rule_ids=rule_ids))
+        except SyntaxError as exc:
+            report.parse_errors.append((str(path), str(exc)))
+        report.files_checked += 1
+    baseline = load_baseline(baseline_path) if baseline_path is not None else set()
+    new, grandfathered, stale = split_findings(collected, baseline)
+    report.findings = sorted(new, key=lambda f: (f.path, f.line, f.rule))
+    report.grandfathered = sorted(
+        grandfathered, key=lambda f: (f.path, f.line, f.rule)
+    )
+    # An unchecked file says nothing about its baseline entries: in --files
+    # diff mode only entries for the files actually linted can be stale.
+    report.stale_baseline = {key for key in stale if key[1] in checked_paths}
+    return report

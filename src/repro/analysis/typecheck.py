@@ -1,0 +1,54 @@
+"""Optional mypy gate behind ``python -m repro.analysis --types``.
+
+mypy is deliberately an *optional* dependency: the AST linter itself has
+none, and environments without mypy (minimal CI images, the test
+container) must not fail the gate for a tool they cannot run.  When mypy
+is importable, it runs with the repo's permissive configuration
+(``pyproject.toml`` ``[tool.mypy]``) over the annotated public surface;
+when it is not, the gate reports SKIP and exits 0 so the lint gate stays
+meaningful everywhere.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import IO, List, Optional
+
+__all__ = ["mypy_available", "run_type_check"]
+
+#: What --types checks by default: the fully annotated facade packages.
+DEFAULT_TYPE_TARGETS = ["src/repro/index", "src/repro/analysis", "src/repro/exceptions.py"]
+
+
+def mypy_available() -> bool:
+    """Whether the mypy API can be imported in this environment."""
+    try:
+        import mypy.api  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def run_type_check(
+    targets: Optional[List[str]] = None, stream: Optional[IO[str]] = None
+) -> int:
+    """Run mypy over ``targets``; 0 on success *or* when mypy is absent."""
+    stream = stream if stream is not None else sys.stdout
+    targets = targets if targets else list(DEFAULT_TYPE_TARGETS)
+    if not mypy_available():
+        stream.write(
+            "[repro.analysis --types] SKIP: mypy is not installed in this "
+            "environment; the AST lint gate ran without it. Install mypy to "
+            "enable the type gate (configuration: pyproject.toml "
+            "[tool.mypy]).\n"
+        )
+        return 0
+    from mypy import api
+
+    stdout, stderr, status = api.run(targets)
+    if stdout:
+        stream.write(stdout)
+    if stderr:
+        stream.write(stderr)
+    stream.write(f"[repro.analysis --types] mypy exit status {status}\n")
+    return int(status)

@@ -200,6 +200,7 @@ def _mmap_npz_member(path: Path, name: str, mmap_mode: str) -> Optional[np.ndarr
             shape=shape,
             order="F" if fortran else "C",
         )
+    # repro-lint: disable=RP003 -- mmap fast-path probe: None falls back to np.load, which raises typed
     except (KeyError, OSError, ValueError):
         return None
 
@@ -1457,6 +1458,7 @@ class DistanceContext(DistanceMeasure):
     # -- DistanceMeasure interface --------------------------------------
 
     def compute(self, x: Any, y: Any) -> float:
+        """One exact distance: store hit is free, a miss is charged and cached."""
         i = self.index_of(x)
         j = self.index_of(y)
         if i is not None and j is not None:
@@ -1469,6 +1471,7 @@ class DistanceContext(DistanceMeasure):
         return float(self.counting.compute(x, y))
 
     def compute_many(self, x: Any, ys: Sequence[Any]) -> np.ndarray:
+        """Distances from ``x`` to each of ``ys``, charging only store misses."""
         ys = list(ys)
         if not ys:
             return np.zeros(0, dtype=float)
@@ -1497,6 +1500,7 @@ class DistanceContext(DistanceMeasure):
         return values
 
     def compute_pairs(self, xs: Sequence[Any], ys: Sequence[Any]) -> np.ndarray:
+        """Elementwise distances for paired sequences, charging only misses."""
         xs = list(xs)
         ys = list(ys)
         if len(xs) != len(ys):

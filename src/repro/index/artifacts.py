@@ -36,7 +36,7 @@ import pickle
 import zipfile
 import zlib
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -54,6 +54,23 @@ NPZ_CORRUPTION_ERRORS = (
     EOFError,
     zipfile.BadZipFile,
     zlib.error,
+)
+
+#: Everything ``pickle.loads`` raises on truncated or corrupt bytes — plus
+#: the lookup errors a payload pickled against a different code version
+#: surfaces while reconstructing objects (missing class/attribute, bad
+#: state).  A catch-all here would also hide programming errors in
+#: ``__setstate__``; this list is what corruption actually produces.
+PICKLE_CORRUPTION_ERRORS = (
+    pickle.UnpicklingError,
+    AttributeError,
+    EOFError,
+    ImportError,
+    IndexError,
+    KeyError,
+    TypeError,
+    ValueError,
+    OSError,
 )
 
 __all__ = [
@@ -81,7 +98,7 @@ DISTANCE_NAME = "distance.pkl"
 EXTRAS_NAME = "extras.pkl"
 
 
-def artifact_paths(directory) -> Dict[str, Path]:
+def artifact_paths(directory: Union[str, Path]) -> Dict[str, Path]:
     """The file paths making up an artifact directory."""
     directory = Path(directory)
     return {
@@ -94,7 +111,7 @@ def artifact_paths(directory) -> Dict[str, Path]:
     }
 
 
-def write_manifest(directory, manifest: Dict[str, Any]) -> None:
+def write_manifest(directory: Union[str, Path], manifest: Dict[str, Any]) -> None:
     """Atomically write the manifest — the artifact's commit point."""
     directory = Path(directory)
     payload = dict(manifest)
@@ -106,7 +123,7 @@ def write_manifest(directory, manifest: Dict[str, Any]) -> None:
     _atomic_write_bytes(directory / MANIFEST_NAME, encoded + b"\n")
 
 
-def read_manifest(directory) -> Dict[str, Any]:
+def read_manifest(directory: Union[str, Path]) -> Dict[str, Any]:
     """Read and validate an artifact manifest.
 
     A directory without a readable manifest — including one left behind by
@@ -136,7 +153,7 @@ def read_manifest(directory) -> Dict[str, Any]:
 
 
 def write_model_payload(
-    directory, model_payload: Dict[str, Any], candidate_indices: np.ndarray
+    directory: Union[str, Path], model_payload: Dict[str, Any], candidate_indices: np.ndarray
 ) -> None:
     """Persist the serializable model description + its candidate indices."""
     payload = {
@@ -149,7 +166,8 @@ def write_model_payload(
     )
 
 
-def read_model_payload(directory) -> Tuple[Dict[str, Any], np.ndarray]:
+def read_model_payload(directory: Union[str, Path]) -> Tuple[Dict[str, Any], np.ndarray]:
+    """Load ``(model_payload, candidate_indices)`` written by ``write_model_payload``."""
     path = Path(directory) / MODEL_NAME
     if not path.is_file():
         raise ArtifactError(f"index artifact is missing {MODEL_NAME} at {path}")
@@ -161,7 +179,7 @@ def read_model_payload(directory) -> Tuple[Dict[str, Any], np.ndarray]:
 
 
 def write_arrays(
-    directory,
+    directory: Union[str, Path],
     database_vectors: np.ndarray,
     candidate_to_candidate: np.ndarray,
 ) -> None:
@@ -182,7 +200,8 @@ def write_arrays(
     _atomic_write_bytes(Path(directory) / ARRAYS_NAME, buffer.getvalue())
 
 
-def read_arrays(directory) -> Tuple[np.ndarray, np.ndarray]:
+def read_arrays(directory: Union[str, Path]) -> Tuple[np.ndarray, np.ndarray]:
+    """Load ``(database_vectors, candidate_to_candidate)`` from the arrays file."""
     path = Path(directory) / ARRAYS_NAME
     if not path.is_file():
         raise ArtifactError(f"index artifact is missing {ARRAYS_NAME} at {path}")
@@ -198,15 +217,17 @@ def read_arrays(directory) -> Tuple[np.ndarray, np.ndarray]:
         ) from exc
 
 
-def write_pickle(path, obj: Any) -> None:
+def write_pickle(path: Union[str, Path], obj: Any) -> None:
+    """Atomically pickle ``obj`` to ``path`` (protocol 4, temp-file + rename)."""
     _atomic_write_bytes(Path(path), pickle.dumps(obj, protocol=4))
 
 
-def read_pickle(path, description: str) -> Any:
+def read_pickle(path: Union[str, Path], description: str) -> Any:
+    """Unpickle ``path``, raising :class:`ArtifactError` naming ``description``."""
     path = Path(path)
     if not path.is_file():
         raise ArtifactError(f"index artifact is missing its {description} at {path}")
     try:
         return pickle.loads(path.read_bytes())
-    except Exception as exc:
+    except PICKLE_CORRUPTION_ERRORS as exc:
         raise ArtifactError(f"unreadable {description} at {path}: {exc}") from exc

@@ -54,7 +54,7 @@ import contextlib
 import datetime as _datetime
 from dataclasses import dataclass, field, asdict
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -166,6 +166,7 @@ class IndexConfig:
 
     @classmethod
     def from_dict(cls, payload: Dict[str, Any]) -> "IndexConfig":
+        """Rebuild a config from its ``to_dict()`` payload (manifest round-trip)."""
         try:
             training_payload = dict(payload["training"])
             if training_payload.get("seed") is None:
@@ -490,7 +491,7 @@ class EmbeddingIndex:
     @classmethod
     def open(
         cls,
-        directory,
+        directory: Union[str, Path],
         database: Dataset,
         distance: Optional[DistanceMeasure] = None,
         backend: Optional[str] = None,
@@ -603,7 +604,7 @@ class EmbeddingIndex:
 
     # -- persistence ----------------------------------------------------
 
-    def save(self, directory, compress_store: bool = True) -> Path:
+    def save(self, directory: Union[str, Path], compress_store: bool = True) -> Path:
         """Persist this index as a versioned artifact directory.
 
         Everything needed for a zero-retraining :meth:`open` is written:

@@ -98,7 +98,7 @@ def _close_live_pools() -> None:  # pragma: no cover - interpreter teardown
     for pool in list(_LIVE_POOLS):
         try:
             pool.close()
-        except Exception:
+        except Exception:  # repro-lint: disable=RP003 -- atexit sweep: teardown must reach every pool
             pass
 
 # ----------------------------------------------------------------------- #
@@ -369,13 +369,13 @@ class PersistentPool:
             try:
                 len(self._proxy)
                 manager_alive = True
-            except Exception:
+            except Exception:  # repro-lint: disable=RP003 -- liveness probe: any failure means "dead"
                 manager_alive = False
         if not manager_alive:
             if self._manager is not None:
                 try:
                     self._manager.shutdown()
-                except Exception:
+                except Exception:  # repro-lint: disable=RP003 -- respawn path: the old manager is already dead
                     pass
             self._manager = None
             self._proxy = None
@@ -413,7 +413,7 @@ class PersistentPool:
                 if future.done() and not future.cancelled():
                     try:
                         future.result(0)
-                    except BaseException:
+                    except BaseException:  # repro-lint: disable=RP003 -- probe only: failed futures are resubmitted below
                         pass
                     else:
                         continue  # keep the finished result
@@ -446,12 +446,14 @@ class PersistentPool:
         if self._executor is not None:
             try:
                 self._executor.shutdown(wait=True)
+            # repro-lint: disable=RP003 -- close() is idempotent: a broken executor is already down
             except Exception:  # pragma: no cover - broken executor
                 pass
             self._executor = None
         if self._manager is not None:
             try:
                 self._manager.shutdown()
+            # repro-lint: disable=RP003 -- close() is idempotent: a dead manager needs no shutdown
             except Exception:  # pragma: no cover - manager already dead
                 pass
             self._manager = None
@@ -480,7 +482,7 @@ class PersistentPool:
     def __del__(self) -> None:  # pragma: no cover - GC fallback
         try:
             self.close()
-        except Exception:
+        except Exception:  # repro-lint: disable=RP003 -- __del__ must never raise during GC
             pass
 
     def __getstate__(self) -> None:

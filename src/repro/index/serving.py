@@ -581,6 +581,7 @@ class AsyncServer:
             for dep in ticket._deps:
                 try:
                     self._finish(dep, timeout=ticket._remaining())
+                # repro-lint: disable=RP003 -- supervision: a dep failure is that ticket's own result
                 except BaseException:
                     # The dependency's failure (or missed deadline) is its
                     # own result; this ticket recovers by evaluating the
@@ -740,7 +741,7 @@ class AsyncServer:
                     continue
                 for key, values in chunk:
                     parts[key] = np.asarray(values, dtype=float)
-            for group_index in {key[0] for key in ticket._chunk_keys}:
+            for group_index in sorted({key[0] for key in ticket._chunk_keys}):
                 ordered = sorted(
                     key for key in ticket._chunk_keys if key[0] == group_index
                 )

@@ -18,7 +18,7 @@ import numpy as np
 from repro.datasets.base import Dataset
 from repro.distances.base import DistanceMeasure
 from repro.distances.context import DistanceContext
-from repro.exceptions import RetrievalError
+from repro.exceptions import DistanceError, RetrievalError
 
 __all__ = ["ContextBinding", "bind_context"]
 
@@ -42,7 +42,7 @@ class ContextBinding:
     def __init__(self, context: DistanceContext, database: Dataset) -> None:
         try:
             self.indices = context.indices_of(list(database))
-        except Exception as exc:
+        except DistanceError as exc:
             raise RetrievalError(
                 "the DistanceContext universe must contain every database "
                 "object (build the context over the database, or database "

@@ -325,13 +325,16 @@ class EmbedStage:
 
     @property
     def dim(self) -> int:
+        """Dimensionality of the embedding space."""
         return self.embedder.dim
 
     @property
     def cost(self) -> int:
+        """Exact evaluations one embedding costs."""
         return self.embedder.cost
 
     def run(self, plan: QueryPlan) -> QueryPlan:
+        """Embed the plan's query objects into ``plan.query_vectors``."""
         plan.embedding_cost = self.embedder.cost
         if plan.single:
             vector = self.embedder.embed(plan.objects[0])
@@ -365,6 +368,7 @@ class FilterStage:
         return stable_smallest(self.distances(query_vector), p)
 
     def run(self, plan: QueryPlan) -> QueryPlan:
+        """Rank the database per query vector into ``plan.candidate_lists``."""
         plan.candidate_lists = [
             self.order(vector, plan.p_eff) for vector in plan.query_vectors
         ]
@@ -421,6 +425,7 @@ class ShardedFilterStage:
         return work
 
     def run(self, plan: QueryPlan) -> QueryPlan:
+        """Rank per query via sharded filtering into ``plan.candidate_lists``."""
         plan.candidate_lists = [
             self.merged(vector, plan.p_eff) for vector in plan.query_vectors
         ]
@@ -437,6 +442,7 @@ class ScanStage:
         self.all_positions = np.arange(n_database)
 
     def run(self, plan: QueryPlan) -> QueryPlan:
+        """Mark every database position a candidate (brute-force baseline)."""
         plan.embedding_cost = 0
         plan.candidate_lists = [self.all_positions] * len(plan.objects)
         return plan
@@ -508,6 +514,7 @@ class RefineStage:
     # -- running ---------------------------------------------------------
 
     def run(self, plan: QueryPlan) -> QueryPlan:
+        """Evaluate exact distances for each query's candidate list."""
         if not plan.objects:
             plan.exact_lists = []
             plan.refine_costs = []
@@ -669,6 +676,7 @@ class MergeStage:
     """Order refined candidates into results (ties by database index)."""
 
     def run(self, plan: QueryPlan) -> QueryPlan:
+        """Assemble per-query RetrievalResults from the refined distances."""
         plan.results = [
             build_retrieval_result(
                 candidates,

@@ -56,10 +56,12 @@ class FilterRankResult:
 
     @property
     def n_queries(self) -> int:
+        """Number of evaluated queries (rows of the rank matrix)."""
         return int(self.rank_matrix.shape[0])
 
     @property
     def k_max(self) -> int:
+        """Largest ``k`` the rank matrix covers (its column count)."""
         return int(self.rank_matrix.shape[1])
 
 

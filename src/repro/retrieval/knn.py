@@ -52,10 +52,12 @@ class NeighborTable:
 
     @property
     def n_queries(self) -> int:
+        """Number of queries the table covers (its row count)."""
         return int(self.indices.shape[0])
 
     @property
     def k_max(self) -> int:
+        """Largest ``k`` the table answers (its column count)."""
         return int(self.indices.shape[1])
 
     def neighbors(self, query_index: int, k: int) -> np.ndarray:
