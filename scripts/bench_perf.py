@@ -16,7 +16,14 @@ launch exactly once across repeated batches, both asserted), an
 ``stream`` serving path on a warm index, results asserted bit-identical),
 a ``degraded_serve`` benchmark (warm-artifact serve with a worker killed
 mid-batch vs. a healthy pool — bit-identical results and exactly one
-respawn asserted; recorded but never gated), and **appends** the
+respawn asserted; recorded but never gated), a ``kernel_pairwise``
+benchmark (compiled DP kernels vs. the pure-numpy backend on the pairwise
+workloads, best-of-``k`` timed, results asserted identical before timing;
+**gated** at a combined 5x speedup whenever a compiled backend is
+available, recorded as a fallback otherwise), a ``quantized_filter``
+benchmark (float32/int8 filter scans on a database 10x the tracked
+``query_many`` workload, results asserted bit-identical to the float64
+scan, table bytes recorded; never gated), and **appends** the
 measurements to a history record in ``BENCH_perf.json`` so regressions
 are visible across PRs.
 
@@ -25,11 +32,18 @@ Usage::
     PYTHONPATH=src python scripts/bench_perf.py            # full sizes
     PYTHONPATH=src python scripts/bench_perf.py --quick    # tier-1-friendly
     PYTHONPATH=src python scripts/bench_perf.py --no-gate  # skip the gate
+    PYTHONPATH=src python scripts/bench_perf.py --scale 4  # 4x object counts
 
 The script exits non-zero when any of the three tracked hot paths
 (``dtw_pairwise``, ``edit_pairwise``, ``query_many``) regresses by more than
 20% in engine wall-clock time against the most recent prior record of the
-same mode (quick/full); pass ``--no-gate`` to record without gating.
+same mode (quick/full) **and the same kernel backend** — a record served by
+the compiled backend is never judged against a numpy-backend baseline or
+vice versa; pass ``--no-gate`` to record without gating.  Every record
+stamps the active kernel backend in its ``meta``.  ``--scale N``
+multiplies the object counts of the scalable benchmarks; a scale below 1
+is logged loudly and recorded in the history so a shrunken run can never
+masquerade as the tracked workload.
 
 The seed baselines are kept here (not in the library) on purpose: they are
 the reference loop implementations this engine replaced, re-stated so the
@@ -63,16 +77,26 @@ from repro.distances import (  # noqa: E402
     EditDistance,
     pairwise_distances,
 )
+from repro.datasets.gaussian import make_gaussian_clusters  # noqa: E402
 from repro.distances.base import DistanceMeasure  # noqa: E402
+from repro.distances.kernels import (  # noqa: E402
+    available_kernel_backends,
+    get_kernel_backend,
+)
+from repro.distances.lp import L2Distance  # noqa: E402
 from repro.embeddings.lipschitz import build_lipschitz_embedding  # noqa: E402
 from repro.distances.parallel import resolve_jobs  # noqa: E402
 from repro.retrieval.filter_refine import FilterRefineRetriever  # noqa: E402
 from repro.retrieval.knn import ground_truth_neighbors  # noqa: E402
+from repro.retrieval.quantized import QUANTIZED_DTYPES, QuantizedVectors  # noqa: E402
 from repro.retrieval.sharded import ShardedRetriever  # noqa: E402
 
 #: The hot paths whose engine time is gated against the previous record.
 TRACKED_HOT_PATHS = ("dtw_pairwise", "edit_pairwise", "query_many")
 REGRESSION_TOLERANCE = 1.20
+#: Minimum combined (DTW + edit) pairwise speedup a compiled kernel backend
+#: must deliver over the numpy backend for the kernel gate to pass.
+KERNEL_SPEEDUP_FLOOR = 5.0
 
 
 # --------------------------------------------------------------------------- #
@@ -178,6 +202,21 @@ def _timed(fn):
     start = time.perf_counter()
     value = fn()
     return value, time.perf_counter() - start
+
+
+def _best_of(fn, repeats: int):
+    """Run ``fn`` ``repeats`` times, returning (last value, best wall-clock).
+
+    Single-CPU containers make one-shot timings noisy; the minimum over a
+    few repeats is the standard stable estimator for a deterministic
+    computation.
+    """
+    best = float("inf")
+    value = None
+    for _ in range(max(1, repeats)):
+        value, seconds = _timed(fn)
+        best = min(best, seconds)
+    return value, best
 
 
 def bench_dtw_pairwise(n_objects: int, length: int) -> dict:
@@ -713,6 +752,188 @@ def bench_degraded_serve(
     }
 
 
+def bench_kernel_pairwise(
+    n_dtw: int,
+    dtw_length: int,
+    n_edit: int,
+    edit_length: int,
+    repeats: int,
+) -> dict:
+    """Compiled DP kernels vs. the pure-numpy backend on the pairwise paths.
+
+    Pins each measure to an explicit backend name so the comparison is
+    backend-vs-backend through the *same* batch engine (no seed loops
+    involved).  Results are asserted identical before any timing; timings
+    are best-of-``repeats``.  When no compiled backend activates on this
+    host the record notes the fallback and the 5x gate does not apply —
+    losing numba/cc must never fail CI, only lose speed.
+    """
+    compiled = next(
+        (name for name in available_kernel_backends() if name != "numpy"), None
+    )
+    dtw_database, _ = make_timeseries_dataset(
+        n_database=n_dtw, n_queries=1, n_seeds=8, length=dtw_length, n_dims=1, seed=7
+    )
+    dtw_objects = list(dtw_database)
+    rng = np.random.default_rng(11)
+    edit_objects = [
+        "".join(rng.choice(list("ACGT"), size=edit_length)) for _ in range(n_edit)
+    ]
+    record = {
+        "n_dtw": n_dtw,
+        "dtw_series_length": dtw_length,
+        "n_edit": n_edit,
+        "edit_string_length": edit_length,
+        "repeats": repeats,
+        "kernel_backend": compiled or "numpy",
+        "fallback": compiled is None,
+        "gated": compiled is not None,
+    }
+    if compiled is None:
+        print(
+            "[bench_perf]   no compiled kernel backend on this host; "
+            "recording the numpy fallback (5x gate not applied)",
+            flush=True,
+        )
+        record.update(
+            {
+                "dtw_speedup": 1.0,
+                "edit_speedup": 1.0,
+                "combined_speedup": 1.0,
+                "speedup": 1.0,
+            }
+        )
+        return record
+
+    numpy_dtw_matrix = pairwise_distances(ConstrainedDTW(kernel="numpy"), dtw_objects)
+    compiled_dtw_matrix = pairwise_distances(
+        ConstrainedDTW(kernel=compiled), dtw_objects
+    )
+    assert np.allclose(numpy_dtw_matrix, compiled_dtw_matrix, rtol=1e-12, atol=1e-12), (
+        f"{compiled} DTW kernel disagrees with the numpy backend"
+    )
+    numpy_edit_matrix = pairwise_distances(EditDistance(kernel="numpy"), edit_objects)
+    compiled_edit_matrix = pairwise_distances(
+        EditDistance(kernel=compiled), edit_objects
+    )
+    assert np.array_equal(numpy_edit_matrix, compiled_edit_matrix), (
+        f"{compiled} edit kernel disagrees with the numpy backend"
+    )
+
+    _, numpy_dtw_seconds = _best_of(
+        lambda: pairwise_distances(ConstrainedDTW(kernel="numpy"), dtw_objects), repeats
+    )
+    _, compiled_dtw_seconds = _best_of(
+        lambda: pairwise_distances(ConstrainedDTW(kernel=compiled), dtw_objects),
+        repeats,
+    )
+    _, numpy_edit_seconds = _best_of(
+        lambda: pairwise_distances(EditDistance(kernel="numpy"), edit_objects), repeats
+    )
+    _, compiled_edit_seconds = _best_of(
+        lambda: pairwise_distances(EditDistance(kernel=compiled), edit_objects), repeats
+    )
+    numpy_seconds = numpy_dtw_seconds + numpy_edit_seconds
+    compiled_seconds = compiled_dtw_seconds + compiled_edit_seconds
+    record.update(
+        {
+            "numpy_dtw_seconds": numpy_dtw_seconds,
+            "compiled_dtw_seconds": compiled_dtw_seconds,
+            "numpy_edit_seconds": numpy_edit_seconds,
+            "compiled_edit_seconds": compiled_edit_seconds,
+            "numpy_seconds": numpy_seconds,
+            "compiled_seconds": compiled_seconds,
+            "dtw_speedup": numpy_dtw_seconds / compiled_dtw_seconds,
+            "edit_speedup": numpy_edit_seconds / compiled_edit_seconds,
+            "combined_speedup": numpy_seconds / compiled_seconds,
+            "speedup": numpy_seconds / compiled_seconds,
+        }
+    )
+    return record
+
+
+def bench_quantized_filter(
+    n_database: int,
+    n_queries: int,
+    n_dims: int,
+    dim: int,
+    k: int,
+    p: int,
+) -> dict:
+    """Quantized filter scans vs. float64 on a 10x-scale vector database.
+
+    The point is *capacity*, not raw speed: the float32/int8 tables hold a
+    database 10x the tracked ``query_many`` workload in 2-8x less filter
+    memory while the served results stay **bit-identical** to the float64
+    scan (asserted per dtype, per query: neighbors, distances, candidate
+    order, and exact-evaluation counts).  Never gated — the bit-identity
+    assertions are the contract; the recorded bytes and widened-p' figures
+    are the trail.
+    """
+    dataset = make_gaussian_clusters(
+        n_objects=n_database, n_clusters=8, n_dims=n_dims, seed=3
+    )
+    distance = L2Distance()
+    embedding = build_lipschitz_embedding(
+        distance, dataset, dim=dim, set_size=1, seed=5
+    )
+    database_vectors = embedding.embed_many(list(dataset))
+    rng = np.random.default_rng(19)
+    queries = [
+        dataset[int(i)] + rng.normal(0.0, 0.05, size=n_dims)
+        for i in rng.integers(0, n_database, size=n_queries)
+    ]
+
+    baseline = FilterRefineRetriever(
+        distance, dataset, embedding, database_vectors=database_vectors
+    )
+    baseline_results, float64_seconds = _timed(
+        lambda: baseline.query_many(queries, k=k, p=p)
+    )
+    record = {
+        "n_database": n_database,
+        "n_queries": n_queries,
+        "n_dims": n_dims,
+        "embedding_dim": dim,
+        "k": k,
+        "p": p,
+        "database_scale_vs_tracked": n_database / 300.0,
+        "float64_seconds": float64_seconds,
+        "float64_bytes": int(database_vectors.nbytes),
+        "speedup": 1.0,  # updated below from the fastest quantized scan
+    }
+    for dtype in QUANTIZED_DTYPES:
+        quantized = QuantizedVectors.quantize(database_vectors, dtype)
+        retriever = FilterRefineRetriever(
+            distance,
+            dataset,
+            embedding,
+            database_vectors=database_vectors,
+            quantized=quantized,
+        )
+        results, seconds = _timed(lambda: retriever.query_many(queries, k=k, p=p))
+        for lhs, rhs in zip(baseline_results, results):
+            assert np.array_equal(lhs.neighbor_indices, rhs.neighbor_indices), (
+                f"{dtype} filter scan changed the served neighbors"
+            )
+            assert np.array_equal(lhs.neighbor_distances, rhs.neighbor_distances)
+            assert np.array_equal(lhs.candidate_indices, rhs.candidate_indices)
+            assert (
+                lhs.refine_distance_computations == rhs.refine_distance_computations
+            )
+        record[dtype] = {
+            "seconds": seconds,
+            "bytes": int(quantized.nbytes),
+            "compression": database_vectors.nbytes / quantized.nbytes,
+            "widened_queries": retriever.filter_widened_queries,
+            "widened_total": retriever.filter_widened_total,
+            "mean_widened_p": retriever.filter_widened_total / max(1, n_queries),
+            "speedup_vs_float64": float64_seconds / seconds,
+        }
+        record["speedup"] = max(record["speedup"], float64_seconds / seconds)
+    return record
+
+
 def bench_static_analysis() -> dict:
     """Wall-clock of the `repro.analysis` lint gate over src + scripts.
 
@@ -769,14 +990,23 @@ def check_regressions(record: dict, history: list) -> list:
     by more than ``REGRESSION_TOLERANCE``.  Records that were themselves
     flagged as regressed (non-empty ``regressions`` field) are skipped when
     choosing the baseline, so a regression keeps failing until it is actually
-    fixed instead of becoming the next run's yardstick.
+    fixed instead of becoming the next run's yardstick.  Only records made
+    with the **same kernel backend** (and the same scale) qualify as the
+    baseline: a numpy-fallback run on a compiler-less host must not be
+    judged against compiled-backend times, nor vice versa.
     """
-    mode = record["meta"]["mode"]
+    meta = record["meta"]
+    mode = meta["mode"]
+    backend = meta.get("kernel_backend")
+    scale = meta.get("scale", 1.0)
     previous = next(
         (
             r
             for r in reversed(history)
-            if r.get("meta", {}).get("mode") == mode and not r.get("regressions")
+            if r.get("meta", {}).get("mode") == mode
+            and r.get("meta", {}).get("kernel_backend") == backend
+            and r.get("meta", {}).get("scale", 1.0) == scale
+            and not r.get("regressions")
         ),
         None,
     )
@@ -821,9 +1051,18 @@ def main() -> int:
         help="worker processes for the sharded benchmark "
         "(-1 = all CPUs, matching the library's n_jobs convention)",
     )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="multiply the scalable object counts by this factor "
+        "(values below 1 shrink the workload and are logged + recorded)",
+    )
     args = parser.parse_args()
     if not args.output.parent.is_dir():
         parser.error(f"--output directory does not exist: {args.output.parent}")
+    if args.scale <= 0:
+        parser.error("--scale must be positive")
     n_jobs = resolve_jobs(args.n_jobs)
 
     if args.quick:
@@ -853,6 +1092,12 @@ def main() -> int:
                 n_database=60, n_queries=8, length=30, n_candidates=20,
                 dim_rounds=5, k=3, p=10, n_jobs=2,
             ),
+            "kernel_pairwise": dict(
+                n_dtw=50, dtw_length=40, n_edit=60, edit_length=25, repeats=3,
+            ),
+            "quantized_filter": dict(
+                n_database=600, n_queries=6, n_dims=12, dim=8, k=5, p=30,
+            ),
         }
     else:
         sizes = {
@@ -881,7 +1126,30 @@ def main() -> int:
                 n_database=200, n_queries=20, length=50, n_candidates=60,
                 dim_rounds=10, k=5, p=25, n_jobs=2,
             ),
+            "kernel_pairwise": dict(
+                n_dtw=200, dtw_length=64, n_edit=200, edit_length=40, repeats=3,
+            ),
+            "quantized_filter": dict(
+                n_database=3000, n_queries=12, n_dims=12, dim=8, k=5, p=30,
+            ),
         }
+
+    if args.scale != 1.0:
+        scaled_keys = ("n_objects", "n_database", "n_dtw", "n_edit")
+        for name, params in sizes.items():
+            for key in scaled_keys:
+                if key in params:
+                    floor = 2 * params.get("p", 10)
+                    params[key] = max(floor, int(round(params[key] * args.scale)))
+        if args.scale < 1.0:
+            print(
+                f"[bench_perf] WARNING: --scale {args.scale:g} shrinks the "
+                "workload below the tracked sizes; this run is recorded as "
+                "reduced and will not gate against full-scale baselines",
+                flush=True,
+            )
+        else:
+            print(f"[bench_perf] --scale {args.scale:g}: object counts scaled up")
 
     results = {}
     for name, fn in [
@@ -893,35 +1161,31 @@ def main() -> int:
         ("index_serve", bench_index_serve),
         ("async_serve", bench_async_serve),
         ("degraded_serve", bench_degraded_serve),
+        ("kernel_pairwise", bench_kernel_pairwise),
+        ("quantized_filter", bench_quantized_filter),
     ]:
         print(f"[bench_perf] {name} {sizes[name]} ...", flush=True)
         results[name] = fn(**sizes[name])
         r = results[name]
-        baseline = r.get(
-            "seed_seconds",
-            r.get(
-                "single_process_seconds",
-                r.get(
-                    "cold_seconds",
-                    r.get("blocking_seconds", r.get("healthy_seconds")),
-                ),
-            ),
+        baseline_keys = (
+            "seed_seconds", "single_process_seconds", "cold_seconds",
+            "blocking_seconds", "healthy_seconds", "numpy_seconds",
+            "float64_seconds",
         )
-        engine = r.get(
-            "engine_seconds",
-            r.get(
-                "sharded_seconds",
-                r.get(
-                    "warm_seconds",
-                    r.get("stream_seconds", r.get("degraded_seconds")),
-                ),
-            ),
+        engine_keys = (
+            "engine_seconds", "sharded_seconds", "warm_seconds",
+            "stream_seconds", "degraded_seconds", "compiled_seconds",
         )
-        print(
-            f"[bench_perf]   baseline {baseline:.3f}s  "
-            f"engine {engine:.3f}s  speedup {r['speedup']:.1f}x",
-            flush=True,
-        )
+        baseline = next((r[key] for key in baseline_keys if key in r), None)
+        engine = next((r[key] for key in engine_keys if key in r), None)
+        if baseline is None or engine is None:
+            print(f"[bench_perf]   speedup {r['speedup']:.1f}x", flush=True)
+        else:
+            print(
+                f"[bench_perf]   baseline {baseline:.3f}s  "
+                f"engine {engine:.3f}s  speedup {r['speedup']:.1f}x",
+                flush=True,
+            )
 
     # Non-gated: the lint gate's own cost rides along in the history.
     print("[bench_perf] static_analysis ...", flush=True)
@@ -940,21 +1204,45 @@ def main() -> int:
             "python": platform.python_version(),
             "numpy": np.__version__,
             "cpu_count": os.cpu_count(),
+            "kernel_backend": get_kernel_backend().name,
+            "scale": args.scale,
+            "scale_reduced": args.scale < 1.0,
         },
         "results": results,
     }
     history = load_history(args.output)
     regressions = check_regressions(record, history)
     record["regressions"] = regressions
+
+    # The compiled-kernel gate: with a compiled backend active, the batch
+    # DP paths must beat the numpy backend by >= KERNEL_SPEEDUP_FLOOR
+    # combined.  A host without a compiled backend records the fallback
+    # and is exempt.
+    kernel = results["kernel_pairwise"]
+    kernel_failures = []
+    if kernel["gated"] and kernel["combined_speedup"] < KERNEL_SPEEDUP_FLOOR:
+        kernel_failures.append(
+            f"kernel_pairwise: {kernel['kernel_backend']} combined speedup "
+            f"{kernel['combined_speedup']:.2f}x is below the "
+            f"{KERNEL_SPEEDUP_FLOOR:.1f}x floor over the numpy backend"
+        )
+    record["kernel_gate"] = {
+        "floor": KERNEL_SPEEDUP_FLOOR,
+        "applied": kernel["gated"],
+        "failures": kernel_failures,
+    }
+
     history.append(record)
     args.output.write_text(
         json.dumps({"history": history}, indent=2) + "\n"
     )
     print(f"[bench_perf] appended record #{len(history)} to {args.output}")
 
-    if regressions:
+    if regressions or kernel_failures:
         for line in regressions:
             print(f"[bench_perf] REGRESSION: {line}")
+        for line in kernel_failures:
+            print(f"[bench_perf] KERNEL GATE: {line}")
         if args.no_gate:
             print("[bench_perf] --no-gate set; not failing")
         else:

@@ -3,7 +3,7 @@
 ``python -m repro.analysis src scripts`` lints the tree against the
 library's own correctness invariants — parallel safety (RP001), exact-cost
 accounting (RP002), exception hygiene (RP003), determinism (RP004),
-resource hygiene (RP005) and the API-surface rules (RP006–RP009) — with
+resource hygiene (RP005) and the API-surface rules (RP006–RP009), and kernel parity (RP010) — with
 scoped ``# repro-lint: disable=RULE -- reason`` pragmas, a checked-in
 baseline for grandfathered findings, text/JSON reporters and an optional
 mypy gate (``--types``).  Zero third-party dependencies: everything is

@@ -19,6 +19,8 @@ RP006     style               no mutable default arguments
 RP007     style               pool submissions are never fire-and-forget
 RP008     style               public API carries docstrings
 RP009     style               library packages never print
+RP010     kernels             compiled kernel entry points have a numpy
+                              fallback and a parity test referencing them
 ========  ==================  ===============================================
 """
 
@@ -26,6 +28,7 @@ from repro.analysis.rules import (  # noqa: F401  (import for side effects)
     accounting,
     determinism,
     exception_hygiene,
+    kernels,
     parallel_safety,
     resources,
     style,

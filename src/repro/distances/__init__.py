@@ -23,7 +23,15 @@ Because the paper treats every exact evaluation as *the* cost unit, this
 subpackage distinguishes three layers of distance objects:
 
 * **raw measures** (:class:`~repro.distances.base.DistanceMeasure`
-  subclasses) — stateless kernels, safe to ship to worker processes;
+  subclasses) — stateless kernels, safe to ship to worker processes.
+  The DP measures resolve their inner recurrences through the *kernel
+  backend registry* (:mod:`repro.distances.kernels`): a compiled backend
+  (numba, or on-demand-compiled C loaded via ctypes) when one activates
+  and passes its parity check against the always-available numpy
+  reference, selectable per measure (``ConstrainedDTW(kernel="numpy")``),
+  per process (:func:`~repro.distances.kernels.set_default_kernel_backend`)
+  or per environment (``REPRO_KERNEL_BACKEND``).  Measures pickle the
+  backend *name*, never the backend, so pool workers resolve their own;
 * **wrappers** (:class:`~repro.distances.base.CountingDistance`,
   :class:`~repro.distances.base.CachedDistance`) — per-call-site
   accounting or memoisation; identity-keyed caches are process-local and
@@ -79,6 +87,13 @@ from repro.distances.context import (
     fingerprint_objects,
     object_digest,
 )
+from repro.distances.kernels import (
+    available_kernel_backends,
+    get_kernel_backend,
+    kernel_backend_status,
+    register_kernel_backend,
+    set_default_kernel_backend,
+)
 from repro.distances.matrix import pairwise_distances, cross_distances
 from repro.distances.parallel import (
     ensure_parallel_safe,
@@ -117,4 +132,9 @@ __all__ = [
     "ensure_parallel_safe",
     "resolve_jobs",
     "split_counting",
+    "available_kernel_backends",
+    "get_kernel_backend",
+    "kernel_backend_status",
+    "register_kernel_backend",
+    "set_default_kernel_backend",
 ]

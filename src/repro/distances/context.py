@@ -228,7 +228,14 @@ class _DenseBlock:
     ) -> None:
         self.rows = np.asarray(rows, dtype=int)
         self.cols = np.asarray(cols, dtype=int)
-        self.values = np.asarray(values, dtype=float)
+        # Preserve reduced-precision float blocks (and the memmap backing of
+        # blocks loaded with mmap_mode): a float32 quantized table must not
+        # silently double its memory by upcasting to float64 on (re)open.
+        # Non-float inputs still normalise to float64.
+        values_arr = np.asarray(values)
+        if not np.issubdtype(values_arr.dtype, np.floating):
+            values_arr = np.asarray(values_arr, dtype=float)
+        self.values = values_arr
         if self.values.shape != (self.rows.size, self.cols.size):
             raise DistanceError(
                 f"block values must have shape ({self.rows.size}, "
@@ -380,7 +387,7 @@ class DistanceStore:
             _DenseBlock(
                 np.asarray(rows, dtype=int),
                 np.asarray(cols, dtype=int),
-                np.asarray(values, dtype=float),
+                values,  # _DenseBlock preserves float dtypes (float32 stays)
                 diagonal_valid=diagonal_valid,
             )
         )

@@ -8,19 +8,16 @@ multi-dimensional: each is an array of shape ``(length, n_dims)``.
 cDTW is non-metric — it violates the triangle inequality — which is exactly
 why the paper needs embedding-based indexing instead of metric trees.
 
-Vectorised DP kernel
---------------------
-The row recurrence ``c[j] = local[j] + min(prev[j], prev[j-1], c[j-1])``
-looks inherently sequential because of the ``c[j-1]`` term, but it has an
-exact closed form over a whole band row: with ``p[j] = min(prev[j],
-prev[j-1])`` and ``S`` the prefix sum of the local costs,
-
-.. math::  c[j] = S[j] + \\min_{k \\le j} (p[k] - S[k-1]),
-
-so one ``cumsum`` plus one ``minimum.accumulate`` replaces the per-cell
-Python loop.  The same kernel runs *batched* over many target series at once
-(`ConstrainedDTW.compute_many` groups targets by length), which is what makes
-Sec. 7 distance-table builds and the refine step fast.
+Kernel dispatch
+---------------
+The DP itself lives in :mod:`repro.distances.kernels`: the numpy
+closed-form kernels from PR 1 (one ``cumsum`` + one ``minimum.accumulate``
+per band row, batched over many targets) are the always-available
+reference backend, and compiled straight-line ports (numba JIT, a
+ctypes-loaded C extension) are picked automatically when the host supports
+them.  ``ConstrainedDTW(kernel="numpy")`` pins a measure to one backend;
+only the backend *name* is stored, so pickling a measure to a pool worker
+ships the name and each worker resolves its own compiled functions.
 """
 
 from __future__ import annotations
@@ -30,13 +27,23 @@ from typing import List, Optional, Sequence, Union
 import numpy as np
 
 from repro.distances.base import DistanceMeasure
+from repro.distances.kernels import get_kernel_backend
+from repro.distances.kernels.numpy_backend import (
+    dtw_batch as _numpy_dtw_batch,
+    dtw_batch_mixed as _numpy_dtw_batch_mixed,
+)
 from repro.exceptions import DistanceError
 
 _INF = np.inf
 
 
 def _as_series(x: Union[np.ndarray, list], name: str) -> np.ndarray:
-    arr = np.asarray(x, dtype=float)
+    # Hot-path fast path: conforming float64 arrays pass through without a
+    # copy (1D gets a reshaped *view*); everything else is converted once.
+    if isinstance(x, np.ndarray) and x.dtype == np.float64:
+        arr = x
+    else:
+        arr = np.asarray(x, dtype=float)
     if arr.ndim == 1:
         arr = arr.reshape(-1, 1)
     if arr.ndim != 2:
@@ -53,6 +60,7 @@ def dtw_distance(
     y: np.ndarray,
     band_fraction: Optional[float] = 0.1,
     band_width: Optional[int] = None,
+    kernel: Optional[str] = None,
 ) -> float:
     """Compute the constrained DTW distance between two series.
 
@@ -68,6 +76,9 @@ def dtw_distance(
     band_width:
         Absolute band half-width in samples.  ``None`` with
         ``band_fraction=None`` means unconstrained DTW.
+    kernel:
+        Kernel backend name (``None`` = the process default; see
+        :mod:`repro.distances.kernels`).
 
     Returns
     -------
@@ -86,7 +97,8 @@ def dtw_distance(
     radius = _resolve_radius(
         xs.shape[0], ys.shape[0], band_fraction=band_fraction, band_width=band_width
     )
-    return float(_dtw_batch(xs, ys[None, :, :], radius)[0])
+    backend = get_kernel_backend(kernel)
+    return float(backend.dtw_batch(xs, ys[None, :, :], radius)[0])
 
 
 def _resolve_radius(
@@ -111,96 +123,26 @@ def _resolve_radius(
 
 
 def _dtw_batch(xs: np.ndarray, ys: np.ndarray, radius: int) -> np.ndarray:
-    """Banded DTW from one series to a stack of equal-length series.
+    """Backward-compatible alias for the numpy reference kernel."""
+    return _numpy_dtw_batch(xs, ys, radius)
 
-    Parameters
-    ----------
-    xs:
-        The query series, shape ``(n, d)``.
-    ys:
-        A stack of target series, shape ``(g, m, d)``.
-    radius:
-        Band half-width (must already include the ``|n - m|`` widening).
 
-    Returns
-    -------
-    np.ndarray
-        The ``g`` accumulated warped distances.  The DP state is ``O(g * m)``:
-        two rows, updated with banded whole-row vectorised operations.
-    """
-    n = xs.shape[0]
-    g, m = ys.shape[0], ys.shape[1]
-    previous = np.full((g, m + 1), _INF)
-    previous[:, 0] = 0.0
-    current = np.empty((g, m + 1))
-    for i in range(1, n + 1):
-        current.fill(_INF)
-        j_lo = max(1, i - radius)
-        j_hi = min(m, i + radius)
-        if j_lo > j_hi:
-            previous, current = current, previous
-            continue
-        # Euclidean local costs between x[i-1] and y[:, j_lo-1 .. j_hi-1].
-        diffs = ys[:, j_lo - 1 : j_hi, :] - xs[i - 1]
-        local = np.sqrt(np.einsum("gjd,gjd->gj", diffs, diffs))
-        # Whole-row update: c[j] = local[j] + min(p[j], c[j-1]) with
-        # p[j] = min(prev[j], prev[j-1]) unrolls to
-        # c[j] = S[j] + min_{k<=j} (p[k] - S[k-1]) where S = cumsum(local);
-        # c[j_lo - 1] is outside the band (= inf), so the chain starts at p.
-        p = np.minimum(previous[:, j_lo : j_hi + 1], previous[:, j_lo - 1 : j_hi])
-        prefix = np.cumsum(local, axis=1)
-        shifted = np.empty_like(prefix)
-        shifted[:, 0] = 0.0
-        shifted[:, 1:] = prefix[:, :-1]
-        current[:, j_lo : j_hi + 1] = prefix + np.minimum.accumulate(
-            p - shifted, axis=1
-        )
-        previous, current = current, previous
-    return previous[:, m]
+def _pad_targets(targets: List[np.ndarray]) -> tuple:
+    """Stack ragged series into a zero-padded ``(g, M, d)`` array + lengths."""
+    lengths = np.array([t.shape[0] for t in targets], dtype=np.intp)
+    m_max = int(lengths.max())
+    ys = np.zeros((len(targets), m_max, targets[0].shape[1]))
+    for t, target in enumerate(targets):
+        ys[t, : target.shape[0]] = target
+    return ys, lengths
 
 
 def _dtw_batch_mixed(
     xs: np.ndarray, targets: List[np.ndarray], radii: np.ndarray
 ) -> np.ndarray:
-    """Banded DTW from one series to targets of *different* lengths.
-
-    All targets run through one shared full-width DP: rows are updated over
-    the widest target, and each target's Sakoe-Chiba band is enforced with a
-    precomputed validity mask (cells outside a target's band are pinned to
-    ``inf``, exactly as in the banded kernel).  This trades a little extra
-    arithmetic on the padded columns for doing every row in one vectorised
-    update instead of one DP per length group.
-    """
-    n, d = xs.shape
-    g = len(targets)
-    lengths = np.array([t.shape[0] for t in targets], dtype=np.intp)
-    m_max = int(lengths.max())
-    ys = np.zeros((g, m_max, d))
-    for t, target in enumerate(targets):
-        ys[t, : target.shape[0]] = target
-    # Band validity is recomputed per row (two comparisons on (g, M)), so
-    # memory stays O(g * M) instead of an O(n * g * M) precomputed mask.
-    j_idx = np.arange(1, m_max + 1)[None, :]
-    radius_col = radii[:, None]
-    within_length = j_idx <= lengths[:, None]  # row-independent part
-    previous = np.full((g, m_max + 1), _INF)
-    previous[:, 0] = 0.0
-    shifted = np.empty((g, m_max))
-    for i in range(1, n + 1):
-        # valid[t, j-1] <=> cell (i, j) lies inside target t's band:
-        # i - r_t <= j <= min(m_t, i + r_t).
-        valid = (j_idx >= i - radius_col) & (j_idx <= i + radius_col) & within_length
-        diffs = ys - xs[i - 1]
-        local = np.sqrt(np.einsum("gjd,gjd->gj", diffs, diffs))
-        p = np.minimum(previous[:, 1:], previous[:, :-1])
-        p = np.where(valid, p, _INF)
-        prefix = np.cumsum(local, axis=1)
-        shifted[:, 0] = 0.0
-        shifted[:, 1:] = prefix[:, :-1]
-        row = prefix + np.minimum.accumulate(p - shifted, axis=1)
-        previous[:, 1:] = np.where(valid, row, _INF)
-        previous[:, 0] = _INF
-    return previous[np.arange(g), lengths]
+    """Backward-compatible alias: pad ragged targets, run the numpy kernel."""
+    ys, lengths = _pad_targets(targets)
+    return _numpy_dtw_batch_mixed(xs, ys, lengths, radii)
 
 
 class ConstrainedDTW(DistanceMeasure):
@@ -218,6 +160,11 @@ class ConstrainedDTW(DistanceMeasure):
         upper bound ``max(len(x), len(y))`` so that distances of series of
         different lengths are comparable.  The paper does not normalise, so
         the default is ``False``.
+    kernel:
+        Kernel backend name (``"numpy"``, ``"numba"``, ``"cext"``, or a
+        registered third-party name).  ``None`` means "whatever the process
+        default resolves to"; the name — not a function object — is what
+        pickles to worker processes.
     """
 
     def __init__(
@@ -225,6 +172,7 @@ class ConstrainedDTW(DistanceMeasure):
         band_fraction: Optional[float] = 0.1,
         band_width: Optional[int] = None,
         normalize: bool = False,
+        kernel: Optional[str] = None,
     ) -> None:
         if band_fraction is not None and not 0.0 <= band_fraction <= 1.0:
             raise DistanceError("band_fraction must be in [0, 1]")
@@ -233,26 +181,29 @@ class ConstrainedDTW(DistanceMeasure):
         self.band_fraction = band_fraction
         self.band_width = band_width
         self.normalize = bool(normalize)
+        self.kernel = kernel
         self.name = "constrained_dtw"
         self.is_metric = False
+        if kernel is not None:
+            get_kernel_backend(kernel)  # fail fast on unknown/broken names
+
+    @property
+    def kernel_backend(self):
+        """The resolved backend instance (never pickled; resolved lazily)."""
+        return get_kernel_backend(self.kernel)
 
     def compute(self, x: np.ndarray, y: np.ndarray) -> float:
-        value = dtw_distance(
-            x, y, band_fraction=self.band_fraction, band_width=self.band_width
-        )
-        if self.normalize:
-            xs = _as_series(x, "x")
-            ys = _as_series(y, "y")
-            value /= max(xs.shape[0], ys.shape[0])
-        return value
+        return float(self.compute_many(x, [y])[0])
 
     def compute_many(self, x: np.ndarray, ys: Sequence[np.ndarray]) -> np.ndarray:
         """Batched cDTW from ``x`` to many series in one vectorised DP.
 
-        Targets are grouped by length; each group runs through
-        :func:`_dtw_batch` together, so the per-row NumPy overhead is
-        amortised over the whole group.  Results are identical to the scalar
-        path (same kernel, same band per pair).
+        Targets are grouped by length; uniform groups run the banded batch
+        kernel, mixed lengths run the padded mixed kernel — on whichever
+        backend this measure resolves.  Each series is normalised to float64
+        exactly once per call (``_as_series`` is a no-copy pass-through for
+        conforming arrays), so the scalar path :meth:`compute` costs one
+        conversion, not two.
         """
         xs = _as_series(x, "x")
         targets: List[np.ndarray] = []
@@ -266,6 +217,7 @@ class ConstrainedDTW(DistanceMeasure):
         results = np.empty(len(targets), dtype=float)
         if not targets:
             return results
+        backend = get_kernel_backend(self.kernel)
         by_length: dict = {}
         for i, target in enumerate(targets):
             by_length.setdefault(target.shape[0], []).append(i)
@@ -277,12 +229,15 @@ class ConstrainedDTW(DistanceMeasure):
             radius = _resolve_radius(
                 n, m, band_fraction=self.band_fraction, band_width=self.band_width
             )
-            values = _dtw_batch(xs, np.stack(targets), radius)
+            values = np.asarray(
+                backend.dtw_batch(xs, np.stack(targets), radius), dtype=float
+            )
             if self.normalize:
                 values = values / max(n, m)
             return values
-        # Mixed lengths: one shared masked DP beats many small per-length
-        # groups (band semantics per pair are unchanged).
+        # Mixed lengths: one shared DP (numpy masks padded cells; compiled
+        # backends run each target at its true length) — band semantics per
+        # pair are unchanged.
         radii = np.array(
             [
                 _resolve_radius(
@@ -295,7 +250,10 @@ class ConstrainedDTW(DistanceMeasure):
             ],
             dtype=np.intp,
         )
-        results = _dtw_batch_mixed(xs, targets, radii)
+        padded, lengths = _pad_targets(targets)
+        results = np.asarray(
+            backend.dtw_batch_mixed(xs, padded, lengths, radii), dtype=float
+        )
         if self.normalize:
             results = results / np.maximum(n, [t.shape[0] for t in targets])
         return results

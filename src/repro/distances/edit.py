@@ -30,7 +30,11 @@ from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.distances.base import DistanceMeasure
+from repro.distances.kernels import get_kernel_backend
+from repro.distances.kernels.numpy_backend import edit_dp_batch as _edit_dp_batch
 from repro.exceptions import DistanceError
+
+_EMPTY_TABLE = np.zeros((0, 0))
 
 
 def _check_sequence(x: Sequence[Hashable], name: str) -> Sequence[Hashable]:
@@ -64,59 +68,39 @@ def _encode(seq: Sequence[Hashable], codes: Dict[Hashable, int]) -> np.ndarray:
     return np.array([codes.setdefault(sym, len(codes)) for sym in seq], dtype=np.intp)
 
 
-def _edit_dp_batch(
-    n: int,
-    sub_row,
-    insertion_cost: float,
-    deletion_cost: float,
-    lengths: np.ndarray,
-) -> np.ndarray:
-    """Batched weighted-edit DP with row-streamed substitution costs.
+def _encode_padded(
+    seqs: Sequence[Sequence[Hashable]], codes: Dict[Hashable, int]
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Batch-encode straight into the zero-padded code matrix + lengths.
 
-    Targets of different lengths share one DP: they are padded to the widest
-    target and the result for target ``t`` is read off at column
-    ``lengths[t]``.  This is exact — cell ``(i, j)`` only ever depends on
-    columns ``<= j``, so padding never leaks into a target's own columns.
-    Substitution costs are produced one DP row at a time by ``sub_row``, so
-    memory stays O(g * M) regardless of the query length.
-
-    Parameters
-    ----------
-    n:
-        Length of the query sequence (number of DP rows).
-    sub_row:
-        Callable ``sub_row(i) -> (g, M)`` array: the cost of substituting
-        ``x[i]`` with ``ys[t][j]`` (arbitrary beyond ``lengths[t]``).
-    insertion_cost, deletion_cost:
-        The indel costs.
-    lengths:
-        The ``g`` true target lengths (``<= M``).
-
-    Returns
-    -------
-    np.ndarray
-        The ``g`` edit distances.
+    The all-string fast path joins the batch, decodes it through the
+    utf-32 shortcut *once* (one ``np.unique`` over the concatenation
+    instead of one per sequence) and scatters the flat code array into the
+    padded stack with one boolean-mask assignment (row-major order matches
+    the concatenation order).  Mixed or non-string batches fall back to the
+    per-sequence path, same semantics.  This is what keeps batched DP paths
+    — and pairwise table builds, which call ``compute_many`` once per row —
+    bound by C-level work instead of per-sequence Python overhead.
     """
-    g = lengths.shape[0]
-    m = int(lengths.max())
-    if m == 0:
-        return np.full(g, n * deletion_cost)
-    ins_ramp = insertion_cost * np.arange(m + 1)
-    previous = np.broadcast_to(ins_ramp, (g, m + 1)).copy()
-    a = np.empty((g, m + 1))
-    for i in range(1, n + 1):
-        # p[j] = min(prev[j] + del, prev[j-1] + sub[j]) for j = 1..m; the
-        # boundary c[0] = i*del joins the prefix-min chain at position 0.
-        a[:, 0] = i * deletion_cost
-        a[:, 1:] = (
-            np.minimum(
-                previous[:, 1:] + deletion_cost,
-                previous[:, :-1] + sub_row(i - 1),
+    if len(seqs) > 1 and all(isinstance(s, str) for s in seqs):
+        try:
+            joined = "".join(seqs)
+            raw = np.frombuffer(joined.encode("utf-32-le"), dtype=np.uint32)
+        except UnicodeEncodeError:
+            pass
+        else:
+            unique, inverse = np.unique(raw, return_inverse=True)
+            mapped = np.array(
+                [codes.setdefault(chr(int(c)), len(codes)) for c in unique],
+                dtype=np.intp,
             )
-            - ins_ramp[1:]
-        )
-        previous = ins_ramp + np.minimum.accumulate(a, axis=1)
-    return previous[np.arange(g), lengths]
+            flat = mapped[inverse]
+            lengths = np.array([len(s) for s in seqs], dtype=np.intp)
+            m_max = int(lengths.max()) if lengths.size else 0
+            stack = np.zeros((len(seqs), m_max), dtype=np.intp)
+            stack[np.arange(m_max)[None, :] < lengths[:, None]] = flat
+            return stack, lengths
+    return _pad_codes([_encode(seq, codes) for seq in seqs])
 
 
 def _pad_codes(target_codes: List[np.ndarray]) -> Tuple[np.ndarray, np.ndarray]:
@@ -131,9 +115,17 @@ def _pad_codes(target_codes: List[np.ndarray]) -> Tuple[np.ndarray, np.ndarray]:
 class EditDistance(DistanceMeasure):
     """Classic Levenshtein distance with unit insert/delete/substitute costs."""
 
-    def __init__(self) -> None:
+    def __init__(self, kernel: Optional[str] = None) -> None:
+        self.kernel = kernel
         self.name = "edit"
         self.is_metric = True
+        if kernel is not None:
+            get_kernel_backend(kernel)  # fail fast on unknown/broken names
+
+    @property
+    def kernel_backend(self):
+        """The resolved backend instance (never pickled; resolved lazily)."""
+        return get_kernel_backend(self.kernel)
 
     def compute(self, x: Sequence[Hashable], y: Sequence[Hashable]) -> float:
         return float(self.compute_many(x, [y])[0])
@@ -148,18 +140,21 @@ class EditDistance(DistanceMeasure):
             return results
         codes: Dict[Hashable, int] = {}
         x_codes = _encode(xs, codes)
-        target_codes = [_encode(t, codes) for t in targets]
+        stack, lengths = _encode_padded(targets, codes)
         if x_codes.size == 0:
-            return np.array([float(len(t)) for t in targets])
-        stack, lengths = _pad_codes(target_codes)
+            return lengths.astype(float)
         if stack.shape[1] == 0:
             results[:] = float(x_codes.size)
             return results
         # Padding uses code 0, which may collide with a real symbol; that is
-        # harmless because _edit_dp_batch reads each target off at its true
-        # length, before any padded column can influence the result.
-        sub_row = lambda i: (stack != x_codes[i]).astype(float)  # noqa: E731
-        return _edit_dp_batch(x_codes.size, sub_row, 1.0, 1.0, lengths)
+        # harmless because the DP kernels read each target off at its true
+        # length, before any padded column can influence the result.  An
+        # empty substitution table + default 1.0 = unit costs.
+        backend = get_kernel_backend(self.kernel)
+        return np.asarray(
+            backend.edit_batch(x_codes, stack, lengths, 1.0, 1.0, _EMPTY_TABLE, 1.0),
+            dtype=float,
+        )
 
     def compute_pairs(
         self, xs: Sequence[Sequence[Hashable]], ys: Sequence[Sequence[Hashable]]
@@ -218,9 +213,13 @@ class WeightedEditDistance(DistanceMeasure):
         insertion_cost: float = 1.0,
         deletion_cost: float = 1.0,
         default_substitution: float = 1.0,
+        kernel: Optional[str] = None,
     ) -> None:
         if insertion_cost < 0 or deletion_cost < 0 or default_substitution < 0:
             raise DistanceError("edit costs must be non-negative")
+        self.kernel = kernel
+        if kernel is not None:
+            get_kernel_backend(kernel)  # fail fast on unknown/broken names
         self.substitution_costs = dict(substitution_costs or {})
         for cost in self.substitution_costs.values():
             if cost < 0:
@@ -279,34 +278,30 @@ class WeightedEditDistance(DistanceMeasure):
         x_codes = _encode(xs, codes) if isinstance(xs, str) else np.array(
             [codes.setdefault(sym, len(codes)) for sym in xs], dtype=np.intp
         )
-        target_codes = [
-            _encode(t, codes)
-            if isinstance(t, str)
-            else np.array(
-                [codes.setdefault(sym, len(codes)) for sym in t], dtype=np.intp
-            )
-            for t in targets
-        ]
+        stack, lengths = _encode_padded(targets, codes)
         if x_codes.size == 0:
-            return np.array([t.size * self.insertion_cost for t in target_codes])
-        stack, lengths = _pad_codes(target_codes)
+            return lengths * self.insertion_cost
         if stack.shape[1] == 0:
             results[:] = x_codes.size * self.deletion_cost
             return results
-        n_tabled = self._table.shape[0]
-        tabled_mask = stack < n_tabled
-        clipped = np.minimum(stack, max(n_tabled - 1, 0))
-
-        def sub_row(i: int) -> np.ndarray:
-            x_code = int(x_codes[i])
-            if n_tabled and x_code < n_tabled:
-                row = np.where(
-                    tabled_mask, self._table[x_code, clipped], self.default_substitution
-                )
-            else:
-                row = np.full(stack.shape, self.default_substitution)
-            return np.where(stack == x_code, 0.0, row)
-
-        return _edit_dp_batch(
-            x_codes.size, sub_row, self.insertion_cost, self.deletion_cost, lengths
+        # Tabled symbols hold codes < T by construction, so the backends can
+        # gather substitution costs straight from the dense table; untabled
+        # codes cost 0 (equal) or the default.
+        backend = get_kernel_backend(self.kernel)
+        return np.asarray(
+            backend.edit_batch(
+                x_codes,
+                stack,
+                lengths,
+                self.insertion_cost,
+                self.deletion_cost,
+                self._table,
+                self.default_substitution,
+            ),
+            dtype=float,
         )
+
+    @property
+    def kernel_backend(self):
+        """The resolved backend instance (never pickled; resolved lazily)."""
+        return get_kernel_backend(self.kernel)

@@ -1,0 +1,215 @@
+"""C-extension kernel backend: ``_kernels.c`` compiled on demand via ctypes.
+
+No Cython, no setuptools, no ``Python.h``: the shared library is built from
+the plain-C source next to this module with whatever C compiler the host
+has (``$CC``, then ``cc``/``gcc``/``clang`` on ``$PATH``), cached under a
+source-hash-keyed filename so rebuilds only happen when the source changes,
+and loaded with :mod:`ctypes`.  Hosts without a compiler simply don't get
+this backend — the registry probe catches :class:`KernelUnavailable` and
+falls back.
+
+The cache directory defaults to a per-user directory under the system temp
+root and can be pinned with ``REPRO_KERNEL_CACHE`` (useful for read-only
+containers or shared CI caches).  Builds are race-safe: each process
+compiles to a private temp name and ``os.replace``s it into place.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from repro.distances.kernels.errors import KernelUnavailable
+
+_SOURCE = Path(__file__).with_name("_kernels.c")
+_BUILD_TIMEOUT_SECONDS = 120.0
+
+_i64 = ctypes.c_int64
+_f64 = ctypes.c_double
+_f64_p = np.ctypeslib.ndpointer(dtype=np.float64, flags="C_CONTIGUOUS")
+_i64_p = np.ctypeslib.ndpointer(dtype=np.int64, flags="C_CONTIGUOUS")
+
+
+def _cache_dir() -> Path:
+    configured = os.environ.get("REPRO_KERNEL_CACHE")
+    if configured:
+        return Path(configured).expanduser()
+    return Path(tempfile.gettempdir()) / f"repro-kernels-{os.getuid()}"
+
+
+def _find_compiler() -> Optional[str]:
+    configured = os.environ.get("CC")
+    if configured:
+        return shutil.which(configured) or None
+    for candidate in ("cc", "gcc", "clang"):
+        found = shutil.which(candidate)
+        if found:
+            return found
+    return None
+
+
+def build_library(cache_dir: Optional[Path] = None) -> Path:
+    """Compile ``_kernels.c`` (if not already cached) and return the .so path."""
+    if not _SOURCE.exists():
+        raise KernelUnavailable(f"kernel source missing: {_SOURCE}")
+    source_bytes = _SOURCE.read_bytes()
+    digest = hashlib.sha256(source_bytes).hexdigest()[:16]
+    directory = Path(cache_dir) if cache_dir is not None else _cache_dir()
+    lib_path = directory / f"repro_kernels_{digest}.so"
+    if lib_path.exists():
+        return lib_path
+    compiler = _find_compiler()
+    if compiler is None:
+        raise KernelUnavailable("no C compiler found (tried $CC, cc, gcc, clang)")
+    try:
+        directory.mkdir(parents=True, exist_ok=True)
+    except OSError as exc:
+        raise KernelUnavailable(f"cannot create kernel cache {directory}: {exc}")
+    scratch = directory / f".build-{digest}-{os.getpid()}.so"
+    command = [
+        compiler,
+        "-O3",
+        "-fPIC",
+        "-shared",
+        "-o",
+        str(scratch),
+        str(_SOURCE),
+        "-lm",
+    ]
+    try:
+        proc = subprocess.run(
+            command,
+            capture_output=True,
+            text=True,
+            timeout=_BUILD_TIMEOUT_SECONDS,
+            check=False,
+        )
+    except (OSError, subprocess.TimeoutExpired) as exc:
+        raise KernelUnavailable(f"kernel build failed to run: {exc}")
+    if proc.returncode != 0:
+        scratch.unlink(missing_ok=True)
+        detail = (proc.stderr or proc.stdout or "").strip()[:500]
+        raise KernelUnavailable(f"kernel build failed ({compiler}): {detail}")
+    try:
+        os.replace(scratch, lib_path)
+    except OSError as exc:
+        scratch.unlink(missing_ok=True)
+        raise KernelUnavailable(f"cannot install built kernel library: {exc}")
+    return lib_path
+
+
+def _load_library() -> ctypes.CDLL:
+    lib_path = build_library()
+    try:
+        lib = ctypes.CDLL(str(lib_path))
+    except OSError as exc:
+        raise KernelUnavailable(f"cannot load kernel library {lib_path}: {exc}")
+    lib.repro_dtw_batch.restype = ctypes.c_int
+    lib.repro_dtw_batch.argtypes = [
+        _f64_p, _i64, _i64, _f64_p, _i64, _i64, _i64, _f64_p,
+    ]
+    lib.repro_dtw_batch_mixed.restype = ctypes.c_int
+    lib.repro_dtw_batch_mixed.argtypes = [
+        _f64_p, _i64, _i64, _f64_p, _i64, _i64, _i64_p, _i64_p, _f64_p,
+    ]
+    lib.repro_edit_batch.restype = ctypes.c_int
+    lib.repro_edit_batch.argtypes = [
+        _i64_p, _i64, _i64_p, _i64, _i64, _i64_p, _f64, _f64,
+        _f64_p, _i64, _f64, _f64_p,
+    ]
+    return lib
+
+
+def _c_floats(array: np.ndarray) -> np.ndarray:
+    return np.ascontiguousarray(array, dtype=np.float64)
+
+
+def _c_ints(array: np.ndarray) -> np.ndarray:
+    return np.ascontiguousarray(array, dtype=np.int64)
+
+
+class CExtensionBackend:
+    """ctypes bindings over the compiled ``_kernels.c`` entry points."""
+
+    name = "cext"
+    compiled = True
+
+    def __init__(self) -> None:
+        self._lib = _load_library()
+
+    def dtw_batch(self, xs: np.ndarray, ys: np.ndarray, radius: int) -> np.ndarray:
+        """Banded DTW from ``xs (n, d)`` to each of ``ys (g, m, d)``."""
+        xs = _c_floats(xs)
+        ys = _c_floats(ys)
+        g, m = ys.shape[0], ys.shape[1]
+        out = np.empty(g, dtype=np.float64)
+        status = self._lib.repro_dtw_batch(
+            xs, xs.shape[0], xs.shape[1], ys, g, m, int(radius), out
+        )
+        if status != 0:
+            raise MemoryError("cext dtw_batch: DP row allocation failed")
+        return out
+
+    def dtw_batch_mixed(
+        self,
+        xs: np.ndarray,
+        ys: np.ndarray,
+        lengths: np.ndarray,
+        radii: np.ndarray,
+    ) -> np.ndarray:
+        """Banded DTW to zero-padded targets of per-row ``lengths``/``radii``."""
+        xs = _c_floats(xs)
+        ys = _c_floats(ys)
+        lengths = _c_ints(lengths)
+        radii = _c_ints(radii)
+        g, m_max = ys.shape[0], ys.shape[1]
+        out = np.empty(g, dtype=np.float64)
+        status = self._lib.repro_dtw_batch_mixed(
+            xs, xs.shape[0], xs.shape[1], ys, g, m_max, lengths, radii, out
+        )
+        if status != 0:
+            raise MemoryError("cext dtw_batch_mixed: DP row allocation failed")
+        return out
+
+    def edit_batch(
+        self,
+        x_codes: np.ndarray,
+        stack: np.ndarray,
+        lengths: np.ndarray,
+        insertion_cost: float,
+        deletion_cost: float,
+        table: np.ndarray,
+        default: float,
+    ) -> np.ndarray:
+        """(Weighted) edit distance from ``x_codes`` to each padded target row."""
+        x_codes = _c_ints(x_codes)
+        stack = _c_ints(stack)
+        lengths = _c_ints(lengths)
+        table = _c_floats(table)
+        g, m_max = stack.shape[0], stack.shape[1]
+        out = np.empty(g, dtype=np.float64)
+        status = self._lib.repro_edit_batch(
+            x_codes,
+            x_codes.shape[0],
+            stack,
+            g,
+            m_max,
+            lengths,
+            float(insertion_cost),
+            float(deletion_cost),
+            table,
+            table.shape[0],
+            float(default),
+            out,
+        )
+        if status != 0:
+            raise MemoryError("cext edit_batch: DP row allocation failed")
+        return out

@@ -1,0 +1,14 @@
+"""Exceptions shared by the kernel backends and the registry."""
+
+from __future__ import annotations
+
+
+class KernelUnavailable(RuntimeError):
+    """A kernel backend cannot be activated on this host.
+
+    Raised by backend constructors (missing JIT package, no C compiler,
+    failed build) and by the registry's activation parity check.  The
+    registry treats it as "skip this backend" during default selection and
+    converts it to :class:`~repro.exceptions.DistanceError` when the
+    backend was requested explicitly.
+    """

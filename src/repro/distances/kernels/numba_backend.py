@@ -1,0 +1,209 @@
+"""Numba JIT kernel backend (used only when ``numba`` is importable).
+
+The ``@njit`` kernels are straight-line ports of the C kernels in
+``_kernels.c`` (same loops, same evaluation order), compiled lazily the
+first time the backend is activated — which happens inside the registry's
+parity check, so a numba installation that cannot actually compile (e.g.
+an llvmlite/numpy version clash) degrades to the numpy fallback instead of
+failing at call time.
+
+``numba`` is an *optional* accelerator: this module must import cleanly
+without it (:class:`NumbaBackend` raises
+:class:`~repro.distances.kernels.errors.KernelUnavailable` from its
+constructor instead), and RP010 statically enforces that every ``@njit``
+kernel here keeps a registered numpy fallback plus a parity test.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+import numpy as np
+
+from repro.distances.kernels.errors import KernelUnavailable
+
+_COMPILED: Dict[str, Any] = {}
+
+
+def _compile_kernels() -> Dict[str, Any]:
+    """Compile (once per process) and return the njit kernel functions."""
+    if _COMPILED:
+        return _COMPILED
+    try:
+        from numba import njit
+    except Exception as exc:  # ImportError, or a broken install at import time
+        raise KernelUnavailable(f"numba is not importable: {exc}")
+
+    @njit(cache=False)
+    def dtw_batch(xs, ys, radius):  # pragma: no cover - needs numba
+        n, d = xs.shape
+        g, m = ys.shape[0], ys.shape[1]
+        out = np.empty(g, dtype=np.float64)
+        prev = np.empty(m + 1, dtype=np.float64)
+        cur = np.empty(m + 1, dtype=np.float64)
+        for t in range(g):
+            for j in range(m + 1):
+                prev[j] = np.inf
+            prev[0] = 0.0
+            for i in range(1, n + 1):
+                j_lo = i - radius
+                if j_lo < 1:
+                    j_lo = 1
+                j_hi = i + radius
+                if j_hi > m:
+                    j_hi = m
+                for j in range(m + 1):
+                    cur[j] = np.inf
+                for j in range(j_lo, j_hi + 1):
+                    acc = 0.0
+                    for k in range(d):
+                        diff = ys[t, j - 1, k] - xs[i - 1, k]
+                        acc += diff * diff
+                    best = prev[j]
+                    if prev[j - 1] < best:
+                        best = prev[j - 1]
+                    if cur[j - 1] < best:
+                        best = cur[j - 1]
+                    cur[j] = np.sqrt(acc) + best
+                tmp = prev
+                prev = cur
+                cur = tmp
+            out[t] = prev[m]
+        return out
+
+    @njit(cache=False)
+    def dtw_batch_mixed(xs, ys, lengths, radii):  # pragma: no cover - needs numba
+        n, d = xs.shape
+        g, m_max = ys.shape[0], ys.shape[1]
+        out = np.empty(g, dtype=np.float64)
+        prev = np.empty(m_max + 1, dtype=np.float64)
+        cur = np.empty(m_max + 1, dtype=np.float64)
+        for t in range(g):
+            m = lengths[t]
+            radius = radii[t]
+            for j in range(m + 1):
+                prev[j] = np.inf
+            prev[0] = 0.0
+            for i in range(1, n + 1):
+                j_lo = i - radius
+                if j_lo < 1:
+                    j_lo = 1
+                j_hi = i + radius
+                if j_hi > m:
+                    j_hi = m
+                for j in range(m + 1):
+                    cur[j] = np.inf
+                for j in range(j_lo, j_hi + 1):
+                    acc = 0.0
+                    for k in range(d):
+                        diff = ys[t, j - 1, k] - xs[i - 1, k]
+                        acc += diff * diff
+                    best = prev[j]
+                    if prev[j - 1] < best:
+                        best = prev[j - 1]
+                    if cur[j - 1] < best:
+                        best = cur[j - 1]
+                    cur[j] = np.sqrt(acc) + best
+                tmp = prev
+                prev = cur
+                cur = tmp
+            out[t] = prev[m]
+        return out
+
+    @njit(cache=False)
+    def edit_batch(
+        x_codes, stack, lengths, ins, dele, table, default
+    ):  # pragma: no cover - needs numba
+        n = x_codes.shape[0]
+        g, m_max = stack.shape[0], stack.shape[1]
+        n_tabled = table.shape[0]
+        out = np.empty(g, dtype=np.float64)
+        prev = np.empty(m_max + 1, dtype=np.float64)
+        cur = np.empty(m_max + 1, dtype=np.float64)
+        for t in range(g):
+            m = lengths[t]
+            for j in range(m + 1):
+                prev[j] = j * ins
+            for i in range(1, n + 1):
+                a = x_codes[i - 1]
+                cur[0] = i * dele
+                for j in range(1, m + 1):
+                    b = stack[t, j - 1]
+                    if a == b:
+                        sub = 0.0
+                    elif a < n_tabled and b < n_tabled:
+                        sub = table[a, b]
+                    else:
+                        sub = default
+                    best = prev[j] + dele
+                    cand = cur[j - 1] + ins
+                    if cand < best:
+                        best = cand
+                    cand = prev[j - 1] + sub
+                    if cand < best:
+                        best = cand
+                    cur[j] = best
+                tmp = prev
+                prev = cur
+                cur = tmp
+            out[t] = prev[m]
+        return out
+
+    _COMPILED["dtw_batch"] = dtw_batch
+    _COMPILED["dtw_batch_mixed"] = dtw_batch_mixed
+    _COMPILED["edit_batch"] = edit_batch
+    return _COMPILED
+
+
+class NumbaBackend:
+    """nopython-JIT kernels; available only when numba imports and compiles."""
+
+    name = "numba"
+    compiled = True
+
+    def __init__(self) -> None:
+        self._kernels = _compile_kernels()
+
+    def dtw_batch(self, xs: np.ndarray, ys: np.ndarray, radius: int) -> np.ndarray:
+        """Banded DTW from ``xs (n, d)`` to each of ``ys (g, m, d)``."""
+        return self._kernels["dtw_batch"](
+            np.ascontiguousarray(xs, dtype=np.float64),
+            np.ascontiguousarray(ys, dtype=np.float64),
+            np.int64(radius),
+        )
+
+    def dtw_batch_mixed(
+        self,
+        xs: np.ndarray,
+        ys: np.ndarray,
+        lengths: np.ndarray,
+        radii: np.ndarray,
+    ) -> np.ndarray:
+        """Banded DTW to zero-padded targets of per-row ``lengths``/``radii``."""
+        return self._kernels["dtw_batch_mixed"](
+            np.ascontiguousarray(xs, dtype=np.float64),
+            np.ascontiguousarray(ys, dtype=np.float64),
+            np.ascontiguousarray(lengths, dtype=np.int64),
+            np.ascontiguousarray(radii, dtype=np.int64),
+        )
+
+    def edit_batch(
+        self,
+        x_codes: np.ndarray,
+        stack: np.ndarray,
+        lengths: np.ndarray,
+        insertion_cost: float,
+        deletion_cost: float,
+        table: np.ndarray,
+        default: float,
+    ) -> np.ndarray:
+        """(Weighted) edit distance from ``x_codes`` to each padded target row."""
+        return self._kernels["edit_batch"](
+            np.ascontiguousarray(x_codes, dtype=np.int64),
+            np.ascontiguousarray(stack, dtype=np.int64),
+            np.ascontiguousarray(lengths, dtype=np.int64),
+            float(insertion_cost),
+            float(deletion_cost),
+            np.ascontiguousarray(table, dtype=np.float64),
+            float(default),
+        )

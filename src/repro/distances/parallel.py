@@ -41,6 +41,18 @@ serving loop of an :class:`~repro.index.embedding_index.EmbeddingIndex`
 issuing ``query_many`` batches against one database — is shipped to each
 worker once for the pool's lifetime.  Results and cost accounting are
 identical either way.
+
+Kernel backends and workers
+---------------------------
+DP measures (cDTW, edit) carry their :mod:`repro.distances.kernels` choice
+as a backend *name* (``measure.kernel``, possibly ``None`` = "process
+default"), never as a compiled function object, so pickling a measure to a
+worker is always safe.  Each worker resolves its own backend lazily on
+first use: an explicit name resolves identically everywhere, and the
+process default travels through ``REPRO_KERNEL_BACKEND`` (exported by
+:func:`~repro.distances.kernels.set_default_kernel_backend`), which forked
+and spawned workers inherit — so parallel refine/row builds run the same
+kernel as the serial path and stay bit-identical to it.
 """
 
 from __future__ import annotations

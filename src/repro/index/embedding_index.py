@@ -52,6 +52,7 @@ from __future__ import annotations
 
 import contextlib
 import datetime as _datetime
+import inspect
 from dataclasses import dataclass, field, asdict
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
@@ -77,6 +78,7 @@ from repro.index.pool import PersistentPool
 from repro.retrieval.brute_force import BruteForceRetriever
 from repro.retrieval.engine import build_scan_result
 from repro.retrieval.filter_refine import FilterRefineRetriever, RetrievalResult
+from repro.retrieval.quantized import QUANTIZED_DTYPES, QuantizedVectors
 from repro.retrieval.sharded import ShardedRetriever
 
 __all__ = [
@@ -116,6 +118,14 @@ class IndexConfig:
         Optional LRU bound on the store's sparse entries (dense training /
         ground-truth blocks are never evicted) so a long-serving index
         cannot grow its cache without limit.
+    filter_dtype:
+        Storage dtype of the filter-stage scan table: ``"float64"`` (the
+        default — scan the exact embedding matrix) or ``"float32"`` /
+        ``"int8"`` (scan a quantized copy and re-score an error-bounded
+        candidate superset with the exact rows; results stay bit-identical
+        to the float64 scan — see :mod:`repro.retrieval.quantized`).  The
+        quantized table is persisted with the artifact and reloaded on
+        :meth:`EmbeddingIndex.open`.
     register_queries:
         Whether served query objects join the context universe (default
         ``True``): their refine pairs then cache under stable keys, which
@@ -133,6 +143,7 @@ class IndexConfig:
     symmetric: bool = True
     max_sparse_entries: Optional[int] = None
     register_queries: bool = True
+    filter_dtype: str = "float64"
 
     def __post_init__(self) -> None:
         if not isinstance(self.training, TrainingConfig):
@@ -146,6 +157,11 @@ class IndexConfig:
             raise ConfigurationError("n_shards must be at least 1")
         if self.max_sparse_entries is not None and self.max_sparse_entries < 1:
             raise ConfigurationError("max_sparse_entries must be positive")
+        if self.filter_dtype not in ("float64",) + QUANTIZED_DTYPES:
+            raise ConfigurationError(
+                f"filter_dtype must be one of "
+                f"{('float64',) + QUANTIZED_DTYPES}, got {self.filter_dtype!r}"
+            )
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-serializable description (round-trips via :meth:`from_dict`)."""
@@ -162,6 +178,7 @@ class IndexConfig:
             "symmetric": self.symmetric,
             "max_sparse_entries": self.max_sparse_entries,
             "register_queries": self.register_queries,
+            "filter_dtype": self.filter_dtype,
         }
 
     @classmethod
@@ -179,6 +196,9 @@ class IndexConfig:
                 symmetric=bool(payload["symmetric"]),
                 max_sparse_entries=payload.get("max_sparse_entries"),
                 register_queries=bool(payload.get("register_queries", True)),
+                # Artifacts from before the quantized filter tier carry no
+                # filter_dtype: they scanned the float64 table.
+                filter_dtype=str(payload.get("filter_dtype", "float64")),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise ArtifactError(f"invalid index config payload: {exc}") from exc
@@ -239,12 +259,31 @@ def _make_backend(
     embedder: Any,
     database_vectors: np.ndarray,
     config: IndexConfig,
+    quantized: Optional[QuantizedVectors] = None,
 ) -> Any:
     factory = _BACKEND_REGISTRY.get(name)
     if factory is None:
         raise ConfigurationError(
             f"unknown backend {name!r}; available: {', '.join(available_backends())}"
         )
+    if quantized is not None:
+        # Pass the quantized filter table only to factories that understand
+        # it; a backend that ignores it scans the float64 table — slower at
+        # scale but bit-identical, so skipping is safe (brute force, for
+        # one, has no filter step at all).
+        try:
+            accepts = "quantized" in inspect.signature(factory).parameters
+        except (TypeError, ValueError):  # pragma: no cover - exotic callables
+            accepts = False
+        if accepts:
+            return factory(
+                distance,
+                database,
+                embedder,
+                database_vectors,
+                config,
+                quantized=quantized,
+            )
     return factory(distance, database, embedder, database_vectors, config)
 
 
@@ -299,13 +338,21 @@ class _BruteForceBackend:
         ]
 
 
-def _filter_refine_factory(distance, database, embedder, database_vectors, config):
+def _filter_refine_factory(
+    distance, database, embedder, database_vectors, config, quantized=None
+):
     return FilterRefineRetriever(
-        distance, database, embedder, database_vectors=database_vectors
+        distance,
+        database,
+        embedder,
+        database_vectors=database_vectors,
+        quantized=quantized,
     )
 
 
-def _sharded_factory(distance, database, embedder, database_vectors, config):
+def _sharded_factory(
+    distance, database, embedder, database_vectors, config, quantized=None
+):
     return ShardedRetriever(
         distance,
         database,
@@ -313,6 +360,7 @@ def _sharded_factory(distance, database, embedder, database_vectors, config):
         n_shards=config.n_shards,
         database_vectors=database_vectors,
         n_jobs=config.n_jobs,
+        quantized=quantized,
     )
 
 
@@ -345,6 +393,7 @@ class EmbeddingIndex:
         candidate_distances: Optional[np.ndarray] = None,
         pool: Optional[PersistentPool] = None,
         owns_pool: bool = False,
+        quantized: Optional[QuantizedVectors] = None,
     ) -> None:
         if not isinstance(context, DistanceContext):
             raise RetrievalError("an EmbeddingIndex needs a DistanceContext")
@@ -373,6 +422,23 @@ class EmbeddingIndex:
         self._owns_pool = bool(owns_pool)
         self._closed = False
         self._server: Optional[serving_module.AsyncServer] = None
+        # The quantized filter tier: built here on a fresh build, restored
+        # from filter.npz on open.  Quantization is deterministic, so both
+        # paths produce identical codes; loading just keeps open at zero
+        # recomputation.
+        if config.filter_dtype == "float64":
+            self._quantized = None
+        elif quantized is not None:
+            if len(quantized) != self.database_vectors.shape[0]:
+                raise RetrievalError(
+                    f"quantized table has {len(quantized)} rows, database "
+                    f"has {self.database_vectors.shape[0]}"
+                )
+            self._quantized = quantized
+        else:
+            self._quantized = QuantizedVectors.quantize(
+                self.database_vectors, config.filter_dtype
+            )
         self._backend_name = config.backend
         self._backend = _make_backend(
             config.backend,
@@ -381,6 +447,7 @@ class EmbeddingIndex:
             embedder,
             self.database_vectors,
             config,
+            quantized=self._quantized,
         )
 
     # -- construction ---------------------------------------------------
@@ -584,6 +651,18 @@ class EmbeddingIndex:
             model_payload, context, candidate_objects, candidate_distances
         )
 
+        quantized = None
+        if config.filter_dtype != "float64":
+            quantized = QuantizedVectors.from_payload(
+                artifacts.read_filter_payload(directory)
+            )
+            if quantized.dtype != config.filter_dtype:
+                raise ArtifactError(
+                    f"index artifact {directory} promises a "
+                    f"{config.filter_dtype!r} filter tier but filter.npz "
+                    f"holds {quantized.dtype!r}; re-save the index"
+                )
+
         owns_pool = False
         if pool is None and resolve_jobs(config.n_jobs) > 1:
             pool = PersistentPool(config.n_jobs)
@@ -600,6 +679,7 @@ class EmbeddingIndex:
             candidate_distances=candidate_distances,
             pool=pool,
             owns_pool=owns_pool,
+            quantized=quantized,
         )
 
     # -- persistence ----------------------------------------------------
@@ -663,6 +743,12 @@ class EmbeddingIndex:
         artifacts.write_arrays(
             directory, self.database_vectors, self._candidate_distances
         )
+        if self._quantized is not None:
+            artifacts.write_filter_payload(directory, self._quantized.to_payload())
+        elif paths["filter"].exists():
+            # A stale quantized table from an earlier save with a different
+            # filter_dtype must not outlive the manifest that described it.
+            paths["filter"].unlink()
         artifacts.write_model_payload(
             directory, self.embedder.to_dict(), self._candidate_indices
         )
@@ -685,6 +771,15 @@ class EmbeddingIndex:
                     "dim": int(self.dim),
                     "embedding_cost": int(self.embedding_cost),
                     "n_terms": len(self.embedder.terms),
+                },
+                "filter": None
+                if self._quantized is None
+                else {
+                    "dtype": self._quantized.dtype,
+                    "nbytes": int(self._quantized.nbytes),
+                    "max_dim_error": float(self._quantized.dim_error.max())
+                    if self._quantized.dim
+                    else 0.0,
                 },
             },
         )
@@ -961,6 +1056,7 @@ class EmbeddingIndex:
             self.embedder,
             self.database_vectors,
             self.config,
+            quantized=self._quantized,
         )
         with self._serving_guard():
             self._backend = backend
@@ -985,6 +1081,11 @@ class EmbeddingIndex:
         return self.context.distance_evaluations
 
     @property
+    def quantized(self) -> Optional[QuantizedVectors]:
+        """The quantized filter tier (``None`` when ``filter_dtype="float64"``)."""
+        return self._quantized
+
+    @property
     def fingerprint(self) -> Optional[str]:
         """Content fingerprint of the context universe."""
         return self.context.fingerprint
@@ -997,13 +1098,31 @@ class EmbeddingIndex:
         async server; both are ``None`` until the corresponding component
         exists.  ``degraded=True`` means refine work currently bypasses
         the pool and runs serially in the parent — slower, never wrong.
+        ``quantization`` (``None`` without a quantized filter tier)
+        reports the tier's dtype, table bytes, worst per-dimension
+        quantization error, and the honest widened-``p'`` accounting —
+        how many exact float64 filter rows were re-scored to keep results
+        bit-identical to the float64 scan.
         """
+        quantization = None
+        if self._quantized is not None:
+            stage = getattr(getattr(self._backend, "engine", None), "filter", None)
+            quantization = {
+                "dtype": self._quantized.dtype,
+                "nbytes": int(self._quantized.nbytes),
+                "max_dim_error": float(self._quantized.dim_error.max())
+                if self._quantized.dim
+                else 0.0,
+                "widened_queries": int(getattr(stage, "widened_queries", 0)),
+                "widened_total": int(getattr(stage, "widened_total", 0)),
+            }
         return {
             "closed": self._closed,
             "backend": self._backend_name,
             "degraded": bool(self._server is not None and self._server.degraded),
             "pool": self.pool.health() if self.pool is not None else None,
             "serving": self._server.health() if self._server is not None else None,
+            "quantization": quantization,
         }
 
     # -- lifecycle -------------------------------------------------------

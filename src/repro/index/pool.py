@@ -34,7 +34,11 @@ Design
 
 The pool object itself must never be pickled or shipped to workers; the
 components that hold one (:class:`~repro.distances.context.DistanceContext`,
-the index facade) drop it from their pickled state.
+the index facade) drop it from their pickled state.  Distance measures
+*are* shipped, and the DP measures carry their
+:mod:`repro.distances.kernels` backend as a plain name (resolved lazily in
+each worker, inherited through ``REPRO_KERNEL_BACKEND`` when defaulted) —
+compiled kernel objects never enter a state payload.
 
 Supervision
 -----------

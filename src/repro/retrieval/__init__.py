@@ -29,6 +29,7 @@ from repro.retrieval.engine import (
 )
 from repro.retrieval.brute_force import BruteForceRetriever
 from repro.retrieval.filter_refine import FilterRefineRetriever, RetrievalResult
+from repro.retrieval.quantized import QuantizedVectors, quantized_filter_cut
 from repro.retrieval.sharded import Shard, ShardedRetriever
 from repro.retrieval.evaluation import (
     FilterRankResult,
@@ -56,6 +57,8 @@ __all__ = [
     "MergeStage",
     "BruteForceRetriever",
     "FilterRefineRetriever",
+    "QuantizedVectors",
+    "quantized_filter_cut",
     "RetrievalResult",
     "Shard",
     "ShardedRetriever",

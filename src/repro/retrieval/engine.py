@@ -70,6 +70,7 @@ from repro.distances.parallel import (
 from repro.embeddings.base import Embedding
 from repro.exceptions import RetrievalError
 from repro.retrieval.context_binding import ContextBinding, bind_context
+from repro.retrieval.quantized import QuantizedVectors, quantized_filter_cut
 
 __all__ = [
     "RetrievalResult",
@@ -347,15 +348,36 @@ class EmbedStage:
 
 
 class FilterStage:
-    """Stable top-``p`` cut of the database by the cheap filter distance."""
+    """Stable top-``p`` cut of the database by the cheap filter distance.
+
+    With a :class:`~repro.retrieval.quantized.QuantizedVectors` table bound
+    (``quantized``), the scan reads the low-precision copy and re-scores
+    only an error-bounded candidate superset with the exact float64 rows —
+    candidates, tie order and downstream refine counts stay bit-identical
+    to the float64 scan, and the superset size is charged honestly in
+    :attr:`widened_total` (see :func:`repro.retrieval.quantized.quantized_filter_cut`).
+    """
 
     def __init__(
         self,
         embedder: Union[QuerySensitiveModel, Embedding],
         database_vectors: np.ndarray,
+        quantized: Optional["QuantizedVectors"] = None,
     ) -> None:
         self.embedder = embedder
         self.database_vectors = database_vectors
+        if quantized is not None and len(quantized) != database_vectors.shape[0]:
+            raise RetrievalError(
+                f"quantized table has {len(quantized)} rows, float64 table "
+                f"has {database_vectors.shape[0]}"
+            )
+        self.quantized = quantized
+        #: Queries answered through the quantized scan so far.
+        self.widened_queries = 0
+        #: Total widened candidate count ``sum of p'`` across those queries
+        #: — the exact float64 filter rows evaluated to absorb quantization
+        #: error (``p' >= p`` per query).
+        self.widened_total = 0
 
     def distances(self, query_vector: np.ndarray) -> np.ndarray:
         """Vector distances from an embedded query to every database vector."""
@@ -364,13 +386,28 @@ class FilterStage:
         )
 
     def order(self, query_vector: np.ndarray, p: Optional[int] = None) -> np.ndarray:
-        """Database indices sorted by increasing filter distance (top ``p``)."""
+        """Database indices sorted by increasing filter distance (top ``p``).
+
+        Always the exact float64 scan; the quantized path of :meth:`run`
+        produces bit-identical candidates, so the two never diverge.
+        """
         return stable_smallest(self.distances(query_vector), p)
+
+    def cut(self, query_vector: np.ndarray, p: Optional[int]) -> np.ndarray:
+        """One query's candidate cut, through the quantized tier when bound."""
+        if self.quantized is None:
+            return self.order(query_vector, p)
+        candidates, _exact, widened = quantized_filter_cut(
+            self.quantized, self.embedder, query_vector, self.database_vectors, p
+        )
+        self.widened_queries += 1
+        self.widened_total += widened
+        return candidates
 
     def run(self, plan: QueryPlan) -> QueryPlan:
         """Rank the database per query vector into ``plan.candidate_lists``."""
         plan.candidate_lists = [
-            self.order(vector, plan.p_eff) for vector in plan.query_vectors
+            self.cut(vector, plan.p_eff) for vector in plan.query_vectors
         ]
         return plan
 
@@ -386,9 +423,29 @@ class ShardedFilterStage:
         self,
         embedder: Union[QuerySensitiveModel, Embedding],
         shards: Sequence[Any],
+        quantized: Optional["QuantizedVectors"] = None,
     ) -> None:
         self.embedder = embedder
         self.shards = list(shards)
+        #: Per-shard slices of the quantized table (views; shared error
+        #: bounds), aligned with :attr:`shards`.  ``None`` = exact scan.
+        self.shard_quantized: Optional[List["QuantizedVectors"]] = None
+        if quantized is not None:
+            total = sum(len(shard) for shard in self.shards)
+            if len(quantized) != total:
+                raise RetrievalError(
+                    f"quantized table has {len(quantized)} rows, shards "
+                    f"cover {total}"
+                )
+            self.shard_quantized = [
+                quantized.slice(shard.offset, shard.offset + len(shard))
+                for shard in self.shards
+            ]
+        #: Same accounting as :class:`FilterStage`: queries served through
+        #: the quantized scan, and their total widened candidate count
+        #: (summed across shards per query).
+        self.widened_queries = 0
+        self.widened_total = 0
 
     def merged(self, query_vector: np.ndarray, p: int) -> np.ndarray:
         """Global top-``p`` filter candidates, merged across shards.
@@ -397,16 +454,35 @@ class ShardedFilterStage:
         unsharded ``FilterStage.order(query_vector, p)``: each shard list is
         stable-ordered and shard order equals global index order, so
         concatenation order breaks distance ties by ascending global index.
+        With a quantized table bound, each shard's cut goes through
+        :func:`~repro.retrieval.quantized.quantized_filter_cut` — the
+        per-shard candidates and their exact float64 distances are
+        bit-identical to the exact scan, so the merge is too.
         """
         shard_distances: List[np.ndarray] = []
         shard_indices: List[np.ndarray] = []
-        for shard in self.shards:
-            distances = filter_vector_distances(
-                self.embedder, query_vector, shard.vectors
-            )
-            local = stable_smallest(distances, min(p, len(shard)))
-            shard_distances.append(distances[local])
+        widened = 0
+        for sid, shard in enumerate(self.shards):
+            if self.shard_quantized is not None:
+                local, exact, spent = quantized_filter_cut(
+                    self.shard_quantized[sid],
+                    self.embedder,
+                    query_vector,
+                    shard.vectors,
+                    min(p, len(shard)),
+                )
+                widened += spent
+            else:
+                distances = filter_vector_distances(
+                    self.embedder, query_vector, shard.vectors
+                )
+                local = stable_smallest(distances, min(p, len(shard)))
+                exact = distances[local]
+            shard_distances.append(exact)
             shard_indices.append(shard.offset + local)
+        if self.shard_quantized is not None:
+            self.widened_queries += 1
+            self.widened_total += widened
         merged_distances = np.concatenate(shard_distances)
         merged_indices = np.concatenate(shard_indices)
         order = np.argsort(merged_distances, kind="stable")[:p]
@@ -738,11 +814,12 @@ class QueryEngine:
         database: Dataset,
         embedder: Union[QuerySensitiveModel, Embedding],
         database_vectors: np.ndarray,
+        quantized: Optional[QuantizedVectors] = None,
     ) -> "QueryEngine":
         """The unsharded filter-and-refine pipeline."""
         return cls(
             embed=EmbedStage(embedder),
-            filter=FilterStage(embedder, database_vectors),
+            filter=FilterStage(embedder, database_vectors, quantized=quantized),
             refine=RefineStage(distance, database),
             merge=MergeStage(),
             n_database=len(database),
@@ -755,11 +832,12 @@ class QueryEngine:
         database: Dataset,
         embedder: Union[QuerySensitiveModel, Embedding],
         shards: Sequence[Any],
+        quantized: Optional[QuantizedVectors] = None,
     ) -> "QueryEngine":
         """The sharded filter-and-refine pipeline (store-aware refine)."""
         return cls(
             embed=EmbedStage(embedder),
-            filter=ShardedFilterStage(embedder, shards),
+            filter=ShardedFilterStage(embedder, shards, quantized=quantized),
             refine=RefineStage(distance, database, shards=shards),
             merge=MergeStage(),
             n_database=len(database),

@@ -68,6 +68,7 @@ from repro.retrieval.engine import (
     refine_order,
     stable_smallest,
 )
+from repro.retrieval.quantized import QuantizedVectors
 
 __all__ = ["FilterRefineRetriever", "RetrievalResult"]
 
@@ -105,6 +106,14 @@ class FilterRefineRetriever:
         Optional precomputed ``(n, d)`` matrix of database embeddings.  When
         omitted, the whole database is embedded at construction time (a
         one-time preprocessing cost, not charged to queries).
+    quantized:
+        Optional :class:`~repro.retrieval.quantized.QuantizedVectors` copy
+        of the embedded database.  The filter scan then reads the
+        low-precision table and re-scores only an error-bounded candidate
+        superset with the exact float64 rows — results, tie order and
+        per-query exact-distance counts stay bit-identical to the float64
+        scan, and the superset size is charged in
+        :attr:`filter_widened_total`.
     """
 
     def __init__(
@@ -113,6 +122,7 @@ class FilterRefineRetriever:
         database: Dataset,
         embedder: Union[QuerySensitiveModel, Embedding],
         database_vectors: Optional[np.ndarray] = None,
+        quantized: Optional["QuantizedVectors"] = None,
     ) -> None:
         if not isinstance(distance, DistanceMeasure):
             raise RetrievalError("distance must be a DistanceMeasure instance")
@@ -133,13 +143,32 @@ class FilterRefineRetriever:
                 f"got {self.database_vectors.shape}"
             )
         self.engine = QueryEngine.filter_refine(
-            distance, database, embedder, self.database_vectors
+            distance, database, embedder, self.database_vectors, quantized=quantized
         )
 
     @property
     def dim(self) -> int:
         """Dimensionality of the embedding used for filtering."""
         return self.embedder.dim
+
+    @property
+    def quantized(self) -> Optional["QuantizedVectors"]:
+        """The quantized filter table, when one is bound (else ``None``)."""
+        return self.engine.filter.quantized
+
+    @property
+    def filter_widened_queries(self) -> int:
+        """Queries answered through the quantized filter scan so far."""
+        return self.engine.filter.widened_queries
+
+    @property
+    def filter_widened_total(self) -> int:
+        """Total widened candidate count ``sum of p'`` across those queries.
+
+        The exact float64 filter rows evaluated to absorb quantization
+        error (``p' >= p`` per query); ``0`` without a quantized table.
+        """
+        return self.engine.filter.widened_total
 
     @property
     def embedding_cost(self) -> int:

@@ -1,0 +1,342 @@
+"""Quantized filter tier: low-precision scan, bit-identical results.
+
+The filter step's cost is one weighted-L1 scan over the ``(n, d)`` float64
+embedded database.  At 10-100x the current database sizes that table is
+the working set: halving (float32) or eighthing (int8) its bytes halves
+or eighths the memory traffic of every query's scan.  Quantization moves
+each stored coordinate, though — so a naive quantized cut could pick
+different candidates than the float64 scan and silently change results.
+
+This module makes the low-precision scan *exact* by construction:
+
+1. :meth:`QuantizedVectors.quantize` stores, next to the quantized codes,
+   the **per-dimension maximum absolute quantization error** ``E_d``
+   measured against the float64 table at quantization time.
+2. For a weighted-L1 filter distance with per-query weights ``w`` the
+   approximate score of any object differs from its true float64 score by
+   at most ``err = sum_d |w_d| * E_d`` (:meth:`QuantizedVectors.error_bound`).
+3. :func:`quantized_filter_cut` scans the quantized table, takes
+   ``U = (p-th smallest approximate score) + 2*err`` (inflated slightly
+   for float roundoff) and keeps the candidate **superset**
+   ``{x : approx(x) <= U}`` — every true top-``p`` member, boundary ties
+   included, provably lands inside it.
+4. Only the superset is re-scored with the exact float64 rows (row-wise
+   evaluation is bit-identical to a full-table scan — the same property
+   the sharded merge relies on) and the stable top-``p`` cut runs on
+   those exact values.
+
+The final candidates, their tie order, and therefore every downstream
+refine evaluation are **bit-identical** to the float64 path.  The cost of
+the widening is charged honestly as ``p' = |superset| >= p`` exact
+filter-vector evaluations, surfaced by the filter-stage counters and
+``EmbeddingIndex.health()``.
+
+Why the superset argument holds: let ``t`` be the ``p``-th smallest true
+score and ``T`` the ``p``-th smallest approximate score.  At least ``p``
+objects satisfy ``approx <= T``, each of which has ``true <= T + err``,
+so ``t <= T + err``.  Any true top-``p`` member (or boundary tie) ``x``
+has ``true(x) <= t``, hence ``approx(x) <= true(x) + err <= T + 2*err``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.model import QuerySensitiveModel
+from repro.embeddings.base import Embedding
+from repro.exceptions import RetrievalError
+
+__all__ = [
+    "QUANTIZED_DTYPES",
+    "QuantizedVectors",
+    "filter_weights",
+    "quantized_filter_cut",
+]
+
+#: Supported low-precision storage dtypes for the filter tier.  ``float64``
+#: is the identity configuration (no quantized table at all).
+QUANTIZED_DTYPES = ("float32", "int8")
+
+#: Rows per block of the quantized scan: bounds the float64 temporaries the
+#: dequantize-and-score loop materializes to ``BLOCK x d`` regardless of
+#: database size.
+_SCAN_BLOCK = 4096
+
+#: int8 codes span [-127, 127]: 254 steps, symmetric so that negating a
+#: table negates its codes and -128 is never produced.
+_INT8_STEPS = 254.0
+_INT8_MAX = 127.0
+
+
+class QuantizedVectors:
+    """A low-precision copy of an embedded database with exact error bounds.
+
+    Build one with :meth:`quantize`; the constructor is for payload
+    round-trips and shard slicing.  Instances are immutable and cheap to
+    slice (codes are views; the per-dimension metadata is shared).
+
+    Attributes
+    ----------
+    dtype:
+        ``"float32"`` or ``"int8"`` (the storage dtype of :attr:`codes`).
+    codes:
+        The ``(n, d)`` quantized table.
+    scale, offset:
+        Per-dimension dequantization parameters (``value = code * scale +
+        offset``).  For ``float32`` they are identity (ones / zeros) —
+        the codes are the values.
+    dim_error:
+        ``(d,)`` float64 per-dimension maximum absolute quantization error
+        ``E_d = max_n |table[n, d] - dequantized[n, d]|``, measured against
+        the float64 table at quantization time.  For a sliced shard this is
+        the whole-table maximum — still a valid (if slightly loose) bound.
+    """
+
+    def __init__(
+        self,
+        dtype: str,
+        codes: np.ndarray,
+        scale: np.ndarray,
+        offset: np.ndarray,
+        dim_error: np.ndarray,
+    ) -> None:
+        if dtype not in QUANTIZED_DTYPES:
+            raise RetrievalError(
+                f"unsupported quantized dtype {dtype!r}; "
+                f"expected one of {QUANTIZED_DTYPES}"
+            )
+        self.dtype = str(dtype)
+        self.codes = codes
+        self.scale = np.asarray(scale, dtype=float)
+        self.offset = np.asarray(offset, dtype=float)
+        self.dim_error = np.asarray(dim_error, dtype=float)
+        if self.codes.ndim != 2:
+            raise RetrievalError("quantized codes must be a 2-D array")
+        d = self.codes.shape[1]
+        for name, arr in (
+            ("scale", self.scale),
+            ("offset", self.offset),
+            ("dim_error", self.dim_error),
+        ):
+            if arr.shape != (d,):
+                raise RetrievalError(
+                    f"quantized {name} must have shape ({d},), got {arr.shape}"
+                )
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    def quantize(cls, vectors: np.ndarray, dtype: str = "float32") -> "QuantizedVectors":
+        """Quantize a float64 ``(n, d)`` table, recording exact error bounds.
+
+        ``float32`` is a plain downcast.  ``int8`` maps each dimension's
+        ``[min, max]`` range affinely onto ``[-127, 127]`` (a constant
+        dimension quantizes exactly).  Either way ``dim_error`` is measured
+        — not estimated — by dequantizing the codes through the very same
+        float64 expression the scan uses, so the bound is tight and exact.
+        """
+        vectors = np.asarray(vectors, dtype=float)
+        if vectors.ndim != 2:
+            raise RetrievalError("vectors to quantize must be a 2-D array")
+        n, d = vectors.shape
+        if dtype == "float32":
+            codes = vectors.astype(np.float32)
+            scale = np.ones(d)
+            offset = np.zeros(d)
+            dequantized = codes.astype(np.float64)
+        elif dtype == "int8":
+            if n:
+                lo = vectors.min(axis=0)
+                hi = vectors.max(axis=0)
+            else:
+                lo = np.zeros(d)
+                hi = np.zeros(d)
+            scale = (hi - lo) / _INT8_STEPS
+            scale[scale == 0.0] = 1.0
+            offset = (hi + lo) / 2.0
+            codes = np.clip(
+                np.rint((vectors - offset[None, :]) / scale[None, :]),
+                -_INT8_MAX,
+                _INT8_MAX,
+            ).astype(np.int8)
+            dequantized = codes.astype(np.float64) * scale[None, :] + offset[None, :]
+        else:
+            raise RetrievalError(
+                f"unsupported quantized dtype {dtype!r}; "
+                f"expected one of {QUANTIZED_DTYPES}"
+            )
+        if n:
+            dim_error = np.abs(vectors - dequantized).max(axis=0)
+        else:
+            dim_error = np.zeros(d)
+        return cls(dtype, codes, scale, offset, dim_error)
+
+    # -- shape -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return int(self.codes.shape[0])
+
+    @property
+    def dim(self) -> int:
+        """Dimensionality of the quantized vectors."""
+        return int(self.codes.shape[1])
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes of the quantized table (codes only — the scan's working set)."""
+        return int(self.codes.nbytes)
+
+    def slice(self, start: int, stop: int) -> "QuantizedVectors":
+        """A shard's view of the table (codes are a view, metadata shared).
+
+        ``dim_error`` stays the whole-table maximum, which remains a valid
+        upper bound for every row of the slice — so a sharded scan merged
+        across slices keeps the same superset guarantee.
+        """
+        return QuantizedVectors(
+            self.dtype, self.codes[start:stop], self.scale, self.offset, self.dim_error
+        )
+
+    # -- scoring ---------------------------------------------------------
+
+    def error_bound(self, weights: Optional[np.ndarray]) -> float:
+        """``sum_d |w_d| * E_d`` — the per-object score error bound.
+
+        ``weights=None`` means the unweighted L1 of a plain embedding
+        (all-ones weights).
+        """
+        if weights is None:
+            return float(self.dim_error.sum())
+        return float(np.abs(np.asarray(weights, dtype=float)).dot(self.dim_error))
+
+    def approx_distances(
+        self, query_vector: np.ndarray, weights: Optional[np.ndarray]
+    ) -> np.ndarray:
+        """Weighted-L1 scores of the query against the *dequantized* table.
+
+        The arithmetic is float64 over dequantized values (float32 codes
+        promote on subtraction; int8 codes dequantize blockwise), so the
+        only deviation from the true float64 score is the coordinate
+        perturbation covered by :meth:`error_bound`.  Evaluated in blocks
+        of ``_SCAN_BLOCK`` rows to bound temporary memory.
+        """
+        q = np.asarray(query_vector, dtype=float)
+        n = len(self)
+        out = np.empty(n, dtype=float)
+        w = None if weights is None else np.asarray(weights, dtype=float)
+        for start in range(0, n, _SCAN_BLOCK):
+            stop = min(start + _SCAN_BLOCK, n)
+            block = self.codes[start:stop]
+            if self.dtype == "int8":
+                block = block.astype(np.float64) * self.scale[None, :] + self.offset[None, :]
+            diff = np.abs(block - q[None, :])
+            out[start:stop] = diff.sum(axis=1) if w is None else diff.dot(w)
+        return out
+
+    # -- persistence -----------------------------------------------------
+
+    def to_payload(self) -> Dict[str, np.ndarray]:
+        """Arrays for ``np.savez`` (round-trips via :meth:`from_payload`)."""
+        return {
+            "quantized_dtype": np.asarray(self.dtype),
+            "codes": self.codes,
+            "scale": self.scale,
+            "offset": self.offset,
+            "dim_error": self.dim_error,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Any) -> "QuantizedVectors":
+        """Rebuild from a ``to_payload()`` mapping (or a loaded ``.npz``)."""
+        try:
+            return cls(
+                str(np.asarray(payload["quantized_dtype"])[()]),
+                np.asarray(payload["codes"]),
+                np.asarray(payload["scale"], dtype=float),
+                np.asarray(payload["offset"], dtype=float),
+                np.asarray(payload["dim_error"], dtype=float),
+            )
+        except (KeyError, ValueError, TypeError) as exc:
+            raise RetrievalError(f"invalid quantized-vectors payload: {exc}") from exc
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"QuantizedVectors(dtype={self.dtype!r}, n={len(self)}, "
+            f"dim={self.dim}, nbytes={self.nbytes})"
+        )
+
+
+def filter_weights(
+    embedder: Union[QuerySensitiveModel, Embedding], query_vector: np.ndarray
+) -> Optional[np.ndarray]:
+    """Per-coordinate filter weights for one query (``None`` = all ones).
+
+    Mirrors :func:`repro.retrieval.engine.filter_vector_distances`: a
+    query-sensitive model scores with its per-query weights ``A_i(q)``, a
+    plain embedding with unweighted L1.
+    """
+    if isinstance(embedder, QuerySensitiveModel):
+        return embedder.weights(np.asarray(query_vector, dtype=float))
+    return None
+
+
+def quantized_filter_cut(
+    quantized: QuantizedVectors,
+    embedder: Union[QuerySensitiveModel, Embedding],
+    query_vector: np.ndarray,
+    database_vectors: np.ndarray,
+    p: Optional[int],
+) -> Tuple[np.ndarray, np.ndarray, int]:
+    """The stable top-``p`` filter cut evaluated through the quantized table.
+
+    Returns ``(candidates, exact_values, widened)``: the candidate database
+    indices in stable (exact distance, index) order — **bit-identical** to
+    ``stable_smallest(filter_vector_distances(...), p)`` over the float64
+    table — their exact float64 filter distances (what a sharded merge
+    ranks on), and ``widened = p'``, the number of objects whose exact
+    float64 row was evaluated (the honest cost of absorbing quantization
+    error; ``p' >= p`` whenever the quantized scan ran).
+
+    With ``p`` at or above the database size the cut degenerates to a full
+    exact scan (the quantized table cannot save anything) and ``widened``
+    is the database size.
+    """
+    # Import here: engine imports this module's stage helpers and vice versa
+    # would otherwise cycle at import time.
+    from repro.retrieval.engine import filter_vector_distances, stable_smallest
+
+    n = len(quantized)
+    if database_vectors.shape[0] != n:
+        raise RetrievalError(
+            f"quantized table has {n} rows but the float64 table has "
+            f"{database_vectors.shape[0]}; they must describe the same database"
+        )
+    if n == 0:
+        return np.zeros(0, dtype=int), np.zeros(0, dtype=float), 0
+    if p is None or p >= n:
+        exact = filter_vector_distances(embedder, query_vector, database_vectors)
+        order = stable_smallest(exact, p)
+        return order, exact[order], n
+    if p <= 0:
+        return np.zeros(0, dtype=int), np.zeros(0, dtype=float), 0
+
+    weights = filter_weights(embedder, query_vector)
+    approximate = quantized.approx_distances(query_vector, weights)
+    bound = quantized.error_bound(weights)
+    threshold = np.partition(approximate, p - 1)[p - 1]
+    # 2*err covers quantization both ways (see the module docstring); the
+    # relative + absolute inflation covers float64 summation roundoff in
+    # the scores themselves.  Overshoot only grows the superset slightly.
+    cutoff = threshold + 2.0 * bound
+    cutoff += 1e-9 * abs(cutoff) + 1e-300
+    superset = np.flatnonzero(approximate <= cutoff)
+    exact = filter_vector_distances(
+        embedder, query_vector, database_vectors[superset]
+    )
+    # ``superset`` is ascending in database index, so the stable cut on the
+    # exact values breaks boundary ties by global index — exactly like the
+    # full-table stable cut, whose winners all lie inside the superset.
+    local = stable_smallest(exact, p)
+    return superset[local], exact[local], int(superset.size)

@@ -107,6 +107,32 @@ class TestDistanceStore:
         assert loaded.get(9, 10) == store.get(9, 10)
         assert loaded.get(11, 11) == store.get(11, 11)
 
+    def test_float32_blocks_round_trip_without_upcast(self, tmp_path, rng):
+        # Regression: _DenseBlock used to normalise every block to float64,
+        # so a float32 quantized table silently doubled its memory on every
+        # (re)open.  Reduced-precision float blocks must survive put_block,
+        # save(compress=False) and load(mmap_mode="r") unchanged.
+        values = rng.normal(size=(3, 4)).astype(np.float32)
+        store = DistanceStore(symmetric=False, fingerprint="f32")
+        store.put_block([0, 1, 2], [5, 6, 7, 8], values)
+        assert store._blocks[0].values.dtype == np.float32
+        path = tmp_path / "store32.npz"
+        store.save(path, compress=False)
+        eager = DistanceStore.load(path, expected_fingerprint="f32")
+        assert eager._blocks[0].values.dtype == np.float32
+        mapped = DistanceStore.load(
+            path, expected_fingerprint="f32", mmap_mode="r"
+        )
+        block = mapped._blocks[0].values
+        assert block.dtype == np.float32
+        # Still backed by the on-disk mapping (np.asarray strips the memmap
+        # subclass but keeps the mapped buffer as base).
+        assert not block.flags.owndata and isinstance(block.base, np.memmap)
+        for i in range(3):
+            for j in range(5, 9):
+                assert eager.get(i, j) == store.get(i, j)  # bit-exact
+                assert mapped.get(i, j) == store.get(i, j)
+
     def test_load_refuses_fingerprint_mismatch(self, tmp_path):
         store = DistanceStore(symmetric=True, fingerprint="fingerprint-a")
         store.put(0, 1, 2.0)

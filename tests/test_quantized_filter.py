@@ -1,0 +1,455 @@
+"""Tests for the quantized filter tier (:mod:`repro.retrieval.quantized`).
+
+The tier's contract is strict: scanning the float32 / int8 copy of the
+embedded database must leave every observable output — candidates, tie
+order, neighbor distances, per-query exact-distance counts — **bit
+identical** to the float64 scan, with the quantization error absorbed by
+an honestly-charged widened ``p'``.  These tests pin that contract at
+every level: the quantizer itself, the cut function (including boundary
+ties), both retrievers, and the ``EmbeddingIndex`` facade with its
+artifact round trip and ``health()`` metadata.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import (
+    EmbeddingIndex,
+    IndexConfig,
+    L2Distance,
+    RetrievalSplit,
+    TrainingConfig,
+    make_gaussian_clusters,
+)
+from repro.embeddings.base import Embedding
+from repro.exceptions import ArtifactError, ConfigurationError, RetrievalError
+from repro.index import artifacts
+from repro.retrieval import FilterRefineRetriever, ShardedRetriever
+from repro.retrieval.engine import filter_vector_distances, stable_smallest
+from repro.retrieval.quantized import (
+    QUANTIZED_DTYPES,
+    QuantizedVectors,
+    quantized_filter_cut,
+)
+
+
+class VectorEmbedding(Embedding):
+    """Identity embedding over vector objects (filter = plain L1)."""
+
+    def __init__(self, dim: int) -> None:
+        self._dim = int(dim)
+
+    @property
+    def dim(self) -> int:
+        return self._dim
+
+    @property
+    def cost(self) -> int:
+        return 0
+
+    def embed(self, obj) -> np.ndarray:
+        return np.asarray(obj, dtype=float)
+
+    def embed_many(self, objects) -> np.ndarray:
+        return np.asarray(list(objects), dtype=float)
+
+
+# --------------------------------------------------------------------------- #
+# QuantizedVectors                                                            #
+# --------------------------------------------------------------------------- #
+
+
+class TestQuantizedVectors:
+    @pytest.mark.parametrize("dtype", QUANTIZED_DTYPES)
+    def test_dim_error_is_the_measured_maximum(self, dtype, rng):
+        vectors = rng.normal(size=(64, 5)) * rng.uniform(0.1, 50.0, size=5)
+        quantized = QuantizedVectors.quantize(vectors, dtype)
+        if dtype == "int8":
+            dequantized = (
+                quantized.codes.astype(np.float64) * quantized.scale[None, :]
+                + quantized.offset[None, :]
+            )
+        else:
+            dequantized = quantized.codes.astype(np.float64)
+        errors = np.abs(vectors - dequantized)
+        np.testing.assert_array_equal(errors.max(axis=0), quantized.dim_error)
+
+    def test_float32_is_a_downcast(self, rng):
+        vectors = rng.normal(size=(10, 3))
+        quantized = QuantizedVectors.quantize(vectors, "float32")
+        assert quantized.codes.dtype == np.float32
+        np.testing.assert_array_equal(
+            quantized.codes, vectors.astype(np.float32)
+        )
+        assert quantized.nbytes == vectors.nbytes // 2
+
+    def test_int8_constant_dimension_quantizes_exactly(self):
+        vectors = np.column_stack(
+            [np.full(8, 3.25), np.linspace(-2.0, 2.0, 8)]
+        )
+        quantized = QuantizedVectors.quantize(vectors, "int8")
+        assert quantized.codes.dtype == np.int8
+        assert quantized.dim_error[0] == 0.0
+        assert quantized.nbytes == vectors.nbytes // 8
+
+    def test_error_bound_weights(self, rng):
+        quantized = QuantizedVectors.quantize(rng.normal(size=(20, 4)), "int8")
+        weights = np.array([1.0, -2.0, 0.0, 0.5])
+        expected = float(np.abs(weights).dot(quantized.dim_error))
+        assert quantized.error_bound(weights) == expected
+        assert quantized.error_bound(None) == float(quantized.dim_error.sum())
+
+    def test_approx_distances_within_bound(self, rng):
+        vectors = rng.normal(size=(300, 6))
+        embedder = VectorEmbedding(6)
+        query = rng.normal(size=6)
+        for dtype in QUANTIZED_DTYPES:
+            quantized = QuantizedVectors.quantize(vectors, dtype)
+            approx = quantized.approx_distances(query, None)
+            exact = filter_vector_distances(embedder, query, vectors)
+            bound = quantized.error_bound(None)
+            assert np.abs(approx - exact).max() <= bound * (1 + 1e-9) + 1e-12
+
+    def test_payload_round_trip(self, tmp_path, rng):
+        quantized = QuantizedVectors.quantize(rng.normal(size=(12, 3)), "int8")
+        path = tmp_path / "filter.npz"
+        np.savez(path, **quantized.to_payload())
+        with np.load(path) as data:
+            restored = QuantizedVectors.from_payload(data)
+        assert restored.dtype == "int8"
+        np.testing.assert_array_equal(restored.codes, quantized.codes)
+        np.testing.assert_array_equal(restored.scale, quantized.scale)
+        np.testing.assert_array_equal(restored.offset, quantized.offset)
+        np.testing.assert_array_equal(restored.dim_error, quantized.dim_error)
+
+    def test_slice_shares_codes_and_bounds(self, rng):
+        quantized = QuantizedVectors.quantize(rng.normal(size=(30, 2)), "float32")
+        part = quantized.slice(10, 20)
+        assert len(part) == 10
+        assert part.codes.base is quantized.codes
+        assert part.dim_error is not None
+        np.testing.assert_array_equal(part.dim_error, quantized.dim_error)
+
+    def test_invalid_inputs_are_rejected(self, rng):
+        with pytest.raises(RetrievalError, match="unsupported quantized dtype"):
+            QuantizedVectors.quantize(rng.normal(size=(4, 2)), "float16")
+        with pytest.raises(RetrievalError, match="2-D"):
+            QuantizedVectors.quantize(rng.normal(size=4), "float32")
+        with pytest.raises(RetrievalError, match="invalid quantized-vectors"):
+            QuantizedVectors.from_payload({"codes": np.zeros((2, 2))})
+
+
+# --------------------------------------------------------------------------- #
+# The cut                                                                     #
+# --------------------------------------------------------------------------- #
+
+
+class TestQuantizedFilterCut:
+    @pytest.mark.parametrize("dtype", QUANTIZED_DTYPES)
+    def test_bit_identical_to_exact_cut(self, dtype, rng):
+        vectors = rng.normal(size=(400, 7))
+        embedder = VectorEmbedding(7)
+        quantized = QuantizedVectors.quantize(vectors, dtype)
+        for seed in range(5):
+            query = rng.normal(size=7)
+            for p in (1, 17, 50):
+                exact_full = filter_vector_distances(embedder, query, vectors)
+                want = stable_smallest(exact_full, p)
+                got, values, widened = quantized_filter_cut(
+                    quantized, embedder, query, vectors, p
+                )
+                np.testing.assert_array_equal(got, want)
+                np.testing.assert_array_equal(values, exact_full[want])
+                assert widened >= p
+
+    @pytest.mark.parametrize("dtype", QUANTIZED_DTYPES)
+    def test_boundary_ties_resolve_identically(self, dtype):
+        # Duplicate rows force exact filter-distance ties that straddle the
+        # cut; stable selection must keep the lowest database indices.
+        base = np.array([[0.0, 0.0], [1.0, 1.0], [2.0, 0.5], [0.3, 0.7]])
+        vectors = np.tile(base, (10, 1))
+        embedder = VectorEmbedding(2)
+        quantized = QuantizedVectors.quantize(vectors, dtype)
+        query = np.array([0.1, 0.2])
+        for p in (3, 7, 11, 20):
+            exact_full = filter_vector_distances(embedder, query, vectors)
+            want = stable_smallest(exact_full, p)
+            got, _values, _w = quantized_filter_cut(
+                quantized, embedder, query, vectors, p
+            )
+            np.testing.assert_array_equal(got, want)
+
+    def test_degenerate_p_values(self, rng):
+        vectors = rng.normal(size=(20, 3))
+        embedder = VectorEmbedding(3)
+        quantized = QuantizedVectors.quantize(vectors, "float32")
+        query = rng.normal(size=3)
+        exact_full = filter_vector_distances(embedder, query, vectors)
+        # p >= n: a full exact scan, charged as n.
+        got, values, widened = quantized_filter_cut(
+            quantized, embedder, query, vectors, 50
+        )
+        np.testing.assert_array_equal(got, stable_smallest(exact_full, None))
+        assert widened == 20
+        # p at the database size exactly.
+        got, _values, widened = quantized_filter_cut(
+            quantized, embedder, query, vectors, 20
+        )
+        assert widened == 20 and got.shape == (20,)
+
+    def test_row_count_mismatch_is_rejected(self, rng):
+        vectors = rng.normal(size=(10, 2))
+        quantized = QuantizedVectors.quantize(vectors, "float32")
+        with pytest.raises(RetrievalError, match="same database"):
+            quantized_filter_cut(
+                quantized, VectorEmbedding(2), np.zeros(2), vectors[:5], 3
+            )
+
+
+# --------------------------------------------------------------------------- #
+# Retrievers                                                                  #
+# --------------------------------------------------------------------------- #
+
+
+@pytest.fixture(scope="module")
+def vector_world():
+    rng = np.random.default_rng(7)
+    dataset = make_gaussian_clusters(n_objects=300, n_clusters=6, n_dims=8, seed=3)
+    embedder = VectorEmbedding(8)
+    queries = [
+        dataset[i] + rng.normal(0, 0.05, size=dataset[i].shape) for i in range(15)
+    ]
+    return dataset, embedder, queries
+
+
+def assert_results_identical(lhs, rhs):
+    assert len(lhs) == len(rhs)
+    for a, b in zip(lhs, rhs):
+        assert np.array_equal(a.neighbor_indices, b.neighbor_indices)
+        assert np.array_equal(a.neighbor_distances, b.neighbor_distances)
+        assert np.array_equal(a.candidate_indices, b.candidate_indices)
+        assert a.refine_distance_computations == b.refine_distance_computations
+        assert a.embedding_distance_computations == b.embedding_distance_computations
+
+
+class TestRetrieversBitIdentical:
+    @pytest.mark.parametrize("dtype", QUANTIZED_DTYPES)
+    def test_filter_refine(self, dtype, vector_world):
+        dataset, embedder, queries = vector_world
+        base = FilterRefineRetriever(L2Distance(), dataset, embedder)
+        quantized = QuantizedVectors.quantize(base.database_vectors, dtype)
+        quant = FilterRefineRetriever(
+            L2Distance(),
+            dataset,
+            embedder,
+            database_vectors=base.database_vectors,
+            quantized=quantized,
+        )
+        want = base.query_many(queries, k=5, p=25)
+        got = quant.query_many(queries, k=5, p=25)
+        assert_results_identical(want, got)
+        assert quant.filter_widened_queries == len(queries)
+        assert quant.filter_widened_total >= 25 * len(queries)
+        assert base.filter_widened_queries == 0
+        assert quant.quantized is quantized
+
+    @pytest.mark.parametrize("dtype", QUANTIZED_DTYPES)
+    def test_sharded(self, dtype, vector_world):
+        dataset, embedder, queries = vector_world
+        base = ShardedRetriever(L2Distance(), dataset, embedder, n_shards=3)
+        quantized = QuantizedVectors.quantize(base.database_vectors, dtype)
+        quant = ShardedRetriever(
+            L2Distance(),
+            dataset,
+            embedder,
+            n_shards=3,
+            database_vectors=base.database_vectors,
+            quantized=quantized,
+        )
+        want = base.query_many(queries, k=4, p=20)
+        got = quant.query_many(queries, k=4, p=20)
+        assert_results_identical(want, got)
+        assert quant.filter_widened_queries == len(queries)
+        # Widening is charged per shard, so the total is at least the
+        # merged candidate budget (min(p, shard) summed across shards).
+        assert quant.filter_widened_total >= 20 * len(queries)
+        assert quant.quantized is quantized
+        assert base.quantized is None
+
+
+# --------------------------------------------------------------------------- #
+# EmbeddingIndex facade + artifacts                                           #
+# --------------------------------------------------------------------------- #
+
+
+def _tiny_training(seed: int = 2) -> TrainingConfig:
+    return TrainingConfig(
+        n_candidates=20,
+        n_training_objects=20,
+        n_triples=300,
+        n_rounds=6,
+        classifiers_per_round=10,
+        intervals_per_candidate=4,
+        kmax=5,
+        seed=seed,
+    )
+
+
+@pytest.fixture(scope="module")
+def index_world():
+    dataset = make_gaussian_clusters(n_objects=120, n_clusters=5, n_dims=5, seed=11)
+    split = RetrievalSplit.from_dataset(dataset, n_queries=10, seed=12)
+    queries = list(split.queries)
+    base = EmbeddingIndex.build(
+        L2Distance(),
+        split.database,
+        IndexConfig(training=_tiny_training()),
+        queries=queries,
+    )
+    baseline = base.query_many(queries, k=3, p=12)
+    # A second pass over the same queries hits the warm DistanceStore and
+    # charges zero refine evaluations; stream comparisons need this
+    # cache-warm baseline, not the cold one.
+    streamed = [None] * len(queries)
+    for position, result in base.stream(queries, k=3, p=12, order="submission"):
+        streamed[position] = result
+    yield split, queries, baseline, streamed
+    base.close()
+
+
+class TestIndexConfig:
+    def test_rejects_unknown_filter_dtype(self):
+        with pytest.raises(ConfigurationError, match="filter_dtype"):
+            IndexConfig(filter_dtype="float16")
+
+    def test_round_trips_filter_dtype(self):
+        config = IndexConfig(filter_dtype="int8")
+        restored = IndexConfig.from_dict(config.to_dict())
+        assert restored.filter_dtype == "int8"
+
+    def test_legacy_payload_defaults_to_float64(self):
+        payload = IndexConfig().to_dict()
+        del payload["filter_dtype"]
+        assert IndexConfig.from_dict(payload).filter_dtype == "float64"
+
+
+class TestIndexQuantizedServing:
+    @pytest.mark.parametrize("dtype", QUANTIZED_DTYPES)
+    def test_query_and_stream_bit_identical(self, dtype, index_world):
+        split, queries, baseline, baseline_streamed = index_world
+        with EmbeddingIndex.build(
+            L2Distance(),
+            split.database,
+            IndexConfig(training=_tiny_training(), filter_dtype=dtype),
+            queries=queries,
+        ) as index:
+            assert index.quantized is not None
+            assert index.quantized.dtype == dtype
+            assert_results_identical(
+                baseline, index.query_many(queries, k=3, p=12)
+            )
+            streamed = [None] * len(queries)
+            for position, result in index.stream(
+                queries, k=3, p=12, order="submission"
+            ):
+                streamed[position] = result
+            assert_results_identical(baseline_streamed, streamed)
+
+            health = index.health()["quantization"]
+            assert health["dtype"] == dtype
+            assert health["nbytes"] == index.quantized.nbytes
+            assert health["widened_queries"] >= len(queries)
+            assert health["widened_total"] >= 12 * health["widened_queries"]
+
+            # The sharded backend reuses the same quantized table; by now
+            # the store is warm, so compare against the warm baseline.
+            index.set_backend("sharded")
+            assert_results_identical(
+                baseline_streamed, index.query_many(queries, k=3, p=12)
+            )
+
+    def test_float64_reports_no_quantization(self, index_world):
+        split, queries, _baseline, _streamed = index_world
+        with EmbeddingIndex.build(
+            L2Distance(),
+            split.database,
+            IndexConfig(training=_tiny_training()),
+            queries=queries,
+        ) as index:
+            assert index.quantized is None
+            assert index.health()["quantization"] is None
+
+
+class TestQuantizedArtifacts:
+    @pytest.mark.parametrize("dtype", QUANTIZED_DTYPES)
+    def test_save_open_round_trip(self, dtype, index_world, tmp_path):
+        split, queries, baseline, _streamed = index_world
+        directory = tmp_path / f"artifact-{dtype}"
+        with EmbeddingIndex.build(
+            L2Distance(),
+            split.database,
+            IndexConfig(training=_tiny_training(), filter_dtype=dtype),
+            queries=queries,
+        ) as index:
+            index.save(directory)
+            saved_codes = index.quantized.codes.copy()
+
+        manifest = json.loads((directory / "manifest.json").read_text())
+        assert manifest["filter"]["dtype"] == dtype
+        assert manifest["filter"]["nbytes"] > 0
+        assert (directory / "filter.npz").exists()
+
+        with EmbeddingIndex.open(directory, split.database) as reopened:
+            assert reopened.quantized.dtype == dtype
+            np.testing.assert_array_equal(reopened.quantized.codes, saved_codes)
+            assert_results_identical(
+                baseline, reopened.query_many(queries, k=3, p=12)
+            )
+            assert reopened.health()["quantization"]["dtype"] == dtype
+
+    def test_float64_artifact_has_no_filter_file(self, index_world, tmp_path):
+        split, queries, _baseline, _streamed = index_world
+        directory = tmp_path / "artifact-plain"
+        with EmbeddingIndex.build(
+            L2Distance(),
+            split.database,
+            IndexConfig(training=_tiny_training()),
+            queries=queries,
+        ) as index:
+            index.save(directory)
+        manifest = json.loads((directory / "manifest.json").read_text())
+        assert manifest["filter"] is None
+        assert not (directory / "filter.npz").exists()
+
+    def test_missing_filter_file_refuses_to_open(self, index_world, tmp_path):
+        split, queries, _baseline, _streamed = index_world
+        directory = tmp_path / "artifact-missing"
+        with EmbeddingIndex.build(
+            L2Distance(),
+            split.database,
+            IndexConfig(training=_tiny_training(), filter_dtype="float32"),
+            queries=queries,
+        ) as index:
+            index.save(directory)
+        (directory / "filter.npz").unlink()
+        with pytest.raises(ArtifactError, match="quantized filter"):
+            EmbeddingIndex.open(directory, split.database)
+
+    def test_mismatched_filter_dtype_refuses_to_open(self, index_world, tmp_path):
+        split, queries, _baseline, _streamed = index_world
+        directory = tmp_path / "artifact-mismatch"
+        with EmbeddingIndex.build(
+            L2Distance(),
+            split.database,
+            IndexConfig(training=_tiny_training(), filter_dtype="float32"),
+            queries=queries,
+        ) as index:
+            index.save(directory)
+            wrong = QuantizedVectors.quantize(index.database_vectors, "int8")
+        artifacts.write_filter_payload(directory, wrong.to_payload())
+        with pytest.raises(ArtifactError, match="promises"):
+            EmbeddingIndex.open(directory, split.database)

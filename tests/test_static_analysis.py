@@ -511,6 +511,108 @@ def test_rp009_flags_print_in_library_but_not_experiments(tmp_path):
 
 
 # --------------------------------------------------------------------------- #
+# RP010 kernel parity                                                         #
+# --------------------------------------------------------------------------- #
+
+KERNELS_DIR = "src/repro/distances/kernels"
+
+COMPILED_BACKEND = """
+class FastBackend:
+    name = "fast"
+    compiled = True
+
+    def dtw_batch(self, xs, ys, radius):
+        return None
+"""
+
+
+def _write_kernel_world(tmp_path, fallback_methods=("dtw_batch",), test_source=None):
+    """Lay out a fake kernels package plus (optionally) the parity suite."""
+    fallback = "\n".join(
+        ["class NumpyBackend:", "    name = 'numpy'", "    compiled = False"]
+        + [
+            f"\n    def {name}(self, *args):\n        return None"
+            for name in fallback_methods
+        ]
+    )
+    (tmp_path / KERNELS_DIR).mkdir(parents=True, exist_ok=True)
+    (tmp_path / KERNELS_DIR / "numpy_backend.py").write_text(fallback)
+    if test_source is not None:
+        (tmp_path / "tests").mkdir(exist_ok=True)
+        (tmp_path / "tests" / "test_kernel_backends.py").write_text(test_source)
+
+
+def test_rp010_accepts_backed_and_tested_kernel(tmp_path):
+    _write_kernel_world(
+        tmp_path, test_source="def test_parity():\n    backend.dtw_batch(x, y, 3)\n"
+    )
+    findings = lint_snippet(
+        tmp_path, COMPILED_BACKEND, name=f"{KERNELS_DIR}/fast.py", rule_ids=["RP010"]
+    )
+    assert findings == []
+
+
+def test_rp010_flags_entry_point_without_numpy_fallback(tmp_path):
+    _write_kernel_world(
+        tmp_path,
+        fallback_methods=("other_batch",),
+        test_source="def test_parity():\n    backend.dtw_batch(x, y, 3)\n",
+    )
+    findings = lint_snippet(
+        tmp_path, COMPILED_BACKEND, name=f"{KERNELS_DIR}/fast.py", rule_ids=["RP010"]
+    )
+    assert rule_ids(findings) == ["RP010"]
+    assert "no same-name method on the numpy fallback" in findings[0].message
+
+
+def test_rp010_flags_missing_fallback_module(tmp_path):
+    (tmp_path / KERNELS_DIR).mkdir(parents=True, exist_ok=True)
+    findings = lint_snippet(
+        tmp_path, COMPILED_BACKEND, name=f"{KERNELS_DIR}/fast.py", rule_ids=["RP010"]
+    )
+    assert rule_ids(findings) == ["RP010"]
+    assert "no readable numpy fallback module" in findings[0].message
+
+
+def test_rp010_flags_untested_entry_point(tmp_path):
+    _write_kernel_world(
+        tmp_path, test_source="def test_parity():\n    backend.edit_batch(x)\n"
+    )
+    findings = lint_snippet(
+        tmp_path, COMPILED_BACKEND, name=f"{KERNELS_DIR}/fast.py", rule_ids=["RP010"]
+    )
+    assert rule_ids(findings) == ["RP010"]
+    assert "never referenced from tests/test_kernel_backends.py" in findings[0].message
+
+
+def test_rp010_ignores_uncompiled_classes_and_other_packages(tmp_path):
+    _write_kernel_world(tmp_path, fallback_methods=())
+    uncompiled = """
+    class SlowBackend:
+        compiled = False
+
+        def dtw_batch(self, xs, ys, radius):
+            return None
+    """
+    assert (
+        lint_snippet(
+            tmp_path, uncompiled, name=f"{KERNELS_DIR}/slow.py", rule_ids=["RP010"]
+        )
+        == []
+    )
+    # The same compiled class outside distances/kernels is out of scope.
+    assert (
+        lint_snippet(
+            tmp_path,
+            COMPILED_BACKEND,
+            name="src/repro/retrieval/fast.py",
+            rule_ids=["RP010"],
+        )
+        == []
+    )
+
+
+# --------------------------------------------------------------------------- #
 # Pragmas                                                                     #
 # --------------------------------------------------------------------------- #
 
