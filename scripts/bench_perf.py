@@ -16,7 +16,11 @@ launch exactly once across repeated batches, both asserted), an
 ``stream`` serving path on a warm index, results asserted bit-identical),
 a ``degraded_serve`` benchmark (warm-artifact serve with a worker killed
 mid-batch vs. a healthy pool — bit-identical results and exactly one
-respawn asserted; recorded but never gated), a ``kernel_pairwise``
+respawn asserted; recorded but never gated), a ``remote_serve`` benchmark
+(the same query batch through a localhost cluster of shard-server
+subprocesses behind the ``"remote_sharded"`` backend vs. the in-process
+sharded backend — bit-identical results and accounting asserted; bytes on
+the wire and per-shard round trips recorded, never gated), a ``kernel_pairwise``
 benchmark (compiled DP kernels vs. the pure-numpy backend on the pairwise
 workloads, best-of-``k`` timed, results asserted identical before timing;
 **gated** at a combined 5x speedup whenever a compiled backend is
@@ -752,6 +756,108 @@ def bench_degraded_serve(
     }
 
 
+def bench_remote_serve(
+    n_database: int,
+    n_queries: int,
+    length: int,
+    n_candidates: int,
+    dim_rounds: int,
+    k: int,
+    p: int,
+    n_shards: int,
+) -> dict:
+    """Scatter/gather over localhost sockets vs the in-process sharded path.
+
+    Builds and saves a sharded index once, then serves the same query
+    batch from two freshly opened copies: one through the in-process
+    ``"sharded"`` backend, one through a :class:`LocalCluster` of
+    ``n_shards`` shard-server subprocesses behind the ``"remote_sharded"``
+    backend.  Results must be bit-identical (neighbors, distances and
+    per-query refine accounting, asserted); the record captures the
+    socket tax — bytes on the wire, per-shard round trips, and the
+    wall-clock ratio.  Never gated: on one machine the sockets are pure
+    overhead, and the figure exists so the protocol's cost stays visible
+    across PRs.
+    """
+    import tempfile
+
+    from repro.index import EmbeddingIndex, IndexConfig
+    from repro.remote import LocalCluster, use_remote_backend
+
+    database, queries = make_timeseries_dataset(
+        n_database=n_database,
+        n_queries=n_queries,
+        n_seeds=8,
+        length=length,
+        n_dims=1,
+        seed=33,
+    )
+    query_objects = list(queries)
+    config = IndexConfig(
+        training=TrainingConfig(
+            n_candidates=n_candidates,
+            n_training_objects=n_candidates,
+            n_triples=max(200, 10 * n_candidates),
+            n_rounds=dim_rounds,
+            classifiers_per_round=20,
+            intervals_per_candidate=3,
+            kmax=k,
+            seed=7,
+        ),
+        backend="sharded",
+        n_shards=n_shards,
+        n_jobs=None,
+    )
+    index = EmbeddingIndex.build(ConstrainedDTW(), database, config)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        artifact = Path(tmp) / "index"
+        index.save(artifact, compress_store=False)
+        index.close()
+
+        local = EmbeddingIndex.open(artifact, database)
+        local_results, local_seconds = _timed(
+            lambda: local.query_many(query_objects, k=k, p=p)
+        )
+        local.close()
+
+        remote = EmbeddingIndex.open(artifact, database)
+        with LocalCluster(artifact, database, n_shards=n_shards) as cluster:
+            backend = use_remote_backend(remote, cluster.addresses)
+            remote_results, remote_seconds = _timed(
+                lambda: remote.query_many(query_objects, k=k, p=p)
+            )
+            health = backend.health()
+        remote.close()
+
+    assert not health["degraded"], "remote bench must run on a healthy cluster"
+    for local_r, remote_r in zip(local_results, remote_results):
+        assert np.array_equal(
+            local_r.neighbor_indices, remote_r.neighbor_indices
+        ), "remote serve disagrees with the in-process sharded backend"
+        assert np.array_equal(local_r.neighbor_distances, remote_r.neighbor_distances)
+        assert (
+            local_r.refine_distance_computations
+            == remote_r.refine_distance_computations
+        ), "remote serve accounting disagrees with the in-process backend"
+    return {
+        "n_database": n_database,
+        "n_queries": n_queries,
+        "series_length": length,
+        "n_candidates": n_candidates,
+        "k": k,
+        "p": p,
+        "n_shards": n_shards,
+        "single_process_seconds": local_seconds,
+        "remote_seconds": remote_seconds,
+        "bytes_sent": health["bytes_sent"],
+        "bytes_received": health["bytes_received"],
+        "bytes_on_wire": health["bytes_sent"] + health["bytes_received"],
+        "round_trips_per_shard": [s["round_trips"] for s in health["shards"]],
+        "speedup": local_seconds / remote_seconds,
+    }
+
+
 def bench_kernel_pairwise(
     n_dtw: int,
     dtw_length: int,
@@ -1092,6 +1198,10 @@ def main() -> int:
                 n_database=60, n_queries=8, length=30, n_candidates=20,
                 dim_rounds=5, k=3, p=10, n_jobs=2,
             ),
+            "remote_serve": dict(
+                n_database=60, n_queries=8, length=30, n_candidates=20,
+                dim_rounds=5, k=3, p=10, n_shards=4,
+            ),
             "kernel_pairwise": dict(
                 n_dtw=50, dtw_length=40, n_edit=60, edit_length=25, repeats=3,
             ),
@@ -1125,6 +1235,10 @@ def main() -> int:
             "degraded_serve": dict(
                 n_database=200, n_queries=20, length=50, n_candidates=60,
                 dim_rounds=10, k=5, p=25, n_jobs=2,
+            ),
+            "remote_serve": dict(
+                n_database=200, n_queries=20, length=50, n_candidates=60,
+                dim_rounds=10, k=5, p=25, n_shards=4,
             ),
             "kernel_pairwise": dict(
                 n_dtw=200, dtw_length=64, n_edit=200, edit_length=40, repeats=3,
@@ -1161,6 +1275,7 @@ def main() -> int:
         ("index_serve", bench_index_serve),
         ("async_serve", bench_async_serve),
         ("degraded_serve", bench_degraded_serve),
+        ("remote_serve", bench_remote_serve),
         ("kernel_pairwise", bench_kernel_pairwise),
         ("quantized_filter", bench_quantized_filter),
     ]:
@@ -1174,7 +1289,8 @@ def main() -> int:
         )
         engine_keys = (
             "engine_seconds", "sharded_seconds", "warm_seconds",
-            "stream_seconds", "degraded_seconds", "compiled_seconds",
+            "stream_seconds", "degraded_seconds", "remote_seconds",
+            "compiled_seconds",
         )
         baseline = next((r[key] for key in baseline_keys if key in r), None)
         engine = next((r[key] for key in engine_keys if key in r), None)

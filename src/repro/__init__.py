@@ -51,6 +51,10 @@ from repro.exceptions import (
     RetrievalError,
     ServingError,
     ServingTimeout,
+    RemoteError,
+    RemoteProtocolError,
+    RemoteConnectionError,
+    RemoteTimeout,
     ExperimentError,
     SerializationError,
     ArtifactError,
@@ -152,6 +156,10 @@ __all__ = [
     "RetrievalError",
     "ServingError",
     "ServingTimeout",
+    "RemoteError",
+    "RemoteProtocolError",
+    "RemoteConnectionError",
+    "RemoteTimeout",
     "ExperimentError",
     "SerializationError",
     "ArtifactError",

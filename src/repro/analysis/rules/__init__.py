@@ -21,6 +21,9 @@ RP008     style               public API carries docstrings
 RP009     style               library packages never print
 RP010     kernels             compiled kernel entry points have a numpy
                               fallback and a parity test referencing them
+RP011     remote              every repro.remote socket has an explicit
+                              deadline; low-level socket errors re-raised
+                              as typed Remote* errors at the network rim
 ========  ==================  ===============================================
 """
 
@@ -30,6 +33,7 @@ from repro.analysis.rules import (  # noqa: F401  (import for side effects)
     exception_hygiene,
     kernels,
     parallel_safety,
+    remote,
     resources,
     style,
 )

@@ -1,0 +1,186 @@
+"""RP011 — network rim hygiene for the distributed shard service.
+
+Two halves of the ``repro.remote`` serving contract (ISSUE 9 / ROADMAP
+"Failure semantics"):
+
+* **Every socket has a deadline.**  A socket with no timeout turns a
+  stalled peer into a hung parent — the exact failure the scatter/gather
+  client's supervision exists to bound.  Any function that creates a
+  ``socket.socket(...)`` must also call ``.settimeout(...)``, and every
+  ``socket.create_connection(...)`` must pass a timeout (second positional
+  argument or ``timeout=`` keyword).
+* **Typed errors at the network rim.**  A handler catching low-level
+  socket/OS errors (``OSError`` and friends, ``TimeoutError``,
+  ``socket.timeout``) must re-raise — bare ``raise`` or a typed
+  ``Remote*`` error — so raw ``ConnectionResetError`` tracebacks never
+  leak through the backend API.  Genuine supervision swallows (the accept
+  poll, double-close guards) carry a scoped
+  ``# repro-lint: disable=RP011 -- <why>`` pragma, keeping the waiver
+  visible in the diff.
+
+The rule scopes itself to ``repro/remote/`` — elsewhere the library does
+not speak sockets, and the parallel-safety and exception-hygiene rules
+already cover the process rim.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from repro.analysis.core import (
+    Finding,
+    ModuleContext,
+    Rule,
+    call_name,
+    dotted_name,
+    register_rule,
+)
+
+#: Only the shard-service package speaks sockets.
+REMOTE_FRAGMENT = "repro/remote/"
+
+#: Low-level network/OS exception names (matched on the last dotted
+#: segment) whose handlers must re-raise typed Remote errors.
+LOW_LEVEL_LAST = {
+    "OSError",
+    "IOError",
+    "ConnectionError",
+    "ConnectionResetError",
+    "ConnectionAbortedError",
+    "ConnectionRefusedError",
+    "BrokenPipeError",
+    "TimeoutError",
+    "InterruptedError",
+}
+#: Fully dotted aliases (``socket.timeout is TimeoutError`` on 3.10+, but
+#: the spelling still appears in code).
+LOW_LEVEL_DOTTED = {"socket.error", "socket.timeout", "socket.gaierror"}
+
+
+def _function_scopes(tree: ast.Module) -> List[ast.AST]:
+    """Every function scope in the module (socket use never sits bare)."""
+    return [
+        node
+        for node in ast.walk(tree)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ]
+
+
+def _socket_constructors(scope: ast.AST) -> List[ast.Call]:
+    """Calls in ``scope`` that build a raw ``socket.socket``."""
+    calls = []
+    for node in ast.walk(scope):
+        if isinstance(node, ast.Call) and call_name(node) == "socket.socket":
+            calls.append(node)
+    return calls
+
+
+def _calls_settimeout(scope: ast.AST) -> bool:
+    for node in ast.walk(scope):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "settimeout"
+        ):
+            return True
+    return False
+
+
+def _create_connection_without_timeout(scope: ast.AST) -> List[ast.Call]:
+    """``socket.create_connection`` calls that rely on the global default."""
+    offending = []
+    for node in ast.walk(scope):
+        if not isinstance(node, ast.Call):
+            continue
+        name = call_name(node)
+        if name is None or name.split(".")[-1] != "create_connection":
+            continue
+        has_timeout = len(node.args) >= 2 or any(
+            keyword.arg == "timeout" for keyword in node.keywords
+        )
+        if not has_timeout:
+            offending.append(node)
+    return offending
+
+
+def _caught_low_level(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return False
+    nodes = (
+        handler.type.elts if isinstance(handler.type, ast.Tuple) else [handler.type]
+    )
+    for node in nodes:
+        name = dotted_name(node)
+        if name is None:
+            continue
+        if name in LOW_LEVEL_DOTTED or name.split(".")[-1] in LOW_LEVEL_LAST:
+            return True
+    return False
+
+
+def _reraises_remote(handler: ast.ExceptHandler) -> bool:
+    """Bare ``raise`` or ``raise Remote*Error(...)`` anywhere in the handler."""
+    for node in ast.walk(handler):
+        if not isinstance(node, ast.Raise):
+            continue
+        if node.exc is None:
+            return True
+        if isinstance(node.exc, ast.Call):
+            name = call_name(node.exc)
+            if name is not None and name.split(".")[-1].startswith("Remote"):
+                return True
+    return False
+
+
+@register_rule
+class RemoteRimRule(Rule):
+    """RP011: every remote socket has a deadline; typed errors at the rim."""
+
+    id = "RP011"
+    name = "remote-rim"
+    severity = "error"
+    description = (
+        "In repro.remote, every socket.socket() function also calls "
+        ".settimeout(), socket.create_connection() passes an explicit "
+        "timeout, and handlers catching low-level OS/socket errors "
+        "re-raise typed Remote* errors (or carry a scoped pragma on "
+        "genuine supervision swallows)."
+    )
+
+    def applies_to(self, module: ModuleContext) -> bool:
+        """Only the shard-service package speaks sockets."""
+        return REMOTE_FRAGMENT in module.relative_path.as_posix()
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        """Inspect socket construction and network-error handlers."""
+        for scope in _function_scopes(module.tree):
+            if _socket_constructors(scope) and not _calls_settimeout(scope):
+                yield module.finding(
+                    self,
+                    _socket_constructors(scope)[0],
+                    "socket.socket() without a .settimeout() call in the "
+                    "same function: a stalled peer would hang this path "
+                    "forever; set an explicit deadline.",
+                )
+            for call in _create_connection_without_timeout(scope):
+                yield module.finding(
+                    self,
+                    call,
+                    "socket.create_connection() without an explicit timeout "
+                    "blocks on the OS connect default; pass timeout= (the "
+                    "supervision deadlines are the degraded-mode contract).",
+                )
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if _caught_low_level(node) and not _reraises_remote(node):
+                yield module.finding(
+                    self,
+                    node,
+                    "low-level socket/OS errors at the network rim must be "
+                    "re-raised as typed Remote* errors (RemoteTimeout / "
+                    "RemoteConnectionError / RemoteProtocolError) — or, on "
+                    "a genuine supervision swallow, annotated with "
+                    "`# repro-lint: disable=RP011 -- <why>`.",
+                )

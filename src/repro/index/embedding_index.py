@@ -79,7 +79,7 @@ from repro.retrieval.brute_force import BruteForceRetriever
 from repro.retrieval.engine import build_scan_result
 from repro.retrieval.filter_refine import FilterRefineRetriever, RetrievalResult
 from repro.retrieval.quantized import QUANTIZED_DTYPES, QuantizedVectors
-from repro.retrieval.sharded import ShardedRetriever
+from repro.retrieval.sharded import Shard, ShardedRetriever
 
 __all__ = [
     "EmbeddingIndex",
@@ -422,6 +422,9 @@ class EmbeddingIndex:
         self._owns_pool = bool(owns_pool)
         self._closed = False
         self._server: Optional[serving_module.AsyncServer] = None
+        #: Set by ``open(..., shard=...)``: the validated (shard_index,
+        #: n_shards, start, stop) this process is responsible for.
+        self._shard_spec: Optional[Tuple[int, int, int, int]] = None
         # The quantized filter tier: built here on a fresh build, restored
         # from filter.npz on open.  Quantization is deterministic, so both
         # paths produce identical codes; loading just keeps open at zero
@@ -564,6 +567,7 @@ class EmbeddingIndex:
         backend: Optional[str] = None,
         pool: Optional[PersistentPool] = None,
         store_mmap_mode: Optional[str] = None,
+        shard: Optional[Any] = None,
     ) -> "EmbeddingIndex":
         """Restore a saved index against its database — no retraining.
 
@@ -598,12 +602,29 @@ class EmbeddingIndex:
             instead of materializing at open time.  Requires an artifact
             saved with ``compress_store=False``; compressed blocks fall
             back to an eager read with a warning.
+        shard:
+            Optional single-shard claim for a remote shard worker:
+            ``"i/N"`` (optionally ``"i/N:start-stop"``) or the tuple forms
+            accepted by :func:`repro.index.artifacts.validate_shard_spec`.
+            The spec is validated against the artifact's *saved* shard
+            layout — an off-by-one shard count or an
+            overlapping/uncovering range is refused with a typed
+            :class:`~repro.exceptions.ArtifactError` naming the mismatch,
+            because serving through a mismatched layout returns wrong
+            neighbors, not an error.  The validated slice is exposed via
+            :meth:`shard_view`; the index itself still opens the full
+            artifact (model, vectors, warm store).
         """
         directory = Path(directory)
         manifest = artifacts.read_manifest(directory)
         config = IndexConfig.from_dict(manifest["config"])
         if backend is not None:
             config = config.with_overrides(backend=backend)
+        shard_spec = None
+        if shard is not None:
+            shard_spec = artifacts.validate_shard_spec(
+                shard, int(manifest["n_database"]), config.n_shards
+            )
         paths = artifacts.artifact_paths(directory)
 
         if not isinstance(database, Dataset):
@@ -669,7 +690,7 @@ class EmbeddingIndex:
             owns_pool = True
         if pool is not None and context.pool is None:
             context.pool = pool
-        return cls(
+        index = cls(
             context=context,
             database=database,
             embedder=embedder,
@@ -681,6 +702,8 @@ class EmbeddingIndex:
             owns_pool=owns_pool,
             quantized=quantized,
         )
+        index._shard_spec = shard_spec
+        return index
 
     # -- persistence ----------------------------------------------------
 
@@ -1090,6 +1113,35 @@ class EmbeddingIndex:
         """Content fingerprint of the context universe."""
         return self.context.fingerprint
 
+    @property
+    def shard_spec(self) -> Optional[Tuple[int, int, int, int]]:
+        """The validated ``(shard_index, n_shards, start, stop)`` claim.
+
+        ``None`` unless the index was restored with
+        ``EmbeddingIndex.open(..., shard=...)``.
+        """
+        return self._shard_spec
+
+    def shard_view(self) -> Shard:
+        """The contiguous database slice claimed by this index's shard spec.
+
+        Returns a :class:`~repro.retrieval.sharded.Shard` (offset, objects,
+        embedded vectors — shared references/views into the full index, so
+        the view costs nothing) for the shard validated at open time.  This
+        is the unit a remote shard worker serves filter+refine over.
+        """
+        if self._shard_spec is None:
+            raise RetrievalError(
+                "this index was not opened with a shard spec; pass "
+                "shard='i/N' to EmbeddingIndex.open"
+            )
+        _, _, start, stop = self._shard_spec
+        return Shard(
+            offset=start,
+            objects=[self.database[i] for i in range(start, stop)],
+            vectors=self.database_vectors[start:stop],
+        )
+
     def health(self) -> Dict[str, Any]:
         """Fault-tolerance status of the serving stack.
 
@@ -1102,7 +1154,12 @@ class EmbeddingIndex:
         reports the tier's dtype, table bytes, worst per-dimension
         quantization error, and the honest widened-``p'`` accounting —
         how many exact float64 filter rows were re-scored to keep results
-        bit-identical to the float64 scan.
+        bit-identical to the float64 scan.  ``remote`` (``None`` unless a
+        ``repro.remote`` scatter/gather backend is active) reports the
+        per-shard connection supervision state — live/dead peers, retries,
+        local fallbacks, bytes on the wire — and folds a dead shard into
+        the top-level ``degraded`` flag: its work runs serially in the
+        parent, slower but never wrong.
         """
         quantization = None
         if self._quantized is not None:
@@ -1116,13 +1173,19 @@ class EmbeddingIndex:
                 "widened_queries": int(getattr(stage, "widened_queries", 0)),
                 "widened_total": int(getattr(stage, "widened_total", 0)),
             }
+        remote = None
+        backend_health = getattr(self._backend, "health", None)
+        if callable(backend_health):
+            remote = backend_health()
         return {
             "closed": self._closed,
             "backend": self._backend_name,
-            "degraded": bool(self._server is not None and self._server.degraded),
+            "degraded": bool(self._server is not None and self._server.degraded)
+            or bool(remote is not None and remote.get("degraded")),
             "pool": self.pool.health() if self.pool is not None else None,
             "serving": self._server.health() if self._server is not None else None,
             "quantization": quantization,
+            "remote": remote,
         }
 
     # -- lifecycle -------------------------------------------------------

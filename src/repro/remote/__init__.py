@@ -1,0 +1,48 @@
+"""``repro.remote``: the distributed shard service.
+
+The sharded retrieval pipeline was built so each shard's filter scan and
+refine batch is an independent unit of work (see
+:mod:`repro.retrieval.sharded`).  This package moves those units across a
+process/socket boundary while keeping the library's core contract: results,
+tie order and per-query exact-evaluation accounting stay **bit-identical**
+to the in-process ``"sharded"`` backend, including when shard servers
+corrupt frames, die mid-reply, or stall past their deadlines.
+
+Pieces
+------
+* :mod:`repro.remote.protocol` — the length-prefixed, checksummed binary
+  framing every byte on the wire goes through (stdlib-only, no pickle).
+* :mod:`repro.remote.shard_server` — ``python -m repro.remote.shard_server
+  <artifact> --shard i/N``: a worker process that ``EmbeddingIndex.open``\\ s
+  one shard of a saved artifact (warm store, zero retraining) and serves
+  filter cuts and refine entries for it.
+* :mod:`repro.remote.client` — :class:`~repro.remote.client.ShardConnection`
+  (one supervised socket per shard) and
+  :class:`~repro.remote.client.RemoteShardedBackend`, registered with the
+  :class:`~repro.index.embedding_index.EmbeddingIndex` backend registry as
+  ``"remote_sharded"``: scatter/gather over sockets with deadlines, bounded
+  retries and serial local fallback for a dead shard.
+* :mod:`repro.remote.cluster` — :class:`~repro.remote.cluster.LocalCluster`,
+  the localhost test/bench harness that spawns N shard servers from one
+  artifact directory.
+
+See ``src/repro/remote/README.md`` for the protocol specification and the
+deployment sketch.
+"""
+
+from repro.remote.client import (
+    RemoteShardedBackend,
+    ShardConnection,
+    use_remote_backend,
+)
+from repro.remote.cluster import LocalCluster
+from repro.remote.protocol import PROTOCOL_VERSION, FrameType
+
+__all__ = [
+    "FrameType",
+    "PROTOCOL_VERSION",
+    "LocalCluster",
+    "RemoteShardedBackend",
+    "ShardConnection",
+    "use_remote_backend",
+]

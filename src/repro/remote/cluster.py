@@ -1,0 +1,219 @@
+"""Localhost harness: N shard servers cold-started from one artifact.
+
+:class:`LocalCluster` is the deployment sketch in miniature and the thing
+the tests/bench/smoke drive: it pickles the database next to a saved
+artifact, spawns one ``python -m repro.remote.shard_server`` subprocess
+per shard (OS-chosen ports), and parses each worker's ``READY host=...
+port=...`` readiness line to learn where it listens.  ``kill()`` is the
+chaos lever — a hard SIGKILL, the death that gives the client no goodbye —
+and ``restart()`` brings a shard back on its recorded port for revival
+tests.
+
+The harness is deliberately process-per-shard on one machine; the wire
+protocol and the client are already host-agnostic, so a multi-node
+deployment only swaps this module for real process management (see
+``README.md``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import select
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+import repro
+from repro.exceptions import ConfigurationError, RemoteConnectionError
+from repro.testing.faults import FaultPlan
+
+__all__ = ["LocalCluster"]
+
+#: How long to wait for one worker's READY line before declaring it dead.
+_DEFAULT_STARTUP_TIMEOUT = 30.0
+
+
+def _server_environment() -> Dict[str, str]:
+    """The child environment, with this checkout's ``src`` importable."""
+    src_root = str(Path(repro.__file__).resolve().parents[1])
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        src_root if not existing else src_root + os.pathsep + existing
+    )
+    return env
+
+
+def _await_ready_line(
+    process: subprocess.Popen, deadline: float, label: str
+) -> str:
+    """Read child stdout until its ``READY ...`` line (warnings may precede it)."""
+    stream = process.stdout
+    buffered = ""
+    while True:
+        remaining = deadline - time.monotonic()
+        if remaining <= 0 or process.poll() is not None:
+            tail = buffered.strip()
+            raise RemoteConnectionError(
+                f"{label} did not announce readiness"
+                + (f"; last output: {tail!r}" if tail else "")
+            )
+        readable, _, _ = select.select([stream], [], [], min(remaining, 0.2))
+        if not readable:
+            continue
+        line = stream.readline()
+        if not line:
+            continue
+        buffered = line
+        if line.startswith("READY "):
+            return line.strip()
+
+
+def _parse_ready(line: str, label: str) -> Tuple[str, int]:
+    """Extract ``(host, port)`` from a worker's readiness line."""
+    fields = dict(
+        part.split("=", 1) for part in line.split()[1:] if "=" in part
+    )
+    try:
+        return fields["host"], int(fields["port"])
+    except (KeyError, ValueError) as exc:
+        raise RemoteConnectionError(
+            f"{label} announced a malformed readiness line: {line!r}"
+        ) from exc
+
+
+class LocalCluster:
+    """Spawn and supervise N localhost shard servers for one artifact.
+
+    Parameters
+    ----------
+    artifact_dir:
+        A directory written by ``EmbeddingIndex.save``.  The database
+        pickle the workers need is written next to it (``<dir>/db.pkl``).
+    database:
+        The :class:`~repro.datasets.base.Dataset` the artifact was built
+        over (artifacts never persist raw objects).
+    n_shards:
+        How many workers to spawn; must match the artifact's saved layout
+        (each worker re-validates its claim against the manifest).
+    faults:
+        Optional ``{shard_id: FaultPlan}`` — each plan's frame faults are
+        passed to that worker via ``--faults``.
+    """
+
+    def __init__(
+        self,
+        artifact_dir,
+        database,
+        n_shards: int,
+        host: str = "127.0.0.1",
+        frame_timeout: float = 30.0,
+        startup_timeout: float = _DEFAULT_STARTUP_TIMEOUT,
+        faults: Optional[Dict[int, FaultPlan]] = None,
+        mmap: bool = True,
+    ) -> None:
+        if n_shards < 1:
+            raise ConfigurationError(
+                f"a cluster needs at least one shard, got n_shards={n_shards}"
+            )
+        self.artifact_dir = Path(artifact_dir)
+        self.host = host
+        self.n_shards = int(n_shards)
+        self.frame_timeout = float(frame_timeout)
+        self.startup_timeout = float(startup_timeout)
+        self.faults = dict(faults or {})
+        self.mmap = bool(mmap)
+        from repro.index import artifacts
+
+        self.database_path = self.artifact_dir / "db.pkl"
+        artifacts.write_pickle(self.database_path, database)
+        self.processes: List[Optional[subprocess.Popen]] = [None] * self.n_shards
+        self.addresses: List[Tuple[str, int]] = [(host, 0)] * self.n_shards
+        try:
+            for shard_id in range(self.n_shards):
+                self._spawn(shard_id, port=0)
+        except BaseException:
+            self.stop()
+            raise
+
+    def _spawn(self, shard_id: int, port: int) -> None:
+        """Start one worker and record its announced address."""
+        command = [
+            sys.executable,
+            "-m",
+            "repro.remote.shard_server",
+            str(self.artifact_dir),
+            "--shard",
+            f"{shard_id}/{self.n_shards}",
+            "--database",
+            str(self.database_path),
+            "--host",
+            self.host,
+            "--port",
+            str(port),
+            "--timeout",
+            str(self.frame_timeout),
+        ]
+        if not self.mmap:
+            command.append("--no-mmap")
+        plan = self.faults.get(shard_id)
+        if plan is not None:
+            command += ["--faults", json.dumps(plan.to_frame_payload())]
+        label = f"shard server {shard_id}/{self.n_shards}"
+        process = subprocess.Popen(
+            command,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=_server_environment(),
+        )
+        self.processes[shard_id] = process
+        deadline = time.monotonic() + self.startup_timeout
+        line = _await_ready_line(process, deadline, label)
+        self.addresses[shard_id] = _parse_ready(line, label)
+
+    # -- chaos levers ----------------------------------------------------
+
+    def kill(self, shard_id: int) -> None:
+        """SIGKILL one worker — an abrupt death with no socket goodbye."""
+        process = self.processes[shard_id]
+        if process is not None and process.poll() is None:
+            process.kill()
+            process.wait()
+
+    def restart(self, shard_id: int) -> None:
+        """Bring a killed worker back on its previously announced port."""
+        self.kill(shard_id)
+        self._close_pipe(shard_id)
+        self._spawn(shard_id, port=self.addresses[shard_id][1])
+
+    # -- lifecycle -------------------------------------------------------
+
+    def _close_pipe(self, shard_id: int) -> None:
+        process = self.processes[shard_id]
+        if process is not None and process.stdout is not None:
+            process.stdout.close()
+
+    def stop(self) -> None:
+        """Terminate every worker (idempotent)."""
+        for shard_id, process in enumerate(self.processes):
+            if process is None:
+                continue
+            if process.poll() is None:
+                process.terminate()
+                try:
+                    process.wait(timeout=5.0)
+                except subprocess.TimeoutExpired:
+                    process.kill()
+                    process.wait()
+            self._close_pipe(shard_id)
+            self.processes[shard_id] = None
+
+    def __enter__(self) -> "LocalCluster":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -1,0 +1,452 @@
+"""The shard service wire protocol: length-prefixed, checksummed frames.
+
+Every byte exchanged between :mod:`repro.remote.client` and
+:mod:`repro.remote.shard_server` goes through this module.  Design rules:
+
+* **Stdlib-only, no pickle.**  Unpickling attacker-controlled bytes is
+  arbitrary code execution; the shard service instead speaks a small typed
+  value encoding (ints, floats, strings, bytes, ndarrays, lists, tuples,
+  string-keyed dicts) that covers every payload the pipeline ships —
+  including query objects, whose dtype/shape must survive the wire exactly
+  so content-digest matching on the server re-adopts them onto warm store
+  keys.
+* **Self-describing frames.**  A frame is a fixed 12-byte header (magic,
+  version, frame type, payload length, CRC-32 of the payload) followed by
+  the payload.  Truncated, bit-flipped, mistyped and version-skewed frames
+  are all *detected* and surfaced as typed
+  :class:`~repro.exceptions.RemoteProtocolError`\\ s — corruption must never
+  decode into a plausible-but-wrong result.
+* **Typed errors at the socket rim.**  The recv/send helpers translate
+  low-level socket failures into the library's
+  :class:`~repro.exceptions.RemoteTimeout` /
+  :class:`~repro.exceptions.RemoteConnectionError`, so callers never see a
+  raw ``OSError`` (enforced statically by lint rule RP011).
+
+Header layout (big-endian)::
+
+    offset  size  field
+    0       2     magic  b"RB"
+    2       1     protocol version (1)
+    3       1     frame type (FrameType)
+    4       4     payload length in bytes
+    8       4     CRC-32 of the payload (zlib.crc32)
+
+Frame types and their payload schemas are documented in
+``src/repro/remote/README.md`` and exercised end-to-end (including golden
+bytes) by ``tests/test_remote_protocol.py``.
+"""
+
+from __future__ import annotations
+
+import enum
+import socket
+import zlib
+from typing import Any, Dict, Tuple
+
+import numpy as np
+
+from repro.exceptions import (
+    RemoteConnectionError,
+    RemoteProtocolError,
+    RemoteTimeout,
+)
+
+__all__ = [
+    "MAGIC",
+    "PROTOCOL_VERSION",
+    "HEADER_SIZE",
+    "MAX_PAYLOAD_BYTES",
+    "FrameType",
+    "encode_payload",
+    "decode_payload",
+    "encode_frame",
+    "decode_frame",
+    "send_frame",
+    "recv_frame",
+]
+
+MAGIC = b"RB"
+PROTOCOL_VERSION = 1
+HEADER_SIZE = 12
+#: Upper bound on one frame's payload: a corrupted length field must not
+#: make the receiver try to buffer gigabytes of garbage.
+MAX_PAYLOAD_BYTES = 1 << 30
+
+
+class FrameType(enum.IntEnum):
+    """The message kinds of one shard-service session."""
+
+    HELLO = 1
+    HELLO_OK = 2
+    FILTER = 3
+    FILTER_RESULT = 4
+    REFINE = 5
+    REFINE_ENTRIES = 6
+    REFINE_DONE = 7
+    HEALTH = 8
+    HEALTH_RESULT = 9
+    SHUTDOWN = 10
+    SHUTDOWN_OK = 11
+    ERROR = 12
+
+
+# --------------------------------------------------------------------------- #
+# Typed value encoding                                                        #
+# --------------------------------------------------------------------------- #
+
+_TAG_NONE = 0
+_TAG_FALSE = 1
+_TAG_TRUE = 2
+_TAG_INT = 3
+_TAG_FLOAT = 4
+_TAG_STR = 5
+_TAG_BYTES = 6
+_TAG_ARRAY = 7
+_TAG_LIST = 8
+_TAG_TUPLE = 9
+_TAG_DICT = 10
+
+
+def _u32(value: int) -> bytes:
+    return int(value).to_bytes(4, "big")
+
+
+def _tagged(tag: int, body: bytes) -> bytes:
+    if len(body) > MAX_PAYLOAD_BYTES:
+        raise RemoteProtocolError(
+            f"value of {len(body)} bytes exceeds the {MAX_PAYLOAD_BYTES}-byte "
+            "frame bound"
+        )
+    return bytes([tag]) + _u32(len(body)) + body
+
+
+def _encode_array(value: np.ndarray) -> bytes:
+    value = np.asarray(value)
+    # ascontiguousarray would promote 0-d arrays to shape (1,); tobytes()
+    # is C-ordered either way, so only force a copy when actually needed.
+    if value.ndim and not value.flags["C_CONTIGUOUS"]:
+        value = np.ascontiguousarray(value)
+    if value.dtype.hasobject:
+        raise RemoteProtocolError(
+            f"cannot encode object-dtype array (dtype {value.dtype!r}) for "
+            "the wire; shard queries must be numeric/string arrays or "
+            "plain containers thereof"
+        )
+    # ``dtype.str`` pins the byte order explicitly (e.g. '<f8'), so the
+    # receiver reconstructs dtype, shape and bytes exactly — which keeps
+    # content digests (and therefore warm-store adoption) stable across
+    # the wire.
+    dtype = value.dtype.str.encode("ascii")
+    body = bytes([len(dtype)]) + dtype + bytes([value.ndim])
+    for dim in value.shape:
+        body += _u32(dim)
+    return body + value.tobytes()
+
+
+def _encode_value(value: Any) -> bytes:
+    if value is None:
+        return _tagged(_TAG_NONE, b"")
+    if isinstance(value, bool):
+        return _tagged(_TAG_TRUE if value else _TAG_FALSE, b"")
+    if isinstance(value, (int, np.integer)):
+        return _tagged(_TAG_INT, str(int(value)).encode("ascii"))
+    if isinstance(value, (float, np.floating)):
+        return _tagged(_TAG_FLOAT, np.float64(value).astype("<f8").tobytes())
+    if isinstance(value, str):
+        return _tagged(_TAG_STR, value.encode("utf-8"))
+    if isinstance(value, (bytes, bytearray)):
+        return _tagged(_TAG_BYTES, bytes(value))
+    if isinstance(value, np.ndarray):
+        return _tagged(_TAG_ARRAY, _encode_array(value))
+    if isinstance(value, (list, tuple)):
+        tag = _TAG_LIST if isinstance(value, list) else _TAG_TUPLE
+        body = _u32(len(value)) + b"".join(_encode_value(item) for item in value)
+        return _tagged(tag, body)
+    if isinstance(value, dict):
+        parts = [_u32(len(value))]
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise RemoteProtocolError(
+                    f"wire dicts need string keys, got {type(key).__name__}"
+                )
+            parts.append(_encode_value(key))
+            parts.append(_encode_value(item))
+        return _tagged(_TAG_DICT, b"".join(parts))
+    raise RemoteProtocolError(
+        f"cannot encode {type(value).__name__} for the wire; supported: "
+        "None, bool, int, float, str, bytes, ndarray, list, tuple, dict"
+    )
+
+
+class _Cursor:
+    """Bounds-checked reader over one payload's bytes."""
+
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self.offset = 0
+
+    def take(self, n: int) -> bytes:
+        if n < 0 or self.offset + n > len(self.data):
+            raise RemoteProtocolError(
+                f"truncated wire value: needed {n} bytes at offset "
+                f"{self.offset}, payload has {len(self.data)}"
+            )
+        chunk = self.data[self.offset : self.offset + n]
+        self.offset += n
+        return chunk
+
+    def u32(self) -> int:
+        return int.from_bytes(self.take(4), "big")
+
+
+def _decode_array(body: bytes) -> np.ndarray:
+    cursor = _Cursor(body)
+    dtype_len = cursor.take(1)[0]
+    try:
+        dtype = np.dtype(cursor.take(dtype_len).decode("ascii"))
+    except (TypeError, ValueError, UnicodeDecodeError) as exc:
+        raise RemoteProtocolError(f"bad array dtype on the wire: {exc}") from exc
+    ndim = cursor.take(1)[0]
+    shape = tuple(cursor.u32() for _ in range(ndim))
+    count = 1
+    for dim in shape:
+        count *= dim
+    raw = cursor.take(count * dtype.itemsize)
+    if cursor.offset != len(body):
+        raise RemoteProtocolError(
+            f"array value carries {len(body) - cursor.offset} trailing bytes"
+        )
+    return np.frombuffer(raw, dtype=dtype).reshape(shape).copy()
+
+
+def _decode_value(cursor: _Cursor) -> Any:
+    tag = cursor.take(1)[0]
+    length = cursor.u32()
+    body = cursor.take(length)
+    if tag == _TAG_NONE:
+        return None
+    if tag == _TAG_FALSE:
+        return False
+    if tag == _TAG_TRUE:
+        return True
+    if tag == _TAG_INT:
+        try:
+            return int(body.decode("ascii"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise RemoteProtocolError(f"bad int on the wire: {exc}") from exc
+    if tag == _TAG_FLOAT:
+        if len(body) != 8:
+            raise RemoteProtocolError(
+                f"float value must be 8 bytes, got {len(body)}"
+            )
+        return float(np.frombuffer(body, dtype="<f8")[0])
+    if tag == _TAG_STR:
+        try:
+            return body.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise RemoteProtocolError(f"bad utf-8 string on the wire: {exc}") from exc
+    if tag == _TAG_BYTES:
+        return body
+    if tag == _TAG_ARRAY:
+        return _decode_array(body)
+    if tag in (_TAG_LIST, _TAG_TUPLE):
+        inner = _Cursor(body)
+        count = inner.u32()
+        items = [_decode_value(inner) for _ in range(count)]
+        if inner.offset != len(body):
+            raise RemoteProtocolError("container value carries trailing bytes")
+        return items if tag == _TAG_LIST else tuple(items)
+    if tag == _TAG_DICT:
+        inner = _Cursor(body)
+        count = inner.u32()
+        payload: Dict[str, Any] = {}
+        for _ in range(count):
+            key = _decode_value(inner)
+            if not isinstance(key, str):
+                raise RemoteProtocolError("wire dict carries a non-string key")
+            payload[key] = _decode_value(inner)
+        if inner.offset != len(body):
+            raise RemoteProtocolError("dict value carries trailing bytes")
+        return payload
+    raise RemoteProtocolError(f"unknown wire value tag {tag}")
+
+
+def encode_payload(payload: Dict[str, Any]) -> bytes:
+    """Encode one frame payload (a string-keyed dict) to wire bytes."""
+    if not isinstance(payload, dict):
+        raise RemoteProtocolError(
+            f"frame payload must be a dict, got {type(payload).__name__}"
+        )
+    return _encode_value(payload)
+
+
+def decode_payload(data: bytes) -> Dict[str, Any]:
+    """Decode wire bytes back into the frame payload dict.
+
+    Raises :class:`~repro.exceptions.RemoteProtocolError` on any anomaly:
+    truncation, trailing bytes, unknown tags, malformed values.
+    """
+    cursor = _Cursor(data)
+    value = _decode_value(cursor)
+    if cursor.offset != len(data):
+        raise RemoteProtocolError(
+            f"frame payload carries {len(data) - cursor.offset} trailing bytes"
+        )
+    if not isinstance(value, dict):
+        raise RemoteProtocolError(
+            f"frame payload must decode to a dict, got {type(value).__name__}"
+        )
+    return value
+
+
+# --------------------------------------------------------------------------- #
+# Framing                                                                     #
+# --------------------------------------------------------------------------- #
+
+
+def encode_frame(frame_type: FrameType, payload: Dict[str, Any]) -> bytes:
+    """One complete wire frame: checksummed header plus encoded payload."""
+    body = encode_payload(payload)
+    if len(body) > MAX_PAYLOAD_BYTES:
+        raise RemoteProtocolError(
+            f"frame payload of {len(body)} bytes exceeds the "
+            f"{MAX_PAYLOAD_BYTES}-byte bound"
+        )
+    header = (
+        MAGIC
+        + PROTOCOL_VERSION.to_bytes(1, "big")
+        + int(frame_type).to_bytes(1, "big")
+        + _u32(len(body))
+        + _u32(zlib.crc32(body))
+    )
+    return header + body
+
+
+def _parse_header(header: bytes) -> Tuple[FrameType, int, int]:
+    """Validate a 12-byte header, returning (type, payload length, crc)."""
+    if len(header) != HEADER_SIZE:
+        raise RemoteProtocolError(
+            f"truncated frame header: got {len(header)} of {HEADER_SIZE} bytes"
+        )
+    if header[:2] != MAGIC:
+        raise RemoteProtocolError(
+            f"bad frame magic {header[:2]!r}; peer is not a repro shard server"
+        )
+    version = header[2]
+    if version != PROTOCOL_VERSION:
+        raise RemoteProtocolError(
+            f"protocol version skew: peer speaks version {version}, this "
+            f"library speaks {PROTOCOL_VERSION}"
+        )
+    try:
+        frame_type = FrameType(header[3])
+    except ValueError as exc:
+        raise RemoteProtocolError(f"unknown frame type {header[3]}") from exc
+    length = int.from_bytes(header[4:8], "big")
+    if length > MAX_PAYLOAD_BYTES:
+        raise RemoteProtocolError(
+            f"frame claims a {length}-byte payload, over the "
+            f"{MAX_PAYLOAD_BYTES}-byte bound (corrupt length field?)"
+        )
+    crc = int.from_bytes(header[8:12], "big")
+    return frame_type, length, crc
+
+
+def _check_payload(body: bytes, crc: int) -> None:
+    actual = zlib.crc32(body)
+    if actual != crc:
+        raise RemoteProtocolError(
+            f"frame checksum mismatch: header says {crc:#010x}, payload "
+            f"hashes to {actual:#010x} (bit flip on the wire?)"
+        )
+
+
+def decode_frame(data: bytes) -> Tuple[FrameType, Dict[str, Any]]:
+    """Decode one complete frame from a byte string (tests, file replay).
+
+    The socket path uses :func:`recv_frame`; this entry point exists so
+    frames can be round-tripped through files and deliberately damaged
+    (truncation, bit flips) with the artifact fault helpers.
+    """
+    frame_type, length, crc = _parse_header(data[:HEADER_SIZE])
+    body = data[HEADER_SIZE:]
+    if len(body) != length:
+        raise RemoteProtocolError(
+            f"truncated frame payload: header promises {length} bytes, "
+            f"got {len(body)}"
+        )
+    _check_payload(body, crc)
+    return frame_type, decode_payload(body)
+
+
+# --------------------------------------------------------------------------- #
+# Socket transport                                                            #
+# --------------------------------------------------------------------------- #
+
+
+def send_frame(
+    sock: socket.socket, frame_type: FrameType, payload: Dict[str, Any]
+) -> int:
+    """Send one frame on a connected socket, returning the bytes written.
+
+    Socket-level failures surface as the library's typed remote errors,
+    never as raw ``OSError``\\ s.
+    """
+    frame = encode_frame(frame_type, payload)
+    try:
+        sock.sendall(frame)
+    except TimeoutError as exc:
+        raise RemoteTimeout(
+            f"timed out sending a {frame_type.name} frame of {len(frame)} bytes"
+        ) from exc
+    except OSError as exc:
+        raise RemoteConnectionError(
+            f"connection failed sending a {frame_type.name} frame: {exc}"
+        ) from exc
+    return len(frame)
+
+
+def _recv_exactly(sock: socket.socket, n: int, what: str) -> bytes:
+    chunks = []
+    remaining = n
+    while remaining > 0:
+        try:
+            chunk = sock.recv(min(remaining, 1 << 20))
+        except TimeoutError as exc:
+            raise RemoteTimeout(
+                f"timed out waiting for {what} ({remaining} of {n} bytes "
+                "outstanding)"
+            ) from exc
+        except OSError as exc:
+            raise RemoteConnectionError(
+                f"connection failed reading {what}: {exc}"
+            ) from exc
+        if not chunk:
+            if remaining == n and what == "a frame header":
+                raise RemoteConnectionError(
+                    "peer closed the connection (EOF before a frame header)"
+                )
+            raise RemoteConnectionError(
+                f"peer closed the connection mid-frame: short read of {what} "
+                f"({n - remaining} of {n} bytes arrived)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> Tuple[FrameType, Dict[str, Any], int]:
+    """Read one complete frame, returning ``(type, payload, bytes_read)``.
+
+    The caller owns the socket's timeout (every socket in this package
+    sets one explicitly); expiry surfaces as
+    :class:`~repro.exceptions.RemoteTimeout`, peer death as
+    :class:`~repro.exceptions.RemoteConnectionError`, and any form of
+    frame corruption as
+    :class:`~repro.exceptions.RemoteProtocolError`.
+    """
+    header = _recv_exactly(sock, HEADER_SIZE, "a frame header")
+    frame_type, length, crc = _parse_header(header)
+    body = _recv_exactly(sock, length, f"a {frame_type.name} payload")
+    _check_payload(body, crc)
+    return frame_type, decode_payload(body), HEADER_SIZE + length

@@ -85,6 +85,7 @@ __all__ = [
     "stable_smallest",
     "clamp_query_params",
     "filter_vector_distances",
+    "merge_shard_cuts",
     "refine_order",
     "build_retrieval_result",
     "build_scan_result",
@@ -155,6 +156,29 @@ def filter_vector_distances(
     if isinstance(embedder, QuerySensitiveModel):
         return embedder.distances_to(query_vector, database_vectors)
     return np.abs(database_vectors - query_vector[None, :]).sum(axis=1)
+
+
+def merge_shard_cuts(
+    shard_indices: Sequence[np.ndarray],
+    shard_distances: Sequence[np.ndarray],
+    p: int,
+) -> np.ndarray:
+    """Merge per-shard filter cuts into the global top-``p`` candidate list.
+
+    ``shard_indices[s]`` are shard ``s``'s surviving candidates as *global*
+    database indices in stable (distance, index) order, ``shard_distances[s]``
+    their filter distances.  Because each shard list is stable-ordered and
+    shard order equals global index order, concatenation order breaks
+    distance ties by ascending global index — so the merged cut is identical
+    to the unsharded stable filter cut.  This is the gather half of the
+    sharded merge, shared by :class:`ShardedFilterStage` (in-process) and the
+    ``repro.remote`` scatter/gather client (per-shard cuts arriving over
+    sockets), so the two can never order ties differently.
+    """
+    merged_distances = np.concatenate(list(shard_distances))
+    merged_indices = np.concatenate(list(shard_indices))
+    order = np.argsort(merged_distances, kind="stable")[:p]
+    return merged_indices[order]
 
 
 def refine_order(exact: np.ndarray, candidates: np.ndarray, k: int) -> np.ndarray:
@@ -447,14 +471,43 @@ class ShardedFilterStage:
         self.widened_queries = 0
         self.widened_total = 0
 
+    def shard_cut(
+        self, shard_id: int, query_vector: np.ndarray, p: int
+    ) -> Tuple[np.ndarray, np.ndarray, int]:
+        """One shard's stable top-``min(p, shard_size)`` filter cut.
+
+        Returns ``(local_indices, filter_distances, widened)`` in stable
+        (distance, local index) order; ``widened`` is the quantized scan's
+        honestly-charged superset size (``0`` on the exact scan).  Pure —
+        the per-query widened accounting happens in :meth:`merged` — so a
+        remote shard server (or a local fallback for a dead one) can call it
+        for a single shard and stay bit-identical to the in-process merge.
+        """
+        shard = self.shards[shard_id]
+        if self.shard_quantized is not None:
+            local, exact, widened = quantized_filter_cut(
+                self.shard_quantized[shard_id],
+                self.embedder,
+                query_vector,
+                shard.vectors,
+                min(p, len(shard)),
+            )
+            return local, exact, widened
+        distances = filter_vector_distances(
+            self.embedder, query_vector, shard.vectors
+        )
+        local = stable_smallest(distances, min(p, len(shard)))
+        return local, distances[local], 0
+
     def merged(self, query_vector: np.ndarray, p: int) -> np.ndarray:
         """Global top-``p`` filter candidates, merged across shards.
 
         Identical — including tie-breaking by database index — to the
         unsharded ``FilterStage.order(query_vector, p)``: each shard list is
         stable-ordered and shard order equals global index order, so
-        concatenation order breaks distance ties by ascending global index.
-        With a quantized table bound, each shard's cut goes through
+        concatenation order breaks distance ties by ascending global index
+        (see :func:`merge_shard_cuts`).  With a quantized table bound, each
+        shard's cut goes through
         :func:`~repro.retrieval.quantized.quantized_filter_cut` — the
         per-shard candidates and their exact float64 distances are
         bit-identical to the exact scan, so the merge is too.
@@ -463,30 +516,14 @@ class ShardedFilterStage:
         shard_indices: List[np.ndarray] = []
         widened = 0
         for sid, shard in enumerate(self.shards):
-            if self.shard_quantized is not None:
-                local, exact, spent = quantized_filter_cut(
-                    self.shard_quantized[sid],
-                    self.embedder,
-                    query_vector,
-                    shard.vectors,
-                    min(p, len(shard)),
-                )
-                widened += spent
-            else:
-                distances = filter_vector_distances(
-                    self.embedder, query_vector, shard.vectors
-                )
-                local = stable_smallest(distances, min(p, len(shard)))
-                exact = distances[local]
+            local, exact, spent = self.shard_cut(sid, query_vector, p)
+            widened += spent
             shard_distances.append(exact)
             shard_indices.append(shard.offset + local)
         if self.shard_quantized is not None:
             self.widened_queries += 1
             self.widened_total += widened
-        merged_distances = np.concatenate(shard_distances)
-        merged_indices = np.concatenate(shard_indices)
-        order = np.argsort(merged_distances, kind="stable")[:p]
-        return merged_indices[order]
+        return merge_shard_cuts(shard_indices, shard_distances, p)
 
     def split(self, candidates: np.ndarray) -> List[ShardWork]:
         """Partition a global candidate list into per-shard refine work."""

@@ -58,6 +58,10 @@ def test_every_public_exception_collected():
         "ExperimentError",
         "SerializationError",
         "ArtifactError",
+        "RemoteError",
+        "RemoteProtocolError",
+        "RemoteConnectionError",
+        "RemoteTimeout",
     }
 
 

@@ -1,0 +1,273 @@
+"""Tests for the :mod:`repro.remote.protocol` wire framing.
+
+The framing is the trust boundary of the distributed shard service: every
+byte a shard server or client acts on went through ``decode_frame`` /
+``recv_frame``.  The suite therefore covers three layers:
+
+* **round trips** — every frame type and every supported value kind comes
+  back equal, with dtypes, shapes and the list/tuple distinction intact;
+* **rejection** — truncation, bit flips (via the same
+  :func:`~repro.testing.faults.flip_byte` / ``truncate_file`` helpers the
+  artifact-hardening tests use), version skew, unknown types, oversized
+  length claims and trailing bytes all raise typed
+  :class:`~repro.exceptions.RemoteProtocolError`\\ s — corruption must
+  never decode;
+* **a golden-bytes pin** — the exact encoding of a fixed FILTER frame, so
+  an accidental wire-format change (which would strand deployed shard
+  servers on the old dialect) fails loudly instead of silently.
+"""
+
+from __future__ import annotations
+
+import socket
+
+import numpy as np
+import pytest
+
+from repro.exceptions import (
+    RemoteConnectionError,
+    RemoteProtocolError,
+    RemoteTimeout,
+)
+from repro.remote import protocol
+from repro.remote.protocol import (
+    HEADER_SIZE,
+    MAGIC,
+    MAX_PAYLOAD_BYTES,
+    PROTOCOL_VERSION,
+    FrameType,
+)
+from repro.testing.faults import flip_byte, truncate_file
+
+#: The pinned wire bytes of GOLDEN_PAYLOAD in a FILTER frame (version 1).
+#: If this test fails, the wire format changed: bump PROTOCOL_VERSION and
+#: re-pin — old servers and new clients must not half-understand each
+#: other.
+GOLDEN_PAYLOAD = {
+    "vectors": np.array([[1.0, 2.0], [3.0, 4.0]]),
+    "p": 7,
+    "tag": "golden",
+    "flag": True,
+    "nothing": None,
+    "mix": [1.5, ("a", 2)],
+}
+GOLDEN_HEX = (
+    "52420103000000b80de593020a000000b3000000060500000007766563746f7273"
+    "070000002d033c6638020000000200000002000000000000f03f0000000000000040"
+    "0000000000000840000000000000104005000000017003000000013705000000037461"
+    "670500000006676f6c64656e0500000004666c6167020000000005000000076e6f7468"
+    "696e67000000000005000000036d697808000000260000000204000000080000000000"
+    "00f83f090000001000000002050000000161030000000132"
+)
+
+
+def roundtrip(payload, frame_type=FrameType.FILTER):
+    frame = protocol.encode_frame(frame_type, payload)
+    decoded_type, decoded = protocol.decode_frame(frame)
+    assert decoded_type == frame_type
+    return decoded
+
+
+# --------------------------------------------------------------------------- #
+# Round trips                                                                 #
+# --------------------------------------------------------------------------- #
+
+
+def test_every_frame_type_round_trips():
+    for frame_type in FrameType:
+        decoded = roundtrip({"n": int(frame_type)}, frame_type)
+        assert decoded == {"n": int(frame_type)}
+
+
+def test_scalar_values_round_trip():
+    payload = {
+        "none": None,
+        "yes": True,
+        "no": False,
+        "small": 0,
+        "negative": -12345,
+        "huge": 2**80,
+        "pi": 3.141592653589793,
+        "text": "naïve — ünïcode",
+        "raw": b"\x00\xff\x7f",
+    }
+    decoded = roundtrip(payload)
+    assert decoded == payload
+    assert isinstance(decoded["yes"], bool)
+    assert isinstance(decoded["small"], int)
+
+
+def test_arrays_round_trip_preserving_dtype_and_shape():
+    arrays = {
+        "f8": np.array([1.5, -2.5, np.inf]),
+        "i8": np.arange(6, dtype=np.int64).reshape(2, 3),
+        "i4": np.array([3, 1], dtype=np.int32),
+        "bools": np.array([True, False]),
+        "empty": np.empty((0,), dtype=np.float64),
+        "scalarish": np.array(7.0),
+    }
+    decoded = roundtrip(arrays)
+    for key, value in arrays.items():
+        assert decoded[key].dtype == value.dtype, key
+        assert decoded[key].shape == value.shape, key
+        np.testing.assert_array_equal(decoded[key], value)
+
+
+def test_containers_round_trip_keeping_list_tuple_distinction():
+    payload = {
+        "nested": {"inner": [1, [2, 3], {"deep": (4, "five")}]},
+        "pairs": [(0, 1.0), (2, 3.0)],
+        "empty_list": [],
+        "empty_dict": {},
+    }
+    decoded = roundtrip(payload)
+    assert decoded == payload
+    assert isinstance(decoded["pairs"][0], tuple)
+    assert isinstance(decoded["nested"]["inner"][1], list)
+    assert isinstance(decoded["nested"]["inner"][2]["deep"], tuple)
+
+
+def test_socket_send_recv_round_trip():
+    left, right = socket.socketpair()
+    try:
+        left.settimeout(5.0)
+        right.settimeout(5.0)
+        sent = protocol.send_frame(left, FrameType.REFINE, GOLDEN_PAYLOAD)
+        frame_type, payload, received = protocol.recv_frame(right)
+        assert frame_type == FrameType.REFINE
+        assert sent == received
+        np.testing.assert_array_equal(
+            payload["vectors"], GOLDEN_PAYLOAD["vectors"]
+        )
+        assert payload["mix"] == GOLDEN_PAYLOAD["mix"]
+    finally:
+        left.close()
+        right.close()
+
+
+# --------------------------------------------------------------------------- #
+# Typed rejection of damage                                                   #
+# --------------------------------------------------------------------------- #
+
+
+def write_frame(tmp_path, payload=None, frame_type=FrameType.FILTER):
+    path = tmp_path / "frame.bin"
+    path.write_bytes(
+        protocol.encode_frame(frame_type, payload or GOLDEN_PAYLOAD)
+    )
+    return path
+
+
+def test_truncated_frame_raises_protocol_error(tmp_path):
+    path = write_frame(tmp_path)
+    truncate_file(path, keep_fraction=0.5)
+    with pytest.raises(RemoteProtocolError, match="truncated frame payload"):
+        protocol.decode_frame(path.read_bytes())
+
+
+def test_truncated_header_raises_protocol_error(tmp_path):
+    path = write_frame(tmp_path)
+    data = path.read_bytes()[: HEADER_SIZE - 3]
+    with pytest.raises(RemoteProtocolError, match="truncated frame header"):
+        protocol.decode_frame(data)
+
+
+def test_payload_bit_flip_fails_the_checksum(tmp_path):
+    path = write_frame(tmp_path)
+    flip_byte(path, offset=-1)
+    with pytest.raises(RemoteProtocolError, match="checksum mismatch"):
+        protocol.decode_frame(path.read_bytes())
+
+
+def test_magic_bit_flip_is_rejected(tmp_path):
+    path = write_frame(tmp_path)
+    flip_byte(path, offset=0)
+    with pytest.raises(RemoteProtocolError, match="bad frame magic"):
+        protocol.decode_frame(path.read_bytes())
+
+
+def test_version_skew_is_named_not_decoded(tmp_path):
+    path = write_frame(tmp_path)
+    flip_byte(path, offset=2)
+    with pytest.raises(RemoteProtocolError, match="version skew"):
+        protocol.decode_frame(path.read_bytes())
+
+
+def test_unknown_frame_type_is_rejected(tmp_path):
+    path = write_frame(tmp_path)
+    flip_byte(path, offset=3)
+    with pytest.raises(RemoteProtocolError, match="unknown frame type"):
+        protocol.decode_frame(path.read_bytes())
+
+
+def test_oversized_length_claim_is_rejected():
+    header = (
+        MAGIC
+        + PROTOCOL_VERSION.to_bytes(1, "big")
+        + int(FrameType.FILTER).to_bytes(1, "big")
+        + (MAX_PAYLOAD_BYTES + 1).to_bytes(4, "big")
+        + (0).to_bytes(4, "big")
+    )
+    with pytest.raises(RemoteProtocolError, match="bound"):
+        protocol.decode_frame(header)
+
+
+def test_trailing_bytes_are_rejected():
+    frame = bytearray(protocol.encode_frame(FrameType.HEALTH, {"a": 1}))
+    body = bytes(frame[HEADER_SIZE:]) + b"\x00"
+    with pytest.raises(RemoteProtocolError, match="trailing"):
+        protocol.decode_payload(body)
+
+
+def test_unencodable_values_are_refused():
+    with pytest.raises(RemoteProtocolError, match="cannot encode"):
+        protocol.encode_payload({"bad": object()})
+    with pytest.raises(RemoteProtocolError, match="string keys"):
+        protocol.encode_payload({"bad": {1: "x"}})
+    with pytest.raises(RemoteProtocolError):
+        protocol.encode_payload({"bad": np.array([object()], dtype=object)})
+
+
+def test_recv_timeout_and_peer_death_are_typed(tmp_path):
+    left, right = socket.socketpair()
+    try:
+        right.settimeout(0.05)
+        with pytest.raises(RemoteTimeout):
+            protocol.recv_frame(right)
+        left.close()
+        with pytest.raises(RemoteConnectionError, match="peer closed"):
+            protocol.recv_frame(right)
+    finally:
+        right.close()
+
+
+def test_mid_frame_peer_death_is_a_short_read(tmp_path):
+    left, right = socket.socketpair()
+    try:
+        right.settimeout(5.0)
+        frame = protocol.encode_frame(FrameType.FILTER, GOLDEN_PAYLOAD)
+        left.sendall(frame[: HEADER_SIZE + 5])
+        left.close()
+        with pytest.raises(RemoteConnectionError, match="mid-frame"):
+            protocol.recv_frame(right)
+    finally:
+        right.close()
+
+
+# --------------------------------------------------------------------------- #
+# Golden bytes                                                                #
+# --------------------------------------------------------------------------- #
+
+
+def test_golden_frame_bytes_are_pinned():
+    frame = protocol.encode_frame(FrameType.FILTER, GOLDEN_PAYLOAD)
+    assert frame.hex() == GOLDEN_HEX
+    assert frame[:2] == MAGIC
+    assert frame[2] == PROTOCOL_VERSION == 1
+    assert HEADER_SIZE == 12
+    frame_type, decoded = protocol.decode_frame(bytes.fromhex(GOLDEN_HEX))
+    assert frame_type == FrameType.FILTER
+    np.testing.assert_array_equal(
+        decoded["vectors"], GOLDEN_PAYLOAD["vectors"]
+    )
+    assert decoded["mix"] == GOLDEN_PAYLOAD["mix"]
