@@ -90,8 +90,10 @@ from repro.distances.kernels import (  # noqa: E402
 from repro.distances.lp import L2Distance  # noqa: E402
 from repro.embeddings.lipschitz import build_lipschitz_embedding  # noqa: E402
 from repro.distances.parallel import resolve_jobs  # noqa: E402
+from repro.retrieval.evaluation import retrieval_recall  # noqa: E402
 from repro.retrieval.filter_refine import FilterRefineRetriever  # noqa: E402
 from repro.retrieval.knn import ground_truth_neighbors  # noqa: E402
+from repro.retrieval.planner import PlannedRetriever  # noqa: E402
 from repro.retrieval.quantized import QUANTIZED_DTYPES, QuantizedVectors  # noqa: E402
 from repro.retrieval.sharded import ShardedRetriever  # noqa: E402
 
@@ -101,6 +103,10 @@ REGRESSION_TOLERANCE = 1.20
 #: Minimum combined (DTW + edit) pairwise speedup a compiled kernel backend
 #: must deliver over the numpy backend for the kernel gate to pass.
 KERNEL_SPEEDUP_FLOOR = 5.0
+#: The adaptive planner must match the fixed-p pipeline's cold
+#: exact-evaluation spend — the cost model's currency — at the same
+#: backend and scale, and only when both measured equal recall.
+PLANNER_SPEEDUP_FLOOR = 1.0
 
 
 # --------------------------------------------------------------------------- #
@@ -1040,6 +1046,186 @@ def bench_quantized_filter(
     return record
 
 
+def bench_planned_query_many(
+    n_database: int,
+    n_queries: int,
+    length: int,
+    dim: int,
+    k: int,
+    p: int,
+) -> dict:
+    """Adaptive planner vs. the fixed-``p`` pipeline on the tracked workload.
+
+    Serves the same query batch twice from two identically-built contexts:
+    once through ``query_many(..., p)`` and once through the adaptive
+    planner whose cost budget pins its ceiling to the same ``p`` — so both
+    paths answer from the same operating point and the comparison is
+    *planner overhead + early exit* against the batched fixed pipeline.
+    Ground truth comes from the raw distance (the serving contexts stay
+    cold), recall is measured for both paths, and non-early-exit planner
+    results are asserted bit-identical to the fixed run.  A second (warm)
+    batch per path records the early exit's exact-evaluation savings on a
+    warm store.  **Gated** at ``PLANNER_SPEEDUP_FLOOR`` on the cold
+    exact-evaluation ratio — the cost model's own currency, and the
+    paper's: the tracked micro-workload computes DTW through compiled
+    kernels in microseconds, so wall-clock here measures Python slicing
+    overhead, not the exact-distance work the planner exists to save.
+    Wall-clock for both paths is recorded un-gated.  The gate applies
+    only when the two paths measured *equal* recall in this very run
+    (same backend, same scale, same store state by construction).
+    """
+    database, queries = make_timeseries_dataset(
+        n_database=n_database,
+        n_queries=n_queries,
+        n_seeds=8,
+        length=length,
+        n_dims=1,
+        seed=13,
+    )
+    distance = ConstrainedDTW()
+    embedding = build_lipschitz_embedding(distance, database, dim=dim, set_size=1, seed=3)
+    database_vectors = embedding.embed_many(list(database))
+    query_objects = list(queries)
+    # Raw-distance ground truth: neither serving context sees these pairs.
+    ground_truth = ground_truth_neighbors(distance, database, queries, k_max=k)
+    universe = list(database) + query_objects
+
+    fixed_context = DistanceContext(ConstrainedDTW(), universe)
+    fixed = FilterRefineRetriever(
+        fixed_context, database, embedding, database_vectors=database_vectors
+    )
+    fixed_cold, fixed_cold_seconds = _timed(
+        lambda: fixed.query_many(query_objects, k=k, p=p)
+    )
+    fixed_warm, fixed_warm_seconds = _timed(
+        lambda: fixed.query_many(query_objects, k=k, p=p)
+    )
+
+    planner_context = DistanceContext(ConstrainedDTW(), universe)
+    planner = PlannedRetriever(
+        planner_context,
+        database,
+        embedding,
+        database_vectors=database_vectors,
+        mode="adaptive",
+    )
+    # Pin the adaptive ceiling to the fixed run's p: equal operating
+    # points, so any recall gap is the early exit's doing alone.
+    planner.cost_budget = planner.embedding_cost + p
+    assert planner.choose_p(k) == min(p, n_database)
+    planner_cold, planner_cold_seconds = _timed(
+        lambda: planner.query_many(query_objects, k=k)
+    )
+    planner_warm, planner_warm_seconds = _timed(
+        lambda: planner.query_many(query_objects, k=k)
+    )
+
+    # Exactness spot-check: a planner query that ran to the ceiling is the
+    # fixed-p query, bit for bit.
+    for fixed_r, planned_r in zip(fixed_cold, planner_cold):
+        if planned_r.stats["planned_p"] == min(p, n_database):
+            assert np.array_equal(
+                fixed_r.neighbor_indices, planned_r.neighbor_indices
+            ), "planner at the ceiling disagrees with the fixed-p run"
+            assert np.array_equal(
+                fixed_r.neighbor_distances, planned_r.neighbor_distances
+            )
+    for cold_r, warm_r in zip(planner_cold, planner_warm):
+        assert np.array_equal(cold_r.neighbor_indices, warm_r.neighbor_indices), (
+            "warm planner serve disagrees with its cold run"
+        )
+
+    fixed_recall = retrieval_recall(fixed_cold, ground_truth, k)
+    planner_recall = retrieval_recall(planner_cold, ground_truth, k)
+    fixed_evals = sum(r.refine_distance_computations for r in fixed_cold)
+    planner_evals = sum(r.refine_distance_computations for r in planner_cold)
+    planner_warm_evals = sum(
+        r.refine_distance_computations for r in planner_warm
+    )
+    fixed_warm_evals = sum(r.refine_distance_computations for r in fixed_warm)
+    return {
+        "n_database": n_database,
+        "n_queries": n_queries,
+        "series_length": length,
+        "embedding_dim": dim,
+        "k": k,
+        "p": p,
+        "p_ceiling": min(p, n_database),
+        "fixed_cold_seconds": fixed_cold_seconds,
+        "fixed_warm_seconds": fixed_warm_seconds,
+        "planner_cold_seconds": planner_cold_seconds,
+        "planner_warm_seconds": planner_warm_seconds,
+        "fixed_recall": fixed_recall,
+        "planner_recall": planner_recall,
+        "equal_accuracy": fixed_recall == planner_recall,
+        "early_exits": planner.early_exits,
+        "fixed_evals_per_query": fixed_evals / n_queries,
+        "planner_evals_per_query": planner_evals / n_queries,
+        "fixed_warm_evals_per_query": fixed_warm_evals / n_queries,
+        "planner_warm_evals_per_query": planner_warm_evals / n_queries,
+        "eval_reduction": fixed_evals / planner_evals if planner_evals else 1.0,
+        "warm_speedup": fixed_warm_seconds / planner_warm_seconds,
+        "wall_clock_speedup": fixed_cold_seconds / planner_cold_seconds,
+        # The gated ratio: exact evaluations saved cold, at the ceiling p.
+        "speedup": fixed_evals / planner_evals if planner_evals else 1.0,
+    }
+
+
+def bench_planner_calibration(
+    n_database: int,
+    n_queries: int,
+    length: int,
+    dim: int,
+    k: int,
+    probes: int,
+) -> dict:
+    """Cost of calibrating the planner's cost model from probe queries.
+
+    Recorded in the history but never gated: the figure exists so the
+    probe-scan price (full exact scans, charged honestly) and the fit time
+    stay visible across PRs, next to the operating points the calibrated
+    model actually picks.
+    """
+    database, queries = make_timeseries_dataset(
+        n_database=n_database,
+        n_queries=max(n_queries, probes),
+        n_seeds=8,
+        length=length,
+        n_dims=1,
+        seed=37,
+    )
+    distance = ConstrainedDTW()
+    embedding = build_lipschitz_embedding(distance, database, dim=dim, set_size=1, seed=3)
+    database_vectors = embedding.embed_many(list(database))
+    context = DistanceContext(ConstrainedDTW(), list(database) + list(queries))
+    planner = PlannedRetriever(
+        context,
+        database,
+        embedding,
+        database_vectors=database_vectors,
+        mode="adaptive",
+        target_accuracy=0.9,
+    )
+    uncalibrated_p = planner.choose_p(k)
+    record, calibrate_seconds = _timed(
+        lambda: planner.calibrate(list(queries)[:probes], k_max=k)
+    )
+    return {
+        "n_database": n_database,
+        "series_length": length,
+        "embedding_dim": dim,
+        "k": k,
+        "probes": record["probes"],
+        "probe_evaluations": record["probe_evaluations"],
+        "probe_evaluations_per_probe": record["probe_evaluations"] / probes,
+        "fit_seconds": record["fit_seconds"],
+        "calibrate_seconds": calibrate_seconds,
+        "exact_eval_seconds": record["exact_eval_seconds"],
+        "uncalibrated_p": uncalibrated_p,
+        "calibrated_p": planner.choose_p(k),
+    }
+
+
 def bench_static_analysis() -> dict:
     """Wall-clock of the `repro.analysis` lint gate over src + scripts.
 
@@ -1208,6 +1394,12 @@ def main() -> int:
             "quantized_filter": dict(
                 n_database=600, n_queries=6, n_dims=12, dim=8, k=5, p=30,
             ),
+            "planned_query_many": dict(
+                n_database=80, n_queries=8, length=40, dim=10, k=3, p=30,
+            ),
+            "planner_calibration": dict(
+                n_database=80, n_queries=8, length=40, dim=6, k=3, probes=3,
+            ),
         }
     else:
         sizes = {
@@ -1246,6 +1438,12 @@ def main() -> int:
             "quantized_filter": dict(
                 n_database=3000, n_queries=12, n_dims=12, dim=8, k=5, p=30,
             ),
+            "planned_query_many": dict(
+                n_database=300, n_queries=25, length=50, dim=16, k=5, p=40,
+            ),
+            "planner_calibration": dict(
+                n_database=300, n_queries=25, length=50, dim=8, k=5, probes=4,
+            ),
         }
 
     if args.scale != 1.0:
@@ -1278,6 +1476,7 @@ def main() -> int:
         ("remote_serve", bench_remote_serve),
         ("kernel_pairwise", bench_kernel_pairwise),
         ("quantized_filter", bench_quantized_filter),
+        ("planned_query_many", bench_planned_query_many),
     ]:
         print(f"[bench_perf] {name} {sizes[name]} ...", flush=True)
         results[name] = fn(**sizes[name])
@@ -1302,6 +1501,23 @@ def main() -> int:
                 f"engine {engine:.3f}s  speedup {r['speedup']:.1f}x",
                 flush=True,
             )
+
+    # Non-gated: the calibration price rides along in the history.
+    print(
+        f"[bench_perf] planner_calibration {sizes['planner_calibration']} ...",
+        flush=True,
+    )
+    results["planner_calibration"] = bench_planner_calibration(
+        **sizes["planner_calibration"]
+    )
+    calibration = results["planner_calibration"]
+    print(
+        f"[bench_perf]   {calibration['probes']} probes cost "
+        f"{calibration['probe_evaluations']} exact evaluations; fit "
+        f"{calibration['fit_seconds']:.3f}s; p(k={calibration['k']}) "
+        f"{calibration['uncalibrated_p']} -> {calibration['calibrated_p']}",
+        flush=True,
+    )
 
     # Non-gated: the lint gate's own cost rides along in the history.
     print("[bench_perf] static_analysis ...", flush=True)
@@ -1348,17 +1564,41 @@ def main() -> int:
         "failures": kernel_failures,
     }
 
+    # The planner gate: at the same operating point, backend and scale,
+    # the adaptive planner must match the fixed-p pipeline's cold
+    # exact-evaluation spend — but only when both paths measured equal
+    # recall in this run; an unequal-recall run records the gap without
+    # gating on it.
+    planned = results["planned_query_many"]
+    planner_failures = []
+    if planned["equal_accuracy"] and planned["speedup"] < PLANNER_SPEEDUP_FLOOR:
+        planner_failures.append(
+            f"planned_query_many: planner spent "
+            f"{planned['planner_evals_per_query']:.1f} exact evaluations "
+            f"per query vs fixed-p's {planned['fixed_evals_per_query']:.1f} "
+            f"({planned['speedup']:.2f}x) — below the "
+            f"{PLANNER_SPEEDUP_FLOOR:.1f}x floor at equal recall "
+            f"({planned['planner_recall']:.3f})"
+        )
+    record["planner_gate"] = {
+        "floor": PLANNER_SPEEDUP_FLOOR,
+        "applied": planned["equal_accuracy"],
+        "failures": planner_failures,
+    }
+
     history.append(record)
     args.output.write_text(
         json.dumps({"history": history}, indent=2) + "\n"
     )
     print(f"[bench_perf] appended record #{len(history)} to {args.output}")
 
-    if regressions or kernel_failures:
+    if regressions or kernel_failures or planner_failures:
         for line in regressions:
             print(f"[bench_perf] REGRESSION: {line}")
         for line in kernel_failures:
             print(f"[bench_perf] KERNEL GATE: {line}")
+        for line in planner_failures:
+            print(f"[bench_perf] PLANNER GATE: {line}")
         if args.no_gate:
             print("[bench_perf] --no-gate set; not failing")
         else:

@@ -112,6 +112,35 @@ def main() -> int:
     )
     check(index.pool.launches <= 1, "async serving reuses the same pool launch")
 
+    # adaptive query planner: plan, serve, and per-query fixed-p' parity
+    index.enable_planner(target_accuracy=0.9)
+    check(index.backend == "planned", "enable_planner switches the backend")
+    plan = index.explain(k=3)
+    check(
+        all(key in plan for key in ("p", "backend", "tier", "schedule")),
+        "explain exposes the planned operating point",
+    )
+    planned = index.query_many(queries, k=3)
+    check(
+        all(r.stats.get("planned") for r in planned),
+        "adaptive serve stamps planner stats on every result",
+    )
+    check(
+        all(
+            np.array_equal(
+                r.neighbor_indices,
+                index.query(q, k=3, p=r.stats["planned_p"]).neighbor_indices,
+            )
+            for q, r in zip(queries, planned)
+        ),
+        "every adaptive answer equals the fixed run at its chosen p'",
+    )
+    check(
+        index.health()["planner"] is not None,
+        "index.health surfaces the planner",
+    )
+    index.set_backend("sharded")
+
     with tempfile.TemporaryDirectory() as tmp:
         artifact = Path(tmp) / "index"
 

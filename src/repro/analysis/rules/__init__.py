@@ -24,6 +24,9 @@ RP010     kernels             compiled kernel entry points have a numpy
 RP011     remote              every repro.remote socket has an explicit
                               deadline; low-level socket errors re-raised
                               as typed Remote* errors at the network rim
+RP012     planner             no clock/RNG calls inside planner decision
+                              functions — plans are deterministic given
+                              the fitted cost-model state
 ========  ==================  ===============================================
 """
 
@@ -33,6 +36,7 @@ from repro.analysis.rules import (  # noqa: F401  (import for side effects)
     exception_hygiene,
     kernels,
     parallel_safety,
+    planner,
     remote,
     resources,
     style,

@@ -37,6 +37,10 @@ from repro.experiments.timing import (
     run_timing,
 )
 from repro.experiments.ablations import K1AblationResult, run_k1_ablation, run_dimension_ablation
+from repro.experiments.planner_points import (
+    PlannerOperatingPoint,
+    planner_operating_points,
+)
 
 __all__ = [
     "ExperimentScale",
@@ -66,4 +70,6 @@ __all__ = [
     "K1AblationResult",
     "run_k1_ablation",
     "run_dimension_ablation",
+    "PlannerOperatingPoint",
+    "planner_operating_points",
 ]

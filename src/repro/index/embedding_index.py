@@ -78,6 +78,7 @@ from repro.index.pool import PersistentPool
 from repro.retrieval.brute_force import BruteForceRetriever
 from repro.retrieval.engine import build_scan_result
 from repro.retrieval.filter_refine import FilterRefineRetriever, RetrievalResult
+from repro.retrieval.planner import PlannedRetriever
 from repro.retrieval.quantized import QUANTIZED_DTYPES, QuantizedVectors
 from repro.retrieval.sharded import Shard, ShardedRetriever
 
@@ -134,6 +135,18 @@ class IndexConfig:
         the registrations would grow the universe (and the state shipped
         to pool workers) per batch with no reuse to show for it; queries
         are then evaluated uncached, with identical results.
+    planner:
+        Query-planning mode of the ``"planned"`` backend: ``"off"`` (the
+        default — an explicit ``p`` is required and every call is a pure
+        pass-through) or ``"adaptive"`` (``p=None`` lets the fitted cost
+        model pick the per-query operating point; see
+        :mod:`repro.retrieval.planner`).  Ignored by other backends.
+    planner_target_accuracy:
+        Retrieval accuracy the adaptive planner aims for when calibrated,
+        in ``(0, 1]``.
+    planner_cost_budget:
+        Optional per-query budget in exact evaluations (embedding
+        included) capping the planner's chosen ``p``.
     """
 
     training: TrainingConfig = field(default_factory=TrainingConfig)
@@ -144,6 +157,9 @@ class IndexConfig:
     max_sparse_entries: Optional[int] = None
     register_queries: bool = True
     filter_dtype: str = "float64"
+    planner: str = "off"
+    planner_target_accuracy: float = 0.95
+    planner_cost_budget: Optional[int] = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.training, TrainingConfig):
@@ -162,6 +178,17 @@ class IndexConfig:
                 f"filter_dtype must be one of "
                 f"{('float64',) + QUANTIZED_DTYPES}, got {self.filter_dtype!r}"
             )
+        if self.planner not in ("off", "adaptive"):
+            raise ConfigurationError(
+                f"planner must be 'off' or 'adaptive', got {self.planner!r}"
+            )
+        if not 0.0 < float(self.planner_target_accuracy) <= 1.0:
+            raise ConfigurationError(
+                "planner_target_accuracy must be in (0, 1], got "
+                f"{self.planner_target_accuracy}"
+            )
+        if self.planner_cost_budget is not None and self.planner_cost_budget < 1:
+            raise ConfigurationError("planner_cost_budget must be positive")
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-serializable description (round-trips via :meth:`from_dict`)."""
@@ -179,6 +206,9 @@ class IndexConfig:
             "max_sparse_entries": self.max_sparse_entries,
             "register_queries": self.register_queries,
             "filter_dtype": self.filter_dtype,
+            "planner": self.planner,
+            "planner_target_accuracy": self.planner_target_accuracy,
+            "planner_cost_budget": self.planner_cost_budget,
         }
 
     @classmethod
@@ -199,6 +229,12 @@ class IndexConfig:
                 # Artifacts from before the quantized filter tier carry no
                 # filter_dtype: they scanned the float64 table.
                 filter_dtype=str(payload.get("filter_dtype", "float64")),
+                # Pre-planner artifacts carry no planner fields: off.
+                planner=str(payload.get("planner", "off")),
+                planner_target_accuracy=float(
+                    payload.get("planner_target_accuracy", 0.95)
+                ),
+                planner_cost_budget=payload.get("planner_cost_budget"),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise ArtifactError(f"invalid index config payload: {exc}") from exc
@@ -364,9 +400,27 @@ def _sharded_factory(
     )
 
 
+def _planned_factory(
+    distance, database, embedder, database_vectors, config, quantized=None
+):
+    return PlannedRetriever(
+        distance,
+        database,
+        embedder,
+        database_vectors=database_vectors,
+        n_shards=config.n_shards,
+        n_jobs=config.n_jobs,
+        quantized=quantized,
+        mode=config.planner,
+        target_accuracy=config.planner_target_accuracy,
+        cost_budget=config.planner_cost_budget,
+    )
+
+
 register_backend("brute_force", _BruteForceBackend)
 register_backend("filter_refine", _filter_refine_factory)
 register_backend("sharded", _sharded_factory)
+register_backend("planned", _planned_factory)
 
 
 # --------------------------------------------------------------------------- #
@@ -855,6 +909,8 @@ class EmbeddingIndex:
         with self._serving_guard():
             self._register([obj])
             if p is None:
+                if getattr(self._backend, "supports_adaptive_p", False):
+                    return self._backend.query(obj, k)
                 if self._backend_name != "brute_force":
                     raise RetrievalError(
                         f"backend {self._backend_name!r} needs p (the number of "
@@ -913,6 +969,10 @@ class EmbeddingIndex:
             self._register(objects)
             effective_jobs = self.config.n_jobs if n_jobs is None else n_jobs
             if p is None:
+                if getattr(self._backend, "supports_adaptive_p", False):
+                    return self._backend.query_many(
+                        objects, k, n_jobs=effective_jobs
+                    )
                 if self._backend_name != "brute_force":
                     raise RetrievalError(
                         f"backend {self._backend_name!r} needs p (the number of "
@@ -1086,6 +1146,65 @@ class EmbeddingIndex:
             self._backend_name = name
             self.config = self.config.with_overrides(backend=name)
 
+    # -- query planning --------------------------------------------------
+
+    def enable_planner(
+        self,
+        mode: str = "adaptive",
+        target_accuracy: Optional[float] = None,
+        cost_budget: Optional[int] = None,
+    ) -> None:
+        """Switch to the ``"planned"`` backend with the given planner mode.
+
+        Rewires the query path onto a
+        :class:`~repro.retrieval.planner.PlannedRetriever` (embeddings and
+        the distance store are reused, zero exact evaluations); afterwards
+        ``query``/``query_many``/``stream`` accept ``p=None`` in
+        ``"adaptive"`` mode and plan the per-query operating point.  Call
+        :meth:`calibrate_planner` to fit the cost model from probe
+        queries; uncalibrated, the planner uses a deterministic fallback
+        ceiling.
+        """
+        overrides: Dict[str, Any] = {"planner": mode}
+        if target_accuracy is not None:
+            overrides["planner_target_accuracy"] = float(target_accuracy)
+        if cost_budget is not None:
+            overrides["planner_cost_budget"] = int(cost_budget)
+        self._check_open()
+        self.config = self.config.with_overrides(**overrides)
+        self.set_backend("planned")
+
+    def calibrate_planner(self, probes: Sequence[Any], **kwargs) -> Dict[str, Any]:
+        """Fit the planner's cost model from probe queries (charged honestly).
+
+        See :meth:`repro.retrieval.planner.PlannedRetriever.calibrate`.
+        """
+        self._check_open()
+        calibrate = getattr(self._backend, "calibrate", None)
+        if not callable(calibrate):
+            raise RetrievalError(
+                f"backend {self._backend_name!r} has no planner to calibrate; "
+                "call enable_planner() first"
+            )
+        with self._serving_guard():
+            self._register(list(probes))
+            return calibrate(probes, **kwargs)
+
+    def explain(self, k: int, p: Optional[int] = None) -> Dict[str, Any]:
+        """The plan one query at ``k`` would execute, without running it.
+
+        Requires the ``"planned"`` backend (see :meth:`enable_planner`);
+        deterministic given the fitted cost-model state.
+        """
+        self._check_open()
+        explain = getattr(self._backend, "explain", None)
+        if not callable(explain):
+            raise RetrievalError(
+                f"backend {self._backend_name!r} has no query planner; "
+                "call enable_planner() first"
+            )
+        return explain(k, p)
+
     # -- introspection ---------------------------------------------------
 
     @property
@@ -1159,7 +1278,9 @@ class EmbeddingIndex:
         per-shard connection supervision state — live/dead peers, retries,
         local fallbacks, bytes on the wire — and folds a dead shard into
         the top-level ``degraded`` flag: its work runs serially in the
-        parent, slower but never wrong.
+        parent, slower but never wrong.  ``planner`` (``None`` unless the
+        ``"planned"`` backend is active) reports the query planner's mode,
+        calibration state, fitted cost-model snapshot and last decision.
         """
         quantization = None
         if self._quantized is not None:
@@ -1177,6 +1298,10 @@ class EmbeddingIndex:
         backend_health = getattr(self._backend, "health", None)
         if callable(backend_health):
             remote = backend_health()
+        planner = None
+        planner_health = getattr(self._backend, "planner_health", None)
+        if callable(planner_health):
+            planner = planner_health()
         return {
             "closed": self._closed,
             "backend": self._backend_name,
@@ -1186,6 +1311,7 @@ class EmbeddingIndex:
             "serving": self._server.health() if self._server is not None else None,
             "quantization": quantization,
             "remote": remote,
+            "planner": planner,
         }
 
     # -- lifecycle -------------------------------------------------------

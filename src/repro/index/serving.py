@@ -429,10 +429,18 @@ class AsyncServer:
         index = self._index
         index._check_open()
         if p is None and index.backend != "brute_force":
-            raise RetrievalError(
-                f"backend {index.backend!r} needs p (the number of filter "
-                "candidates to refine)"
-            )
+            backend = index._backend
+            if getattr(backend, "supports_adaptive_p", False):
+                # The planner resolves the operating point up front (a pure
+                # decision over its fitted model), and the ticket then runs
+                # the ordinary fixed-p pipeline at the chosen p' — the
+                # async path stays bit-identical to a fixed-p submit.
+                p = backend.choose_p(k)
+            else:
+                raise RetrievalError(
+                    f"backend {index.backend!r} needs p (the number of filter "
+                    "candidates to refine)"
+                )
         if p is None and k < 1:
             raise RetrievalError(f"k must be a positive integer, got {k}")
         if deadline is not None and deadline <= 0:

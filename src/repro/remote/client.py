@@ -43,6 +43,7 @@ surfaced through ``index.health()["remote"]``.
 from __future__ import annotations
 
 import socket
+import time
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -114,6 +115,9 @@ class ShardConnection:
         self.bytes_sent = 0
         self.bytes_received = 0
         self.round_trips = 0
+        #: Wall-clock seconds spent inside request/reply exchanges — the
+        #: per-shard round-trip cost signal the query planner fits.
+        self.request_seconds = 0.0
         self.retries_used = 0
         self.fallbacks = 0
         self.revivals = 0
@@ -207,10 +211,12 @@ class ShardConnection:
         response_type: FrameType,
     ) -> Dict[str, Any]:
         """Send one frame and read one reply of the expected type."""
+        started = time.perf_counter()
         self.bytes_sent += protocol.send_frame(self._sock, request_type, payload)
         frame_type, reply, nbytes = protocol.recv_frame(self._sock)
         self.bytes_received += nbytes
         self.round_trips += 1
+        self.request_seconds += time.perf_counter() - started
         if frame_type == FrameType.ERROR:
             raise RemoteError(
                 f"shard {self.shard_index} refused a {request_type.name} "
@@ -386,6 +392,7 @@ class ShardConnection:
             "alive": self.alive,
             "connects": self.connects,
             "round_trips": self.round_trips,
+            "request_seconds": self.request_seconds,
             "retries": self.retries_used,
             "fallbacks": self.fallbacks,
             "revivals": self.revivals,
@@ -482,11 +489,27 @@ class RemoteShardedBackend:
             "shards": shards,
             "degraded": any(not shard["alive"] for shard in shards),
             "round_trips": sum(s["round_trips"] for s in shards),
+            "request_seconds": sum(s["request_seconds"] for s in shards),
             "retries": sum(s["retries"] for s in shards),
             "fallbacks": sum(s["fallbacks"] for s in shards),
             "bytes_sent": sum(s["bytes_sent"] for s in shards),
             "bytes_received": sum(s["bytes_received"] for s in shards),
         }
+
+    def cost_signals(self) -> List[Dict[str, Any]]:
+        """Per-shard cost signals for the query planner.
+
+        Combines the local twin's refine routing counters (``routed_pairs``
+        vs ``evaluations`` — the store hit-rate signal) with each
+        connection's measured round-trip cost (``round_trips``,
+        ``request_seconds``) and liveness.
+        """
+        signals = self.retriever.shard_cost_signals()
+        for signal, conn in zip(signals, self.connections):
+            signal["alive"] = conn.alive
+            signal["round_trips"] = conn.round_trips
+            signal["request_seconds"] = conn.request_seconds
+        return signals
 
     # -- pipeline stages -------------------------------------------------
 

@@ -12,6 +12,9 @@ This subpackage implements Sec. 8 and the evaluation protocol of Sec. 9:
 * the accuracy-versus-cost evaluation with the paper's optimal-parameter
   search over the embedding dimensionality ``d`` and the filter size ``p``
   (:mod:`repro.retrieval.evaluation`, :mod:`repro.retrieval.sweep`);
+* the cost-based adaptive query planner that chooses ``p``, the filter
+  tier, the execution backend and the refine fan-out per query from a
+  fitted cost model (:mod:`repro.retrieval.planner`);
 * dynamic-database maintenance and drift detection
   (:mod:`repro.retrieval.dynamic`, Sec. 7.1).
 """
@@ -40,7 +43,18 @@ from repro.retrieval.evaluation import (
     success_rate,
     AccuracyCostPoint,
 )
-from repro.retrieval.sweep import DimensionSweep, SweepEntry, optimal_cost_curve
+from repro.retrieval.sweep import (
+    DimensionSweep,
+    SweepEntry,
+    optimal_cost_curve,
+    run_sweep,
+)
+from repro.retrieval.planner import (
+    CostModel,
+    PlannedRetriever,
+    choose_operating_point,
+    refine_schedule,
+)
 from repro.retrieval.dynamic import DynamicDatabase, DriftMonitor
 
 __all__ = [
@@ -72,6 +86,11 @@ __all__ = [
     "DimensionSweep",
     "SweepEntry",
     "optimal_cost_curve",
+    "run_sweep",
+    "CostModel",
+    "PlannedRetriever",
+    "choose_operating_point",
+    "refine_schedule",
     "DynamicDatabase",
     "DriftMonitor",
 ]

@@ -53,6 +53,7 @@ candidates are unique and shard ranges are disjoint.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -89,6 +90,7 @@ __all__ = [
     "refine_order",
     "build_retrieval_result",
     "build_scan_result",
+    "collect_plan_stats",
 ]
 
 
@@ -280,6 +282,12 @@ class RetrievalResult:
         resolved before the deadline — correct distances, possibly missing
         neighbors — and must not be compared bit-for-bit with a full
         result.
+    stats:
+        Optional per-stage wall-clock and evaluation counters (the batch's
+        shared ``plan.stats`` dict, attached by :meth:`QueryEngine.run`;
+        the cost-based planner adds its per-query decision fields).
+        ``None`` on paths that do not collect timings.  Diagnostic only —
+        never part of the bit-identity contract.
     """
 
     neighbor_indices: np.ndarray
@@ -288,6 +296,7 @@ class RetrievalResult:
     embedding_distance_computations: int
     refine_distance_computations: int
     partial: bool = False
+    stats: Optional[Dict[str, Any]] = None
 
     @property
     def total_distance_computations(self) -> int:
@@ -335,6 +344,9 @@ class QueryPlan:
     #: Evaluations actually performed per query (``None`` = nominal ``p``).
     refine_costs: List[Optional[int]] = field(default_factory=list)
     results: List[RetrievalResult] = field(default_factory=list)
+    #: Per-stage wall-clock seconds and evaluation counters, filled by
+    #: :meth:`QueryEngine.run` (and partially by :meth:`QueryEngine.prepare`).
+    stats: Optional[Dict[str, Any]] = None
 
 
 # --------------------------------------------------------------------------- #
@@ -344,6 +356,9 @@ class QueryPlan:
 
 class EmbedStage:
     """Embed the query objects (cost: ``embedder.cost`` exact distances each)."""
+
+    #: Key this stage's wall-clock is recorded under in ``plan.stats``.
+    stat_name = "embed"
 
     def __init__(self, embedder: Union[QuerySensitiveModel, Embedding]) -> None:
         self.embedder = embedder
@@ -381,6 +396,8 @@ class FilterStage:
     to the float64 scan, and the superset size is charged honestly in
     :attr:`widened_total` (see :func:`repro.retrieval.quantized.quantized_filter_cut`).
     """
+
+    stat_name = "filter"
 
     def __init__(
         self,
@@ -442,6 +459,8 @@ class ShardedFilterStage:
     Also computes the per-shard candidate split the refine stage routes
     work with (``plan.shard_work``).
     """
+
+    stat_name = "filter"
 
     def __init__(
         self,
@@ -549,6 +568,8 @@ class ShardedFilterStage:
 class ScanStage:
     """The degenerate filter of brute force: every position is a candidate."""
 
+    stat_name = "filter"
+
     def __init__(self, n_database: int) -> None:
         # One shared candidate array (read-only by convention), so a large
         # batch does not allocate O(batch x database) identical arrays.
@@ -571,6 +592,8 @@ class RefineStage:
     retrievers and the async serving layer refine through this stage, so
     accounting can never drift between them.
     """
+
+    stat_name = "refine"
 
     def __init__(
         self,
@@ -595,6 +618,12 @@ class RefineStage:
         #: store hits are free on the context-backed path).  This is the
         #: per-shard hit-rate signal a store-aware placement policy reads.
         self.shard_evaluations: Optional[np.ndarray] = (
+            np.zeros(len(self.shards), dtype=int) if self.shards is not None else None
+        )
+        #: Candidate pairs *routed* to each shard so far (whether or not the
+        #: store absorbed them).  ``1 - shard_evaluations / shard_routed`` is
+        #: the per-shard store hit rate the cost-based planner fits.
+        self.shard_routed: Optional[np.ndarray] = (
             np.zeros(len(self.shards), dtype=int) if self.shards is not None else None
         )
 
@@ -726,6 +755,7 @@ class RefineStage:
                 plan.exact_lists[0][positions] = values
                 plan.refine_costs[0] += spent
                 self.shard_evaluations[sid] += spent
+                self.shard_routed[sid] += positions.size
             return
         flat_keys: List[Tuple[int, int, np.ndarray]] = []
         flat_objects: List[Any] = []
@@ -744,6 +774,7 @@ class RefineStage:
             plan.exact_lists[qi][positions] = values
             plan.refine_costs[qi] += spent
             self.shard_evaluations[sid] += spent
+            self.shard_routed[sid] += positions.size
 
     def _run_sharded_counting(self, plan: QueryPlan) -> None:
         objects = plan.objects
@@ -775,6 +806,7 @@ class RefineStage:
                 for sid, local, positions in work:
                     plan.exact_lists[qi][positions] = by_key[(qi, sid)]
                     self.shard_evaluations[sid] += int(local.size)
+                    self.shard_routed[sid] += int(local.size)
         else:
             for qi, (obj, work) in enumerate(zip(objects, plan.shard_work)):
                 for sid, local, positions in work:
@@ -783,10 +815,13 @@ class RefineStage:
                         obj, [shard.objects[int(i)] for i in local]
                     )
                     self.shard_evaluations[sid] += int(local.size)
+                    self.shard_routed[sid] += int(local.size)
 
 
 class MergeStage:
     """Order refined candidates into results (ties by database index)."""
+
+    stat_name = "merge"
 
     def run(self, plan: QueryPlan) -> QueryPlan:
         """Assemble per-query RetrievalResults from the refined distances."""
@@ -804,6 +839,31 @@ class MergeStage:
             )
         ]
         return plan
+
+
+def collect_plan_stats(
+    plan: QueryPlan,
+    stage_seconds: Dict[str, float],
+    refine_evaluations: int,
+) -> Dict[str, Any]:
+    """Assemble the ``plan.stats`` dict from measured stage timings.
+
+    Pure bookkeeping over values measured by the caller (no clocks here):
+    per-stage wall-clock seconds plus the evaluation counters the
+    cost-based planner fits its model from.  ``refine_evaluations`` is the
+    refine stage's exact-evaluation delta across the batch.
+    """
+    n_queries = len(plan.objects)
+    candidates = int(sum(c.shape[0] for c in plan.candidate_lists))
+    return {
+        "n_queries": n_queries,
+        "k_eff": int(plan.k_eff),
+        "p_eff": int(plan.p_eff),
+        "stage_seconds": dict(stage_seconds),
+        "embedding_evaluations": int(plan.embedding_cost) * n_queries,
+        "refine_evaluations": int(refine_evaluations),
+        "candidates": candidates,
+    }
 
 
 # --------------------------------------------------------------------------- #
@@ -920,21 +980,47 @@ class QueryEngine:
         return plan
 
     def run(self, plan: QueryPlan) -> QueryPlan:
-        """Run every stage over the plan, in order."""
+        """Run every stage over the plan, in order, timing each stage.
+
+        Fills ``plan.stats`` with per-stage wall-clock seconds and
+        evaluation counters (the cost-model inputs of the query planner)
+        and attaches the shared dict to every result.  Timing lives here —
+        not inside the stages — so merge/rank/order code stays clock-free
+        (the RP004 determinism invariant).
+        """
+        stage_seconds: Dict[str, float] = {}
+        refine_before = self.refine.calls
         for stage in self.stages:
+            started = time.perf_counter()
             plan = stage.run(plan)
+            key = getattr(stage, "stat_name", type(stage).__name__)
+            stage_seconds[key] = (
+                stage_seconds.get(key, 0.0) + time.perf_counter() - started
+            )
+        plan.stats = collect_plan_stats(
+            plan, stage_seconds, self.refine.calls - refine_before
+        )
+        for result in plan.results:
+            result.stats = plan.stats
         return plan
 
     def prepare(self, plan: QueryPlan) -> QueryPlan:
-        """Run only the parent-CPU stages (embed + filter).
+        """Run only the parent-CPU stages (embed + filter), timed.
 
         This is the async serving split: the serving layer prepares query
         ``i+1`` here while query ``i``'s refine batch runs on the worker
-        pool, then completes the refine/merge itself.
+        pool, then completes the refine/merge itself.  ``plan.stats`` gets
+        the embed/filter timings (no refine/merge entries).
         """
+        stage_seconds: Dict[str, float] = {}
         if self.embed is not None:
+            started = time.perf_counter()
             plan = self.embed.run(plan)
+            stage_seconds["embed"] = time.perf_counter() - started
+        started = time.perf_counter()
         plan = self.filter.run(plan)
+        stage_seconds["filter"] = time.perf_counter() - started
+        plan.stats = collect_plan_stats(plan, stage_seconds, 0)
         return plan
 
     # -- conveniences ----------------------------------------------------

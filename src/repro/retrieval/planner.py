@@ -1,0 +1,924 @@
+"""Cost-based adaptive query planning: per-query ``p``, backend and fan-out.
+
+The paper's filter-and-refine operating point — the filter size ``p`` behind
+the Figure 4/5 accuracy-vs-cost curves — is a single knob tuned offline.
+This module turns it into a per-query decision made by a fitted cost model,
+the way a database optimizer chooses a physical plan:
+
+* :class:`CostModel` — fitted online from *observed* stage timings: exact
+  evaluations per second, filter scan seconds per row (per tier), the store
+  hit rate (globally and per shard), and the remote round-trip overhead.
+  Calibrated from a few probe queries
+  (:meth:`PlannedRetriever.calibrate`) and updated from every served
+  batch.  All ``observe_*`` methods ingest values measured by the caller;
+  every ``choose_*``/``predict_*`` method is a pure function of the fitted
+  state — no clocks, no RNG (analysis rule RP012), so planning decisions
+  are deterministic given the model.
+* :class:`PlannedRetriever` — the ``"planned"`` index backend.  Per query
+  it (a) picks ``p`` to hit a target accuracy or cost budget, (b) chooses
+  the filter tier (float64/quantized) and execution backend (flat,
+  sharded, remote scatter/gather, full scan for tiny residuals) from
+  predicted cost, (c) sets ``n_jobs`` from pool occupancy, and (d) shrinks
+  the refine set adaptively: candidates are refined in prefix-extending
+  slices and refinement stops as soon as the top-``k`` is stable across an
+  extension (the incremental-refine early exit), charging only the pairs
+  actually evaluated.
+
+Exactness contract
+------------------
+With an explicit ``p`` (or ``planner="off"``) the planned backend delegates
+to the shared :class:`~repro.retrieval.engine.QueryEngine` pipeline and is
+bit-identical to today's paths.  In adaptive mode, the chosen per-query
+``p'`` is *defined* as the refined prefix length at the deterministic
+stopping point; because a stable filter cut at ``p'`` is exactly the first
+``p'`` entries of the cut at the ceiling ``p_max`` (stable top-``p`` cuts
+are prefix-closed), the adaptive result — neighbors, tie order, candidate
+list and per-query accounting — is bit-identical *by construction* to the
+fixed-``p'`` run over the same store state.  Tests assert this for the
+flat, sharded and remote backends.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.datasets.base import Dataset
+from repro.exceptions import RetrievalError
+from repro.retrieval.engine import (
+    FilterStage,
+    QueryEngine,
+    RetrievalResult,
+    build_retrieval_result,
+    clamp_query_params,
+    refine_order,
+)
+from repro.retrieval.evaluation import (
+    FilterRankResult,
+    cost_for_accuracy,
+    filter_ranks,
+)
+from repro.retrieval.knn import knn_from_distances
+from repro.retrieval.quantized import QuantizedVectors
+from repro.retrieval.sharded import ShardedRetriever
+
+__all__ = [
+    "CostModel",
+    "PlannedRetriever",
+    "choose_operating_point",
+    "refine_schedule",
+]
+
+
+#: Default neighbor-table width of the calibration profile: accuracy-targeted
+#: ``p`` selection supports any ``k`` up to this without re-probing.
+CALIBRATION_KMAX = 8
+
+#: Uncalibrated fallback ceiling: ``max(DEFAULT_P_FACTOR * k, DEFAULT_P_MIN)``
+#: candidates, clamped to the database size.
+DEFAULT_P_FACTOR = 8
+DEFAULT_P_MIN = 32
+
+#: Store hit rate above which the sharded execution path (store-aware
+#: per-shard refine grouping) is predicted to pay for its routing overhead.
+SHARDED_HIT_RATE = 0.25
+
+#: Minimum predicted refine misses per pool worker before parallel fan-out
+#: is predicted to beat the serial path (dispatch overhead amortization).
+MIN_MISSES_PER_WORKER = 8
+
+
+def refine_schedule(p_ceiling: int, k: int) -> List[int]:
+    """The deterministic prefix-extension schedule of the adaptive refine.
+
+    Starts at ``max(k, ceil(p_ceiling / 4))`` and doubles until the ceiling:
+    the early exit needs two consecutive prefixes agreeing on the
+    top-``k``, so the cheapest possible stop costs half the ceiling.  Pure
+    arithmetic — the schedule (and therefore the chosen ``p'``) depends
+    only on ``(p_ceiling, k)`` and the refined distances, never on timing.
+    """
+    if p_ceiling < 1:
+        raise RetrievalError(f"p_ceiling must be positive, got {p_ceiling}")
+    sizes: List[int] = []
+    current = min(p_ceiling, max(int(k), (int(p_ceiling) + 3) // 4, 1))
+    while True:
+        sizes.append(current)
+        if current >= p_ceiling:
+            return sizes
+        current = min(current * 2, p_ceiling)
+
+
+def choose_operating_point(
+    k: int,
+    n_database: int,
+    embedding_cost: int,
+    rank_profile: Optional[FilterRankResult],
+    target_accuracy: float,
+    cost_budget: Optional[int],
+) -> int:
+    """Pick the refine ceiling ``p`` for one query — the planner's operating point.
+
+    Pure (RP012): a function of the calibration profile and the configured
+    targets only.  With a profile, ``p`` is the paper's accuracy quantile
+    (:func:`~repro.retrieval.evaluation.cost_for_accuracy`); without one, a
+    deterministic ``max(8k, 32)`` fallback.  A ``cost_budget`` (total exact
+    evaluations per query, embedding included) caps it; when the capped
+    operating point costs as much as a brute-force scan anyway, the residual
+    is tiny and the planner refines everything (``p = n``), which is
+    bit-identical to the exact scan.  The experiments layer shares this
+    function to overlay planner-chosen operating points on the Figure 4/5
+    curves.
+    """
+    if n_database < 1:
+        raise RetrievalError("n_database must be positive")
+    if rank_profile is not None:
+        point = cost_for_accuracy(
+            rank_profile,
+            min(int(k), rank_profile.k_max),
+            target_accuracy,
+            n_database,
+        )
+        p = point.p
+    else:
+        p = max(DEFAULT_P_FACTOR * int(k), DEFAULT_P_MIN)
+    if cost_budget is not None:
+        p = min(p, int(cost_budget) - int(embedding_cost))
+    p = min(max(p, int(k), 1), n_database)
+    if int(embedding_cost) + p >= n_database:
+        # Tiny residual: the filter step cannot pay for itself, so the
+        # cheapest *correct* plan refines the whole database.
+        p = n_database
+    return int(p)
+
+
+class CostModel:
+    """Per-stage cost coefficients, fitted online from observed timings.
+
+    The split between measurement and decision is strict: ``observe_*``
+    methods ingest wall-clock values their *caller* measured (they never
+    read clocks themselves), and ``choose_*``/``predict_*`` methods are
+    pure functions of the fitted state — analysis rule RP012 enforces that
+    they call no clocks and no RNG, extending the RP004 bit-identity story
+    to planning: the same model state always produces the same plan.
+
+    Fitted quantities (exponentially-weighted moving averages):
+
+    * ``exact_eval_seconds`` — seconds per exact refine evaluation (the
+      active kernel backend's throughput shows up here);
+    * ``embed_seconds`` — seconds to embed one query;
+    * ``filter_row_seconds`` — filter scan seconds per database row, keyed
+      by tier (``"float64"`` or the quantized dtype);
+    * ``store_hit_rate`` — fraction of routed refine pairs absorbed by the
+      distance store (and ``shard_hit_rates``, the same per shard);
+    * ``remote_round_trip_seconds`` — scatter/gather seconds per query.
+    """
+
+    def __init__(self, alpha: float = 0.3) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise RetrievalError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = float(alpha)
+        self.observations = 0
+        self.exact_eval_seconds = 0.0
+        self.embed_seconds = 0.0
+        self.filter_row_seconds: Dict[str, float] = {}
+        self.store_hit_rate = 0.0
+        self.shard_hit_rates: Dict[int, float] = {}
+        self.remote_round_trip_seconds = 0.0
+        #: Calibration record of the last :meth:`PlannedRetriever.calibrate`
+        #: run (probe cost, fit seconds), ``None`` until calibrated.
+        self.calibration: Optional[Dict[str, Any]] = None
+
+    # -- fitting (values measured by the caller; no clocks here) ---------
+
+    def _blend(self, old: float, new: float) -> float:
+        """EWMA update; the first observation replaces the zero prior."""
+        if old == 0.0:
+            return float(new)
+        return float(old + self.alpha * (new - old))
+
+    def observe_batch(
+        self,
+        *,
+        n_queries: int,
+        n_rows: int,
+        tier: str,
+        embed_seconds: float,
+        filter_seconds: float,
+        refine_seconds: float,
+        refine_evaluations: int,
+        refine_pairs: int,
+    ) -> None:
+        """Fold one served batch's measured stage costs into the model.
+
+        ``n_rows`` is the total filter rows scanned (database size times
+        queries), ``refine_pairs`` the candidate pairs routed to refine,
+        ``refine_evaluations`` how many of those the store did not absorb.
+        """
+        if n_queries <= 0:
+            return
+        if embed_seconds > 0.0:
+            self.embed_seconds = self._blend(
+                self.embed_seconds, embed_seconds / n_queries
+            )
+        if n_rows > 0 and filter_seconds > 0.0:
+            self.filter_row_seconds[tier] = self._blend(
+                self.filter_row_seconds.get(tier, 0.0), filter_seconds / n_rows
+            )
+        if refine_evaluations > 0 and refine_seconds > 0.0:
+            self.exact_eval_seconds = self._blend(
+                self.exact_eval_seconds, refine_seconds / refine_evaluations
+            )
+        if refine_pairs > 0:
+            hit_rate = 1.0 - refine_evaluations / refine_pairs
+            self.store_hit_rate = self._blend(self.store_hit_rate, hit_rate)
+        self.observations += 1
+
+    def observe_shards(self, signals: Sequence[Dict[str, Any]]) -> None:
+        """Fold per-shard routing signals (``shard_cost_signals()``) in."""
+        for signal in signals:
+            routed = int(signal.get("routed_pairs", 0))
+            if routed <= 0:
+                continue
+            hit_rate = 1.0 - int(signal.get("evaluations", 0)) / routed
+            sid = int(signal["shard"])
+            self.shard_hit_rates[sid] = self._blend(
+                self.shard_hit_rates.get(sid, 0.0), hit_rate
+            )
+
+    def observe_remote(self, seconds_per_query: float) -> None:
+        """Fold a measured remote scatter/gather cost (seconds/query) in."""
+        if seconds_per_query > 0.0:
+            self.remote_round_trip_seconds = self._blend(
+                self.remote_round_trip_seconds, seconds_per_query
+            )
+
+    # -- prediction and choice (pure over fitted state; RP012) -----------
+
+    def predict_filter_seconds(self, n_rows: int, tier: str) -> float:
+        """Predicted scan seconds for ``n_rows`` filter rows on one tier."""
+        return n_rows * self.filter_row_seconds.get(tier, 0.0)
+
+    def predict_refine_seconds(self, n_candidates: int) -> float:
+        """Predicted refine seconds: store-miss fraction times eval cost."""
+        misses = (1.0 - self.store_hit_rate) * n_candidates
+        return misses * self.exact_eval_seconds
+
+    def predict_query_seconds(self, p: int, n_rows: int, tier: str) -> float:
+        """Predicted wall-clock of one local filter-and-refine query."""
+        return (
+            self.embed_seconds
+            + self.predict_filter_seconds(n_rows, tier)
+            + self.predict_refine_seconds(p)
+        )
+
+    def choose_filter_tier(self, tiers: Sequence[str]) -> str:
+        """Pick the cheapest filter tier by fitted per-row scan cost.
+
+        ``tiers`` lists the available tiers in preference order (the
+        configured quantized tier first); an unfitted tier keeps its
+        place — the planner only overrides the configuration once it has
+        measured both tiers and found the preferred one slower.
+        """
+        tiers = list(tiers)
+        if not tiers:
+            raise RetrievalError("choose_filter_tier needs at least one tier")
+        best = tiers[0]
+        for tier in tiers[1:]:
+            best_cost = self.filter_row_seconds.get(best)
+            cost = self.filter_row_seconds.get(tier)
+            if best_cost is not None and cost is not None and cost < best_cost:
+                best = tier
+        return best
+
+    def choose_n_jobs(
+        self, n_queries: int, p: int, pool_workers: int
+    ) -> Optional[int]:
+        """Refine fan-out from pool occupancy and predicted store misses.
+
+        Returns ``None`` (the serial path) when the pool is absent, closed
+        or too small, or when the predicted miss volume would not amortize
+        dispatch — a dead pool therefore re-plans onto the serial path
+        automatically.
+        """
+        if pool_workers <= 1:
+            return None
+        misses = (1.0 - self.store_hit_rate) * p * n_queries
+        if misses < MIN_MISSES_PER_WORKER * pool_workers:
+            return None
+        return int(pool_workers)
+
+    def choose_backend(
+        self,
+        p: int,
+        n_rows: int,
+        tier: str,
+        sharded_available: bool,
+        remote_available: bool,
+    ) -> str:
+        """Pick the execution backend for one query from predicted cost.
+
+        Remote scatter/gather wins when its fitted round-trip cost
+        undercuts the predicted local query; otherwise the sharded
+        store-aware path wins once the store is warm enough
+        (hit rate ≥ ``SHARDED_HIT_RATE``) for per-shard grouping to pay;
+        otherwise flat.  Every choice is bit-identical — this only decides
+        *where* the same work runs.
+        """
+        if remote_available:
+            local = self.predict_query_seconds(p, n_rows, tier)
+            if self.remote_round_trip_seconds <= local:
+                return "remote_sharded"
+        if sharded_available and self.store_hit_rate >= SHARDED_HIT_RATE:
+            return "sharded"
+        return "flat"
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-friendly snapshot of the fitted state (health / explain)."""
+        return {
+            "observations": self.observations,
+            "exact_eval_seconds": self.exact_eval_seconds,
+            "embed_seconds": self.embed_seconds,
+            "filter_row_seconds": dict(self.filter_row_seconds),
+            "store_hit_rate": self.store_hit_rate,
+            "shard_hit_rates": {
+                int(k): float(v) for k, v in self.shard_hit_rates.items()
+            },
+            "remote_round_trip_seconds": self.remote_round_trip_seconds,
+            "calibrated": self.calibration is not None,
+        }
+
+
+class PlannedRetriever:
+    """The ``"planned"`` backend: cost-planned filter-and-refine retrieval.
+
+    Wraps the shared :class:`~repro.retrieval.engine.QueryEngine` pipeline
+    behind a :class:`CostModel`.  With an explicit ``p`` (or
+    ``mode="off"``) every call delegates to the flat engine and is
+    bit-identical to :class:`~repro.retrieval.filter_refine.FilterRefineRetriever`;
+    with ``p=None`` in ``mode="adaptive"`` the planner picks the operating
+    point per query and refines incrementally (see the module docstring
+    for the exactness contract).
+
+    Parameters
+    ----------
+    distance, database, embedder, database_vectors, quantized:
+        As for :class:`~repro.retrieval.filter_refine.FilterRefineRetriever`.
+    n_shards:
+        When > 1, a sharded execution path is kept available and chosen by
+        predicted cost once the store is warm.
+    n_jobs:
+        Default refine fan-out for explicit-``p`` batches when the caller
+        does not pass one and the planner declines to choose.
+    mode:
+        ``"off"`` (explicit ``p`` required, pure pass-through) or
+        ``"adaptive"``.
+    target_accuracy:
+        Accuracy target for the calibrated ``p`` choice, in (0, 1].
+    cost_budget:
+        Optional per-query budget in exact evaluations (embedding
+        included) capping the chosen operating point.
+    """
+
+    def __init__(
+        self,
+        distance: Any,
+        database: Dataset,
+        embedder: Any,
+        database_vectors: Optional[np.ndarray] = None,
+        n_shards: int = 1,
+        n_jobs: Optional[int] = None,
+        quantized: Optional[QuantizedVectors] = None,
+        mode: str = "off",
+        target_accuracy: float = 0.95,
+        cost_budget: Optional[int] = None,
+    ) -> None:
+        if mode not in ("off", "adaptive"):
+            raise RetrievalError(
+                f"planner mode must be 'off' or 'adaptive', got {mode!r}"
+            )
+        if not 0.0 < float(target_accuracy) <= 1.0:
+            raise RetrievalError(
+                f"target_accuracy must be in (0, 1], got {target_accuracy}"
+            )
+        if cost_budget is not None and int(cost_budget) < 1:
+            raise RetrievalError("cost_budget must be a positive evaluation count")
+        self.distance = distance
+        self.database = database
+        self.embedder = embedder
+        if database_vectors is None:
+            database_vectors = embedder.embed_many(list(database))
+        self.database_vectors = np.asarray(database_vectors, dtype=float)
+        self.engine = QueryEngine.filter_refine(
+            distance, database, embedder, self.database_vectors, quantized=quantized
+        )
+        # The exact-scan filter stage backs the float64 tier when the
+        # engine's stage is quantized (same vectors, so cuts are prefixes
+        # of the same stable order either way).
+        self._exact_filter = (
+            self.engine.filter
+            if quantized is None
+            else FilterStage(embedder, self.database_vectors)
+        )
+        self._sharded: Optional[ShardedRetriever] = None
+        if int(n_shards) > 1:
+            self._sharded = ShardedRetriever(
+                distance,
+                database,
+                embedder,
+                n_shards=int(n_shards),
+                database_vectors=self.database_vectors,
+                n_jobs=n_jobs,
+                quantized=quantized,
+            )
+        #: Optional remote scatter/gather delegate (see :meth:`attach_remote`).
+        self.remote: Optional[Any] = None
+        self.mode = mode
+        self.target_accuracy = float(target_accuracy)
+        self.cost_budget = None if cost_budget is None else int(cost_budget)
+        self.n_jobs = n_jobs
+        self.model = CostModel()
+        #: Accuracy profile fitted by :meth:`calibrate` (``None`` = the
+        #: deterministic uncalibrated fallback ceiling is used).
+        self.rank_profile: Optional[FilterRankResult] = None
+        self.planned_queries = 0
+        self.early_exits = 0
+        self._last_decision: Optional[Dict[str, Any]] = None
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def supports_adaptive_p(self) -> bool:
+        """Whether ``p=None`` is served adaptively (``mode="adaptive"``)."""
+        return self.mode == "adaptive"
+
+    @property
+    def dim(self) -> int:
+        """Dimensionality of the filter embedding."""
+        return self.engine.embed.dim
+
+    @property
+    def embedding_cost(self) -> int:
+        """Exact evaluations one query embedding costs."""
+        return self.engine.embed.cost
+
+    @property
+    def refine_distance_evaluations(self) -> int:
+        """Exact evaluations performed by the flat refine stage so far."""
+        return self.engine.refine.calls
+
+    def attach_remote(self, backend: Any) -> None:
+        """Make a remote scatter/gather backend available to the planner.
+
+        ``backend`` is a :class:`repro.remote.client.RemoteShardedBackend`
+        (or anything with the same ``query_many``/``health`` surface).  The
+        planner routes whole fixed-``p'`` queries to it when the fitted
+        round-trip cost undercuts the predicted local run, and re-plans
+        onto the local path as soon as its health reports degradation.
+        """
+        self.remote = backend
+
+    # -- pure decision functions (RP012: no clocks, no RNG) --------------
+
+    def choose_p(self, k: int) -> int:
+        """The planner's refine ceiling for one query at ``k``.
+
+        Pure over the calibration profile and configured targets (see
+        :func:`choose_operating_point`); the async serving layer calls
+        this to resolve ``p=None`` submissions.
+        """
+        if k < 1:
+            raise RetrievalError(f"k must be a positive integer, got {k}")
+        return choose_operating_point(
+            k=k,
+            n_database=self.engine.n_database,
+            embedding_cost=self.engine.embed.cost,
+            rank_profile=self.rank_profile,
+            target_accuracy=self.target_accuracy,
+            cost_budget=self.cost_budget,
+        )
+
+    def choose_tier(self) -> str:
+        """The filter tier the planner scans with (``"float64"`` or quantized)."""
+        quantized = self.engine.filter.quantized
+        if quantized is None:
+            return "float64"
+        return self.model.choose_filter_tier([quantized.dtype, "float64"])
+
+    # -- measurement helpers (read live state; never used in choosers) ---
+
+    def _pool_workers(self) -> int:
+        """Width of the live worker pool (0 = absent or closed)."""
+        pool = getattr(self.distance, "pool", None)
+        if pool is None or getattr(pool, "closed", False):
+            return 0
+        return int(getattr(pool, "n_workers", 0))
+
+    def _remote_degraded(self) -> bool:
+        """Whether the attached remote backend currently reports degradation."""
+        if self.remote is None:
+            return True
+        try:
+            return bool(self.remote.health().get("degraded"))
+        except Exception:  # repro-lint: disable=RP003 -- supervision probe: a health check that raises IS the degraded signal; the planner re-plans locally instead of propagating
+            return True
+
+    def _observe_stats(self, stats: Optional[Dict[str, Any]], tier: str) -> None:
+        """Fold an engine batch's ``plan.stats`` into the cost model."""
+        if not stats:
+            return
+        seconds = stats.get("stage_seconds", {})
+        self.model.observe_batch(
+            n_queries=int(stats.get("n_queries", 0)),
+            n_rows=self.engine.n_database * int(stats.get("n_queries", 0)),
+            tier=tier,
+            embed_seconds=float(seconds.get("embed", 0.0)),
+            filter_seconds=float(seconds.get("filter", 0.0)),
+            refine_seconds=float(seconds.get("refine", 0.0)),
+            refine_evaluations=int(stats.get("refine_evaluations", 0)),
+            refine_pairs=int(stats.get("candidates", 0)),
+        )
+
+    # -- calibration -----------------------------------------------------
+
+    def calibrate(
+        self,
+        probes: Sequence[Any],
+        k_max: int = CALIBRATION_KMAX,
+        n_jobs: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        """Fit the cost model and accuracy profile from a few probe queries.
+
+        Each probe is embedded, filter-scanned and exact-scanned against
+        the whole database — charged honestly through the engine's
+        accounting (through a shared store the scans also warm it).  The
+        exact scans yield ground truth, from which the filter-rank profile
+        (:func:`~repro.retrieval.evaluation.filter_ranks`) drives the
+        accuracy-targeted ``p`` choice for any ``k`` up to ``k_max``.
+        Returns the calibration record (probe cost, fit seconds), which is
+        also kept on ``model.calibration``.
+        """
+        probes = list(probes)
+        n = self.engine.n_database
+        if not probes:
+            raise RetrievalError("calibration needs at least one probe query")
+        k_max = min(int(k_max), n)
+        if k_max < 1:
+            raise RetrievalError(f"k_max must be a positive integer, got {k_max}")
+        started = time.perf_counter()
+
+        t0 = time.perf_counter()
+        vectors = np.asarray(self.embedder.embed_many(probes), dtype=float)
+        embed_seconds = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        for vector in vectors:
+            self._exact_filter.distances(vector)
+        float64_seconds = time.perf_counter() - t0
+        quantized = self.engine.filter.quantized
+        quantized_seconds = 0.0
+        if quantized is not None:
+            t0 = time.perf_counter()
+            for vector in vectors:
+                self.engine.filter.cut(vector, min(n, max(k_max, DEFAULT_P_MIN)))
+            quantized_seconds = time.perf_counter() - t0
+
+        refine = self.engine.refine
+        all_positions = np.arange(n)
+        rows: List[np.ndarray] = []
+        spent_total = 0
+        t0 = time.perf_counter()
+        for obj in probes:
+            if refine.binding is not None:
+                values, spent = refine.binding.distances_to(obj, all_positions)
+            else:
+                values = np.asarray(
+                    refine.counting.compute_many(obj, list(self.database)),
+                    dtype=float,
+                )
+                spent = n
+            rows.append(np.asarray(values, dtype=float))
+            spent_total += int(spent)
+        refine_seconds = time.perf_counter() - t0
+
+        ground_truth = knn_from_distances(np.vstack(rows), k_max)
+        self.rank_profile = filter_ranks(
+            self.embedder, self.database_vectors, vectors, ground_truth
+        )
+        self.model.observe_batch(
+            n_queries=len(probes),
+            n_rows=n * len(probes),
+            tier="float64",
+            embed_seconds=embed_seconds,
+            filter_seconds=float64_seconds,
+            refine_seconds=refine_seconds,
+            refine_evaluations=spent_total,
+            refine_pairs=n * len(probes),
+        )
+        if quantized is not None and quantized_seconds > 0.0:
+            self.model.filter_row_seconds[quantized.dtype] = self.model._blend(
+                self.model.filter_row_seconds.get(quantized.dtype, 0.0),
+                quantized_seconds / (n * len(probes)),
+            )
+        record = {
+            "probes": len(probes),
+            "k_max": k_max,
+            "probe_evaluations": spent_total
+            + self.engine.embed.cost * len(probes),
+            "fit_seconds": time.perf_counter() - started,
+            "exact_eval_seconds": self.model.exact_eval_seconds,
+            "filter_row_seconds": dict(self.model.filter_row_seconds),
+        }
+        self.model.calibration = record
+        return record
+
+    # -- explain / health ------------------------------------------------
+
+    def explain(self, k: int, p: Optional[int] = None) -> Dict[str, Any]:
+        """Describe the plan one query at ``k`` would execute, without running it.
+
+        Deterministic given the model state (the choosers it calls are
+        RP012-pure).  With an explicit ``p`` the plan is the fixed flat
+        pass-through; with ``p=None`` it is the adaptive plan the next
+        query would get.
+        """
+        n = self.engine.n_database
+        adaptive = p is None and self.mode == "adaptive"
+        ceiling = self.choose_p(k) if p is None else int(p)
+        k_eff, p_eff = clamp_query_params(k, ceiling, n)
+        tier = self.choose_tier()
+        remote_usable = self.remote is not None and not self._remote_degraded()
+        backend = (
+            self.model.choose_backend(
+                p_eff, n, tier, self._sharded is not None, remote_usable
+            )
+            if adaptive
+            else "flat"
+        )
+        return {
+            "mode": self.mode,
+            "adaptive": adaptive,
+            "k": k_eff,
+            "p": p_eff,
+            "backend": backend,
+            "tier": tier,
+            "n_jobs": self.model.choose_n_jobs(1, p_eff, self._pool_workers()),
+            "schedule": refine_schedule(p_eff, k_eff) if adaptive else [p_eff],
+            "predicted_seconds": self.model.predict_query_seconds(p_eff, n, tier),
+            "calibrated": self.rank_profile is not None,
+            "model": self.model.to_dict(),
+        }
+
+    def planner_health(self) -> Dict[str, Any]:
+        """Planner status for ``EmbeddingIndex.health()["planner"]``."""
+        return {
+            "mode": self.mode,
+            "calibrated": self.rank_profile is not None,
+            "target_accuracy": self.target_accuracy,
+            "cost_budget": self.cost_budget,
+            "planned_queries": self.planned_queries,
+            "early_exits": self.early_exits,
+            "last_decision": self._last_decision,
+            "model": self.model.to_dict(),
+        }
+
+    # -- querying --------------------------------------------------------
+
+    def query(
+        self, obj: Any, k: int, p: Optional[int] = None, n_jobs: Optional[int] = None
+    ) -> RetrievalResult:
+        """One query: fixed pass-through with explicit ``p``, planned without."""
+        if p is not None:
+            return self.engine.query(obj, k, p, n_jobs=n_jobs)
+        self._require_adaptive()
+        return self._run_adaptive([obj], k)[0]
+
+    def query_many(
+        self,
+        objects: Sequence[Any],
+        k: int,
+        p: Optional[int] = None,
+        n_jobs: Optional[int] = None,
+    ) -> List[RetrievalResult]:
+        """Batched :meth:`query`; explicit ``p`` stays bit-identical to the
+        flat pipeline, ``p=None`` runs the adaptive planner per query."""
+        objects = list(objects)
+        if p is not None:
+            if n_jobs is None:
+                n_jobs = self.model.choose_n_jobs(
+                    len(objects), p, self._pool_workers()
+                )
+                if n_jobs is None:
+                    n_jobs = self.n_jobs
+            results = self.engine.query_many(objects, k, p, n_jobs=n_jobs)
+            if results:
+                self._observe_stats(results[0].stats, self.choose_tier())
+            return results
+        self._require_adaptive()
+        return self._run_adaptive(objects, k)
+
+    def _require_adaptive(self) -> None:
+        if self.mode != "adaptive":
+            raise RetrievalError(
+                "backend 'planned' needs p (the number of filter candidates "
+                "to refine) unless the planner is adaptive; enable it with "
+                "IndexConfig(planner='adaptive') or pass p explicitly"
+            )
+
+    # -- the adaptive path -----------------------------------------------
+
+    def _run_adaptive(self, objects: List[Any], k: int) -> List[RetrievalResult]:
+        """Serve a batch with per-query planned ``p`` and incremental refine."""
+        n = self.engine.n_database
+        ceiling = self.choose_p(k)
+        k_eff, p_eff = clamp_query_params(k, ceiling, n)
+        if not objects:
+            return []
+        tier = self.choose_tier()
+        remote_usable = self.remote is not None and not self._remote_degraded()
+        backend = self.model.choose_backend(
+            p_eff, n, tier, self._sharded is not None, remote_usable
+        )
+        decision = {
+            "backend": backend,
+            "tier": tier,
+            "p": p_eff,
+            "k": k_eff,
+            "n_queries": len(objects),
+            "calibrated": self.rank_profile is not None,
+        }
+        self._last_decision = decision
+        if backend == "remote_sharded":
+            return self._run_remote(objects, k, p_eff, decision)
+        return self._run_local(objects, k_eff, p_eff, tier, backend, decision)
+
+    def _run_remote(
+        self,
+        objects: List[Any],
+        k: int,
+        p_eff: int,
+        decision: Dict[str, Any],
+    ) -> List[RetrievalResult]:
+        """Ship the whole batch to the remote delegate at the chosen ``p'``.
+
+        A fixed-``p'`` remote run — the scatter/gather client's own
+        bit-identity contract makes it equal to the local fixed-``p'``
+        paths; there is no incremental early exit over the wire.
+        """
+        started = time.perf_counter()
+        results = self.remote.query_many(objects, k, p_eff)
+        elapsed = time.perf_counter() - started
+        self.model.observe_remote(elapsed / len(objects))
+        signals = getattr(self.remote, "cost_signals", None)
+        if callable(signals):
+            self.model.observe_shards(signals())
+        self.planned_queries += len(objects)
+        for result in results:
+            result.stats = {
+                **decision,
+                "planned": True,
+                "planned_p": p_eff,
+                "early_exit": False,
+            }
+        return results
+
+    def _run_local(
+        self,
+        objects: List[Any],
+        k_eff: int,
+        p_eff: int,
+        tier: str,
+        backend: str,
+        decision: Dict[str, Any],
+    ) -> List[RetrievalResult]:
+        """The adaptive local path: cut at the ceiling, refine in slices."""
+        if backend == "sharded" and self._sharded is not None:
+            filter_stage: Any = self._sharded.engine.filter
+            refine = self._sharded.engine.refine
+        else:
+            backend = "flat"
+            refine = self.engine.refine
+            filter_stage = (
+                self.engine.filter if tier != "float64" else self._exact_filter
+            )
+        embed_seconds = 0.0
+        filter_seconds = 0.0
+        refine_seconds = 0.0
+        charged_total = 0
+        refined_total = 0
+        results: List[RetrievalResult] = []
+        embedding_cost = self.engine.embed.cost
+        for obj in objects:
+            t0 = time.perf_counter()
+            vector = np.asarray(self.embedder.embed(obj), dtype=float)
+            embed_seconds += time.perf_counter() - t0
+            t0 = time.perf_counter()
+            if backend == "sharded":
+                candidates = filter_stage.merged(vector, p_eff)
+            else:
+                candidates = filter_stage.cut(vector, p_eff)
+            filter_seconds += time.perf_counter() - t0
+            t0 = time.perf_counter()
+            exact, charged, chosen, early = self._refine_slices(
+                obj, candidates, k_eff, refine, sharded=backend == "sharded"
+            )
+            refine_seconds += time.perf_counter() - t0
+            charged_total += charged
+            refined_total += chosen
+            self.planned_queries += 1
+            if early:
+                self.early_exits += 1
+            result = build_retrieval_result(
+                candidates[:chosen],
+                exact,
+                k_eff,
+                chosen,
+                embedding_cost,
+                refine_cost=charged if refine.binding is not None else None,
+            )
+            result.stats = {
+                **decision,
+                "planned": True,
+                "planned_p": chosen,
+                "early_exit": early,
+                "refine_evaluations": charged,
+            }
+            results.append(result)
+        self.model.observe_batch(
+            n_queries=len(objects),
+            n_rows=self.engine.n_database * len(objects),
+            tier=tier,
+            embed_seconds=embed_seconds,
+            filter_seconds=filter_seconds,
+            refine_seconds=refine_seconds,
+            refine_evaluations=charged_total,
+            refine_pairs=refined_total,
+        )
+        if backend == "sharded" and self._sharded is not None:
+            self.model.observe_shards(self._sharded.shard_cost_signals())
+        return results
+
+    def _refine_slices(
+        self,
+        obj: Any,
+        candidates: np.ndarray,
+        k_eff: int,
+        refine: Any,
+        sharded: bool = False,
+    ) -> Tuple[np.ndarray, int, int, bool]:
+        """Refine a filter-ordered candidate list in prefix-extending slices.
+
+        Stops as soon as the ranked top-``k`` is unchanged across one
+        extension of the schedule (or the ceiling is reached).  Returns
+        ``(exact_prefix, charged, p_chosen, early_exit)`` where
+        ``p_chosen`` is the refined prefix length — *the* planner-chosen
+        ``p'``.  Because stable cuts are prefix-closed and the refined
+        pairs are exactly the fixed-``p'`` run's pairs, result and
+        accounting are bit-identical to that run by construction.
+        """
+        p_ceiling = int(candidates.shape[0])
+        exact = np.empty(p_ceiling, dtype=float)
+        binding = refine.binding
+        charged = 0
+        done = 0
+        previous_top: Optional[np.ndarray] = None
+        early = False
+        for target in refine_schedule(p_ceiling, k_eff):
+            block = candidates[done:target]
+            if sharded:
+                # Route the slice per shard so the per-shard hit-rate
+                # counters keep feeding the model; pairs are unique, so
+                # the grouping cannot change values or charge.
+                block_values = np.empty(block.shape[0], dtype=float)
+                for sid, _local, positions in self._shard_split(block):
+                    values, spent = binding.distances_to(obj, block[positions])
+                    block_values[positions] = values
+                    charged += int(spent)
+                    refine.shard_evaluations[sid] += int(spent)
+                    refine.shard_routed[sid] += int(positions.size)
+                exact[done:target] = block_values
+            elif binding is not None:
+                values, spent = binding.distances_to(obj, block)
+                exact[done:target] = values
+                charged += int(spent)
+            else:
+                exact[done:target] = np.asarray(
+                    refine.counting.compute_many(
+                        obj, [self.database[int(i)] for i in block]
+                    ),
+                    dtype=float,
+                )
+                charged += int(block.size)
+            done = target
+            order = refine_order(exact[:done], candidates[:done], k_eff)
+            top = candidates[:done][order]
+            if previous_top is not None and np.array_equal(top, previous_top):
+                early = done < p_ceiling
+                break
+            previous_top = top
+        return exact[:done], charged, done, early
+
+    def _shard_split(self, block: np.ndarray):
+        """Per-shard split of one refine slice (sharded adaptive path)."""
+        return self._sharded.engine.filter.split(block)

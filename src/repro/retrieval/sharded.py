@@ -274,6 +274,31 @@ class ShardedRetriever:
         """
         return self.engine.refine.shard_evaluations.copy()
 
+    def shard_cost_signals(self) -> List[dict]:
+        """Per-shard routing/cost signals for the query planner.
+
+        One record per shard: ``shard`` (id), ``size`` (object count),
+        ``routed_pairs`` (candidate pairs routed to the shard so far) and
+        ``evaluations`` (how many of those the store did not absorb).  The
+        planner's :meth:`~repro.retrieval.planner.CostModel.observe_shards`
+        turns these into per-shard store hit rates.
+        """
+        refine = self.engine.refine
+        routed = (
+            refine.shard_routed
+            if refine.shard_routed is not None
+            else np.zeros(self.n_shards, dtype=int)
+        )
+        return [
+            {
+                "shard": sid,
+                "size": len(shard),
+                "routed_pairs": int(routed[sid]),
+                "evaluations": int(refine.shard_evaluations[sid]),
+            }
+            for sid, shard in enumerate(self.shards)
+        ]
+
     # ------------------------------------------------------------------ #
     # Filter + merge                                                     #
     # ------------------------------------------------------------------ #

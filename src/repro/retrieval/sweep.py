@@ -19,9 +19,17 @@ from typing import Dict, List, Optional, Sequence, Union
 import numpy as np
 
 from repro.core.model import QuerySensitiveModel
+from repro.datasets.base import Dataset
+from repro.distances.base import DistanceMeasure
 from repro.embeddings.base import Embedding
 from repro.embeddings.fastmap import FastMapEmbedding
 from repro.exceptions import RetrievalError
+from repro.retrieval.engine import (
+    QueryEngine,
+    RetrievalResult,
+    build_retrieval_result,
+    clamp_query_params,
+)
 from repro.retrieval.evaluation import (
     AccuracyCostPoint,
     FilterRankResult,
@@ -131,6 +139,93 @@ class DimensionSweep:
                 best = point
         assert best is not None  # self.entries is never empty
         return best
+
+
+def run_sweep(
+    distance: DistanceMeasure,
+    database: Dataset,
+    embedder: Embedder,
+    queries: Sequence,
+    k: int,
+    ps: Sequence[int],
+    database_vectors: Optional[np.ndarray] = None,
+) -> Dict[int, List[RetrievalResult]]:
+    """Sweep the filter size ``p`` over one warm retrieval pipeline.
+
+    Runs every query once through a single shared engine: the embedding and
+    the filter cut at the *largest* swept ``p`` are computed once per query,
+    and each smaller sweep point reuses a prefix of that cut (stable
+    top-``p`` cuts are prefix-closed), refining only the candidate block
+    each point adds.  A naive sweep re-pays the embed + filter scan — and,
+    without a shared store, the whole refine — for every point.
+
+    Returns ``{p: [RetrievalResult, ...]}`` keyed by the requested ``p``
+    values, results in query order.  Every point is bit-identical —
+    neighbors, tie order and per-query accounting — to a fixed-``p``
+    ``query_many`` run started from the store state the sweep began with:
+    on a context-backed ``distance`` each point's ``refine_cost`` is the
+    cumulative evaluations its prefix actually missed (exactly what the
+    fixed run would have been charged), and this equals the adaptive
+    planner's charge at its chosen ``p'`` — the parity the sweep tests
+    assert.
+    """
+    ps_clean: List[int] = []
+    for p in ps:
+        p = int(p)
+        if p < 1:
+            raise RetrievalError(f"swept p values must be positive, got {p}")
+        if p not in ps_clean:
+            ps_clean.append(p)
+    if not ps_clean:
+        raise RetrievalError("the p sweep needs at least one value")
+    ps_clean.sort()
+    queries = list(queries)
+    engine = QueryEngine.filter_refine(
+        distance,
+        database,
+        embedder,
+        embedder.embed_many(list(database))
+        if database_vectors is None
+        else database_vectors,
+    )
+    n = engine.n_database
+    refine = engine.refine
+    results: Dict[int, List[RetrievalResult]] = {p: [] for p in ps_clean}
+    _, p_max_eff = clamp_query_params(k, ps_clean[-1], n)
+    for obj in queries:
+        vector = np.asarray(engine.embed.embedder.embed(obj), dtype=float)
+        candidates = engine.filter.cut(vector, p_max_eff)
+        exact = np.empty(p_max_eff, dtype=float)
+        done = 0
+        charged = 0
+        for p in ps_clean:
+            k_eff, p_eff = clamp_query_params(k, p, n)
+            if p_eff > done:
+                block = candidates[done:p_eff]
+                if refine.binding is not None:
+                    values, spent = refine.binding.distances_to(obj, block)
+                    exact[done:p_eff] = values
+                    charged += int(spent)
+                else:
+                    exact[done:p_eff] = np.asarray(
+                        refine.counting.compute_many(
+                            obj, [database[int(i)] for i in block]
+                        ),
+                        dtype=float,
+                    )
+                    charged += int(block.size)
+                done = p_eff
+            results[p].append(
+                build_retrieval_result(
+                    candidates[:p_eff],
+                    exact[:p_eff],
+                    k_eff,
+                    p_eff,
+                    engine.embed.cost,
+                    refine_cost=charged if refine.binding is not None else None,
+                )
+            )
+    return results
 
 
 def optimal_cost_curve(

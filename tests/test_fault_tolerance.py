@@ -337,6 +337,82 @@ class TestDeadlines:
 
 
 # --------------------------------------------------------------------- #
+# The query planner under faults                                        #
+# --------------------------------------------------------------------- #
+
+
+class TestPlannerUnderFaults:
+    """The adaptive planner re-plans around dead infrastructure.
+
+    Backend and fan-out choices come from live signals (pool health, the
+    remote's ``health()`` probe); when those die, the planner must fall
+    back onto the serial local path — bit-identically, since every choice
+    only moves *where* the same work runs.
+    """
+
+    def test_dead_pool_replans_onto_the_serial_path(
+        self, chaos_split, chaos_config, reference
+    ):
+        queries = list(chaos_split.queries)
+        with _build(chaos_split, chaos_config) as index:
+            index.enable_planner()
+            planner = index._backend
+            pool = PersistentPool(2)
+            _attach(index, pool)
+            # Live pool, enough predicted misses: the planner fans out.
+            assert planner.explain(3, p=24)["n_jobs"] == 2
+            pool.close()
+            # Dead pool: the same decision function re-plans serial.
+            assert planner.explain(3, p=24)["n_jobs"] is None
+            results = index.query_many(queries, k=3, p=12)
+            _assert_same_results(results, reference["results"])
+            assert index.distance_evaluations == reference["evaluations"]
+
+    def test_killed_workers_under_planned_fixed_p_stay_bit_identical(
+        self, chaos_split, chaos_config, reference
+    ):
+        queries = list(chaos_split.queries)
+        with _build(chaos_split, chaos_config) as index:
+            index.enable_planner()
+            _attach(index, PersistentPool(2, faults=FaultPlan(kill_after_chunks=3)))
+            results = index.query_many(queries, k=3, p=12, n_jobs=2)
+            _assert_same_results(results, reference["results"])
+            assert index.distance_evaluations == reference["evaluations"]
+            assert index.pool.restarts == 1
+
+    def test_dead_remote_replans_onto_the_local_path(
+        self, chaos_split, chaos_config
+    ):
+        queries = list(chaos_split.queries)
+
+        class DeadRemote:
+            """A shard service whose health probe is already unreachable."""
+
+            probes = 0
+
+            def query_many(self, objects, k, p):  # pragma: no cover
+                raise AssertionError("a dead remote must never be queried")
+
+            def health(self):
+                DeadRemote.probes += 1
+                raise ConnectionError("connection refused")
+
+        with _build(chaos_split, chaos_config) as healthy:
+            healthy.enable_planner()
+            expected = healthy.query_many(queries, k=3)
+        with _build(chaos_split, chaos_config) as index:
+            index.enable_planner()
+            planner = index._backend
+            planner.attach_remote(DeadRemote())
+            # Fit a round-trip cost that would win if the remote were up.
+            planner.model.remote_round_trip_seconds = 1e-9
+            results = index.query_many(queries, k=3)
+            assert DeadRemote.probes >= 1
+            assert planner._last_decision["backend"] == "flat"
+            _assert_same_results(results, expected)
+
+
+# --------------------------------------------------------------------- #
 # Artifact and store corruption                                         #
 # --------------------------------------------------------------------- #
 

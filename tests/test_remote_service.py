@@ -215,6 +215,57 @@ def test_killed_shard_degrades_to_local_fallback_then_revives(world):
         remote.close()
 
 
+def test_planner_routes_remote_then_replans_local_when_a_shard_dies(world):
+    """The adaptive planner over real sockets keeps the bit-identity bar.
+
+    With a fitted round-trip cost that undercuts the local prediction the
+    planner ships whole fixed-``p'`` batches to the shard service; those
+    results must equal the local run at the same ``p'``.  Once a shard is
+    killed (and a probe marks the backend degraded), the next batch must
+    re-plan onto the local path — same answers, no remote traffic.
+    """
+    from repro.retrieval import PlannedRetriever
+
+    _, split = world
+    queries = list(split.queries)
+    local = open_local(world)
+    with LocalCluster(world[0], split.database, n_shards=N_SHARDS) as cluster:
+        remote, backend = open_remote(world, cluster)
+        remote.enable_planner()
+        planner = remote._backend
+        assert isinstance(planner, PlannedRetriever)
+        planner.attach_remote(backend)
+        # Fit a round-trip cost the predicted local run cannot beat.
+        planner.model.exact_eval_seconds = 1.0
+        planner.model.remote_round_trip_seconds = 1e-9
+        planned = remote.query_many(queries, k=K)
+        assert planner._last_decision["backend"] == "remote_sharded"
+        chosen = {result.stats["planned_p"] for result in planned}
+        assert len(chosen) == 1  # one fixed p' per shipped batch
+        p_prime = chosen.pop()
+        assert_bit_identical(
+            local.query_many(queries, k=K, p=p_prime), planned
+        )
+        # Kill a shard: the client's own fallback marks the connection
+        # dead, the planner's health probe sees it, and the batch after
+        # that runs locally.
+        cluster.kill(0)
+        backend.query(queries[0], K, P)
+        assert backend.health()["degraded"] is True
+        replanned = remote.query_many(queries, k=K)
+        assert planner._last_decision["backend"] != "remote_sharded"
+        for query, result in zip(queries, replanned):
+            check = local.query(query, k=K, p=result.stats["planned_p"])
+            np.testing.assert_array_equal(
+                result.neighbor_indices, check.neighbor_indices
+            )
+            np.testing.assert_array_equal(
+                result.neighbor_distances, check.neighbor_distances
+            )
+        local.close()
+        remote.close()
+
+
 def test_miswired_addresses_never_serve_wrong_answers(world):
     _, split = world
     local = open_local(world)

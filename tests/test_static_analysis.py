@@ -746,6 +746,87 @@ def test_rp011_is_scoped_to_the_remote_package(tmp_path):
 
 
 # --------------------------------------------------------------------------- #
+# RP012 planner purity                                                        #
+# --------------------------------------------------------------------------- #
+
+PLANNER_FILE = "src/repro/retrieval/planner.py"
+
+
+def test_rp012_flags_clock_in_decision_function(tmp_path):
+    findings = lint_snippet(
+        tmp_path,
+        """
+        import time
+
+        class CostModel:
+            def choose_backend(self, p):
+                started = time.perf_counter()
+                return "flat" if started else "sharded"
+        """,
+        name=PLANNER_FILE,
+        rule_ids=["RP012"],
+    )
+    assert rule_ids(findings) == ["RP012"]
+    assert "time.perf_counter" in findings[0].message
+
+
+def test_rp012_flags_rng_in_prediction(tmp_path):
+    findings = lint_snippet(
+        tmp_path,
+        """
+        import numpy as np
+
+        def predict_cost(model, p):
+            return p * np.random.random()
+        """,
+        name=PLANNER_FILE,
+        rule_ids=["RP012"],
+    )
+    assert rule_ids(findings) == ["RP012"]
+
+
+def test_rp012_allows_clocks_in_measurement_code(tmp_path):
+    # observe_* / calibrate are the measurement side of the split: the
+    # caller reads the clock and feeds values in — that stays legal.
+    findings = lint_snippet(
+        tmp_path,
+        """
+        import time
+
+        class CostModel:
+            def observe_batch(self, work):
+                started = time.perf_counter()
+                work()
+                return time.perf_counter() - started
+
+        def calibrate(probes):
+            return [time.perf_counter() for _ in probes]
+        """,
+        name=PLANNER_FILE,
+        rule_ids=["RP012"],
+    )
+    assert findings == []
+
+
+def test_rp012_is_scoped_to_planner_modules(tmp_path):
+    source = """
+    import time
+
+    def choose_backend(p):
+        return "flat" if time.perf_counter() else "sharded"
+    """
+    assert (
+        lint_snippet(
+            tmp_path,
+            source,
+            name="src/repro/retrieval/engine.py",
+            rule_ids=["RP012"],
+        )
+        == []
+    )
+
+
+# --------------------------------------------------------------------------- #
 # Pragmas                                                                     #
 # --------------------------------------------------------------------------- #
 
